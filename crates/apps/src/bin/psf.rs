@@ -1,0 +1,192 @@
+//! `psf` — a command-line driver over the reproduction.
+//!
+//! ```sh
+//! cargo run --bin psf -- creds                 # Table 2
+//! cargo run --bin psf -- prove bob Comp.NY.Member
+//! cargo run --bin psf -- acl charlie           # Table 4 decision
+//! cargo run --bin psf -- plan sd-1 --privacy   # plan a deployment
+//! cargo run --bin psf -- plan se-1 --max-latency 10
+//! cargo run --bin psf -- storage 50 1000       # §5 comparison
+//! cargo run --bin psf -- view partner          # Table 5 source
+//! ```
+
+use psf_core::Goal;
+use psf_drbac::entity::RoleName;
+use psf_drbac::proof::ProofEngine;
+use psf_mail::{mail_client_class, mail_method_library, MailWorld};
+use psf_views::Vig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psf <command>\n\
+         \n\
+         commands:\n\
+         \x20 creds                         print the Table 2 credentials\n\
+         \x20 prove <user> <Entity.Role>    run a dRBAC proof (alice|bob|charlie)\n\
+         \x20 acl <user>                    Table 4 view decision for a user\n\
+         \x20 plan <node> [--privacy] [--max-latency MS]\n\
+         \x20                               plan mail delivery to ny-N/sd-N/se-N\n\
+         \x20 storage <P> <U>               §5 storage comparison at one size\n\
+         \x20 view <member|partner|anonymous>  generate and print the view"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "creds" => creds(),
+        "prove" => prove(&args[1..]),
+        "acl" => acl(&args[1..]),
+        "plan" => plan(&args[1..]),
+        "storage" => storage(&args[1..]),
+        "view" => view(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn world() -> MailWorld {
+    MailWorld::build(2)
+}
+
+fn user<'w>(w: &'w MailWorld, name: &str) -> &'w psf_drbac::Entity {
+    match name {
+        "alice" => &w.alice,
+        "bob" => &w.bob,
+        "charlie" => &w.charlie,
+        other => {
+            eprintln!("unknown user '{other}' (alice|bob|charlie)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn creds() {
+    let w = world();
+    println!("Table 2 — credentials issued by the Guard modules:");
+    for (n, cred) in &w.creds {
+        println!("  ({n:>2}) {}", cred.body.render());
+    }
+}
+
+fn prove(args: &[String]) {
+    let (Some(who), Some(role)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let w = world();
+    let subject = user(&w, who).as_subject();
+    let role = match RoleName::parse(role) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    match engine.prove(&subject, &role, &[]) {
+        Ok((proof, stats)) => {
+            print!("{}", proof.render());
+            println!(
+                "search: {} nodes, {} credentials examined",
+                stats.nodes_expanded, stats.credentials_examined
+            );
+        }
+        Err(e) => {
+            println!("no proof: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn acl(args: &[String]) {
+    let Some(who) = args.first() else { usage() };
+    let w = world();
+    println!("{}", w.acl.render());
+    match w.client_view(user(&w, who)) {
+        Some((view, proof)) => println!(
+            "{who} -> {view} ({})",
+            proof
+                .map(|p| format!("{}-edge proof", p.edges.len()))
+                .unwrap_or_else(|| "catch-all".into())
+        ),
+        None => println!("{who} -> no service"),
+    }
+}
+
+fn plan(args: &[String]) {
+    let Some(node_name) = args.first() else { usage() };
+    let privacy = args.iter().any(|a| a == "--privacy");
+    let max_latency = args
+        .iter()
+        .position(|a| a == "--max-latency")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok());
+    let w = world();
+    let Some(node) = w.sites.network.find_node(node_name) else {
+        eprintln!("unknown node '{node_name}' (try ny-0, sd-1, se-0 …)");
+        std::process::exit(2);
+    };
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: node,
+        max_latency_ms: max_latency,
+        require_privacy: privacy,
+        require_plaintext_delivery: true,
+    };
+    match w.plan_service(&goal) {
+        Ok((plan, stats)) => {
+            println!("plan for MailI at {node_name} (privacy={privacy}, bound={max_latency:?}):");
+            print!("{}", plan.render());
+            println!(
+                "search: expanded {}, auth-pruned {}",
+                stats.expanded, stats.pruned_by_auth
+            );
+        }
+        Err(e) => {
+            println!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn storage(args: &[String]) {
+    let (Some(p), Some(u)) = (
+        args.first().and_then(|v| v.parse::<u64>().ok()),
+        args.get(1).and_then(|v| v.parse::<u64>().ok()),
+    ) else {
+        usage()
+    };
+    let [gsi, cas, drbac] = psf_drbac::storage_model::storage_comparison(p, u, 8, 2 * p);
+    println!("P={p} U={u} (C=8, c={})", 2 * p);
+    for r in [gsi, cas, drbac] {
+        println!(
+            "  {:<6} {:>12} entries  {:>12.1} KiB",
+            r.system,
+            r.entries,
+            r.bytes as f64 / 1024.0
+        );
+    }
+}
+
+fn view(args: &[String]) {
+    let Some(which) = args.first() else { usage() };
+    let spec = match which.as_str() {
+        "member" => psf_mail::view_member(),
+        "partner" => psf_mail::view_partner(),
+        "anonymous" => psf_mail::view_anonymous(),
+        other => {
+            eprintln!("unknown view '{other}'");
+            std::process::exit(2);
+        }
+    };
+    println!("== XML definition ==\n{}", spec.to_xml());
+    let class = mail_client_class();
+    match Vig::new(mail_method_library()).generate(&class, &spec) {
+        Ok(generated) => println!("== generated source ==\n{}", generated.source),
+        Err(e) => {
+            eprintln!("VIG: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! # psf-apps
+//!
+//! This crate only *hosts* the repository's top-level `examples/` and
+//! `tests/` directories (Cargo requires a package to own them). All the
+//! functionality lives in the other `psf-*` crates; see the repository
+//! README for the example inventory.
+
+#![forbid(unsafe_code)]

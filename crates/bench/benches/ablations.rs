@@ -1,0 +1,139 @@
+//! Design-choice ablations (DESIGN.md §4): what each mechanism buys.
+//!
+//! * **A1 — regression pruning**: planner with vs without the backward
+//!   relevance analysis, in a registry polluted with unrelated component
+//!   families (the paper's Sekitei motivation: "cope with … network
+//!   scale concerns").
+//! * **A2 — discovery-tag indexing**: proof search backed by a tagged
+//!   repository vs a broadcast-only one (builds on F8 but measures the
+//!   *proof engine's* end-to-end latency, not just messages).
+//! * **A3 — coherence cache TTL**: view read latency at TTL 0 (always
+//!   re-pull) vs TTL N (serve from cache) — the object-views tradeoff the
+//!   OOPSLA'99 lineage is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psf_core::{ComponentSpec, Effect, Goal, PermissiveOracle, Planner, PlannerConfig, Registrar};
+use psf_netsim::{random_topology, TopologyConfig};
+use psf_views::binding::InProcessRemote;
+use psf_views::{CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, Vig, ViewSpec};
+
+fn polluted_registrar(noise_families: usize) -> Registrar {
+    let r = Registrar::new();
+    r.register(ComponentSpec::source("MailServer", "MailI"));
+    r.register(
+        ComponentSpec::processor("ViewMailServer", "MailI", "MailI", Effect::Cache)
+            .cpu(20)
+            .view_of("MailServer"),
+    );
+    // Unrelated component families that regression should prune.
+    for f in 0..noise_families {
+        r.register(ComponentSpec::source(format!("Src{f}"), format!("I{f}_0")));
+        for stage in 0..3 {
+            r.register(ComponentSpec::processor(
+                format!("Proc{f}_{stage}"),
+                format!("I{f}_{stage}"),
+                format!("I{f}_{}", stage + 1),
+                Effect::Identity,
+            ));
+        }
+    }
+    r
+}
+
+fn a1_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_regression_pruning");
+    group.sample_size(10);
+    let cfg = TopologyConfig { domains: 5, nodes_per_domain: 2, ..Default::default() };
+    let (network, domains) = random_topology(&cfg);
+    for noise in [0usize, 20, 60] {
+        let r = polluted_registrar(noise);
+        r.record_deployed("MailServer", domains[0][0]);
+        let goal = Goal {
+            iface: "MailI".into(),
+            client_node: domains[4][1],
+            max_latency_ms: Some(15.0),
+            require_privacy: false,
+            require_plaintext_delivery: true,
+        };
+        for (label, disable) in [("with_regression", false), ("no_regression", true)] {
+            let planner = Planner::new(
+                &r,
+                &network,
+                &PermissiveOracle,
+                PlannerConfig { disable_regression: disable, ..Default::default() },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, noise),
+                &goal,
+                |b, goal| b.iter(|| planner.plan(goal).unwrap()),
+            );
+        }
+    }
+    // Shape check: pruning counts.
+    let r = polluted_registrar(60);
+    r.record_deployed("MailServer", domains[0][0]);
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: domains[4][1],
+        max_latency_ms: Some(15.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let with = Planner::new(&r, &network, &PermissiveOracle, PlannerConfig::default())
+        .plan(&goal)
+        .unwrap()
+        .1;
+    let without = Planner::new(
+        &r,
+        &network,
+        &PermissiveOracle,
+        PlannerConfig { disable_regression: true, ..Default::default() },
+    )
+    .plan(&goal)
+    .unwrap()
+    .1;
+    println!("\n# A1: regression pruning with 60 noise families");
+    println!(
+        "  with:    pruned {} templates, expanded {}",
+        with.pruned_irrelevant, with.expanded
+    );
+    println!(
+        "  without: pruned {} templates, expanded {}",
+        without.pruned_irrelevant, without.expanded
+    );
+    assert!(with.pruned_irrelevant > 0);
+    assert!(without.expanded >= with.expanded);
+    group.finish();
+}
+
+fn a3_coherence_ttl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_coherence_ttl");
+    group.sample_size(20);
+    let class = ComponentClass::builder("Store")
+        .interface("StoreI", ["get"])
+        .field("blob", "bytes")
+        .method("get", "bytes get()", &["blob"], false, |st, _| Ok(st.get("blob")))
+        .build()
+        .unwrap();
+    let spec = ViewSpec::new("StoreView", "Store").restrict("StoreI", ExposureType::Local);
+    let view = Vig::new(MethodLibrary::new()).generate(&class, &spec).unwrap();
+    for ttl in [0u64, 16, 1024] {
+        let original = class.instantiate();
+        original.set_field("blob", vec![7u8; 8192]);
+        let inst = view
+            .instantiate(
+                Some(InProcessRemote::switchboard(original)),
+                CoherencePolicy::WriteThrough,
+                ttl,
+                b"",
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("view_get_ttl", ttl), &ttl, |b, _| {
+            b.iter(|| inst.invoke("get", b"").unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, a1_regression, a3_coherence_ttl);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! **F8 — discovery tags** (paper §3.1): credential discovery with
+//! tag-directed queries vs broadcast, as the number of home-node shards
+//! grows. Tags bound per-query messages by the number of *relevant*
+//! homes; broadcast pays one message per shard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psf_drbac::entity::Entity;
+use psf_drbac::repository::{DiscoveryTag, Repository};
+use psf_drbac::DelegationBuilder;
+
+/// `domains` homes, each holding `creds_per` credentials; the user's
+/// membership lives in exactly one home.
+fn build(domains: usize, creds_per: usize, tagged: bool) -> (Repository, Entity) {
+    let repo = Repository::new();
+    let user = Entity::with_seed("User", b"f8");
+    let tag = if tagged { DiscoveryTag::SearchableFromSubject } else { DiscoveryTag::None };
+    for d in 0..domains {
+        let dom = Entity::with_seed(format!("Dom{d}"), b"f8");
+        // The user's credential in home 0 only.
+        if d == 0 {
+            repo.publish(
+                dom.name.clone(),
+                DelegationBuilder::new(&dom)
+                    .subject_entity(&user)
+                    .role(dom.role("Member"))
+                    .sign(),
+                tag,
+            );
+        }
+        for i in 0..creds_per {
+            let other = Entity::with_seed(format!("other-{d}-{i}"), b"f8");
+            repo.publish(
+                dom.name.clone(),
+                DelegationBuilder::new(&dom)
+                    .subject_entity(&other)
+                    .role(dom.role("Member"))
+                    .sign(),
+                tag,
+            );
+        }
+    }
+    (repo, user)
+}
+
+fn print_shape_table() {
+    println!("\n# F8: discovery messages per query (user credential in 1 of N homes)");
+    println!("  {:>8} | {:>14} | {:>14}", "homes", "tagged msgs", "broadcast msgs");
+    for domains in [2usize, 8, 32, 128] {
+        let (tagged_repo, user) = build(domains, 3, true);
+        tagged_repo.reset_stats();
+        let found = tagged_repo.query_by_subject(&user.as_subject());
+        assert_eq!(found.len(), 1);
+        let tagged_msgs = tagged_repo.stats().messages;
+
+        let (untagged_repo, user) = build(domains, 3, false);
+        untagged_repo.reset_stats();
+        let found = untagged_repo.query_by_subject(&user.as_subject());
+        assert_eq!(found.len(), 1);
+        let broadcast_msgs = untagged_repo.stats().messages;
+
+        println!("  {:>8} | {:>14} | {:>14}", domains, tagged_msgs, broadcast_msgs);
+        assert!(tagged_msgs <= broadcast_msgs);
+        assert_eq!(tagged_msgs, 1, "tag directs to exactly the home shard");
+    }
+    println!("# shape: tagged = O(relevant homes) = 1; broadcast = O(all homes)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape_table();
+    let mut group = c.benchmark_group("f8_discovery");
+    group.sample_size(20);
+    for domains in [8usize, 64, 256] {
+        let (tagged, user) = build(domains, 10, true);
+        group.bench_with_input(
+            BenchmarkId::new("tagged_query", domains),
+            &domains,
+            |b, _| {
+                b.iter(|| tagged.query_by_subject(&user.as_subject()));
+            },
+        );
+        let (untagged, user) = build(domains, 10, false);
+        group.bench_with_input(
+            BenchmarkId::new("broadcast_query", domains),
+            &domains,
+            |b, _| {
+                b.iter(|| untagged.query_by_subject(&user.as_subject()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

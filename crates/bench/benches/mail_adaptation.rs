@@ -1,0 +1,92 @@
+//! **F7 — mail-application QoS adaptation** (paper §2.2): end-to-end
+//! request latency (simulated network model + real execution) for the
+//! three deployment strategies the planner chooses among, and the
+//! crossover bandwidth below which the cache view wins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psf_core::Goal;
+use psf_mail::{MailWorld, Message};
+
+/// Analytic per-request time for a remote fetch: WAN round trip +
+/// serialization of the reply at the bottleneck bandwidth.
+fn remote_fetch_ms(w: &MailWorld, reply_bytes: u64) -> f64 {
+    let path = w
+        .sites
+        .network
+        .route(w.sites.sd[1], w.sites.ny[0])
+        .unwrap();
+    2.0 * path.latency_ms + path.transfer_time_ms(reply_bytes) - path.latency_ms
+}
+
+fn print_shape_table() {
+    let w = MailWorld::build(2);
+    println!("\n# F7a: per-fetch time in San Diego vs strategy (10 KiB inbox)");
+    let direct = remote_fetch_ms(&w, 10 << 10);
+    println!("  direct over WAN:       {direct:>8.1} ms/request");
+    println!("  cache view (local):    {:>8.1} ms/request  + one-time sync", 1.0);
+    println!("  enc/dec pair:          {:>8.1} ms/request  (adds CPU, removes exposure)", direct);
+
+    println!("\n# F7b: cache crossover vs WAN bandwidth (break-even requests)");
+    println!("  {:>10} | {:>14} | {:>10}", "WAN Mbps", "direct ms/req", "break-even");
+    for bw in [50.0f64, 10.0, 2.0, 0.5] {
+        w.sites.network.set_bandwidth(w.sites.wan_ny_sd, bw);
+        let per_req = remote_fetch_ms(&w, 10 << 10);
+        // Cache sync costs one 100 KiB transfer; local serve is ~1 ms.
+        let path = w.sites.network.route(w.sites.sd[1], w.sites.ny[0]).unwrap();
+        let sync = path.transfer_time_ms(100 << 10);
+        let breakeven = (sync / (per_req - 1.0)).ceil().max(1.0);
+        println!("  {:>10.1} | {:>14.1} | {:>10.0}", bw, per_req, breakeven);
+    }
+    println!("# shape: the lower the bandwidth, the faster the cache amortizes (crossover\n# shifts toward 1 request) — the paper's low-bandwidth adaptation case.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape_table();
+    let mut group = c.benchmark_group("f7_mail");
+    group.sample_size(10);
+
+    // Real end-to-end costs of the deployed chains (execution time, not
+    // the simulated network model).
+    let w = MailWorld::build(2);
+    let private_goal = Goal::private("MailI", w.sites.sd[1]);
+    let (_, private_dep) = w.deliver(&private_goal).unwrap();
+    let msg = Message::new("bob", "alice", "bench", "x".repeat(512)).to_bytes();
+    group.bench_function("send_through_cipher_pair", |b| {
+        b.iter(|| private_dep.endpoint.call_remote("send", &msg).unwrap());
+    });
+    // Fresh world for fetch so the send benchmark's accumulated inbox
+    // doesn't distort the fetch payload size.
+    let wf = MailWorld::build(2);
+    let (_, fetch_dep) = wf.deliver(&Goal::private("MailI", wf.sites.sd[1])).unwrap();
+    for _ in 0..16 {
+        fetch_dep.endpoint.call_remote("send", &msg).unwrap();
+    }
+    group.bench_function("fetch_through_cipher_pair", |b| {
+        b.iter(|| fetch_dep.endpoint.call_remote("fetch", b"alice").unwrap());
+    });
+
+    let wc = MailWorld::build(2);
+    let cache_goal = Goal {
+        iface: "MailI".into(),
+        client_node: wc.sites.sd[1],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let (_, cache_dep) = wc.deliver(&cache_goal).unwrap();
+    for _ in 0..16 {
+        cache_dep.endpoint.call_remote("send", &msg).unwrap();
+    }
+    group.bench_function("fetch_through_cache_view", |b| {
+        b.iter(|| cache_dep.endpoint.call_remote("fetch", b"alice").unwrap());
+    });
+
+    // Plan-only latency for the full dRBAC-constrained mail world.
+    group.bench_function("plan_private_sd", |b| {
+        b.iter(|| w.plan_service(&private_goal).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! **F6 — deployment flexibility** (paper §4.2): "views increase the
+//! likelihood of the planner finding a component deployment in
+//! constrained environments." Over seeded random multi-domain
+//! topologies with constrained goals, the shape table compares success
+//! rates with and without view templates; the timed section measures
+//! planning latency (sequential vs parallel expansion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psf_core::{ComponentSpec, Effect, Goal, Planner, PlannerConfig, PermissiveOracle, Registrar};
+use psf_netsim::{random_topology, TopologyConfig};
+
+fn registrar(with_views: bool) -> Registrar {
+    let r = Registrar::new();
+    r.register(ComponentSpec::source("MailServer", "MailI"));
+    r.register(
+        ComponentSpec::processor("Encryptor", "MailI", "MailI", Effect::Encrypt)
+            .requires_encrypted(false)
+            .cpu(10),
+    );
+    r.register(
+        ComponentSpec::processor("Decryptor", "MailI", "MailI", Effect::Decrypt)
+            .requires_encrypted(true)
+            .cpu(10),
+    );
+    if with_views {
+        r.register(
+            ComponentSpec::processor("ViewMailServer", "MailI", "MailI", Effect::Cache)
+                .cpu(20)
+                .view_of("MailServer"),
+        );
+    }
+    r
+}
+
+/// Success rate of a tight-latency goal across `trials` random topologies.
+fn success_rate(with_views: bool, trials: u64, parallel: usize) -> (f64, f64) {
+    let mut successes = 0u64;
+    let mut total_plan_len = 0u64;
+    for seed in 0..trials {
+        let cfg = TopologyConfig {
+            domains: 5,
+            nodes_per_domain: 2,
+            extra_wan_prob: 0.25,
+            wan_secure_prob: 0.2,
+            seed,
+        };
+        let (network, domains) = random_topology(&cfg);
+        let r = registrar(with_views);
+        r.record_deployed("MailServer", domains[0][0]);
+        let planner = Planner::new(
+            &r,
+            &network,
+            &PermissiveOracle,
+            PlannerConfig { parallel_expansion: parallel, ..Default::default() },
+        );
+        // Demand low latency in the farthest domain — unreachable without
+        // a cache when WAN latencies are 20–80 ms.
+        let goal = Goal {
+            iface: "MailI".into(),
+            client_node: domains[cfg.domains - 1][1],
+            max_latency_ms: Some(15.0),
+            require_privacy: false,
+            require_plaintext_delivery: true,
+        };
+        if let Ok((plan, _)) = planner.plan(&goal) {
+            successes += 1;
+            total_plan_len += plan.steps.len() as u64;
+        }
+    }
+    (
+        successes as f64 / trials as f64,
+        if successes > 0 { total_plan_len as f64 / successes as f64 } else { 0.0 },
+    )
+}
+
+fn print_shape_table() {
+    let trials = 40;
+    let (with, with_len) = success_rate(true, trials, 1);
+    let (without, _) = success_rate(false, trials, 1);
+    println!("\n# F6: planner success on tight-latency goals ({trials} random topologies)");
+    println!("  with views:    {:>5.1}%  (avg plan length {with_len:.1})", with * 100.0);
+    println!("  without views: {:>5.1}%", without * 100.0);
+    assert!(
+        with > without,
+        "views must strictly increase success rate ({with} vs {without})"
+    );
+    println!("# shape: views strictly enlarge the feasible set (paper S4.2) OK\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape_table();
+    let mut group = c.benchmark_group("f6_planner");
+    group.sample_size(10);
+
+    for domains in [4usize, 8, 12] {
+        let cfg = TopologyConfig {
+            domains,
+            nodes_per_domain: 3,
+            extra_wan_prob: 0.3,
+            wan_secure_prob: 0.2,
+            seed: 7,
+        };
+        let (network, doms) = random_topology(&cfg);
+        let r = registrar(true);
+        r.record_deployed("MailServer", doms[0][0]);
+        let goal = Goal {
+            iface: "MailI".into(),
+            client_node: doms[domains - 1][0],
+            max_latency_ms: Some(15.0),
+            require_privacy: true,
+            require_plaintext_delivery: true,
+        };
+        for parallel in [1usize, 4] {
+            let planner = Planner::new(
+                &r,
+                &network,
+                &PermissiveOracle,
+                PlannerConfig { parallel_expansion: parallel, ..Default::default() },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("plan_k{parallel}"), domains),
+                &goal,
+                |b, goal| {
+                    b.iter(|| {
+                        let _ = planner.plan(goal);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

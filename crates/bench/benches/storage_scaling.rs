@@ -1,0 +1,56 @@
+//! **F1 — storage scaling** (paper §5): GSI `P×U` vs CAS `C×(P+U)` vs
+//! dRBAC `P+U+c`. The shape table shows the crossover structure (dRBAC
+//! linear, CAS linear×C, GSI quadratic); the timed section measures the
+//! cost of actually materializing dRBAC's credential set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psf_drbac::storage_model::{simulate_drbac, storage_comparison};
+
+fn print_shape_table() {
+    println!("\n# F1: storage entries by architecture (C=8, c=2P)");
+    println!(
+        "{:>6} {:>8} | {:>12} {:>12} {:>12} | winner",
+        "P", "U", "GSI", "CAS", "dRBAC"
+    );
+    for (p, u) in [(5u64, 50u64), (10, 100), (50, 1_000), (100, 5_000), (500, 100_000)] {
+        let [gsi, cas, drbac] = storage_comparison(p, u, 8, 2 * p);
+        let winner = if drbac.entries <= cas.entries && drbac.entries <= gsi.entries {
+            "dRBAC"
+        } else if cas.entries <= gsi.entries {
+            "CAS"
+        } else {
+            "GSI"
+        };
+        println!(
+            "{:>6} {:>8} | {:>12} {:>12} {:>12} | {winner}",
+            p, u, gsi.entries, cas.entries, drbac.entries
+        );
+        // dRBAC wins everywhere; CAS overtakes GSI once P×U outgrows
+        // C×(P+U) — the crossover the formulas predict.
+        assert!(drbac.entries < cas.entries && drbac.entries < gsi.entries);
+        if p * u > 8 * (p + u) {
+            assert!(cas.entries < gsi.entries);
+        }
+    }
+    println!("# shape: dRBAC (P+U+c) < min(CAS, GSI) at every size; CAS overtakes GSI");
+    println!("# once P*U > C*(P+U) — exactly the paper's asymptotic ordering. OK\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape_table();
+    let mut group = c.benchmark_group("f1_storage");
+    group.sample_size(10);
+    for scale in [10u64, 100, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("drbac_materialize", scale),
+            &scale,
+            |b, &scale| {
+                b.iter(|| simulate_drbac(scale, scale * 10, scale / 2));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! **F3 — view generation cost** (paper §4.3): "despite their
+//! flexibility, views incur management costs proportional to their
+//! utility" — VIG latency scales with the size of the generated view,
+//! and lazy (deferred) generation of a view family only pays for the
+//! views actually deployed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psf_views::{ComponentClass, ExposureType, MethodLibrary, Vig, ViewSpec};
+use std::sync::Arc;
+
+/// A component with `n_ifaces` interfaces × `methods_per` methods each.
+fn wide_class(n_ifaces: usize, methods_per: usize) -> Arc<ComponentClass> {
+    let mut b = ComponentClass::builder("Wide");
+    for i in 0..n_ifaces {
+        let methods: Vec<String> =
+            (0..methods_per).map(|m| format!("m_{i}_{m}")).collect();
+        b = b.interface(format!("I{i}"), methods.clone());
+        b = b.field(format!("f{i}"), "String");
+        for m in methods {
+            let field = format!("f{i}");
+            b = b.method(
+                m.clone(),
+                format!("String {m}()"),
+                &[field.as_str()],
+                false,
+                |st, _| Ok(st.get("f0")),
+            );
+        }
+    }
+    b.build().unwrap()
+}
+
+fn full_spec(n_ifaces: usize) -> ViewSpec {
+    let mut s = ViewSpec::new("WideView", "Wide");
+    for i in 0..n_ifaces {
+        s = s.restrict(format!("I{i}"), ExposureType::Local);
+    }
+    s
+}
+
+fn print_shape_table() {
+    println!("\n# F3: VIG output size scales with view utility (methods kept)");
+    println!("{:>8} {:>8} | {:>10} {:>12}", "ifaces", "methods", "entries", "src bytes");
+    for n in [1usize, 2, 4, 8, 16] {
+        let class = wide_class(n, 4);
+        let vig = Vig::new(MethodLibrary::new());
+        let view = vig.generate(&class, &full_spec(n)).unwrap();
+        println!(
+            "{:>8} {:>8} | {:>10} {:>12}",
+            n,
+            n * 4,
+            view.entries.len(),
+            view.source.len()
+        );
+    }
+    println!("# lazy generation: a family of K views costs K×gen only if all deploy;");
+    println!("# deferring to first deployment pays exactly for what is used.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape_table();
+    let mut group = c.benchmark_group("f3_vig");
+    group.sample_size(30);
+
+    // Generation latency vs view size.
+    for n in [1usize, 4, 16] {
+        let class = wide_class(n, 4);
+        let spec = full_spec(n);
+        let vig = Vig::new(MethodLibrary::new());
+        group.bench_with_input(BenchmarkId::new("generate_ifaces", n), &n, |b, _| {
+            b.iter(|| vig.generate(&class, &spec).unwrap());
+        });
+    }
+
+    // XML parse + generate (the full Table 3(b) pipeline).
+    let xml = psf_mail::views::PARTNER_XML;
+    let class = psf_mail::mail_client_class();
+    let vig = Vig::new(psf_mail::mail_method_library());
+    group.bench_function("parse_and_generate_partner", |b| {
+        b.iter(|| {
+            let spec = ViewSpec::parse_xml(xml).unwrap();
+            vig.generate(&class, &spec).unwrap()
+        });
+    });
+
+    // Instantiation (the per-deployment cost once generated).
+    let generated = vig
+        .generate(&class, &ViewSpec::parse_xml(xml).unwrap())
+        .unwrap();
+    let original = class.instantiate();
+    group.bench_function("instantiate_partner", |b| {
+        b.iter(|| {
+            generated
+                .instantiate(
+                    Some(psf_views::binding::InProcessRemote::switchboard(
+                        original.clone(),
+                    )),
+                    psf_views::CoherencePolicy::WriteThrough,
+                    8,
+                    b"",
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Shared workload helpers for the benchmark harnesses live in the bench
+//! files themselves; this lib exists to anchor the package.

@@ -1,0 +1,596 @@
+//! The deployment infrastructure (paper §2.1/§4.3): "securely
+//! instantiates, links, and executes the components on the given nodes";
+//! "once the views are generated, the deployment infrastructure issues to
+//! the generated view its own set of credentials, downloads them onto
+//! their target nodes, and connects them to other components using secure
+//! channels".
+
+use crate::model::Goal;
+use crate::planner::{Plan, PlanStep};
+use crate::PsfError;
+use parking_lot::Mutex;
+use psf_drbac::entity::Entity;
+use psf_drbac::guard::Guard;
+use psf_drbac::SignedDelegation;
+use psf_netsim::{Network, NodeId};
+use psf_switchboard::{pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, Channel, ChannelConfig, ClockRef};
+use psf_views::binding::{InProcessRemote, RemoteCall};
+use psf_views::{CoherencePolicy, ComponentClass, ComponentInstance, MethodLibrary, Vig, ViewInstance, ViewSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Factory turning an upstream endpoint into a transformed endpoint
+/// (encryptors/decryptors are endpoint middleware in the data plane).
+pub type MiddlewareFactory =
+    Arc<dyn Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync>;
+
+/// Everything the deployer needs to turn plan steps into running code.
+#[derive(Clone, Default)]
+pub struct AppBundle {
+    /// Source component classes by template name.
+    pub classes: HashMap<String, Arc<ComponentClass>>,
+    /// View definitions by template name (templates with `view_of`).
+    pub view_specs: HashMap<String, ViewSpec>,
+    /// Method bodies for VIG.
+    pub library: MethodLibrary,
+    /// Data-plane middleware by template name.
+    pub middleware: HashMap<String, MiddlewareFactory>,
+    /// CPU cost per template (from its [`ComponentSpec`]
+    /// (crate::model::ComponentSpec)); used for node reservation at
+    /// deployment time.
+    pub cpu_costs: HashMap<String, u32>,
+}
+
+
+impl AppBundle {
+    /// Empty bundle.
+    pub fn new() -> AppBundle {
+        AppBundle::default()
+    }
+
+    /// Register a source class.
+    pub fn class(mut self, name: impl Into<String>, class: Arc<ComponentClass>) -> Self {
+        self.classes.insert(name.into(), class);
+        self
+    }
+
+    /// Register a view template.
+    pub fn view(mut self, name: impl Into<String>, spec: ViewSpec) -> Self {
+        self.view_specs.insert(name.into(), spec);
+        self
+    }
+
+    /// Register middleware.
+    pub fn middleware_factory(
+        mut self,
+        name: impl Into<String>,
+        factory: MiddlewareFactory,
+    ) -> Self {
+        self.middleware.insert(name.into(), factory);
+        self
+    }
+
+    /// Set the VIG method library.
+    pub fn with_library(mut self, library: MethodLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Record a template's CPU cost (usually from its spec).
+    pub fn cpu_cost(mut self, name: impl Into<String>, cost: u32) -> Self {
+        self.cpu_costs.insert(name.into(), cost);
+        self
+    }
+}
+
+/// A running artifact produced by one plan step.
+pub enum Deployed {
+    /// A source component instance.
+    Component(Arc<ComponentInstance>),
+    /// A VIG-generated view instance.
+    View(Arc<ViewInstance>),
+    /// A data-plane middleware endpoint.
+    Middleware(Arc<dyn RemoteCall>),
+}
+
+impl Deployed {
+    /// Short kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Deployed::Component(_) => "component",
+            Deployed::View(_) => "view",
+            Deployed::Middleware(_) => "middleware",
+        }
+    }
+}
+
+/// The realized deployment: running components + the client's endpoint.
+pub struct Deployment {
+    /// CPU reservations made on nodes: (node, units).
+    pub reservations: Vec<(NodeId, u32)>,
+    /// What ran where: (template, node, artifact).
+    pub placements: Vec<(String, NodeId, Deployed)>,
+    /// Identities issued to instantiated components.
+    pub issued_identities: Vec<Entity>,
+    /// Credentials issued to instantiated components.
+    pub issued_credentials: Vec<SignedDelegation>,
+    /// Channels created between nodes (kept alive by the deployment):
+    /// (client half — also in use as an endpoint — and server half).
+    pub channels: Vec<(Arc<Channel>, Channel)>,
+    /// The endpoint the client invokes.
+    pub endpoint: Arc<dyn RemoteCall>,
+}
+
+impl Deployment {
+    /// Number of cross-node channels established.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Tear the deployment down: close every channel, release CPU
+    /// reservations, and revoke the credentials issued to its components
+    /// (instances die with their credentials — nothing lingers
+    /// authorized).
+    pub fn teardown(self, network: Option<&Network>, guard: &Guard) {
+        for (client, server) in &self.channels {
+            client.close();
+            server.close();
+        }
+        if let Some(net) = network {
+            for (node, units) in &self.reservations {
+                net.release_cpu(*node, *units);
+            }
+        }
+        for cred in &self.issued_credentials {
+            guard.bus().revoke(&cred.id());
+        }
+    }
+}
+
+/// Wraps a [`ViewInstance`] as a callable endpoint.
+pub struct ViewEndpoint(pub Arc<ViewInstance>);
+
+impl RemoteCall for ViewEndpoint {
+    fn call_remote(&self, method: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        self.0.invoke(method, args)
+    }
+    fn transport_label(&self) -> &'static str {
+        "view"
+    }
+}
+
+/// The deployment infrastructure.
+pub struct Deployer {
+    guard: Arc<Guard>,
+    clock: ClockRef,
+    bundle: AppBundle,
+    network: Option<Network>,
+    config: ChannelConfig,
+    /// Already-running source instances (shared with the registrar's
+    /// `record_deployed` bookkeeping).
+    running: Mutex<HashMap<(String, NodeId), Arc<ComponentInstance>>>,
+    serial: std::sync::atomic::AtomicU64,
+}
+
+impl Deployer {
+    /// Create a deployer issuing credentials through `guard`.
+    pub fn new(guard: Arc<Guard>, clock: ClockRef, bundle: AppBundle) -> Deployer {
+        Deployer {
+            guard,
+            clock,
+            bundle,
+            network: None,
+            config: ChannelConfig {
+                heartbeat_interval: None,
+                rpc_timeout: std::time::Duration::from_secs(10),
+            },
+            running: Mutex::new(HashMap::new()),
+            serial: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Attach the network so deployments reserve (and teardown releases)
+    /// node CPU.
+    pub fn with_network(mut self, network: Network) -> Deployer {
+        self.network = Some(network);
+        self
+    }
+
+    /// Pre-start a source instance on a node (pairs with
+    /// `Registrar::record_deployed`).
+    pub fn start_source(
+        &self,
+        template: &str,
+        node: NodeId,
+    ) -> Result<Arc<ComponentInstance>, PsfError> {
+        let class = self
+            .bundle
+            .classes
+            .get(template)
+            .ok_or_else(|| PsfError::Unknown(format!("no class for '{template}'")))?;
+        let inst = class.instantiate();
+        self.running
+            .lock()
+            .insert((template.to_string(), node), inst.clone());
+        Ok(inst)
+    }
+
+    /// Fetch a running source instance.
+    pub fn source(&self, template: &str, node: NodeId) -> Option<Arc<ComponentInstance>> {
+        self.running.lock().get(&(template.to_string(), node)).cloned()
+    }
+
+    /// Issue an identity + component credential for a freshly deployed
+    /// artifact ("instantiated components receive their own set of
+    /// credentials").
+    fn issue_identity(&self, template: &str, node: NodeId) -> (Entity, SignedDelegation) {
+        let serial = self
+            .serial
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let entity = self
+            .guard
+            .create_principal(format!("{template}@node{}#{serial}", node.0));
+        let cred = self.guard.publish(
+            self.guard
+                .issue()
+                .subject_entity(&entity)
+                .role(self.guard.role("Component"))
+                .monitored()
+                .serial(serial)
+                .sign(),
+        );
+        (entity, cred)
+    }
+
+    /// Execute a plan: instantiate every step, wire channels across
+    /// nodes, and return the client's endpoint.
+    ///
+    /// `secure_channels`: when true, cross-node hops over insecure paths
+    /// use full Switchboard channels (mutual auth + AEAD); secure-path
+    /// hops use plain channels, mirroring the paper's rmi/switchboard
+    /// distinction.
+    pub fn execute(&self, plan: &Plan, goal: &Goal) -> Result<Deployment, PsfError> {
+        let mut placements = Vec::new();
+        let mut issued_identities = Vec::new();
+        let mut issued_credentials = Vec::new();
+        let mut channels = Vec::new();
+        let mut reservations: Vec<(NodeId, u32)> = Vec::new();
+
+        let mut endpoint: Option<Arc<dyn RemoteCall>> = None;
+        let mut current_node: Option<NodeId> = None;
+
+        for step in &plan.steps {
+            match step {
+                PlanStep::UseDeployed { spec, node, .. } => {
+                    let inst = self
+                        .source(spec, *node)
+                        .ok_or_else(|| {
+                            PsfError::DeployFailed(format!(
+                                "source '{spec}' not running on node {}",
+                                node.0
+                            ))
+                        })?;
+                    endpoint = Some(InProcessRemote::switchboard(inst));
+                    current_node = Some(*node);
+                }
+                PlanStep::Move { from, to, secure_path, .. } => {
+                    if current_node != Some(*from) {
+                        return Err(PsfError::DeployFailed(
+                            "plan moves an interface from the wrong node".into(),
+                        ));
+                    }
+                    let upstream = endpoint.take().ok_or_else(|| {
+                        PsfError::DeployFailed("move before any endpoint".into())
+                    })?;
+                    let (client_side, server_side) =
+                        self.make_channel_pair(*from, *to, *secure_path)?;
+                    // Serve the upstream endpoint on the provider side.
+                    let served = upstream.clone();
+                    server_side.register_default_handler(move |method, args| {
+                        served.call_remote(method, args)
+                    });
+                    let client = Arc::new(client_side);
+                    endpoint = Some(client.clone());
+                    // Keep both halves alive for the deployment's lifetime.
+                    channels.push((client, server_side));
+                    current_node = Some(*to);
+                }
+                PlanStep::Deploy { spec, node, .. } => {
+                    if current_node != Some(*node) {
+                        return Err(PsfError::DeployFailed(
+                            "plan deploys a component away from its input".into(),
+                        ));
+                    }
+                    // Reserve node capacity (released at teardown).
+                    if let (Some(net), Some(&cost)) =
+                        (&self.network, self.bundle.cpu_costs.get(spec))
+                    {
+                        if cost > 0 && !net.reserve_cpu(*node, cost) {
+                            return Err(PsfError::DeployFailed(format!(
+                                "node {} lacks {cost} CPU for '{spec}'",
+                                node.0
+                            )));
+                        }
+                        if cost > 0 {
+                            reservations.push((*node, cost));
+                        }
+                    }
+                    let (entity, cred) = self.issue_identity(spec, *node);
+                    issued_identities.push(entity);
+                    issued_credentials.push(cred);
+
+                    if let Some(vspec) = self.bundle.view_specs.get(spec) {
+                        // VIG path: generate the view against the
+                        // original's class and bind it to the upstream.
+                        let original_class = self
+                            .bundle
+                            .classes
+                            .get(&vspec.represents)
+                            .ok_or_else(|| {
+                                PsfError::Unknown(format!(
+                                    "no class for represented '{}'",
+                                    vspec.represents
+                                ))
+                            })?;
+                        let vig = Vig::new(self.bundle.library.clone());
+                        let view = vig
+                            .generate(original_class, vspec)
+                            .map_err(|e| PsfError::DeployFailed(e.to_string()))?;
+                        let upstream = endpoint.clone().ok_or_else(|| {
+                            PsfError::DeployFailed("view deployed before source".into())
+                        })?;
+                        let inst = view
+                            .instantiate(
+                                Some(upstream),
+                                CoherencePolicy::WriteThrough,
+                                8,
+                                b"",
+                            )
+                            .map_err(PsfError::DeployFailed)?;
+                        endpoint = Some(Arc::new(ViewEndpoint(inst.clone())));
+                        placements.push((spec.clone(), *node, Deployed::View(inst)));
+                    } else if let Some(factory) = self.bundle.middleware.get(spec) {
+                        let upstream = endpoint.clone().ok_or_else(|| {
+                            PsfError::DeployFailed("middleware before source".into())
+                        })?;
+                        let wrapped = factory(upstream);
+                        endpoint = Some(wrapped.clone());
+                        placements.push((
+                            spec.clone(),
+                            *node,
+                            Deployed::Middleware(wrapped),
+                        ));
+                    } else if let Some(class) = self.bundle.classes.get(spec) {
+                        let inst = class.instantiate();
+                        endpoint = Some(InProcessRemote::switchboard(inst.clone()));
+                        placements.push((spec.clone(), *node, Deployed::Component(inst)));
+                    } else {
+                        return Err(PsfError::Unknown(format!(
+                            "no artifact registered for template '{spec}'"
+                        )));
+                    }
+                }
+            }
+        }
+
+        let endpoint = endpoint
+            .ok_or_else(|| PsfError::DeployFailed("empty plan".into()))?;
+        if current_node != Some(goal.client_node) {
+            return Err(PsfError::DeployFailed(
+                "plan does not terminate at the client's node".into(),
+            ));
+        }
+        Ok(Deployment {
+            reservations,
+            placements,
+            issued_identities,
+            issued_credentials,
+            channels,
+            endpoint,
+        })
+    }
+
+    /// Create a (client, server) channel pair for a hop; full Switchboard
+    /// with mutual dRBAC authorization when the path is insecure, plain
+    /// otherwise.
+    fn make_channel_pair(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        secure_path: bool,
+    ) -> Result<(Channel, Channel), PsfError> {
+        if secure_path {
+            let (a, b) = pair_in_memory_plain(self.config.clone());
+            return Ok((a, b));
+        }
+        // Issue per-endpoint identities and connect with mutual auth.
+        let (client_entity, client_cred) =
+            self.issue_identity("conn-client", to);
+        let (server_entity, server_cred) = self.issue_identity("conn-server", from);
+        let role = self.guard.role("Component");
+        let make_authorizer = || {
+            Authorizer::new(
+                self.guard.registry().clone(),
+                self.guard.repository().clone(),
+                self.guard.bus().clone(),
+                self.clock.clone(),
+                role.clone(),
+            )
+        };
+        let client_suite =
+            AuthSuite::new(client_entity.clone(), vec![client_cred.clone()], make_authorizer());
+        let server_suite =
+            AuthSuite::new(server_entity.clone(), vec![server_cred.clone()], make_authorizer());
+        let (a, b) = pair_in_memory(client_suite, server_suite, self.config.clone())
+            .map_err(|e| PsfError::DeployFailed(format!("channel handshake: {e}")))?;
+        Ok((a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ComponentSpec, Effect, Goal};
+    use crate::oracle::PermissiveOracle;
+    use crate::planner::{Planner, PlannerConfig};
+    use crate::registrar::Registrar;
+    use psf_drbac::entity::EntityRegistry;
+    use psf_drbac::repository::Repository;
+    use psf_drbac::revocation::RevocationBus;
+    use psf_netsim::three_site_scenario;
+    use psf_views::ExposureType;
+
+    fn counter_class() -> Arc<ComponentClass> {
+        ComponentClass::builder("KvStore")
+            .interface("KvI", ["put", "get"])
+            .field("data", "Map")
+            .method("put", "void put(kv)", &["data"], true, |st, args| {
+                let kv = String::from_utf8_lossy(args).to_string();
+                let mut data = st.get_str("data");
+                data.push_str(&kv);
+                data.push('\n');
+                st.set("data", data);
+                Ok(vec![])
+            })
+            .method("get", "String get()", &["data"], false, |st, _| {
+                Ok(st.get("data"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn test_guard() -> Arc<Guard> {
+        Arc::new(Guard::new(
+            Entity::with_seed("Deploy.Domain", b"dep"),
+            EntityRegistry::new(),
+            Repository::new(),
+            RevocationBus::new(),
+        ))
+    }
+
+    #[test]
+    fn deploy_simple_plan_end_to_end() {
+        let s = three_site_scenario(2);
+        let registrar = Registrar::new();
+        registrar.register(ComponentSpec::source("KvStore", "KvI"));
+        registrar.register(
+            ComponentSpec::processor("KvView", "KvI", "KvI", Effect::Cache)
+                .view_of("KvStore")
+                .cpu(5),
+        );
+        registrar.record_deployed("KvStore", s.ny[0]);
+
+        let bundle = AppBundle::new()
+            .class("KvStore", counter_class())
+            .view(
+                "KvView",
+                ViewSpec::new("KvView", "KvStore").restrict("KvI", ExposureType::Local),
+            );
+        let deployer = Deployer::new(test_guard(), ClockRef::new(), bundle);
+        deployer.start_source("KvStore", s.ny[0]).unwrap();
+
+        let planner = Planner::new(
+            &registrar,
+            &s.network,
+            &PermissiveOracle,
+            PlannerConfig::default(),
+        );
+        // Low-latency demand in SD forces the view cache there.
+        let goal = Goal {
+            iface: "KvI".into(),
+            client_node: s.sd[0],
+            max_latency_ms: Some(10.0),
+            require_privacy: false,
+            require_plaintext_delivery: true,
+        };
+        let (plan, _) = planner.plan(&goal).unwrap();
+        let deployment = deployer.execute(&plan, &goal).unwrap();
+
+        // The client endpoint works: write through the view, read back.
+        deployment.endpoint.call_remote("put", b"k=v").unwrap();
+        let got = deployment.endpoint.call_remote("get", b"").unwrap();
+        assert_eq!(got, b"k=v\n");
+
+        // The write propagated to the original KvStore in NY (coherence).
+        let origin = deployer.source("KvStore", s.ny[0]).unwrap();
+        assert_eq!(origin.field("data"), b"k=v\n");
+
+        // Credentials were issued to the instantiated artifacts.
+        assert!(!deployment.issued_credentials.is_empty());
+        // A cross-node hop exists.
+        assert!(deployment.channel_count() >= 1);
+    }
+
+    #[test]
+    fn deploy_fails_for_unknown_template() {
+        let s = three_site_scenario(1);
+        let registrar = Registrar::new();
+        registrar.register(ComponentSpec::source("Ghost", "GhostI"));
+        registrar.record_deployed("Ghost", s.ny[0]);
+        let deployer = Deployer::new(test_guard(), ClockRef::new(), AppBundle::new());
+        let planner = Planner::new(
+            &registrar,
+            &s.network,
+            &PermissiveOracle,
+            PlannerConfig::default(),
+        );
+        let goal = Goal {
+            iface: "GhostI".into(),
+            client_node: s.ny[0],
+            max_latency_ms: None,
+            require_privacy: false,
+            require_plaintext_delivery: false,
+        };
+        let (plan, _) = planner.plan(&goal).unwrap();
+        assert!(deployer.execute(&plan, &goal).is_err());
+    }
+
+    #[test]
+    fn middleware_is_wired_into_the_endpoint_chain() {
+        let s = three_site_scenario(1);
+        let registrar = Registrar::new();
+        registrar.register(ComponentSpec::source("KvStore", "KvI"));
+        registrar.register(ComponentSpec::processor(
+            "Shouter",
+            "KvI",
+            "LoudKvI",
+            Effect::Identity,
+        ));
+        registrar.record_deployed("KvStore", s.ny[0]);
+
+        struct Upper(Arc<dyn RemoteCall>);
+        impl RemoteCall for Upper {
+            fn call_remote(&self, m: &str, a: &[u8]) -> Result<Vec<u8>, String> {
+                let out = self.0.call_remote(m, a)?;
+                Ok(out.to_ascii_uppercase())
+            }
+            fn transport_label(&self) -> &'static str {
+                "middleware"
+            }
+        }
+        let bundle = AppBundle::new()
+            .class("KvStore", counter_class())
+            .middleware_factory("Shouter", Arc::new(|up| Arc::new(Upper(up))));
+        let deployer = Deployer::new(test_guard(), ClockRef::new(), bundle);
+        deployer.start_source("KvStore", s.ny[0]).unwrap();
+
+        let planner = Planner::new(
+            &registrar,
+            &s.network,
+            &PermissiveOracle,
+            PlannerConfig::default(),
+        );
+        let goal = Goal {
+            iface: "LoudKvI".into(),
+            client_node: s.ny[0],
+            max_latency_ms: None,
+            require_privacy: false,
+            require_plaintext_delivery: false,
+        };
+        let (plan, _) = planner.plan(&goal).unwrap();
+        let deployment = deployer.execute(&plan, &goal).unwrap();
+        deployment.endpoint.call_remote("put", b"hello=world").unwrap();
+        let got = deployment.endpoint.call_remote("get", b"").unwrap();
+        assert_eq!(got, b"HELLO=WORLD\n");
+    }
+}

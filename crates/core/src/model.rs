@@ -1,0 +1,326 @@
+//! The declarative component/interface model (paper §2.1).
+//!
+//! "Components are modeled as entities that *implement* and *require*
+//! typed interfaces, each of which is associated with a set of
+//! properties. The environment itself is modeled in terms of nodes and
+//! links that possess their own set of properties, and are additionally
+//! capable of influencing the implemented interface properties of
+//! deployed components."
+
+use psf_drbac::{AttrSet, RoleName};
+use psf_netsim::PathMetrics;
+
+/// Properties of an interface *as observed at some node*: the planner's
+/// state variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfaceProps {
+    /// Round-trip access latency from the observing node (ms).
+    pub latency_ms: f64,
+    /// Bottleneck bandwidth on the access path (Mbps).
+    pub bandwidth_mbps: f64,
+    /// Whether the payload is currently encrypted.
+    pub encrypted: bool,
+    /// Whether plaintext payload has ever crossed an insecure link — the
+    /// privacy violation the mail application must avoid.
+    pub plaintext_exposed: bool,
+}
+
+impl IfaceProps {
+    /// Fresh properties at the providing node.
+    pub fn at_source() -> IfaceProps {
+        IfaceProps {
+            latency_ms: 0.0,
+            bandwidth_mbps: f64::INFINITY,
+            encrypted: false,
+            plaintext_exposed: false,
+        }
+    }
+
+    /// Properties after consuming the interface across a network path:
+    /// links add latency, constrain bandwidth, and expose unencrypted
+    /// payloads on insecure segments.
+    pub fn across(&self, path: &PathMetrics) -> IfaceProps {
+        IfaceProps {
+            latency_ms: self.latency_ms + path.latency_ms,
+            bandwidth_mbps: self.bandwidth_mbps.min(path.bandwidth_mbps),
+            encrypted: self.encrypted,
+            plaintext_exposed: self.plaintext_exposed
+                || (!path.all_secure && !self.encrypted),
+        }
+    }
+}
+
+/// How a component transforms the properties of its required interface
+/// into those of an implemented one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Gateway/forwarder: properties pass through unchanged.
+    Identity,
+    /// Encrypts the payload (an `<encryptor>` of the paper's pair).
+    Encrypt,
+    /// Decrypts the payload; requires an encrypted input.
+    Decrypt,
+    /// Serves content locally (the `view mail server` cache): access
+    /// latency collapses to the local cost; payload is plaintext at the
+    /// cache.
+    Cache,
+    /// A base provider: creates the interface from nothing.
+    Source,
+}
+
+impl Effect {
+    /// Apply to input properties (input is `None` for sources).
+    pub fn apply(&self, input: Option<&IfaceProps>) -> Option<IfaceProps> {
+        match self {
+            Effect::Source => Some(IfaceProps::at_source()),
+            Effect::Identity => input.cloned(),
+            Effect::Encrypt => {
+                let p = input?;
+                Some(IfaceProps { encrypted: true, ..p.clone() })
+            }
+            Effect::Decrypt => {
+                let p = input?;
+                if !p.encrypted {
+                    return None;
+                }
+                Some(IfaceProps { encrypted: false, ..p.clone() })
+            }
+            Effect::Cache => {
+                let p = input?;
+                Some(IfaceProps {
+                    latency_ms: 1.0, // served locally
+                    bandwidth_mbps: f64::INFINITY,
+                    encrypted: false,
+                    plaintext_exposed: p.plaintext_exposed,
+                })
+            }
+        }
+    }
+}
+
+/// An interface a component implements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provided {
+    /// The typed interface produced (e.g. `MailI`).
+    pub iface: String,
+    /// How input properties transform into output properties.
+    pub effect: Effect,
+}
+
+/// A deployable component template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSpec {
+    /// Template name (`MailServer`, `Encryptor`, `ViewMailServer`, …).
+    pub name: String,
+    /// The single required interface type, if any (linear service chains,
+    /// as in CANS/PSF mail; `None` for sources).
+    pub requires: Option<String>,
+    /// Whether the required input must (Some(true)) or must not
+    /// (Some(false)) be encrypted; `None` accepts either.
+    pub requires_encrypted: Option<bool>,
+    /// Implemented interfaces.
+    pub provides: Vec<Provided>,
+    /// CPU units consumed on the hosting node.
+    pub cpu_cost: u32,
+    /// The dRBAC role this component's instances can prove (component
+    /// authorization, Table 2 creds 8–10/14/17); `None` = unrestricted.
+    pub exec_role: Option<RoleName>,
+    /// Node authorization requirement: the application-policy role the
+    /// hosting node must map to, with required attributes (Table 2 creds
+    /// 4–7/13/16), e.g. `Mail.Node with Secure={true}`.
+    pub node_role: Option<(RoleName, AttrSet)>,
+    /// If this template is a *view* of another component, the original's
+    /// template name — views enrich the deployable set (paper §4.2).
+    pub view_of: Option<String>,
+}
+
+impl ComponentSpec {
+    /// Minimal source component providing `iface`.
+    pub fn source(name: impl Into<String>, iface: impl Into<String>) -> ComponentSpec {
+        ComponentSpec {
+            name: name.into(),
+            requires: None,
+            requires_encrypted: None,
+            provides: vec![Provided { iface: iface.into(), effect: Effect::Source }],
+            cpu_cost: 0,
+            exec_role: None,
+            node_role: None,
+            view_of: None,
+        }
+    }
+
+    /// Builder-style: set the required interface.
+    pub fn requires(mut self, iface: impl Into<String>) -> Self {
+        self.requires = Some(iface.into());
+        self
+    }
+
+    /// Builder-style: constrain the required input's encryption state.
+    pub fn requires_encrypted(mut self, enc: bool) -> Self {
+        self.requires_encrypted = Some(enc);
+        self
+    }
+
+    /// Builder-style: set CPU cost.
+    pub fn cpu(mut self, cost: u32) -> Self {
+        self.cpu_cost = cost;
+        self
+    }
+
+    /// Builder-style: set the exec role.
+    pub fn exec_role(mut self, role: RoleName) -> Self {
+        self.exec_role = Some(role);
+        self
+    }
+
+    /// Builder-style: set the node requirement.
+    pub fn node_role(mut self, role: RoleName, attrs: AttrSet) -> Self {
+        self.node_role = Some((role, attrs));
+        self
+    }
+
+    /// Builder-style: mark as a view of another template.
+    pub fn view_of(mut self, original: impl Into<String>) -> Self {
+        self.view_of = Some(original.into());
+        self
+    }
+
+    /// Generic processing component.
+    pub fn processor(
+        name: impl Into<String>,
+        requires: impl Into<String>,
+        provides_iface: impl Into<String>,
+        effect: Effect,
+    ) -> ComponentSpec {
+        ComponentSpec {
+            name: name.into(),
+            requires: Some(requires.into()),
+            requires_encrypted: None,
+            provides: vec![Provided { iface: provides_iface.into(), effect }],
+            cpu_cost: 10,
+            exec_role: None,
+            node_role: None,
+            view_of: None,
+        }
+    }
+}
+
+/// A client request: "clients requesting access to an interface must
+/// first be authenticated and then authorized to receive an appropriate
+/// level of service".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Goal {
+    /// The interface the client requires.
+    pub iface: String,
+    /// The node where the client runs.
+    pub client_node: psf_netsim::NodeId,
+    /// Maximum acceptable access latency (ms), if any.
+    pub max_latency_ms: Option<f64>,
+    /// Privacy: plaintext must never cross an insecure link.
+    pub require_privacy: bool,
+    /// The client needs plaintext delivery (encrypted = false at the
+    /// client).
+    pub require_plaintext_delivery: bool,
+}
+
+impl Goal {
+    /// A simple goal: `iface` at `node`, private, plaintext delivery.
+    pub fn private(iface: impl Into<String>, node: psf_netsim::NodeId) -> Goal {
+        Goal {
+            iface: iface.into(),
+            client_node: node,
+            max_latency_ms: None,
+            require_privacy: true,
+            require_plaintext_delivery: true,
+        }
+    }
+
+    /// Whether properties at the client satisfy this goal.
+    pub fn satisfied_by(&self, props: &IfaceProps) -> bool {
+        if self.require_privacy && props.plaintext_exposed {
+            return false;
+        }
+        if self.require_plaintext_delivery && props.encrypted {
+            return false;
+        }
+        if let Some(max) = self.max_latency_ms {
+            if props.latency_ms > max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_transform_props() {
+        let src = Effect::Source.apply(None).unwrap();
+        assert!(!src.encrypted && !src.plaintext_exposed);
+
+        let enc = Effect::Encrypt.apply(Some(&src)).unwrap();
+        assert!(enc.encrypted);
+
+        let dec = Effect::Decrypt.apply(Some(&enc)).unwrap();
+        assert!(!dec.encrypted);
+
+        // Decrypting plaintext is ill-typed.
+        assert!(Effect::Decrypt.apply(Some(&src)).is_none());
+        // Identity needs an input.
+        assert!(Effect::Identity.apply(None).is_none());
+    }
+
+    #[test]
+    fn insecure_path_exposes_plaintext_but_not_ciphertext() {
+        let insecure = PathMetrics {
+            links: vec![],
+            latency_ms: 40.0,
+            bandwidth_mbps: 10.0,
+            all_secure: false,
+        };
+        let plain = IfaceProps::at_source();
+        let moved = plain.across(&insecure);
+        assert!(moved.plaintext_exposed);
+        assert!((moved.latency_ms - 40.0).abs() < 1e-9);
+
+        let enc = Effect::Encrypt.apply(Some(&plain)).unwrap();
+        let moved = enc.across(&insecure);
+        assert!(!moved.plaintext_exposed);
+    }
+
+    #[test]
+    fn cache_collapses_latency() {
+        let far = IfaceProps {
+            latency_ms: 80.0,
+            bandwidth_mbps: 10.0,
+            encrypted: false,
+            plaintext_exposed: false,
+        };
+        let cached = Effect::Cache.apply(Some(&far)).unwrap();
+        assert!(cached.latency_ms <= 1.0);
+    }
+
+    #[test]
+    fn goal_satisfaction() {
+        let g = Goal {
+            iface: "MailI".into(),
+            client_node: psf_netsim::NodeId(0),
+            max_latency_ms: Some(50.0),
+            require_privacy: true,
+            require_plaintext_delivery: true,
+        };
+        let ok = IfaceProps {
+            latency_ms: 10.0,
+            bandwidth_mbps: 100.0,
+            encrypted: false,
+            plaintext_exposed: false,
+        };
+        assert!(g.satisfied_by(&ok));
+        assert!(!g.satisfied_by(&IfaceProps { latency_ms: 90.0, ..ok.clone() }));
+        assert!(!g.satisfied_by(&IfaceProps { plaintext_exposed: true, ..ok.clone() }));
+        assert!(!g.satisfied_by(&IfaceProps { encrypted: true, ..ok }));
+    }
+}

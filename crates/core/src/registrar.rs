@@ -1,0 +1,109 @@
+//! The registrar: where applications register component templates (and
+//! view templates) and where the locations of already-running base
+//! components are recorded.
+
+use crate::model::ComponentSpec;
+use parking_lot::RwLock;
+use psf_netsim::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Component/template registry + base interface availability.
+#[derive(Clone, Default)]
+pub struct Registrar {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    specs: HashMap<String, ComponentSpec>,
+    // Already-executing components: (template name, hosting node).
+    deployed: Vec<(String, NodeId)>,
+}
+
+impl Registrar {
+    /// New empty registrar.
+    pub fn new() -> Registrar {
+        Registrar::default()
+    }
+
+    /// Register a component template (or a view template — views "enrich
+    /// the set of components available for dynamic deployment").
+    pub fn register(&self, spec: ComponentSpec) {
+        self.inner.write().specs.insert(spec.name.clone(), spec);
+    }
+
+    /// Remove a template (used by the with/without-views ablation, F6).
+    pub fn unregister(&self, name: &str) {
+        self.inner.write().specs.remove(name);
+    }
+
+    /// Record that an instance of `spec` is already running on `node`.
+    pub fn record_deployed(&self, spec: impl Into<String>, node: NodeId) {
+        self.inner.write().deployed.push((spec.into(), node));
+    }
+
+    /// Look up a template.
+    pub fn spec(&self, name: &str) -> Option<ComponentSpec> {
+        self.inner.read().specs.get(name).cloned()
+    }
+
+    /// All registered templates.
+    pub fn specs(&self) -> Vec<ComponentSpec> {
+        self.inner.read().specs.values().cloned().collect()
+    }
+
+    /// All view templates (those with `view_of` set).
+    pub fn view_specs(&self) -> Vec<ComponentSpec> {
+        self.inner
+            .read()
+            .specs
+            .values()
+            .filter(|s| s.view_of.is_some())
+            .cloned()
+            .collect()
+    }
+
+    /// The recorded running instances.
+    pub fn deployed(&self) -> Vec<(String, NodeId)> {
+        self.inner.read().deployed.clone()
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.inner.read().specs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Effect;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let r = Registrar::new();
+        r.register(ComponentSpec::source("MailServer", "MailI"));
+        r.register(
+            ComponentSpec::processor("ViewMailServer", "MailI", "MailI", Effect::Cache)
+                .view_of("MailServer"),
+        );
+        assert_eq!(r.len(), 2);
+        assert!(r.spec("MailServer").is_some());
+        assert_eq!(r.view_specs().len(), 1);
+        r.unregister("ViewMailServer");
+        assert_eq!(r.view_specs().len(), 0);
+    }
+
+    #[test]
+    fn deployed_instances_recorded() {
+        let r = Registrar::new();
+        r.record_deployed("MailServer", NodeId(3));
+        assert_eq!(r.deployed(), vec![("MailServer".to_string(), NodeId(3))]);
+    }
+}

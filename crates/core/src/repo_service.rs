@@ -1,0 +1,276 @@
+//! The distributed credential repository, actually distributed: serve a
+//! [`Repository`] over a Switchboard channel and consume it remotely
+//! through [`RemoteRepository`], which implements
+//! [`CredentialSource`] so the proof engine is location-transparent
+//! (paper §3.1: "dRBAC credentials are stored in a distributed
+//! repository … queries about credentials involving the entity [are]
+//! directed as appropriate to its home node").
+
+use parking_lot::Mutex;
+use psf_drbac::entity::{RoleName, Subject};
+use psf_drbac::repository::{CredentialSource, Repository};
+use psf_drbac::wire::{decode_credentials, encode_credentials};
+use psf_drbac::SignedDelegation;
+use psf_switchboard::Channel;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// RPC method names of the repository protocol.
+pub const QUERY_BY_SUBJECT: &str = "repo.query_by_subject";
+/// RPC method for object-role queries.
+pub const QUERY_BY_OBJECT: &str = "repo.query_by_object";
+
+fn subject_query_key(subject: &Subject) -> Vec<u8> {
+    // Reuse the delegation subject encoding for the query argument.
+    let mut out = Vec::new();
+    subject_encode(subject, &mut out);
+    out
+}
+
+fn subject_encode(s: &Subject, out: &mut Vec<u8>) {
+    match s {
+        Subject::Entity { name, key } => {
+            out.push(0);
+            out.extend_from_slice(&(name.0.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.0.as_bytes());
+            out.extend_from_slice(key.as_bytes());
+        }
+        Subject::Role(r) => {
+            out.push(1);
+            let s = r.to_string();
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn subject_decode(buf: &[u8]) -> Result<Subject, String> {
+    use psf_drbac::entity::EntityName;
+    use psf_crypto::ed25519::VerifyingKey;
+    if buf.is_empty() {
+        return Err("empty subject".into());
+    }
+    match buf[0] {
+        0 => {
+            if buf.len() < 5 {
+                return Err("truncated subject".into());
+            }
+            let len = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+            if buf.len() != 5 + len + 32 {
+                return Err("malformed entity subject".into());
+            }
+            let name = String::from_utf8(buf[5..5 + len].to_vec())
+                .map_err(|_| "bad name".to_string())?;
+            let key: [u8; 32] = buf[5 + len..].try_into().unwrap();
+            Ok(Subject::Entity { name: EntityName(name), key: VerifyingKey(key) })
+        }
+        1 => {
+            if buf.len() < 5 {
+                return Err("truncated subject".into());
+            }
+            let len = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+            if buf.len() != 5 + len {
+                return Err("malformed role subject".into());
+            }
+            let s = String::from_utf8(buf[5..].to_vec()).map_err(|_| "bad role".to_string())?;
+            RoleName::parse(&s).map(Subject::Role).map_err(|e| e.to_string())
+        }
+        t => Err(format!("bad subject tag {t}")),
+    }
+}
+
+/// Register the repository-protocol handlers on a channel, making this
+/// endpoint a credential home node.
+pub fn serve_repository(channel: &Channel, repository: Repository) {
+    let repo = repository.clone();
+    channel.register_handler(QUERY_BY_SUBJECT, move |args| {
+        let subject = subject_decode(args)?;
+        Ok(encode_credentials(&repo.query_by_subject(&subject)))
+    });
+    let repo = repository;
+    channel.register_handler(QUERY_BY_OBJECT, move |args| {
+        let role = RoleName::parse(&String::from_utf8_lossy(args))
+            .map_err(|e| e.to_string())?;
+        Ok(encode_credentials(&repo.query_by_object(&role)))
+    });
+}
+
+/// A [`CredentialSource`] backed by a remote repository channel, with a
+/// small response cache (credentials are immutable; revocation is
+/// enforced separately by the bus, so caching is sound).
+pub struct RemoteRepository {
+    channel: Arc<Channel>,
+    cache: Mutex<HashMap<Vec<u8>, Vec<SignedDelegation>>>,
+    caching: bool,
+}
+
+impl RemoteRepository {
+    /// Wrap a channel whose peer serves the repository protocol.
+    pub fn new(channel: Arc<Channel>) -> RemoteRepository {
+        RemoteRepository { channel, cache: Mutex::new(HashMap::new()), caching: true }
+    }
+
+    /// Disable the response cache (every query goes to the wire).
+    pub fn without_cache(mut self) -> RemoteRepository {
+        self.caching = false;
+        self
+    }
+
+    fn query(&self, method: &str, args: Vec<u8>) -> Vec<SignedDelegation> {
+        let cache_key = {
+            let mut k = method.as_bytes().to_vec();
+            k.push(0);
+            k.extend_from_slice(&args);
+            k
+        };
+        if self.caching {
+            if let Some(hit) = self.cache.lock().get(&cache_key) {
+                return hit.clone();
+            }
+        }
+        let result = self
+            .channel
+            .call(method, &args)
+            .ok()
+            .and_then(|bytes| decode_credentials(&bytes).ok())
+            .unwrap_or_default();
+        if self.caching {
+            self.cache.lock().insert(cache_key, result.clone());
+        }
+        result
+    }
+}
+
+impl CredentialSource for RemoteRepository {
+    fn credentials_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation> {
+        self.query(QUERY_BY_SUBJECT, subject_query_key(subject))
+    }
+
+    fn credentials_by_object(&self, role: &RoleName) -> Vec<SignedDelegation> {
+        self.query(QUERY_BY_OBJECT, role.to_string().into_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psf_drbac::entity::{Entity, EntityRegistry};
+    use psf_drbac::proof::ProofEngine;
+    use psf_drbac::revocation::RevocationBus;
+    use psf_drbac::DelegationBuilder;
+    use psf_switchboard::{pair_in_memory_plain, ChannelConfig};
+    use std::time::Duration;
+
+    fn quiet() -> ChannelConfig {
+        ChannelConfig {
+            heartbeat_interval: None,
+            rpc_timeout: Duration::from_secs(5),
+        }
+    }
+
+    struct RemoteWorld {
+        registry: EntityRegistry,
+        bus: RevocationBus,
+        remote: RemoteRepository,
+        _server_side: Channel,
+        ny: Entity,
+        bob: Entity,
+        cred_ids: Vec<String>,
+    }
+
+    fn remote_world(caching: bool) -> RemoteWorld {
+        let registry = EntityRegistry::new();
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let ny = Entity::with_seed("Comp.NY", b"remote");
+        let sd = Entity::with_seed("Comp.SD", b"remote");
+        let bob = Entity::with_seed("Bob", b"remote");
+        for e in [&ny, &sd, &bob] {
+            registry.register(e);
+        }
+        let c11 = DelegationBuilder::new(&sd)
+            .subject_entity(&bob)
+            .role(sd.role("Member"))
+            .sign();
+        let c2 = DelegationBuilder::new(&ny)
+            .subject_role(sd.role("Member"))
+            .role(ny.role("Member"))
+            .sign();
+        let cred_ids = vec![c11.id(), c2.id()];
+        repo.publish_at_issuer(c11);
+        repo.publish_at_issuer(c2);
+
+        let (client, server) = pair_in_memory_plain(quiet());
+        serve_repository(&server, repo);
+        let mut remote = RemoteRepository::new(Arc::new(client));
+        if !caching {
+            remote = remote.without_cache();
+        }
+        RemoteWorld { registry, bus, remote, _server_side: server, ny, bob, cred_ids }
+    }
+
+    #[test]
+    fn proof_search_over_a_remote_repository() {
+        let w = remote_world(true);
+        // The proof engine pulls both chain credentials across the channel.
+        let engine = ProofEngine::new(&w.registry, &w.remote, &w.bus, 0);
+        let (proof, _) = engine
+            .prove(&w.bob.as_subject(), &w.ny.role("Member"), &[])
+            .expect("remote discovery must find the chain");
+        assert_eq!(proof.edges.len(), 2);
+        let ids = proof.credential_ids();
+        assert!(w.cred_ids.iter().all(|id| ids.contains(id)));
+        // Re-verification works against the same remote source world.
+        proof.verify(&w.registry, &w.bus, 0).unwrap();
+    }
+
+    #[test]
+    fn remote_queries_decode_and_filter() {
+        let w = remote_world(false);
+        let found = w.remote.credentials_by_subject(&w.bob.as_subject());
+        assert_eq!(found.len(), 1);
+        let by_role = w.remote.credentials_by_object(&w.ny.role("Member"));
+        assert_eq!(by_role.len(), 1);
+        let none = w
+            .remote
+            .credentials_by_object(&RoleName::new("No.Such", "Role"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn cache_avoids_repeat_round_trips() {
+        let w = remote_world(true);
+        let a = w.remote.credentials_by_subject(&w.bob.as_subject());
+        // Sever the transport: cached answers still serve.
+        w._server_side.close();
+        std::thread::sleep(Duration::from_millis(30));
+        let b = w.remote.credentials_by_subject(&w.bob.as_subject());
+        assert_eq!(a, b);
+        // Uncached keys now return empty (transport gone), not panic.
+        let none = w.remote.credentials_by_object(&w.ny.role("Member"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn revocation_still_enforced_with_caching() {
+        let w = remote_world(true);
+        let engine = ProofEngine::new(&w.registry, &w.remote, &w.bus, 0);
+        assert!(engine.check(&w.bob.as_subject(), &w.ny.role("Member"), &[]));
+        // Revoke one chain credential: the cached credential is still
+        // *returned* but the engine rejects it via the bus.
+        w.bus.revoke(&w.cred_ids[0]);
+        assert!(!engine.check(&w.bob.as_subject(), &w.ny.role("Member"), &[]));
+    }
+
+    #[test]
+    fn malformed_queries_are_rejected_server_side() {
+        let w = remote_world(false);
+        let err = w._server_side.peer(); // placeholder: exercise channel api
+        let _ = err;
+        // Direct protocol-level garbage must error, not panic.
+        let (client, server) = pair_in_memory_plain(quiet());
+        serve_repository(&server, Repository::new());
+        assert!(client.call(QUERY_BY_SUBJECT, b"\xffgarbage").is_err());
+        assert!(client.call(QUERY_BY_OBJECT, b"no-dots-here").is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+use crate::chacha::{chacha20_block, chacha20_xor};
+use crate::ct::ct_eq;
+use crate::poly1305::Poly1305;
+use crate::CryptoError;
+
+/// An authenticated encryption context with a fixed 256-bit key.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; 32],
+}
+
+impl ChaCha20Poly1305 {
+    /// Create an AEAD with the given 256-bit key.
+    pub fn new(key: [u8; 32]) -> Self {
+        ChaCha20Poly1305 { key }
+    }
+
+    fn mac(&self, nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        // One-time Poly1305 key = first 32 bytes of keystream block 0.
+        let block0 = chacha20_block(&self.key, 0, nonce);
+        let mut otk = [0u8; 32];
+        otk.copy_from_slice(&block0[..32]);
+
+        let mut mac = Poly1305::new(&otk);
+        mac.update(aad);
+        mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypt `plaintext` with additional authenticated data `aad`.
+    /// Returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        chacha20_xor(&self.key, 1, nonce, &mut out);
+        let tag = self.mac(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypt `ciphertext || tag`; verifies the tag before releasing the
+    /// plaintext.
+    pub fn open(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < 16 {
+            return Err(CryptoError::BadLength);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - 16);
+        let expected = self.mac(nonce, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        let mut out = ciphertext.to_vec();
+        chacha20_xor(&self.key, 1, nonce, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let aead = ChaCha20Poly1305::new([5u8; 32]);
+        let nonce = [1u8; 12];
+        let sealed = aead.seal(&nonce, b"header", b"secret mail body");
+        let opened = aead.open(&nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"secret mail body");
+    }
+
+    #[test]
+    fn tamper_ciphertext_rejected() {
+        let aead = ChaCha20Poly1305::new([5u8; 32]);
+        let nonce = [1u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", b"payload");
+        sealed[0] ^= 1;
+        assert_eq!(aead.open(&nonce, b"", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tamper_tag_rejected() {
+        let aead = ChaCha20Poly1305::new([5u8; 32]);
+        let nonce = [1u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", b"payload");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(aead.open(&nonce, b"", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let aead = ChaCha20Poly1305::new([5u8; 32]);
+        let nonce = [1u8; 12];
+        let sealed = aead.seal(&nonce, b"aad-1", b"payload");
+        assert_eq!(aead.open(&nonce, b"aad-2", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let aead = ChaCha20Poly1305::new([5u8; 32]);
+        let sealed = aead.seal(&[1u8; 12], b"", b"payload");
+        assert_eq!(aead.open(&[2u8; 12], b"", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let aead = ChaCha20Poly1305::new([0u8; 32]);
+        let nonce = [0u8; 12];
+        let sealed = aead.seal(&nonce, b"only-aad", b"");
+        assert_eq!(sealed.len(), 16);
+        assert_eq!(aead.open(&nonce, b"only-aad", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let aead = ChaCha20Poly1305::new([0u8; 32]);
+        assert_eq!(
+            aead.open(&[0u8; 12], b"", &[0u8; 15]),
+            Err(CryptoError::BadLength)
+        );
+    }
+}

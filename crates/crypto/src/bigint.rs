@@ -1,0 +1,310 @@
+//! Minimal fixed-width big-integer helpers used by the scalar field
+//! (arithmetic modulo the Ed25519 group order ℓ) and by the runtime
+//! derivation of SHA-2 constants.
+//!
+//! Only the handful of operations we need are implemented; all are
+//! straightforward schoolbook algorithms operating on little-endian
+//! `u64` limbs.
+
+/// 256-bit unsigned integer, little-endian limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct U256(pub [u64; 4]);
+
+/// 512-bit unsigned integer, little-endian limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct U512(pub [u64; 8]);
+
+impl U256 {
+    pub const ZERO: U256 = U256([0; 4]);
+
+    pub fn from_le_bytes(b: &[u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[i * 8..i * 8 + 8]);
+            *limb = u64::from_le_bytes(w);
+        }
+        U256(limbs)
+    }
+
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// `self + rhs`, returning the sum and the carry-out bit.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (s1, c1) = a.overflowing_add(*b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *o = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// `self - rhs`, returning the difference and whether a borrow occurred.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (d1, b1) = a.overflowing_sub(*b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *o = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (U256(out), borrow != 0)
+    }
+
+    pub fn cmp_val(&self, other: &U256) -> core::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                core::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&l| l == 0)
+    }
+
+    /// Full 256×256 → 512-bit product.
+    pub fn widening_mul(self, rhs: U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let acc = out[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                out[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            // carry < 2^64 here; i+4 <= 7
+            out[i + 4] = out[i + 4].wrapping_add(carry as u64);
+        }
+        U512(out)
+    }
+}
+
+impl U512 {
+    pub fn from_le_bytes(b: &[u8; 64]) -> U512 {
+        let mut limbs = [0u64; 8];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[i * 8..i * 8 + 8]);
+            *limb = u64::from_le_bytes(w);
+        }
+        U512(limbs)
+    }
+
+    pub fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// `self mod m`, via binary long division. Requires `m < 2^255` and
+    /// `m != 0` so the running remainder never overflows 256 bits.
+    pub fn rem(self, m: &U256) -> U256 {
+        debug_assert!(!m.is_zero());
+        debug_assert!(m.0[3] >> 63 == 0, "modulus must be < 2^255");
+        let mut r = U256::ZERO;
+        for i in (0..512).rev() {
+            // r = (r << 1) | bit(i)
+            let mut carried = U256::ZERO;
+            let mut carry = self.bit(i) as u64;
+            for j in 0..4 {
+                carried.0[j] = (r.0[j] << 1) | carry;
+                carry = r.0[j] >> 63;
+            }
+            r = carried;
+            if r.cmp_val(m) != core::cmp::Ordering::Less {
+                r = r.overflowing_sub(*m).0;
+            }
+        }
+        r
+    }
+}
+
+/// Exact integer `n`-th root helpers used to derive SHA-2 constants.
+///
+/// `frac_root_bits(x, n, frac_bits)` computes
+/// `floor(x^(1/n) * 2^frac_bits) mod 2^64` — i.e. the first `frac_bits`
+/// fractional bits of the real n-th root of the integer `x`, as used by
+/// FIPS 180-4 to define round constants (cube roots) and initial hash
+/// values (square roots) from small primes.
+pub fn frac_root_bits(x: u64, n: u32, frac_bits: u32) -> u64 {
+    // We want floor((x << (n * frac_bits))^(1/n)); the integer part of the
+    // root occupies the bits above `frac_bits`, masking to u64 keeps the
+    // fractional word (frac_bits <= 64 and small x keeps everything tiny).
+    assert!(n == 2 || n == 3);
+    assert!(frac_bits <= 64);
+    let shift = (n * frac_bits) as usize;
+    // target = x << shift, as little-endian u64 limbs (at most 6 limbs for
+    // x < 2^16, n = 3, frac_bits = 64).
+    let mut target = [0u64; 8];
+    let limb = shift / 64;
+    let off = shift % 64;
+    target[limb] = x << off;
+    if off != 0 && limb + 1 < 8 {
+        target[limb + 1] = x >> (64 - off);
+    }
+
+    // Binary search the root r (fits easily in u128).
+    let mut lo: u128 = 0;
+    // The root is x^(1/n) * 2^frac_bits; for the primes used by SHA-2
+    // (x < 4096) the integer part fits in 6 bits.
+    assert!(x < 4096);
+    let mut hi: u128 = 1u128 << ((frac_bits as usize + 7).min(126));
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if cmp_le_arrays(&pow_le(mid, n), &target) != core::cmp::Ordering::Greater {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Keep only the fractional word: the bits below `frac_bits`.
+    if frac_bits == 64 {
+        lo as u64
+    } else {
+        (lo as u64) & ((1u64 << frac_bits) - 1)
+    }
+}
+
+/// Compare two little-endian limb arrays as integers.
+fn cmp_le_arrays(a: &[u64; 8], b: &[u64; 8]) -> core::cmp::Ordering {
+    for i in (0..8).rev() {
+        match a[i].cmp(&b[i]) {
+            core::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// `v^n` for small `n`, as 8 little-endian u64 limbs. Saturates to all-ones
+/// on overflow past 512 bits so that binary search treats it as "too big".
+fn pow_le(v: u128, n: u32) -> [u64; 8] {
+    let mut acc = [0u64; 8];
+    acc[0] = 1;
+    for _ in 0..n {
+        match mul_le(&acc, v) {
+            Some(next) => acc = next,
+            None => return [u64::MAX; 8],
+        }
+    }
+    acc
+}
+
+/// Multiply an 8-limb little-endian integer by a u128. Returns `None` on
+/// overflow past 512 bits.
+fn mul_le(a: &[u64; 8], v: u128) -> Option<[u64; 8]> {
+    let vl = [v as u64, (v >> 64) as u64];
+    let mut wide = [0u64; 10];
+    for (j, &vj) in vl.iter().enumerate() {
+        let mut carry: u128 = 0;
+        for i in 0..8 {
+            let acc = wide[i + j] as u128 + (a[i] as u128) * (vj as u128) + carry;
+            wide[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+        let mut k = 8 + j;
+        while carry != 0 && k < 10 {
+            let acc = wide[k] as u128 + carry;
+            wide[k] = acc as u64;
+            carry = acc >> 64;
+            k += 1;
+        }
+    }
+    if wide[8] != 0 || wide[9] != 0 {
+        return None;
+    }
+    let mut out = [0u64; 8];
+    out.copy_from_slice(&wide[..8]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u256_add_sub_roundtrip() {
+        let a = U256([u64::MAX, 1, 2, 3]);
+        let b = U256([5, 6, 7, 8]);
+        let (s, c) = a.overflowing_add(b);
+        assert!(!c);
+        let (d, bo) = s.overflowing_sub(b);
+        assert!(!bo);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn u256_mul_small() {
+        let a = U256([7, 0, 0, 0]);
+        let b = U256([9, 0, 0, 0]);
+        assert_eq!(a.widening_mul(b).0[0], 63);
+    }
+
+    #[test]
+    fn u256_mul_carries() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = U256([u64::MAX, 0, 0, 0]);
+        let p = a.widening_mul(a);
+        assert_eq!(p.0[0], 1);
+        assert_eq!(p.0[1], u64::MAX - 1);
+        assert_eq!(p.0[2], 0);
+    }
+
+    #[test]
+    fn u512_rem_simple() {
+        // 1000 mod 7 = 6
+        let mut x = U512::default();
+        x.0[0] = 1000;
+        let m = U256([7, 0, 0, 0]);
+        assert_eq!(x.rem(&m).0[0], 6);
+    }
+
+    #[test]
+    fn u512_rem_large() {
+        // (m * k + r) mod m == r for a big m.
+        let m = U256([0xdead_beef, 0x1234, 0, 1]); // ~2^192
+        let k = U256([0xffff_ffff_ffff, 0xabc, 99, 0]);
+        let r = U256([42, 7, 0, 0]);
+        let mut prod = m.widening_mul(k);
+        // prod += r
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = prod.0[i].overflowing_add(r.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            prod.0[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        assert_eq!(carry, 0);
+        assert_eq!(prod.rem(&m), r);
+    }
+
+    #[test]
+    fn frac_root_sqrt2() {
+        // First 64 fractional bits of sqrt(2) = 0x6a09e667f3bcc908
+        // (this is the well-known SHA-512 IV word h0).
+        assert_eq!(frac_root_bits(2, 2, 64), 0x6a09e667f3bcc908);
+        // First 32 fractional bits of sqrt(2) = SHA-256 IV h0.
+        assert_eq!(frac_root_bits(2, 2, 32), 0x6a09e667);
+    }
+
+    #[test]
+    fn frac_root_cbrt2() {
+        // First 32 fractional bits of cbrt(2) = SHA-256 K[0].
+        assert_eq!(frac_root_bits(2, 3, 32), 0x428a2f98);
+        // First 64 fractional bits of cbrt(2) = SHA-512 K[0].
+        assert_eq!(frac_root_bits(2, 3, 64), 0x428a2f98d728ae22);
+    }
+}

@@ -1,0 +1,46 @@
+//! Small constant-time comparison helpers.
+//!
+//! These avoid early-exit byte comparisons on secret data (MAC tags,
+//! shared secrets). We rely on `std::hint::black_box` to discourage the
+//! optimizer from reintroducing branches; this is best-effort, which is
+//! adequate for this research reproduction (see crate docs).
+
+/// Constant-time equality of two byte slices. Returns `false` for
+/// different lengths (length is not considered secret).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    std::hint::black_box(acc) == 0
+}
+
+/// Conditionally select `b` if `choice` is 1, else `a` (byte-wise).
+/// `choice` must be 0 or 1.
+pub fn ct_select(a: u8, b: u8, choice: u8) -> u8 {
+    debug_assert!(choice <= 1);
+    let mask = choice.wrapping_neg(); // 0x00 or 0xFF
+    (a & !mask) | (b & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select(0x12, 0x34, 0), 0x12);
+        assert_eq!(ct_select(0x12, 0x34, 1), 0x34);
+    }
+}

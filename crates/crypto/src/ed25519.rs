@@ -1,0 +1,240 @@
+//! Ed25519 signatures (the RFC 8032 construction).
+
+use crate::edwards::{mul_basepoint, EdwardsPoint};
+use crate::scalar::Scalar;
+use crate::sha2::Sha512;
+use crate::CryptoError;
+use rand::Rng;
+
+/// A 64-byte Ed25519 signature (`R || s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 64]);
+
+impl Signature {
+    /// Parse from raw bytes.
+    pub fn from_bytes(b: &[u8]) -> Result<Signature, CryptoError> {
+        if b.len() != 64 {
+            return Err(CryptoError::BadLength);
+        }
+        let mut out = [0u8; 64];
+        out.copy_from_slice(b);
+        Ok(Signature(out))
+    }
+
+    /// Raw bytes.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.0
+    }
+}
+
+/// An Ed25519 signing key (seed + cached expanded secret).
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    a: Scalar,        // clamped secret scalar
+    prefix: [u8; 32], // nonce-derivation prefix
+    public: VerifyingKey,
+}
+
+/// An Ed25519 verifying (public) key: compressed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VerifyingKey(pub [u8; 32]);
+
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+impl SigningKey {
+    /// Derive the key pair from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: [u8; 32]) -> SigningKey {
+        let h = crate::sha2::sha512(&seed);
+        let mut scalar_bytes = [0u8; 32];
+        scalar_bytes.copy_from_slice(&h[..32]);
+        let scalar_bytes = clamp(scalar_bytes);
+        // The clamped value is < 2^255; reduce mod ℓ for our canonical
+        // Scalar type (the group action is identical since ℓ·B = 𝒪).
+        let a = Scalar::from_bytes_mod_order(&scalar_bytes);
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public = VerifyingKey(mul_basepoint(&a).compress());
+        SigningKey { seed, a, prefix, public }
+    }
+
+    /// Generate a fresh random key pair.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> SigningKey {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        SigningKey::from_seed(seed)
+    }
+
+    /// The seed this key was derived from.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        // r = SHA-512(prefix || M) mod ℓ  (deterministic nonce)
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(msg);
+        let r = Scalar::from_bytes_mod_order_wide(&h.finalize());
+
+        let r_point = mul_basepoint(&r).compress();
+
+        // k = SHA-512(R || A || M) mod ℓ
+        let mut h = Sha512::new();
+        h.update(&r_point);
+        h.update(&self.public.0);
+        h.update(msg);
+        let k = Scalar::from_bytes_mod_order_wide(&h.finalize());
+
+        let s = r.add(&k.mul(&self.a));
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&r_point);
+        out[32..].copy_from_slice(&s.to_bytes());
+        Signature(out)
+    }
+}
+
+impl VerifyingKey {
+    /// Verify `sig` over `msg`.
+    ///
+    /// Rejects non-canonical `s` (malleability) and invalid point
+    /// encodings. Uses the cofactorless equation `s·B = R + k·A`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let mut r_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&sig.0[..32]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&sig.0[32..]);
+
+        let s = Scalar::from_canonical_bytes(&s_bytes)
+            .ok_or(CryptoError::NonCanonicalScalar)?;
+        let r_point = EdwardsPoint::decompress(&r_bytes)?;
+        let a_point = EdwardsPoint::decompress(&self.0)?;
+
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&self.0);
+        h.update(msg);
+        let k = Scalar::from_bytes_mod_order_wide(&h.finalize());
+
+        let lhs = mul_basepoint(&s);
+        let rhs = r_point.add(&a_point.mul_scalar(&k));
+        if lhs.eq_point(&rhs) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// Raw public key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Short hex fingerprint for diagnostics.
+    pub fn fingerprint(&self) -> String {
+        self.0[..6].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> SigningKey {
+        SigningKey::from_seed([n; 32])
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = key(1);
+        let sig = sk.sign(b"hello drbac");
+        sk.verifying_key().verify(b"hello drbac", &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = key(2);
+        let sig = sk.sign(b"original");
+        assert_eq!(
+            sk.verifying_key().verify(b"0riginal", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sig = key(3).sign(b"msg");
+        assert!(key(4).verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = key(5);
+        let mut sig = sk.sign(b"msg");
+        sig.0[0] ^= 1;
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let sk = key(6);
+        assert_eq!(sk.sign(b"m"), sk.sign(b"m"));
+        assert_ne!(sk.sign(b"m").0, sk.sign(b"n").0);
+    }
+
+    #[test]
+    fn malleability_rejected() {
+        // Add ℓ to s: same value mod ℓ but non-canonical encoding.
+        let sk = key(7);
+        let sig = sk.sign(b"m");
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&sig.0[32..]);
+        let s = crate::bigint::U256::from_le_bytes(&s_bytes);
+        let (s_plus_l, overflow) = s.overflowing_add(crate::scalar::L);
+        if !overflow {
+            let mut forged = sig;
+            forged.0[32..].copy_from_slice(&s_plus_l.to_le_bytes());
+            assert_eq!(
+                sk.verifying_key().verify(b"m", &forged),
+                Err(CryptoError::NonCanonicalScalar)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let sk = key(8);
+        let sig = sk.sign(b"");
+        sk.verifying_key().verify(b"", &sig).unwrap();
+    }
+
+    #[test]
+    fn large_message_signs() {
+        let sk = key(9);
+        let msg = vec![0xa5u8; 100_000];
+        let sig = sk.sign(&msg);
+        sk.verifying_key().verify(&msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn generated_keys_differ() {
+        let mut rng = rand::rng();
+        let a = SigningKey::generate(&mut rng);
+        let b = SigningKey::generate(&mut rng);
+        assert_ne!(a.verifying_key(), b.verifying_key());
+        let sig = a.sign(b"x");
+        assert!(b.verifying_key().verify(b"x", &sig).is_err());
+        a.verifying_key().verify(b"x", &sig).unwrap();
+    }
+}

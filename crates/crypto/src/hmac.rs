@@ -1,0 +1,138 @@
+//! HMAC (RFC 2104) and HKDF (RFC 5869) over the SHA-2 family.
+
+use crate::sha2::{Sha256, Sha512};
+
+/// HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    const BLOCK: usize = 64;
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&crate::sha2::sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HMAC-SHA-512.
+pub fn hmac_sha512(key: &[u8], msg: &[u8]) -> [u8; 64] {
+    const BLOCK: usize = 128;
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..64].copy_from_slice(&crate::sha2::sha512(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha512::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha512::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-Extract with SHA-256: `PRK = HMAC(salt, ikm)`.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand with SHA-256; panics if `out.len() > 255 * 32`.
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut produced = 0usize;
+    let mut counter = 1u8;
+    while produced < out.len() {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        let take = (out.len() - produced).min(32);
+        out[produced..produced + take].copy_from_slice(&block[..take]);
+        produced += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-call HKDF: extract then expand.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case1_sha256() {
+        // RFC 4231 test case 1.
+        let key = [0x0bu8; 20];
+        let out = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&out),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_sha256() {
+        let out = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&out),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        let key = vec![0xaau8; 200];
+        // Must equal HMAC with the hashed key.
+        let hashed = crate::sha2::sha256(&key);
+        assert_eq!(hmac_sha256(&key, b"m"), hmac_sha256(&hashed, b"m"));
+    }
+
+    #[test]
+    fn hkdf_lengths() {
+        let mut out = vec![0u8; 100];
+        hkdf(b"salt", b"ikm", b"info", &mut out);
+        let mut out2 = vec![0u8; 100];
+        hkdf(b"salt", b"ikm", b"info", &mut out2);
+        assert_eq!(out, out2);
+        let mut out3 = vec![0u8; 100];
+        hkdf(b"salt", b"ikm", b"other", &mut out3);
+        assert_ne!(out, out3);
+        // Prefix property: a shorter expand is a prefix of a longer one.
+        let mut short = vec![0u8; 17];
+        hkdf(b"salt", b"ikm", b"info", &mut short);
+        assert_eq!(&out[..17], &short[..]);
+    }
+
+    #[test]
+    fn hmac512_differs_from_hmac256() {
+        let a = hmac_sha256(b"k", b"m");
+        let b = hmac_sha512(b"k", b"m");
+        assert_ne!(&a[..], &b[..32]);
+    }
+}

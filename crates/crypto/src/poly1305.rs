@@ -1,0 +1,235 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5), implemented with
+//! radix-2^26 limbs (the "donna" layout).
+
+/// Incremental Poly1305 MAC. The key must never be reused across messages;
+/// the AEAD construction derives a fresh one per nonce.
+pub struct Poly1305 {
+    r: [u64; 5],
+    s: [u64; 2],
+    h: [u64; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+const MASK26: u64 = (1 << 26) - 1;
+
+impl Poly1305 {
+    /// Initialize with a 32-byte one-time key (`r || s`).
+    pub fn new(key: &[u8; 32]) -> Self {
+        // Clamp r per RFC 8439 §2.5.
+        let t0 = u64::from_le_bytes(key[0..8].try_into().unwrap());
+        let t1 = u64::from_le_bytes(key[8..16].try_into().unwrap());
+        let t0 = t0 & 0x0FFF_FFFC_0FFF_FFFF;
+        let t1 = t1 & 0x0FFF_FFFC_0FFF_FFFC;
+        let r = [
+            t0 & MASK26,
+            (t0 >> 26) & MASK26,
+            ((t0 >> 52) | (t1 << 12)) & MASK26,
+            (t1 >> 14) & MASK26,
+            (t1 >> 40) & MASK26,
+        ];
+        let s = [
+            u64::from_le_bytes(key[16..24].try_into().unwrap()),
+            u64::from_le_bytes(key[24..32].try_into().unwrap()),
+        ];
+        Poly1305 { r, s, h: [0; 5], buf: [0; 16], buf_len: 0 }
+    }
+
+    fn block(&mut self, block: &[u8; 16], hibit: u64) {
+        let t0 = u64::from_le_bytes(block[0..8].try_into().unwrap());
+        let t1 = u64::from_le_bytes(block[8..16].try_into().unwrap());
+        // h += m (with the 2^128 bit for full blocks)
+        self.h[0] += t0 & MASK26;
+        self.h[1] += (t0 >> 26) & MASK26;
+        self.h[2] += ((t0 >> 52) | (t1 << 12)) & MASK26;
+        self.h[3] += (t1 >> 14) & MASK26;
+        self.h[4] += (t1 >> 40) | (hibit << 24);
+
+        let [r0, r1, r2, r3, r4] = self.r;
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+        let [h0, h1, h2, h3, h4] = self.h;
+
+        // h *= r mod 2^130 - 5 (schoolbook with wraparound-by-5).
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut c;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        d0 &= MASK26;
+        d1 += c;
+        c = d1 >> 26;
+        d1 &= MASK26;
+        d2 += c;
+        c = d2 >> 26;
+        d2 &= MASK26;
+        d3 += c;
+        c = d3 >> 26;
+        d3 &= MASK26;
+        d4 += c;
+        c = d4 >> 26;
+        d4 &= MASK26;
+        d0 += c * 5;
+        c = d0 >> 26;
+        d0 &= MASK26;
+        d1 += c;
+
+        self.h = [d0, d1, d2, d3, d4];
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.block(&block, 1);
+                self.buf_len = 0;
+            } else {
+                return; // buffer not full ⇒ data exhausted
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.block(&block, 1);
+            data = &data[16..];
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Produce the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            // Final partial block: append 0x01 then zero-pad; no 2^128 bit.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.block(&block, 0);
+        }
+        // Full carry.
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        let mut c;
+        c = h1 >> 26;
+        h1 &= MASK26;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= MASK26;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= MASK26;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= MASK26;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= MASK26;
+        h1 += c;
+
+        // Compute h + -p = h - (2^130 - 5): g = h + 5, then take g - 2^130
+        // if it did not borrow.
+        let mut g0 = h0 + 5;
+        c = g0 >> 26;
+        g0 &= MASK26;
+        let mut g1 = h1 + c;
+        c = g1 >> 26;
+        g1 &= MASK26;
+        let mut g2 = h2 + c;
+        c = g2 >> 26;
+        g2 &= MASK26;
+        let mut g3 = h3 + c;
+        c = g3 >> 26;
+        g3 &= MASK26;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // If g4's sign bit is clear, h >= p and we use g.
+        let mask = (g4 >> 63).wrapping_sub(1); // all-ones if h >= p
+        g0 = (h0 & !mask) | (g0 & mask);
+        g1 = (h1 & !mask) | (g1 & mask);
+        g2 = (h2 & !mask) | (g2 & mask);
+        g3 = (h3 & !mask) | (g3 & mask);
+        let g4 = (h4 & !mask) | (g4 & mask & ((1 << 26) - 1));
+
+        // Collapse to 128 bits and add s (mod 2^128).
+        let lo = g0 | (g1 << 26) | (g2 << 52);
+        let hi = (g2 >> 12) | (g3 << 14) | (g4 << 40);
+        let (lo, carry) = lo.overflowing_add(self.s[0]);
+        let hi = hi.wrapping_add(self.s[1]).wrapping_add(carry as u64);
+
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&lo.to_le_bytes());
+        out[8..].copy_from_slice(&hi.to_le_bytes());
+        out
+    }
+}
+
+/// One-shot Poly1305 MAC.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key_bytes =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [0x42u8; 32];
+        let msg: Vec<u8> = (0..200u32).map(|i| (i % 256) as u8).collect();
+        for split in [0, 1, 15, 16, 17, 31, 32, 100, 199, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), poly1305(&key, &msg), "split {split}");
+        }
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let k1 = [1u8; 32];
+        let k2 = [2u8; 32];
+        assert_ne!(poly1305(&k1, b"msg"), poly1305(&k2, b"msg"));
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [9u8; 32];
+        // Empty message: tag == s (no blocks processed).
+        let tag = poly1305(&key, b"");
+        assert_eq!(&tag[..], &key[16..32]);
+    }
+}

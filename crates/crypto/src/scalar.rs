@@ -1,0 +1,153 @@
+//! Arithmetic modulo the Ed25519 group order
+//! ℓ = 2^252 + 27742317777372353535851937790883648493.
+//!
+//! Scalars are stored canonically (little-endian, < ℓ). Products go through
+//! a 512-bit intermediate reduced by binary long division — slow but simple
+//! and obviously correct; signing performs only a handful of these.
+
+use crate::bigint::{U256, U512};
+
+/// The group order ℓ as a [`U256`].
+pub(crate) const L: U256 = U256([
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+]);
+
+/// A scalar modulo ℓ, canonical little-endian representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The scalar 0.
+    pub const ZERO: Scalar = Scalar(U256([0; 4]));
+
+    /// Construct from a u64.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(U256([v, 0, 0, 0]))
+    }
+
+    /// Reduce 32 little-endian bytes modulo ℓ.
+    pub fn from_bytes_mod_order(b: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(b);
+        Scalar::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// Reduce 64 little-endian bytes modulo ℓ (used for SHA-512 outputs).
+    pub fn from_bytes_mod_order_wide(b: &[u8; 64]) -> Scalar {
+        Scalar(U512::from_le_bytes(b).rem(&L))
+    }
+
+    /// Parse a canonical scalar; returns `None` if `b >= ℓ` (used for
+    /// signature malleability rejection).
+    pub fn from_canonical_bytes(b: &[u8; 32]) -> Option<Scalar> {
+        let v = U256::from_le_bytes(b);
+        if v.cmp_val(&L) == core::cmp::Ordering::Less {
+            Some(Scalar(v))
+        } else {
+            None
+        }
+    }
+
+    /// Canonical little-endian encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_le_bytes()
+    }
+
+    /// `self + rhs mod ℓ`.
+    pub fn add(&self, rhs: &Scalar) -> Scalar {
+        let (sum, carry) = self.0.overflowing_add(rhs.0);
+        debug_assert!(!carry, "canonical scalars sum below 2^256");
+        let mut r = sum;
+        if r.cmp_val(&L) != core::cmp::Ordering::Less {
+            r = r.overflowing_sub(L).0;
+        }
+        Scalar(r)
+    }
+
+    /// `self - rhs mod ℓ`.
+    pub fn sub(&self, rhs: &Scalar) -> Scalar {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        if borrow {
+            Scalar(diff.overflowing_add(L).0)
+        } else {
+            Scalar(diff)
+        }
+    }
+
+    /// `self * rhs mod ℓ`.
+    pub fn mul(&self, rhs: &Scalar) -> Scalar {
+        Scalar(self.0.widening_mul(rhs.0).rem(&L))
+    }
+
+    /// True for the zero scalar.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let s = Scalar::from_bytes_mod_order(&L.to_le_bytes());
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical() {
+        let (lm1, _) = L.overflowing_sub(U256([1, 0, 0, 0]));
+        let s = Scalar::from_canonical_bytes(&lm1.to_le_bytes()).unwrap();
+        assert_eq!(s.add(&Scalar::from_u64(1)), Scalar::ZERO);
+    }
+
+    #[test]
+    fn l_is_rejected_as_canonical() {
+        assert!(Scalar::from_canonical_bytes(&L.to_le_bytes()).is_none());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Scalar::from_u64(0xdead_beef_cafe);
+        let b = Scalar::from_u64(0x1234_5678);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(Scalar::ZERO.sub(&b).add(&b), Scalar::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = Scalar::from_u64(1 << 40);
+        let b = Scalar::from_u64(1 << 20);
+        let expect = Scalar::from_bytes_mod_order(&{
+            let mut bytes = [0u8; 32];
+            let v: u128 = 1u128 << 60;
+            bytes[..16].copy_from_slice(&v.to_le_bytes());
+            bytes
+        });
+        assert_eq!(a.mul(&b), expect);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let a = Scalar::from_u64(987654321);
+        let b = Scalar::from_u64(123456789);
+        let c = Scalar::from_u64(555555555);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn wide_reduction_matches_narrow() {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&[0xabu8; 32]);
+        let narrow: [u8; 32] = [0xab; 32];
+        assert_eq!(
+            Scalar::from_bytes_mod_order_wide(&wide),
+            Scalar::from_bytes_mod_order(&narrow)
+        );
+    }
+}

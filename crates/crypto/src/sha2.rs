@@ -1,0 +1,394 @@
+//! SHA-256 and SHA-512 (FIPS 180-4).
+//!
+//! The round constants (fractional cube roots of the first 64/80 primes)
+//! and initial hash values (fractional square roots of the first 8 primes)
+//! are derived at runtime by exact integer root extraction in
+//! [`crate::bigint`], then the whole construction is validated against the
+//! FIPS known-answer digests in the test module. This removes the usual
+//! risk of a silently mistranscribed constant table.
+
+use crate::bigint::frac_root_bits;
+use std::sync::OnceLock;
+
+/// First `n` primes, by trial division.
+fn primes(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while out.len() < n {
+        if out.iter().take_while(|&&p| p * p <= cand).all(|&p| !cand.is_multiple_of(p)) {
+            out.push(cand);
+        }
+        cand += 1;
+    }
+    out
+}
+
+fn k256() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let ps = primes(64);
+        let mut k = [0u32; 64];
+        for (i, &p) in ps.iter().enumerate() {
+            k[i] = frac_root_bits(p, 3, 32) as u32;
+        }
+        k
+    })
+}
+
+fn iv256() -> &'static [u32; 8] {
+    static IV: OnceLock<[u32; 8]> = OnceLock::new();
+    IV.get_or_init(|| {
+        let ps = primes(8);
+        let mut h = [0u32; 8];
+        for (i, &p) in ps.iter().enumerate() {
+            h[i] = frac_root_bits(p, 2, 32) as u32;
+        }
+        h
+    })
+}
+
+fn k512() -> &'static [u64; 80] {
+    static K: OnceLock<[u64; 80]> = OnceLock::new();
+    K.get_or_init(|| {
+        let ps = primes(80);
+        let mut k = [0u64; 80];
+        for (i, &p) in ps.iter().enumerate() {
+            k[i] = frac_root_bits(p, 3, 64);
+        }
+        k
+    })
+}
+
+fn iv512() -> &'static [u64; 8] {
+    static IV: OnceLock<[u64; 8]> = OnceLock::new();
+    IV.get_or_init(|| {
+        let ps = primes(8);
+        let mut h = [0u64; 8];
+        for (i, &p) in ps.iter().enumerate() {
+            h[i] = frac_root_bits(p, 2, 64);
+        }
+        h
+    })
+}
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 { state: *iv256(), buf: [0; 64], buf_len: 0, total_len: 0 }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            } else {
+                return; // buffer not full ⇒ data exhausted
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Finish and produce the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Appending the length must not be counted in total_len, but we've
+        // already captured bit_len, so update() bookkeeping is harmless.
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = k256();
+        let mut w = [0u32; 64];
+        for (i, wi) in w.iter_mut().take(16).enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&block[i * 4..i * 4 + 4]);
+            *wi = u32::from_be_bytes(b);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Incremental SHA-512 hasher.
+#[derive(Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    total_len: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha512 { state: *iv512(), buf: [0; 128], buf_len: 0, total_len: 0 }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u128);
+        if self.buf_len > 0 {
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 128 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            } else {
+                return; // buffer not full ⇒ data exhausted
+            }
+        }
+        while data.len() >= 128 {
+            let mut block = [0u8; 128];
+            block.copy_from_slice(&data[..128]);
+            self.compress(&block);
+            data = &data[128..];
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Finish and produce the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; 64] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 112 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 64];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 128]) {
+        let k = k512();
+        let mut w = [0u64; 80];
+        for (i, wi) in w.iter_mut().take(16).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&block[i * 8..i * 8 + 8]);
+            *wi = u64::from_be_bytes(b);
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-512.
+pub fn sha512(data: &[u8]) -> [u8; 64] {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn primes_are_right() {
+        assert_eq!(primes(10), vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        assert_eq!(*primes(80).last().unwrap(), 409);
+    }
+
+    #[test]
+    fn sha256_fips_empty() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_fips_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_fips_two_block() {
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha512_fips_abc() {
+        assert_eq!(
+            hex(&sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn sha512_fips_empty() {
+        assert_eq!(
+            hex(&sha512(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i * 31 % 251) as u8).collect();
+        for split in [0, 1, 13, 63, 64, 65, 127, 128, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split {split}");
+            let mut h = Sha512::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha512(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-4 long-message vector.
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+}

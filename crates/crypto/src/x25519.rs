@@ -1,0 +1,142 @@
+//! X25519 Diffie-Hellman key agreement (RFC 7748), via the Montgomery
+//! ladder on the u-coordinate.
+
+use crate::field::Fe;
+
+/// The Montgomery curve base point u = 9.
+pub const X25519_BASEPOINT_U: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+fn decode_scalar(k: &[u8; 32]) -> [u8; 32] {
+    let mut s = *k;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// Scalar multiplication on the Montgomery u-line: `k · u`.
+///
+/// Implements the RFC 7748 ladder with a swap-flag driven conditional swap.
+pub fn x25519(k: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = decode_scalar(k);
+    // RFC 7748: mask the top bit of u before decoding.
+    let mut u_bytes = *u;
+    u_bytes[31] &= 0x7f;
+    let x1 = Fe::from_bytes(&u_bytes);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u8;
+
+    let a24 = Fe::from_u64(121665);
+
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1;
+        swap ^= k_t;
+        if swap == 1 {
+            core::mem::swap(&mut x2, &mut x3);
+            core::mem::swap(&mut z2, &mut z3);
+        }
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&a24.mul(&e)));
+    }
+    if swap == 1 {
+        core::mem::swap(&mut x2, &mut x3);
+        core::mem::swap(&mut z2, &mut z3);
+    }
+
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// Compute the public key for a secret scalar: `k · 9`.
+pub fn x25519_base(k: &[u8; 32]) -> [u8; 32] {
+    x25519(k, &X25519_BASEPOINT_U)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        // RFC 7748 §5.2 first test vector.
+        let k = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&k, &u);
+        assert_eq!(
+            out,
+            unhex32("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+        );
+    }
+
+    #[test]
+    fn diffie_hellman_agreement() {
+        let alice_sk = [0x11u8; 32];
+        let bob_sk = [0x22u8; 32];
+        let alice_pk = x25519_base(&alice_sk);
+        let bob_pk = x25519_base(&bob_sk);
+        let s1 = x25519(&alice_sk, &bob_pk);
+        let s2 = x25519(&bob_sk, &alice_pk);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, [0u8; 32]);
+    }
+
+    #[test]
+    fn different_secrets_different_shared() {
+        let pk = x25519_base(&[0x33u8; 32]);
+        let s1 = x25519(&[0x44u8; 32], &pk);
+        let s2 = x25519(&[0x55u8; 32], &pk);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn iterated_ladder_stays_consistent() {
+        // k, u = k·u iterated a few times must match itself when recomputed;
+        // exercises many field-arithmetic corner cases.
+        let mut k = [0x77u8; 32];
+        let mut u = X25519_BASEPOINT_U;
+        for _ in 0..10 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+        }
+        let again = {
+            let mut k2 = [0x77u8; 32];
+            let mut u2 = X25519_BASEPOINT_U;
+            for _ in 0..10 {
+                let r = x25519(&k2, &u2);
+                u2 = k2;
+                k2 = r;
+            }
+            k2
+        };
+        assert_eq!(k, again);
+    }
+}

@@ -1,0 +1,297 @@
+//! Valued attributes on delegations, with attenuation.
+//!
+//! Paper examples (Table 2): `Secure={true,false}`, `Trust=(0,10)`,
+//! `CPU=100`. When delegations chain, the rights they convey can only
+//! *narrow*: ranges and sets intersect, capacities take the minimum.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// A capacity-style number (e.g. `CPU=100`); attenuates by minimum.
+    Capacity(i64),
+    /// An inclusive numeric range (e.g. `Trust=(0,10)`); attenuates by
+    /// intersection. An empty intersection kills the chain.
+    Range(i64, i64),
+    /// A set of admissible symbolic values (e.g. `Secure={true,false}`);
+    /// attenuates by intersection.
+    Set(BTreeSet<String>),
+}
+
+impl AttrValue {
+    /// Build a [`AttrValue::Set`] from string items.
+    pub fn set<I: IntoIterator<Item = S>, S: Into<String>>(items: I) -> AttrValue {
+        AttrValue::Set(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Attenuate `self` by `other`; `None` means the combination is empty
+    /// (the chain conveys nothing for this attribute and is invalid).
+    pub fn attenuate(&self, other: &AttrValue) -> Option<AttrValue> {
+        match (self, other) {
+            (AttrValue::Capacity(a), AttrValue::Capacity(b)) => {
+                Some(AttrValue::Capacity(*a.min(b)))
+            }
+            (AttrValue::Range(lo1, hi1), AttrValue::Range(lo2, hi2)) => {
+                let lo = *lo1.max(lo2);
+                let hi = *hi1.min(hi2);
+                if lo <= hi {
+                    Some(AttrValue::Range(lo, hi))
+                } else {
+                    None
+                }
+            }
+            (AttrValue::Set(a), AttrValue::Set(b)) => {
+                let i: BTreeSet<String> = a.intersection(b).cloned().collect();
+                if i.is_empty() {
+                    None
+                } else {
+                    Some(AttrValue::Set(i))
+                }
+            }
+            // Mixed kinds: treat a capacity as the range [0, cap].
+            (AttrValue::Capacity(a), AttrValue::Range(lo, hi))
+            | (AttrValue::Range(lo, hi), AttrValue::Capacity(a)) => {
+                AttrValue::Range(0, *a).attenuate(&AttrValue::Range(*lo, *hi))
+            }
+            // A set cannot meet a numeric kind.
+            _ => None,
+        }
+    }
+
+    /// Whether this value *satisfies* a required value. Capacities demand
+    /// `have ≥ need` (a chain granting CPU=80 cannot host a CPU=90
+    /// component); other kinds require a non-empty intersection.
+    pub fn satisfies(&self, required: &AttrValue) -> bool {
+        match (self, required) {
+            (AttrValue::Capacity(have), AttrValue::Capacity(need)) => have >= need,
+            (AttrValue::Range(_, hi), AttrValue::Capacity(need)) => hi >= need,
+            _ => self.attenuate(required).is_some(),
+        }
+    }
+
+    /// Paper-syntax rendering (`(0,10)`, `{true,false}`, `100`).
+    pub fn render(&self) -> String {
+        match self {
+            AttrValue::Capacity(v) => v.to_string(),
+            AttrValue::Range(lo, hi) => format!("({lo},{hi})"),
+            AttrValue::Set(s) => {
+                let items: Vec<&str> = s.iter().map(String::as_str).collect();
+                format!("{{{}}}", items.join(","))
+            }
+        }
+    }
+
+    /// Canonical byte encoding for signing.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AttrValue::Capacity(v) => {
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            AttrValue::Range(lo, hi) => {
+                out.push(1);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            AttrValue::Set(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                for item in s {
+                    out.extend_from_slice(&(item.len() as u32).to_le_bytes());
+                    out.extend_from_slice(item.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// An ordered attribute map (`name → value`). Ordered so the signed
+/// encoding is canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttrSet(pub BTreeMap<String, AttrValue>);
+
+impl AttrSet {
+    /// The empty attribute set (conveys the role unconditionally).
+    pub fn new() -> AttrSet {
+        AttrSet::default()
+    }
+
+    /// Builder: insert an attribute.
+    pub fn with(mut self, name: impl Into<String>, value: AttrValue) -> AttrSet {
+        self.0.insert(name.into(), value);
+        self
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.0.get(name)
+    }
+
+    /// True if no attributes are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Attenuate this set by the next hop's attributes. Keys present in
+    /// both must intersect non-emptily (else `None`); keys present in only
+    /// one side carry over (a delegation can *add* constraints).
+    pub fn attenuate(&self, next: &AttrSet) -> Option<AttrSet> {
+        let mut out = self.0.clone();
+        for (k, v) in &next.0 {
+            match out.get(k) {
+                Some(existing) => {
+                    let narrowed = existing.attenuate(v)?;
+                    out.insert(k.clone(), narrowed);
+                }
+                None => {
+                    out.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        Some(AttrSet(out))
+    }
+
+    /// Whether this set satisfies all `required` attributes: every required
+    /// key must be present and compatible.
+    pub fn satisfies(&self, required: &AttrSet) -> bool {
+        required.0.iter().all(|(k, req)| {
+            self.0
+                .get(k)
+                .map(|have| have.satisfies(req))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Paper-syntax rendering: `with CPU=100 Trust=(0,10)` (empty string
+    /// when no attributes).
+    pub fn render(&self) -> String {
+        if self.0.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.render()))
+            .collect();
+        format!(" with {}", parts.join(" "))
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u32).to_le_bytes());
+        for (k, v) in &self.0 {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k.as_bytes());
+            v.encode(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_takes_min() {
+        let a = AttrValue::Capacity(100);
+        let b = AttrValue::Capacity(80);
+        assert_eq!(a.attenuate(&b), Some(AttrValue::Capacity(80)));
+        assert_eq!(b.attenuate(&a), Some(AttrValue::Capacity(80)));
+    }
+
+    #[test]
+    fn range_intersects() {
+        let a = AttrValue::Range(0, 10);
+        let b = AttrValue::Range(5, 20);
+        assert_eq!(a.attenuate(&b), Some(AttrValue::Range(5, 10)));
+        let disjoint = AttrValue::Range(11, 20);
+        assert_eq!(a.attenuate(&disjoint), None);
+    }
+
+    #[test]
+    fn set_intersects() {
+        let a = AttrValue::set(["true", "false"]);
+        let b = AttrValue::set(["false"]);
+        assert_eq!(a.attenuate(&b), Some(AttrValue::set(["false"])));
+        assert_eq!(
+            AttrValue::set(["true"]).attenuate(&AttrValue::set(["false"])),
+            None
+        );
+    }
+
+    #[test]
+    fn capacity_meets_range() {
+        let cap = AttrValue::Capacity(7);
+        let range = AttrValue::Range(3, 10);
+        assert_eq!(cap.attenuate(&range), Some(AttrValue::Range(3, 7)));
+    }
+
+    #[test]
+    fn set_meets_number_is_empty() {
+        assert_eq!(
+            AttrValue::set(["x"]).attenuate(&AttrValue::Capacity(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn attrset_carries_unshared_keys() {
+        let a = AttrSet::new().with("CPU", AttrValue::Capacity(100));
+        let b = AttrSet::new().with("Trust", AttrValue::Range(0, 5));
+        let c = a.attenuate(&b).unwrap();
+        assert_eq!(c.get("CPU"), Some(&AttrValue::Capacity(100)));
+        assert_eq!(c.get("Trust"), Some(&AttrValue::Range(0, 5)));
+    }
+
+    #[test]
+    fn attrset_attenuates_shared_keys() {
+        let a = AttrSet::new().with("CPU", AttrValue::Capacity(100));
+        let b = AttrSet::new().with("CPU", AttrValue::Capacity(80));
+        assert_eq!(
+            a.attenuate(&b).unwrap().get("CPU"),
+            Some(&AttrValue::Capacity(80))
+        );
+    }
+
+    #[test]
+    fn attrset_empty_intersection_fails() {
+        let a = AttrSet::new().with("Secure", AttrValue::set(["true"]));
+        let b = AttrSet::new().with("Secure", AttrValue::set(["false"]));
+        assert!(a.attenuate(&b).is_none());
+    }
+
+    #[test]
+    fn satisfies_checks_all_required() {
+        let have = AttrSet::new()
+            .with("CPU", AttrValue::Capacity(80))
+            .with("Secure", AttrValue::set(["true", "false"]));
+        let need = AttrSet::new().with("Secure", AttrValue::set(["true"]));
+        assert!(have.satisfies(&need));
+        let need_missing = AttrSet::new().with("Mem", AttrValue::Capacity(1));
+        assert!(!have.satisfies(&need_missing));
+    }
+
+    #[test]
+    fn render_paper_syntax() {
+        let a = AttrSet::new()
+            .with("Secure", AttrValue::set(["false", "true"]))
+            .with("Trust", AttrValue::Range(0, 10));
+        assert_eq!(a.render(), " with Secure={false,true} Trust=(0,10)");
+        assert_eq!(AttrSet::new().render(), "");
+    }
+
+    #[test]
+    fn encoding_is_canonical_under_insert_order() {
+        let a = AttrSet::new()
+            .with("B", AttrValue::Capacity(2))
+            .with("A", AttrValue::Capacity(1));
+        let b = AttrSet::new()
+            .with("A", AttrValue::Capacity(1))
+            .with("B", AttrValue::Capacity(2));
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        a.encode(&mut ea);
+        b.encode(&mut eb);
+        assert_eq!(ea, eb);
+    }
+}

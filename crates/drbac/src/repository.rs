@@ -1,0 +1,408 @@
+//! The distributed credential repository with **discovery tags**
+//! (paper §3.1).
+//!
+//! Credentials are sharded across *home nodes* (one per issuing domain).
+//! A credential may carry discovery tags identifying it as "searchable
+//! from subject" and/or "searchable from object"; tagged credentials are
+//! advertised in a global tag index so queries can be *directed* to the
+//! right home instead of broadcast to every shard. The repository counts
+//! the query messages it sends, which experiment **F8** uses to compare
+//! tag-directed against broadcast discovery.
+
+use crate::delegation::SignedDelegation;
+use crate::entity::{EntityName, RoleName, Subject};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Anything the proof engine can pull credentials from: the in-process
+/// sharded [`Repository`], or a remote repository reached over a
+/// Switchboard channel (see `psf-core`'s repository service). The paper's
+/// repository is distributed; this trait is the seam that makes proof
+/// search location-transparent.
+pub trait CredentialSource: Send + Sync {
+    /// Credentials whose subject matches `subject`.
+    fn credentials_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation>;
+    /// Credentials conveying `role`.
+    fn credentials_by_object(&self, role: &RoleName) -> Vec<SignedDelegation>;
+}
+
+impl CredentialSource for Repository {
+    fn credentials_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation> {
+        self.query_by_subject(subject)
+    }
+    fn credentials_by_object(&self, role: &RoleName) -> Vec<SignedDelegation> {
+        self.query_by_object(role)
+    }
+}
+
+/// Discovery tags attached to a stored credential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoveryTag {
+    /// Queries by the credential's subject can be directed to its home.
+    SearchableFromSubject,
+    /// Queries by the credential's object role can be directed to its home.
+    SearchableFromObject,
+    /// Both directions are advertised.
+    Both,
+    /// No tags: the credential is only found by broadcast.
+    None,
+}
+
+impl DiscoveryTag {
+    fn advertises_subject(self) -> bool {
+        matches!(self, DiscoveryTag::SearchableFromSubject | DiscoveryTag::Both)
+    }
+    fn advertises_object(self) -> bool {
+        matches!(self, DiscoveryTag::SearchableFromObject | DiscoveryTag::Both)
+    }
+}
+
+/// Canonical lookup key for a delegation subject. Entity keys include the
+/// public key so two principals with the same display name cannot alias
+/// each other in the index.
+pub(crate) fn subject_key(s: &Subject) -> String {
+    match s {
+        Subject::Entity { name, key } => {
+            let fp: String = key.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
+            format!("E:{}:{fp}", name.0)
+        }
+        Subject::Role(r) => format!("R:{r}"),
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    credentials: Vec<SignedDelegation>,
+    by_subject: HashMap<String, Vec<usize>>,
+    by_object: HashMap<String, Vec<usize>>,
+}
+
+impl Shard {
+    fn insert(&mut self, cred: SignedDelegation) {
+        let idx = self.credentials.len();
+        self.by_subject
+            .entry(subject_key(&cred.body.subject))
+            .or_default()
+            .push(idx);
+        self.by_object
+            .entry(cred.body.object.to_string())
+            .or_default()
+            .push(idx);
+        self.credentials.push(cred);
+    }
+}
+
+/// Counters describing repository traffic (reset with
+/// [`Repository::reset_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RepoStats {
+    /// Number of query operations served.
+    pub queries: u64,
+    /// Number of per-home messages those queries fanned out to.
+    pub messages: u64,
+    /// Queries answered via the discovery-tag index (directed).
+    pub directed: u64,
+    /// Queries that had to broadcast to every home.
+    pub broadcast: u64,
+}
+
+/// A sharded credential repository with a discovery-tag index.
+#[derive(Clone, Default)]
+pub struct Repository {
+    inner: Arc<RepositoryInner>,
+}
+
+#[derive(Default)]
+struct RepositoryInner {
+    shards: RwLock<HashMap<EntityName, Shard>>,
+    // tag index: key → homes that advertised credentials for it
+    tag_subject: RwLock<HashMap<String, HashSet<EntityName>>>,
+    tag_object: RwLock<HashMap<String, HashSet<EntityName>>>,
+    queries: AtomicU64,
+    messages: AtomicU64,
+    directed: AtomicU64,
+    broadcast: AtomicU64,
+}
+
+impl Repository {
+    /// New empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Store a credential at `home` (normally the issuer's domain), with
+    /// the given discovery tags.
+    pub fn publish(&self, home: EntityName, cred: SignedDelegation, tag: DiscoveryTag) {
+        if tag.advertises_subject() {
+            self.inner
+                .tag_subject
+                .write()
+                .entry(subject_key(&cred.body.subject))
+                .or_default()
+                .insert(home.clone());
+        }
+        if tag.advertises_object() {
+            self.inner
+                .tag_object
+                .write()
+                .entry(cred.body.object.to_string())
+                .or_default()
+                .insert(home.clone());
+        }
+        self.inner
+            .shards
+            .write()
+            .entry(home)
+            .or_default()
+            .insert(cred);
+    }
+
+    /// Convenience: publish at the issuer's own domain with both tags (the
+    /// common case in the mail scenario).
+    pub fn publish_at_issuer(&self, cred: SignedDelegation) {
+        self.publish(cred.body.issuer.clone(), cred, DiscoveryTag::Both);
+    }
+
+    /// All credentials whose subject matches `subject`, using the tag
+    /// index when possible.
+    pub fn query_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation> {
+        self.query(&subject_key(subject), &self.inner.tag_subject, |s, k| {
+            s.by_subject.get(k)
+        })
+    }
+
+    /// All credentials conveying `role`, using the tag index when possible.
+    pub fn query_by_object(&self, role: &RoleName) -> Vec<SignedDelegation> {
+        self.query(&role.to_string(), &self.inner.tag_object, |s, k| {
+            s.by_object.get(k)
+        })
+    }
+
+    fn query(
+        &self,
+        key: &str,
+        tag_index: &RwLock<HashMap<String, HashSet<EntityName>>>,
+        select: impl for<'s> Fn(&'s Shard, &str) -> Option<&'s Vec<usize>>,
+    ) -> Vec<SignedDelegation> {
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        let shards = self.inner.shards.read();
+        let homes: Vec<EntityName> = {
+            let tags = tag_index.read();
+            match tags.get(key) {
+                Some(homes) => {
+                    self.inner.directed.fetch_add(1, Ordering::Relaxed);
+                    homes.iter().cloned().collect()
+                }
+                None => {
+                    self.inner.broadcast.fetch_add(1, Ordering::Relaxed);
+                    shards.keys().cloned().collect()
+                }
+            }
+        };
+        self.inner
+            .messages
+            .fetch_add(homes.len() as u64, Ordering::Relaxed);
+        let mut out = Vec::new();
+        for home in homes {
+            if let Some(shard) = shards.get(&home) {
+                if let Some(indices) = select(shard, key) {
+                    out.extend(indices.iter().map(|&i| shard.credentials[i].clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of stored credentials across all homes.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .read()
+            .values()
+            .map(|s| s.credentials.len())
+            .sum()
+    }
+
+    /// True when no credentials are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of home-node shards.
+    pub fn home_count(&self) -> usize {
+        self.inner.shards.read().len()
+    }
+
+    /// Drop expired credentials from every shard (a home node's
+    /// housekeeping). Returns how many were purged. Tag-index entries for
+    /// emptied keys are left in place — a directed query to a home that
+    /// no longer holds matches simply returns nothing.
+    pub fn purge_expired(&self, now: u64) -> usize {
+        let mut purged = 0;
+        let mut shards = self.inner.shards.write();
+        for shard in shards.values_mut() {
+            let keep: Vec<SignedDelegation> = shard
+                .credentials
+                .drain(..)
+                .filter(|c| match c.body.expires {
+                    Some(t) => {
+                        let alive = now < t;
+                        if !alive {
+                            purged += 1;
+                        }
+                        alive
+                    }
+                    None => true,
+                })
+                .collect();
+            shard.by_subject.clear();
+            shard.by_object.clear();
+            for cred in keep {
+                shard.insert(cred);
+            }
+        }
+        purged
+    }
+
+    /// Snapshot the traffic counters.
+    pub fn stats(&self) -> RepoStats {
+        RepoStats {
+            queries: self.inner.queries.load(Ordering::Relaxed),
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            directed: self.inner.directed.load(Ordering::Relaxed),
+            broadcast: self.inner.broadcast.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the traffic counters (between bench phases).
+    pub fn reset_stats(&self) {
+        self.inner.queries.store(0, Ordering::Relaxed);
+        self.inner.messages.store(0, Ordering::Relaxed);
+        self.inner.directed.store(0, Ordering::Relaxed);
+        self.inner.broadcast.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegation::DelegationBuilder;
+    use crate::entity::Entity;
+
+    fn cred(issuer: &Entity, subject: &Entity, role: &str) -> SignedDelegation {
+        DelegationBuilder::new(issuer)
+            .subject_entity(subject)
+            .role(issuer.role(role))
+            .sign()
+    }
+
+    #[test]
+    fn publish_and_query_by_subject() {
+        let repo = Repository::new();
+        let ny = Entity::with_seed("Comp.NY", b"r");
+        let alice = Entity::with_seed("Alice", b"r");
+        repo.publish_at_issuer(cred(&ny, &alice, "Member"));
+        let found = repo.query_by_subject(&alice.as_subject());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].body.object, ny.role("Member"));
+    }
+
+    #[test]
+    fn query_by_object_finds_role_credentials() {
+        let repo = Repository::new();
+        let ny = Entity::with_seed("Comp.NY", b"r");
+        let alice = Entity::with_seed("Alice", b"r");
+        let bob = Entity::with_seed("Bob", b"r");
+        repo.publish_at_issuer(cred(&ny, &alice, "Member"));
+        repo.publish_at_issuer(cred(&ny, &bob, "Member"));
+        repo.publish_at_issuer(cred(&ny, &bob, "Partner"));
+        assert_eq!(repo.query_by_object(&ny.role("Member")).len(), 2);
+        assert_eq!(repo.query_by_object(&ny.role("Partner")).len(), 1);
+        assert_eq!(repo.len(), 3);
+    }
+
+    #[test]
+    fn directed_vs_broadcast_message_counts() {
+        let repo = Repository::new();
+        // Ten domains, one credential each.
+        let alice = Entity::with_seed("Alice", b"r");
+        for i in 0..10 {
+            let dom = Entity::with_seed(format!("Dom{i}"), b"r");
+            // Tagged: advertised in the subject index.
+            repo.publish(
+                dom.name.clone(),
+                cred(&dom, &alice, "Member"),
+                DiscoveryTag::SearchableFromSubject,
+            );
+        }
+        repo.reset_stats();
+        let found = repo.query_by_subject(&alice.as_subject());
+        assert_eq!(found.len(), 10);
+        let s = repo.stats();
+        assert_eq!(s.directed, 1);
+        assert_eq!(s.messages, 10); // every home advertised
+
+        // An untagged key broadcasts to all 10 homes.
+        let bob = Entity::with_seed("Bob", b"r");
+        repo.reset_stats();
+        let none = repo.query_by_subject(&bob.as_subject());
+        assert!(none.is_empty());
+        let s = repo.stats();
+        assert_eq!(s.broadcast, 1);
+        assert_eq!(s.messages, 10);
+    }
+
+    #[test]
+    fn untagged_credential_found_only_by_broadcast() {
+        let repo = Repository::new();
+        let ny = Entity::with_seed("Comp.NY", b"r");
+        let alice = Entity::with_seed("Alice", b"r");
+        repo.publish(ny.name.clone(), cred(&ny, &alice, "Member"), DiscoveryTag::None);
+        // Still found (broadcast fallback), but counted as broadcast.
+        let found = repo.query_by_subject(&alice.as_subject());
+        assert_eq!(found.len(), 1);
+        assert_eq!(repo.stats().broadcast, 1);
+    }
+
+    #[test]
+    fn purge_expired_drops_only_expired() {
+        let repo = Repository::new();
+        let ny = Entity::with_seed("Comp.NY", b"r");
+        let alice = Entity::with_seed("Alice", b"r");
+        let eternal = cred(&ny, &alice, "Member");
+        let doomed = DelegationBuilder::new(&ny)
+            .subject_entity(&alice)
+            .role(ny.role("Guest"))
+            .expires(100)
+            .sign();
+        repo.publish_at_issuer(eternal.clone());
+        repo.publish_at_issuer(doomed);
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.purge_expired(50), 0);
+        assert_eq!(repo.purge_expired(100), 1);
+        assert_eq!(repo.len(), 1);
+        // The survivor is still indexed and findable.
+        let found = repo.query_by_subject(&alice.as_subject());
+        assert_eq!(found, vec![eternal]);
+    }
+
+    #[test]
+    fn object_tag_does_not_serve_subject_queries() {
+        let repo = Repository::new();
+        let ny = Entity::with_seed("Comp.NY", b"r");
+        let alice = Entity::with_seed("Alice", b"r");
+        repo.publish(
+            ny.name.clone(),
+            cred(&ny, &alice, "Member"),
+            DiscoveryTag::SearchableFromObject,
+        );
+        repo.reset_stats();
+        let _ = repo.query_by_subject(&alice.as_subject());
+        assert_eq!(repo.stats().broadcast, 1); // subject side not advertised
+        repo.reset_stats();
+        let _ = repo.query_by_object(&ny.role("Member"));
+        assert_eq!(repo.stats().directed, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Online validity monitoring and revocation (paper §3.1, §4.3).
+//!
+//! A dRBAC credential "may additionally require online validation
+//! monitoring from an authorized *home* which is aware of any revocation
+//! of the delegation". The [`RevocationBus`] is that home's interface:
+//! issuers revoke credential ids, and [`ValidityMonitor`]s — one per
+//! outstanding proof — are notified the moment any credential they depend
+//! on is revoked. Switchboard's `AuthorizationMonitor` (paper §4.3) is
+//! built directly on this: a revocation mid-connection invalidates the
+//! dRBAC proof and both endpoints are told to re-validate.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A revocation notice delivered to monitors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevocationNotice {
+    /// The id of the revoked credential.
+    pub credential_id: String,
+}
+
+struct BusInner {
+    revoked: Mutex<HashSet<String>>,
+    // credential id → monitors watching it
+    watchers: Mutex<HashMap<String, Vec<MonitorHandle>>>,
+}
+
+#[derive(Clone)]
+struct MonitorHandle {
+    valid: Arc<AtomicBool>,
+    tx: Sender<RevocationNotice>,
+}
+
+/// The revocation "home": a broadcast bus connecting credential issuers to
+/// validity monitors.
+#[derive(Clone)]
+pub struct RevocationBus {
+    inner: Arc<BusInner>,
+}
+
+impl Default for RevocationBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RevocationBus {
+    /// New empty bus.
+    pub fn new() -> RevocationBus {
+        RevocationBus {
+            inner: Arc::new(BusInner {
+                revoked: Mutex::new(HashSet::new()),
+                watchers: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Revoke a credential by id, waking every monitor that depends on it.
+    pub fn revoke(&self, credential_id: &str) {
+        self.inner.revoked.lock().insert(credential_id.to_string());
+        let watchers = {
+            let mut map = self.inner.watchers.lock();
+            map.remove(credential_id).unwrap_or_default()
+        };
+        for w in watchers {
+            w.valid.store(false, Ordering::SeqCst);
+            let _ = w.tx.send(RevocationNotice {
+                credential_id: credential_id.to_string(),
+            });
+        }
+    }
+
+    /// Whether a credential id has been revoked.
+    pub fn is_revoked(&self, credential_id: &str) -> bool {
+        self.inner.revoked.lock().contains(credential_id)
+    }
+
+    /// Create a monitor over a set of credential ids (typically every
+    /// credential in a proof). The monitor is immediately invalid if any
+    /// id is already revoked.
+    pub fn monitor<I: IntoIterator<Item = String>>(&self, credential_ids: I) -> ValidityMonitor {
+        let (tx, rx) = unbounded();
+        let valid = Arc::new(AtomicBool::new(true));
+        let handle = MonitorHandle { valid: valid.clone(), tx };
+        let mut ids = Vec::new();
+        {
+            let revoked = self.inner.revoked.lock();
+            let mut watchers = self.inner.watchers.lock();
+            for id in credential_ids {
+                if revoked.contains(&id) {
+                    valid.store(false, Ordering::SeqCst);
+                    let _ = handle.tx.send(RevocationNotice {
+                        credential_id: id.clone(),
+                    });
+                } else {
+                    watchers.entry(id.clone()).or_default().push(handle.clone());
+                }
+                ids.push(id);
+            }
+        }
+        ValidityMonitor { valid, rx, ids }
+    }
+
+    /// Number of revoked credential ids.
+    pub fn revoked_count(&self) -> usize {
+        self.inner.revoked.lock().len()
+    }
+}
+
+/// Watches the credentials underlying a proof; flips invalid (and delivers
+/// a notice) the moment any of them is revoked.
+pub struct ValidityMonitor {
+    valid: Arc<AtomicBool>,
+    rx: Receiver<RevocationNotice>,
+    ids: Vec<String>,
+}
+
+impl ValidityMonitor {
+    /// Whether every watched credential is still valid.
+    pub fn is_valid(&self) -> bool {
+        self.valid.load(Ordering::SeqCst)
+    }
+
+    /// Non-blocking poll for a revocation notice.
+    pub fn try_notice(&self) -> Option<RevocationNotice> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until a notice arrives or the timeout elapses.
+    pub fn wait_notice(&self, timeout: std::time::Duration) -> Option<RevocationNotice> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// The credential ids this monitor covers.
+    pub fn watched_ids(&self) -> &[String] {
+        &self.ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn revocation_flips_monitor() {
+        let bus = RevocationBus::new();
+        let m = bus.monitor(["cred-a".to_string(), "cred-b".to_string()]);
+        assert!(m.is_valid());
+        bus.revoke("cred-b");
+        assert!(!m.is_valid());
+        let notice = m.try_notice().unwrap();
+        assert_eq!(notice.credential_id, "cred-b");
+    }
+
+    #[test]
+    fn unrelated_revocation_ignored() {
+        let bus = RevocationBus::new();
+        let m = bus.monitor(["cred-a".to_string()]);
+        bus.revoke("cred-zzz");
+        assert!(m.is_valid());
+        assert!(m.try_notice().is_none());
+    }
+
+    #[test]
+    fn already_revoked_is_immediately_invalid() {
+        let bus = RevocationBus::new();
+        bus.revoke("cred-a");
+        let m = bus.monitor(["cred-a".to_string()]);
+        assert!(!m.is_valid());
+        assert!(m.try_notice().is_some());
+    }
+
+    #[test]
+    fn multiple_monitors_all_notified() {
+        let bus = RevocationBus::new();
+        let m1 = bus.monitor(["x".to_string()]);
+        let m2 = bus.monitor(["x".to_string(), "y".to_string()]);
+        bus.revoke("x");
+        assert!(!m1.is_valid());
+        assert!(!m2.is_valid());
+    }
+
+    #[test]
+    fn cross_thread_notification() {
+        let bus = RevocationBus::new();
+        let m = bus.monitor(["conn-cred".to_string()]);
+        let bus2 = bus.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            bus2.revoke("conn-cred");
+        });
+        let notice = m.wait_notice(Duration::from_secs(5)).unwrap();
+        assert_eq!(notice.credential_id, "conn-cred");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn is_revoked_queryable() {
+        let bus = RevocationBus::new();
+        assert!(!bus.is_revoked("a"));
+        bus.revoke("a");
+        assert!(bus.is_revoked("a"));
+        assert_eq!(bus.revoked_count(), 1);
+    }
+}

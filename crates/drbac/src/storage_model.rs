@@ -1,0 +1,157 @@
+//! Storage-cost models for cross-domain authorization state (paper §5).
+//!
+//! The paper compares the credential/ACL storage required by three
+//! architectures for `P` providers and `U` users:
+//!
+//! * **GSI** — every provider holds authentication/authorization state for
+//!   every possible user: `P × U` entries;
+//! * **CAS** — users are grouped into `C` communities and providers only
+//!   know communities: `C × (P + U)` entries;
+//! * **dRBAC** — each principal holds only local credentials, plus `c`
+//!   cross-domain role-mapping delegations: `P + U + c` entries.
+//!
+//! [`simulate_drbac`] does not just evaluate the formula — it *builds* the
+//! actual signed credentials and measures their true wire size, so the
+//! dRBAC row of experiment **F1** is grounded in real bytes. GSI and CAS
+//! are synthesized with representative per-entry sizes (an X.509-ish
+//! gridmap entry and a community membership record).
+
+use crate::delegation::DelegationBuilder;
+use crate::entity::Entity;
+
+/// One row of the storage comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageReport {
+    /// System name (`GSI`, `CAS`, `dRBAC`).
+    pub system: &'static str,
+    /// Number of stored entries.
+    pub entries: u64,
+    /// Estimated (GSI/CAS) or measured (dRBAC) total bytes.
+    pub bytes: u64,
+}
+
+/// Representative size of one GSI gridmap entry (DN + local account
+/// mapping + certificate reference).
+pub const GSI_ENTRY_BYTES: u64 = 256;
+/// Representative size of one CAS record (community membership or
+/// provider policy).
+pub const CAS_ENTRY_BYTES: u64 = 192;
+
+/// GSI: `P × U` entries (every provider knows every user).
+pub fn simulate_gsi(providers: u64, users: u64) -> StorageReport {
+    let entries = providers * users;
+    StorageReport {
+        system: "GSI",
+        entries,
+        bytes: entries * GSI_ENTRY_BYTES,
+    }
+}
+
+/// CAS: `C × (P + U)` entries (paper's accounting: per community, the
+/// provider policies and user memberships that reference it).
+pub fn simulate_cas(providers: u64, users: u64, communities: u64) -> StorageReport {
+    let entries = communities * (providers + users);
+    StorageReport {
+        system: "CAS",
+        entries,
+        bytes: entries * CAS_ENTRY_BYTES,
+    }
+}
+
+/// dRBAC: `P + U + c` *real* credentials, measured.
+///
+/// Builds one local node credential per provider, one local membership
+/// credential per user, and `cross` role-mapping delegations between
+/// domains, then sums their actual wire sizes.
+pub fn simulate_drbac(providers: u64, users: u64, cross: u64) -> StorageReport {
+    let domain = Entity::with_seed("Domain", b"storage-model");
+    let peer = Entity::with_seed("Peer", b"storage-model");
+    // One representative credential of each class; all credentials of a
+    // class have identical wire size (names are padded to equal length).
+    let user = Entity::with_seed("User-000000", b"storage-model");
+    let node = Entity::with_seed("Node-000000", b"storage-model");
+
+    let user_cred = DelegationBuilder::new(&domain)
+        .subject_entity(&user)
+        .role(domain.role("Member"))
+        .sign();
+    let node_cred = DelegationBuilder::new(&domain)
+        .subject_entity(&node)
+        .role(domain.role("Node"))
+        .sign();
+    let cross_cred = DelegationBuilder::new(&domain)
+        .subject_role(peer.role("Member"))
+        .role(domain.role("Member"))
+        .sign();
+
+    let bytes = providers * node_cred.wire_size() as u64
+        + users * user_cred.wire_size() as u64
+        + cross * cross_cred.wire_size() as u64;
+    StorageReport {
+        system: "dRBAC",
+        entries: providers + users + cross,
+        bytes,
+    }
+}
+
+/// The full three-way comparison at one configuration.
+pub fn storage_comparison(
+    providers: u64,
+    users: u64,
+    communities: u64,
+    cross: u64,
+) -> [StorageReport; 3] {
+    [
+        simulate_gsi(providers, users),
+        simulate_cas(providers, users, communities),
+        simulate_drbac(providers, users, cross),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_paper() {
+        let [gsi, cas, drbac] = storage_comparison(10, 100, 4, 12);
+        assert_eq!(gsi.entries, 1000); // P×U
+        assert_eq!(cas.entries, 4 * 110); // C×(P+U)
+        assert_eq!(drbac.entries, 10 + 100 + 12); // P+U+c
+    }
+
+    #[test]
+    fn drbac_wins_at_scale() {
+        // The paper's claim: dRBAC < CAS < GSI for realistic sizes.
+        let [gsi, cas, drbac] = storage_comparison(50, 1000, 8, 100);
+        assert!(drbac.entries < cas.entries);
+        assert!(cas.entries < gsi.entries);
+        assert!(drbac.bytes < cas.bytes);
+        assert!(cas.bytes < gsi.bytes);
+    }
+
+    #[test]
+    fn gsi_grows_quadratically_drbac_linearly() {
+        let small = storage_comparison(10, 10, 2, 5);
+        let big = storage_comparison(100, 100, 2, 5);
+        // 10× both dimensions → GSI 100×, dRBAC ~10×.
+        assert_eq!(big[0].entries, small[0].entries * 100);
+        assert!(big[2].entries < small[2].entries * 20);
+    }
+
+    #[test]
+    fn drbac_bytes_are_measured_not_guessed() {
+        let r = simulate_drbac(1, 0, 0);
+        // One real signed credential: body + 64-byte signature; must be a
+        // plausible size, not zero and not a placeholder constant.
+        assert!(r.bytes > 100, "credential bytes {}", r.bytes);
+        assert!(r.bytes < 1024);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(simulate_gsi(0, 100).entries, 0);
+        assert_eq!(simulate_cas(0, 0, 5).entries, 0);
+        assert_eq!(simulate_drbac(0, 0, 0).entries, 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The mail components: the `MailClient` of Table 3(a) and the
+//! `MailServer` it talks to.
+//!
+//! Field encodings:
+//! * `accounts` — one `name,phone,email` record per line;
+//! * `messages` — one encoded [`Message`] list holding every delivered
+//!   message (fetch filters by recipient); a single field so view
+//!   coherence images capture the whole store;
+//! * `notes` / `meetings` — newline-joined text.
+
+use crate::message::Message;
+use psf_views::component::FieldState;
+use psf_views::ComponentClass;
+use std::sync::Arc;
+
+fn account_column(state: &FieldState, name: &str, col: usize) -> Result<Vec<u8>, String> {
+    for line in state.get_str("accounts").lines() {
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.first() == Some(&name) {
+            return Ok(parts.get(col).unwrap_or(&"").as_bytes().to_vec());
+        }
+    }
+    Err(format!("no account for '{name}'"))
+}
+
+fn push_message(state: &mut FieldState, message: &Message) -> Result<(), String> {
+    let existing = state.get("messages");
+    let mut list = if existing.is_empty() {
+        Vec::new()
+    } else {
+        Message::decode_list(&existing)?
+    };
+    list.push(message.clone());
+    state.set("messages", Message::encode_list(&list));
+    Ok(())
+}
+
+/// The `MailServer`: manages "the mail accounts for all users".
+///
+/// Interfaces: `MailI` (send/fetch) and `AddressI` (directory lookups).
+pub fn mail_server_class() -> Arc<ComponentClass> {
+    ComponentClass::builder("MailServer")
+        .interface("MailI", ["send", "fetch", "createAccount"])
+        .interface("AddressI", ["getPhone", "getEmail"])
+        .field("accounts", "Account[]")
+        .field("messages", "List<Message>")
+        .method(
+            "createAccount",
+            "void createAccount(String name, String phone, String email)",
+            &["accounts"],
+            true,
+            |st, args| {
+                let record = String::from_utf8_lossy(args).to_string();
+                if record.split(',').count() != 3 {
+                    return Err("expected name,phone,email".into());
+                }
+                let mut accounts = st.get_str("accounts");
+                if !accounts.is_empty() {
+                    accounts.push('\n');
+                }
+                accounts.push_str(&record);
+                st.set("accounts", accounts);
+                Ok(vec![])
+            },
+        )
+        .method(
+            "send",
+            "void send(Message mes)",
+            &["accounts", "messages"],
+            true,
+            |st, args| {
+                let (message, _) = Message::from_bytes(args)?;
+                // Recipient must exist.
+                account_column(st, &message.to, 0)?;
+                push_message(st, &message)?;
+                Ok(vec![])
+            },
+        )
+        .method(
+            "fetch",
+            "Set fetch(String user)",
+            &["messages"],
+            false,
+            |st, args| {
+                let user = String::from_utf8_lossy(args).to_string();
+                let stored = st.get("messages");
+                let all = if stored.is_empty() {
+                    Vec::new()
+                } else {
+                    Message::decode_list(&stored)?
+                };
+                let mine: Vec<Message> =
+                    all.into_iter().filter(|m| m.to == user).collect();
+                Ok(Message::encode_list(&mine))
+            },
+        )
+        .method(
+            "getPhone",
+            "String getPhone(String name)",
+            &["accounts"],
+            false,
+            |st, args| account_column(st, &String::from_utf8_lossy(args), 1),
+        )
+        .method(
+            "getEmail",
+            "String getEmail(String name)",
+            &["accounts"],
+            false,
+            |st, args| account_column(st, &String::from_utf8_lossy(args), 2),
+        )
+        .build()
+        .expect("MailServer class is well-formed")
+}
+
+/// The `MailClient` of Table 3(a): implements `MessageI`, `AddressI`,
+/// `NotesI` over an `accounts` field (plus a local outbox/notes store).
+pub fn mail_client_class() -> Arc<ComponentClass> {
+    ComponentClass::builder("MailClient")
+        .interface("MessageI", ["sendMessage", "receiveMessages"])
+        .interface("AddressI", ["getPhone", "getEmail"])
+        .interface("NotesI", ["addNote", "addMeeting"])
+        .field("accounts", "Account[]")
+        .field("outbox", "List<Message>")
+        .field("inbox", "List<Message>")
+        .field("notes", "List<String>")
+        .field("meetings", "List<String>")
+        .method(
+            "sendMessage",
+            "void sendMessage(Message mes)",
+            &["outbox"],
+            true,
+            |st, args| {
+                let (message, _) = Message::from_bytes(args)?;
+                let existing = st.get("outbox");
+                let mut list = if existing.is_empty() {
+                    Vec::new()
+                } else {
+                    Message::decode_list(&existing)?
+                };
+                list.push(message);
+                st.set("outbox", Message::encode_list(&list));
+                Ok(vec![])
+            },
+        )
+        .method(
+            "receiveMessages",
+            "Set receiveMessages()",
+            &["inbox"],
+            false,
+            |st, _| {
+                let stored = st.get("inbox");
+                if stored.is_empty() {
+                    Ok(Message::encode_list(&[]))
+                } else {
+                    Ok(stored)
+                }
+            },
+        )
+        .method(
+            "getPhone",
+            "String getPhone(String name)",
+            &["accounts"],
+            false,
+            |st, args| account_column(st, &String::from_utf8_lossy(args), 1),
+        )
+        .method(
+            "getEmail",
+            "String getEmail(String name)",
+            &["accounts"],
+            false,
+            |st, args| account_column(st, &String::from_utf8_lossy(args), 2),
+        )
+        .method(
+            "addNote",
+            "void addNote(String note)",
+            &["notes"],
+            true,
+            |st, args| {
+                let mut notes = st.get_str("notes");
+                notes.push_str(&String::from_utf8_lossy(args));
+                notes.push('\n');
+                st.set("notes", notes);
+                Ok(vec![])
+            },
+        )
+        .method(
+            "addMeeting",
+            "boolean addMeeting(String name)",
+            &["meetings"],
+            true,
+            |st, args| {
+                let mut meetings = st.get_str("meetings");
+                meetings.push_str(&String::from_utf8_lossy(args));
+                meetings.push('\n');
+                st.set("meetings", meetings);
+                Ok(b"true".to_vec())
+            },
+        )
+        .build()
+        .expect("MailClient class is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_account_lifecycle() {
+        let server = mail_server_class().instantiate();
+        server
+            .invoke("createAccount", b"alice,555-0100,alice@comp")
+            .unwrap();
+        server
+            .invoke("createAccount", b"bob,555-0199,bob@comp")
+            .unwrap();
+        assert_eq!(server.invoke("getPhone", b"alice").unwrap(), b"555-0100");
+        assert_eq!(server.invoke("getEmail", b"bob").unwrap(), b"bob@comp");
+        assert!(server.invoke("getPhone", b"mallory").is_err());
+        assert!(server.invoke("createAccount", b"broken").is_err());
+    }
+
+    #[test]
+    fn server_send_and_fetch() {
+        let server = mail_server_class().instantiate();
+        server
+            .invoke("createAccount", b"alice,1,alice@comp")
+            .unwrap();
+        server.invoke("createAccount", b"bob,2,bob@comp").unwrap();
+        let m1 = Message::new("alice", "bob", "hi", "lunch?");
+        let m2 = Message::new("alice", "bob", "re", "or dinner");
+        server.invoke("send", &m1.to_bytes()).unwrap();
+        server.invoke("send", &m2.to_bytes()).unwrap();
+        let inbox = Message::decode_list(&server.invoke("fetch", b"bob").unwrap()).unwrap();
+        assert_eq!(inbox, vec![m1, m2]);
+        // Alice has no mail.
+        let empty = Message::decode_list(&server.invoke("fetch", b"alice").unwrap()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn send_to_unknown_recipient_fails() {
+        let server = mail_server_class().instantiate();
+        let m = Message::new("alice", "ghost", "?", "?");
+        assert!(server.invoke("send", &m.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn client_notes_and_meetings() {
+        let client = mail_client_class().instantiate();
+        client.invoke("addNote", b"buy milk").unwrap();
+        client.invoke("addMeeting", b"standup").unwrap();
+        assert_eq!(client.field("notes"), b"buy milk\n");
+        assert_eq!(client.field("meetings"), b"standup\n");
+    }
+
+    #[test]
+    fn client_outbox_accumulates() {
+        let client = mail_client_class().instantiate();
+        let m = Message::new("me", "you", "s", "b");
+        client.invoke("sendMessage", &m.to_bytes()).unwrap();
+        client.invoke("sendMessage", &m.to_bytes()).unwrap();
+        let outbox = Message::decode_list(&client.field("outbox")).unwrap();
+        assert_eq!(outbox.len(), 2);
+    }
+}

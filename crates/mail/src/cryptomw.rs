@@ -1,0 +1,217 @@
+//! The `<encryptor/decryptor>` pair (paper §2.2) as data-plane endpoint
+//! middleware.
+//!
+//! The planner places an `Encryptor` where plaintext would otherwise
+//! leave a secure island and a `Decryptor` on the client's side; between
+//! them only ChaCha20-Poly1305 ciphertext flows. The two middleware
+//! halves share a symmetric key issued at deployment time (in the paper
+//! the deployment infrastructure provisions the pair; the key exchange
+//! mechanics live in Switchboard's handshake, which the channels under
+//! this middleware already perform — this pair protects the *payload*
+//! end-to-end across any number of hops).
+//!
+//! Wire format per protected buffer: `nonce₁₂ ‖ AEAD(method-bound AAD,
+//! payload)`.
+
+use psf_crypto::aead::ChaCha20Poly1305;
+use psf_views::binding::RemoteCall;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A matched encryptor/decryptor middleware pair sharing a payload key.
+pub struct CipherPair {
+    key: [u8; 32],
+}
+
+impl CipherPair {
+    /// Create a pair with a fresh random key.
+    pub fn generate() -> CipherPair {
+        let mut key = [0u8; 32];
+        rand::rng().fill_bytes(&mut key);
+        CipherPair { key }
+    }
+
+    /// Create from an explicit key (deterministic tests).
+    pub fn from_key(key: [u8; 32]) -> CipherPair {
+        CipherPair { key }
+    }
+
+    /// The server-side half ("Encryptor" in the plan): expects encrypted
+    /// requests from downstream, decrypts them, calls the plaintext
+    /// upstream, and encrypts the response.
+    pub fn encryptor(&self) -> impl Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync + Clone {
+        let key = self.key;
+        move |upstream: Arc<dyn RemoteCall>| -> Arc<dyn RemoteCall> {
+            Arc::new(EncryptorSide { upstream, aead: ChaCha20Poly1305::new(key) })
+        }
+    }
+
+    /// The client-side half ("Decryptor" in the plan): encrypts requests
+    /// for the wire and decrypts responses.
+    pub fn decryptor(&self) -> impl Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync + Clone {
+        let key = self.key;
+        move |upstream: Arc<dyn RemoteCall>| -> Arc<dyn RemoteCall> {
+            Arc::new(DecryptorSide { upstream, aead: ChaCha20Poly1305::new(key) })
+        }
+    }
+}
+
+fn seal(aead: &ChaCha20Poly1305, method: &str, payload: &[u8]) -> Vec<u8> {
+    let mut nonce = [0u8; 12];
+    rand::rng().fill_bytes(&mut nonce);
+    let mut out = nonce.to_vec();
+    out.extend_from_slice(&aead.seal(&nonce, method.as_bytes(), payload));
+    out
+}
+
+fn open(aead: &ChaCha20Poly1305, method: &str, buf: &[u8]) -> Result<Vec<u8>, String> {
+    if buf.len() < 12 {
+        return Err("ciphertext too short".into());
+    }
+    let nonce: [u8; 12] = buf[..12].try_into().unwrap();
+    aead.open(&nonce, method.as_bytes(), &buf[12..])
+        .map_err(|e| format!("payload decryption failed: {e}"))
+}
+
+struct EncryptorSide {
+    upstream: Arc<dyn RemoteCall>,
+    aead: ChaCha20Poly1305,
+}
+
+impl RemoteCall for EncryptorSide {
+    fn call_remote(&self, method: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        let plain_args = open(&self.aead, method, args)?;
+        let response = self.upstream.call_remote(method, &plain_args)?;
+        Ok(seal(&self.aead, method, &response))
+    }
+    fn transport_label(&self) -> &'static str {
+        "encryptor"
+    }
+}
+
+struct DecryptorSide {
+    upstream: Arc<dyn RemoteCall>,
+    aead: ChaCha20Poly1305,
+}
+
+impl RemoteCall for DecryptorSide {
+    fn call_remote(&self, method: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        let sealed_args = seal(&self.aead, method, args);
+        let sealed_response = self.upstream.call_remote(method, &sealed_args)?;
+        open(&self.aead, method, &sealed_response)
+    }
+    fn transport_label(&self) -> &'static str {
+        "decryptor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Records every byte that crosses it — the "insecure WAN tap".
+    struct Tap {
+        upstream: Arc<dyn RemoteCall>,
+        seen: Arc<Mutex<Vec<Vec<u8>>>>,
+    }
+
+    impl RemoteCall for Tap {
+        fn call_remote(&self, method: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+            self.seen.lock().push(args.to_vec());
+            let out = self.upstream.call_remote(method, args)?;
+            self.seen.lock().push(out.clone());
+            Ok(out)
+        }
+        fn transport_label(&self) -> &'static str {
+            "tap"
+        }
+    }
+
+    struct Echo;
+    impl RemoteCall for Echo {
+        fn call_remote(&self, _m: &str, a: &[u8]) -> Result<Vec<u8>, String> {
+            Ok(format!("echo:{}", String::from_utf8_lossy(a)).into_bytes())
+        }
+        fn transport_label(&self) -> &'static str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn pair_roundtrips_and_hides_plaintext() {
+        let pair = CipherPair::from_key([7u8; 32]);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        // client → decryptor → tap (the WAN) → encryptor → echo server
+        let server: Arc<dyn RemoteCall> = Arc::new(Echo);
+        let enc = pair.encryptor()(server);
+        let tapped: Arc<dyn RemoteCall> =
+            Arc::new(Tap { upstream: enc, seen: seen.clone() });
+        let client = pair.decryptor()(tapped);
+
+        let reply = client
+            .call_remote("fetch", b"super secret mailbox contents")
+            .unwrap();
+        assert_eq!(reply, b"echo:super secret mailbox contents");
+
+        // Nothing crossing the tap contains the plaintext.
+        for buf in seen.lock().iter() {
+            let s = String::from_utf8_lossy(buf);
+            assert!(!s.contains("secret"), "plaintext leaked on the wire");
+            assert!(!s.contains("echo:"), "response plaintext leaked");
+        }
+        assert_eq!(seen.lock().len(), 2);
+    }
+
+    #[test]
+    fn mismatched_keys_fail_closed() {
+        let a = CipherPair::from_key([1u8; 32]);
+        let b = CipherPair::from_key([2u8; 32]);
+        let server: Arc<dyn RemoteCall> = Arc::new(Echo);
+        let enc = a.encryptor()(server);
+        let client = b.decryptor()(enc);
+        assert!(client.call_remote("m", b"x").is_err());
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let pair = CipherPair::from_key([3u8; 32]);
+        struct Corruptor(Arc<dyn RemoteCall>);
+        impl RemoteCall for Corruptor {
+            fn call_remote(&self, m: &str, a: &[u8]) -> Result<Vec<u8>, String> {
+                let mut tampered = a.to_vec();
+                let last = tampered.len() - 1;
+                tampered[last] ^= 1;
+                self.0.call_remote(m, &tampered)
+            }
+            fn transport_label(&self) -> &'static str {
+                "corruptor"
+            }
+        }
+        let server: Arc<dyn RemoteCall> = Arc::new(Echo);
+        let enc = pair.encryptor()(server);
+        let corrupted: Arc<dyn RemoteCall> = Arc::new(Corruptor(enc));
+        let client = pair.decryptor()(corrupted);
+        let err = client.call_remote("m", b"x").unwrap_err();
+        assert!(err.contains("decryption failed"));
+    }
+
+    #[test]
+    fn method_binding_prevents_splicing() {
+        // A ciphertext captured for one method cannot be replayed against
+        // another (the method name is AAD).
+        let pair = CipherPair::from_key([4u8; 32]);
+        let aead = ChaCha20Poly1305::new([4u8; 32]);
+        let sealed = seal(&aead, "fetch", b"payload");
+        assert!(open(&aead, "fetch", &sealed).is_ok());
+        assert!(open(&aead, "send", &sealed).is_err());
+        let _ = pair;
+    }
+
+    #[test]
+    fn generated_pairs_use_distinct_keys() {
+        let a = CipherPair::generate();
+        let b = CipherPair::generate();
+        assert_ne!(a.key, b.key);
+    }
+}

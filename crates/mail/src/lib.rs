@@ -1,0 +1,35 @@
+//! # psf-mail
+//!
+//! The paper's evaluation application (§2.2): "a security-aware mail
+//! application … *mail clients* with different capabilities, a *mail
+//! server* that manages the mail accounts for all users, *view mail
+//! server* components that can be replicated as a cache close to the
+//! client, and *encryption/decryption* components that ensure the privacy
+//! of all messages sent over insecure links."
+//!
+//! * [`message`] — the mail data model and its byte codec.
+//! * [`components`] — the `MailClient` of Table 3(a) (MessageI, AddressI,
+//!   NotesI) and the `MailServer` component.
+//! * [`views`] — the three views of Table 4
+//!   (`ViewMailClient_Member` / `_Partner` / `_Anonymous`), their XML
+//!   definitions, and the method library VIG resolves them against.
+//! * [`cryptomw`] — the `<encryptor/decryptor>` pair as endpoint
+//!   middleware carrying real ChaCha20-Poly1305 between them.
+//! * [`scenario`] — the full three-site world: Comp.NY / Comp.SD / Inc.SE
+//!   guards, every Table 2 credential (1)–(17), the Table 4 ACL, the
+//!   registrar/planner/deployer wiring, and client request helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod cryptomw;
+pub mod message;
+pub mod scenario;
+pub mod views;
+
+pub use components::{mail_client_class, mail_server_class};
+pub use cryptomw::CipherPair;
+pub use message::Message;
+pub use scenario::MailWorld;
+pub use views::{mail_method_library, view_anonymous, view_member, view_partner};

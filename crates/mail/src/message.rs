@@ -1,0 +1,143 @@
+//! The mail data model: messages, accounts, and their byte codecs.
+//!
+//! Field values travel as byte strings through the component model, so
+//! the codecs here are deliberately simple line/record formats.
+
+/// One mail message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender account name.
+    pub from: String,
+    /// Recipient account name.
+    pub to: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+}
+
+impl Message {
+    /// Create a message.
+    pub fn new(
+        from: impl Into<String>,
+        to: impl Into<String>,
+        subject: impl Into<String>,
+        body: impl Into<String>,
+    ) -> Message {
+        Message {
+            from: from.into(),
+            to: to.into(),
+            subject: subject.into(),
+            body: body.into(),
+        }
+    }
+
+    /// Encode as length-prefixed records.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for part in [&self.from, &self.to, &self.subject, &self.body] {
+            out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+            out.extend_from_slice(part.as_bytes());
+        }
+        out
+    }
+
+    /// Decode one message, returning it and the bytes consumed.
+    pub fn from_bytes(buf: &[u8]) -> Result<(Message, usize), String> {
+        let mut pos = 0usize;
+        let mut parts = Vec::with_capacity(4);
+        for _ in 0..4 {
+            if pos + 4 > buf.len() {
+                return Err("truncated message".into());
+            }
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if pos + len > buf.len() {
+                return Err("truncated message field".into());
+            }
+            parts.push(
+                String::from_utf8(buf[pos..pos + len].to_vec())
+                    .map_err(|_| "invalid UTF-8 in message".to_string())?,
+            );
+            pos += len;
+        }
+        let body = parts.pop().unwrap();
+        let subject = parts.pop().unwrap();
+        let to = parts.pop().unwrap();
+        let from = parts.pop().unwrap();
+        Ok((Message { from, to, subject, body }, pos))
+    }
+
+    /// Encode a list of messages.
+    pub fn encode_list(messages: &[Message]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(messages.len() as u32).to_le_bytes());
+        for m in messages {
+            out.extend_from_slice(&m.to_bytes());
+        }
+        out
+    }
+
+    /// Decode a list of messages.
+    pub fn decode_list(buf: &[u8]) -> Result<Vec<Message>, String> {
+        if buf.len() < 4 {
+            return Err("truncated message list".into());
+        }
+        let count = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if count > 1 << 20 {
+            return Err("oversized message list".into());
+        }
+        let mut pos = 4usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (m, used) = Message::from_bytes(&buf[pos..])?;
+            out.push(m);
+            pos += used;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single() {
+        let m = Message::new("alice", "bob", "hi", "lunch at noon?");
+        let (back, used) = Message::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(used, m.to_bytes().len());
+    }
+
+    #[test]
+    fn roundtrip_list() {
+        let list = vec![
+            Message::new("a", "b", "s1", "x"),
+            Message::new("c", "d", "s2", "y with unicode é"),
+        ];
+        let back = Message::decode_list(&Message::encode_list(&list)).unwrap();
+        assert_eq!(back, list);
+    }
+
+    #[test]
+    fn empty_list() {
+        assert_eq!(Message::decode_list(&Message::encode_list(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = Message::new("alice", "bob", "hi", "body");
+        let bytes = m.to_bytes();
+        assert!(Message::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Message::from_bytes(&[]).is_err());
+        assert!(Message::decode_list(&[1, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_fields_ok() {
+        let m = Message::new("", "", "", "");
+        let (back, _) = Message::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+    }
+}

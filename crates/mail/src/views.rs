@@ -1,0 +1,206 @@
+//! The three mail-client views of Table 4 and their XML definitions.
+//!
+//! | Role            | View name                  |
+//! |-----------------|----------------------------|
+//! | Comp.NY.Member  | `ViewMailClient_Member`    |
+//! | Comp.NY.Partner | `ViewMailClient_Partner`   |
+//! | others          | `ViewMailClient_Anonymous` |
+//!
+//! * **Member** — full functionality: messaging local, directory over
+//!   Switchboard, notes/meetings over RMI.
+//! * **Partner** — same, except "the functionality for setting up a
+//!   meeting is reduced to only requesting the right to set up a meeting"
+//!   (Table 3b's customization).
+//! * **Anonymous** — "only the right to browse the email directory":
+//!   AddressI over Switchboard with `getPhone` overridden to deny —
+//!   method-level access control (§4.2).
+
+use psf_views::{MethodLibrary, ViewSpec};
+
+/// XML definition of `ViewMailClient_Member`.
+pub const MEMBER_XML: &str = r#"
+<View name="ViewMailClient_Member">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="MessageI" type="local"/>
+    <Interface name="NotesI" type="rmi"/>
+    <Interface name="AddressI" type="switchboard"/>
+  </Restricts>
+</View>"#;
+
+/// XML definition of `ViewMailClient_Partner` (Table 3b).
+pub const PARTNER_XML: &str = r#"
+<View name="ViewMailClient_Partner">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="MessageI" type="local"/>
+    <Interface name="NotesI" type="rmi"/>
+    <Interface name="AddressI" type="switchboard"/>
+  </Restricts>
+  <Adds_Fields>
+    <Field name="accountCopy" type="Account"/>
+  </Adds_Fields>
+  <Adds_Methods>
+    <MSign>ViewMailClient_Partner(String[] args)</MSign>
+    <MBody>mail.partner_ctor</MBody>
+  </Adds_Methods>
+  <Customizes_Methods>
+    <MSign>boolean addMeeting(String name)</MSign>
+    <MBody>mail.request_meeting</MBody>
+  </Customizes_Methods>
+</View>"#;
+
+/// XML definition of `ViewMailClient_Anonymous`.
+pub const ANONYMOUS_XML: &str = r#"
+<View name="ViewMailClient_Anonymous">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="AddressI" type="switchboard"/>
+  </Restricts>
+  <Customizes_Methods>
+    <MSign>String getPhone(String name)</MSign>
+    <MBody>mail.deny_phone</MBody>
+  </Customizes_Methods>
+</View>"#;
+
+/// Parse the Member view spec.
+pub fn view_member() -> ViewSpec {
+    ViewSpec::parse_xml(MEMBER_XML).expect("member XML is valid")
+}
+
+/// Parse the Partner view spec.
+pub fn view_partner() -> ViewSpec {
+    ViewSpec::parse_xml(PARTNER_XML).expect("partner XML is valid")
+}
+
+/// Parse the Anonymous view spec.
+pub fn view_anonymous() -> ViewSpec {
+    ViewSpec::parse_xml(ANONYMOUS_XML).expect("anonymous XML is valid")
+}
+
+/// The method library resolving every `<MBody>` reference above.
+pub fn mail_method_library() -> MethodLibrary {
+    let mut lib = MethodLibrary::new();
+    // Partner constructor: cache the partner's own account record.
+    lib.register_full("mail.partner_ctor", &["accountCopy"], true, |st, args| {
+        st.set("accountCopy", args.to_vec());
+        Ok(vec![])
+    });
+    // Partners only *request* meetings (§4.2).
+    lib.register_full("mail.request_meeting", &[], false, |_, args| {
+        Ok(format!("REQUESTED:{}", String::from_utf8_lossy(args)).into_bytes())
+    });
+    // Anonymous clients may not read phone numbers — method-level denial.
+    lib.register_full("mail.deny_phone", &[], false, |_, _| {
+        Err("access denied: anonymous clients may only browse email addresses".into())
+    });
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::mail_client_class;
+    use psf_views::binding::InProcessRemote;
+    use psf_views::{CoherencePolicy, ExposureType, Vig};
+
+    #[test]
+    fn t3_partner_spec_matches_table() {
+        let spec = view_partner();
+        assert_eq!(spec.name, "ViewMailClient_Partner");
+        assert_eq!(spec.represents, "MailClient");
+        assert_eq!(spec.restricts.len(), 3);
+        assert_eq!(spec.restricts[0].exposure, ExposureType::Local);
+        assert_eq!(spec.restricts[1].exposure, ExposureType::Rmi);
+        assert_eq!(spec.restricts[2].exposure, ExposureType::Switchboard);
+        assert_eq!(spec.adds_fields[0].name, "accountCopy");
+        assert_eq!(spec.customizes_methods[0].method_name(), "addMeeting");
+    }
+
+    #[test]
+    fn all_three_views_generate() {
+        let class = mail_client_class();
+        let vig = Vig::new(mail_method_library());
+        for spec in [view_member(), view_partner(), view_anonymous()] {
+            let view = vig.generate(&class, &spec).unwrap_or_else(|e| {
+                panic!("{} failed to generate: {e}", spec.name)
+            });
+            assert!(!view.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn member_has_full_meeting_rights_partner_only_requests() {
+        let class = mail_client_class();
+        let vig = Vig::new(mail_method_library());
+        let original = class.instantiate();
+
+        let member = vig
+            .generate(&class, &view_member())
+            .unwrap()
+            .instantiate(
+                Some(InProcessRemote::rmi(original.clone())),
+                CoherencePolicy::WriteThrough,
+                0,
+                b"",
+            )
+            .unwrap();
+        assert_eq!(member.invoke("addMeeting", b"retro").unwrap(), b"true");
+        assert!(String::from_utf8_lossy(&original.field("meetings")).contains("retro"));
+
+        let partner = vig
+            .generate(&class, &view_partner())
+            .unwrap()
+            .instantiate(
+                Some(InProcessRemote::rmi(original.clone())),
+                CoherencePolicy::WriteThrough,
+                0,
+                b"partner-account",
+            )
+            .unwrap();
+        let out = partner.invoke("addMeeting", b"takeover").unwrap();
+        assert_eq!(out, b"REQUESTED:takeover");
+        assert!(!String::from_utf8_lossy(&original.field("meetings")).contains("takeover"));
+        // Constructor populated the added field.
+        assert_eq!(partner.field("accountCopy"), b"partner-account");
+    }
+
+    #[test]
+    fn anonymous_browses_email_but_not_phone() {
+        let class = mail_client_class();
+        let original = class.instantiate();
+        original.set_field("accounts", "alice,555-0100,alice@comp");
+        let vig = Vig::new(mail_method_library());
+        let anon = vig
+            .generate(&class, &view_anonymous())
+            .unwrap()
+            .instantiate(
+                Some(InProcessRemote::switchboard(original)),
+                CoherencePolicy::WriteThrough,
+                0,
+                b"",
+            )
+            .unwrap();
+        assert_eq!(anon.invoke("getEmail", b"alice").unwrap(), b"alice@comp");
+        let err = anon.invoke("getPhone", b"alice").unwrap_err();
+        assert!(err.contains("denied"));
+        // Messaging is entirely absent from the anonymous view.
+        assert!(anon.invoke("sendMessage", b"x").is_err());
+        assert!(anon.invoke("addMeeting", b"x").is_err());
+    }
+
+    #[test]
+    fn views_form_a_functionality_lattice() {
+        // Member ⊇ Partner ⊇ Anonymous in terms of exposed methods.
+        let class = mail_client_class();
+        let vig = Vig::new(mail_method_library());
+        let count = |spec| {
+            vig.generate(&class, &spec).unwrap().entries.len()
+        };
+        let member = count(view_member());
+        let partner = count(view_partner());
+        let anonymous = count(view_anonymous());
+        assert!(member >= partner, "{member} vs {partner}");
+        assert!(partner > anonymous, "{partner} vs {anonymous}");
+    }
+}

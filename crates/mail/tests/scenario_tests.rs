@@ -1,0 +1,351 @@
+//! End-to-end scenario tests reproducing the paper's §3.3 walkthrough
+//! (Table 2 credentials in action), Table 4 access control, and the §2.2
+//! QoS-adaptation claims (experiment F7).
+
+use psf_core::{Goal, PlanStep};
+use psf_drbac::proof::ProofEngine;
+use psf_mail::{MailWorld, Message};
+
+fn world() -> MailWorld {
+    MailWorld::build(2)
+}
+
+// ---------------------------------------------------------------- T2 --
+
+#[test]
+fn t2_client_authorization_bob_is_ny_member_via_2_and_11() {
+    let w = world();
+    // "dRBAC proves that Bob is Comp.NY.Member by presenting credentials
+    // (2) and (11)."
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    let (proof, _) = engine
+        .prove(
+            &w.bob.as_subject(),
+            &w.ny_guard.entity().role("Member"),
+            &[],
+        )
+        .expect("Bob must map to Comp.NY.Member");
+    assert_eq!(proof.edges.len(), 2);
+    let ids: Vec<String> = proof.edges.iter().map(|e| e.credential.id()).collect();
+    assert!(ids.contains(&w.creds[&11].id()), "chain must use (11)");
+    assert!(ids.contains(&w.creds[&2].id()), "chain must use (2)");
+    proof.verify(&w.registry, &w.bus, 0).unwrap();
+}
+
+#[test]
+fn t2_charlie_is_ny_partner_via_15_12_supported_by_3() {
+    let w = world();
+    // Charlie: (15) Inc.SE.Member, (12) third-party mapping by Comp.SD,
+    // authorized by the assignment delegation (3).
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    let (proof, _) = engine
+        .prove(
+            &w.charlie.as_subject(),
+            &w.ny_guard.entity().role("Partner"),
+            &[],
+        )
+        .expect("Charlie must map to Comp.NY.Partner");
+    // Membership chain: (15) then (12).
+    assert_eq!(proof.edges.len(), 2);
+    // The third-party edge (12) must carry the (3) assignment support.
+    let support = proof.edges[1]
+        .support
+        .as_ref()
+        .expect("(12) is third-party and needs support");
+    assert!(support.assignment);
+    assert_eq!(support.edges[0].credential.id(), w.creds[&3].id());
+    proof.verify(&w.registry, &w.bus, 0).unwrap();
+}
+
+#[test]
+fn t2_alice_is_direct_member() {
+    let w = world();
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    let (proof, _) = engine
+        .prove(
+            &w.alice.as_subject(),
+            &w.ny_guard.entity().role("Member"),
+            &[],
+        )
+        .unwrap();
+    assert_eq!(proof.edges.len(), 1);
+    assert_eq!(proof.edges[0].credential.id(), w.creds[&1].id());
+}
+
+#[test]
+fn t2_node_authorization_sd_maps_13_to_5() {
+    let w = world();
+    // "the machines from San Diego can be mapped from credential (13) to
+    // credential (5)" — via the site-PC role chain.
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    let sd_pc = &w.node_identities[&w.sites.sd[0]];
+    let (proof, _) = engine
+        .prove(&sd_pc.as_subject(), &w.mail.role("Node"), &[])
+        .expect("SD node must map onto Mail.Node");
+    // Trust attenuated to the Dell.SuSe bound (0,7).
+    assert_eq!(
+        proof.attrs.get("Trust"),
+        Some(&psf_drbac::AttrValue::Range(0, 7))
+    );
+    let ids: Vec<String> = proof.edges.iter().map(|e| e.credential.id()).collect();
+    assert!(ids.contains(&w.creds[&13].id()));
+    assert!(ids.contains(&w.creds[&5].id()));
+}
+
+#[test]
+fn t2_se_nodes_are_insecure_low_trust() {
+    let w = world();
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    let se_pc = &w.node_identities[&w.sites.se[0]];
+    let (proof, _) = engine
+        .prove(&se_pc.as_subject(), &w.mail.role("Node"), &[])
+        .unwrap();
+    assert_eq!(
+        proof.attrs.get("Secure"),
+        Some(&psf_drbac::AttrValue::set(["false"]))
+    );
+    assert_eq!(
+        proof.attrs.get("Trust"),
+        Some(&psf_drbac::AttrValue::Range(0, 1))
+    );
+}
+
+#[test]
+fn t2_component_authorization_cpu_attenuates_per_site() {
+    let w = world();
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    // The Encryptor's credential chain into each domain.
+    let subject = psf_drbac::Subject::Role(psf_drbac::RoleName::new("Mail", "Encryptor"));
+    // In SD: (9) + (14) → CPU min(100, 80) = 80.
+    let (proof, _) = engine
+        .prove(&subject, &w.sd_guard.entity().role("Executable"), &[])
+        .unwrap();
+    assert_eq!(proof.attrs.get("CPU"), Some(&psf_drbac::AttrValue::Capacity(80)));
+    // In SE: (9) + (17) → CPU min(100, 40) = 40.
+    let (proof, _) = engine
+        .prove(&subject, &w.se_guard.entity().role("Executable"), &[])
+        .unwrap();
+    assert_eq!(proof.attrs.get("CPU"), Some(&psf_drbac::AttrValue::Capacity(40)));
+}
+
+// ---------------------------------------------------------------- T4 --
+
+#[test]
+fn t4_acl_selects_views_per_role() {
+    let w = world();
+    assert_eq!(
+        w.client_view(&w.alice).unwrap().0,
+        "ViewMailClient_Member"
+    );
+    // Bob holds Member through the cross-domain mapping, so the Member
+    // rule fires first for him too (first match wins).
+    assert_eq!(w.client_view(&w.bob).unwrap().0, "ViewMailClient_Member");
+    // Charlie is only a Partner.
+    assert_eq!(
+        w.client_view(&w.charlie).unwrap().0,
+        "ViewMailClient_Partner"
+    );
+    // A stranger gets the anonymous view.
+    let mallory = psf_drbac::Entity::with_seed("Mallory", b"outside");
+    w.registry.register(&mallory);
+    assert_eq!(
+        w.client_view(&mallory).unwrap().0,
+        "ViewMailClient_Anonymous"
+    );
+}
+
+#[test]
+fn t4_instantiated_views_enforce_capability_differences() {
+    let w = world();
+    let (name, charlie_view) = w.instantiate_client_view(&w.charlie).unwrap();
+    assert_eq!(name, "ViewMailClient_Partner");
+    // Charlie can send messages and add notes…
+    charlie_view
+        .invoke(
+            "sendMessage",
+            &Message::new("charlie", "alice", "hello", "from seattle").to_bytes(),
+        )
+        .unwrap();
+    // …but may only *request* meetings.
+    let out = charlie_view.invoke("addMeeting", b"q3-sync").unwrap();
+    assert_eq!(out, b"REQUESTED:q3-sync");
+
+    let (_, alice_view) = w.instantiate_client_view(&w.alice).unwrap();
+    assert_eq!(alice_view.invoke("addMeeting", b"q3-sync").unwrap(), b"true");
+
+    let mallory = psf_drbac::Entity::with_seed("Mallory", b"outside");
+    w.registry.register(&mallory);
+    let (name, anon_view) = w.instantiate_client_view(&mallory).unwrap();
+    assert_eq!(name, "ViewMailClient_Anonymous");
+    assert!(anon_view.invoke("sendMessage", b"junk").is_err());
+    assert!(anon_view.invoke("getPhone", b"alice").is_err());
+    assert_eq!(
+        anon_view.invoke("getEmail", b"alice").unwrap(),
+        b"alice@comp.ny"
+    );
+}
+
+// ---------------------------------------------------------------- F7 --
+
+#[test]
+fn f7_privacy_over_insecure_wan_deploys_cipher_pair_and_mail_flows() {
+    let w = world();
+    // Bob (San Diego) wants private mail service.
+    let goal = Goal::private("MailI", w.sites.sd[1]);
+    let (plan, deployment) = w.deliver(&goal).unwrap();
+
+    let deploys: Vec<&str> = plan
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            PlanStep::Deploy { spec, .. } => Some(spec.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(deploys.contains(&"Encryptor"), "plan: {}", plan.render());
+    assert!(deploys.contains(&"Decryptor"), "plan: {}", plan.render());
+    assert!(!plan.delivered.plaintext_exposed);
+
+    // End-to-end mail flow through the deployed chain.
+    deployment
+        .endpoint
+        .call_remote(
+            "send",
+            &Message::new("bob", "alice", "subject", "private body").to_bytes(),
+        )
+        .unwrap();
+    let inbox = Message::decode_list(
+        &deployment.endpoint.call_remote("fetch", b"alice").unwrap(),
+    )
+    .unwrap();
+    assert_eq!(inbox.len(), 1);
+    assert_eq!(inbox[0].body, "private body");
+
+    // The message reached the NY server (not stranded in a cache).
+    let server = w.deployer.source("MailServer", w.sites.ny[0]).unwrap();
+    let all = Message::decode_list(&server.invoke("fetch", b"alice").unwrap()).unwrap();
+    assert_eq!(all.len(), 1);
+}
+
+#[test]
+fn f7_latency_bound_in_sd_deploys_cache_view() {
+    let w = world();
+    // Low-latency (non-private) access in San Diego: the WAN's 40 ms
+    // forces a ViewMailServer cache onto a SD node — which is authorized
+    // because Dell.SuSe maps to a secure, trust-7 Mail.Node (cred 5).
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[1],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let (plan, deployment) = w.deliver(&goal).unwrap();
+    let cache_deployed = plan.steps.iter().any(|s| {
+        matches!(s, PlanStep::Deploy { spec, .. } if spec == "ViewMailServer")
+    });
+    assert!(cache_deployed, "plan: {}", plan.render());
+    assert!(plan.delivered.latency_ms <= 10.0);
+
+    // The cache serves reads and writes through to the origin.
+    deployment
+        .endpoint
+        .call_remote(
+            "send",
+            &Message::new("bob", "alice", "s", "cached write").to_bytes(),
+        )
+        .unwrap();
+    let server = w.deployer.source("MailServer", w.sites.ny[0]).unwrap();
+    let inbox = Message::decode_list(&server.invoke("fetch", b"alice").unwrap()).unwrap();
+    assert_eq!(inbox.len(), 1, "write must reach the origin through coherence");
+}
+
+#[test]
+fn f7_cache_is_not_authorized_on_seattle_nodes() {
+    let w = world();
+    // The same latency demand in Seattle cannot be met: the cache demands
+    // Secure={true}, Trust=(5,10) but IBM.Windows maps to Secure={false},
+    // Trust=(0,1) (cred 6). The planner must fail rather than place
+    // plaintext mail on an untrusted node.
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.se[1],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let err = w.plan_service(&goal);
+    assert!(err.is_err(), "Seattle cache deployment must be refused");
+}
+
+#[test]
+fn f7_direct_access_without_constraints_needs_no_deployments() {
+    let w = world();
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.ny[1],
+        max_latency_ms: None,
+        require_privacy: true,
+        require_plaintext_delivery: true,
+    };
+    let (plan, _) = w.plan_service(&goal).unwrap();
+    assert_eq!(plan.deployments(), 0, "LAN access is direct: {}", plan.render());
+}
+
+#[test]
+fn f6_views_increase_deployment_success() {
+    // "Views … increase the likelihood of the planner finding a component
+    // deployment in constrained environments."
+    let w = world();
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[1],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    assert!(w.plan_service(&goal).is_ok(), "with views: plan exists");
+    // Remove the view template: the same goal becomes unsatisfiable.
+    w.registrar.unregister("ViewMailServer");
+    assert!(w.plan_service(&goal).is_err(), "without views: no plan");
+}
+
+#[test]
+fn revocation_of_member_credential_downgrades_bob() {
+    let w = world();
+    assert_eq!(w.client_view(&w.bob).unwrap().0, "ViewMailClient_Member");
+    // SD-Guard revokes Bob's membership (11).
+    w.sd_guard.revoke(&w.creds[&11]);
+    // Bob falls through to the anonymous catch-all.
+    assert_eq!(
+        w.client_view(&w.bob).unwrap().0,
+        "ViewMailClient_Anonymous"
+    );
+}
+
+#[test]
+fn credential_numbering_matches_paper_table() {
+    let w = world();
+    let expected: &[(u8, &str)] = &[
+        (1, "[ Alice -> Comp.NY.Member ] Comp.NY"),
+        (2, "[ Comp.SD.Member -> Comp.NY.Member ] Comp.NY"),
+        (3, "[ Comp.SD -> Comp.NY.Partner ' ] Comp.NY"),
+        (7, "[ Comp.NY.PC -> Dell.Linux ] Dell"),
+        (11, "[ Bob -> Comp.SD.Member ] Comp.SD"),
+        (12, "[ Inc.SE.Member -> Comp.NY.Partner ] Comp.SD"),
+        (13, "[ Comp.SD.PC -> Dell.SuSe ] Dell"),
+        (15, "[ Charlie -> Inc.SE.Member ] Inc.SE"),
+        (16, "[ Inc.SE.PC -> IBM.Windows ] IBM"),
+    ];
+    for (n, text) in expected {
+        assert_eq!(&w.creds[n].body.render(), text, "credential ({n})");
+    }
+    assert!(w.creds[&8]
+        .body
+        .render()
+        .starts_with("[ Mail.MailClient -> Comp.NY.Executable ] Comp.NY"));
+    assert!(w.creds[&17]
+        .body
+        .render()
+        .contains("Inc.SE.Executable"));
+}

@@ -1,0 +1,130 @@
+//! Change notification — the substrate of PSF's *monitoring* module.
+
+use crate::network::{LinkId, NodeId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A change in the environment that the planner may need to react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkEvent {
+    /// A node joined the network.
+    NodeAdded(NodeId),
+    /// A node's dynamic properties changed (CPU reservation etc.).
+    NodeChanged(NodeId),
+    /// A link was added.
+    LinkAdded(LinkId),
+    /// A link's properties changed (bandwidth, latency, security).
+    LinkChanged(LinkId),
+}
+
+/// Broadcast hub: every subscriber gets every event.
+#[derive(Clone)]
+pub(crate) struct EventHub {
+    subscribers: Arc<Mutex<Vec<Sender<NetworkEvent>>>>,
+}
+
+impl EventHub {
+    pub(crate) fn new() -> EventHub {
+        EventHub { subscribers: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    pub(crate) fn publish(&self, ev: NetworkEvent) {
+        // Drop closed subscribers as we go.
+        self.subscribers.lock().retain(|tx| tx.send(ev).is_ok());
+    }
+
+    pub(crate) fn subscribe(&self) -> NetworkMonitor {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        NetworkMonitor { rx }
+    }
+}
+
+/// A subscription to network change events (PSF monitoring module).
+pub struct NetworkMonitor {
+    rx: Receiver<NetworkEvent>,
+}
+
+impl NetworkMonitor {
+    /// Non-blocking poll.
+    pub fn try_event(&self) -> Option<NetworkEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain all pending events.
+    pub fn drain(&self) -> Vec<NetworkEvent> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.rx.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Block for the next event with a timeout.
+    pub fn wait_event(&self, timeout: std::time::Duration) -> Option<NetworkEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{LinkSpec, Network, NodeSpec};
+
+    fn node(name: &str) -> NodeSpec {
+        NodeSpec {
+            name: name.into(),
+            domain: "D".into(),
+            vendor: "Dell".into(),
+            os: "Linux".into(),
+            cpu_capacity: 100,
+            cpu_used: 0,
+        }
+    }
+
+    #[test]
+    fn monitor_sees_changes() {
+        let net = Network::new();
+        let a = net.add_node(node("a"));
+        let b = net.add_node(node("b"));
+        let l = net.add_link(LinkSpec {
+            a,
+            b,
+            latency_ms: 1.0,
+            bandwidth_mbps: 100.0,
+            secure: true,
+        });
+        let mon = net.monitor();
+        net.set_bandwidth(l, 1.0);
+        net.reserve_cpu(a, 10);
+        let evs = mon.drain();
+        assert_eq!(
+            evs,
+            vec![NetworkEvent::LinkChanged(l), NetworkEvent::NodeChanged(a)]
+        );
+    }
+
+    #[test]
+    fn monitors_are_independent() {
+        let net = Network::new();
+        let m1 = net.monitor();
+        let m2 = net.monitor();
+        let a = net.add_node(node("a"));
+        assert_eq!(m1.try_event(), Some(NetworkEvent::NodeAdded(a)));
+        assert_eq!(m2.try_event(), Some(NetworkEvent::NodeAdded(a)));
+        assert_eq!(m1.try_event(), None);
+    }
+
+    #[test]
+    fn dropped_monitor_is_pruned() {
+        let net = Network::new();
+        let m1 = net.monitor();
+        drop(m1);
+        // Publishing after a subscriber is gone must not panic or leak.
+        let _ = net.add_node(node("a"));
+        let m2 = net.monitor();
+        let _ = net.add_node(node("b"));
+        assert_eq!(m2.drain().len(), 1);
+    }
+}

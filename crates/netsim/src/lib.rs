@@ -1,0 +1,34 @@
+//! # psf-netsim
+//!
+//! The environment model of PSF (paper §2.1): "the environment itself is
+//! modeled in terms of nodes and links that possess their own set of
+//! properties". This crate provides
+//!
+//! * a concurrent [`Network`] of [`NodeSpec`]s and [`LinkSpec`]s with
+//!   latency / bandwidth / security properties,
+//! * shortest-path routing and an analytic transfer-time model used by the
+//!   planner and by the mail-application benchmarks,
+//! * dynamic property updates that broadcast [`NetworkEvent`]s to
+//!   subscribers (PSF's *monitoring* module),
+//! * scenario topologies: the paper's three-site Comp.NY / Comp.SD /
+//!   Inc.SE deployment and seeded random multi-domain topologies for the
+//!   planner-flexibility experiment (F6),
+//! * a manually advanced [`SimClock`] shared across the framework.
+//!
+//! **Substitution note** (DESIGN.md): the paper ran on real LAN/WAN links;
+//! we model the three sites as LANs (high bandwidth, low latency, secure)
+//! joined by insecure, slow WAN links, which exercises exactly the same
+//! planner and deployment code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod network;
+pub mod topology;
+
+pub use clock::SimClock;
+pub use events::{NetworkEvent, NetworkMonitor};
+pub use network::{LinkId, LinkSpec, Network, NodeId, NodeSpec, PathMetrics};
+pub use topology::{random_topology, three_site_scenario, ThreeSites, TopologyConfig};

@@ -1,0 +1,484 @@
+//! The node/link graph with properties, routing, and the transfer model.
+
+use crate::events::{EventHub, NetworkEvent};
+use parking_lot::RwLock;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Identifier of a node in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a (bidirectional) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// Static + dynamic description of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Unique display name, e.g. `ny-server-1`.
+    pub name: String,
+    /// Administrative domain (`Comp.NY`, `Comp.SD`, `Inc.SE`).
+    pub domain: String,
+    /// Hardware vendor credential namespace (`Dell`, `IBM`).
+    pub vendor: String,
+    /// Installed OS (`Linux`, `SuSe`, `Windows`) — with the vendor this
+    /// yields the node's vendor role, e.g. `Dell.Linux` (Table 2 creds
+    /// 7/13/16).
+    pub os: String,
+    /// Total CPU capacity in abstract units (100 = one core's worth).
+    pub cpu_capacity: u32,
+    /// CPU currently allocated to deployed components.
+    pub cpu_used: u32,
+}
+
+impl NodeSpec {
+    /// The vendor role string for dRBAC node authorization (`Dell.Linux`).
+    pub fn vendor_role(&self) -> String {
+        format!("{}.{}", self.vendor, self.os)
+    }
+
+    /// CPU still available for deployment.
+    pub fn cpu_available(&self) -> u32 {
+        self.cpu_capacity.saturating_sub(self.cpu_used)
+    }
+}
+
+/// Static + dynamic description of a bidirectional link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Endpoint node.
+    pub a: NodeId,
+    /// Endpoint node.
+    pub b: NodeId,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+    /// Bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Whether the link is considered secure (LAN) or exposed (WAN).
+    pub secure: bool,
+}
+
+/// Aggregate metrics of a routed path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathMetrics {
+    /// Links along the path in order.
+    pub links: Vec<LinkId>,
+    /// Total one-way latency (ms).
+    pub latency_ms: f64,
+    /// Bottleneck bandwidth (Mbps).
+    pub bandwidth_mbps: f64,
+    /// True iff every link on the path is secure.
+    pub all_secure: bool,
+}
+
+impl PathMetrics {
+    /// Time to move `bytes` across this path, in milliseconds:
+    /// latency + serialization at the bottleneck.
+    pub fn transfer_time_ms(&self, bytes: u64) -> f64 {
+        let bits = (bytes as f64) * 8.0;
+        let serialization_ms = if self.bandwidth_mbps > 0.0 {
+            bits / (self.bandwidth_mbps * 1000.0)
+        } else {
+            f64::INFINITY
+        };
+        self.latency_ms + serialization_ms
+    }
+}
+
+struct Inner {
+    nodes: Vec<NodeSpec>,
+    links: Vec<LinkSpec>,
+    adjacency: HashMap<NodeId, Vec<LinkId>>,
+}
+
+/// A concurrent, dynamically updatable network graph.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<RwLock<Inner>>,
+    events: EventHub,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// New empty network.
+    pub fn new() -> Network {
+        Network {
+            inner: Arc::new(RwLock::new(Inner {
+                nodes: Vec::new(),
+                links: Vec::new(),
+                adjacency: HashMap::new(),
+            })),
+            events: EventHub::new(),
+        }
+    }
+
+    /// The event hub the monitoring module subscribes to.
+    #[allow(dead_code)]
+    pub(crate) fn events(&self) -> &EventHub {
+        &self.events
+    }
+
+    /// Subscribe to network change events.
+    pub fn monitor(&self) -> crate::events::NetworkMonitor {
+        self.events.subscribe()
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&self, spec: NodeSpec) -> NodeId {
+        let mut g = self.inner.write();
+        let id = NodeId(g.nodes.len() as u32);
+        g.nodes.push(spec);
+        g.adjacency.entry(id).or_default();
+        self.events.publish(NetworkEvent::NodeAdded(id));
+        id
+    }
+
+    /// Add a bidirectional link; returns its id.
+    pub fn add_link(&self, spec: LinkSpec) -> LinkId {
+        let mut g = self.inner.write();
+        assert!((spec.a.0 as usize) < g.nodes.len(), "unknown endpoint {:?}", spec.a);
+        assert!((spec.b.0 as usize) < g.nodes.len(), "unknown endpoint {:?}", spec.b);
+        let id = LinkId(g.links.len() as u32);
+        let (a, b) = (spec.a, spec.b);
+        g.links.push(spec);
+        g.adjacency.entry(a).or_default().push(id);
+        g.adjacency.entry(b).or_default().push(id);
+        self.events.publish(NetworkEvent::LinkAdded(id));
+        id
+    }
+
+    /// Snapshot a node's spec.
+    pub fn node(&self, id: NodeId) -> Option<NodeSpec> {
+        self.inner.read().nodes.get(id.0 as usize).cloned()
+    }
+
+    /// Snapshot a link's spec.
+    pub fn link(&self, id: LinkId) -> Option<LinkSpec> {
+        self.inner.read().links.get(id.0 as usize).cloned()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.inner.read().links.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.node_count() as u32).map(NodeId).collect()
+    }
+
+    /// Find a node id by display name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.inner
+            .read()
+            .nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Nodes belonging to a domain.
+    pub fn nodes_in_domain(&self, domain: &str) -> Vec<NodeId> {
+        self.inner
+            .read()
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.domain == domain)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Update a link's bandwidth (monitoring event fires).
+    pub fn set_bandwidth(&self, id: LinkId, mbps: f64) {
+        {
+            let mut g = self.inner.write();
+            g.links[id.0 as usize].bandwidth_mbps = mbps;
+        }
+        self.events.publish(NetworkEvent::LinkChanged(id));
+    }
+
+    /// Update a link's latency (monitoring event fires).
+    pub fn set_latency(&self, id: LinkId, ms: f64) {
+        {
+            let mut g = self.inner.write();
+            g.links[id.0 as usize].latency_ms = ms;
+        }
+        self.events.publish(NetworkEvent::LinkChanged(id));
+    }
+
+    /// Take a link out of service: routing treats it as absent until
+    /// [`restore_link`](Self::restore_link). (Implemented as an infinite
+    /// latency, which Dijkstra never traverses.)
+    pub fn fail_link(&self, id: LinkId) {
+        self.set_latency(id, f64::INFINITY);
+    }
+
+    /// Bring a failed link back with the given latency.
+    pub fn restore_link(&self, id: LinkId, latency_ms: f64) {
+        self.set_latency(id, latency_ms);
+    }
+
+    /// Update a link's security flag (monitoring event fires).
+    pub fn set_secure(&self, id: LinkId, secure: bool) {
+        {
+            let mut g = self.inner.write();
+            g.links[id.0 as usize].secure = secure;
+        }
+        self.events.publish(NetworkEvent::LinkChanged(id));
+    }
+
+    /// Reserve CPU on a node for a component deployment. Returns false if
+    /// insufficient capacity remains.
+    pub fn reserve_cpu(&self, id: NodeId, units: u32) -> bool {
+        let ok = {
+            let mut g = self.inner.write();
+            let n = &mut g.nodes[id.0 as usize];
+            if n.cpu_available() >= units {
+                n.cpu_used += units;
+                true
+            } else {
+                false
+            }
+        };
+        if ok {
+            self.events.publish(NetworkEvent::NodeChanged(id));
+        }
+        ok
+    }
+
+    /// Release previously reserved CPU.
+    pub fn release_cpu(&self, id: NodeId, units: u32) {
+        {
+            let mut g = self.inner.write();
+            let n = &mut g.nodes[id.0 as usize];
+            n.cpu_used = n.cpu_used.saturating_sub(units);
+        }
+        self.events.publish(NetworkEvent::NodeChanged(id));
+    }
+
+    /// Dijkstra shortest path by latency from `from` to `to`. Returns the
+    /// path metrics, or `None` if disconnected.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<PathMetrics> {
+        if from == to {
+            return Some(PathMetrics {
+                links: Vec::new(),
+                latency_ms: 0.0,
+                bandwidth_mbps: f64::INFINITY,
+                all_secure: true,
+            });
+        }
+        let g = self.inner.read();
+        // (negated latency, node) min-heap via Reverse-ordering trick.
+        #[derive(PartialEq)]
+        struct Entry(f64, NodeId);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Max-heap on negated latency = min-heap on latency.
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| self.1.cmp(&other.1))
+            }
+        }
+
+        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(from, 0.0);
+        heap.push(Entry(0.0, from));
+        while let Some(Entry(d, u)) = heap.pop() {
+            if u == to {
+                break;
+            }
+            if d > *dist.get(&u).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            for &lid in g.adjacency.get(&u).into_iter().flatten() {
+                let l = &g.links[lid.0 as usize];
+                let v = if l.a == u { l.b } else { l.a };
+                let nd = d + l.latency_ms;
+                if nd < *dist.get(&v).unwrap_or(&f64::INFINITY) {
+                    dist.insert(v, nd);
+                    prev.insert(v, (u, lid));
+                    heap.push(Entry(nd, v));
+                }
+            }
+        }
+        if !dist.contains_key(&to) {
+            return None;
+        }
+        // Reconstruct.
+        let mut links = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (p, l) = *prev.get(&cur)?;
+            links.push(l);
+            cur = p;
+        }
+        links.reverse();
+        let mut latency = 0.0;
+        let mut bw = f64::INFINITY;
+        let mut secure = true;
+        for &lid in &links {
+            let l = &g.links[lid.0 as usize];
+            latency += l.latency_ms;
+            bw = bw.min(l.bandwidth_mbps);
+            secure &= l.secure;
+        }
+        Some(PathMetrics {
+            links,
+            latency_ms: latency,
+            bandwidth_mbps: bw,
+            all_secure: secure,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, domain: &str) -> NodeSpec {
+        NodeSpec {
+            name: name.into(),
+            domain: domain.into(),
+            vendor: "Dell".into(),
+            os: "Linux".into(),
+            cpu_capacity: 100,
+            cpu_used: 0,
+        }
+    }
+
+    fn link(a: NodeId, b: NodeId, lat: f64, bw: f64, secure: bool) -> LinkSpec {
+        LinkSpec { a, b, latency_ms: lat, bandwidth_mbps: bw, secure }
+    }
+
+    #[test]
+    fn route_prefers_lower_latency() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let b = net.add_node(node("b", "D"));
+        let c = net.add_node(node("c", "D"));
+        net.add_link(link(a, c, 100.0, 10.0, true)); // direct but slow
+        net.add_link(link(a, b, 10.0, 100.0, true));
+        net.add_link(link(b, c, 10.0, 100.0, true));
+        let p = net.route(a, c).unwrap();
+        assert_eq!(p.links.len(), 2);
+        assert!((p.latency_ms - 20.0).abs() < 1e-9);
+        assert!((p.bandwidth_mbps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_reports_insecure_path() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D1"));
+        let b = net.add_node(node("b", "D2"));
+        net.add_link(link(a, b, 50.0, 1.0, false));
+        let p = net.route(a, b).unwrap();
+        assert!(!p.all_secure);
+    }
+
+    #[test]
+    fn route_to_self_is_free() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let p = net.route(a, a).unwrap();
+        assert_eq!(p.latency_ms, 0.0);
+        assert!(p.all_secure);
+    }
+
+    #[test]
+    fn disconnected_nodes_unroutable() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let b = net.add_node(node("b", "D"));
+        assert!(net.route(a, b).is_none());
+    }
+
+    #[test]
+    fn transfer_time_model() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let b = net.add_node(node("b", "D"));
+        net.add_link(link(a, b, 10.0, 8.0, true)); // 8 Mbps = 1 KB/ms
+        let p = net.route(a, b).unwrap();
+        // 1 MB at 8 Mbps = 1000 ms serialization + 10 ms latency.
+        let t = p.transfer_time_ms(1_000_000);
+        assert!((t - 1010.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn cpu_reservation() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        assert!(net.reserve_cpu(a, 60));
+        assert!(!net.reserve_cpu(a, 60));
+        assert!(net.reserve_cpu(a, 40));
+        net.release_cpu(a, 50);
+        assert_eq!(net.node(a).unwrap().cpu_available(), 50);
+    }
+
+    #[test]
+    fn dynamic_updates_reroute() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let b = net.add_node(node("b", "D"));
+        let c = net.add_node(node("c", "D"));
+        let direct = net.add_link(link(a, c, 10.0, 10.0, true));
+        net.add_link(link(a, b, 15.0, 10.0, true));
+        net.add_link(link(b, c, 15.0, 10.0, true));
+        assert_eq!(net.route(a, c).unwrap().links, vec![direct]);
+        net.set_latency(direct, 100.0);
+        assert_eq!(net.route(a, c).unwrap().links.len(), 2);
+    }
+
+    #[test]
+    fn failed_links_are_not_routed() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let b = net.add_node(node("b", "D"));
+        let c = net.add_node(node("c", "D"));
+        let direct = net.add_link(link(a, b, 5.0, 10.0, true));
+        net.add_link(link(a, c, 10.0, 10.0, true));
+        net.add_link(link(c, b, 10.0, 10.0, true));
+        assert_eq!(net.route(a, b).unwrap().links, vec![direct]);
+        net.fail_link(direct);
+        let detour = net.route(a, b).unwrap();
+        assert_eq!(detour.links.len(), 2);
+        // Fail the detour too: unreachable.
+        net.fail_link(detour.links[0]);
+        assert!(net.route(a, b).is_none());
+        // Restore: direct path returns.
+        net.restore_link(direct, 5.0);
+        assert_eq!(net.route(a, b).unwrap().links, vec![direct]);
+    }
+
+    #[test]
+    fn domain_and_name_lookup() {
+        let net = Network::new();
+        let a = net.add_node(node("ny-1", "Comp.NY"));
+        let _ = net.add_node(node("sd-1", "Comp.SD"));
+        assert_eq!(net.find_node("ny-1"), Some(a));
+        assert_eq!(net.nodes_in_domain("Comp.NY"), vec![a]);
+        assert_eq!(net.node(a).unwrap().vendor_role(), "Dell.Linux");
+    }
+}

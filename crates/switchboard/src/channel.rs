@@ -1,0 +1,600 @@
+//! The Switchboard channel: sequence-numbered (replay-rejecting) AEAD
+//! records, heartbeats with RTT tracking, continuous authorization, and
+//! the two-way RPC interface.
+
+use crate::rpc::{self, RpcStatus};
+use crate::suite::{AuthorizationMonitor, Authorizer};
+use crate::transport::{FrameReceiver, FrameSender};
+use crate::SwitchboardError;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use psf_crypto::aead::ChaCha20Poly1305;
+use psf_drbac::entity::EntityName;
+use psf_drbac::wire;
+use psf_crypto::ed25519::VerifyingKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Inner frame types.
+pub(crate) const FT_RPC_REQ: u8 = 0;
+pub(crate) const FT_RPC_RESP: u8 = 1;
+pub(crate) const FT_HEARTBEAT: u8 = 2;
+pub(crate) const FT_HB_ACK: u8 = 3;
+pub(crate) const FT_REAUTH_OFFER: u8 = 4;
+pub(crate) const FT_REAUTH_RESULT: u8 = 5;
+pub(crate) const FT_CLOSE: u8 = 6;
+
+/// Channel security mode.
+pub enum Mode {
+    /// Unauthenticated plaintext — models the paper's `rmi` exposure type.
+    Plain,
+    /// Encrypted + authenticated + continuously authorized (`switchboard`
+    /// exposure type).
+    Secure {
+        /// AEAD for outgoing records.
+        send: ChaCha20Poly1305,
+        /// AEAD for incoming records.
+        recv: ChaCha20Poly1305,
+        /// Nonce direction byte for outgoing records.
+        send_dir: u8,
+        /// Nonce direction byte for incoming records.
+        recv_dir: u8,
+    },
+}
+
+/// User-facing channel configuration.
+#[derive(Clone, Debug)]
+pub struct ChannelConfig {
+    /// Period of automatic heartbeats; `None` disables the heartbeat
+    /// thread (tests then call [`Channel::send_heartbeat`] manually).
+    pub heartbeat_interval: Option<Duration>,
+    /// Default timeout for [`Channel::call`].
+    pub rpc_timeout: Duration,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            heartbeat_interval: Some(Duration::from_millis(200)),
+            rpc_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Current trust state of the channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelStatus {
+    /// Traffic flows.
+    Healthy,
+    /// The peer's authorization was invalidated (credential id recorded);
+    /// application traffic is refused until re-validation succeeds.
+    RevalidationRequired(String),
+    /// Closed (by either side or transport loss).
+    Closed,
+}
+
+/// Wire traffic counters for one channel endpoint.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Frames written to the transport.
+    pub frames_sent: u64,
+    /// Frames accepted from the transport.
+    pub frames_received: u64,
+    /// Bytes written (record layer included).
+    pub bytes_sent: u64,
+    /// Bytes accepted (record layer included).
+    pub bytes_received: u64,
+}
+
+/// Information about the authenticated peer (absent in plain mode).
+#[derive(Clone)]
+pub struct PeerInfo {
+    /// The peer's claimed (and credential-bound) entity name.
+    pub name: EntityName,
+    /// The peer's identity key.
+    pub key: VerifyingKey,
+}
+
+type Handler = Arc<dyn Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
+type DefaultHandler = Arc<dyn Fn(&str, &[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
+type PendingMap = HashMap<u64, Sender<Result<Vec<u8>, SwitchboardError>>>;
+
+pub(crate) struct ChannelInner {
+    sender: Mutex<Box<dyn FrameSender>>,
+    mode: Mode,
+    send_seq: AtomicU64,
+    recv_seq: AtomicU64,
+    status: RwLock<ChannelStatus>,
+    peer: Option<PeerInfo>,
+    monitor: Mutex<Option<AuthorizationMonitor>>,
+    authorizer: Option<Authorizer>,
+    pending: Mutex<PendingMap>,
+    reauth_waiters: Mutex<Vec<Sender<bool>>>,
+    next_rpc_id: AtomicU64,
+    handlers: RwLock<HashMap<String, Handler>>,
+    default_handler: RwLock<Option<DefaultHandler>>,
+    start: Instant,
+    last_heard_us: AtomicU64,
+    last_rtt_us: AtomicU64,
+    hb_send_seq: AtomicU64,
+    hb_recv_seq: AtomicU64,
+    heartbeats_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    closed: AtomicBool,
+    config: ChannelConfig,
+}
+
+/// A live Switchboard channel endpoint.
+pub struct Channel {
+    pub(crate) inner: Arc<ChannelInner>,
+}
+
+impl Channel {
+    /// Assemble a channel over split transport halves; spawns the reader
+    /// (and heartbeat) threads. Called by the handshake module.
+    pub(crate) fn start(
+        sender: Box<dyn FrameSender>,
+        receiver: Box<dyn FrameReceiver>,
+        mode: Mode,
+        peer: Option<PeerInfo>,
+        monitor: Option<AuthorizationMonitor>,
+        authorizer: Option<Authorizer>,
+        config: ChannelConfig,
+    ) -> Channel {
+        let inner = Arc::new(ChannelInner {
+            sender: Mutex::new(sender),
+            mode,
+            send_seq: AtomicU64::new(0),
+            recv_seq: AtomicU64::new(0),
+            status: RwLock::new(ChannelStatus::Healthy),
+            peer,
+            monitor: Mutex::new(monitor),
+            authorizer,
+            pending: Mutex::new(HashMap::new()),
+            reauth_waiters: Mutex::new(Vec::new()),
+            next_rpc_id: AtomicU64::new(1),
+            handlers: RwLock::new(HashMap::new()),
+            default_handler: RwLock::new(None),
+            start: Instant::now(),
+            last_heard_us: AtomicU64::new(0),
+            last_rtt_us: AtomicU64::new(0),
+            hb_send_seq: AtomicU64::new(0),
+            hb_recv_seq: AtomicU64::new(0),
+            heartbeats_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            config,
+        });
+
+        // Reader thread.
+        {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("swbd-reader".into())
+                .spawn(move || reader_loop(inner, receiver))
+                .expect("spawn reader");
+        }
+        // Heartbeat thread.
+        if let Some(interval) = inner.config.heartbeat_interval {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("swbd-heartbeat".into())
+                .spawn(move || {
+                    while !inner.closed.load(Ordering::SeqCst) {
+                        std::thread::sleep(interval);
+                        if inner.closed.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let _ = send_heartbeat_frame(&inner);
+                    }
+                })
+                .expect("spawn heartbeat");
+        }
+        Channel { inner }
+    }
+
+    /// The authenticated peer (None in plain mode).
+    pub fn peer(&self) -> Option<PeerInfo> {
+        self.inner.peer.clone()
+    }
+
+    /// Current trust status.
+    pub fn status(&self) -> ChannelStatus {
+        self.inner.status.read().clone()
+    }
+
+    /// Most recent measured round-trip time, if any heartbeat has been
+    /// acknowledged.
+    pub fn last_rtt(&self) -> Option<Duration> {
+        match self.inner.last_rtt_us.load(Ordering::SeqCst) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    /// Whether the peer has been heard from within `window`.
+    pub fn is_alive(&self, window: Duration) -> bool {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        let last = self.inner.last_heard_us.load(Ordering::SeqCst);
+        let now = self.inner.start.elapsed().as_micros() as u64;
+        now.saturating_sub(last) <= window.as_micros() as u64
+    }
+
+    /// Heartbeats received from the peer so far.
+    pub fn heartbeats_received(&self) -> u64 {
+        self.inner.heartbeats_received.load(Ordering::SeqCst)
+    }
+
+    /// Wire traffic counters (frames and bytes in each direction,
+    /// including record-layer overhead).
+    pub fn traffic(&self) -> TrafficStats {
+        TrafficStats {
+            frames_sent: self.inner.frames_sent.load(Ordering::SeqCst),
+            frames_received: self.inner.frames_received.load(Ordering::SeqCst),
+            bytes_sent: self.inner.bytes_sent.load(Ordering::SeqCst),
+            bytes_received: self.inner.bytes_received.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Register a handler for incoming RPC requests.
+    pub fn register_handler<F>(&self, method: impl Into<String>, f: F)
+    where
+        F: Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync + 'static,
+    {
+        self.inner.handlers.write().insert(method.into(), Arc::new(f));
+    }
+
+    /// Register a catch-all handler invoked (with the method name) when no
+    /// per-method handler matches — used to serve whole component
+    /// endpoints over one channel.
+    pub fn register_default_handler<F>(&self, f: F)
+    where
+        F: Fn(&str, &[u8]) -> Result<Vec<u8>, String> + Send + Sync + 'static,
+    {
+        *self.inner.default_handler.write() = Some(Arc::new(f));
+    }
+
+    /// Invoke a remote method and await its response (uses the configured
+    /// RPC timeout).
+    pub fn call(&self, method: &str, args: &[u8]) -> Result<Vec<u8>, SwitchboardError> {
+        self.call_timeout(method, args, self.inner.config.rpc_timeout)
+    }
+
+    /// Invoke a remote method with an explicit timeout.
+    pub fn call_timeout(
+        &self,
+        method: &str,
+        args: &[u8],
+        timeout: Duration,
+    ) -> Result<Vec<u8>, SwitchboardError> {
+        self.check_traffic_allowed()?;
+        let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(id, tx);
+        let body = rpc::encode_request(id, method, args);
+        if let Err(e) = send_frame(&self.inner, FT_RPC_REQ, &body) {
+            self.inner.pending.lock().remove(&id);
+            return Err(e);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                self.inner.pending.lock().remove(&id);
+                if self.inner.closed.load(Ordering::SeqCst) {
+                    Err(SwitchboardError::Closed)
+                } else {
+                    Err(SwitchboardError::Timeout)
+                }
+            }
+        }
+    }
+
+    /// Send one heartbeat now (used when the automatic thread is
+    /// disabled).
+    pub fn send_heartbeat(&self) -> Result<(), SwitchboardError> {
+        send_heartbeat_frame(&self.inner)
+    }
+
+    /// Offer fresh credentials to the peer to re-validate this endpoint
+    /// after a revocation. Returns whether the peer accepted.
+    pub fn offer_revalidation(
+        &self,
+        credentials: &[psf_drbac::SignedDelegation],
+        timeout: Duration,
+    ) -> Result<bool, SwitchboardError> {
+        let (tx, rx) = bounded(1);
+        self.inner.reauth_waiters.lock().push(tx);
+        let body = wire::encode_credentials(credentials);
+        send_frame(&self.inner, FT_REAUTH_OFFER, &body)?;
+        rx.recv_timeout(timeout)
+            .map_err(|_| SwitchboardError::Timeout)
+    }
+
+    /// Close the channel, notifying the peer.
+    pub fn close(&self) {
+        if !self.inner.closed.swap(true, Ordering::SeqCst) {
+            let _ = send_frame_raw(&self.inner, FT_CLOSE, &[]);
+            mark_closed(&self.inner);
+        }
+    }
+
+    fn check_traffic_allowed(&self) -> Result<(), SwitchboardError> {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            return Err(SwitchboardError::Closed);
+        }
+        // Continuous authorization: our monitor watches the peer.
+        let monitor = self.inner.monitor.lock();
+        if let Some(m) = monitor.as_ref() {
+            if !m.is_valid() {
+                let id = m
+                    .revocation_notice()
+                    .unwrap_or_else(|| "unknown credential".into());
+                *self.inner.status.write() = ChannelStatus::RevalidationRequired(id.clone());
+                return Err(SwitchboardError::RevalidationRequired(id));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Channel {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+// ------------------------------------------------------------ framing --
+
+fn seal_nonce(dir: u8, seq: u64) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n[0] = dir;
+    n[4..12].copy_from_slice(&seq.to_le_bytes());
+    n
+}
+
+fn send_frame(
+    inner: &Arc<ChannelInner>,
+    ft: u8,
+    body: &[u8],
+) -> Result<(), SwitchboardError> {
+    if inner.closed.load(Ordering::SeqCst) && ft != FT_CLOSE {
+        return Err(SwitchboardError::Closed);
+    }
+    send_frame_raw(inner, ft, body)
+}
+
+fn send_frame_raw(
+    inner: &Arc<ChannelInner>,
+    ft: u8,
+    body: &[u8],
+) -> Result<(), SwitchboardError> {
+    let mut inner_frame = Vec::with_capacity(1 + body.len());
+    inner_frame.push(ft);
+    inner_frame.extend_from_slice(body);
+
+    // Sequence allocation and transmission must be atomic together: the
+    // receiver enforces strictly increasing sequence numbers (replay
+    // rejection), so a frame numbered later must never hit the wire
+    // earlier.
+    let mut sender = inner.sender.lock();
+    let seq = inner.send_seq.fetch_add(1, Ordering::SeqCst);
+    let mut wire_frame = Vec::with_capacity(8 + inner_frame.len() + 16);
+    wire_frame.extend_from_slice(&seq.to_le_bytes());
+    match &inner.mode {
+        Mode::Plain => wire_frame.extend_from_slice(&inner_frame),
+        Mode::Secure { send, send_dir, .. } => {
+            let nonce = seal_nonce(*send_dir, seq);
+            wire_frame.extend_from_slice(&send.seal(&nonce, b"swbd-record", &inner_frame));
+        }
+    }
+    sender.send(&wire_frame)?;
+    inner.frames_sent.fetch_add(1, Ordering::Relaxed);
+    inner
+        .bytes_sent
+        .fetch_add(wire_frame.len() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+fn send_heartbeat_frame(inner: &Arc<ChannelInner>) -> Result<(), SwitchboardError> {
+    let hb_seq = inner.hb_send_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let t_us = inner.start.elapsed().as_micros() as u64;
+    let mut body = Vec::with_capacity(16);
+    body.extend_from_slice(&hb_seq.to_le_bytes());
+    body.extend_from_slice(&t_us.to_le_bytes());
+    send_frame(inner, FT_HEARTBEAT, &body)
+}
+
+fn mark_closed(inner: &Arc<ChannelInner>) {
+    inner.closed.store(true, Ordering::SeqCst);
+    *inner.status.write() = ChannelStatus::Closed;
+    // Fail all pending RPCs.
+    let pending: Vec<_> = inner.pending.lock().drain().collect();
+    for (_, tx) in pending {
+        let _ = tx.send(Err(SwitchboardError::Closed));
+    }
+}
+
+// ------------------------------------------------------------- reader --
+
+fn reader_loop(inner: Arc<ChannelInner>, mut receiver: Box<dyn FrameReceiver>) {
+    while let Ok(frame) = receiver.recv() {
+        if frame.len() < 8 {
+            break; // protocol violation
+        }
+        inner.frames_received.fetch_add(1, Ordering::Relaxed);
+        inner
+            .bytes_received
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let seq = u64::from_le_bytes(frame[..8].try_into().unwrap());
+        let expected = inner.recv_seq.load(Ordering::SeqCst);
+        if seq != expected {
+            // Replay or reorder: hard protocol failure.
+            break;
+        }
+        inner.recv_seq.store(expected + 1, Ordering::SeqCst);
+
+        let inner_frame = match &inner.mode {
+            Mode::Plain => frame[8..].to_vec(),
+            Mode::Secure { recv, recv_dir, .. } => {
+                let nonce = seal_nonce(*recv_dir, seq);
+                match recv.open(&nonce, b"swbd-record", &frame[8..]) {
+                    Ok(p) => p,
+                    Err(_) => break, // forged/replayed record
+                }
+            }
+        };
+        if inner_frame.is_empty() {
+            break;
+        }
+        inner
+            .last_heard_us
+            .store(inner.start.elapsed().as_micros() as u64, Ordering::SeqCst);
+
+        let (ft, body) = (inner_frame[0], &inner_frame[1..]);
+        match ft {
+            FT_RPC_REQ => handle_request(&inner, body),
+            FT_RPC_RESP => handle_response(&inner, body),
+            FT_HEARTBEAT => handle_heartbeat(&inner, body),
+            FT_HB_ACK => handle_hb_ack(&inner, body),
+            FT_REAUTH_OFFER => handle_reauth_offer(&inner, body),
+            FT_REAUTH_RESULT => {
+                let ok = body.first() == Some(&1);
+                for tx in inner.reauth_waiters.lock().drain(..) {
+                    let _ = tx.send(ok);
+                }
+            }
+            FT_CLOSE => break,
+            _ => break,
+        }
+    }
+    mark_closed(&inner);
+}
+
+fn handle_request(inner: &Arc<ChannelInner>, body: &[u8]) {
+    let Some((id, method, args)) = rpc::decode_request(body) else {
+        return;
+    };
+    // Continuous authorization: refuse service while the peer's proof is
+    // invalid.
+    let monitor_ok = {
+        let monitor = inner.monitor.lock();
+        monitor.as_ref().map(|m| m.is_valid()).unwrap_or(true)
+    };
+    let (status, payload) = if !monitor_ok {
+        {
+            let m = inner.monitor.lock();
+            if let Some(m) = m.as_ref() {
+                if let Some(cred) = m.revocation_notice() {
+                    *inner.status.write() = ChannelStatus::RevalidationRequired(cred);
+                } else if !matches!(
+                    *inner.status.read(),
+                    ChannelStatus::RevalidationRequired(_)
+                ) {
+                    *inner.status.write() =
+                        ChannelStatus::RevalidationRequired("revoked".into());
+                }
+            }
+        }
+        (RpcStatus::RevalidationRequired, Vec::new())
+    } else {
+        let handler = inner.handlers.read().get(&method).cloned();
+        match handler {
+            Some(h) => match h(&args) {
+                Ok(out) => (RpcStatus::Ok, out),
+                Err(msg) => (RpcStatus::Error, msg.into_bytes()),
+            },
+            None => {
+                let fallback = inner.default_handler.read().clone();
+                match fallback {
+                    Some(h) => match h(&method, &args) {
+                        Ok(out) => (RpcStatus::Ok, out),
+                        Err(msg) => (RpcStatus::Error, msg.into_bytes()),
+                    },
+                    None => (RpcStatus::NoSuchMethod, method.into_bytes()),
+                }
+            }
+        }
+    };
+    let resp = rpc::encode_response(id, status, &payload);
+    let _ = send_frame(inner, FT_RPC_RESP, &resp);
+}
+
+fn handle_response(inner: &Arc<ChannelInner>, body: &[u8]) {
+    let Some((id, status, payload)) = rpc::decode_response(body) else {
+        return;
+    };
+    if let Some(tx) = inner.pending.lock().remove(&id) {
+        let result = match status {
+            RpcStatus::Ok => Ok(payload),
+            RpcStatus::Error => Err(SwitchboardError::Remote(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            RpcStatus::RevalidationRequired => Err(SwitchboardError::RevalidationRequired(
+                "peer refused service pending revalidation".into(),
+            )),
+            RpcStatus::NoSuchMethod => Err(SwitchboardError::Remote(format!(
+                "no such method: {}",
+                String::from_utf8_lossy(&payload)
+            ))),
+        };
+        let _ = tx.send(result);
+    }
+}
+
+fn handle_heartbeat(inner: &Arc<ChannelInner>, body: &[u8]) {
+    if body.len() < 16 {
+        return;
+    }
+    let hb_seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+    // Replay resistance: heartbeat sequence numbers must strictly
+    // increase (the record layer already rejects replays; this guards the
+    // semantic layer too).
+    let last = inner.hb_recv_seq.load(Ordering::SeqCst);
+    if hb_seq <= last {
+        return;
+    }
+    inner.hb_recv_seq.store(hb_seq, Ordering::SeqCst);
+    inner.heartbeats_received.fetch_add(1, Ordering::SeqCst);
+    // Echo for RTT measurement.
+    let _ = send_frame(inner, FT_HB_ACK, body);
+}
+
+fn handle_hb_ack(inner: &Arc<ChannelInner>, body: &[u8]) {
+    if body.len() < 16 {
+        return;
+    }
+    let t_us = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    let now_us = inner.start.elapsed().as_micros() as u64;
+    let rtt = now_us.saturating_sub(t_us).max(1);
+    inner.last_rtt_us.store(rtt, Ordering::SeqCst);
+}
+
+fn handle_reauth_offer(inner: &Arc<ChannelInner>, body: &[u8]) {
+    let ok = (|| -> bool {
+        let Ok(creds) = wire::decode_credentials(body) else {
+            return false;
+        };
+        let (Some(authorizer), Some(peer)) = (&inner.authorizer, &inner.peer) else {
+            return false;
+        };
+        match authorizer.authorize(&peer.name, &peer.key, &creds) {
+            Ok(new_monitor) => {
+                *inner.monitor.lock() = Some(new_monitor);
+                *inner.status.write() = ChannelStatus::Healthy;
+                true
+            }
+            Err(_) => false,
+        }
+    })();
+    let _ = send_frame(inner, FT_REAUTH_RESULT, &[ok as u8]);
+}

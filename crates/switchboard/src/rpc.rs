@@ -1,0 +1,126 @@
+//! RPC frame encoding (requests/responses multiplexed over a channel).
+
+/// Status byte on RPC responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcStatus {
+    /// Handler succeeded.
+    Ok,
+    /// Handler returned an application error (body = message).
+    Error,
+    /// The server refuses service until the client re-validates
+    /// (continuous-authorization enforcement).
+    RevalidationRequired,
+    /// No handler registered for the method.
+    NoSuchMethod,
+}
+
+impl RpcStatus {
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            RpcStatus::Ok => 0,
+            RpcStatus::Error => 1,
+            RpcStatus::RevalidationRequired => 2,
+            RpcStatus::NoSuchMethod => 3,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<RpcStatus> {
+        Some(match v {
+            0 => RpcStatus::Ok,
+            1 => RpcStatus::Error,
+            2 => RpcStatus::RevalidationRequired,
+            3 => RpcStatus::NoSuchMethod,
+            _ => return None,
+        })
+    }
+}
+
+/// Encode an RPC request body: `id(8) || method_len(2) || method || args`.
+pub(crate) fn encode_request(id: u64, method: &str, args: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + method.len() + args.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(method.len() as u16).to_le_bytes());
+    out.extend_from_slice(method.as_bytes());
+    out.extend_from_slice(args);
+    out
+}
+
+pub(crate) fn decode_request(body: &[u8]) -> Option<(u64, String, Vec<u8>)> {
+    if body.len() < 10 {
+        return None;
+    }
+    let id = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let mlen = u16::from_le_bytes(body[8..10].try_into().unwrap()) as usize;
+    if body.len() < 10 + mlen {
+        return None;
+    }
+    let method = String::from_utf8(body[10..10 + mlen].to_vec()).ok()?;
+    Some((id, method, body[10 + mlen..].to_vec()))
+}
+
+/// Encode an RPC response body: `id(8) || status(1) || payload`.
+pub(crate) fn encode_response(id: u64, status: RpcStatus, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(status.to_u8());
+    out.extend_from_slice(payload);
+    out
+}
+
+pub(crate) fn decode_response(body: &[u8]) -> Option<(u64, RpcStatus, Vec<u8>)> {
+    if body.len() < 9 {
+        return None;
+    }
+    let id = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let status = RpcStatus::from_u8(body[8])?;
+    Some((id, status, body[9..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let body = encode_request(42, "getPhone", b"Alice");
+        let (id, m, args) = decode_request(&body).unwrap();
+        assert_eq!((id, m.as_str(), args.as_slice()), (42, "getPhone", &b"Alice"[..]));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for status in [
+            RpcStatus::Ok,
+            RpcStatus::Error,
+            RpcStatus::RevalidationRequired,
+            RpcStatus::NoSuchMethod,
+        ] {
+            let body = encode_response(7, status, b"x");
+            let (id, s, payload) = decode_response(&body).unwrap();
+            assert_eq!((id, s, payload.as_slice()), (7, status, &b"x"[..]));
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode_request(&[0; 5]).is_none());
+        assert!(decode_response(&[0; 3]).is_none());
+        // Method length overruns the buffer.
+        let mut bad = encode_request(1, "m", b"");
+        bad[8] = 0xff;
+        assert!(decode_request(&bad).is_none());
+        // Unknown status byte.
+        let mut bad = encode_response(1, RpcStatus::Ok, b"");
+        bad[8] = 99;
+        assert!(decode_response(&bad).is_none());
+    }
+
+    #[test]
+    fn empty_method_and_args() {
+        let body = encode_request(0, "", b"");
+        let (id, m, args) = decode_request(&body).unwrap();
+        assert_eq!(id, 0);
+        assert!(m.is_empty());
+        assert!(args.is_empty());
+    }
+}

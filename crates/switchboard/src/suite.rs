@@ -1,0 +1,278 @@
+//! Authorization suites, Authorizers, and AuthorizationMonitors
+//! (paper §4.3).
+
+use psf_drbac::entity::{Entity, EntityName, EntityRegistry, Subject};
+use psf_drbac::proof::{Proof, ProofEngine};
+use psf_drbac::repository::Repository;
+use psf_drbac::revocation::{RevocationBus, ValidityMonitor};
+use psf_drbac::{AttrSet, RoleName, SignedDelegation};
+use psf_crypto::ed25519::VerifyingKey;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared logical clock source for credential expiry evaluation. The
+/// framework advances it from its simulation clock; real deployments
+/// would feed wall time.
+#[derive(Clone, Default)]
+pub struct ClockRef(Arc<AtomicU64>);
+
+impl ClockRef {
+    /// New clock at zero.
+    pub fn new() -> ClockRef {
+        ClockRef::default()
+    }
+
+    /// Current logical seconds.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Advance to an absolute time.
+    pub fn set(&self, secs: u64) {
+        self.0.store(secs, Ordering::SeqCst);
+    }
+}
+
+/// Evaluates a partner's credentials against a required dRBAC role
+/// and generates [`AuthorizationMonitor`]s.
+#[derive(Clone)]
+pub struct Authorizer {
+    registry: EntityRegistry,
+    repository: Repository,
+    bus: RevocationBus,
+    clock: ClockRef,
+    /// The role the partner must prove.
+    pub required_role: RoleName,
+    /// Attributes the partner's proof must satisfy.
+    pub required_attrs: AttrSet,
+}
+
+impl Authorizer {
+    /// Create an authorizer requiring `required_role` of the partner.
+    pub fn new(
+        registry: EntityRegistry,
+        repository: Repository,
+        bus: RevocationBus,
+        clock: ClockRef,
+        required_role: RoleName,
+    ) -> Authorizer {
+        Authorizer {
+            registry,
+            repository,
+            bus,
+            clock,
+            required_role,
+            required_attrs: AttrSet::new(),
+        }
+    }
+
+    /// Require attributes on the partner's proof.
+    pub fn with_attrs(mut self, attrs: AttrSet) -> Authorizer {
+        self.required_attrs = attrs;
+        self
+    }
+
+    /// Evaluate the partner: build a dRBAC proof from its presented
+    /// credentials, and spawn the monitor that watches every credential in
+    /// the proof.
+    pub fn authorize(
+        &self,
+        peer_name: &EntityName,
+        peer_key: &VerifyingKey,
+        presented: &[SignedDelegation],
+    ) -> Result<AuthorizationMonitor, String> {
+        let subject = Subject::Entity { name: peer_name.clone(), key: *peer_key };
+        let engine = ProofEngine::new(
+            &self.registry,
+            &self.repository,
+            &self.bus,
+            self.clock.now(),
+        );
+        let (proof, _stats) = engine
+            .prove_with(&subject, &self.required_role, &self.required_attrs, presented)
+            .map_err(|e| e.to_string())?;
+        let monitor = self.bus.monitor(proof.credential_ids());
+        // "…continuously over some duration": the authorization holds
+        // until the earliest expiry of any credential in the proof.
+        let valid_until = proof
+            .edges
+            .iter()
+            .filter_map(|e| e.credential.body.expires)
+            .min();
+        Ok(AuthorizationMonitor {
+            proof,
+            monitor,
+            valid_until,
+            clock: self.clock.clone(),
+        })
+    }
+
+    /// The revocation bus this authorizer watches.
+    pub fn bus(&self) -> &RevocationBus {
+        &self.bus
+    }
+}
+
+/// "Authorizers generate AuthorizationMonitors, which inform either
+/// partner when the trust relationship changes." Wraps the dRBAC proof of
+/// the partner's authorization and the validity monitor over its
+/// credentials.
+pub struct AuthorizationMonitor {
+    /// The proof under which the partner was admitted.
+    pub proof: Proof,
+    monitor: ValidityMonitor,
+    valid_until: Option<u64>,
+    clock: ClockRef,
+}
+
+impl AuthorizationMonitor {
+    /// Whether the trust relationship still holds: no revocation and no
+    /// credential in the proof has expired.
+    pub fn is_valid(&self) -> bool {
+        if let Some(t) = self.valid_until {
+            if self.clock.now() >= t {
+                return false;
+            }
+        }
+        self.monitor.is_valid()
+    }
+
+    /// When the authorization lapses by expiry, if bounded.
+    pub fn valid_until(&self) -> Option<u64> {
+        self.valid_until
+    }
+
+    /// Which credential was revoked, if any notice is pending.
+    pub fn revocation_notice(&self) -> Option<String> {
+        self.monitor.try_notice().map(|n| n.credential_id)
+    }
+
+    /// Credential ids under watch.
+    pub fn watched_ids(&self) -> &[String] {
+        self.monitor.watched_ids()
+    }
+}
+
+/// Everything one endpoint brings to a Switchboard connection: "PKI
+/// identities (including private keys for authentication), dRBAC
+/// credentials to be supplied to the partner, and Authorizer objects for
+/// evaluating the partner's credentials."
+#[derive(Clone)]
+pub struct AuthSuite {
+    /// This endpoint's keyed identity.
+    pub identity: Entity,
+    /// Credentials to present to the partner.
+    pub credentials: Vec<SignedDelegation>,
+    /// Evaluates the partner.
+    pub authorizer: Authorizer,
+}
+
+impl AuthSuite {
+    /// Bundle an identity, its credentials, and an authorizer.
+    pub fn new(
+        identity: Entity,
+        credentials: Vec<SignedDelegation>,
+        authorizer: Authorizer,
+    ) -> AuthSuite {
+        AuthSuite { identity, credentials, authorizer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psf_drbac::DelegationBuilder;
+
+    fn setup() -> (EntityRegistry, Repository, RevocationBus, ClockRef, Entity, Entity) {
+        let registry = EntityRegistry::new();
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let clock = ClockRef::new();
+        let ny = Entity::with_seed("Comp.NY", b"suite");
+        let bob = Entity::with_seed("Bob", b"suite");
+        registry.register(&ny);
+        registry.register(&bob);
+        (registry, repo, bus, clock, ny, bob)
+    }
+
+    #[test]
+    fn authorize_success_and_monitoring() {
+        let (registry, repo, bus, clock, ny, bob) = setup();
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .monitored()
+            .sign();
+        let auth = Authorizer::new(registry, repo, bus.clone(), clock, ny.role("Member"));
+        let monitor = auth
+            .authorize(&bob.name, &bob.public_key(), std::slice::from_ref(&cred))
+            .unwrap();
+        assert!(monitor.is_valid());
+        bus.revoke(&cred.id());
+        assert!(!monitor.is_valid());
+        assert_eq!(monitor.revocation_notice(), Some(cred.id()));
+    }
+
+    #[test]
+    fn authorize_rejects_without_proof() {
+        let (registry, repo, bus, clock, ny, bob) = setup();
+        let auth = Authorizer::new(registry, repo, bus, clock, ny.role("Member"));
+        assert!(auth.authorize(&bob.name, &bob.public_key(), &[]).is_err());
+    }
+
+    #[test]
+    fn authorize_rejects_stolen_credentials() {
+        let (registry, repo, bus, clock, ny, bob) = setup();
+        let mallory = Entity::with_seed("Mallory", b"suite");
+        registry.register(&mallory);
+        // Bob's credential presented under Mallory's identity/key.
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .sign();
+        let auth = Authorizer::new(registry, repo, bus, clock, ny.role("Member"));
+        assert!(auth
+            .authorize(&mallory.name, &mallory.public_key(), &[cred])
+            .is_err());
+    }
+
+    #[test]
+    fn expiry_lapses_mid_connection() {
+        // The §3.1 "continuously over some duration" property: an
+        // authorization granted from an expiring credential lapses when
+        // the clock passes the expiry, with no revocation involved.
+        let (registry, repo, bus, clock, ny, bob) = setup();
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .expires(100)
+            .sign();
+        let auth = Authorizer::new(registry, repo, bus, clock.clone(), ny.role("Member"));
+        let monitor = auth
+            .authorize(&bob.name, &bob.public_key(), &[cred])
+            .unwrap();
+        assert!(monitor.is_valid());
+        assert_eq!(monitor.valid_until(), Some(100));
+        clock.set(99);
+        assert!(monitor.is_valid());
+        clock.set(100);
+        assert!(!monitor.is_valid());
+    }
+
+    #[test]
+    fn clock_gates_expiry() {
+        let (registry, repo, bus, clock, ny, bob) = setup();
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .expires(100)
+            .sign();
+        let auth =
+            Authorizer::new(registry, repo, bus, clock.clone(), ny.role("Member"));
+        assert!(auth
+            .authorize(&bob.name, &bob.public_key(), std::slice::from_ref(&cred))
+            .is_ok());
+        clock.set(200);
+        assert!(auth.authorize(&bob.name, &bob.public_key(), &[cred]).is_err());
+    }
+}

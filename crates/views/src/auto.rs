@@ -1,0 +1,347 @@
+//! Automatic view derivation — the paper's stated goal, implemented.
+//!
+//! §6: "Ideally, VIG should automatically generate the entire view code
+//! … In the future, we plan to fully automate the process of creating
+//! views based on a few hints from the programmer." And Table 4's
+//! caption: the role→view rules "are also used for automatic view
+//! creation."
+//!
+//! [`CapabilityRule`] is the hint language: per role, which methods are
+//! allowed (or explicitly denied) and how interfaces should be exposed.
+//! [`derive_spec`] turns a rule plus the represented class into a
+//! complete [`ViewSpec`] — selecting interfaces, choosing exposure types,
+//! and synthesizing deny-stubs for carved-out methods — which then flows
+//! through the ordinary VIG pipeline.
+
+use crate::component::ComponentClass;
+use crate::library::MethodLibrary;
+use crate::spec::{ExposureType, ViewSpec};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The "few hints from the programmer": a capability set for one role.
+#[derive(Debug, Clone, Default)]
+pub struct CapabilityRule {
+    /// View name to generate (e.g. `ViewMailClient_Partner`).
+    pub view_name: String,
+    /// Methods the role may call. An interface is included iff it has at
+    /// least one allowed method.
+    pub allow: BTreeSet<String>,
+    /// Methods that must be *visible but denied* (present on an included
+    /// interface yet not allowed) get synthesized deny-stubs; listing a
+    /// method here additionally forces the stub even if `allow` contains
+    /// it (deny wins).
+    pub deny: BTreeSet<String>,
+    /// Exposure overrides per interface; interfaces not listed default to
+    /// [`default_exposure`](Self::default_exposure).
+    pub exposure: BTreeMap<String, ExposureType>,
+    /// Default exposure for included interfaces (the safe default is
+    /// `Switchboard`: state stays on the original object behind a secure
+    /// channel).
+    pub default_exposure: Option<ExposureType>,
+}
+
+impl CapabilityRule {
+    /// Start a rule for a view name.
+    pub fn new(view_name: impl Into<String>) -> CapabilityRule {
+        CapabilityRule { view_name: view_name.into(), ..Default::default() }
+    }
+
+    /// Allow a method.
+    pub fn allow(mut self, method: impl Into<String>) -> Self {
+        self.allow.insert(method.into());
+        self
+    }
+
+    /// Allow every method of an interface (resolved at derivation).
+    pub fn allow_interface(mut self, iface: impl Into<String>) -> Self {
+        // Marker: resolved against the class in derive_spec.
+        self.allow.insert(format!("{}::*", iface.into()));
+        self
+    }
+
+    /// Explicitly deny a method (synthesizes a deny-stub).
+    pub fn deny(mut self, method: impl Into<String>) -> Self {
+        self.deny.insert(method.into());
+        self
+    }
+
+    /// Set an interface's exposure.
+    pub fn expose(mut self, iface: impl Into<String>, exposure: ExposureType) -> Self {
+        self.exposure.insert(iface.into(), exposure);
+        self
+    }
+
+    /// Set the default exposure for included interfaces.
+    pub fn default_expose(mut self, exposure: ExposureType) -> Self {
+        self.default_exposure = Some(exposure);
+        self
+    }
+}
+
+/// Errors from automatic derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutoViewError {
+    /// An allowed/denied method does not exist on the class.
+    UnknownMethod(String),
+    /// An exposure override names an interface the class lacks.
+    UnknownInterface(String),
+    /// The rule allows nothing: the view would be empty.
+    EmptyView(String),
+}
+
+impl core::fmt::Display for AutoViewError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AutoViewError::UnknownMethod(m) => {
+                write!(f, "hint names method '{m}' which the class does not define")
+            }
+            AutoViewError::UnknownInterface(i) => {
+                write!(f, "hint names interface '{i}' which the class does not implement")
+            }
+            AutoViewError::EmptyView(v) => {
+                write!(f, "rule for '{v}' allows no methods; refusing to derive an empty view")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutoViewError {}
+
+/// The deny-stub body reference prefix registered by [`derive_spec`].
+pub const DENY_BODY_PREFIX: &str = "auto.deny.";
+
+/// Derive a complete [`ViewSpec`] from a capability rule, registering any
+/// synthesized deny-stub bodies into `library`.
+pub fn derive_spec(
+    class: &ComponentClass,
+    rule: &CapabilityRule,
+    library: &mut MethodLibrary,
+) -> Result<ViewSpec, AutoViewError> {
+    // Expand interface wildcards and validate every named method.
+    let all_ifaces = class.all_interfaces();
+    let mut allowed: BTreeSet<String> = BTreeSet::new();
+    for entry in &rule.allow {
+        if let Some(iface_name) = entry.strip_suffix("::*") {
+            let iface = all_ifaces
+                .iter()
+                .find(|i| i.name == iface_name)
+                .ok_or_else(|| AutoViewError::UnknownInterface(iface_name.to_string()))?;
+            allowed.extend(iface.methods.iter().cloned());
+        } else {
+            if class.resolve_method(entry).is_none() {
+                return Err(AutoViewError::UnknownMethod(entry.clone()));
+            }
+            allowed.insert(entry.clone());
+        }
+    }
+    for m in &rule.deny {
+        if class.resolve_method(m).is_none() {
+            return Err(AutoViewError::UnknownMethod(m.clone()));
+        }
+        allowed.remove(m);
+    }
+    for iface in rule.exposure.keys() {
+        if !all_ifaces.iter().any(|i| &i.name == iface) {
+            return Err(AutoViewError::UnknownInterface(iface.clone()));
+        }
+    }
+    if allowed.is_empty() {
+        return Err(AutoViewError::EmptyView(rule.view_name.clone()));
+    }
+
+    // Include interfaces with ≥1 allowed method; deny-stub the rest of
+    // their methods (method-granularity access control, §4.2).
+    let mut spec = ViewSpec::new(&rule.view_name, &class.name);
+    for iface in all_ifaces {
+        let iface_allowed: Vec<&String> =
+            iface.methods.iter().filter(|m| allowed.contains(*m)).collect();
+        if iface_allowed.is_empty() {
+            continue;
+        }
+        let exposure = rule
+            .exposure
+            .get(&iface.name)
+            .copied()
+            .or(rule.default_exposure)
+            .unwrap_or(ExposureType::Switchboard);
+        spec = spec.restrict(iface.name.clone(), exposure);
+
+        // Carve out the not-allowed methods on included interfaces.
+        for m in &iface.methods {
+            if allowed.contains(m) {
+                continue;
+            }
+            let body_ref = format!("{DENY_BODY_PREFIX}{}.{m}", rule.view_name);
+            let denied_method = m.clone();
+            let view_name = rule.view_name.clone();
+            library.register_full(body_ref.clone(), &[], false, move |_, _| {
+                Err(format!(
+                    "access denied: '{denied_method}' is not granted to {view_name}"
+                ))
+            });
+            let signature = class
+                .resolve_method(m)
+                .map(|(d, _)| d.signature.clone())
+                .unwrap_or_else(|| format!("{m}(...)"));
+            spec = spec.customize_method(signature, body_ref);
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::InProcessRemote;
+    use crate::coherence::CoherencePolicy;
+    use crate::vig::Vig;
+    use std::sync::Arc;
+
+    fn mail_client() -> Arc<ComponentClass> {
+        ComponentClass::builder("MailClient")
+            .interface("MessageI", ["sendMessage", "receiveMessages"])
+            .interface("AddressI", ["getPhone", "getEmail"])
+            .interface("NotesI", ["addNote", "addMeeting"])
+            .field("accounts", "Account[]")
+            .field("state", "String")
+            .method("sendMessage", "void sendMessage(Message)", &["state"], true, |st, a| {
+                st.set("state", a.to_vec());
+                Ok(vec![])
+            })
+            .method("receiveMessages", "Set receiveMessages()", &["state"], false, |st, _| {
+                Ok(st.get("state"))
+            })
+            .method("getPhone", "String getPhone(String)", &["accounts"], false, |_, _| {
+                Ok(b"555".to_vec())
+            })
+            .method("getEmail", "String getEmail(String)", &["accounts"], false, |_, _| {
+                Ok(b"a@b".to_vec())
+            })
+            .method("addNote", "void addNote(String)", &["state"], true, |_, _| Ok(vec![]))
+            .method("addMeeting", "boolean addMeeting(String)", &["state"], true, |_, _| {
+                Ok(b"true".to_vec())
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derives_anonymous_view_from_capabilities() {
+        // "others have only the right to browse the email directory".
+        let class = mail_client();
+        let rule = CapabilityRule::new("AutoAnonymous").allow("getEmail");
+        let mut lib = MethodLibrary::new();
+        let spec = derive_spec(&class, &rule, &mut lib).unwrap();
+        // Only AddressI included; getPhone deny-stubbed.
+        assert_eq!(spec.restricts.len(), 1);
+        assert_eq!(spec.restricts[0].name, "AddressI");
+        assert_eq!(spec.customizes_methods.len(), 1);
+
+        let view = Vig::new(lib).generate(&class, &spec).unwrap();
+        let original = class.instantiate();
+        let inst = view
+            .instantiate(
+                Some(InProcessRemote::switchboard(original)),
+                CoherencePolicy::WriteThrough,
+                0,
+                b"",
+            )
+            .unwrap();
+        assert_eq!(inst.invoke("getEmail", b"x").unwrap(), b"a@b");
+        let err = inst.invoke("getPhone", b"x").unwrap_err();
+        assert!(err.contains("access denied"), "{err}");
+        assert!(inst.invoke("sendMessage", b"x").is_err()); // not exposed at all
+    }
+
+    #[test]
+    fn interface_wildcard_and_exposure_hints() {
+        let class = mail_client();
+        let rule = CapabilityRule::new("AutoMember")
+            .allow_interface("MessageI")
+            .allow_interface("NotesI")
+            .allow_interface("AddressI")
+            .expose("MessageI", ExposureType::Local)
+            .expose("NotesI", ExposureType::Rmi)
+            .default_expose(ExposureType::Switchboard);
+        let mut lib = MethodLibrary::new();
+        let spec = derive_spec(&class, &rule, &mut lib).unwrap();
+        assert_eq!(spec.restricts.len(), 3);
+        let exp: BTreeMap<_, _> = spec
+            .restricts
+            .iter()
+            .map(|r| (r.name.clone(), r.exposure))
+            .collect();
+        assert_eq!(exp["MessageI"], ExposureType::Local);
+        assert_eq!(exp["NotesI"], ExposureType::Rmi);
+        assert_eq!(exp["AddressI"], ExposureType::Switchboard);
+        assert!(spec.customizes_methods.is_empty());
+        // And it generates + runs.
+        let view = Vig::new(lib).generate(&class, &spec).unwrap();
+        assert!(view.entries.len() == 6);
+    }
+
+    #[test]
+    fn deny_overrides_allow() {
+        let class = mail_client();
+        let rule = CapabilityRule::new("AutoPartnerish")
+            .allow_interface("NotesI")
+            .deny("addMeeting");
+        let mut lib = MethodLibrary::new();
+        let spec = derive_spec(&class, &rule, &mut lib).unwrap();
+        let view = Vig::new(lib).generate(&class, &spec).unwrap();
+        let original = class.instantiate();
+        let inst = view
+            .instantiate(
+                Some(InProcessRemote::switchboard(original)),
+                CoherencePolicy::WriteThrough,
+                0,
+                b"",
+            )
+            .unwrap();
+        inst.invoke("addNote", b"ok").unwrap();
+        assert!(inst.invoke("addMeeting", b"no").unwrap_err().contains("denied"));
+    }
+
+    #[test]
+    fn unknown_hints_rejected() {
+        let class = mail_client();
+        let mut lib = MethodLibrary::new();
+        assert!(matches!(
+            derive_spec(&class, &CapabilityRule::new("V").allow("teleport"), &mut lib),
+            Err(AutoViewError::UnknownMethod(_))
+        ));
+        assert!(matches!(
+            derive_spec(
+                &class,
+                &CapabilityRule::new("V").allow_interface("CalendarI"),
+                &mut lib
+            ),
+            Err(AutoViewError::UnknownInterface(_))
+        ));
+        assert!(matches!(
+            derive_spec(&class, &CapabilityRule::new("V"), &mut lib),
+            Err(AutoViewError::EmptyView(_))
+        ));
+        // Allowing then denying everything also yields an empty view.
+        assert!(matches!(
+            derive_spec(
+                &class,
+                &CapabilityRule::new("V").allow("getEmail").deny("getEmail"),
+                &mut lib
+            ),
+            Err(AutoViewError::EmptyView(_))
+        ));
+    }
+
+    #[test]
+    fn derived_specs_roundtrip_through_xml() {
+        let class = mail_client();
+        let rule = CapabilityRule::new("AutoX")
+            .allow_interface("AddressI")
+            .deny("getPhone");
+        let mut lib = MethodLibrary::new();
+        let spec = derive_spec(&class, &rule, &mut lib).unwrap();
+        let back = ViewSpec::parse_xml(&spec.to_xml()).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,289 @@
+//! Cache coherence for views (paper §4.1/§4.3, inherited from the
+//! OOPSLA'99 object-views work).
+//!
+//! A view "contains only the subset of object state required for its
+//! local methods" and synchronizes with the original object through four
+//! coherence methods: `extractImageFromObj`, `mergeImageIntoView`,
+//! `extractImageFromView`, `mergeImageIntoObj`. VIG wraps every view
+//! method in `acquireImage` / `releaseImage` so methods always run
+//! against a current image. The paper's VIG required programmers to
+//! supply these; ours generates default handlers automatically (their
+//! stated goal) while allowing override.
+
+use crate::component::FieldState;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A serializable snapshot of a field subset — the unit moved between a
+/// view and its original object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Image {
+    fields: BTreeMap<String, Vec<u8>>,
+}
+
+impl Image {
+    /// Capture `fields` from a state.
+    pub fn from_fields(state: &FieldState, fields: &[String]) -> Image {
+        let mut out = BTreeMap::new();
+        for f in fields {
+            out.insert(f.clone(), state.get(f));
+        }
+        Image { fields: out }
+    }
+
+    /// Apply this image onto a state (merge = overwrite captured fields).
+    pub fn merge_into(&self, state: &mut FieldState) {
+        for (k, v) in &self.fields {
+            state.set(k, v.clone());
+        }
+    }
+
+    /// Serialize to bytes (length-prefixed pairs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for (k, v) in &self.fields {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Deserialize from [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(buf: &[u8]) -> Result<Image, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if *pos + n > buf.len() {
+                return Err("truncated image".into());
+            }
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if count > 1 << 16 {
+            return Err("oversized image".into());
+        }
+        let mut fields = BTreeMap::new();
+        for _ in 0..count {
+            let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let k = String::from_utf8(take(&mut pos, klen)?.to_vec())
+                .map_err(|_| "bad field name".to_string())?;
+            let vlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let v = take(&mut pos, vlen)?.to_vec();
+            fields.insert(k, v);
+        }
+        if pos != buf.len() {
+            return Err("trailing bytes in image".into());
+        }
+        Ok(Image { fields })
+    }
+
+    /// Field names captured by this image.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.keys().map(String::as_str).collect()
+    }
+}
+
+/// When view updates flow back to the original object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherencePolicy {
+    /// Push after every mutating method (strongest, chattiest).
+    WriteThrough,
+    /// Accumulate locally; push on explicit [`CacheManager::flush`] or
+    /// release.
+    WriteBack,
+}
+
+/// Counters describing coherence traffic (experiment F7 uses these).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Images pulled from the original object.
+    pub pulls: u64,
+    /// Images pushed back to the original object.
+    pub pushes: u64,
+    /// acquireImage calls that were satisfied by the local cache.
+    pub cache_hits: u64,
+}
+
+/// The per-view cache manager: decides when to pull/push images through
+/// the view's coherence transport.
+pub struct CacheManager {
+    policy: CoherencePolicy,
+    /// Time-to-live for a pulled image in acquire counts: 0 = always
+    /// re-pull (strict), N = serve N acquires from cache before
+    /// re-pulling.
+    ttl_acquires: u64,
+    acquires_since_pull: AtomicU64,
+    fresh: std::sync::atomic::AtomicBool,
+    dirty: std::sync::atomic::AtomicBool,
+    pulls: AtomicU64,
+    pushes: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl CacheManager {
+    /// Create a manager with the given policy and cache TTL (in acquire
+    /// counts).
+    pub fn new(policy: CoherencePolicy, ttl_acquires: u64) -> CacheManager {
+        CacheManager {
+            policy,
+            ttl_acquires,
+            acquires_since_pull: AtomicU64::new(0),
+            fresh: std::sync::atomic::AtomicBool::new(false),
+            dirty: std::sync::atomic::AtomicBool::new(false),
+            pulls: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> CoherencePolicy {
+        self.policy
+    }
+
+    /// Decide whether `acquireImage` must pull a fresh image. Updates
+    /// stats; the caller performs the actual transport on `true`.
+    pub fn on_acquire(&self) -> bool {
+        let fresh = self.fresh.load(Ordering::SeqCst);
+        let since = self.acquires_since_pull.fetch_add(1, Ordering::SeqCst);
+        if fresh && since < self.ttl_acquires {
+            self.cache_hits.fetch_add(1, Ordering::SeqCst);
+            false
+        } else {
+            self.pulls.fetch_add(1, Ordering::SeqCst);
+            self.acquires_since_pull.store(0, Ordering::SeqCst);
+            self.fresh.store(true, Ordering::SeqCst);
+            true
+        }
+    }
+
+    /// Record a mutating method completion; returns whether the image
+    /// must be pushed now (write-through).
+    pub fn on_mutate(&self) -> bool {
+        match self.policy {
+            CoherencePolicy::WriteThrough => {
+                self.pushes.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            CoherencePolicy::WriteBack => {
+                self.dirty.store(true, Ordering::SeqCst);
+                false
+            }
+        }
+    }
+
+    /// Explicit flush (write-back): returns whether a push is needed and
+    /// clears the dirty flag.
+    pub fn flush(&self) -> bool {
+        if self.dirty.swap(false, Ordering::SeqCst) {
+            self.pushes.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidate the cached image (e.g. the original object changed).
+    pub fn invalidate(&self) {
+        self.fresh.store(false, Ordering::SeqCst);
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> CoherenceStats {
+        CoherenceStats {
+            pulls: self.pulls.load(Ordering::SeqCst),
+            pushes: self.pushes.load(Ordering::SeqCst),
+            cache_hits: self.cache_hits.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrip_bytes() {
+        let mut st = FieldState::default();
+        st.set("a", "hello");
+        st.set("b", vec![0u8, 1, 2]);
+        let img = Image::from_fields(&st, &["a".into(), "b".into()]);
+        let back = Image::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(back, img);
+        let mut st2 = FieldState::default();
+        back.merge_into(&mut st2);
+        assert_eq!(st2.get_str("a"), "hello");
+        assert_eq!(st2.get("b"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn image_subset_only() {
+        let mut st = FieldState::default();
+        st.set("keep", "x");
+        st.set("drop", "y");
+        let img = Image::from_fields(&st, &["keep".into()]);
+        assert_eq!(img.field_names(), vec!["keep"]);
+    }
+
+    #[test]
+    fn image_rejects_garbage() {
+        assert!(Image::from_bytes(&[1, 2, 3]).is_err());
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Image::from_bytes(&huge).is_err());
+    }
+
+    #[test]
+    fn strict_ttl_always_pulls() {
+        let cm = CacheManager::new(CoherencePolicy::WriteThrough, 0);
+        assert!(cm.on_acquire());
+        assert!(cm.on_acquire());
+        assert_eq!(cm.stats().pulls, 2);
+        assert_eq!(cm.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn ttl_serves_from_cache() {
+        let cm = CacheManager::new(CoherencePolicy::WriteThrough, 3);
+        assert!(cm.on_acquire()); // pull
+        assert!(!cm.on_acquire()); // hit 1
+        assert!(!cm.on_acquire()); // hit 2
+        assert!(!cm.on_acquire()); // hit 3
+        assert!(cm.on_acquire()); // ttl exhausted → pull
+        let s = cm.stats();
+        assert_eq!((s.pulls, s.cache_hits), (2, 3));
+    }
+
+    #[test]
+    fn write_through_pushes_every_mutation() {
+        let cm = CacheManager::new(CoherencePolicy::WriteThrough, 10);
+        assert!(cm.on_mutate());
+        assert!(cm.on_mutate());
+        assert_eq!(cm.stats().pushes, 2);
+        assert!(!cm.flush()); // nothing pending
+    }
+
+    #[test]
+    fn write_back_defers_until_flush() {
+        let cm = CacheManager::new(CoherencePolicy::WriteBack, 10);
+        assert!(!cm.on_mutate());
+        assert!(!cm.on_mutate());
+        assert_eq!(cm.stats().pushes, 0);
+        assert!(cm.flush());
+        assert!(!cm.flush()); // already clean
+        assert_eq!(cm.stats().pushes, 1);
+    }
+
+    #[test]
+    fn invalidate_forces_repull() {
+        let cm = CacheManager::new(CoherencePolicy::WriteThrough, 100);
+        assert!(cm.on_acquire());
+        assert!(!cm.on_acquire());
+        cm.invalidate();
+        assert!(cm.on_acquire());
+    }
+}

@@ -1,0 +1,381 @@
+//! The component model: classes (method tables over typed interfaces)
+//! and instances (field state + dispatch).
+//!
+//! This is the Rust substitution for the paper's Java objects: a
+//! [`ComponentClass`] plays the role of a class file — it names its
+//! interfaces, fields, and methods, and VIG manipulates it the way
+//! Javassist manipulates bytecode. Method bodies are closures over the
+//! instance's field state; arguments and results are byte strings so the
+//! same methods can be invoked locally, over RMI-style channels, or over
+//! Switchboard.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A field's state across method invocations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FieldState(pub BTreeMap<String, Vec<u8>>);
+
+impl FieldState {
+    /// Read a field (empty if never written).
+    pub fn get(&self, name: &str) -> Vec<u8> {
+        self.0.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Read a field as UTF-8.
+    pub fn get_str(&self, name: &str) -> String {
+        String::from_utf8_lossy(&self.get(name)).into_owned()
+    }
+
+    /// Write a field.
+    pub fn set(&mut self, name: &str, value: impl Into<Vec<u8>>) {
+        self.0.insert(name.to_string(), value.into());
+    }
+}
+
+/// The executable body of a method: mutable field state + argument bytes
+/// in, result bytes out.
+pub type MethodBody =
+    Arc<dyn Fn(&mut FieldState, &[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (`accounts`).
+    pub name: String,
+    /// Display type (`Account[]`) — carried through to emitted source.
+    pub type_name: String,
+}
+
+/// A typed interface: a named set of methods (paper §2.1: components
+/// "implement and require typed interfaces").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDef {
+    /// Interface name (`MessageI`).
+    pub name: String,
+    /// Method names belonging to the interface.
+    pub methods: Vec<String>,
+}
+
+/// A method declaration + body.
+#[derive(Clone)]
+pub struct MethodDef {
+    /// Method name (`getPhone`).
+    pub name: String,
+    /// Display signature (`String getPhone(String name)`).
+    pub signature: String,
+    /// Fields this method reads or writes — VIG copies exactly these into
+    /// views ("VIG parses the method code and copies the declarations of
+    /// all used class fields").
+    pub uses_fields: Vec<String>,
+    /// Whether the method mutates state (drives coherence write-back).
+    pub mutates: bool,
+    /// Executable body.
+    pub body: MethodBody,
+}
+
+impl std::fmt::Debug for MethodDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MethodDef")
+            .field("name", &self.name)
+            .field("signature", &self.signature)
+            .field("uses_fields", &self.uses_fields)
+            .field("mutates", &self.mutates)
+            .finish()
+    }
+}
+
+/// A component class: the original object's "class file".
+pub struct ComponentClass {
+    /// Class name (`MailClient`).
+    pub name: String,
+    /// Implemented interfaces.
+    pub interfaces: Vec<InterfaceDef>,
+    /// Declared fields.
+    pub fields: Vec<FieldDef>,
+    /// Methods by name (interface methods + private helpers).
+    pub methods: HashMap<String, MethodDef>,
+    /// Superclass, if any — VIG follows this chain to find method
+    /// implementations (paper §4.3 inheritance handling).
+    pub parent: Option<Arc<ComponentClass>>,
+}
+
+impl ComponentClass {
+    /// Start building a class.
+    pub fn builder(name: impl Into<String>) -> ComponentClassBuilder {
+        ComponentClassBuilder {
+            class: ComponentClass {
+                name: name.into(),
+                interfaces: Vec::new(),
+                fields: Vec::new(),
+                methods: HashMap::new(),
+                parent: None,
+            },
+        }
+    }
+
+    /// Find a method, following the inheritance chain upward.
+    pub fn resolve_method(&self, name: &str) -> Option<(&MethodDef, &ComponentClass)> {
+        if let Some(m) = self.methods.get(name) {
+            return Some((m, self));
+        }
+        self.parent.as_deref().and_then(|p| p.resolve_method(name))
+    }
+
+    /// Find a field declaration, following the inheritance chain.
+    pub fn resolve_field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .or_else(|| self.parent.as_deref().and_then(|p| p.resolve_field(name)))
+    }
+
+    /// Find an interface, following the inheritance chain.
+    pub fn resolve_interface(&self, name: &str) -> Option<&InterfaceDef> {
+        self.interfaces
+            .iter()
+            .find(|i| i.name == name)
+            .or_else(|| {
+                self.parent
+                    .as_deref()
+                    .and_then(|p| p.resolve_interface(name))
+            })
+    }
+
+    /// All interfaces including inherited ones.
+    pub fn all_interfaces(&self) -> Vec<&InterfaceDef> {
+        let mut out: Vec<&InterfaceDef> = self.interfaces.iter().collect();
+        if let Some(p) = self.parent.as_deref() {
+            out.extend(p.all_interfaces());
+        }
+        out
+    }
+
+    /// Instantiate with default (empty) field state.
+    pub fn instantiate(self: &Arc<Self>) -> Arc<ComponentInstance> {
+        Arc::new(ComponentInstance {
+            class: self.clone(),
+            state: Mutex::new(FieldState::default()),
+        })
+    }
+}
+
+impl std::fmt::Debug for ComponentClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentClass")
+            .field("name", &self.name)
+            .field("interfaces", &self.interfaces)
+            .field("fields", &self.fields)
+            .field("methods", &self.methods.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Fluent builder for [`ComponentClass`].
+pub struct ComponentClassBuilder {
+    class: ComponentClass,
+}
+
+impl ComponentClassBuilder {
+    /// Declare an interface with its method names.
+    pub fn interface<I, S>(mut self, name: impl Into<String>, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.class.interfaces.push(InterfaceDef {
+            name: name.into(),
+            methods: methods.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Declare a field.
+    pub fn field(mut self, name: impl Into<String>, type_name: impl Into<String>) -> Self {
+        self.class.fields.push(FieldDef {
+            name: name.into(),
+            type_name: type_name.into(),
+        });
+        self
+    }
+
+    /// Declare a method.
+    pub fn method<F>(
+        mut self,
+        name: impl Into<String>,
+        signature: impl Into<String>,
+        uses_fields: &[&str],
+        mutates: bool,
+        body: F,
+    ) -> Self
+    where
+        F: Fn(&mut FieldState, &[u8]) -> Result<Vec<u8>, String> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        self.class.methods.insert(
+            name.clone(),
+            MethodDef {
+                name,
+                signature: signature.into(),
+                uses_fields: uses_fields.iter().map(|s| s.to_string()).collect(),
+                mutates,
+                body: Arc::new(body),
+            },
+        );
+        self
+    }
+
+    /// Set the superclass.
+    pub fn extends(mut self, parent: Arc<ComponentClass>) -> Self {
+        self.class.parent = Some(parent);
+        self
+    }
+
+    /// Validate and finish: every interface method must resolve somewhere
+    /// in the chain.
+    pub fn build(self) -> Result<Arc<ComponentClass>, String> {
+        for iface in &self.class.interfaces {
+            for m in &iface.methods {
+                if self.class.resolve_method(m).is_none() {
+                    return Err(format!(
+                        "interface {} declares '{m}' but class {} has no implementation",
+                        iface.name, self.class.name
+                    ));
+                }
+            }
+        }
+        Ok(Arc::new(self.class))
+    }
+}
+
+/// A running component instance: the *original object*.
+pub struct ComponentInstance {
+    class: Arc<ComponentClass>,
+    state: Mutex<FieldState>,
+}
+
+impl ComponentInstance {
+    /// The instance's class.
+    pub fn class(&self) -> &Arc<ComponentClass> {
+        &self.class
+    }
+
+    /// Invoke a method by name (resolves through the inheritance chain).
+    pub fn invoke(&self, method: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        let (def, _) = self
+            .class
+            .resolve_method(method)
+            .ok_or_else(|| format!("no such method '{method}' on {}", self.class.name))?;
+        let body = def.body.clone();
+        let mut state = self.state.lock();
+        body(&mut state, args)
+    }
+
+    /// Read a field snapshot (tests + coherence).
+    pub fn field(&self, name: &str) -> Vec<u8> {
+        self.state.lock().get(name)
+    }
+
+    /// Write a field directly (initialization).
+    pub fn set_field(&self, name: &str, value: impl Into<Vec<u8>>) {
+        self.state.lock().set(name, value);
+    }
+
+    /// Extract the named fields as a coherence image.
+    pub fn extract_image(&self, fields: &[String]) -> crate::coherence::Image {
+        let state = self.state.lock();
+        crate::coherence::Image::from_fields(&state, fields)
+    }
+
+    /// Merge a coherence image into this object's state.
+    pub fn merge_image(&self, image: &crate::coherence::Image) {
+        let mut state = self.state.lock();
+        image.merge_into(&mut state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_class() -> Arc<ComponentClass> {
+        ComponentClass::builder("Counter")
+            .interface("CounterI", ["incr", "get"])
+            .field("count", "long")
+            .method("incr", "void incr()", &["count"], true, |st, _| {
+                let v: i64 = st.get_str("count").parse().unwrap_or(0);
+                st.set("count", (v + 1).to_string());
+                Ok(vec![])
+            })
+            .method("get", "long get()", &["count"], false, |st, _| {
+                Ok(st.get("count"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn invoke_and_state() {
+        let inst = counter_class().instantiate();
+        inst.invoke("incr", b"").unwrap();
+        inst.invoke("incr", b"").unwrap();
+        assert_eq!(inst.invoke("get", b"").unwrap(), b"2");
+    }
+
+    #[test]
+    fn unknown_method_errors() {
+        let inst = counter_class().instantiate();
+        assert!(inst.invoke("reset", b"").is_err());
+    }
+
+    #[test]
+    fn builder_rejects_unimplemented_interface_method() {
+        let r = ComponentClass::builder("Bad")
+            .interface("I", ["missing"])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn inheritance_resolves_methods_and_fields() {
+        let base = counter_class();
+        let derived = ComponentClass::builder("FancyCounter")
+            .extends(base)
+            .interface("ResetI", ["reset"])
+            .method("reset", "void reset()", &["count"], true, |st, _| {
+                st.set("count", "0");
+                Ok(vec![])
+            })
+            .build()
+            .unwrap();
+        let inst = derived.instantiate();
+        inst.invoke("incr", b"").unwrap(); // inherited
+        inst.invoke("reset", b"").unwrap(); // own
+        assert_eq!(inst.invoke("get", b"").unwrap(), b"0");
+        assert!(derived.resolve_field("count").is_some());
+        assert!(derived.resolve_interface("CounterI").is_some());
+        assert_eq!(derived.all_interfaces().len(), 2);
+    }
+
+    #[test]
+    fn instances_have_independent_state() {
+        let class = counter_class();
+        let a = class.instantiate();
+        let b = class.instantiate();
+        a.invoke("incr", b"").unwrap();
+        assert_eq!(a.invoke("get", b"").unwrap(), b"1");
+        assert_eq!(b.invoke("get", b"").unwrap(), b"");
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let inst = counter_class().instantiate();
+        inst.set_field("count", "41");
+        let img = inst.extract_image(&["count".to_string()]);
+        let other = counter_class().instantiate();
+        other.merge_image(&img);
+        other.invoke("incr", b"").unwrap();
+        assert_eq!(other.invoke("get", b"").unwrap(), b"42");
+    }
+}

@@ -1,0 +1,106 @@
+//! The method library: named executable bodies referenced by view specs.
+//!
+//! **Substitution note** (DESIGN.md): the paper's XML rules embed Java
+//! source in `<MBody>` elements, compiled by Javassist at generation
+//! time. Rust has no runtime code loading, so an `<MBody>` here names a
+//! body registered in a [`MethodLibrary`] — together with the fields the
+//! body uses, which is exactly the information Javassist recovers by
+//! parsing the embedded source. VIG resolves the reference at generation
+//! time and raises the same class of "fix your XML" errors the paper
+//! describes when a body is missing or touches an undefined field.
+
+use crate::component::MethodBody;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered body: the closure plus the fields it reads/writes and
+/// whether it mutates state.
+#[derive(Clone)]
+pub struct LibraryEntry {
+    /// Executable body.
+    pub body: MethodBody,
+    /// Fields the body references (validated against the view's fields).
+    pub uses_fields: Vec<String>,
+    /// Whether the body mutates view state (drives coherence push).
+    pub mutates: bool,
+}
+
+/// Named method bodies available to VIG.
+#[derive(Clone, Default)]
+pub struct MethodLibrary {
+    bodies: HashMap<String, LibraryEntry>,
+}
+
+impl MethodLibrary {
+    /// New empty library.
+    pub fn new() -> MethodLibrary {
+        MethodLibrary::default()
+    }
+
+    /// Register a non-mutating body that uses no fields.
+    pub fn register<F>(&mut self, name: impl Into<String>, body: F)
+    where
+        F: Fn(&mut crate::component::FieldState, &[u8]) -> Result<Vec<u8>, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.register_full(name, &[], false, body);
+    }
+
+    /// Register a body with declared field uses and mutation flag.
+    pub fn register_full<F>(
+        &mut self,
+        name: impl Into<String>,
+        uses_fields: &[&str],
+        mutates: bool,
+        body: F,
+    ) where
+        F: Fn(&mut crate::component::FieldState, &[u8]) -> Result<Vec<u8>, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.bodies.insert(
+            name.into(),
+            LibraryEntry {
+                body: Arc::new(body),
+                uses_fields: uses_fields.iter().map(|s| s.to_string()).collect(),
+                mutates,
+            },
+        );
+    }
+
+    /// Look up an entry.
+    pub fn get(&self, name: &str) -> Option<&LibraryEntry> {
+        self.bodies.get(name)
+    }
+
+    /// Registered reference names (sorted, for error messages).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.bodies.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_get() {
+        let mut lib = MethodLibrary::new();
+        lib.register("body.echo", |_, a| Ok(a.to_vec()));
+        lib.register_full("body.bump", &["count"], true, |st, _| {
+            let v: i64 = st.get_str("count").parse().unwrap_or(0);
+            st.set("count", (v + 1).to_string());
+            Ok(vec![])
+        });
+        assert!(lib.get("body.echo").is_some());
+        assert!(lib.get("body.missing").is_none());
+        assert_eq!(lib.get("body.bump").unwrap().uses_fields, vec!["count"]);
+        assert!(lib.get("body.bump").unwrap().mutates);
+        assert_eq!(lib.names(), vec!["body.bump", "body.echo"]);
+    }
+}

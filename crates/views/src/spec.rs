@@ -1,0 +1,414 @@
+//! View definitions — the XML rule language of Table 3(b).
+//!
+//! ```xml
+//! <View name="ViewMailClient_Partner">
+//!   <Represents name="MailClient"/>
+//!   <Restricts>
+//!     <Interface name="MessageI" type="local"/>
+//!     <Interface name="NotesI"   type="rmi"/>
+//!     <Interface name="AddressI" type="switchboard"/>
+//!   </Restricts>
+//!   <Adds_Fields>
+//!     <Field name="accountCopy" type="Account"/>
+//!   </Adds_Fields>
+//!   <Adds_Methods>
+//!     <MSign>void mergeImageIntoView(byte[])</MSign>
+//!     <MBody>mail.merge_image_into_view</MBody>
+//!   </Adds_Methods>
+//!   <Customizes_Methods>
+//!     <MSign>boolean addMeeting(String name)</MSign>
+//!     <MBody>mail.request_meeting</MBody>
+//!   </Customizes_Methods>
+//! </View>
+//! ```
+//!
+//! `<MBody>` names a [`MethodLibrary`](crate::MethodLibrary) entry (see
+//! the substitution note there). `<MSign>`/`<MBody>` appear as sibling
+//! pairs exactly as in the paper's table; a nested `<Method>` wrapper is
+//! accepted too.
+
+use psf_xml::Element;
+
+/// How an interface is exposed by a view (paper §4.1: "the view
+/// description can specify a type (local, rmi, or switch)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExposureType {
+    /// Available only to clients in the same address space; state is
+    /// copied into the view.
+    Local,
+    /// Forwarded to the original object over plain remote calls.
+    Rmi,
+    /// Forwarded over a secure Switchboard channel.
+    Switchboard,
+}
+
+impl ExposureType {
+    /// Parse the XML attribute value.
+    pub fn parse(s: &str) -> Result<ExposureType, String> {
+        match s {
+            "local" => Ok(ExposureType::Local),
+            "rmi" => Ok(ExposureType::Rmi),
+            "switchboard" | "switch" => Ok(ExposureType::Switchboard),
+            other => Err(format!(
+                "unknown interface exposure type '{other}' (expected local/rmi/switchboard)"
+            )),
+        }
+    }
+
+    /// XML attribute value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExposureType::Local => "local",
+            ExposureType::Rmi => "rmi",
+            ExposureType::Switchboard => "switchboard",
+        }
+    }
+}
+
+/// One interface restriction: the view implements `name`, exposed as
+/// `exposure`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceRestriction {
+    /// Interface name on the represented object.
+    pub name: String,
+    /// Exposure type.
+    pub exposure: ExposureType,
+}
+
+/// A field added by the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddedField {
+    /// Field name.
+    pub name: String,
+    /// Display type.
+    pub type_name: String,
+}
+
+/// An added or customized method: display signature + body reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// Display signature, e.g. `boolean addMeeting(String name)`.
+    pub signature: String,
+    /// Library reference resolving to the executable body.
+    pub body_ref: String,
+}
+
+impl MethodSpec {
+    /// The bare method name: the identifier before `(`.
+    pub fn method_name(&self) -> String {
+        let head = self.signature.split('(').next().unwrap_or("");
+        head.split_whitespace().last().unwrap_or("").to_string()
+    }
+}
+
+/// A complete view definition (Table 3b).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ViewSpec {
+    /// View name (`ViewMailClient_Partner`).
+    pub name: String,
+    /// The represented (original) component class.
+    pub represents: String,
+    /// Interface restrictions.
+    pub restricts: Vec<InterfaceRestriction>,
+    /// Added fields.
+    pub adds_fields: Vec<AddedField>,
+    /// Added methods (constructors, coherence methods, helpers).
+    pub adds_methods: Vec<MethodSpec>,
+    /// Customized (overridden) methods.
+    pub customizes_methods: Vec<MethodSpec>,
+}
+
+impl ViewSpec {
+    /// Start a programmatic builder (alternative to XML).
+    pub fn new(name: impl Into<String>, represents: impl Into<String>) -> ViewSpec {
+        ViewSpec {
+            name: name.into(),
+            represents: represents.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: restrict an interface.
+    pub fn restrict(mut self, name: impl Into<String>, exposure: ExposureType) -> Self {
+        self.restricts.push(InterfaceRestriction { name: name.into(), exposure });
+        self
+    }
+
+    /// Builder: add a field.
+    pub fn add_field(mut self, name: impl Into<String>, type_name: impl Into<String>) -> Self {
+        self.adds_fields.push(AddedField {
+            name: name.into(),
+            type_name: type_name.into(),
+        });
+        self
+    }
+
+    /// Builder: add a method.
+    pub fn add_method(
+        mut self,
+        signature: impl Into<String>,
+        body_ref: impl Into<String>,
+    ) -> Self {
+        self.adds_methods.push(MethodSpec {
+            signature: signature.into(),
+            body_ref: body_ref.into(),
+        });
+        self
+    }
+
+    /// Builder: customize an existing method.
+    pub fn customize_method(
+        mut self,
+        signature: impl Into<String>,
+        body_ref: impl Into<String>,
+    ) -> Self {
+        self.customizes_methods.push(MethodSpec {
+            signature: signature.into(),
+            body_ref: body_ref.into(),
+        });
+        self
+    }
+
+    /// Parse from XML text.
+    pub fn parse_xml(xml: &str) -> Result<ViewSpec, String> {
+        let root = psf_xml::parse(xml).map_err(|e| e.to_string())?;
+        ViewSpec::from_element(&root)
+    }
+
+    /// Parse from a parsed element tree.
+    pub fn from_element(root: &Element) -> Result<ViewSpec, String> {
+        if root.name != "View" {
+            return Err(format!("expected <View>, found <{}>", root.name));
+        }
+        let name = root
+            .get_attr("name")
+            .ok_or("<View> requires a name attribute")?
+            .to_string();
+        let represents = root
+            .find("Represents")
+            .and_then(|e| e.get_attr("name"))
+            .ok_or("<View> requires <Represents name=...>")?
+            .to_string();
+        let mut spec = ViewSpec::new(name, represents);
+
+        if let Some(restricts) = root.find("Restricts") {
+            for iface in restricts.find_all("Interface") {
+                let iname = iface
+                    .get_attr("name")
+                    .ok_or("<Interface> requires a name")?;
+                let exposure = ExposureType::parse(iface.get_attr("type").unwrap_or("local"))?;
+                spec.restricts.push(InterfaceRestriction {
+                    name: iname.to_string(),
+                    exposure,
+                });
+            }
+        }
+        if let Some(fields) = root.find("Adds_Fields") {
+            for field in fields.find_all("Field") {
+                spec.adds_fields.push(AddedField {
+                    name: field
+                        .get_attr("name")
+                        .ok_or("<Field> requires a name")?
+                        .to_string(),
+                    type_name: field.get_attr("type").unwrap_or("Object").to_string(),
+                });
+            }
+        }
+        if let Some(el) = root.find("Adds_Methods") {
+            spec.adds_methods = parse_method_pairs(el)?;
+        }
+        if let Some(el) = root.find("Customizes_Methods") {
+            spec.customizes_methods = parse_method_pairs(el)?;
+        }
+        Ok(spec)
+    }
+
+    /// Serialize to the Table 3(b) XML form.
+    pub fn to_xml(&self) -> String {
+        let mut view = Element::new("View").attr("name", &self.name);
+        view = view.child(Element::new("Represents").attr("name", &self.represents));
+        if !self.restricts.is_empty() {
+            let mut r = Element::new("Restricts");
+            for i in &self.restricts {
+                r = r.child(
+                    Element::new("Interface")
+                        .attr("name", &i.name)
+                        .attr("type", i.exposure.as_str()),
+                );
+            }
+            view = view.child(r);
+        }
+        if !self.adds_fields.is_empty() {
+            let mut f = Element::new("Adds_Fields");
+            for field in &self.adds_fields {
+                f = f.child(
+                    Element::new("Field")
+                        .attr("name", &field.name)
+                        .attr("type", &field.type_name),
+                );
+            }
+            view = view.child(f);
+        }
+        for (tag, methods) in [
+            ("Adds_Methods", &self.adds_methods),
+            ("Customizes_Methods", &self.customizes_methods),
+        ] {
+            if !methods.is_empty() {
+                let mut el = Element::new(tag);
+                for m in methods.iter() {
+                    el = el.child(Element::new("MSign").with_text(&m.signature));
+                    el = el.child(Element::new("MBody").with_text(&m.body_ref));
+                }
+                view = view.child(el);
+            }
+        }
+        view.to_xml()
+    }
+}
+
+fn parse_method_pairs(el: &Element) -> Result<Vec<MethodSpec>, String> {
+    let mut out = Vec::new();
+    let mut pending_sign: Option<String> = None;
+    for child in &el.children {
+        match child.name.as_str() {
+            "MSign" => {
+                if let Some(prev) = pending_sign.take() {
+                    return Err(format!("<MSign>{prev}</MSign> has no matching <MBody>"));
+                }
+                pending_sign = Some(child.text.clone());
+            }
+            "MBody" => match pending_sign.take() {
+                Some(signature) => out.push(MethodSpec {
+                    signature,
+                    body_ref: child.text.clone(),
+                }),
+                None => return Err("<MBody> without preceding <MSign>".into()),
+            },
+            "Method" => {
+                let signature = child
+                    .find("MSign")
+                    .map(|e| e.text.clone())
+                    .ok_or("<Method> requires <MSign>")?;
+                let body_ref = child
+                    .find("MBody")
+                    .map(|e| e.text.clone())
+                    .ok_or("<Method> requires <MBody>")?;
+                out.push(MethodSpec { signature, body_ref });
+            }
+            other => return Err(format!("unexpected <{other}> in method list")),
+        }
+    }
+    if let Some(prev) = pending_sign {
+        return Err(format!("<MSign>{prev}</MSign> has no matching <MBody>"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARTNER_XML: &str = r#"
+        <View name="ViewMailClient_Partner">
+          <Represents name="MailClient"/>
+          <Restricts>
+            <Interface name="MessageI" type="local"/>
+            <Interface name="NotesI" type="rmi"/>
+            <Interface name="AddressI" type="switchboard"/>
+          </Restricts>
+          <Adds_Fields>
+            <Field name="accountCopy" type="Account"/>
+          </Adds_Fields>
+          <Adds_Methods>
+            <MSign>void mergeImageIntoView(byte[])</MSign>
+            <MBody>coherence.merge_into_view</MBody>
+            <MSign>byte[] extractImageFromView()</MSign>
+            <MBody>coherence.extract_from_view</MBody>
+          </Adds_Methods>
+          <Customizes_Methods>
+            <MSign>boolean addMeeting(String name)</MSign>
+            <MBody>mail.request_meeting</MBody>
+          </Customizes_Methods>
+        </View>"#;
+
+    #[test]
+    fn t3_parse_partner_view() {
+        let spec = ViewSpec::parse_xml(PARTNER_XML).unwrap();
+        assert_eq!(spec.name, "ViewMailClient_Partner");
+        assert_eq!(spec.represents, "MailClient");
+        assert_eq!(spec.restricts.len(), 3);
+        assert_eq!(spec.restricts[0].exposure, ExposureType::Local);
+        assert_eq!(spec.restricts[1].exposure, ExposureType::Rmi);
+        assert_eq!(spec.restricts[2].exposure, ExposureType::Switchboard);
+        assert_eq!(spec.adds_fields[0].name, "accountCopy");
+        assert_eq!(spec.adds_methods.len(), 2);
+        assert_eq!(spec.customizes_methods[0].method_name(), "addMeeting");
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let spec = ViewSpec::parse_xml(PARTNER_XML).unwrap();
+        let back = ViewSpec::parse_xml(&spec.to_xml()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn builder_equivalent_to_xml() {
+        let spec = ViewSpec::new("V", "C")
+            .restrict("I", ExposureType::Rmi)
+            .add_field("f", "int")
+            .add_method("void m()", "lib.m")
+            .customize_method("void c()", "lib.c");
+        let back = ViewSpec::parse_xml(&spec.to_xml()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn method_name_extraction() {
+        let m = MethodSpec {
+            signature: "String getPhone( String name )".into(),
+            body_ref: "x".into(),
+        };
+        assert_eq!(m.method_name(), "getPhone");
+        let ctor = MethodSpec {
+            signature: "ViewMailClient_Partner(String[] args)".into(),
+            body_ref: "x".into(),
+        };
+        assert_eq!(ctor.method_name(), "ViewMailClient_Partner");
+    }
+
+    #[test]
+    fn orphan_msign_rejected() {
+        let xml = r#"<View name="V"><Represents name="C"/>
+            <Adds_Methods><MSign>void x()</MSign></Adds_Methods></View>"#;
+        assert!(ViewSpec::parse_xml(xml).unwrap_err().contains("no matching"));
+    }
+
+    #[test]
+    fn orphan_mbody_rejected() {
+        let xml = r#"<View name="V"><Represents name="C"/>
+            <Adds_Methods><MBody>lib.x</MBody></Adds_Methods></View>"#;
+        assert!(ViewSpec::parse_xml(xml).is_err());
+    }
+
+    #[test]
+    fn missing_represents_rejected() {
+        assert!(ViewSpec::parse_xml(r#"<View name="V"/>"#).is_err());
+    }
+
+    #[test]
+    fn bad_exposure_rejected() {
+        let xml = r#"<View name="V"><Represents name="C"/>
+            <Restricts><Interface name="I" type="carrier-pigeon"/></Restricts></View>"#;
+        let err = ViewSpec::parse_xml(xml).unwrap_err();
+        assert!(err.contains("carrier-pigeon"));
+    }
+
+    #[test]
+    fn method_wrapper_form_accepted() {
+        let xml = r#"<View name="V"><Represents name="C"/>
+            <Adds_Methods><Method><MSign>void m()</MSign><MBody>lib.m</MBody></Method></Adds_Methods></View>"#;
+        let spec = ViewSpec::parse_xml(xml).unwrap();
+        assert_eq!(spec.adds_methods.len(), 1);
+    }
+}

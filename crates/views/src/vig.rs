@@ -1,0 +1,697 @@
+//! **VIG — the View Generator** (paper §4.3).
+//!
+//! "The generation of the code for a view is deferred to the time this
+//! view is first deployed … VIG takes the class file of the represented
+//! object and an XML definition of the view and produces a new classfile
+//! corresponding to the view." Processing order, per the paper:
+//! (1) interfaces, (2) methods, (3) fields.
+//!
+//! * `local` interfaces are copied as-is; their method implementations
+//!   are resolved through the represented class's inheritance chain and
+//!   copied into the view together with "the declarations of all used
+//!   class fields".
+//! * `rmi` / `switchboard` interfaces become stubs forwarding to the
+//!   original object over the corresponding transport.
+//! * Added/customized methods come from the XML rules; VIG validates
+//!   every reference ("if VIG is unable to generate correct bytecode —
+//!   e.g. a new method uses a variable that is not defined … — it
+//!   triggers an error that indicates how the XML rules can be
+//!   rectified").
+//! * Cache-coherence methods (`mergeImageIntoView` & co.) get default
+//!   implementations automatically — the paper's stated *goal* ("our goal
+//!   is to supply default handlers in an automatic fashion, which can be
+//!   overridden as necessary") — and every view method is wrapped in
+//!   `acquireImage` / `releaseImage`.
+//! * VIG also emits Table 5-style source text for inspection.
+
+use crate::binding::{RemoteCall, EXTRACT_IMAGE, MERGE_IMAGE};
+use crate::coherence::{CacheManager, CoherencePolicy, Image};
+use crate::component::{ComponentClass, FieldDef, FieldState, MethodBody};
+use crate::library::MethodLibrary;
+use crate::spec::{ExposureType, ViewSpec};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The four coherence method names of Table 3(b)/Table 5.
+pub const COHERENCE_METHODS: [&str; 4] = [
+    "mergeImageIntoView",
+    "mergeImageIntoObj",
+    "extractImageFromView",
+    "extractImageFromObj",
+];
+
+/// Errors raised by VIG, phrased to guide repair of the XML rules
+/// (paper: "VIG can be used to both generate views at runtime and guide
+/// the programmer's effort to write correct XML files").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VigError {
+    /// The spec restricts an interface the represented class lacks.
+    UnknownInterface {
+        /// Interface named in the spec.
+        interface: String,
+        /// The represented class.
+        class: String,
+        /// Interfaces that do exist.
+        available: Vec<String>,
+    },
+    /// A customized method does not exist on the represented class.
+    UnknownMethod {
+        /// Method named in the spec.
+        method: String,
+        /// The represented class.
+        class: String,
+    },
+    /// A method body uses a field the view does not have.
+    UndefinedField {
+        /// The missing field.
+        field: String,
+        /// The method whose body uses it.
+        method: String,
+        /// Fields the view does have.
+        available: Vec<String>,
+    },
+    /// An `<MBody>` reference is not in the method library.
+    MissingBody {
+        /// The dangling reference.
+        body_ref: String,
+        /// The method it was meant to implement.
+        method: String,
+    },
+    /// The same method is defined twice.
+    DuplicateMethod(String),
+    /// The spec's `Represents` does not match the supplied class.
+    WrongClass {
+        /// What the spec says.
+        expected: String,
+        /// What was supplied.
+        got: String,
+    },
+}
+
+impl core::fmt::Display for VigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VigError::UnknownInterface { interface, class, available } => write!(
+                f,
+                "interface '{interface}' is not implemented by '{class}'; \
+                 rectify the <Restricts> rule to one of: {}",
+                available.join(", ")
+            ),
+            VigError::UnknownMethod { method, class } => write!(
+                f,
+                "method '{method}' does not exist on '{class}' (or its \
+                 superclasses); remove or fix the <Customizes_Methods> rule"
+            ),
+            VigError::UndefinedField { field, method, available } => write!(
+                f,
+                "method '{method}' uses field '{field}' which the view does \
+                 not define; add it under <Adds_Fields> or restrict an \
+                 interface that carries it (view fields: {})",
+                available.join(", ")
+            ),
+            VigError::MissingBody { body_ref, method } => write!(
+                f,
+                "no method body registered under '{body_ref}' for \
+                 '{method}'; register it in the MethodLibrary or fix <MBody>"
+            ),
+            VigError::DuplicateMethod(m) => {
+                write!(f, "method '{m}' is defined more than once in the view")
+            }
+            VigError::WrongClass { expected, got } => write!(
+                f,
+                "view represents '{expected}' but was generated against '{got}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VigError {}
+
+/// One entry of the view's dispatch table.
+#[derive(Clone)]
+pub enum DispatchEntry {
+    /// Runs inside the view, over the view's copied/added state.
+    Local {
+        /// The method (body + metadata).
+        body: MethodBody,
+        /// Fields used (already validated).
+        uses_fields: Vec<String>,
+        /// Whether coherence must push after the call.
+        mutates: bool,
+        /// Provenance tag for emitted source: `copied`, `customized`,
+        /// `added`.
+        origin: &'static str,
+        /// Display signature.
+        signature: String,
+    },
+    /// Forwards to the original object over a remote binding.
+    Remote {
+        /// Which interface the method belongs to.
+        interface: String,
+        /// rmi or switchboard.
+        exposure: ExposureType,
+        /// Display signature.
+        signature: String,
+    },
+}
+
+/// The product of VIG: a ready-to-instantiate view "classfile".
+pub struct GeneratedView {
+    /// The spec this was generated from.
+    pub spec: ViewSpec,
+    /// Dispatch table: method name → entry.
+    pub entries: HashMap<String, DispatchEntry>,
+    /// The view's fields (copied originals + added).
+    pub fields: Vec<FieldDef>,
+    /// The subset of fields shared with the original object (what the
+    /// coherence image carries). Added fields are view-private.
+    pub coherent_fields: Vec<String>,
+    /// Constructor body, if the spec declared one.
+    pub constructor: Option<MethodBody>,
+    /// Emitted Table 5-style source text.
+    pub source: String,
+}
+
+impl std::fmt::Debug for GeneratedView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeneratedView")
+            .field("name", &self.spec.name)
+            .field("represents", &self.spec.represents)
+            .field("methods", &self.entries.keys().collect::<Vec<_>>())
+            .field("fields", &self.fields)
+            .finish()
+    }
+}
+
+impl GeneratedView {
+    /// Interfaces the view implements, with exposure.
+    pub fn interfaces(&self) -> &[crate::spec::InterfaceRestriction] {
+        &self.spec.restricts
+    }
+
+    /// Instantiate the view.
+    ///
+    /// `original` is the remote face of the original object (required
+    /// when the view has remote interfaces or coherent fields); `policy`
+    /// and `ttl_acquires` configure the cache manager.
+    pub fn instantiate(
+        self: &Arc<Self>,
+        original: Option<Arc<dyn RemoteCall>>,
+        policy: CoherencePolicy,
+        ttl_acquires: u64,
+        ctor_args: &[u8],
+    ) -> Result<Arc<ViewInstance>, String> {
+        let needs_remote = self
+            .entries
+            .values()
+            .any(|e| matches!(e, DispatchEntry::Remote { .. }));
+        if (needs_remote || !self.coherent_fields.is_empty()) && original.is_none() {
+            return Err(format!(
+                "view {} needs a binding to its original object",
+                self.spec.name
+            ));
+        }
+        let instance = Arc::new(ViewInstance {
+            view: self.clone(),
+            state: Mutex::new(FieldState::default()),
+            original,
+            cache: CacheManager::new(policy, ttl_acquires),
+        });
+        if let Some(ctor) = &self.constructor {
+            let mut st = instance.state.lock();
+            ctor(&mut st, ctor_args)?;
+        }
+        Ok(instance)
+    }
+}
+
+/// A live view instance: the auxiliary component the planner deploys.
+pub struct ViewInstance {
+    view: Arc<GeneratedView>,
+    state: Mutex<FieldState>,
+    original: Option<Arc<dyn RemoteCall>>,
+    cache: CacheManager,
+}
+
+impl ViewInstance {
+    /// The generated view this instantiates.
+    pub fn view(&self) -> &Arc<GeneratedView> {
+        &self.view
+    }
+
+    /// Invoke a view method. Local methods run under
+    /// acquireImage/releaseImage; remote methods forward to the original
+    /// object.
+    pub fn invoke(&self, method: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        let entry = self.view.entries.get(method).ok_or_else(|| {
+            format!(
+                "view {} does not expose method '{method}'",
+                self.view.spec.name
+            )
+        })?;
+        match entry.clone() {
+            DispatchEntry::Remote { .. } => {
+                let remote = self
+                    .original
+                    .as_ref()
+                    .ok_or("remote method with no binding")?;
+                remote.call_remote(method, args)
+            }
+            DispatchEntry::Local { body, mutates, .. } => {
+                self.acquire_image()?;
+                let result = {
+                    let mut st = self.state.lock();
+                    body(&mut st, args)
+                };
+                self.release_image(mutates)?;
+                result
+            }
+        }
+    }
+
+    /// acquireImage: pull a fresh image of the coherent fields from the
+    /// original object if the cache says so.
+    pub fn acquire_image(&self) -> Result<(), String> {
+        if self.view.coherent_fields.is_empty() {
+            return Ok(());
+        }
+        if !self.cache.on_acquire() {
+            return Ok(());
+        }
+        let Some(remote) = self.original.as_ref() else {
+            return Ok(());
+        };
+        let names = self.view.coherent_fields.join("\n");
+        let bytes = remote.call_remote(EXTRACT_IMAGE, names.as_bytes())?;
+        let image = Image::from_bytes(&bytes)?;
+        let mut st = self.state.lock();
+        image.merge_into(&mut st); // mergeImageIntoView
+        Ok(())
+    }
+
+    /// releaseImage: after a mutating method, push per policy.
+    pub fn release_image(&self, mutated: bool) -> Result<(), String> {
+        if !mutated || self.view.coherent_fields.is_empty() {
+            return Ok(());
+        }
+        if self.cache.on_mutate() {
+            self.push_image()?;
+        }
+        Ok(())
+    }
+
+    /// Explicit write-back flush.
+    pub fn flush(&self) -> Result<(), String> {
+        if self.cache.flush() {
+            self.push_image()?;
+        }
+        Ok(())
+    }
+
+    fn push_image(&self) -> Result<(), String> {
+        let Some(remote) = self.original.as_ref() else {
+            return Ok(());
+        };
+        let image = {
+            let st = self.state.lock();
+            Image::from_fields(&st, &self.view.coherent_fields) // extractImageFromView
+        };
+        remote.call_remote(MERGE_IMAGE, &image.to_bytes())?; // mergeImageIntoObj
+        Ok(())
+    }
+
+    /// Invalidate the cached image (external change notification).
+    pub fn invalidate_cache(&self) {
+        self.cache.invalidate();
+    }
+
+    /// Coherence traffic counters.
+    pub fn coherence_stats(&self) -> crate::coherence::CoherenceStats {
+        self.cache.stats()
+    }
+
+    /// Read a view field (tests).
+    pub fn field(&self, name: &str) -> Vec<u8> {
+        self.state.lock().get(name)
+    }
+
+    /// Write a view field (initialization/tests).
+    pub fn set_field(&self, name: &str, value: impl Into<Vec<u8>>) {
+        self.state.lock().set(name, value);
+    }
+}
+
+/// The view generator.
+pub struct Vig {
+    library: MethodLibrary,
+}
+
+impl Vig {
+    /// Create a generator over a method library.
+    pub fn new(library: MethodLibrary) -> Vig {
+        Vig { library }
+    }
+
+    /// Generate a view from `spec` against the represented `class`
+    /// (paper: classfile + XML in, new classfile out).
+    pub fn generate(
+        &self,
+        class: &Arc<ComponentClass>,
+        spec: &ViewSpec,
+    ) -> Result<Arc<GeneratedView>, VigError> {
+        if spec.represents != class.name {
+            return Err(VigError::WrongClass {
+                expected: spec.represents.clone(),
+                got: class.name.clone(),
+            });
+        }
+
+        let mut entries: HashMap<String, DispatchEntry> = HashMap::new();
+        let mut fields: BTreeMap<String, FieldDef> = BTreeMap::new();
+        let mut coherent_fields: Vec<String> = Vec::new();
+
+        let customized: HashMap<String, &crate::spec::MethodSpec> = spec
+            .customizes_methods
+            .iter()
+            .map(|m| (m.method_name(), m))
+            .collect();
+
+        // --- (1) interfaces -------------------------------------------
+        for restriction in &spec.restricts {
+            let iface = class.resolve_interface(&restriction.name).ok_or_else(|| {
+                VigError::UnknownInterface {
+                    interface: restriction.name.clone(),
+                    class: class.name.clone(),
+                    available: class
+                        .all_interfaces()
+                        .iter()
+                        .map(|i| i.name.clone())
+                        .collect(),
+                }
+            })?;
+            let method_names = iface.methods.clone();
+            for mname in method_names {
+                if entries.contains_key(&mname) {
+                    return Err(VigError::DuplicateMethod(mname));
+                }
+                match restriction.exposure {
+                    ExposureType::Local => {
+                        // --- (2) methods: copy, following inheritance.
+                        let (def, _) = class.resolve_method(&mname).ok_or_else(|| {
+                            VigError::UnknownMethod {
+                                method: mname.clone(),
+                                class: class.name.clone(),
+                            }
+                        })?;
+                        // Customized local methods take the library body.
+                        let (body, uses, mutates, origin, signature) =
+                            if let Some(custom) = customized.get(&mname) {
+                                let entry = self.library.get(&custom.body_ref).ok_or_else(
+                                    || VigError::MissingBody {
+                                        body_ref: custom.body_ref.clone(),
+                                        method: mname.clone(),
+                                    },
+                                )?;
+                                (
+                                    entry.body.clone(),
+                                    entry.uses_fields.clone(),
+                                    entry.mutates,
+                                    "customized",
+                                    custom.signature.clone(),
+                                )
+                            } else {
+                                (
+                                    def.body.clone(),
+                                    def.uses_fields.clone(),
+                                    def.mutates,
+                                    "copied",
+                                    def.signature.clone(),
+                                )
+                            };
+                        // --- (3) fields: copy declarations of used fields.
+                        for fname in &uses {
+                            if let Some(fd) = class.resolve_field(fname) {
+                                if !fields.contains_key(fname) {
+                                    fields.insert(fname.clone(), fd.clone());
+                                    coherent_fields.push(fname.clone());
+                                }
+                            }
+                            // Added fields are checked after the
+                            // Adds_Fields pass below.
+                        }
+                        entries.insert(
+                            mname.clone(),
+                            DispatchEntry::Local {
+                                body,
+                                uses_fields: uses,
+                                mutates,
+                                origin,
+                                signature,
+                            },
+                        );
+                    }
+                    exposure @ (ExposureType::Rmi | ExposureType::Switchboard) => {
+                        // A customization overrides the remote stub with a
+                        // local body (Table 5: addMeeting is user-supplied
+                        // code even though NotesI is exposed via rmi).
+                        if let Some(custom) = customized.get(&mname) {
+                            let entry = self.library.get(&custom.body_ref).ok_or_else(
+                                || VigError::MissingBody {
+                                    body_ref: custom.body_ref.clone(),
+                                    method: mname.clone(),
+                                },
+                            )?;
+                            entries.insert(
+                                mname.clone(),
+                                DispatchEntry::Local {
+                                    body: entry.body.clone(),
+                                    uses_fields: entry.uses_fields.clone(),
+                                    mutates: entry.mutates,
+                                    origin: "customized",
+                                    signature: custom.signature.clone(),
+                                },
+                            );
+                            continue;
+                        }
+                        let signature = class
+                            .resolve_method(&mname)
+                            .map(|(d, _)| d.signature.clone())
+                            .unwrap_or_else(|| format!("{mname}(...)"));
+                        entries.insert(
+                            mname.clone(),
+                            DispatchEntry::Remote {
+                                interface: restriction.name.clone(),
+                                exposure,
+                                signature,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Added fields (view-private, not coherent).
+        for f in &spec.adds_fields {
+            fields.insert(
+                f.name.clone(),
+                FieldDef { name: f.name.clone(), type_name: f.type_name.clone() },
+            );
+        }
+
+        // Added methods: constructor, coherence overrides, helpers.
+        let mut constructor: Option<MethodBody> = None;
+        for m in &spec.adds_methods {
+            let mname = m.method_name();
+            let entry =
+                self.library
+                    .get(&m.body_ref)
+                    .ok_or_else(|| VigError::MissingBody {
+                        body_ref: m.body_ref.clone(),
+                        method: mname.clone(),
+                    })?;
+            if mname == spec.name {
+                constructor = Some(entry.body.clone());
+                continue;
+            }
+            if COHERENCE_METHODS.contains(&mname.as_str()) {
+                // Override accepted; defaults otherwise (see below). We
+                // record it as a local method so it participates in
+                // dispatch, but the built-in coherence path remains.
+            }
+            if entries.contains_key(&mname) {
+                return Err(VigError::DuplicateMethod(mname));
+            }
+            entries.insert(
+                mname.clone(),
+                DispatchEntry::Local {
+                    body: entry.body.clone(),
+                    uses_fields: entry.uses_fields.clone(),
+                    mutates: entry.mutates,
+                    origin: "added",
+                    signature: m.signature.clone(),
+                },
+            );
+        }
+
+        // Customized methods must exist somewhere in the view.
+        for m in &spec.customizes_methods {
+            let mname = m.method_name();
+            if class.resolve_method(&mname).is_none() {
+                return Err(VigError::UnknownMethod {
+                    method: mname,
+                    class: class.name.clone(),
+                });
+            }
+        }
+
+        // Field validation: every local method's used fields must exist
+        // in the view.
+        let available: Vec<String> = fields.keys().cloned().collect();
+        for (mname, entry) in &entries {
+            if let DispatchEntry::Local { uses_fields, .. } = entry {
+                for f in uses_fields {
+                    if !fields.contains_key(f) {
+                        return Err(VigError::UndefinedField {
+                            field: f.clone(),
+                            method: mname.clone(),
+                            available: available.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let spec_clone = spec.clone();
+        let fields_vec: Vec<FieldDef> = fields.into_values().collect();
+        let source = emit_source(&spec_clone, class, &entries, &fields_vec);
+        Ok(Arc::new(GeneratedView {
+            spec: spec_clone,
+            entries,
+            fields: fields_vec,
+            coherent_fields,
+            constructor,
+            source,
+        }))
+    }
+}
+
+/// Emit Table 5-style source text for the generated view.
+fn emit_source(
+    spec: &ViewSpec,
+    class: &ComponentClass,
+    entries: &HashMap<String, DispatchEntry>,
+    fields: &[FieldDef],
+) -> String {
+    let mut out = String::new();
+    // Interface declarations with the paper's marker supertypes.
+    for r in &spec.restricts {
+        let extends = match r.exposure {
+            ExposureType::Local => String::new(),
+            ExposureType::Rmi => " extends Remote".to_string(),
+            ExposureType::Switchboard => " extends Serializable".to_string(),
+        };
+        out.push_str(&format!("public interface {}{} {{\n", r.name, extends));
+        if let Some(iface) = class.resolve_interface(&r.name) {
+            for m in &iface.methods {
+                if let Some(e) = entries.get(m) {
+                    let sig = match e {
+                        DispatchEntry::Local { signature, .. } => signature.clone(),
+                        DispatchEntry::Remote { signature, exposure, .. } => {
+                            if *exposure == ExposureType::Rmi {
+                                format!("{signature} throws RemoteException")
+                            } else {
+                                signature.clone()
+                            }
+                        }
+                    };
+                    out.push_str(&format!("  public {sig}\n"));
+                }
+            }
+        }
+        out.push_str("}\n");
+    }
+    // Class body.
+    let ifaces: Vec<&str> = spec.restricts.iter().map(|r| r.name.as_str()).collect();
+    out.push_str(&format!(
+        "public class {} implements {} {{\n",
+        spec.name,
+        ifaces.join(", ")
+    ));
+    for f in fields {
+        out.push_str(&format!("  {} {};\n", f.type_name, f.name));
+    }
+    out.push_str("  CacheManager cacheManager;\n");
+    for r in &spec.restricts {
+        match r.exposure {
+            ExposureType::Rmi => {
+                out.push_str(&format!("  {} {}_rmi;\n", r.name, stub_field(&r.name)))
+            }
+            ExposureType::Switchboard => out.push_str(&format!(
+                "  {} {}_switch;\n",
+                r.name,
+                stub_field(&r.name)
+            )),
+            ExposureType::Local => {}
+        }
+    }
+    // Constructor.
+    out.push_str(&format!("  public {}( String[] args ) {{\n", spec.name));
+    for r in &spec.restricts {
+        match r.exposure {
+            ExposureType::Rmi => out.push_str(&format!(
+                "    {}_rmi = ({}) Naming.lookup(...);\n",
+                stub_field(&r.name),
+                r.name
+            )),
+            ExposureType::Switchboard => out.push_str(&format!(
+                "    {}_switch = ({}) Switchboard.lookup(...);\n",
+                stub_field(&r.name),
+                r.name
+            )),
+            ExposureType::Local => {}
+        }
+    }
+    out.push_str("    cacheManager = new CacheManager( properties, name );\n");
+    out.push_str("  }\n");
+    // Methods, sorted for stable output.
+    let mut names: Vec<&String> = entries.keys().collect();
+    names.sort();
+    for name in names {
+        match &entries[name] {
+            DispatchEntry::Local { origin, signature, .. } => {
+                let comment = match *origin {
+                    "copied" => "/** the original code **/",
+                    "customized" => "/** user supplied code **/",
+                    _ => "/** added method **/",
+                };
+                out.push_str(&format!("  public {signature} {{ {comment} }}\n"));
+            }
+            DispatchEntry::Remote { interface, exposure, signature } => {
+                let stub = match exposure {
+                    ExposureType::Rmi => format!("{}_rmi", stub_field(interface)),
+                    _ => format!("{}_switch", stub_field(interface)),
+                };
+                out.push_str(&format!(
+                    "  public {signature} {{ return {stub}.{name}(...); }}\n"
+                ));
+            }
+        }
+    }
+    // Coherence methods (defaults supplied by VIG).
+    for m in COHERENCE_METHODS {
+        out.push_str(&format!(
+            "  private byte[] {m}(...) {{ /** VIG default coherence handler **/ }}\n"
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn stub_field(interface: &str) -> String {
+    let mut s = interface.to_string();
+    if let Some(first) = s.get_mut(0..1) {
+        first.make_ascii_lowercase();
+    }
+    s
+}

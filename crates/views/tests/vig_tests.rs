@@ -1,0 +1,402 @@
+//! Integration tests for VIG: generation of the paper's
+//! `ViewMailClient_Partner` (Tables 3 & 5), error-guided spec repair,
+//! coherence wrapping, and remote stubs over real bindings.
+
+use psf_views::binding::InProcessRemote;
+use psf_views::{
+    CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, Vig, VigError, ViewSpec,
+};
+use std::sync::Arc;
+
+/// A MailClient-shaped component (Table 3a): MessageI, AddressI, NotesI.
+fn mail_client_class() -> Arc<ComponentClass> {
+    ComponentClass::builder("MailClient")
+        .interface("MessageI", ["sendMessage", "receiveMessages"])
+        .interface("AddressI", ["getPhone", "getEmail"])
+        .interface("NotesI", ["addNote", "addMeeting"])
+        .field("accounts", "Account[]")
+        .field("outbox", "List")
+        .field("notes", "List")
+        .method(
+            "sendMessage",
+            "void sendMessage(Message mes)",
+            &["outbox"],
+            true,
+            |st, args| {
+                let mut outbox = st.get_str("outbox");
+                if !outbox.is_empty() {
+                    outbox.push('\n');
+                }
+                outbox.push_str(&String::from_utf8_lossy(args));
+                st.set("outbox", outbox);
+                Ok(vec![])
+            },
+        )
+        .method(
+            "receiveMessages",
+            "Set receiveMessages()",
+            &["outbox"],
+            false,
+            |st, _| Ok(st.get("outbox")),
+        )
+        .method(
+            "getPhone",
+            "String getPhone(String name)",
+            &["accounts"],
+            false,
+            |st, args| {
+                lookup_account(&st.get_str("accounts"), &String::from_utf8_lossy(args), 1)
+            },
+        )
+        .method(
+            "getEmail",
+            "String getEmail(String name)",
+            &["accounts"],
+            false,
+            |st, args| {
+                lookup_account(&st.get_str("accounts"), &String::from_utf8_lossy(args), 2)
+            },
+        )
+        .method(
+            "addNote",
+            "void addNote(String note)",
+            &["notes"],
+            true,
+            |st, args| {
+                let mut notes = st.get_str("notes");
+                notes.push_str(&String::from_utf8_lossy(args));
+                notes.push('\n');
+                st.set("notes", notes);
+                Ok(vec![])
+            },
+        )
+        .method(
+            "addMeeting",
+            "boolean addMeeting(String name)",
+            &["notes"],
+            true,
+            |st, args| {
+                let mut notes = st.get_str("notes");
+                notes.push_str(&format!("MEETING:{}\n", String::from_utf8_lossy(args)));
+                st.set("notes", notes);
+                Ok(b"true".to_vec())
+            },
+        )
+        .build()
+        .unwrap()
+}
+
+/// accounts format: "name,phone,email" per line.
+fn lookup_account(accounts: &str, name: &str, col: usize) -> Result<Vec<u8>, String> {
+    for line in accounts.lines() {
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.first() == Some(&name) {
+            return Ok(parts.get(col).unwrap_or(&"").as_bytes().to_vec());
+        }
+    }
+    Err(format!("no account for {name}"))
+}
+
+fn partner_spec() -> ViewSpec {
+    ViewSpec::new("ViewMailClient_Partner", "MailClient")
+        .restrict("MessageI", ExposureType::Local)
+        .restrict("NotesI", ExposureType::Rmi)
+        .restrict("AddressI", ExposureType::Switchboard)
+        .add_field("accountCopy", "Account")
+        .customize_method("boolean addMeeting(String name)", "mail.request_meeting")
+}
+
+fn library() -> MethodLibrary {
+    let mut lib = MethodLibrary::new();
+    // The partner's addMeeting "is reduced to only requesting the right
+    // to set up a meeting" (§4.2).
+    lib.register_full("mail.request_meeting", &[], false, |_, args| {
+        Ok(format!("REQUESTED:{}", String::from_utf8_lossy(args)).into_bytes())
+    });
+    lib
+}
+
+#[test]
+fn t5_generate_partner_view_structure() {
+    let class = mail_client_class();
+    let vig = Vig::new(library());
+    let view = vig.generate(&class, &partner_spec()).unwrap();
+    // Local interface methods copied; remote interfaces stubbed;
+    // customization overrides the rmi stub with local code.
+    use psf_views::vig::DispatchEntry;
+    assert!(matches!(
+        view.entries["sendMessage"],
+        DispatchEntry::Local { origin: "copied", .. }
+    ));
+    assert!(matches!(
+        view.entries["getPhone"],
+        DispatchEntry::Remote { exposure: ExposureType::Switchboard, .. }
+    ));
+    assert!(matches!(
+        view.entries["addNote"],
+        DispatchEntry::Remote { exposure: ExposureType::Rmi, .. }
+    ));
+    assert!(matches!(
+        view.entries["addMeeting"],
+        DispatchEntry::Local { origin: "customized", .. }
+    ));
+    // Fields: outbox copied (used by local MessageI), accountCopy added;
+    // accounts NOT copied (AddressI is remote).
+    let names: Vec<&str> = view.fields.iter().map(|f| f.name.as_str()).collect();
+    assert!(names.contains(&"outbox"));
+    assert!(names.contains(&"accountCopy"));
+    assert!(!names.contains(&"accounts"));
+    assert_eq!(view.coherent_fields, vec!["outbox"]);
+}
+
+#[test]
+fn t5_emitted_source_matches_paper_shape() {
+    let class = mail_client_class();
+    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    let src = &view.source;
+    // Table 5 landmarks.
+    assert!(src.contains("public interface AddressI extends Serializable"));
+    assert!(src.contains("public interface NotesI extends Remote"));
+    assert!(src.contains("throws RemoteException"));
+    assert!(src.contains(
+        "public class ViewMailClient_Partner implements MessageI, NotesI, AddressI"
+    ));
+    assert!(src.contains("Switchboard.lookup"));
+    assert!(src.contains("Naming.lookup"));
+    assert!(src.contains("cacheManager = new CacheManager"));
+    assert!(src.contains("/** the original code **/"));
+    assert!(src.contains("/** user supplied code **/"));
+    assert!(src.contains("mergeImageIntoView"));
+    assert!(src.contains("extractImageFromObj"));
+}
+
+#[test]
+fn view_executes_local_remote_and_customized_methods() {
+    let class = mail_client_class();
+    let original = class.instantiate();
+    original.set_field("accounts", "alice,555-0100,alice@comp\nbob,555-0199,bob@comp");
+    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    let remote = InProcessRemote::switchboard(original.clone());
+    let inst = view
+        .instantiate(Some(remote), CoherencePolicy::WriteThrough, 0, b"")
+        .unwrap();
+
+    // Local: sendMessage runs in the view and writes through to the
+    // original via coherence.
+    inst.invoke("sendMessage", b"hello partner").unwrap();
+    assert_eq!(original.field("outbox"), b"hello partner");
+
+    // Remote (switchboard exposure): getPhone forwards to the original.
+    assert_eq!(inst.invoke("getPhone", b"alice").unwrap(), b"555-0100");
+    assert_eq!(inst.invoke("getEmail", b"bob").unwrap(), b"bob@comp");
+
+    // Remote (rmi exposure): addNote forwards too.
+    inst.invoke("addNote", b"remember the milk").unwrap();
+    assert!(original.field("notes").starts_with(b"remember the milk"));
+
+    // Customized: addMeeting only *requests* the meeting.
+    let out = inst.invoke("addMeeting", b"board-review").unwrap();
+    assert_eq!(out, b"REQUESTED:board-review");
+    // The original's notes must NOT contain a meeting (restricted view).
+    assert!(!String::from_utf8_lossy(&original.field("notes")).contains("MEETING"));
+}
+
+#[test]
+fn coherence_pulls_fresh_state_from_original() {
+    let class = mail_client_class();
+    let original = class.instantiate();
+    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    let inst = view
+        .instantiate(
+            Some(InProcessRemote::switchboard(original.clone())),
+            CoherencePolicy::WriteThrough,
+            0, // strict: re-pull on every acquire
+            b"",
+        )
+        .unwrap();
+    // Someone else updates the original object.
+    original.invoke("sendMessage", b"out-of-band").unwrap();
+    // The view's local read sees it because acquireImage re-pulls.
+    assert_eq!(inst.invoke("receiveMessages", b"").unwrap(), b"out-of-band");
+    assert!(inst.coherence_stats().pulls >= 1);
+}
+
+#[test]
+fn write_back_policy_defers_pushes() {
+    let class = mail_client_class();
+    let original = class.instantiate();
+    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    let inst = view
+        .instantiate(
+            Some(InProcessRemote::switchboard(original.clone())),
+            CoherencePolicy::WriteBack,
+            1000,
+            b"",
+        )
+        .unwrap();
+    inst.invoke("sendMessage", b"one").unwrap();
+    inst.invoke("sendMessage", b"two").unwrap();
+    assert_eq!(original.field("outbox"), b""); // not pushed yet
+    inst.flush().unwrap();
+    assert_eq!(original.field("outbox"), b"one\ntwo");
+    assert_eq!(inst.coherence_stats().pushes, 1);
+}
+
+#[test]
+fn unknown_interface_error_guides_repair() {
+    let class = mail_client_class();
+    let spec = ViewSpec::new("V", "MailClient").restrict("CalendarI", ExposureType::Local);
+    let err = Vig::new(library()).generate(&class, &spec).unwrap_err();
+    match &err {
+        VigError::UnknownInterface { interface, available, .. } => {
+            assert_eq!(interface, "CalendarI");
+            assert!(available.contains(&"MessageI".to_string()));
+        }
+        other => panic!("wrong error {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("rectify"));
+    assert!(msg.contains("MessageI"));
+}
+
+#[test]
+fn missing_body_error_guides_repair() {
+    let class = mail_client_class();
+    let spec = ViewSpec::new("V", "MailClient")
+        .restrict("MessageI", ExposureType::Local)
+        .add_method("void extra()", "lib.not_registered");
+    let err = Vig::new(library()).generate(&class, &spec).unwrap_err();
+    assert!(matches!(err, VigError::MissingBody { .. }));
+    assert!(err.to_string().contains("lib.not_registered"));
+}
+
+#[test]
+fn undefined_field_error_guides_repair() {
+    let class = mail_client_class();
+    let mut lib = library();
+    lib.register_full("lib.uses_ghost", &["ghostField"], false, |_, _| Ok(vec![]));
+    let spec = ViewSpec::new("V", "MailClient")
+        .restrict("MessageI", ExposureType::Local)
+        .add_method("void ghost()", "lib.uses_ghost");
+    let err = Vig::new(lib).generate(&class, &spec).unwrap_err();
+    match &err {
+        VigError::UndefinedField { field, method, .. } => {
+            assert_eq!(field, "ghostField");
+            assert_eq!(method, "ghost");
+        }
+        other => panic!("wrong error {other:?}"),
+    }
+    assert!(err.to_string().contains("Adds_Fields"));
+}
+
+#[test]
+fn unknown_customized_method_rejected() {
+    let class = mail_client_class();
+    let spec = ViewSpec::new("V", "MailClient")
+        .restrict("MessageI", ExposureType::Local)
+        .customize_method("void nonexistent()", "mail.request_meeting");
+    let err = Vig::new(library()).generate(&class, &spec).unwrap_err();
+    assert!(matches!(err, VigError::UnknownMethod { .. }));
+}
+
+#[test]
+fn wrong_class_rejected() {
+    let other = ComponentClass::builder("Other").build().unwrap();
+    let err = Vig::new(library())
+        .generate(&other, &partner_spec())
+        .unwrap_err();
+    assert!(matches!(err, VigError::WrongClass { .. }));
+}
+
+#[test]
+fn view_without_remote_needs_no_binding() {
+    // A fully-local view of a standalone class works unbound.
+    let class = ComponentClass::builder("Calc")
+        .interface("CalcI", ["add"])
+        .field("total", "long")
+        .method("add", "long add(long)", &["total"], true, |st, args| {
+            let v: i64 = st.get_str("total").parse().unwrap_or(0);
+            let inc: i64 = String::from_utf8_lossy(args).parse().map_err(|_| "nan")?;
+            st.set("total", (v + inc).to_string());
+            Ok(st.get("total"))
+        })
+        .build()
+        .unwrap();
+    let spec = ViewSpec::new("CalcView", "Calc").restrict("CalcI", ExposureType::Local);
+    let view = Vig::new(MethodLibrary::new()).generate(&class, &spec).unwrap();
+    // Coherent fields exist (total) so a binding is required — bind to a
+    // fresh original.
+    let original = class.instantiate();
+    let inst = view
+        .instantiate(
+            Some(InProcessRemote::rmi(original)),
+            CoherencePolicy::WriteThrough,
+            0,
+            b"",
+        )
+        .unwrap();
+    assert_eq!(inst.invoke("add", b"5").unwrap(), b"5");
+    assert_eq!(inst.invoke("add", b"7").unwrap(), b"12");
+}
+
+#[test]
+fn view_rejects_unexposed_methods() {
+    // The Anonymous view exposes only AddressI.getEmail-style browsing;
+    // everything else must be refused by construction.
+    let class = mail_client_class();
+    let spec = ViewSpec::new("ViewMailClient_Anonymous", "MailClient")
+        .restrict("AddressI", ExposureType::Switchboard);
+    let view = Vig::new(library()).generate(&class, &spec).unwrap();
+    let original = class.instantiate();
+    original.set_field("accounts", "alice,555-0100,alice@comp");
+    let inst = view
+        .instantiate(
+            Some(InProcessRemote::switchboard(original)),
+            CoherencePolicy::WriteThrough,
+            0,
+            b"",
+        )
+        .unwrap();
+    assert_eq!(inst.invoke("getEmail", b"alice").unwrap(), b"alice@comp");
+    // sendMessage is not part of this view at all.
+    let err = inst.invoke("sendMessage", b"spam").unwrap_err();
+    assert!(err.contains("does not expose"));
+}
+
+#[test]
+fn constructor_runs_at_instantiation() {
+    let class = mail_client_class();
+    let mut lib = library();
+    lib.register_full("ctor.partner", &["accountCopy"], true, |st, args| {
+        st.set("accountCopy", args.to_vec());
+        Ok(vec![])
+    });
+    let spec = partner_spec().add_method(
+        "ViewMailClient_Partner(String[] args)",
+        "ctor.partner",
+    );
+    let view = Vig::new(lib).generate(&class, &spec).unwrap();
+    let original = class.instantiate();
+    let inst = view
+        .instantiate(
+            Some(InProcessRemote::switchboard(original)),
+            CoherencePolicy::WriteThrough,
+            0,
+            b"cached-account",
+        )
+        .unwrap();
+    assert_eq!(inst.field("accountCopy"), b"cached-account");
+}
+
+#[test]
+fn generation_is_deferred_and_cheap_to_repeat() {
+    // "views incur management costs proportional to their utility":
+    // generating twice yields structurally identical views.
+    let class = mail_client_class();
+    let vig = Vig::new(library());
+    let v1 = vig.generate(&class, &partner_spec()).unwrap();
+    let v2 = vig.generate(&class, &partner_spec()).unwrap();
+    assert_eq!(v1.source, v2.source);
+    assert_eq!(v1.coherent_fields, v2.coherent_fields);
+    assert_eq!(v1.fields.len(), v2.fields.len());
+}

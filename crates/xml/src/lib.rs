@@ -1,0 +1,119 @@
+//! # psf-xml
+//!
+//! A minimal, dependency-free XML reader/writer sufficient for the view
+//! definition files of the HPDC'03 paper (Table 3b) and for PSF component
+//! descriptors. Supports:
+//!
+//! * elements with attributes (quoted with `"` or `'`),
+//! * nested children and text content (mixed content is concatenated),
+//! * self-closing tags, comments (`<!-- -->`), XML declarations and
+//!   processing instructions (skipped),
+//! * the five standard entities plus decimal/hex character references,
+//! * CDATA sections.
+//!
+//! It intentionally does **not** implement namespaces, DTDs, or external
+//! entities (no XXE surface by construction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parser;
+mod writer;
+
+pub use parser::{parse, ParseError};
+pub use writer::write;
+
+/// An XML element: name, attributes (in document order), children, and the
+/// concatenated text content of its direct text/CDATA nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated direct text content (entity-decoded, whitespace
+    /// preserved except leading/trailing trim).
+    pub text: String,
+}
+
+impl Element {
+    /// Create a new element with the given name.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element { name: name.into(), ..Default::default() }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn child(mut self, child: Element) -> Element {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder: set text content.
+    pub fn with_text(mut self, text: impl Into<String>) -> Element {
+        self.text = text.into();
+        self
+    }
+
+    /// Look up an attribute value by name.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child with the given tag name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given tag name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serialize to an XML string (pretty-printed, 2-space indent).
+    pub fn to_xml(&self) -> String {
+        writer::write(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let e = Element::new("View")
+            .attr("name", "ViewMailClient_Partner")
+            .child(Element::new("Represents").attr("name", "MailClient"));
+        assert_eq!(e.get_attr("name"), Some("ViewMailClient_Partner"));
+        assert_eq!(
+            e.find("Represents").unwrap().get_attr("name"),
+            Some("MailClient")
+        );
+        assert!(e.find("Missing").is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let e = Element::new("a")
+            .attr("k", "v with \"quotes\" & <angles>")
+            .child(Element::new("b").with_text("hello & <world>"))
+            .child(Element::new("c"));
+        let xml = e.to_xml();
+        let back = parse(&xml).unwrap();
+        assert_eq!(back.name, "a");
+        assert_eq!(back.get_attr("k"), Some("v with \"quotes\" & <angles>"));
+        assert_eq!(back.find("b").unwrap().text, "hello & <world>");
+        assert!(back.find("c").is_some());
+    }
+}

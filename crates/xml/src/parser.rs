@@ -1,0 +1,360 @@
+//! Recursive-descent XML parser.
+
+use crate::Element;
+
+/// Parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error occurred.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+impl std::error::Error for ParseError {}
+
+/// Parse a document and return its root element.
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_misc();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, XML declarations, and PIs.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match find(self.bytes, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' (no internal-subset support).
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'>' {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut el = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el); // self-closing
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected '=' after attribute '{key}'")));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = &self.bytes[start..self.pos];
+                    self.pos += 1;
+                    el.attrs.push((key, decode_entities(raw, start)?));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Content.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != el.name {
+                    return Err(self.err(format!(
+                        "mismatched closing tag: expected </{}>, found </{close}>",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                el.text = text.trim().to_string();
+                return Ok(el);
+            } else if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                match find(self.bytes, start, b"]]>") {
+                    Some(end) => {
+                        text.push_str(&String::from_utf8_lossy(&self.bytes[start..end]));
+                        self.pos = end + 3;
+                    }
+                    None => return Err(self.err("unterminated CDATA section")),
+                }
+            } else if self.starts_with("<?") {
+                match find(self.bytes, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else if self.peek() == Some(b'<') {
+                el.children.push(self.parse_element()?);
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'<') {
+                    self.pos += 1;
+                }
+                text.push_str(&decode_entities(&self.bytes[start..self.pos], start)?);
+            } else {
+                return Err(self.err(format!("unexpected end of input inside <{}>", el.name)));
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| i + from)
+}
+
+fn decode_entities(raw: &[u8], base_offset: usize) -> Result<String, ParseError> {
+    let s = String::from_utf8_lossy(raw);
+    if !s.contains('&') {
+        return Ok(s.into_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s.as_ref();
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        let semi = tail.find(';').ok_or(ParseError {
+            offset: base_offset,
+            message: "unterminated entity reference".into(),
+        })?;
+        let entity = &tail[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| ParseError {
+                    offset: base_offset,
+                    message: format!("bad character reference '&{entity};'"),
+                })?;
+                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| ParseError {
+                    offset: base_offset,
+                    message: format!("bad character reference '&{entity};'"),
+                })?;
+                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+            }
+            _ => {
+                return Err(ParseError {
+                    offset: base_offset,
+                    message: format!("unknown entity '&{entity};'"),
+                })
+            }
+        }
+        rest = &tail[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_element() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn nested_with_attrs() {
+        let e = parse(r#"<View name="V"><Represents name="MailClient"/></View>"#).unwrap();
+        assert_eq!(e.get_attr("name"), Some("V"));
+        assert_eq!(e.children.len(), 1);
+        assert_eq!(e.children[0].get_attr("name"), Some("MailClient"));
+    }
+
+    #[test]
+    fn text_content() {
+        let e = parse("<MSign>  void mergeImageIntoView(byte[])  </MSign>").unwrap();
+        assert_eq!(e.text, "void mergeImageIntoView(byte[])");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let e = parse("<m>a &lt; b &amp;&amp; c &gt; d &#65;&#x42;</m>").unwrap();
+        assert_eq!(e.text, "a < b && c > d AB");
+    }
+
+    #[test]
+    fn cdata() {
+        let e = parse("<code><![CDATA[ if (a < b && c > d) { } ]]></code>").unwrap();
+        assert_eq!(e.text, "if (a < b && c > d) { }");
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let e = parse("<!-- header --><a><!-- inner --><b/></a><!-- trailer -->").unwrap();
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn xml_declaration_skipped() {
+        let e = parse("<?xml version=\"1.0\"?>\n<a/>").unwrap();
+        assert_eq!(e.name, "a");
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<a attr='x>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&bogus;</a>").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn single_quoted_attrs() {
+        let e = parse("<a k='v1' j=\"v2\"/>").unwrap();
+        assert_eq!(e.get_attr("k"), Some("v1"));
+        assert_eq!(e.get_attr("j"), Some("v2"));
+    }
+
+    #[test]
+    fn mixed_content_concatenates() {
+        let e = parse("<a>one<b/>two</a>").unwrap();
+        assert_eq!(e.text, "onetwo");
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let e = parse("<!DOCTYPE view><a/>").unwrap();
+        assert_eq!(e.name, "a");
+    }
+}

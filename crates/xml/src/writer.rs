@@ -1,0 +1,90 @@
+//! Pretty-printing XML writer.
+
+use crate::Element;
+
+/// Serialize an element tree to a pretty-printed string.
+pub fn write(root: &Element) -> String {
+    let mut out = String::new();
+    write_el(root, 0, &mut out);
+    out
+}
+
+fn write_el(el: &Element, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&indent);
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.children.is_empty() && el.text.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push('>');
+    if el.children.is_empty() {
+        // Text-only element on one line.
+        out.push_str(&escape_text(&el.text));
+        out.push_str("</");
+        out.push_str(&el.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push('\n');
+    if !el.text.is_empty() {
+        out.push_str(&"  ".repeat(depth + 1));
+        out.push_str(&escape_text(&el.text));
+        out.push('\n');
+    }
+    for child in &el.children {
+        write_el(child, depth + 1, out);
+    }
+    out.push_str(&indent);
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push_str(">\n");
+}
+
+fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn writes_self_closing() {
+        assert_eq!(write(&Element::new("a")), "<a/>\n");
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        let e = Element::new("a").attr("k", "a\"b<c").with_text("x & y < z");
+        let s = write(&e);
+        assert!(s.contains("&quot;"));
+        assert!(s.contains("&amp;"));
+        assert!(s.contains("&lt;"));
+        assert_eq!(parse(&s).unwrap(), e);
+    }
+
+    #[test]
+    fn nested_pretty_printed() {
+        let e = Element::new("View")
+            .attr("name", "V")
+            .child(Element::new("Restricts").child(Element::new("Interface").attr("name", "I")));
+        let s = write(&e);
+        assert!(s.contains("\n  <Restricts>"));
+        assert!(s.contains("\n    <Interface"));
+        assert_eq!(parse(&s).unwrap(), e);
+    }
+}

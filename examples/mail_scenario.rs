@@ -1,0 +1,98 @@
+//! The full §2.2/§3.3 walkthrough: the three-site mail service with all
+//! Table 2 credentials, Table 4 access control, and QoS-adaptive
+//! deployment (caches for latency, encryptor/decryptor pairs for
+//! privacy).
+//!
+//! ```sh
+//! cargo run --example mail_scenario
+//! ```
+
+use psf_core::Goal;
+use psf_mail::{MailWorld, Message};
+
+fn main() {
+    println!("building the three-site world (Comp.NY / Comp.SD / Inc.SE)…\n");
+    let w = MailWorld::build(2);
+
+    println!("== Table 2: the issued credentials ==");
+    for (n, cred) in &w.creds {
+        println!("  ({n:>2}) {}", cred.body.render());
+    }
+
+    println!("\n== §3.3 client authorization ==");
+    for user in [&w.alice, &w.bob, &w.charlie] {
+        let (view, proof) = w.client_view(user).expect("every user gets a view");
+        println!(
+            "  {:<8} -> {view}  (proof: {} edge(s))",
+            user.name.0,
+            proof.as_ref().map(|p| p.edges.len()).unwrap_or(0)
+        );
+    }
+
+    println!("\n== Table 4 in action: capability differences ==");
+    let (_, alice_view) = w.instantiate_client_view(&w.alice).unwrap();
+    let (_, charlie_view) = w.instantiate_client_view(&w.charlie).unwrap();
+    println!(
+        "  Alice   addMeeting -> {}",
+        String::from_utf8_lossy(&alice_view.invoke("addMeeting", b"q3-sync").unwrap())
+    );
+    println!(
+        "  Charlie addMeeting -> {}",
+        String::from_utf8_lossy(&charlie_view.invoke("addMeeting", b"q3-sync").unwrap())
+    );
+
+    println!("\n== QoS adaptation: private mail for Bob in San Diego ==");
+    let goal = Goal::private("MailI", w.sites.sd[1]);
+    let (plan, deployment) = w.deliver(&goal).expect("plan + deploy");
+    print!("{}", plan.render());
+    println!(
+        "  deployed artifacts: {:?}",
+        deployment
+            .placements
+            .iter()
+            .map(|(s, n, d)| format!("{s}@node{} ({})", n.0, d.kind()))
+            .collect::<Vec<_>>()
+    );
+
+    deployment
+        .endpoint
+        .call_remote(
+            "send",
+            &Message::new("bob", "alice", "hello", "see you in NY").to_bytes(),
+        )
+        .unwrap();
+    let inbox = Message::decode_list(
+        &deployment.endpoint.call_remote("fetch", b"alice").unwrap(),
+    )
+    .unwrap();
+    println!(
+        "  mail delivered through the encrypted chain: {:?} -> {:?}",
+        inbox[0].subject, inbox[0].body
+    );
+
+    println!("\n== QoS adaptation: low-latency mail in San Diego (cache) ==");
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[1],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let (plan, _deployment) = w.deliver(&goal).expect("cache plan");
+    print!("{}", plan.render());
+
+    println!("\n== the same demand in Seattle is *refused* ==");
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.se[1],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    match w.plan_service(&goal) {
+        Err(e) => println!("  planner: {e}"),
+        Ok(_) => println!("  unexpected success"),
+    }
+    println!("  (IBM.Windows maps to Mail.Node with Secure={{false}}, Trust=(0,1) —");
+    println!("   the plaintext cache demands Secure={{true}}, Trust=(5,10).)");
+}

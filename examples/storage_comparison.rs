@@ -1,0 +1,42 @@
+//! Experiment F1: the §5 storage comparison — GSI `P×U` vs CAS
+//! `C×(P+U)` vs dRBAC `P+U+c` — over a sweep of deployment sizes. The
+//! dRBAC column is measured from real signed credentials.
+//!
+//! ```sh
+//! cargo run --example storage_comparison
+//! ```
+
+use psf_drbac::storage_model::storage_comparison;
+
+fn main() {
+    println!("Cross-domain authorization state (entries / KiB)");
+    println!("C = 8 communities, c = 2·P cross-domain delegations\n");
+    println!(
+        "{:>6} {:>6} | {:>12} {:>10} | {:>12} {:>10} | {:>12} {:>10}",
+        "P", "U", "GSI entries", "GSI KiB", "CAS entries", "CAS KiB", "dRBAC entr.", "dRBAC KiB"
+    );
+    for (p, u) in [
+        (5u64, 50u64),
+        (10, 100),
+        (20, 500),
+        (50, 1_000),
+        (100, 5_000),
+        (200, 20_000),
+        (500, 100_000),
+    ] {
+        let [gsi, cas, drbac] = storage_comparison(p, u, 8, 2 * p);
+        println!(
+            "{:>6} {:>6} | {:>12} {:>10.1} | {:>12} {:>10.1} | {:>12} {:>10.1}",
+            p,
+            u,
+            gsi.entries,
+            gsi.bytes as f64 / 1024.0,
+            cas.entries,
+            cas.bytes as f64 / 1024.0,
+            drbac.entries,
+            drbac.bytes as f64 / 1024.0,
+        );
+    }
+    println!("\nshape check (paper §5): GSI grows as P×U (quadratic in scale),");
+    println!("CAS as C×(P+U), dRBAC as P+U+c (linear) — dRBAC < CAS < GSI.");
+}

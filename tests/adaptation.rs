@@ -1,0 +1,160 @@
+//! Cross-crate adaptation test: the monitoring module sees environment
+//! changes, the planner produces a new deployment, and the deployer
+//! realizes it — the full dynamic loop of §2.1 over the mail world.
+
+use psf_core::{AdaptationLoop, Goal, PlannerConfig};
+use psf_mail::{MailWorld, Message};
+
+#[test]
+fn degraded_wan_leads_to_cache_redeployment_and_service_continuity() {
+    let w = MailWorld::build(2);
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[1],
+        max_latency_ms: Some(60.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+
+    let mut adapt = AdaptationLoop::start(
+        &w.registrar,
+        &w.sites.network,
+        &w.oracle,
+        PlannerConfig::default(),
+        goal.clone(),
+    );
+    // Initially the 40 ms WAN is inside budget: direct access.
+    let initial = adapt.current_plan().expect("initial plan").clone();
+    assert_eq!(initial.deployments(), 0);
+    let deployment = w.deployer.execute(&initial, &goal).unwrap();
+    deployment
+        .endpoint
+        .call_remote(
+            "send",
+            &Message::new("bob", "alice", "before", "pre-degradation").to_bytes(),
+        )
+        .unwrap();
+
+    // Every WAN path degrades.
+    w.sites.network.set_latency(w.sites.wan_ny_sd, 300.0);
+    w.sites.network.set_latency(w.sites.wan_sd_se, 300.0);
+    w.sites.network.set_latency(w.sites.wan_ny_se, 300.0);
+
+    let new_plan = match adapt.check() {
+        psf_core::monitor::AdaptationOutcome::Replanned(p) => p,
+        other => panic!("expected replan, got {other:?}"),
+    };
+    assert!(new_plan.deployments() >= 1, "cache needed: {}", new_plan.render());
+
+    // Redeploy and confirm continuity: old mail is still reachable via
+    // the new (cached) path because coherence pulls from the origin.
+    let redeployment = w.deployer.execute(&new_plan, &goal).unwrap();
+    let inbox = Message::decode_list(
+        &redeployment.endpoint.call_remote("fetch", b"alice").unwrap(),
+    )
+    .unwrap();
+    assert_eq!(inbox.len(), 1);
+    assert_eq!(inbox[0].subject, "before");
+}
+
+#[test]
+fn recovered_wan_reverts_to_direct_access() {
+    let w = MailWorld::build(2);
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[0],
+        max_latency_ms: Some(60.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    // Degrade first.
+    w.sites.network.set_latency(w.sites.wan_ny_sd, 300.0);
+    w.sites.network.set_latency(w.sites.wan_sd_se, 300.0);
+    w.sites.network.set_latency(w.sites.wan_ny_se, 300.0);
+    let mut adapt = AdaptationLoop::start(
+        &w.registrar,
+        &w.sites.network,
+        &w.oracle,
+        PlannerConfig::default(),
+        goal,
+    );
+    assert!(adapt.current_plan().unwrap().deployments() >= 1);
+
+    // The WAN recovers: the cheaper direct plan wins again.
+    w.sites.network.set_latency(w.sites.wan_ny_sd, 40.0);
+    match adapt.check() {
+        psf_core::monitor::AdaptationOutcome::Replanned(p) => {
+            assert_eq!(p.deployments(), 0, "direct again: {}", p.render())
+        }
+        other => panic!("expected replan, got {other:?}"),
+    }
+}
+
+#[test]
+fn teardown_releases_cpu_and_revokes_component_credentials() {
+    let w = MailWorld::build(2);
+    let node = w.sites.sd[1];
+    let before = w.sites.network.node(node).unwrap().cpu_available();
+
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: node,
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let (_plan, deployment) = w.deliver(&goal).unwrap();
+    // The cache view reserved CPU on a SD node.
+    assert!(!deployment.reservations.is_empty());
+    let reserved_node = deployment.reservations[0].0;
+    let during = w.sites.network.node(reserved_node).unwrap().cpu_available();
+    assert!(during < w.sites.network.node(reserved_node).unwrap().cpu_capacity);
+
+    let cred_ids: Vec<String> = deployment
+        .issued_credentials
+        .iter()
+        .map(|c| c.id())
+        .collect();
+    deployment.teardown(Some(&w.sites.network), &w.ny_guard);
+
+    // CPU restored.
+    let after = w.sites.network.node(reserved_node).unwrap().cpu_available();
+    assert_eq!(
+        after,
+        w.sites.network.node(reserved_node).unwrap().cpu_capacity
+    );
+    let _ = before;
+    // Component credentials revoked: nothing lingers authorized.
+    for id in cred_ids {
+        assert!(w.bus.is_revoked(&id), "credential {id} must be revoked");
+    }
+}
+
+#[test]
+fn repeated_deployments_exhaust_then_recover_capacity() {
+    let w = MailWorld::build(1);
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[0],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    // Each cache deployment takes 20 CPU of the single 100-CPU SD node:
+    // five fit, the sixth plan fails at planning (no capacity).
+    let mut deployments = Vec::new();
+    for i in 0..5 {
+        let (_, d) = w.deliver(&goal).unwrap_or_else(|e| panic!("deploy {i}: {e}"));
+        deployments.push(d);
+    }
+    assert!(
+        w.deliver(&goal).is_err(),
+        "sixth cache must not fit in the remaining CPU"
+    );
+    // Tear one down: capacity returns and a new deployment fits.
+    deployments
+        .pop()
+        .unwrap()
+        .teardown(Some(&w.sites.network), &w.ny_guard);
+    assert!(w.deliver(&goal).is_ok());
+}

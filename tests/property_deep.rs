@@ -1,0 +1,248 @@
+//! Deeper property suites: algebraic laws of the curve/scalar arithmetic,
+//! netsim routing optimality against a brute-force oracle, and planner
+//! soundness over random topologies and goals.
+
+use proptest::prelude::*;
+use psf_core::{ComponentSpec, Effect, Goal, PermissiveOracle, Planner, PlannerConfig, Registrar};
+use psf_crypto::edwards::{basepoint, EdwardsPoint};
+use psf_crypto::scalar::Scalar;
+use psf_netsim::{random_topology, LinkSpec, Network, NodeId, NodeSpec, TopologyConfig};
+
+// ------------------------------------------------------ group laws --
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    prop::array::uniform32(any::<u8>()).prop_map(|b| Scalar::from_bytes_mod_order(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))] // point ops are ms-scale
+
+    #[test]
+    fn scalar_mul_is_group_homomorphism(a in arb_scalar(), b in arb_scalar()) {
+        let base = basepoint();
+        // (a+b)·B == a·B + b·B
+        let lhs = base.mul_scalar(&a.add(&b));
+        let rhs = base.mul_scalar(&a).add(&base.mul_scalar(&b));
+        prop_assert!(lhs.eq_point(&rhs));
+    }
+
+    #[test]
+    fn point_addition_commutes(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let base = basepoint();
+        let pa = base.mul_scalar(&Scalar::from_u64(a));
+        let pb = base.mul_scalar(&Scalar::from_u64(b));
+        prop_assert!(pa.add(&pb).eq_point(&pb.add(&pa)));
+        prop_assert!(pa.add(&pb).is_on_curve());
+    }
+
+    #[test]
+    fn point_addition_associates(a in 1u64..100_000, b in 1u64..100_000, c in 1u64..100_000) {
+        let base = basepoint();
+        let pa = base.mul_scalar(&Scalar::from_u64(a));
+        let pb = base.mul_scalar(&Scalar::from_u64(b));
+        let pc = base.mul_scalar(&Scalar::from_u64(c));
+        prop_assert!(pa.add(&pb).add(&pc).eq_point(&pa.add(&pb.add(&pc))));
+    }
+
+    #[test]
+    fn inverse_cancels(a in 1u64..1_000_000) {
+        let base = basepoint();
+        let p = base.mul_scalar(&Scalar::from_u64(a));
+        prop_assert!(p.add(&p.neg()).is_identity());
+    }
+
+    #[test]
+    fn compression_is_injective_on_multiples(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        prop_assume!(a != b);
+        let base = basepoint();
+        let pa = base.mul_scalar(&Scalar::from_u64(a));
+        let pb = base.mul_scalar(&Scalar::from_u64(b));
+        prop_assert_ne!(pa.compress(), pb.compress());
+        // And decompression inverts compression.
+        let back = EdwardsPoint::decompress(&pa.compress()).unwrap();
+        prop_assert!(back.eq_point(&pa));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scalar_field_is_a_commutative_ring(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&a), Scalar::ZERO);
+        prop_assert_eq!(a.mul(&Scalar::from_u64(1)), a);
+        prop_assert_eq!(a.mul(&Scalar::ZERO), Scalar::ZERO);
+    }
+
+    #[test]
+    fn scalar_roundtrips_canonical_bytes(a in arb_scalar()) {
+        let bytes = a.to_bytes();
+        prop_assert_eq!(Scalar::from_canonical_bytes(&bytes).unwrap(), a);
+    }
+}
+
+// ------------------------------------------------- routing optimality --
+
+/// Brute-force all-pairs shortest latency (Floyd–Warshall).
+fn brute_force_latency(net: &Network) -> Vec<Vec<f64>> {
+    let n = net.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for l in 0..net.link_count() {
+        let link = net.link(psf_netsim::LinkId(l as u32)).unwrap();
+        let (a, b) = (link.a.0 as usize, link.b.0 as usize);
+        if link.latency_ms < d[a][b] {
+            d[a][b] = link.latency_ms;
+            d[b][a] = link.latency_ms;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(
+        seed in 0u64..10_000,
+        n in 2usize..10,
+        extra_links in 0usize..12,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Network::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| {
+                net.add_node(NodeSpec {
+                    name: format!("n{i}"),
+                    domain: "D".into(),
+                    vendor: "Dell".into(),
+                    os: "Linux".into(),
+                    cpu_capacity: 100,
+                    cpu_used: 0,
+                })
+            })
+            .collect();
+        // Spanning chain + random extra links.
+        for w in nodes.windows(2) {
+            net.add_link(LinkSpec {
+                a: w[0],
+                b: w[1],
+                latency_ms: rng.random_range(1.0..50.0),
+                bandwidth_mbps: 100.0,
+                secure: rng.random_bool(0.5),
+            });
+        }
+        for _ in 0..extra_links {
+            let a = nodes[rng.random_range(0..n)];
+            let b = nodes[rng.random_range(0..n)];
+            if a != b {
+                net.add_link(LinkSpec {
+                    a,
+                    b,
+                    latency_ms: rng.random_range(1.0..50.0),
+                    bandwidth_mbps: 100.0,
+                    secure: rng.random_bool(0.5),
+                });
+            }
+        }
+        let truth = brute_force_latency(&net);
+        for &from in &nodes {
+            for &to in &nodes {
+                let got = net.route(from, to).unwrap();
+                let want = truth[from.0 as usize][to.0 as usize];
+                prop_assert!(
+                    (got.latency_ms - want).abs() < 1e-6,
+                    "{from:?}->{to:?}: dijkstra {} vs truth {want}",
+                    got.latency_ms
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------- planner soundness --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every plan the planner emits must actually satisfy the goal it was
+    /// asked for — privacy goals never deliver exposed plaintext, latency
+    /// bounds hold, delivery is plaintext when demanded.
+    #[test]
+    fn plans_satisfy_their_goals(
+        seed in 0u64..5_000,
+        domains in 2usize..6,
+        want_privacy in any::<bool>(),
+        latency_bound in prop::option::of(5.0f64..100.0),
+    ) {
+        let cfg = TopologyConfig {
+            domains,
+            nodes_per_domain: 2,
+            extra_wan_prob: 0.3,
+            wan_secure_prob: 0.3,
+            seed,
+        };
+        let (network, doms) = random_topology(&cfg);
+        let r = Registrar::new();
+        r.register(ComponentSpec::source("Server", "SvcI"));
+        r.register(
+            ComponentSpec::processor("Enc", "SvcI", "SvcI", Effect::Encrypt)
+                .requires_encrypted(false)
+                .cpu(10),
+        );
+        r.register(
+            ComponentSpec::processor("Dec", "SvcI", "SvcI", Effect::Decrypt)
+                .requires_encrypted(true)
+                .cpu(10),
+        );
+        r.register(
+            ComponentSpec::processor("Cache", "SvcI", "SvcI", Effect::Cache)
+                .cpu(20)
+                .view_of("Server"),
+        );
+        r.record_deployed("Server", doms[0][0]);
+        let goal = Goal {
+            iface: "SvcI".into(),
+            client_node: doms[domains - 1][1],
+            max_latency_ms: latency_bound,
+            require_privacy: want_privacy,
+            require_plaintext_delivery: true,
+        };
+        let planner = Planner::new(&r, &network, &PermissiveOracle, PlannerConfig::default());
+        if let Ok((plan, _)) = planner.plan(&goal) {
+            prop_assert!(goal.satisfied_by(&plan.delivered), "plan: {}", plan.render());
+            if want_privacy {
+                prop_assert!(!plan.delivered.plaintext_exposed);
+            }
+            if let Some(bound) = latency_bound {
+                prop_assert!(plan.delivered.latency_ms <= bound);
+            }
+            prop_assert!(!plan.delivered.encrypted);
+            // Structural sanity: the plan starts from a running instance.
+            let starts_from_deployed = matches!(
+                plan.steps.first(),
+                Some(psf_core::PlanStep::UseDeployed { .. })
+            );
+            prop_assert!(starts_from_deployed);
+        }
+        // (No-plan outcomes are legitimate for tight bounds; soundness is
+        // what we assert, completeness is covered by F6.)
+    }
+}

@@ -1,0 +1,308 @@
+//! Property-based tests over the core data structures and invariants:
+//! credential codecs, attribute attenuation algebra, the crypto layer,
+//! XML round-trips, and proof-engine soundness under random worlds.
+
+use proptest::prelude::*;
+use psf_drbac::entity::{Entity, EntityRegistry, RoleName};
+use psf_drbac::proof::ProofEngine;
+use psf_drbac::repository::Repository;
+use psf_drbac::revocation::RevocationBus;
+use psf_drbac::wire::{decode_credentials, encode_credentials, Reader};
+use psf_drbac::{AttrSet, AttrValue, DelegationBuilder, SignedDelegation};
+
+// ------------------------------------------------------------ crypto --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aead_roundtrips_any_payload(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let aead = psf_crypto::ChaCha20Poly1305::new(key);
+        let sealed = aead.seal(&nonce, &aad, &payload);
+        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), payload);
+    }
+
+    #[test]
+    fn aead_rejects_any_single_bitflip(
+        key in prop::array::uniform32(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        flip_byte in 0usize..256,
+        flip_bit in 0u8..8,
+    ) {
+        let aead = psf_crypto::ChaCha20Poly1305::new(key);
+        let nonce = [0u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", &payload);
+        let idx = flip_byte % sealed.len();
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(aead.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        tweak in 0usize..512,
+    ) {
+        let d1 = psf_crypto::sha256(&data);
+        prop_assert_eq!(d1, psf_crypto::sha256(&data));
+        if !data.is_empty() {
+            let mut other = data.clone();
+            let idx = tweak % other.len();
+            other[idx] ^= 0xff;
+            prop_assert_ne!(d1, psf_crypto::sha256(&other));
+        }
+    }
+
+    #[test]
+    fn ed25519_signs_arbitrary_messages(
+        seed in prop::array::uniform32(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let sk = psf_crypto::SigningKey::from_seed(seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+        let mut tampered = msg.clone();
+        tampered.push(0x42);
+        prop_assert!(sk.verifying_key().verify(&tampered, &sig).is_err());
+    }
+
+    #[test]
+    fn x25519_agreement_holds_for_random_secrets(
+        a in prop::array::uniform32(any::<u8>()),
+        b in prop::array::uniform32(any::<u8>()),
+    ) {
+        let pa = psf_crypto::x25519::x25519_base(&a);
+        let pb = psf_crypto::x25519::x25519_base(&b);
+        prop_assert_eq!(
+            psf_crypto::x25519(&a, &pb),
+            psf_crypto::x25519(&b, &pa)
+        );
+    }
+}
+
+// ----------------------------------------------------------- attrsets --
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(AttrValue::Capacity),
+        (-100i64..100, 0i64..100).prop_map(|(lo, len)| AttrValue::Range(lo, lo + len)),
+        prop::collection::btree_set("[a-z]{1,6}", 1..4).prop_map(AttrValue::Set),
+    ]
+}
+
+fn arb_attr_set() -> impl Strategy<Value = AttrSet> {
+    prop::collection::btree_map("[A-Z][a-z]{0,5}", arb_attr_value(), 0..4)
+        .prop_map(AttrSet)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn attenuation_is_commutative_on_singletons(a in arb_attr_value(), b in arb_attr_value()) {
+        prop_assert_eq!(a.attenuate(&b), b.attenuate(&a));
+    }
+
+    #[test]
+    fn attenuation_is_idempotent(a in arb_attr_value()) {
+        prop_assert_eq!(a.attenuate(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn attenuation_is_associative(
+        a in arb_attr_value(),
+        b in arb_attr_value(),
+        c in arb_attr_value(),
+    ) {
+        let left = a.attenuate(&b).and_then(|ab| ab.attenuate(&c));
+        let right = b.attenuate(&c).and_then(|bc| a.attenuate(&bc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn attrset_attenuation_never_widens(a in arb_attr_set(), b in arb_attr_set()) {
+        if let Some(c) = a.attenuate(&b) {
+            // Whatever satisfies the combined set satisfies each factor on
+            // shared keys: c must satisfy any requirement a or b satisfied…
+            // we check the weaker monotonic property: c satisfies b's
+            // non-capacity requirements it shares with a.
+            for (k, v) in &b.0 {
+                let cv = c.get(k).expect("combined keeps b's keys");
+                prop_assert!(cv.attenuate(v).is_some());
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- codecs --
+
+fn arb_role() -> impl Strategy<Value = RoleName> {
+    ("[A-Z][a-z]{1,6}(\\.[A-Z]{2})?", "[A-Z][a-z]{1,8}")
+        .prop_map(|(owner, role)| RoleName::new(owner, role))
+}
+
+fn arb_credential() -> impl Strategy<Value = SignedDelegation> {
+    (
+        arb_role(),
+        arb_attr_set(),
+        any::<bool>(),
+        proptest::option::of(1u64..1_000_000),
+        any::<u64>(),
+        any::<u8>(),
+    )
+        .prop_map(|(role, attrs, monitored, expires, serial, kind_seed)| {
+            let issuer = Entity::with_seed("Issuer", b"prop");
+            let subject = Entity::with_seed("Subject", b"prop");
+            let mut b = DelegationBuilder::new(&issuer).serial(serial);
+            b = match kind_seed % 3 {
+                0 => b.subject_entity(&subject).role(issuer.role(role.role.clone())),
+                1 => b.subject_role(RoleName::new("Other.Dom", "R")).role(role),
+                _ => b.subject_entity(&subject).assignment().role(role),
+            };
+            for (k, v) in attrs.0 {
+                b = b.attr(k, v);
+            }
+            if monitored {
+                b = b.monitored();
+            }
+            if let Some(t) = expires {
+                b = b.expires(t);
+            }
+            b.sign()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn credential_wire_roundtrip(cred in arb_credential()) {
+        let wire = cred.to_wire();
+        let back = SignedDelegation::from_wire(&mut Reader::new(&wire)).unwrap();
+        prop_assert_eq!(&back, &cred);
+        prop_assert_eq!(back.id(), cred.id());
+    }
+
+    #[test]
+    fn credential_set_roundtrip(creds in prop::collection::vec(arb_credential(), 0..8)) {
+        let wire = encode_credentials(&creds);
+        prop_assert_eq!(decode_credentials(&wire).unwrap(), creds);
+    }
+
+    #[test]
+    fn truncated_credentials_never_panic(
+        cred in arb_credential(),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let wire = cred.to_wire();
+        let cut = ((wire.len() as f64) * cut_ratio) as usize;
+        // Must error or parse — never panic.
+        let _ = SignedDelegation::from_wire(&mut Reader::new(&wire[..cut]));
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_credentials(&bytes);
+        let _ = SignedDelegation::from_wire(&mut Reader::new(&bytes));
+    }
+}
+
+// ---------------------------------------------------------------- xml --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xml_attr_roundtrip(value in "[ -~]{0,40}") {
+        let el = psf_xml::Element::new("a").attr("k", value.clone());
+        let parsed = psf_xml::parse(&el.to_xml()).unwrap();
+        prop_assert_eq!(parsed.get_attr("k").unwrap(), value.as_str());
+    }
+
+    #[test]
+    fn xml_text_roundtrip(text in "[ -~]{0,60}") {
+        let el = psf_xml::Element::new("a").with_text(text.clone());
+        let parsed = psf_xml::parse(&el.to_xml()).unwrap();
+        prop_assert_eq!(parsed.text, text.trim());
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in "[ -~<>&\"']{0,200}") {
+        let _ = psf_xml::parse(&input);
+    }
+}
+
+// ------------------------------------------------------ proof soundness --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any proof the engine produces over a random delegation world must
+    /// independently re-verify; and revoking any credential in it must
+    /// break re-verification.
+    #[test]
+    fn proofs_are_sound_under_random_worlds(
+        seed in 0u64..1000,
+        chain_len in 1usize..6,
+        decoys in 0usize..10,
+    ) {
+        let registry = EntityRegistry::new();
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let user = Entity::with_seed(format!("user{seed}"), b"world");
+        registry.register(&user);
+
+        // Build a chain of role mappings ending at the target role.
+        let mut domains = Vec::new();
+        for i in 0..chain_len {
+            let d = Entity::with_seed(format!("d{seed}-{i}"), b"world");
+            registry.register(&d);
+            domains.push(d);
+        }
+        // membership: user -> role_{n-1}
+        repo.publish_at_issuer(
+            DelegationBuilder::new(&domains[chain_len - 1])
+                .subject_entity(&user)
+                .role(domains[chain_len - 1].role("R"))
+                .sign(),
+        );
+        // mappings: role_i <- role_{i+1}
+        for i in (0..chain_len - 1).rev() {
+            repo.publish_at_issuer(
+                DelegationBuilder::new(&domains[i])
+                    .subject_role(domains[i + 1].role("R"))
+                    .role(domains[i].role("R"))
+                    .sign(),
+            );
+        }
+        // Decoy credentials that must not break anything.
+        for i in 0..decoys {
+            let d = Entity::with_seed(format!("decoy{seed}-{i}"), b"world");
+            registry.register(&d);
+            repo.publish_at_issuer(
+                DelegationBuilder::new(&d)
+                    .subject_role(RoleName::new("Nowhere.Else", "X"))
+                    .role(d.role("Y"))
+                    .sign(),
+            );
+        }
+
+        let engine = ProofEngine::new(&registry, &repo, &bus, 0);
+        let target = domains[0].role("R");
+        let (proof, _) = engine.prove(&user.as_subject(), &target, &[]).unwrap();
+        prop_assert_eq!(proof.edges.len(), chain_len);
+        prop_assert!(proof.verify(&registry, &bus, 0).is_ok());
+
+        // Revoke a uniformly chosen chain credential: both re-proving and
+        // re-verifying must fail.
+        let ids = proof.credential_ids();
+        let victim = &ids[(seed as usize) % ids.len()];
+        bus.revoke(victim);
+        prop_assert!(proof.verify(&registry, &bus, 0).is_err());
+        prop_assert!(engine.prove(&user.as_subject(), &target, &[]).is_err());
+    }
+}
