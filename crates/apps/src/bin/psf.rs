@@ -8,17 +8,43 @@
 //! cargo run --bin psf -- plan se-1 --max-latency 10
 //! cargo run --bin psf -- storage 50 1000       # §5 comparison
 //! cargo run --bin psf -- view partner          # Table 5 source
+//! cargo run --bin psf -- metrics               # full-stack run + snapshot
 //! ```
+//!
+//! Global flags (any command):
+//!
+//! * `--trace-out <path>` — on exit, write the structured trace buffer
+//!   (planning, proof search, VIG generation, deployment, handshakes) as
+//!   JSON lines to `<path>`.
+//! * `--quiet` / `-q` — suppress narration on stdout; results are still
+//!   recorded as telemetry events/spans, so `--quiet --trace-out t.jsonl`
+//!   gives a machine-readable run with a silent terminal.
 
 use psf_core::Goal;
 use psf_drbac::entity::RoleName;
 use psf_drbac::proof::ProofEngine;
 use psf_mail::{mail_client_class, mail_method_library, MailWorld};
 use psf_views::Vig;
+use std::time::Duration;
+
+/// Global CLI options stripped from the argument list before dispatch.
+struct Cli {
+    quiet: bool,
+    trace_out: Option<String>,
+}
+
+impl Cli {
+    /// Print narration unless `--quiet` was given.
+    fn say(&self, text: impl AsRef<str>) {
+        if !self.quiet {
+            println!("{}", text.as_ref());
+        }
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psf <command>\n\
+        "usage: psf [--quiet] [--trace-out PATH] <command>\n\
          \n\
          commands:\n\
          \x20 creds                         print the Table 2 credentials\n\
@@ -27,95 +53,194 @@ fn usage() -> ! {
          \x20 plan <node> [--privacy] [--max-latency MS]\n\
          \x20                               plan mail delivery to ny-N/sd-N/se-N\n\
          \x20 storage <P> <U>               §5 storage comparison at one size\n\
-         \x20 view <member|partner|anonymous>  generate and print the view"
+         \x20 view <member|partner|anonymous>  generate and print the view\n\
+         \x20 metrics [--bare]              run the full stack, print a\n\
+         \x20                               Prometheus-text metrics snapshot\n\
+         \n\
+         global flags:\n\
+         \x20 --trace-out PATH              write the JSONL span trace on exit\n\
+         \x20 --quiet | -q                  suppress stdout narration"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { usage() };
-    match cmd.as_str() {
-        "creds" => creds(),
-        "prove" => prove(&args[1..]),
-        "acl" => acl(&args[1..]),
-        "plan" => plan(&args[1..]),
-        "storage" => storage(&args[1..]),
-        "view" => view(&args[1..]),
-        _ => usage(),
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        quiet: false,
+        trace_out: None,
+    };
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--quiet" | "-q" => {
+                cli.quiet = true;
+                raw.remove(i);
+            }
+            "--trace-out" => {
+                raw.remove(i);
+                if i >= raw.len() {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }
+                cli.trace_out = Some(raw.remove(i));
+            }
+            _ => i += 1,
+        }
     }
+    let Some(cmd) = raw.first().cloned() else {
+        usage()
+    };
+    let args = &raw[1..];
+
+    let code = {
+        let mut cmd_span = psf_telemetry::span("psf.cli", "command");
+        cmd_span.field("command", &cmd);
+        psf_telemetry::counter!("psf.cli.commands").inc();
+        let code = match cmd.as_str() {
+            "creds" => creds(&cli),
+            "prove" => prove(&cli, args),
+            "acl" => acl(&cli, args),
+            "plan" => plan(&cli, args),
+            "storage" => storage(&cli, args),
+            "view" => view(&cli, args),
+            "metrics" => metrics(&cli, args),
+            _ => usage(),
+        };
+        cmd_span.field("exit_code", code);
+        code
+    };
+
+    if let Some(path) = &cli.trace_out {
+        let jsonl = psf_telemetry::export_jsonl();
+        match std::fs::write(path, &jsonl) {
+            Ok(()) => cli.say(format!(
+                "trace: {} spans written to {path}",
+                jsonl.lines().count()
+            )),
+            Err(e) => {
+                eprintln!("trace: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(code);
 }
 
 fn world() -> MailWorld {
     MailWorld::build(2)
 }
 
-fn user<'w>(w: &'w MailWorld, name: &str) -> &'w psf_drbac::Entity {
+fn user<'w>(w: &'w MailWorld, name: &str) -> Option<&'w psf_drbac::Entity> {
     match name {
-        "alice" => &w.alice,
-        "bob" => &w.bob,
-        "charlie" => &w.charlie,
+        "alice" => Some(&w.alice),
+        "bob" => Some(&w.bob),
+        "charlie" => Some(&w.charlie),
         other => {
             eprintln!("unknown user '{other}' (alice|bob|charlie)");
-            std::process::exit(2);
+            None
         }
     }
 }
 
-fn creds() {
+fn creds(cli: &Cli) -> i32 {
     let w = world();
-    println!("Table 2 — credentials issued by the Guard modules:");
+    psf_telemetry::event(
+        "psf.cli",
+        "creds.rendered",
+        vec![("count", w.creds.len().to_string())],
+    );
+    cli.say("Table 2 — credentials issued by the Guard modules:");
     for (n, cred) in &w.creds {
-        println!("  ({n:>2}) {}", cred.body.render());
+        cli.say(format!("  ({n:>2}) {}", cred.body.render()));
     }
+    0
 }
 
-fn prove(args: &[String]) {
+fn prove(cli: &Cli, args: &[String]) -> i32 {
     let (Some(who), Some(role)) = (args.first(), args.get(1)) else {
         usage()
     };
     let w = world();
-    let subject = user(&w, who).as_subject();
+    let Some(subject) = user(&w, who).map(|u| u.as_subject()) else {
+        return 2;
+    };
     let role = match RoleName::parse(role) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(2);
+            return 2;
         }
     };
     let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
     match engine.prove(&subject, &role, &[]) {
         Ok((proof, stats)) => {
-            print!("{}", proof.render());
-            println!(
+            psf_telemetry::event(
+                "psf.cli",
+                "prove.ok",
+                vec![
+                    ("user", who.clone()),
+                    ("role", role.to_string()),
+                    ("nodes_expanded", stats.nodes_expanded.to_string()),
+                ],
+            );
+            cli.say(proof.render().trim_end());
+            cli.say(format!(
                 "search: {} nodes, {} credentials examined",
                 stats.nodes_expanded, stats.credentials_examined
-            );
+            ));
+            0
         }
         Err(e) => {
-            println!("no proof: {e}");
-            std::process::exit(1);
+            psf_telemetry::event(
+                "psf.cli",
+                "prove.failed",
+                vec![("user", who.clone()), ("error", e.to_string())],
+            );
+            cli.say(format!("no proof: {e}"));
+            1
         }
     }
 }
 
-fn acl(args: &[String]) {
+fn acl(cli: &Cli, args: &[String]) -> i32 {
     let Some(who) = args.first() else { usage() };
     let w = world();
-    println!("{}", w.acl.render());
-    match w.client_view(user(&w, who)) {
-        Some((view, proof)) => println!(
-            "{who} -> {view} ({})",
-            proof
+    cli.say(w.acl.render().trim_end());
+    let Some(u) = user(&w, who) else { return 2 };
+    match w.client_view(u) {
+        Some((view, proof)) => {
+            let basis = proof
                 .map(|p| format!("{}-edge proof", p.edges.len()))
-                .unwrap_or_else(|| "catch-all".into())
-        ),
-        None => println!("{who} -> no service"),
+                .unwrap_or_else(|| "catch-all".into());
+            psf_telemetry::event(
+                "psf.cli",
+                "acl.decision",
+                vec![
+                    ("user", who.clone()),
+                    ("view", view.clone()),
+                    ("basis", basis.clone()),
+                ],
+            );
+            cli.say(format!("{who} -> {view} ({basis})"));
+            0
+        }
+        None => {
+            psf_telemetry::event(
+                "psf.cli",
+                "acl.decision",
+                vec![("user", who.clone()), ("view", "none".into())],
+            );
+            cli.say(format!("{who} -> no service"));
+            0
+        }
     }
 }
 
-fn plan(args: &[String]) {
-    let Some(node_name) = args.first() else { usage() };
+fn plan(cli: &Cli, args: &[String]) -> i32 {
+    let Some(node_name) = args.first() else {
+        usage()
+    };
     let privacy = args.iter().any(|a| a == "--privacy");
     let max_latency = args
         .iter()
@@ -125,7 +250,7 @@ fn plan(args: &[String]) {
     let w = world();
     let Some(node) = w.sites.network.find_node(node_name) else {
         eprintln!("unknown node '{node_name}' (try ny-0, sd-1, se-0 …)");
-        std::process::exit(2);
+        return 2;
     };
     let goal = Goal {
         iface: "MailI".into(),
@@ -136,21 +261,39 @@ fn plan(args: &[String]) {
     };
     match w.plan_service(&goal) {
         Ok((plan, stats)) => {
-            println!("plan for MailI at {node_name} (privacy={privacy}, bound={max_latency:?}):");
-            print!("{}", plan.render());
-            println!(
+            psf_telemetry::event(
+                "psf.cli",
+                "plan.found",
+                vec![
+                    ("node", node_name.clone()),
+                    ("steps", plan.steps.len().to_string()),
+                    ("deployments", plan.deployments().to_string()),
+                    ("expanded", stats.expanded.to_string()),
+                ],
+            );
+            cli.say(format!(
+                "plan for MailI at {node_name} (privacy={privacy}, bound={max_latency:?}):"
+            ));
+            cli.say(plan.render().trim_end());
+            cli.say(format!(
                 "search: expanded {}, auth-pruned {}",
                 stats.expanded, stats.pruned_by_auth
-            );
+            ));
+            0
         }
         Err(e) => {
-            println!("{e}");
-            std::process::exit(1);
+            psf_telemetry::event(
+                "psf.cli",
+                "plan.failed",
+                vec![("node", node_name.clone()), ("error", e.to_string())],
+            );
+            cli.say(e.to_string());
+            1
         }
     }
 }
 
-fn storage(args: &[String]) {
+fn storage(cli: &Cli, args: &[String]) -> i32 {
     let (Some(p), Some(u)) = (
         args.first().and_then(|v| v.parse::<u64>().ok()),
         args.get(1).and_then(|v| v.parse::<u64>().ok()),
@@ -158,18 +301,24 @@ fn storage(args: &[String]) {
         usage()
     };
     let [gsi, cas, drbac] = psf_drbac::storage_model::storage_comparison(p, u, 8, 2 * p);
-    println!("P={p} U={u} (C=8, c={})", 2 * p);
+    psf_telemetry::event(
+        "psf.cli",
+        "storage.compared",
+        vec![("principals", p.to_string()), ("users", u.to_string())],
+    );
+    cli.say(format!("P={p} U={u} (C=8, c={})", 2 * p));
     for r in [gsi, cas, drbac] {
-        println!(
+        cli.say(format!(
             "  {:<6} {:>12} entries  {:>12.1} KiB",
             r.system,
             r.entries,
             r.bytes as f64 / 1024.0
-        );
+        ));
     }
+    0
 }
 
-fn view(args: &[String]) {
+fn view(cli: &Cli, args: &[String]) -> i32 {
     let Some(which) = args.first() else { usage() };
     let spec = match which.as_str() {
         "member" => psf_mail::view_member(),
@@ -177,16 +326,112 @@ fn view(args: &[String]) {
         "anonymous" => psf_mail::view_anonymous(),
         other => {
             eprintln!("unknown view '{other}'");
-            std::process::exit(2);
+            return 2;
         }
     };
-    println!("== XML definition ==\n{}", spec.to_xml());
+    cli.say(format!("== XML definition ==\n{}", spec.to_xml()));
     let class = mail_client_class();
     match Vig::new(mail_method_library()).generate(&class, &spec) {
-        Ok(generated) => println!("== generated source ==\n{}", generated.source),
+        Ok(generated) => {
+            psf_telemetry::event(
+                "psf.cli",
+                "view.generated",
+                vec![
+                    ("view", spec.name.clone()),
+                    ("methods", generated.entries.len().to_string()),
+                ],
+            );
+            cli.say(format!("== generated source ==\n{}", generated.source));
+            0
+        }
         Err(e) => {
             eprintln!("VIG: {e}");
-            std::process::exit(1);
+            1
         }
     }
+}
+
+/// Drive the whole framework once — planning, proof search, VIG, secure
+/// deployment, heartbeats — then print the metrics registry in Prometheus
+/// text format. With `--bare`, skip the workload and print whatever has
+/// been recorded so far (typically an idle registry).
+fn metrics(cli: &Cli, args: &[String]) -> i32 {
+    let bare = args.iter().any(|a| a == "--bare");
+    if !bare {
+        if let Err(e) = exercise_full_stack(cli) {
+            eprintln!("metrics workload failed: {e}");
+            return 1;
+        }
+    }
+    // The snapshot goes to stdout even under --quiet: it is the result,
+    // not narration.
+    print!("{}", psf_telemetry::registry().render_prometheus());
+    0
+}
+
+/// One representative end-to-end pass over the mail scenario, touching
+/// every instrumented subsystem.
+fn exercise_full_stack(cli: &Cli) -> Result<(), String> {
+    let w = world();
+
+    // Privacy across the insecure WAN: planner + proof search + secure
+    // Switchboard channels + encryptor/decryptor middleware.
+    let privacy_goal = Goal::private("MailI", w.sites.sd[1]);
+    let (plan, deployment) = w
+        .deliver(&privacy_goal)
+        .map_err(|e| format!("privacy delivery: {e}"))?;
+    cli.say(format!(
+        "delivered MailI to sd-1 with privacy: {} steps, {} channels",
+        plan.steps.len(),
+        deployment.channel_count()
+    ));
+    deployment
+        .endpoint
+        .call_remote("fetch", b"alice")
+        .map_err(|e| format!("endpoint call: {e}"))?;
+    deployment.teardown(Some(&w.sites.network), &w.ny_guard);
+
+    // A tight latency bound forces the cache view: VIG generation.
+    let latency_goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[0],
+        max_latency_ms: Some(10.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let (plan, deployment) = w
+        .deliver(&latency_goal)
+        .map_err(|e| format!("latency delivery: {e}"))?;
+    cli.say(format!(
+        "delivered MailI to sd-0 under 10 ms: {} deployments",
+        plan.deployments()
+    ));
+    deployment.teardown(Some(&w.sites.network), &w.ny_guard);
+
+    // Table 4 decisions exercise the dRBAC proof search further.
+    for who in [&w.alice, &w.bob, &w.charlie] {
+        let _ = w.client_view(who);
+    }
+
+    // A heartbeat over a plain channel pair populates the RTT histogram.
+    let cfg = psf_switchboard::ChannelConfig {
+        heartbeat_interval: None,
+        rpc_timeout: Duration::from_secs(2),
+    };
+    let (a, b) = psf_switchboard::pair_in_memory_plain(cfg);
+    a.send_heartbeat().map_err(|e| format!("heartbeat: {e}"))?;
+    for _ in 0..500 {
+        if a.last_rtt().is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = a.stats();
+    cli.say(format!(
+        "heartbeat RTT: {:?} ({} sent, {} frames out)",
+        stats.last_rtt, stats.heartbeats_sent, stats.traffic.frames_sent
+    ));
+    a.close();
+    b.close();
+    Ok(())
 }

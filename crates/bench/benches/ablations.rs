@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psf_core::{ComponentSpec, Effect, Goal, PermissiveOracle, Planner, PlannerConfig, Registrar};
 use psf_netsim::{random_topology, TopologyConfig};
 use psf_views::binding::InProcessRemote;
-use psf_views::{CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, Vig, ViewSpec};
+use psf_views::{CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, ViewSpec, Vig};
 
 fn polluted_registrar(noise_families: usize) -> Registrar {
     let r = Registrar::new();
@@ -43,7 +43,11 @@ fn polluted_registrar(noise_families: usize) -> Registrar {
 fn a1_regression(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1_regression_pruning");
     group.sample_size(10);
-    let cfg = TopologyConfig { domains: 5, nodes_per_domain: 2, ..Default::default() };
+    let cfg = TopologyConfig {
+        domains: 5,
+        nodes_per_domain: 2,
+        ..Default::default()
+    };
     let (network, domains) = random_topology(&cfg);
     for noise in [0usize, 20, 60] {
         let r = polluted_registrar(noise);
@@ -60,13 +64,14 @@ fn a1_regression(c: &mut Criterion) {
                 &r,
                 &network,
                 &PermissiveOracle,
-                PlannerConfig { disable_regression: disable, ..Default::default() },
+                PlannerConfig {
+                    disable_regression: disable,
+                    ..Default::default()
+                },
             );
-            group.bench_with_input(
-                BenchmarkId::new(label, noise),
-                &goal,
-                |b, goal| b.iter(|| planner.plan(goal).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(label, noise), &goal, |b, goal| {
+                b.iter(|| planner.plan(goal).unwrap())
+            });
         }
     }
     // Shape check: pruning counts.
@@ -87,7 +92,10 @@ fn a1_regression(c: &mut Criterion) {
         &r,
         &network,
         &PermissiveOracle,
-        PlannerConfig { disable_regression: true, ..Default::default() },
+        PlannerConfig {
+            disable_regression: true,
+            ..Default::default()
+        },
     )
     .plan(&goal)
     .unwrap()
@@ -112,11 +120,15 @@ fn a3_coherence_ttl(c: &mut Criterion) {
     let class = ComponentClass::builder("Store")
         .interface("StoreI", ["get"])
         .field("blob", "bytes")
-        .method("get", "bytes get()", &["blob"], false, |st, _| Ok(st.get("blob")))
+        .method("get", "bytes get()", &["blob"], false, |st, _| {
+            Ok(st.get("blob"))
+        })
         .build()
         .unwrap();
     let spec = ViewSpec::new("StoreView", "Store").restrict("StoreI", ExposureType::Local);
-    let view = Vig::new(MethodLibrary::new()).generate(&class, &spec).unwrap();
+    let view = Vig::new(MethodLibrary::new())
+        .generate(&class, &spec)
+        .unwrap();
     for ttl in [0u64, 16, 1024] {
         let original = class.instantiate();
         original.set_field("blob", vec![7u8; 8192]);

@@ -13,7 +13,11 @@ use psf_drbac::DelegationBuilder;
 fn build(domains: usize, creds_per: usize, tagged: bool) -> (Repository, Entity) {
     let repo = Repository::new();
     let user = Entity::with_seed("User", b"f8");
-    let tag = if tagged { DiscoveryTag::SearchableFromSubject } else { DiscoveryTag::None };
+    let tag = if tagged {
+        DiscoveryTag::SearchableFromSubject
+    } else {
+        DiscoveryTag::None
+    };
     for d in 0..domains {
         let dom = Entity::with_seed(format!("Dom{d}"), b"f8");
         // The user's credential in home 0 only.
@@ -44,7 +48,10 @@ fn build(domains: usize, creds_per: usize, tagged: bool) -> (Repository, Entity)
 
 fn print_shape_table() {
     println!("\n# F8: discovery messages per query (user credential in 1 of N homes)");
-    println!("  {:>8} | {:>14} | {:>14}", "homes", "tagged msgs", "broadcast msgs");
+    println!(
+        "  {:>8} | {:>14} | {:>14}",
+        "homes", "tagged msgs", "broadcast msgs"
+    );
     for domains in [2usize, 8, 32, 128] {
         let (tagged_repo, user) = build(domains, 3, true);
         tagged_repo.reset_stats();
@@ -58,7 +65,10 @@ fn print_shape_table() {
         assert_eq!(found.len(), 1);
         let broadcast_msgs = untagged_repo.stats().messages;
 
-        println!("  {:>8} | {:>14} | {:>14}", domains, tagged_msgs, broadcast_msgs);
+        println!(
+            "  {:>8} | {:>14} | {:>14}",
+            domains, tagged_msgs, broadcast_msgs
+        );
         assert!(tagged_msgs <= broadcast_msgs);
         assert_eq!(tagged_msgs, 1, "tag directs to exactly the home shard");
     }

@@ -10,11 +10,7 @@ use psf_mail::{MailWorld, Message};
 /// Analytic per-request time for a remote fetch: WAN round trip +
 /// serialization of the reply at the bottleneck bandwidth.
 fn remote_fetch_ms(w: &MailWorld, reply_bytes: u64) -> f64 {
-    let path = w
-        .sites
-        .network
-        .route(w.sites.sd[1], w.sites.ny[0])
-        .unwrap();
+    let path = w.sites.network.route(w.sites.sd[1], w.sites.ny[0]).unwrap();
     2.0 * path.latency_ms + path.transfer_time_ms(reply_bytes) - path.latency_ms
 }
 
@@ -23,11 +19,20 @@ fn print_shape_table() {
     println!("\n# F7a: per-fetch time in San Diego vs strategy (10 KiB inbox)");
     let direct = remote_fetch_ms(&w, 10 << 10);
     println!("  direct over WAN:       {direct:>8.1} ms/request");
-    println!("  cache view (local):    {:>8.1} ms/request  + one-time sync", 1.0);
-    println!("  enc/dec pair:          {:>8.1} ms/request  (adds CPU, removes exposure)", direct);
+    println!(
+        "  cache view (local):    {:>8.1} ms/request  + one-time sync",
+        1.0
+    );
+    println!(
+        "  enc/dec pair:          {:>8.1} ms/request  (adds CPU, removes exposure)",
+        direct
+    );
 
     println!("\n# F7b: cache crossover vs WAN bandwidth (break-even requests)");
-    println!("  {:>10} | {:>14} | {:>10}", "WAN Mbps", "direct ms/req", "break-even");
+    println!(
+        "  {:>10} | {:>14} | {:>10}",
+        "WAN Mbps", "direct ms/req", "break-even"
+    );
     for bw in [50.0f64, 10.0, 2.0, 0.5] {
         w.sites.network.set_bandwidth(w.sites.wan_ny_sd, bw);
         let per_req = remote_fetch_ms(&w, 10 << 10);

@@ -6,7 +6,7 @@
 //! planning latency (sequential vs parallel expansion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psf_core::{ComponentSpec, Effect, Goal, Planner, PlannerConfig, PermissiveOracle, Registrar};
+use psf_core::{ComponentSpec, Effect, Goal, PermissiveOracle, Planner, PlannerConfig, Registrar};
 use psf_netsim::{random_topology, TopologyConfig};
 
 fn registrar(with_views: bool) -> Registrar {
@@ -51,7 +51,10 @@ fn success_rate(with_views: bool, trials: u64, parallel: usize) -> (f64, f64) {
             &r,
             &network,
             &PermissiveOracle,
-            PlannerConfig { parallel_expansion: parallel, ..Default::default() },
+            PlannerConfig {
+                parallel_expansion: parallel,
+                ..Default::default()
+            },
         );
         // Demand low latency in the farthest domain — unreachable without
         // a cache when WAN latencies are 20–80 ms.
@@ -69,7 +72,11 @@ fn success_rate(with_views: bool, trials: u64, parallel: usize) -> (f64, f64) {
     }
     (
         successes as f64 / trials as f64,
-        if successes > 0 { total_plan_len as f64 / successes as f64 } else { 0.0 },
+        if successes > 0 {
+            total_plan_len as f64 / successes as f64
+        } else {
+            0.0
+        },
     )
 }
 
@@ -78,7 +85,10 @@ fn print_shape_table() {
     let (with, with_len) = success_rate(true, trials, 1);
     let (without, _) = success_rate(false, trials, 1);
     println!("\n# F6: planner success on tight-latency goals ({trials} random topologies)");
-    println!("  with views:    {:>5.1}%  (avg plan length {with_len:.1})", with * 100.0);
+    println!(
+        "  with views:    {:>5.1}%  (avg plan length {with_len:.1})",
+        with * 100.0
+    );
     println!("  without views: {:>5.1}%", without * 100.0);
     assert!(
         with > without,
@@ -115,7 +125,10 @@ fn bench(c: &mut Criterion) {
                 &r,
                 &network,
                 &PermissiveOracle,
-                PlannerConfig { parallel_expansion: parallel, ..Default::default() },
+                PlannerConfig {
+                    parallel_expansion: parallel,
+                    ..Default::default()
+                },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("plan_k{parallel}"), domains),

@@ -55,26 +55,45 @@ fn build_world(depth: usize, decoys: usize) -> ProofWorld {
         );
     }
     let target = domains[0].role("R");
-    ProofWorld { registry, repo, bus, user, target }
+    ProofWorld {
+        registry,
+        repo,
+        bus,
+        user,
+        target,
+    }
 }
 
 fn prove(w: &ProofWorld) -> psf_drbac::Proof {
     let engine = ProofEngine::new(&w.registry, &w.repo, &w.bus, 0);
     engine
-        .prove(&Subject::Entity { name: w.user.name.clone(), key: w.user.public_key() }, &w.target, &[])
+        .prove(
+            &Subject::Entity {
+                name: w.user.name.clone(),
+                key: w.user.public_key(),
+            },
+            &w.target,
+            &[],
+        )
         .unwrap()
         .0
 }
 
 fn print_shape_table() {
     println!("\n# F2: proof search work vs chain depth (credentials examined)");
-    println!("{:>6} | {:>10} {:>12} {:>12}", "depth", "edges", "examined", "expanded");
+    println!(
+        "{:>6} | {:>10} {:>12} {:>12}",
+        "depth", "edges", "examined", "expanded"
+    );
     for depth in [1usize, 2, 4, 8, 16] {
         let w = build_world(depth, 50);
         let engine = ProofEngine::new(&w.registry, &w.repo, &w.bus, 0);
         let (proof, stats) = engine
             .prove(
-                &Subject::Entity { name: w.user.name.clone(), key: w.user.public_key() },
+                &Subject::Entity {
+                    name: w.user.name.clone(),
+                    key: w.user.public_key(),
+                },
                 &w.target,
                 &[],
             )

@@ -52,7 +52,15 @@ fn world(depth: usize) -> World {
             .sign(),
     );
     let acl = ViewAcl::new().rule(domain.role("R0"), "FullView");
-    World { registry, repo, bus, domain, user, creds, acl }
+    World {
+        registry,
+        repo,
+        bus,
+        domain,
+        user,
+        creds,
+        acl,
+    }
 }
 
 fn print_shape_table() {
@@ -72,7 +80,14 @@ fn print_shape_table() {
     // Cost of one token check.
     let token = w
         .acl
-        .authorize_once(&w.user.as_subject(), &w.creds, &w.registry, &w.repo, &w.bus, 0)
+        .authorize_once(
+            &w.user.as_subject(),
+            &w.creds,
+            &w.registry,
+            &w.repo,
+            &w.bus,
+            0,
+        )
         .unwrap();
     let t = Instant::now();
     let checks = 1_000_000u32;
@@ -109,7 +124,14 @@ fn bench(c: &mut Criterion) {
         );
         let token = w
             .acl
-            .authorize_once(&w.user.as_subject(), &w.creds, &w.registry, &w.repo, &w.bus, 0)
+            .authorize_once(
+                &w.user.as_subject(),
+                &w.creds,
+                &w.registry,
+                &w.repo,
+                &w.bus,
+                0,
+            )
             .unwrap();
         group.bench_with_input(BenchmarkId::new("sso_check", depth), &depth, |b, _| {
             b.iter(|| token.is_valid());

@@ -12,7 +12,13 @@ fn print_shape_table() {
         "{:>6} {:>8} | {:>12} {:>12} {:>12} | winner",
         "P", "U", "GSI", "CAS", "dRBAC"
     );
-    for (p, u) in [(5u64, 50u64), (10, 100), (50, 1_000), (100, 5_000), (500, 100_000)] {
+    for (p, u) in [
+        (5u64, 50u64),
+        (10, 100),
+        (50, 1_000),
+        (100, 5_000),
+        (500, 100_000),
+    ] {
         let [gsi, cas, drbac] = storage_comparison(p, u, 8, 2 * p);
         let winner = if drbac.entries <= cas.entries && drbac.entries <= gsi.entries {
             "dRBAC"

@@ -10,8 +10,7 @@ use psf_drbac::repository::Repository;
 use psf_drbac::revocation::RevocationBus;
 use psf_drbac::DelegationBuilder;
 use psf_switchboard::{
-    pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, Channel, ChannelConfig,
-    ClockRef,
+    pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, Channel, ChannelConfig, ClockRef,
 };
 use std::time::{Duration, Instant};
 
@@ -53,7 +52,12 @@ fn ctx() -> Ctx {
     };
     let client_suite = AuthSuite::new(client, vec![client_cred.clone()], auth("Service"));
     let server_suite = AuthSuite::new(server, vec![server_cred], auth("Member"));
-    Ctx { bus, client_suite, server_suite, client_cred }
+    Ctx {
+        bus,
+        client_suite,
+        server_suite,
+        client_cred,
+    }
 }
 
 fn quiet() -> ChannelConfig {
@@ -95,7 +99,10 @@ fn print_shape_table() {
     }
     println!("\n# F4: switchboard properties");
     println!("  mutual-auth handshake (in-mem):    {handshake:?}");
-    println!("  revocation -> refusal observed in: {:?}", observed.expect("refusal"));
+    println!(
+        "  revocation -> refusal observed in: {:?}",
+        observed.expect("refusal")
+    );
     println!("  (TLS has no in-band revocation path at all — this is the differentiator)\n");
 }
 

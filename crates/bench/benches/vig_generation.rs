@@ -5,15 +5,14 @@
 //! views actually deployed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psf_views::{ComponentClass, ExposureType, MethodLibrary, Vig, ViewSpec};
+use psf_views::{ComponentClass, ExposureType, MethodLibrary, ViewSpec, Vig};
 use std::sync::Arc;
 
 /// A component with `n_ifaces` interfaces × `methods_per` methods each.
 fn wide_class(n_ifaces: usize, methods_per: usize) -> Arc<ComponentClass> {
     let mut b = ComponentClass::builder("Wide");
     for i in 0..n_ifaces {
-        let methods: Vec<String> =
-            (0..methods_per).map(|m| format!("m_{i}_{m}")).collect();
+        let methods: Vec<String> = (0..methods_per).map(|m| format!("m_{i}_{m}")).collect();
         b = b.interface(format!("I{i}"), methods.clone());
         b = b.field(format!("f{i}"), "String");
         for m in methods {
@@ -40,7 +39,10 @@ fn full_spec(n_ifaces: usize) -> ViewSpec {
 
 fn print_shape_table() {
     println!("\n# F3: VIG output size scales with view utility (methods kept)");
-    println!("{:>8} {:>8} | {:>10} {:>12}", "ifaces", "methods", "entries", "src bytes");
+    println!(
+        "{:>8} {:>8} | {:>10} {:>12}",
+        "ifaces", "methods", "entries", "src bytes"
+    );
     for n in [1usize, 2, 4, 8, 16] {
         let class = wide_class(n, 4);
         let vig = Vig::new(MethodLibrary::new());

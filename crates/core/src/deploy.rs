@@ -13,16 +13,19 @@ use psf_drbac::entity::Entity;
 use psf_drbac::guard::Guard;
 use psf_drbac::SignedDelegation;
 use psf_netsim::{Network, NodeId};
-use psf_switchboard::{pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, Channel, ChannelConfig, ClockRef};
+use psf_switchboard::{
+    pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, Channel, ChannelConfig, ClockRef,
+};
 use psf_views::binding::{InProcessRemote, RemoteCall};
-use psf_views::{CoherencePolicy, ComponentClass, ComponentInstance, MethodLibrary, Vig, ViewInstance, ViewSpec};
+use psf_views::{
+    CoherencePolicy, ComponentClass, ComponentInstance, MethodLibrary, ViewInstance, ViewSpec, Vig,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Factory turning an upstream endpoint into a transformed endpoint
 /// (encryptors/decryptors are endpoint middleware in the data plane).
-pub type MiddlewareFactory =
-    Arc<dyn Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync>;
+pub type MiddlewareFactory = Arc<dyn Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync>;
 
 /// Everything the deployer needs to turn plan steps into running code.
 #[derive(Clone, Default)]
@@ -40,7 +43,6 @@ pub struct AppBundle {
     /// deployment time.
     pub cpu_costs: HashMap<String, u32>,
 }
-
 
 impl AppBundle {
     /// Empty bundle.
@@ -217,7 +219,10 @@ impl Deployer {
 
     /// Fetch a running source instance.
     pub fn source(&self, template: &str, node: NodeId) -> Option<Arc<ComponentInstance>> {
-        self.running.lock().get(&(template.to_string(), node)).cloned()
+        self.running
+            .lock()
+            .get(&(template.to_string(), node))
+            .cloned()
     }
 
     /// Issue an identity + component credential for a freshly deployed
@@ -250,6 +255,36 @@ impl Deployer {
     /// hops use plain channels, mirroring the paper's rmi/switchboard
     /// distinction.
     pub fn execute(&self, plan: &Plan, goal: &Goal) -> Result<Deployment, PsfError> {
+        let exec_start = std::time::Instant::now();
+        let mut exec_span = psf_telemetry::span("psf.deploy", "execute");
+        exec_span
+            .field("steps", plan.steps.len())
+            .field("goal_iface", &goal.iface);
+        psf_telemetry::counter!("psf.deploy.executions").inc();
+        let result = self.execute_steps(plan, goal);
+        match &result {
+            Ok(d) => {
+                psf_telemetry::histogram!("psf.deploy.execute.us")
+                    .record_duration(exec_start.elapsed());
+                exec_span
+                    .field("placements", d.placements.len())
+                    .field("channels", d.channel_count())
+                    .field("ok", true);
+            }
+            Err(e) => {
+                psf_telemetry::counter!("psf.deploy.failures").inc();
+                psf_telemetry::event(
+                    "psf.deploy",
+                    "execute.failed",
+                    vec![("error", e.to_string())],
+                );
+                exec_span.field("ok", false);
+            }
+        }
+        result
+    }
+
+    fn execute_steps(&self, plan: &Plan, goal: &Goal) -> Result<Deployment, PsfError> {
         let mut placements = Vec::new();
         let mut issued_identities = Vec::new();
         let mut issued_credentials = Vec::new();
@@ -260,28 +295,59 @@ impl Deployer {
         let mut current_node: Option<NodeId> = None;
 
         for step in &plan.steps {
+            let step_start = std::time::Instant::now();
+            let mut step_span = psf_telemetry::span("psf.deploy", "step");
             match step {
                 PlanStep::UseDeployed { spec, node, .. } => {
-                    let inst = self
-                        .source(spec, *node)
-                        .ok_or_else(|| {
-                            PsfError::DeployFailed(format!(
-                                "source '{spec}' not running on node {}",
-                                node.0
-                            ))
-                        })?;
+                    step_span
+                        .field("kind", "use_deployed")
+                        .field("template", spec)
+                        .field("node", node.0);
+                }
+                PlanStep::Move {
+                    from,
+                    to,
+                    secure_path,
+                    ..
+                } => {
+                    step_span
+                        .field("kind", "move")
+                        .field("from", from.0)
+                        .field("to", to.0)
+                        .field("secure_path", secure_path);
+                }
+                PlanStep::Deploy { spec, node, .. } => {
+                    step_span
+                        .field("kind", "deploy")
+                        .field("template", spec)
+                        .field("node", node.0);
+                }
+            }
+            match step {
+                PlanStep::UseDeployed { spec, node, .. } => {
+                    let inst = self.source(spec, *node).ok_or_else(|| {
+                        PsfError::DeployFailed(format!(
+                            "source '{spec}' not running on node {}",
+                            node.0
+                        ))
+                    })?;
                     endpoint = Some(InProcessRemote::switchboard(inst));
                     current_node = Some(*node);
                 }
-                PlanStep::Move { from, to, secure_path, .. } => {
+                PlanStep::Move {
+                    from,
+                    to,
+                    secure_path,
+                    ..
+                } => {
                     if current_node != Some(*from) {
                         return Err(PsfError::DeployFailed(
                             "plan moves an interface from the wrong node".into(),
                         ));
                     }
-                    let upstream = endpoint.take().ok_or_else(|| {
-                        PsfError::DeployFailed("move before any endpoint".into())
-                    })?;
+                    let upstream = endpoint
+                        .take()
+                        .ok_or_else(|| PsfError::DeployFailed("move before any endpoint".into()))?;
                     let (client_side, server_side) =
                         self.make_channel_pair(*from, *to, *secure_path)?;
                     // Serve the upstream endpoint on the provider side.
@@ -322,11 +388,8 @@ impl Deployer {
                     if let Some(vspec) = self.bundle.view_specs.get(spec) {
                         // VIG path: generate the view against the
                         // original's class and bind it to the upstream.
-                        let original_class = self
-                            .bundle
-                            .classes
-                            .get(&vspec.represents)
-                            .ok_or_else(|| {
+                        let original_class =
+                            self.bundle.classes.get(&vspec.represents).ok_or_else(|| {
                                 PsfError::Unknown(format!(
                                     "no class for represented '{}'",
                                     vspec.represents
@@ -340,12 +403,7 @@ impl Deployer {
                             PsfError::DeployFailed("view deployed before source".into())
                         })?;
                         let inst = view
-                            .instantiate(
-                                Some(upstream),
-                                CoherencePolicy::WriteThrough,
-                                8,
-                                b"",
-                            )
+                            .instantiate(Some(upstream), CoherencePolicy::WriteThrough, 8, b"")
                             .map_err(PsfError::DeployFailed)?;
                         endpoint = Some(Arc::new(ViewEndpoint(inst.clone())));
                         placements.push((spec.clone(), *node, Deployed::View(inst)));
@@ -355,11 +413,7 @@ impl Deployer {
                         })?;
                         let wrapped = factory(upstream);
                         endpoint = Some(wrapped.clone());
-                        placements.push((
-                            spec.clone(),
-                            *node,
-                            Deployed::Middleware(wrapped),
-                        ));
+                        placements.push((spec.clone(), *node, Deployed::Middleware(wrapped)));
                     } else if let Some(class) = self.bundle.classes.get(spec) {
                         let inst = class.instantiate();
                         endpoint = Some(InProcessRemote::switchboard(inst.clone()));
@@ -371,10 +425,11 @@ impl Deployer {
                     }
                 }
             }
+            psf_telemetry::counter!("psf.deploy.steps").inc();
+            psf_telemetry::histogram!("psf.deploy.step.us").record_duration(step_start.elapsed());
         }
 
-        let endpoint = endpoint
-            .ok_or_else(|| PsfError::DeployFailed("empty plan".into()))?;
+        let endpoint = endpoint.ok_or_else(|| PsfError::DeployFailed("empty plan".into()))?;
         if current_node != Some(goal.client_node) {
             return Err(PsfError::DeployFailed(
                 "plan does not terminate at the client's node".into(),
@@ -401,11 +456,11 @@ impl Deployer {
     ) -> Result<(Channel, Channel), PsfError> {
         if secure_path {
             let (a, b) = pair_in_memory_plain(self.config.clone());
+            psf_telemetry::counter!("psf.deploy.channels.plain").inc();
             return Ok((a, b));
         }
         // Issue per-endpoint identities and connect with mutual auth.
-        let (client_entity, client_cred) =
-            self.issue_identity("conn-client", to);
+        let (client_entity, client_cred) = self.issue_identity("conn-client", to);
         let (server_entity, server_cred) = self.issue_identity("conn-server", from);
         let role = self.guard.role("Component");
         let make_authorizer = || {
@@ -417,12 +472,19 @@ impl Deployer {
                 role.clone(),
             )
         };
-        let client_suite =
-            AuthSuite::new(client_entity.clone(), vec![client_cred.clone()], make_authorizer());
-        let server_suite =
-            AuthSuite::new(server_entity.clone(), vec![server_cred.clone()], make_authorizer());
+        let client_suite = AuthSuite::new(
+            client_entity.clone(),
+            vec![client_cred.clone()],
+            make_authorizer(),
+        );
+        let server_suite = AuthSuite::new(
+            server_entity.clone(),
+            vec![server_cred.clone()],
+            make_authorizer(),
+        );
         let (a, b) = pair_in_memory(client_suite, server_suite, self.config.clone())
             .map_err(|e| PsfError::DeployFailed(format!("channel handshake: {e}")))?;
+        psf_telemetry::counter!("psf.deploy.channels.secure").inc();
         Ok((a, b))
     }
 }
@@ -480,12 +542,10 @@ mod tests {
         );
         registrar.record_deployed("KvStore", s.ny[0]);
 
-        let bundle = AppBundle::new()
-            .class("KvStore", counter_class())
-            .view(
-                "KvView",
-                ViewSpec::new("KvView", "KvStore").restrict("KvI", ExposureType::Local),
-            );
+        let bundle = AppBundle::new().class("KvStore", counter_class()).view(
+            "KvView",
+            ViewSpec::new("KvView", "KvStore").restrict("KvI", ExposureType::Local),
+        );
         let deployer = Deployer::new(test_guard(), ClockRef::new(), bundle);
         deployer.start_source("KvStore", s.ny[0]).unwrap();
 
@@ -589,7 +649,10 @@ mod tests {
         };
         let (plan, _) = planner.plan(&goal).unwrap();
         let deployment = deployer.execute(&plan, &goal).unwrap();
-        deployment.endpoint.call_remote("put", b"hello=world").unwrap();
+        deployment
+            .endpoint
+            .call_remote("put", b"hello=world")
+            .unwrap();
         let got = deployment.endpoint.call_remote("get", b"").unwrap();
         assert_eq!(got, b"HELLO=WORLD\n");
     }

@@ -44,8 +44,7 @@ impl IfaceProps {
             latency_ms: self.latency_ms + path.latency_ms,
             bandwidth_mbps: self.bandwidth_mbps.min(path.bandwidth_mbps),
             encrypted: self.encrypted,
-            plaintext_exposed: self.plaintext_exposed
-                || (!path.all_secure && !self.encrypted),
+            plaintext_exposed: self.plaintext_exposed || (!path.all_secure && !self.encrypted),
         }
     }
 }
@@ -76,14 +75,20 @@ impl Effect {
             Effect::Identity => input.cloned(),
             Effect::Encrypt => {
                 let p = input?;
-                Some(IfaceProps { encrypted: true, ..p.clone() })
+                Some(IfaceProps {
+                    encrypted: true,
+                    ..p.clone()
+                })
             }
             Effect::Decrypt => {
                 let p = input?;
                 if !p.encrypted {
                     return None;
                 }
-                Some(IfaceProps { encrypted: false, ..p.clone() })
+                Some(IfaceProps {
+                    encrypted: false,
+                    ..p.clone()
+                })
             }
             Effect::Cache => {
                 let p = input?;
@@ -141,7 +146,10 @@ impl ComponentSpec {
             name: name.into(),
             requires: None,
             requires_encrypted: None,
-            provides: vec![Provided { iface: iface.into(), effect: Effect::Source }],
+            provides: vec![Provided {
+                iface: iface.into(),
+                effect: Effect::Source,
+            }],
             cpu_cost: 0,
             exec_role: None,
             node_role: None,
@@ -196,7 +204,10 @@ impl ComponentSpec {
             name: name.into(),
             requires: Some(requires.into()),
             requires_encrypted: None,
-            provides: vec![Provided { iface: provides_iface.into(), effect }],
+            provides: vec![Provided {
+                iface: provides_iface.into(),
+                effect,
+            }],
             cpu_cost: 10,
             exec_role: None,
             node_role: None,
@@ -319,8 +330,17 @@ mod tests {
             plaintext_exposed: false,
         };
         assert!(g.satisfied_by(&ok));
-        assert!(!g.satisfied_by(&IfaceProps { latency_ms: 90.0, ..ok.clone() }));
-        assert!(!g.satisfied_by(&IfaceProps { plaintext_exposed: true, ..ok.clone() }));
-        assert!(!g.satisfied_by(&IfaceProps { encrypted: true, ..ok }));
+        assert!(!g.satisfied_by(&IfaceProps {
+            latency_ms: 90.0,
+            ..ok.clone()
+        }));
+        assert!(!g.satisfied_by(&IfaceProps {
+            plaintext_exposed: true,
+            ..ok.clone()
+        }));
+        assert!(!g.satisfied_by(&IfaceProps {
+            encrypted: true,
+            ..ok
+        }));
     }
 }

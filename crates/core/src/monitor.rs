@@ -73,20 +73,44 @@ impl<'a> AdaptationLoop<'a> {
 
     /// Drain monitoring events; replan if anything changed.
     pub fn check(&mut self) -> AdaptationOutcome {
+        psf_telemetry::counter!("psf.monitor.checks").inc();
         let events = self.monitor.drain();
         if events.is_empty() {
             return AdaptationOutcome::NoChange;
         }
+        psf_telemetry::counter!("psf.monitor.changes").add(events.len() as u64);
+        let mut check_span = psf_telemetry::span("psf.monitor", "check");
+        check_span
+            .field("events", events.len())
+            .field("goal_iface", &self.goal.iface);
         match self.plan_now() {
             None => {
                 self.current = None;
+                psf_telemetry::counter!("psf.monitor.unsatisfiable").inc();
+                check_span.field("outcome", "unsatisfiable");
+                psf_telemetry::event(
+                    "psf.monitor",
+                    "goal.unsatisfiable",
+                    vec![("goal_iface", self.goal.iface.clone())],
+                );
                 AdaptationOutcome::NoLongerSatisfiable
             }
             Some(new_plan) => {
                 if Some(&new_plan) == self.current.as_ref() {
+                    check_span.field("outcome", "unchanged");
                     AdaptationOutcome::PlanUnchanged
                 } else {
                     self.current = Some(new_plan.clone());
+                    psf_telemetry::counter!("psf.monitor.replans").inc();
+                    check_span.field("outcome", "replanned");
+                    psf_telemetry::event(
+                        "psf.monitor",
+                        "replan",
+                        vec![
+                            ("goal_iface", self.goal.iface.clone()),
+                            ("deployments", new_plan.deployments().to_string()),
+                        ],
+                    );
                     AdaptationOutcome::Replanned(new_plan)
                 }
             }

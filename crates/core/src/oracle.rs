@@ -219,13 +219,11 @@ mod tests {
                 .sign(),
         );
         // (8)-(10): NY certifies the mail components as executables.
-        let comp_creds = vec![
-            DelegationBuilder::new(&ny)
-                .subject_role(RoleName::new("Mail", "Encryptor"))
-                .role(ny.role("Executable"))
-                .attr("CPU", AttrValue::Capacity(100))
-                .sign(),
-        ];
+        let comp_creds = vec![DelegationBuilder::new(&ny)
+            .subject_role(RoleName::new("Mail", "Encryptor"))
+            .role(ny.role("Executable"))
+            .attr("CPU", AttrValue::Capacity(100))
+            .sign()];
         // (14)/(17): SD and SE map NY executables into their own.
         repo.publish_at_issuer(
             DelegationBuilder::new(&sd)
@@ -242,13 +240,7 @@ mod tests {
                 .sign(),
         );
 
-        let mut oracle = DrbacOracle::new(
-            registry,
-            repo,
-            bus,
-            scenario.network.clone(),
-            0,
-        );
+        let mut oracle = DrbacOracle::new(registry, repo, bus, scenario.network.clone(), 0);
         oracle.set_node_subject(scenario.ny[0], ny_pc.as_subject());
         oracle.set_node_subject(scenario.sd[0], sd_pc.as_subject());
         oracle.set_node_subject(scenario.se[0], se_pc.as_subject());

@@ -90,13 +90,24 @@ impl Plan {
                 PlanStep::UseDeployed { spec, node, iface } => {
                     format!("use {spec} on node {} providing {iface}", node.0)
                 }
-                PlanStep::Move { iface, from, to, latency_ms, secure_path } => format!(
+                PlanStep::Move {
+                    iface,
+                    from,
+                    to,
+                    latency_ms,
+                    secure_path,
+                } => format!(
                     "carry {iface} from node {} to node {} ({latency_ms:.1} ms, {})",
                     from.0,
                     to.0,
                     if *secure_path { "secure" } else { "INSECURE" }
                 ),
-                PlanStep::Deploy { spec, node, iface_in, iface_out } => format!(
+                PlanStep::Deploy {
+                    spec,
+                    node,
+                    iface_in,
+                    iface_out,
+                } => format!(
                     "deploy {spec} on node {} ({} -> {iface_out})",
                     node.0,
                     iface_in.as_deref().unwrap_or("-")
@@ -204,7 +215,12 @@ impl<'a> Planner<'a> {
         oracle: &'a dyn AuthOracle,
         config: PlannerConfig,
     ) -> Planner<'a> {
-        Planner { registrar, network, oracle, config }
+        Planner {
+            registrar,
+            network,
+            oracle,
+            config,
+        }
     }
 
     /// Regression pass: interface types that can contribute to the goal.
@@ -228,11 +244,7 @@ impl<'a> Planner<'a> {
         loop {
             let mut grew = false;
             for spec in &specs {
-                if spec
-                    .provides
-                    .iter()
-                    .any(|p| relevant.contains(&p.iface))
-                {
+                if spec.provides.iter().any(|p| relevant.contains(&p.iface)) {
                     if let Some(req) = &spec.requires {
                         grew |= relevant.insert(req.clone());
                     }
@@ -246,16 +258,45 @@ impl<'a> Planner<'a> {
 
     /// Find a plan for `goal`.
     pub fn plan(&self, goal: &Goal) -> Result<(Plan, PlannerStats), PsfError> {
+        let plan_start = std::time::Instant::now();
+        let mut plan_span = psf_telemetry::span("psf.planner", "plan");
+        plan_span
+            .field("goal_iface", &goal.iface)
+            .field("client_node", goal.client_node.0);
+        psf_telemetry::counter!("psf.planner.plans").inc();
         let mut stats = PlannerStats::default();
+        let result = self.plan_search(goal, &mut stats);
+        psf_telemetry::counter!("psf.planner.expanded").add(stats.expanded);
+        psf_telemetry::counter!("psf.planner.generated").add(stats.generated);
+        psf_telemetry::counter!("psf.planner.pruned_by_auth").add(stats.pruned_by_auth);
+        psf_telemetry::counter!("psf.planner.pruned_irrelevant").add(stats.pruned_irrelevant);
+        psf_telemetry::histogram!("psf.planner.plan.us").record_duration(plan_start.elapsed());
+        plan_span
+            .field("expanded", stats.expanded)
+            .field("generated", stats.generated)
+            .field("ok", result.is_ok());
+        match result {
+            Ok(plan) => {
+                plan_span
+                    .field("steps", plan.steps.len())
+                    .field("deployments", plan.deployments());
+                Ok((plan, stats))
+            }
+            Err(e) => {
+                psf_telemetry::counter!("psf.planner.failures").inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn plan_search(&self, goal: &Goal, stats: &mut PlannerStats) -> Result<Plan, PsfError> {
         let relevant = self.relevant_types(goal);
         let specs: Vec<ComponentSpec> = {
             let all = self.registrar.specs();
             let total = all.len();
             let kept: Vec<ComponentSpec> = all
                 .into_iter()
-                .filter(|s| {
-                    s.provides.iter().any(|p| relevant.contains(&p.iface))
-                })
+                .filter(|s| s.provides.iter().any(|p| relevant.contains(&p.iface)))
                 .collect();
             stats.pruned_irrelevant += (total - kept.len()) as u64;
             kept
@@ -317,21 +358,23 @@ impl<'a> Planner<'a> {
                     && s.iface == goal.iface
                     && goal.satisfied_by(&s.props)
                 {
-                    return Ok((
-                        Plan {
-                            steps: s.steps.clone(),
-                            delivered: s.props.clone(),
-                            cost: s.cost,
-                        },
-                        stats,
-                    ));
+                    return Ok(Plan {
+                        steps: s.steps.clone(),
+                        delivered: s.props.clone(),
+                        cost: s.cost,
+                    });
                 }
             }
             // Dominance filter.
             let batch: Vec<State> = batch
                 .into_iter()
                 .filter(|s| {
-                    let key = (s.iface.clone(), s.node, s.props.encrypted, s.props.plaintext_exposed);
+                    let key = (
+                        s.iface.clone(),
+                        s.node,
+                        s.props.encrypted,
+                        s.props.plaintext_exposed,
+                    );
                     match best.get(&key) {
                         Some(&(c, l)) if c <= s.cost && l <= s.props.latency_ms => false,
                         _ => {
@@ -489,18 +532,16 @@ mod tests {
     fn mail_registrar() -> Registrar {
         let r = Registrar::new();
         r.register(ComponentSpec::source("MailServer", "MailI"));
-        r.register(ComponentSpec::processor(
-            "Encryptor",
-            "MailI",
-            "MailI",
-            Effect::Encrypt,
-        ).requires_encrypted(false).cpu(10));
-        r.register(ComponentSpec::processor(
-            "Decryptor",
-            "MailI",
-            "MailI",
-            Effect::Decrypt,
-        ).requires_encrypted(true).cpu(10));
+        r.register(
+            ComponentSpec::processor("Encryptor", "MailI", "MailI", Effect::Encrypt)
+                .requires_encrypted(false)
+                .cpu(10),
+        );
+        r.register(
+            ComponentSpec::processor("Decryptor", "MailI", "MailI", Effect::Decrypt)
+                .requires_encrypted(true)
+                .cpu(10),
+        );
         r.register(
             ComponentSpec::processor("ViewMailServer", "MailI", "MailI", Effect::Cache)
                 .cpu(20)
@@ -627,7 +668,10 @@ mod tests {
         let r = mail_registrar();
         r.record_deployed("MailServer", s.ny[0]);
         for k in [1usize, 2, 4, 8] {
-            let cfg = PlannerConfig { parallel_expansion: k, ..Default::default() };
+            let cfg = PlannerConfig {
+                parallel_expansion: k,
+                ..Default::default()
+            };
             let planner = Planner::new(&r, &s.network, &PermissiveOracle, cfg);
             let goal = Goal::private("MailI", s.se[2]);
             let (plan, _) = planner.plan(&goal).unwrap();
@@ -641,12 +685,8 @@ mod tests {
         let s = three_site_scenario(1);
         let r = Registrar::new();
         r.register(ComponentSpec::source("MailServer", "MailI"));
-        r.register(
-            ComponentSpec::processor("Hog", "MailI", "HogI", Effect::Identity).cpu(90),
-        );
-        r.register(
-            ComponentSpec::processor("Hog2", "HogI", "GoalI", Effect::Identity).cpu(90),
-        );
+        r.register(ComponentSpec::processor("Hog", "MailI", "HogI", Effect::Identity).cpu(90));
+        r.register(ComponentSpec::processor("Hog2", "HogI", "GoalI", Effect::Identity).cpu(90));
         r.record_deployed("MailServer", s.ny[0]);
         let planner = Planner::new(&r, &s.network, &PermissiveOracle, PlannerConfig::default());
         // Two 90-CPU components cannot fit one 100-CPU node; but they can

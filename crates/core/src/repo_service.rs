@@ -45,8 +45,8 @@ fn subject_encode(s: &Subject, out: &mut Vec<u8>) {
 }
 
 fn subject_decode(buf: &[u8]) -> Result<Subject, String> {
-    use psf_drbac::entity::EntityName;
     use psf_crypto::ed25519::VerifyingKey;
+    use psf_drbac::entity::EntityName;
     if buf.is_empty() {
         return Err("empty subject".into());
     }
@@ -59,10 +59,13 @@ fn subject_decode(buf: &[u8]) -> Result<Subject, String> {
             if buf.len() != 5 + len + 32 {
                 return Err("malformed entity subject".into());
             }
-            let name = String::from_utf8(buf[5..5 + len].to_vec())
-                .map_err(|_| "bad name".to_string())?;
+            let name =
+                String::from_utf8(buf[5..5 + len].to_vec()).map_err(|_| "bad name".to_string())?;
             let key: [u8; 32] = buf[5 + len..].try_into().unwrap();
-            Ok(Subject::Entity { name: EntityName(name), key: VerifyingKey(key) })
+            Ok(Subject::Entity {
+                name: EntityName(name),
+                key: VerifyingKey(key),
+            })
         }
         1 => {
             if buf.len() < 5 {
@@ -73,7 +76,9 @@ fn subject_decode(buf: &[u8]) -> Result<Subject, String> {
                 return Err("malformed role subject".into());
             }
             let s = String::from_utf8(buf[5..].to_vec()).map_err(|_| "bad role".to_string())?;
-            RoleName::parse(&s).map(Subject::Role).map_err(|e| e.to_string())
+            RoleName::parse(&s)
+                .map(Subject::Role)
+                .map_err(|e| e.to_string())
         }
         t => Err(format!("bad subject tag {t}")),
     }
@@ -89,8 +94,7 @@ pub fn serve_repository(channel: &Channel, repository: Repository) {
     });
     let repo = repository;
     channel.register_handler(QUERY_BY_OBJECT, move |args| {
-        let role = RoleName::parse(&String::from_utf8_lossy(args))
-            .map_err(|e| e.to_string())?;
+        let role = RoleName::parse(&String::from_utf8_lossy(args)).map_err(|e| e.to_string())?;
         Ok(encode_credentials(&repo.query_by_object(&role)))
     });
 }
@@ -107,7 +111,11 @@ pub struct RemoteRepository {
 impl RemoteRepository {
     /// Wrap a channel whose peer serves the repository protocol.
     pub fn new(channel: Arc<Channel>) -> RemoteRepository {
-        RemoteRepository { channel, cache: Mutex::new(HashMap::new()), caching: true }
+        RemoteRepository {
+            channel,
+            cache: Mutex::new(HashMap::new()),
+            caching: true,
+        }
     }
 
     /// Disable the response cache (every query goes to the wire).
@@ -206,7 +214,15 @@ mod tests {
         if !caching {
             remote = remote.without_cache();
         }
-        RemoteWorld { registry, bus, remote, _server_side: server, ny, bob, cred_ids }
+        RemoteWorld {
+            registry,
+            bus,
+            remote,
+            _server_side: server,
+            ny,
+            bob,
+            cred_ids,
+        }
     }
 
     #[test]

@@ -102,14 +102,20 @@ mod tests {
         let aead = ChaCha20Poly1305::new([5u8; 32]);
         let nonce = [1u8; 12];
         let sealed = aead.seal(&nonce, b"aad-1", b"payload");
-        assert_eq!(aead.open(&nonce, b"aad-2", &sealed), Err(CryptoError::BadTag));
+        assert_eq!(
+            aead.open(&nonce, b"aad-2", &sealed),
+            Err(CryptoError::BadTag)
+        );
     }
 
     #[test]
     fn wrong_nonce_rejected() {
         let aead = ChaCha20Poly1305::new([5u8; 32]);
         let sealed = aead.seal(&[1u8; 12], b"", b"payload");
-        assert_eq!(aead.open(&[2u8; 12], b"", &sealed), Err(CryptoError::BadTag));
+        assert_eq!(
+            aead.open(&[2u8; 12], b"", &sealed),
+            Err(CryptoError::BadTag)
+        );
     }
 
     #[test]

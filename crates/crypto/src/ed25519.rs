@@ -60,7 +60,12 @@ impl SigningKey {
         let mut prefix = [0u8; 32];
         prefix.copy_from_slice(&h[32..]);
         let public = VerifyingKey(mul_basepoint(&a).compress());
-        SigningKey { seed, a, prefix, public }
+        SigningKey {
+            seed,
+            a,
+            prefix,
+            public,
+        }
     }
 
     /// Generate a fresh random key pair.
@@ -116,8 +121,7 @@ impl VerifyingKey {
         let mut s_bytes = [0u8; 32];
         s_bytes.copy_from_slice(&sig.0[32..]);
 
-        let s = Scalar::from_canonical_bytes(&s_bytes)
-            .ok_or(CryptoError::NonCanonicalScalar)?;
+        let s = Scalar::from_canonical_bytes(&s_bytes).ok_or(CryptoError::NonCanonicalScalar)?;
         let r_point = EdwardsPoint::decompress(&r_bytes)?;
         let a_point = EdwardsPoint::decompress(&self.0)?;
 

@@ -96,7 +96,12 @@ pub fn mul_basepoint(s: &Scalar) -> EdwardsPoint {
 impl EdwardsPoint {
     /// The identity element (neutral point).
     pub fn identity() -> EdwardsPoint {
-        EdwardsPoint { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+        EdwardsPoint {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
     }
 
     /// Whether this is the identity.
@@ -145,7 +150,12 @@ impl EdwardsPoint {
 
     /// Point negation.
     pub fn neg(&self) -> EdwardsPoint {
-        EdwardsPoint { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
     }
 
     /// Scalar multiplication by a canonical scalar, using a 4-bit window:
@@ -193,7 +203,12 @@ impl EdwardsPoint {
     }
 
     /// `a·A + b·B` (Shamir's trick not needed for correctness; simple sum).
-    pub fn double_scalar_mul(a: &Scalar, pa: &EdwardsPoint, b: &Scalar, pb: &EdwardsPoint) -> EdwardsPoint {
+    pub fn double_scalar_mul(
+        a: &Scalar,
+        pa: &EdwardsPoint,
+        b: &Scalar,
+        pb: &EdwardsPoint,
+    ) -> EdwardsPoint {
         pa.mul_scalar(a).add(&pb.mul_scalar(b))
     }
 
@@ -235,7 +250,12 @@ impl EdwardsPoint {
         if x.is_negative() != sign {
             x = x.neg();
         }
-        Ok(EdwardsPoint { x, y, z: Fe::ONE, t: x.mul(&y) })
+        Ok(EdwardsPoint {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(&y),
+        })
     }
 
     /// Verify the curve equation for this (projective) point. Used in tests

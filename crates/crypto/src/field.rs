@@ -141,17 +141,13 @@ impl Fe {
         let g = &rhs.reduce_limbs().0;
         let m = |a: u64, b: u64| (a as u128) * (b as u128);
 
-        let r0 = m(f[0], g[0])
-            + 19 * (m(f[1], g[4]) + m(f[2], g[3]) + m(f[3], g[2]) + m(f[4], g[1]));
-        let r1 = m(f[0], g[1])
-            + m(f[1], g[0])
-            + 19 * (m(f[2], g[4]) + m(f[3], g[3]) + m(f[4], g[2]));
-        let r2 = m(f[0], g[2])
-            + m(f[1], g[1])
-            + m(f[2], g[0])
-            + 19 * (m(f[3], g[4]) + m(f[4], g[3]));
-        let r3 = m(f[0], g[3]) + m(f[1], g[2]) + m(f[2], g[1]) + m(f[3], g[0])
-            + 19 * m(f[4], g[4]);
+        let r0 =
+            m(f[0], g[0]) + 19 * (m(f[1], g[4]) + m(f[2], g[3]) + m(f[3], g[2]) + m(f[4], g[1]));
+        let r1 =
+            m(f[0], g[1]) + m(f[1], g[0]) + 19 * (m(f[2], g[4]) + m(f[3], g[3]) + m(f[4], g[2]));
+        let r2 =
+            m(f[0], g[2]) + m(f[1], g[1]) + m(f[2], g[0]) + 19 * (m(f[3], g[4]) + m(f[4], g[3]));
+        let r3 = m(f[0], g[3]) + m(f[1], g[2]) + m(f[2], g[1]) + m(f[3], g[0]) + 19 * m(f[4], g[4]);
         let r4 = m(f[0], g[4]) + m(f[1], g[3]) + m(f[2], g[2]) + m(f[3], g[1]) + m(f[4], g[0]);
 
         Fe::carry_wide([r0, r1, r2, r3, r4])

@@ -32,7 +32,13 @@ impl Poly1305 {
             u64::from_le_bytes(key[16..24].try_into().unwrap()),
             u64::from_le_bytes(key[24..32].try_into().unwrap()),
         ];
-        Poly1305 { r, s, h: [0; 5], buf: [0; 16], buf_len: 0 }
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
     }
 
     fn block(&mut self, block: &[u8; 16], hibit: u64) {
@@ -198,8 +204,7 @@ mod tests {
     #[test]
     fn rfc8439_vector() {
         // RFC 8439 §2.5.2.
-        let key_bytes =
-            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let key_bytes = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let tag = poly1305(&key, b"Cryptographic Forum Research Group");

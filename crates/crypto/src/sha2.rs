@@ -15,7 +15,11 @@ fn primes(n: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(n);
     let mut cand = 2u64;
     while out.len() < n {
-        if out.iter().take_while(|&&p| p * p <= cand).all(|&p| !cand.is_multiple_of(p)) {
+        if out
+            .iter()
+            .take_while(|&&p| p * p <= cand)
+            .all(|&p| !cand.is_multiple_of(p))
+        {
             out.push(cand);
         }
         cand += 1;
@@ -89,7 +93,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Create a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: *iv256(), buf: [0; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: *iv256(),
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorb `data`.
@@ -202,7 +211,12 @@ impl Default for Sha512 {
 impl Sha512 {
     /// Create a fresh hasher.
     pub fn new() -> Self {
-        Sha512 { state: *iv512(), buf: [0; 128], buf_len: 0, total_len: 0 }
+        Sha512 {
+            state: *iv512(),
+            buf: [0; 128],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorb `data`.
@@ -342,7 +356,9 @@ mod tests {
     #[test]
     fn sha256_fips_two_block() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

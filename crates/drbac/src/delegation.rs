@@ -87,7 +87,11 @@ impl Delegation {
     /// Render in the paper's bracket syntax, e.g.
     /// `[ Bob -> Comp.SD.Member ] Comp.SD`.
     pub fn render(&self) -> String {
-        let prime = if self.kind == DelegationKind::Assignment { " '" } else { "" };
+        let prime = if self.kind == DelegationKind::Assignment {
+            " '"
+        } else {
+            ""
+        };
         format!(
             "[ {} -> {}{} ] {}{}",
             self.subject.render(),
@@ -136,7 +140,11 @@ impl SignedDelegation {
         }
         if let Some(expires) = self.body.expires {
             if now >= expires {
-                return Err(DrbacError::Expired { id: self.id(), expires, now });
+                return Err(DrbacError::Expired {
+                    id: self.id(),
+                    expires,
+                    now,
+                });
             }
         }
         issuer_key
@@ -361,10 +369,7 @@ mod tests {
             .subject_entity(&alice)
             .role(ny.role("Member"))
             .sign();
-        assert_eq!(
-            d.verify(&sd.public_key(), 0),
-            Err(DrbacError::BadSignature)
-        );
+        assert_eq!(d.verify(&sd.public_key(), 0), Err(DrbacError::BadSignature));
     }
 
     #[test]

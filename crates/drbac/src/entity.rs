@@ -61,7 +61,10 @@ pub struct RoleName {
 impl RoleName {
     /// Construct from owner + role.
     pub fn new(owner: impl Into<String>, role: impl Into<String>) -> RoleName {
-        RoleName { owner: EntityName(owner.into()), role: role.into() }
+        RoleName {
+            owner: EntityName(owner.into()),
+            role: role.into(),
+        }
     }
 
     /// Parse `"Comp.NY.Member"` — the rightmost component is the role.
@@ -141,7 +144,10 @@ impl Entity {
         material.push(0);
         material.extend_from_slice(name.0.as_bytes());
         let digest = psf_crypto::sha256(&material);
-        Entity { name, key: SigningKey::from_seed(digest) }
+        Entity {
+            name,
+            key: SigningKey::from_seed(digest),
+        }
     }
 
     /// Create an entity with a random key.
@@ -160,12 +166,18 @@ impl Entity {
 
     /// This entity as a delegation [`Subject`].
     pub fn as_subject(&self) -> Subject {
-        Subject::Entity { name: self.name.clone(), key: self.public_key() }
+        Subject::Entity {
+            name: self.name.clone(),
+            key: self.public_key(),
+        }
     }
 
     /// A role in this entity's namespace.
     pub fn role(&self, role: impl Into<String>) -> RoleName {
-        RoleName { owner: self.name.clone(), role: role.into() }
+        RoleName {
+            owner: self.name.clone(),
+            role: role.into(),
+        }
     }
 
     /// Sign arbitrary bytes with this entity's key.

@@ -211,7 +211,11 @@ mod tests {
     use super::*;
 
     fn infra() -> (EntityRegistry, Repository, RevocationBus) {
-        (EntityRegistry::new(), Repository::new(), RevocationBus::new())
+        (
+            EntityRegistry::new(),
+            Repository::new(),
+            RevocationBus::new(),
+        )
     }
 
     fn guard(name: &str) -> Guard {
@@ -246,9 +250,13 @@ mod tests {
                 .monitored()
                 .sign(),
         );
-        assert!(g.authorize(&alice.as_subject(), &g.role("Member"), &[], 0).is_ok());
+        assert!(g
+            .authorize(&alice.as_subject(), &g.role("Member"), &[], 0)
+            .is_ok());
         g.revoke(&cred);
-        assert!(g.authorize(&alice.as_subject(), &g.role("Member"), &[], 0).is_err());
+        assert!(g
+            .authorize(&alice.as_subject(), &g.role("Member"), &[], 0)
+            .is_err());
     }
 
     #[test]

@@ -14,9 +14,9 @@
 use crate::attr::AttrSet;
 use crate::delegation::{DelegationKind, SignedDelegation};
 use crate::entity::{EntityRegistry, RoleName, Subject};
-use crate::repository::{subject_key, CredentialSource};
 #[cfg(test)]
 use crate::repository::Repository;
+use crate::repository::{subject_key, CredentialSource};
 use crate::revocation::RevocationBus;
 use crate::{DrbacError, Timestamp};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -108,10 +108,7 @@ impl Proof {
             }
             let effective = effective_edge_attrs(edge, registry, bus, now)?;
             attrs = attrs.attenuate(&effective).ok_or_else(|| {
-                DrbacError::BrokenChain(format!(
-                    "attributes annihilate at edge {}",
-                    cred.id()
-                ))
+                DrbacError::BrokenChain(format!("attributes annihilate at edge {}", cred.id()))
             })?;
             expected_subject = Subject::Role(cred.body.object.clone());
         }
@@ -203,7 +200,11 @@ impl Proof {
 
     /// Human-readable rendering of the chain in paper syntax.
     pub fn render(&self) -> String {
-        let kind = if self.assignment { "assignment-right" } else { "membership" };
+        let kind = if self.assignment {
+            "assignment-right"
+        } else {
+            "membership"
+        };
         let mut out = format!(
             "proof ({kind}) that {} holds {}{}:\n",
             self.subject.render(),
@@ -258,13 +259,14 @@ fn effective_edge_attrs(
             Ok(cred.body.attrs.clone())
         }
         DelegationKind::ThirdParty => {
-            let support = edge.support.as_ref().ok_or_else(|| {
-                DrbacError::UnauthorizedIssuer {
+            let support = edge
+                .support
+                .as_ref()
+                .ok_or_else(|| DrbacError::UnauthorizedIssuer {
                     id: cred.id(),
                     issuer: cred.body.issuer.0.clone(),
                     role: cred.body.object.to_string(),
-                }
-            })?;
+                })?;
             if !support.assignment
                 || support.role != cred.body.object
                 || !matches!(&support.subject, Subject::Entity { name, .. } if *name == cred.body.issuer)
@@ -278,9 +280,9 @@ fn effective_edge_attrs(
             // Attenuate by the assignment chain's own attribute bounds.
             let mut bound = AttrSet::new();
             for e in &support.edges {
-                bound = bound.attenuate(&e.credential.body.attrs).ok_or_else(|| {
-                    DrbacError::BrokenChain("assignment attrs annihilate".into())
-                })?;
+                bound = bound
+                    .attenuate(&e.credential.body.attrs)
+                    .ok_or_else(|| DrbacError::BrokenChain("assignment attrs annihilate".into()))?;
             }
             cred.body.attrs.attenuate(&bound).ok_or_else(|| {
                 DrbacError::BrokenChain(format!(
@@ -340,13 +342,45 @@ impl<'a> ProofEngine<'a> {
         bus: &'a RevocationBus,
         now: Timestamp,
     ) -> ProofEngine<'a> {
-        ProofEngine { registry, repository, bus, now }
+        ProofEngine {
+            registry,
+            repository,
+            bus,
+            now,
+        }
     }
 
     /// Prove that `subject` holds `target`, drawing on `presented`
     /// credentials (the set X handed over by the requester) plus whatever
     /// the repository can discover. Returns the proof and search stats.
     pub fn prove(
+        &self,
+        subject: &Subject,
+        target: &RoleName,
+        presented: &[SignedDelegation],
+    ) -> Result<(Proof, SearchStats), ProofError> {
+        let mut span = psf_telemetry::span("psf.drbac", "prove");
+        span.field("target", target);
+        let start = std::time::Instant::now();
+        let result = self.prove_search(subject, target, presented);
+        let stats = match &result {
+            Ok((_, stats)) => *stats,
+            Err(e) => e.stats,
+        };
+        psf_telemetry::counter!("psf.drbac.prove.calls").inc();
+        if result.is_err() {
+            psf_telemetry::counter!("psf.drbac.prove.failures").inc();
+        }
+        psf_telemetry::counter!("psf.drbac.nodes.expanded").add(stats.nodes_expanded);
+        psf_telemetry::counter!("psf.drbac.creds.examined").add(stats.credentials_examined);
+        psf_telemetry::counter!("psf.drbac.creds.rejected").add(stats.credentials_rejected);
+        psf_telemetry::histogram!("psf.drbac.prove.us").record_duration(start.elapsed());
+        span.field("nodes_expanded", stats.nodes_expanded)
+            .field("ok", result.is_ok());
+        result
+    }
+
+    fn prove_search(
         &self,
         subject: &Subject,
         target: &RoleName,
@@ -405,14 +439,14 @@ impl<'a> ProofEngine<'a> {
                         continue;
                     }
                 };
-                let effective =
-                    match effective_edge_attrs(&edge, self.registry, self.bus, self.now) {
-                        Ok(a) => a,
-                        Err(_) => {
-                            stats.credentials_rejected += 1;
-                            continue;
-                        }
-                    };
+                let effective = match effective_edge_attrs(&edge, self.registry, self.bus, self.now)
+                {
+                    Ok(a) => a,
+                    Err(_) => {
+                        stats.credentials_rejected += 1;
+                        continue;
+                    }
+                };
                 let new_attrs = match state.attrs.attenuate(&effective) {
                     Some(a) => a,
                     None => {
@@ -436,7 +470,11 @@ impl<'a> ProofEngine<'a> {
                 let next = Subject::Role(object);
                 let next_key = subject_key(&next);
                 if visited.insert(next_key) {
-                    queue.push_back(State { node: next, attrs: new_attrs, path });
+                    queue.push_back(State {
+                        node: next,
+                        attrs: new_attrs,
+                        path,
+                    });
                 }
             }
         }
@@ -580,7 +618,10 @@ impl<'a> ProofEngine<'a> {
             if let Some(upstream) =
                 self.prove_assignment(&issuer_subject, role, presented, in_progress, stats)
             {
-                let mut edges = vec![ProofEdge { credential: cred, support: None }];
+                let mut edges = vec![ProofEdge {
+                    credential: cred,
+                    support: None,
+                }];
                 edges.extend(upstream.edges);
                 return Some(Proof {
                     subject: holder.clone(),
@@ -699,7 +740,11 @@ mod tests {
             .sign();
         assert!(w
             .engine()
-            .prove(&w.bob.as_subject(), &w.ny.role("Partner"), std::slice::from_ref(&c))
+            .prove(
+                &w.bob.as_subject(),
+                &w.ny.role("Partner"),
+                std::slice::from_ref(&c)
+            )
             .is_err());
 
         // Now grant the assignment right:
@@ -835,7 +880,11 @@ mod tests {
             .sign();
         let (proof, _) = w
             .engine()
-            .prove(&w.alice.as_subject(), &w.ny.role("Member"), std::slice::from_ref(&c))
+            .prove(
+                &w.alice.as_subject(),
+                &w.ny.role("Member"),
+                std::slice::from_ref(&c),
+            )
             .unwrap();
         w.bus.revoke(&c.id());
         assert!(w
@@ -859,7 +908,11 @@ mod tests {
             .sign();
         let engine_ok = ProofEngine::new(&w.registry, &w.repo, &w.bus, 49);
         assert!(engine_ok
-            .prove(&w.alice.as_subject(), &w.ny.role("Member"), std::slice::from_ref(&c))
+            .prove(
+                &w.alice.as_subject(),
+                &w.ny.role("Member"),
+                std::slice::from_ref(&c)
+            )
             .is_ok());
         let engine_late = ProofEngine::new(&w.registry, &w.repo, &w.bus, 51);
         assert!(engine_late
@@ -933,7 +986,11 @@ mod tests {
             .sign();
         let (proof, _) = w
             .engine()
-            .prove(&w.bob.as_subject(), &w.ny.role("Member"), &[c11.clone(), c2])
+            .prove(
+                &w.bob.as_subject(),
+                &w.ny.role("Member"),
+                &[c11.clone(), c2],
+            )
             .unwrap();
         let ids = proof.credential_ids();
         assert_eq!(ids.len(), 2);

@@ -52,10 +52,16 @@ pub enum DiscoveryTag {
 
 impl DiscoveryTag {
     fn advertises_subject(self) -> bool {
-        matches!(self, DiscoveryTag::SearchableFromSubject | DiscoveryTag::Both)
+        matches!(
+            self,
+            DiscoveryTag::SearchableFromSubject | DiscoveryTag::Both
+        )
     }
     fn advertises_object(self) -> bool {
-        matches!(self, DiscoveryTag::SearchableFromObject | DiscoveryTag::Both)
+        matches!(
+            self,
+            DiscoveryTag::SearchableFromObject | DiscoveryTag::Both
+        )
     }
 }
 
@@ -187,16 +193,19 @@ impl Repository {
         select: impl for<'s> Fn(&'s Shard, &str) -> Option<&'s Vec<usize>>,
     ) -> Vec<SignedDelegation> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.drbac.repo.queries").inc();
         let shards = self.inner.shards.read();
         let homes: Vec<EntityName> = {
             let tags = tag_index.read();
             match tags.get(key) {
                 Some(homes) => {
                     self.inner.directed.fetch_add(1, Ordering::Relaxed);
+                    psf_telemetry::counter!("psf.drbac.repo.directed").inc();
                     homes.iter().cloned().collect()
                 }
                 None => {
                     self.inner.broadcast.fetch_add(1, Ordering::Relaxed);
+                    psf_telemetry::counter!("psf.drbac.repo.broadcast").inc();
                     shards.keys().cloned().collect()
                 }
             }
@@ -204,6 +213,7 @@ impl Repository {
         self.inner
             .messages
             .fetch_add(homes.len() as u64, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.drbac.repo.messages").add(homes.len() as u64);
         let mut out = Vec::new();
         for home in homes {
             if let Some(shard) = shards.get(&home) {
@@ -359,7 +369,11 @@ mod tests {
         let repo = Repository::new();
         let ny = Entity::with_seed("Comp.NY", b"r");
         let alice = Entity::with_seed("Alice", b"r");
-        repo.publish(ny.name.clone(), cred(&ny, &alice, "Member"), DiscoveryTag::None);
+        repo.publish(
+            ny.name.clone(),
+            cred(&ny, &alice, "Member"),
+            DiscoveryTag::None,
+        );
         // Still found (broadcast fallback), but counted as broadcast.
         let found = repo.query_by_subject(&alice.as_subject());
         assert_eq!(found.len(), 1);

@@ -84,7 +84,10 @@ impl RevocationBus {
     pub fn monitor<I: IntoIterator<Item = String>>(&self, credential_ids: I) -> ValidityMonitor {
         let (tx, rx) = unbounded();
         let valid = Arc::new(AtomicBool::new(true));
-        let handle = MonitorHandle { valid: valid.clone(), tx };
+        let handle = MonitorHandle {
+            valid: valid.clone(),
+            tx,
+        };
         let mut ids = Vec::new();
         {
             let revoked = self.inner.revoked.lock();

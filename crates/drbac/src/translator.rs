@@ -62,7 +62,10 @@ pub struct GroupPolicy {
 impl GroupPolicy {
     /// Builder: add a member to a group.
     pub fn member(mut self, group: impl Into<String>, principal: impl Into<String>) -> Self {
-        self.groups.entry(group.into()).or_default().insert(principal.into());
+        self.groups
+            .entry(group.into())
+            .or_default()
+            .insert(principal.into());
         self
     }
 
@@ -152,27 +155,31 @@ impl<'a> PolicyTranslator<'a> {
         for (group, members) in &policy.groups {
             for member in members {
                 let entity = self.principal(member);
-                out.push(self.guard.publish(
-                    self.guard
-                        .issue()
-                        .subject_entity(&entity)
-                        .role(self.group_role(group))
-                        .serial(serial)
-                        .sign(),
-                ));
+                out.push(
+                    self.guard.publish(
+                        self.guard
+                            .issue()
+                            .subject_entity(&entity)
+                            .role(self.group_role(group))
+                            .serial(serial)
+                            .sign(),
+                    ),
+                );
                 serial += 1;
             }
         }
         for (group, capabilities) in &policy.permissions {
             for capability in capabilities {
-                out.push(self.guard.publish(
-                    self.guard
-                        .issue()
-                        .subject_role(self.group_role(group))
-                        .role(self.capability_role(capability))
-                        .serial(serial)
-                        .sign(),
-                ));
+                out.push(
+                    self.guard.publish(
+                        self.guard
+                            .issue()
+                            .subject_role(self.group_role(group))
+                            .role(self.capability_role(capability))
+                            .serial(serial)
+                            .sign(),
+                    ),
+                );
                 serial += 1;
             }
         }
@@ -282,12 +289,7 @@ mod tests {
             repo.clone(),
             bus.clone(),
         );
-        let ny = Guard::new(
-            Entity::with_seed("Comp.NY", b"x"),
-            registry,
-            repo,
-            bus,
-        );
+        let ny = Guard::new(Entity::with_seed("Comp.NY", b"x"), registry, repo, bus);
         let t = PolicyTranslator::new(&foreign);
         t.translate_capabilities(&CapabilityPolicy::default().grant("dana", "read"))
             .unwrap();

@@ -81,7 +81,10 @@ fn decode_subject(r: &mut Reader) -> Result<Subject, DrbacError> {
         0 => {
             let name = r.string()?;
             let key = VerifyingKey(r.bytes::<32>()?);
-            Ok(Subject::Entity { name: EntityName(name), key })
+            Ok(Subject::Entity {
+                name: EntityName(name),
+                key,
+            })
         }
         1 => {
             let s = r.string()?;
@@ -224,7 +227,9 @@ pub fn decode_credentials(buf: &[u8]) -> Result<Vec<SignedDelegation>, DrbacErro
         out.push(SignedDelegation::from_wire(&mut r)?);
     }
     if !r.finished() {
-        return Err(DrbacError::BrokenChain("trailing bytes in credential set".into()));
+        return Err(DrbacError::BrokenChain(
+            "trailing bytes in credential set".into(),
+        ));
     }
     Ok(out)
 }
@@ -288,8 +293,7 @@ mod tests {
             .subject_entity(&bob)
             .role(ny.role("Member"))
             .sign();
-        let back =
-            SignedDelegation::from_wire(&mut Reader::new(&cred.to_wire())).unwrap();
+        let back = SignedDelegation::from_wire(&mut Reader::new(&cred.to_wire())).unwrap();
         back.verify(&ny.public_key(), 0).unwrap();
     }
 

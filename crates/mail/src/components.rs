@@ -89,8 +89,7 @@ pub fn mail_server_class() -> Arc<ComponentClass> {
                 } else {
                     Message::decode_list(&stored)?
                 };
-                let mine: Vec<Message> =
-                    all.into_iter().filter(|m| m.to == user).collect();
+                let mine: Vec<Message> = all.into_iter().filter(|m| m.to == user).collect();
                 Ok(Message::encode_list(&mine))
             },
         )

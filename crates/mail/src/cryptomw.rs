@@ -39,19 +39,29 @@ impl CipherPair {
     /// The server-side half ("Encryptor" in the plan): expects encrypted
     /// requests from downstream, decrypts them, calls the plaintext
     /// upstream, and encrypts the response.
-    pub fn encryptor(&self) -> impl Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync + Clone {
+    pub fn encryptor(
+        &self,
+    ) -> impl Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync + Clone {
         let key = self.key;
         move |upstream: Arc<dyn RemoteCall>| -> Arc<dyn RemoteCall> {
-            Arc::new(EncryptorSide { upstream, aead: ChaCha20Poly1305::new(key) })
+            Arc::new(EncryptorSide {
+                upstream,
+                aead: ChaCha20Poly1305::new(key),
+            })
         }
     }
 
     /// The client-side half ("Decryptor" in the plan): encrypts requests
     /// for the wire and decrypts responses.
-    pub fn decryptor(&self) -> impl Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync + Clone {
+    pub fn decryptor(
+        &self,
+    ) -> impl Fn(Arc<dyn RemoteCall>) -> Arc<dyn RemoteCall> + Send + Sync + Clone {
         let key = self.key;
         move |upstream: Arc<dyn RemoteCall>| -> Arc<dyn RemoteCall> {
-            Arc::new(DecryptorSide { upstream, aead: ChaCha20Poly1305::new(key) })
+            Arc::new(DecryptorSide {
+                upstream,
+                aead: ChaCha20Poly1305::new(key),
+            })
         }
     }
 }
@@ -145,8 +155,10 @@ mod tests {
         // client → decryptor → tap (the WAN) → encryptor → echo server
         let server: Arc<dyn RemoteCall> = Arc::new(Echo);
         let enc = pair.encryptor()(server);
-        let tapped: Arc<dyn RemoteCall> =
-            Arc::new(Tap { upstream: enc, seen: seen.clone() });
+        let tapped: Arc<dyn RemoteCall> = Arc::new(Tap {
+            upstream: enc,
+            seen: seen.clone(),
+        });
         let client = pair.decryptor()(tapped);
 
         let reply = client

@@ -65,7 +65,15 @@ impl Message {
         let subject = parts.pop().unwrap();
         let to = parts.pop().unwrap();
         let from = parts.pop().unwrap();
-        Ok((Message { from, to, subject, body }, pos))
+        Ok((
+            Message {
+                from,
+                to,
+                subject,
+                body,
+            },
+            pos,
+        ))
     }
 
     /// Encode a list of messages.
@@ -122,7 +130,10 @@ mod tests {
 
     #[test]
     fn empty_list() {
-        assert_eq!(Message::decode_list(&Message::encode_list(&[])).unwrap(), vec![]);
+        assert_eq!(
+            Message::decode_list(&Message::encode_list(&[])).unwrap(),
+            vec![]
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@ use crate::components::{mail_client_class, mail_server_class};
 use crate::cryptomw::CipherPair;
 use crate::views::{mail_method_library, view_anonymous, view_member, view_partner};
 use psf_core::{
-    AppBundle, ComponentSpec, Deployer, Deployment, DrbacOracle, Effect, Goal, Plan,
-    Planner, PlannerConfig, PsfError, Registrar,
+    AppBundle, ComponentSpec, Deployer, Deployment, DrbacOracle, Effect, Goal, Plan, Planner,
+    PlannerConfig, PsfError, Registrar,
 };
 use psf_drbac::entity::{Entity, EntityRegistry, RoleName};
 use psf_drbac::guard::Guard;
@@ -152,7 +152,11 @@ impl MailWorld {
             &mut creds,
             1,
             &ny_guard,
-            ny_guard.issue().subject_entity(&alice).role(ny.role("Member")).sign(),
+            ny_guard
+                .issue()
+                .subject_entity(&alice)
+                .role(ny.role("Member"))
+                .sign(),
         );
         // (2) [ Comp.SD.Member → Comp.NY.Member ] Comp.NY
         publish_numbered(
@@ -252,7 +256,11 @@ impl MailWorld {
             &mut creds,
             11,
             &sd_guard,
-            sd_guard.issue().subject_entity(&bob).role(sd.role("Member")).sign(),
+            sd_guard
+                .issue()
+                .subject_entity(&bob)
+                .role(sd.role("Member"))
+                .sign(),
         );
         // (12) [ Inc.SE.Member → Comp.NY.Partner ] Comp.SD  (third-party,
         // authorized by (3)).
@@ -519,8 +527,14 @@ impl MailWorld {
 
     /// Plan and deploy in one go.
     pub fn deliver(&self, goal: &Goal) -> Result<(Plan, Deployment), PsfError> {
+        let mut span = psf_telemetry::span("psf.mail", "deliver");
+        span.field("goal_iface", &goal.iface)
+            .field("client_node", goal.client_node.0);
+        psf_telemetry::counter!("psf.mail.deliveries").inc();
         let (plan, _) = self.plan_service(goal)?;
         let deployment = self.deployer.execute(&plan, goal)?;
+        span.field("steps", plan.steps.len())
+            .field("channels", deployment.channel_count());
         Ok((plan, deployment))
     }
 }

@@ -122,9 +122,9 @@ mod tests {
         let class = mail_client_class();
         let vig = Vig::new(mail_method_library());
         for spec in [view_member(), view_partner(), view_anonymous()] {
-            let view = vig.generate(&class, &spec).unwrap_or_else(|e| {
-                panic!("{} failed to generate: {e}", spec.name)
-            });
+            let view = vig
+                .generate(&class, &spec)
+                .unwrap_or_else(|e| panic!("{} failed to generate: {e}", spec.name));
             assert!(!view.source.is_empty());
         }
     }
@@ -194,9 +194,7 @@ mod tests {
         // Member ⊇ Partner ⊇ Anonymous in terms of exposed methods.
         let class = mail_client_class();
         let vig = Vig::new(mail_method_library());
-        let count = |spec| {
-            vig.generate(&class, &spec).unwrap().entries.len()
-        };
+        let count = |spec| vig.generate(&class, &spec).unwrap().entries.len();
         let member = count(view_member());
         let partner = count(view_partner());
         let anonymous = count(view_anonymous());

@@ -120,12 +120,18 @@ fn t2_component_authorization_cpu_attenuates_per_site() {
     let (proof, _) = engine
         .prove(&subject, &w.sd_guard.entity().role("Executable"), &[])
         .unwrap();
-    assert_eq!(proof.attrs.get("CPU"), Some(&psf_drbac::AttrValue::Capacity(80)));
+    assert_eq!(
+        proof.attrs.get("CPU"),
+        Some(&psf_drbac::AttrValue::Capacity(80))
+    );
     // In SE: (9) + (17) → CPU min(100, 40) = 40.
     let (proof, _) = engine
         .prove(&subject, &w.se_guard.entity().role("Executable"), &[])
         .unwrap();
-    assert_eq!(proof.attrs.get("CPU"), Some(&psf_drbac::AttrValue::Capacity(40)));
+    assert_eq!(
+        proof.attrs.get("CPU"),
+        Some(&psf_drbac::AttrValue::Capacity(40))
+    );
 }
 
 // ---------------------------------------------------------------- T4 --
@@ -133,10 +139,7 @@ fn t2_component_authorization_cpu_attenuates_per_site() {
 #[test]
 fn t4_acl_selects_views_per_role() {
     let w = world();
-    assert_eq!(
-        w.client_view(&w.alice).unwrap().0,
-        "ViewMailClient_Member"
-    );
+    assert_eq!(w.client_view(&w.alice).unwrap().0, "ViewMailClient_Member");
     // Bob holds Member through the cross-domain mapping, so the Member
     // rule fires first for him too (first match wins).
     assert_eq!(w.client_view(&w.bob).unwrap().0, "ViewMailClient_Member");
@@ -171,7 +174,10 @@ fn t4_instantiated_views_enforce_capability_differences() {
     assert_eq!(out, b"REQUESTED:q3-sync");
 
     let (_, alice_view) = w.instantiate_client_view(&w.alice).unwrap();
-    assert_eq!(alice_view.invoke("addMeeting", b"q3-sync").unwrap(), b"true");
+    assert_eq!(
+        alice_view.invoke("addMeeting", b"q3-sync").unwrap(),
+        b"true"
+    );
 
     let mallory = psf_drbac::Entity::with_seed("Mallory", b"outside");
     w.registry.register(&mallory);
@@ -214,10 +220,8 @@ fn f7_privacy_over_insecure_wan_deploys_cipher_pair_and_mail_flows() {
             &Message::new("bob", "alice", "subject", "private body").to_bytes(),
         )
         .unwrap();
-    let inbox = Message::decode_list(
-        &deployment.endpoint.call_remote("fetch", b"alice").unwrap(),
-    )
-    .unwrap();
+    let inbox =
+        Message::decode_list(&deployment.endpoint.call_remote("fetch", b"alice").unwrap()).unwrap();
     assert_eq!(inbox.len(), 1);
     assert_eq!(inbox[0].body, "private body");
 
@@ -241,9 +245,10 @@ fn f7_latency_bound_in_sd_deploys_cache_view() {
         require_plaintext_delivery: true,
     };
     let (plan, deployment) = w.deliver(&goal).unwrap();
-    let cache_deployed = plan.steps.iter().any(|s| {
-        matches!(s, PlanStep::Deploy { spec, .. } if spec == "ViewMailServer")
-    });
+    let cache_deployed = plan
+        .steps
+        .iter()
+        .any(|s| matches!(s, PlanStep::Deploy { spec, .. } if spec == "ViewMailServer"));
     assert!(cache_deployed, "plan: {}", plan.render());
     assert!(plan.delivered.latency_ms <= 10.0);
 
@@ -257,7 +262,11 @@ fn f7_latency_bound_in_sd_deploys_cache_view() {
         .unwrap();
     let server = w.deployer.source("MailServer", w.sites.ny[0]).unwrap();
     let inbox = Message::decode_list(&server.invoke("fetch", b"alice").unwrap()).unwrap();
-    assert_eq!(inbox.len(), 1, "write must reach the origin through coherence");
+    assert_eq!(
+        inbox.len(),
+        1,
+        "write must reach the origin through coherence"
+    );
 }
 
 #[test]
@@ -289,7 +298,12 @@ fn f7_direct_access_without_constraints_needs_no_deployments() {
         require_plaintext_delivery: true,
     };
     let (plan, _) = w.plan_service(&goal).unwrap();
-    assert_eq!(plan.deployments(), 0, "LAN access is direct: {}", plan.render());
+    assert_eq!(
+        plan.deployments(),
+        0,
+        "LAN access is direct: {}",
+        plan.render()
+    );
 }
 
 #[test]
@@ -317,10 +331,7 @@ fn revocation_of_member_credential_downgrades_bob() {
     // SD-Guard revokes Bob's membership (11).
     w.sd_guard.revoke(&w.creds[&11]);
     // Bob falls through to the anonymous catch-all.
-    assert_eq!(
-        w.client_view(&w.bob).unwrap().0,
-        "ViewMailClient_Anonymous"
-    );
+    assert_eq!(w.client_view(&w.bob).unwrap().0, "ViewMailClient_Anonymous");
 }
 
 #[test]
@@ -344,8 +355,5 @@ fn credential_numbering_matches_paper_table() {
         .body
         .render()
         .starts_with("[ Mail.MailClient -> Comp.NY.Executable ] Comp.NY"));
-    assert!(w.creds[&17]
-        .body
-        .render()
-        .contains("Inc.SE.Executable"));
+    assert!(w.creds[&17].body.render().contains("Inc.SE.Executable"));
 }

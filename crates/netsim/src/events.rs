@@ -26,10 +26,14 @@ pub(crate) struct EventHub {
 
 impl EventHub {
     pub(crate) fn new() -> EventHub {
-        EventHub { subscribers: Arc::new(Mutex::new(Vec::new())) }
+        EventHub {
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     pub(crate) fn publish(&self, ev: NetworkEvent) {
+        psf_telemetry::counter!("psf.netsim.events").inc();
+        psf_telemetry::event("psf.netsim", "change", vec![("event", format!("{ev:?}"))]);
         // Drop closed subscribers as we go.
         self.subscribers.lock().retain(|tx| tx.send(ev).is_ok());
     }

@@ -142,8 +142,16 @@ impl Network {
     /// Add a bidirectional link; returns its id.
     pub fn add_link(&self, spec: LinkSpec) -> LinkId {
         let mut g = self.inner.write();
-        assert!((spec.a.0 as usize) < g.nodes.len(), "unknown endpoint {:?}", spec.a);
-        assert!((spec.b.0 as usize) < g.nodes.len(), "unknown endpoint {:?}", spec.b);
+        assert!(
+            (spec.a.0 as usize) < g.nodes.len(),
+            "unknown endpoint {:?}",
+            spec.a
+        );
+        assert!(
+            (spec.b.0 as usize) < g.nodes.len(),
+            "unknown endpoint {:?}",
+            spec.b
+        );
         let id = LinkId(g.links.len() as u32);
         let (a, b) = (spec.a, spec.b);
         g.links.push(spec);
@@ -369,7 +377,13 @@ mod tests {
     }
 
     fn link(a: NodeId, b: NodeId, lat: f64, bw: f64, secure: bool) -> LinkSpec {
-        LinkSpec { a, b, latency_ms: lat, bandwidth_mbps: bw, secure }
+        LinkSpec {
+            a,
+            b,
+            latency_ms: lat,
+            bandwidth_mbps: bw,
+            secure,
+        }
     }
 
     #[test]

@@ -76,7 +76,15 @@ pub fn three_site_scenario(per_site: usize) -> ThreeSites {
     let wan_ny_se = network.add_link(wan(ny[0], se[0], 35.0));
     let wan_sd_se = network.add_link(wan(sd[0], se[0], 25.0));
 
-    ThreeSites { network, ny, sd, se, wan_ny_sd, wan_ny_se, wan_sd_se }
+    ThreeSites {
+        network,
+        ny,
+        sd,
+        se,
+        wan_ny_sd,
+        wan_ny_se,
+        wan_sd_se,
+    }
 }
 
 /// Configuration for [`random_topology`].
@@ -194,12 +202,19 @@ mod tests {
         let s = three_site_scenario(1);
         assert_eq!(s.network.node(s.ny[0]).unwrap().vendor_role(), "Dell.Linux");
         assert_eq!(s.network.node(s.sd[0]).unwrap().vendor_role(), "Dell.SuSe");
-        assert_eq!(s.network.node(s.se[0]).unwrap().vendor_role(), "IBM.Windows");
+        assert_eq!(
+            s.network.node(s.se[0]).unwrap().vendor_role(),
+            "IBM.Windows"
+        );
     }
 
     #[test]
     fn random_topology_is_connected_and_deterministic() {
-        let cfg = TopologyConfig { domains: 6, nodes_per_domain: 2, ..Default::default() };
+        let cfg = TopologyConfig {
+            domains: 6,
+            nodes_per_domain: 2,
+            ..Default::default()
+        };
         let (net, domains) = random_topology(&cfg);
         assert_eq!(domains.len(), 6);
         // Connectivity: every node reaches node 0.
@@ -222,7 +237,11 @@ mod tests {
 
     #[test]
     fn single_domain_topology() {
-        let cfg = TopologyConfig { domains: 1, nodes_per_domain: 4, ..Default::default() };
+        let cfg = TopologyConfig {
+            domains: 1,
+            nodes_per_domain: 4,
+            ..Default::default()
+        };
         let (net, domains) = random_topology(&cfg);
         assert_eq!(net.node_count(), 4);
         assert_eq!(domains[0].len(), 4);

@@ -9,9 +9,9 @@ use crate::SwitchboardError;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use psf_crypto::aead::ChaCha20Poly1305;
+use psf_crypto::ed25519::VerifyingKey;
 use psf_drbac::entity::EntityName;
 use psf_drbac::wire;
-use psf_crypto::ed25519::VerifyingKey;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,6 +86,24 @@ pub struct TrafficStats {
     pub bytes_sent: u64,
     /// Bytes accepted (record layer included).
     pub bytes_received: u64,
+}
+
+/// One-call observability snapshot of a channel endpoint: liveness,
+/// round-trip time, heartbeat count, wire traffic, and uptime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Most recent heartbeat round-trip time, if one was measured.
+    pub last_rtt: Option<Duration>,
+    /// Heartbeats received from the peer.
+    pub heartbeats_received: u64,
+    /// Heartbeats sent to the peer.
+    pub heartbeats_sent: u64,
+    /// Wire traffic counters (record-layer overhead included).
+    pub traffic: TrafficStats,
+    /// Time since the channel was established.
+    pub uptime: Duration,
+    /// Current trust status.
+    pub status: ChannelStatus,
 }
 
 /// Information about the authenticated peer (absent in plain mode).
@@ -246,12 +264,28 @@ impl Channel {
         }
     }
 
+    /// Full observability snapshot (RTT, heartbeats, traffic, uptime).
+    /// Cheap: a handful of atomic loads.
+    pub fn stats(&self) -> ChannelStats {
+        ChannelStats {
+            last_rtt: self.last_rtt(),
+            heartbeats_received: self.heartbeats_received(),
+            heartbeats_sent: self.inner.hb_send_seq.load(Ordering::SeqCst),
+            traffic: self.traffic(),
+            uptime: self.inner.start.elapsed(),
+            status: self.status(),
+        }
+    }
+
     /// Register a handler for incoming RPC requests.
     pub fn register_handler<F>(&self, method: impl Into<String>, f: F)
     where
         F: Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync + 'static,
     {
-        self.inner.handlers.write().insert(method.into(), Arc::new(f));
+        self.inner
+            .handlers
+            .write()
+            .insert(method.into(), Arc::new(f));
     }
 
     /// Register a catch-all handler invoked (with the method name) when no
@@ -278,6 +312,7 @@ impl Channel {
         timeout: Duration,
     ) -> Result<Vec<u8>, SwitchboardError> {
         self.check_traffic_allowed()?;
+        let rpc_start = Instant::now();
         let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = bounded(1);
         self.inner.pending.lock().insert(id, tx);
@@ -287,8 +322,13 @@ impl Channel {
             return Err(e);
         }
         match rx.recv_timeout(timeout) {
-            Ok(result) => result,
+            Ok(result) => {
+                psf_telemetry::counter!("psf.swbd.rpc.calls").inc();
+                psf_telemetry::histogram!("psf.swbd.rpc.us").record_duration(rpc_start.elapsed());
+                result
+            }
             Err(_) => {
+                psf_telemetry::counter!("psf.swbd.rpc.timeouts").inc();
                 self.inner.pending.lock().remove(&id);
                 if self.inner.closed.load(Ordering::SeqCst) {
                     Err(SwitchboardError::Closed)
@@ -340,6 +380,12 @@ impl Channel {
                     .revocation_notice()
                     .unwrap_or_else(|| "unknown credential".into());
                 *self.inner.status.write() = ChannelStatus::RevalidationRequired(id.clone());
+                psf_telemetry::counter!("psf.swbd.authz.refused").inc();
+                psf_telemetry::event(
+                    "psf.swbd",
+                    "authz.refused",
+                    vec![("credential", id.clone())],
+                );
                 return Err(SwitchboardError::RevalidationRequired(id));
             }
         }
@@ -362,22 +408,14 @@ fn seal_nonce(dir: u8, seq: u64) -> [u8; 12] {
     n
 }
 
-fn send_frame(
-    inner: &Arc<ChannelInner>,
-    ft: u8,
-    body: &[u8],
-) -> Result<(), SwitchboardError> {
+fn send_frame(inner: &Arc<ChannelInner>, ft: u8, body: &[u8]) -> Result<(), SwitchboardError> {
     if inner.closed.load(Ordering::SeqCst) && ft != FT_CLOSE {
         return Err(SwitchboardError::Closed);
     }
     send_frame_raw(inner, ft, body)
 }
 
-fn send_frame_raw(
-    inner: &Arc<ChannelInner>,
-    ft: u8,
-    body: &[u8],
-) -> Result<(), SwitchboardError> {
+fn send_frame_raw(inner: &Arc<ChannelInner>, ft: u8, body: &[u8]) -> Result<(), SwitchboardError> {
     let mut inner_frame = Vec::with_capacity(1 + body.len());
     inner_frame.push(ft);
     inner_frame.extend_from_slice(body);
@@ -397,11 +435,22 @@ fn send_frame_raw(
             wire_frame.extend_from_slice(&send.seal(&nonce, b"swbd-record", &inner_frame));
         }
     }
-    sender.send(&wire_frame)?;
+    // Count before transmitting (still under the sender lock) so a peer
+    // that observes the frame — and anything downstream of it — also
+    // observes the updated counters; rolled back on transport failure.
     inner.frames_sent.fetch_add(1, Ordering::Relaxed);
     inner
         .bytes_sent
         .fetch_add(wire_frame.len() as u64, Ordering::Relaxed);
+    psf_telemetry::counter!("psf.swbd.frames.sent").inc();
+    psf_telemetry::counter!("psf.swbd.bytes.sent").add(wire_frame.len() as u64);
+    if let Err(e) = sender.send(&wire_frame) {
+        inner.frames_sent.fetch_sub(1, Ordering::Relaxed);
+        inner
+            .bytes_sent
+            .fetch_sub(wire_frame.len() as u64, Ordering::Relaxed);
+        return Err(e.into());
+    }
     Ok(())
 }
 
@@ -496,15 +545,12 @@ fn handle_request(inner: &Arc<ChannelInner>, body: &[u8]) {
             if let Some(m) = m.as_ref() {
                 if let Some(cred) = m.revocation_notice() {
                     *inner.status.write() = ChannelStatus::RevalidationRequired(cred);
-                } else if !matches!(
-                    *inner.status.read(),
-                    ChannelStatus::RevalidationRequired(_)
-                ) {
-                    *inner.status.write() =
-                        ChannelStatus::RevalidationRequired("revoked".into());
+                } else if !matches!(*inner.status.read(), ChannelStatus::RevalidationRequired(_)) {
+                    *inner.status.write() = ChannelStatus::RevalidationRequired("revoked".into());
                 }
             }
         }
+        psf_telemetry::counter!("psf.swbd.authz.refused").inc();
         (RpcStatus::RevalidationRequired, Vec::new())
     } else {
         let handler = inner.handlers.read().get(&method).cloned();
@@ -565,6 +611,7 @@ fn handle_heartbeat(inner: &Arc<ChannelInner>, body: &[u8]) {
     }
     inner.hb_recv_seq.store(hb_seq, Ordering::SeqCst);
     inner.heartbeats_received.fetch_add(1, Ordering::SeqCst);
+    psf_telemetry::counter!("psf.swbd.hb.received").inc();
     // Echo for RTT measurement.
     let _ = send_frame(inner, FT_HB_ACK, body);
 }
@@ -577,6 +624,7 @@ fn handle_hb_ack(inner: &Arc<ChannelInner>, body: &[u8]) {
     let now_us = inner.start.elapsed().as_micros() as u64;
     let rtt = now_us.saturating_sub(t_us).max(1);
     inner.last_rtt_us.store(rtt, Ordering::SeqCst);
+    psf_telemetry::histogram!("psf.swbd.hb.rtt.us").record(rtt);
 }
 
 fn handle_reauth_offer(inner: &Arc<ChannelInner>, body: &[u8]) {
@@ -596,5 +644,14 @@ fn handle_reauth_offer(inner: &Arc<ChannelInner>, body: &[u8]) {
             Err(_) => false,
         }
     })();
+    // Conditional metric name: go through the registry rather than the
+    // per-call-site `counter!` cache (which memoizes a single name).
+    psf_telemetry::registry()
+        .counter(if ok {
+            "psf.swbd.reauth.accepted"
+        } else {
+            "psf.swbd.reauth.rejected"
+        })
+        .inc();
     let _ = send_frame(inner, FT_REAUTH_RESULT, &[ok as u8]);
 }

@@ -40,7 +40,10 @@ pub struct FaultyTransport<T: Transport> {
 impl<T: Transport> FaultyTransport<T> {
     /// Wrap a transport with a fault schedule.
     pub fn new(inner: T, faults: Vec<Fault>) -> FaultyTransport<T> {
-        FaultyTransport { inner, faults: Arc::new(faults) }
+        FaultyTransport {
+            inner,
+            faults: Arc::new(faults),
+        }
     }
 }
 
@@ -161,13 +164,15 @@ mod tests {
         let (sa, sb, _bus) = suites();
         let (ta, tb) = MemTransport::pair();
         // Corrupt the client's first data record (the RPC request).
-        let faulty = FaultyTransport::new(ta, vec![Fault::CorruptBit {
-            frame: FIRST_DATA_FRAME,
-            byte: 20,
-        }]);
-        let handle = std::thread::spawn(move || {
-            establish_secure(Box::new(tb), &sb, false, quiet())
-        });
+        let faulty = FaultyTransport::new(
+            ta,
+            vec![Fault::CorruptBit {
+                frame: FIRST_DATA_FRAME,
+                byte: 20,
+            }],
+        );
+        let handle =
+            std::thread::spawn(move || establish_secure(Box::new(tb), &sb, false, quiet()));
         let client = establish_secure(Box::new(faulty), &sa, true, quiet()).unwrap();
         let server = handle.join().unwrap().unwrap();
         server.register_handler("x", |_| Ok(b"data".to_vec()));
@@ -184,12 +189,14 @@ mod tests {
     fn duplicated_record_is_rejected_as_replay() {
         let (sa, sb, _bus) = suites();
         let (ta, tb) = MemTransport::pair();
-        let faulty = FaultyTransport::new(ta, vec![Fault::Duplicate {
-            frame: FIRST_DATA_FRAME,
-        }]);
-        let handle = std::thread::spawn(move || {
-            establish_secure(Box::new(tb), &sb, false, quiet())
-        });
+        let faulty = FaultyTransport::new(
+            ta,
+            vec![Fault::Duplicate {
+                frame: FIRST_DATA_FRAME,
+            }],
+        );
+        let handle =
+            std::thread::spawn(move || establish_secure(Box::new(tb), &sb, false, quiet()));
         let client = establish_secure(Box::new(faulty), &sa, true, quiet()).unwrap();
         let server = handle.join().unwrap().unwrap();
         server.register_handler("x", |_| Ok(b"ok".to_vec()));
@@ -220,13 +227,15 @@ mod tests {
     fn faults_on_later_frames_leave_earlier_traffic_intact() {
         let (sa, sb, _bus) = suites();
         let (ta, tb) = MemTransport::pair();
-        let faulty = FaultyTransport::new(ta, vec![Fault::CorruptBit {
-            frame: FIRST_DATA_FRAME + 2,
-            byte: 5,
-        }]);
-        let handle = std::thread::spawn(move || {
-            establish_secure(Box::new(tb), &sb, false, quiet())
-        });
+        let faulty = FaultyTransport::new(
+            ta,
+            vec![Fault::CorruptBit {
+                frame: FIRST_DATA_FRAME + 2,
+                byte: 5,
+            }],
+        );
+        let handle =
+            std::thread::spawn(move || establish_secure(Box::new(tb), &sb, false, quiet()));
         let client = establish_secure(Box::new(faulty), &sa, true, quiet()).unwrap();
         let server = handle.join().unwrap().unwrap();
         server.register_handler("x", |a| Ok(a.to_vec()));

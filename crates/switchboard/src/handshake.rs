@@ -66,8 +66,8 @@ fn parse_hello(raw: Vec<u8>, expect_initiator: bool) -> Result<Hello, Switchboar
     if name_len > 1024 || raw.len() != 10 + name_len + 32 + 32 + 16 {
         return Err(fail("malformed hello"));
     }
-    let name = String::from_utf8(raw[10..10 + name_len].to_vec())
-        .map_err(|_| fail("bad peer name"))?;
+    let name =
+        String::from_utf8(raw[10..10 + name_len].to_vec()).map_err(|_| fail("bad peer name"))?;
     let mut identity = [0u8; 32];
     identity.copy_from_slice(&raw[10 + name_len..10 + name_len + 32]);
     let mut eph = [0u8; 32];
@@ -87,6 +87,11 @@ pub fn establish_secure(
     initiator: bool,
     config: ChannelConfig,
 ) -> Result<Channel, SwitchboardError> {
+    let mut hs_span = psf_telemetry::span("psf.swbd", "handshake");
+    hs_span
+        .field("role", if initiator { "initiator" } else { "acceptor" })
+        .field("entity", &suite.identity.name.0);
+    let hs_start = std::time::Instant::now();
     let (mut tx, mut rx) = transport.split();
 
     // Ephemeral X25519 key pair.
@@ -172,14 +177,22 @@ pub fn establish_secure(
 
     let monitor = match auth_result {
         Ok(m) => m,
-        Err(e) => return Err(SwitchboardError::Unauthorized(e)),
+        Err(e) => {
+            psf_telemetry::counter!("psf.swbd.handshake.rejected").inc();
+            return Err(SwitchboardError::Unauthorized(e));
+        }
     };
     if !peer_accepts {
+        psf_telemetry::counter!("psf.swbd.handshake.rejected").inc();
         let reason = String::from_utf8_lossy(peer_h3.get(1..).unwrap_or(&[])).into_owned();
         return Err(SwitchboardError::Unauthorized(format!(
             "peer rejected our credentials: {reason}"
         )));
     }
+
+    psf_telemetry::counter!("psf.swbd.handshake.ok").inc();
+    psf_telemetry::histogram!("psf.swbd.handshake.us").record_duration(hs_start.elapsed());
+    hs_span.field("peer", &peer_hello.name.0);
 
     Ok(Channel::start(
         tx,
@@ -190,7 +203,10 @@ pub fn establish_secure(
             send_dir,
             recv_dir,
         },
-        Some(PeerInfo { name: peer_hello.name, key: peer_hello.identity }),
+        Some(PeerInfo {
+            name: peer_hello.name,
+            key: peer_hello.identity,
+        }),
         Some(monitor),
         Some(suite.authorizer.clone()),
         config,
@@ -199,10 +215,7 @@ pub fn establish_secure(
 
 /// Open a plaintext channel (the `rmi` exposure type): no identities, no
 /// encryption, no monitoring.
-pub fn establish_plain(
-    transport: Box<dyn Transport>,
-    config: ChannelConfig,
-) -> Channel {
+pub fn establish_plain(transport: Box<dyn Transport>, config: ChannelConfig) -> Channel {
     let (tx, rx) = transport.split();
     Channel::start(tx, rx, Mode::Plain, None, None, None, config)
 }
@@ -216,9 +229,7 @@ pub fn pair_in_memory(
 ) -> Result<(Channel, Channel), SwitchboardError> {
     let (ta, tb) = MemTransport::pair();
     let cfg_b = config.clone();
-    let handle = std::thread::spawn(move || {
-        establish_secure(Box::new(tb), &suite_b, false, cfg_b)
-    });
+    let handle = std::thread::spawn(move || establish_secure(Box::new(tb), &suite_b, false, cfg_b));
     let a = establish_secure(Box::new(ta), &suite_a, true, config);
     let b = handle.join().expect("acceptor thread panicked");
     Ok((a?, b?))

@@ -84,7 +84,10 @@ mod tests {
     fn request_roundtrip() {
         let body = encode_request(42, "getPhone", b"Alice");
         let (id, m, args) = decode_request(&body).unwrap();
-        assert_eq!((id, m.as_str(), args.as_slice()), (42, "getPhone", &b"Alice"[..]));
+        assert_eq!(
+            (id, m.as_str(), args.as_slice()),
+            (42, "getPhone", &b"Alice"[..])
+        );
     }
 
     #[test]

@@ -86,9 +86,14 @@ pub fn serve_streams(channel: &Channel, registry: StreamRegistry) {
                 return Err(format!("no stream sink registered for '{name}'"));
             }
             let id = reg.next_id.fetch_add(1, Ordering::SeqCst) + 1;
-            reg.open
-                .lock()
-                .insert(id, Partial { name, data: Vec::new(), next_seq: 0 });
+            reg.open.lock().insert(
+                id,
+                Partial {
+                    name,
+                    data: Vec::new(),
+                    next_seq: 0,
+                },
+            );
             Ok(id.to_le_bytes().to_vec())
         });
     }
@@ -128,11 +133,7 @@ pub fn serve_streams(channel: &Channel, registry: StreamRegistry) {
             }
             let id = u64::from_le_bytes(args[..8].try_into().unwrap());
             let claimed: [u8; 32] = args[8..40].try_into().unwrap();
-            let partial = reg
-                .open
-                .lock()
-                .remove(&id)
-                .ok_or("unknown stream id")?;
+            let partial = reg.open.lock().remove(&id).ok_or("unknown stream id")?;
             if sha256(&partial.data) != claimed {
                 return Err("stream integrity check failed".into());
             }
@@ -364,7 +365,10 @@ mod tests {
             }
         });
         serve_streams(&server, registry);
-        assert_eq!(send_stream(&client, "picky", b"ok then", 4).unwrap(), b"accepted");
+        assert_eq!(
+            send_stream(&client, "picky", b"ok then", 4).unwrap(),
+            b"accepted"
+        );
         let err = send_stream(&client, "picky", b"bad", 4).unwrap_err();
         assert!(err.to_string().contains("rejected"));
     }

@@ -1,12 +1,12 @@
 //! Authorization suites, Authorizers, and AuthorizationMonitors
 //! (paper §4.3).
 
+use psf_crypto::ed25519::VerifyingKey;
 use psf_drbac::entity::{Entity, EntityName, EntityRegistry, Subject};
 use psf_drbac::proof::{Proof, ProofEngine};
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::{RevocationBus, ValidityMonitor};
 use psf_drbac::{AttrSet, RoleName, SignedDelegation};
-use psf_crypto::ed25519::VerifyingKey;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -81,7 +81,10 @@ impl Authorizer {
         peer_key: &VerifyingKey,
         presented: &[SignedDelegation],
     ) -> Result<AuthorizationMonitor, String> {
-        let subject = Subject::Entity { name: peer_name.clone(), key: *peer_key };
+        let subject = Subject::Entity {
+            name: peer_name.clone(),
+            key: *peer_key,
+        };
         let engine = ProofEngine::new(
             &self.registry,
             &self.repository,
@@ -89,7 +92,12 @@ impl Authorizer {
             self.clock.now(),
         );
         let (proof, _stats) = engine
-            .prove_with(&subject, &self.required_role, &self.required_attrs, presented)
+            .prove_with(
+                &subject,
+                &self.required_role,
+                &self.required_attrs,
+                presented,
+            )
             .map_err(|e| e.to_string())?;
         let monitor = self.bus.monitor(proof.credential_ids());
         // "…continuously over some duration": the authorization holds
@@ -174,7 +182,11 @@ impl AuthSuite {
         credentials: Vec<SignedDelegation>,
         authorizer: Authorizer,
     ) -> AuthSuite {
-        AuthSuite { identity, credentials, authorizer }
+        AuthSuite {
+            identity,
+            credentials,
+            authorizer,
+        }
     }
 }
 
@@ -183,7 +195,14 @@ mod tests {
     use super::*;
     use psf_drbac::DelegationBuilder;
 
-    fn setup() -> (EntityRegistry, Repository, RevocationBus, ClockRef, Entity, Entity) {
+    fn setup() -> (
+        EntityRegistry,
+        Repository,
+        RevocationBus,
+        ClockRef,
+        Entity,
+        Entity,
+    ) {
         let registry = EntityRegistry::new();
         let repo = Repository::new();
         let bus = RevocationBus::new();
@@ -267,12 +286,13 @@ mod tests {
             .role(ny.role("Member"))
             .expires(100)
             .sign();
-        let auth =
-            Authorizer::new(registry, repo, bus, clock.clone(), ny.role("Member"));
+        let auth = Authorizer::new(registry, repo, bus, clock.clone(), ny.role("Member"));
         assert!(auth
             .authorize(&bob.name, &bob.public_key(), std::slice::from_ref(&cred))
             .is_ok());
         clock.set(200);
-        assert!(auth.authorize(&bob.name, &bob.public_key(), &[cred]).is_err());
+        assert!(auth
+            .authorize(&bob.name, &bob.public_key(), &[cred])
+            .is_err());
     }
 }

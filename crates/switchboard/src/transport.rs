@@ -48,7 +48,10 @@ struct TcpReceiver(TcpStream);
 impl Transport for TcpTransport {
     fn split(self: Box<Self>) -> (Box<dyn FrameSender>, Box<dyn FrameReceiver>) {
         let reader = self.stream.try_clone().expect("tcp clone");
-        (Box::new(TcpSender(self.stream)), Box::new(TcpReceiver(reader)))
+        (
+            Box::new(TcpSender(self.stream)),
+            Box::new(TcpReceiver(reader)),
+        )
     }
 }
 
@@ -93,8 +96,14 @@ impl MemTransport {
         let (tx_ab, rx_ab) = crossbeam::channel::unbounded();
         let (tx_ba, rx_ba) = crossbeam::channel::unbounded();
         (
-            MemTransport { tx: tx_ab, rx: rx_ba },
-            MemTransport { tx: tx_ba, rx: rx_ab },
+            MemTransport {
+                tx: tx_ab,
+                rx: rx_ba,
+            },
+            MemTransport {
+                tx: tx_ba,
+                rx: rx_ab,
+            },
         )
     }
 }
@@ -110,17 +119,17 @@ impl Transport for MemTransport {
 
 impl FrameSender for MemSender {
     fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
-        self.0.send(frame.to_vec()).map_err(|_| {
-            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone")
-        })
+        self.0
+            .send(frame.to_vec())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone"))
     }
 }
 
 impl FrameReceiver for MemReceiver {
     fn recv(&mut self) -> std::io::Result<Vec<u8>> {
-        self.0.recv().map_err(|_| {
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "peer gone")
-        })
+        self.0
+            .recv()
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "peer gone"))
     }
 }
 

@@ -7,8 +7,8 @@ use psf_drbac::repository::Repository;
 use psf_drbac::revocation::RevocationBus;
 use psf_drbac::{DelegationBuilder, SignedDelegation};
 use psf_switchboard::{
-    pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, ChannelConfig,
-    ChannelStatus, ClockRef, SwitchboardError,
+    pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, ChannelConfig, ChannelStatus,
+    ClockRef, SwitchboardError,
 };
 use std::time::Duration;
 
@@ -157,7 +157,10 @@ fn stranger_with_own_key_rejected() {
     w.registry.register(&mallory);
     cs.identity = mallory;
     let err = pair_in_memory(cs, ss, quiet_config());
-    assert!(err.is_err(), "credential subject key must bind the channel identity");
+    assert!(
+        err.is_err(),
+        "credential subject key must bind the channel identity"
+    );
 }
 
 #[test]
@@ -223,7 +226,10 @@ fn heartbeats_measure_rtt_and_liveness() {
     };
     let (client, server) = pair_in_memory(cs, ss, config).unwrap();
     std::thread::sleep(Duration::from_millis(150));
-    assert!(client.last_rtt().is_some(), "client should have an RTT sample");
+    assert!(
+        client.last_rtt().is_some(),
+        "client should have an RTT sample"
+    );
     assert!(server.heartbeats_received() >= 2);
     assert!(client.is_alive(Duration::from_secs(1)));
     client.close();
@@ -269,8 +275,7 @@ fn secure_rpc_over_real_tcp() {
         std::thread::sleep(Duration::from_millis(500));
         server
     });
-    let client =
-        psf_switchboard::connect_tcp(&addr.to_string(), &cs, quiet_config()).unwrap();
+    let client = psf_switchboard::connect_tcp(&addr.to_string(), &cs, quiet_config()).unwrap();
     let phone = client.call("getPhone", b"5551212").unwrap();
     assert_eq!(phone, b"+1-212-5551212");
     let _server = server_thread.join().unwrap();

@@ -42,7 +42,11 @@ fn heartbeats_rpc_and_revalidation_race_safely_over_tcp() {
             domain.role(role),
         )
     };
-    let client_suite = AuthSuite::new(client_id.clone(), vec![client_cred.clone()], auth("Service"));
+    let client_suite = AuthSuite::new(
+        client_id.clone(),
+        vec![client_cred.clone()],
+        auth("Service"),
+    );
     let server_suite = AuthSuite::new(server_id, vec![server_cred], auth("Member"));
 
     // Aggressive heartbeats to maximize interleaving.

@@ -1,0 +1,486 @@
+//! Metrics registry: named counters, gauges, and log₂-bucketed histograms
+//! behind relaxed atomics, with a Prometheus-text-format exporter.
+//!
+//! The registry itself is a `RwLock<HashMap<…>>`, but it is only touched on
+//! handle lookup; the [`counter!`](crate::counter)/[`histogram!`](crate::histogram)
+//! macros cache the returned `Arc` in a per-call-site static, so steady-state
+//! instrumentation is one atomic RMW with no lock and no allocation.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds exact zeros, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`, and the last bucket absorbs everything from
+/// `2^62` up (an overflow bucket in practice).
+pub const BUCKETS: usize = 64;
+
+/// Lock-free histogram over `u64` samples (latencies in µs by convention).
+///
+/// Log₂ bucketing keeps recording to two relaxed atomic adds plus a min/max
+/// update; percentile estimates interpolate linearly inside the bucket, so
+/// relative error is bounded by the bucket width (≤ 2× at worst, far less
+/// once a bucket has neighbors).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `floor(log2(v)) + 1`, capped.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive value bounds `(lo, hi)` covered by bucket `idx`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    match idx {
+        0 => (0, 0),
+        i if i >= BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+        i => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the owning bucket. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample that cuts the q-quantile.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cumulative + c >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let within = (rank - cumulative) as f64 / c as f64;
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * within;
+                // Clamp to observed extremes so sparse buckets don't
+                // over-report (e.g. a single sample of 33 in [32, 63]).
+                let observed_max = self.max.load(Ordering::Relaxed);
+                let observed_min = self.min.load(Ordering::Relaxed);
+                return (est as u64).clamp(observed_min.min(observed_max), observed_max);
+            }
+            cumulative += c;
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// Named-instrument registry. Handles are `Arc`s; the maps are only locked
+/// on lookup/creation and for snapshot rendering.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(
+        map.write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Counter value, or 0 if the counter was never touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.read().get(name).map_or(0, |c| c.get())
+    }
+
+    /// Histogram snapshot, if the histogram exists.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms.read().get(name).map(|h| h.snapshot())
+    }
+
+    /// All registered instrument names, sorted (for diagnostics and tests).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .counters
+            .read()
+            .keys()
+            .chain(self.gauges.read().keys())
+            .chain(self.histograms.read().keys())
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Render every instrument in Prometheus text exposition format.
+    /// Dotted PSF names become underscore-separated metric names; histograms
+    /// are emitted as summaries with p50/p90/p99 quantile labels.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        counters.sort();
+        for (name, value) in counters {
+            let p = prom_name(&name);
+            let _ = writeln!(out, "# TYPE {p} counter");
+            let _ = writeln!(out, "{p} {value}");
+        }
+
+        let mut gauges: Vec<(String, i64)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        gauges.sort();
+        for (name, value) in gauges {
+            let p = prom_name(&name);
+            let _ = writeln!(out, "# TYPE {p} gauge");
+            let _ = writeln!(out, "{p} {value}");
+        }
+
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, snap) in histograms {
+            let p = prom_name(&name);
+            let _ = writeln!(out, "# TYPE {p} summary");
+            let _ = writeln!(out, "{p}{{quantile=\"0.5\"}} {}", snap.p50);
+            let _ = writeln!(out, "{p}{{quantile=\"0.9\"}} {}", snap.p90);
+            let _ = writeln!(out, "{p}{{quantile=\"0.99\"}} {}", snap.p99);
+            let _ = writeln!(out, "{p}_sum {}", snap.sum);
+            let _ = writeln!(out, "{p}_count {}", snap.count);
+            let _ = writeln!(out, "{p}_min {}", snap.min);
+            let _ = writeln!(out, "{p}_max {}", snap.max);
+        }
+
+        out
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// The process-wide registry all PSF instrumentation reports to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Process-wide counter handle, cached per call site after first use.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        __HANDLE.get_or_init(|| $crate::metrics::global().counter($name))
+    }};
+}
+
+/// Process-wide gauge handle, cached per call site after first use.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        __HANDLE.get_or_init(|| $crate::metrics::global().gauge($name))
+    }};
+}
+
+/// Process-wide histogram handle, cached per call site after first use.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        __HANDLE.get_or_init(|| $crate::metrics::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every index maps back into its own bounds.
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1 << 20, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.p50, 0);
+        assert_eq!(snap.p99, 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_it() {
+        let h = Histogram::default();
+        h.record(33);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.min, 33);
+        assert_eq!(snap.max, 33);
+        // Interpolation would land mid-bucket; the observed-extreme clamp
+        // pins all quantiles to the one real sample.
+        assert_eq!(snap.p50, 33);
+        assert_eq!(snap.p99, 33);
+    }
+
+    #[test]
+    fn percentiles_order_and_bracket_uniform_data() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99);
+        // Log-bucket estimates are coarse; require the right bucket, i.e.
+        // within a factor of two of the exact answer.
+        assert!((250..=1000).contains(&snap.p50), "p50 = {}", snap.p50);
+        assert!((450..=1000).contains(&snap.p90), "p90 = {}", snap.p90);
+        assert!(snap.p99 >= 512, "p99 = {}", snap.p99);
+        assert_eq!(snap.sum, 500_500);
+    }
+
+    #[test]
+    fn zero_and_overflow_buckets_are_recorded() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn registry_reuses_handles_and_renders() {
+        let reg = Registry::new();
+        reg.counter("psf.test.hits").add(3);
+        reg.counter("psf.test.hits").inc();
+        reg.gauge("psf.test.depth").set(-2);
+        reg.histogram("psf.test.lat.us").record(100);
+        assert_eq!(reg.counter_value("psf.test.hits"), 4);
+        assert_eq!(reg.counter_value("psf.test.misses"), 0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE psf_test_hits counter"));
+        assert!(text.contains("psf_test_hits 4"));
+        assert!(text.contains("psf_test_depth -2"));
+        assert!(text.contains("psf_test_lat_us{quantile=\"0.5\"}"));
+        assert!(text.contains("psf_test_lat_us_count 1"));
+    }
+
+    #[test]
+    fn counters_are_exact_under_contention() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50_000;
+        let reg = Registry::new();
+        let hist = reg.histogram("psf.test.contended.us");
+        crossbeam::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let counter = reg.counter("psf.test.contended");
+                let hist = Arc::clone(&hist);
+                scope.spawn(move |_| {
+                    for i in 0..PER_THREAD {
+                        counter.inc();
+                        hist.record(t * PER_THREAD + i);
+                    }
+                });
+            }
+        })
+        .expect("contention threads");
+        assert_eq!(
+            reg.counter_value("psf.test.contended"),
+            THREADS * PER_THREAD
+        );
+        assert_eq!(hist.count(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn macros_cache_global_handles() {
+        counter!("psf.test.macro.counter").inc();
+        counter!("psf.test.macro.counter").inc();
+        histogram!("psf.test.macro.hist.us").record(7);
+        gauge!("psf.test.macro.gauge").set(5);
+        assert!(global().counter_value("psf.test.macro.counter") >= 2);
+        assert!(
+            global()
+                .histogram_snapshot("psf.test.macro.hist.us")
+                .unwrap()
+                .count
+                >= 1
+        );
+    }
+}

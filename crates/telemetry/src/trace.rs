@@ -1,0 +1,357 @@
+//! Structured tracing: RAII spans with parent/child nesting recorded into a
+//! bounded in-memory ring buffer, exported as JSON lines.
+//!
+//! A span is opened with [`span`] (or [`Tracer::span`]) and recorded when
+//! its guard drops. Nesting is tracked with a thread-local stack, so spans
+//! opened on worker threads start their own trees while same-thread nesting
+//! (plan → prove → deploy → handshake) is captured as parent links. The
+//! buffer holds the most recent [`DEFAULT_CAPACITY`] spans, dropping the
+//! oldest under pressure and counting the drops.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Ring-buffer capacity of the global tracer.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// A completed span (or zero-duration event) as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (1-based; 0 is never issued).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Dotted subsystem target, e.g. `psf.planner`.
+    pub target: &'static str,
+    /// Span name, e.g. `plan` or `deploy.step`.
+    pub name: &'static str,
+    /// Key/value annotations attached while the span was live.
+    pub fields: Vec<(&'static str, String)>,
+    /// Start time in µs since the process tracing epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in µs (0 for events).
+    pub dur_us: u64,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Collects span records into a bounded ring buffer.
+pub struct Tracer {
+    buf: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a span; it is recorded when the returned guard drops.
+    pub fn span(&self, target: &'static str, name: &'static str) -> SpanGuard<'_> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        SpanGuard {
+            tracer: self,
+            id,
+            parent,
+            target,
+            name,
+            fields: Vec::new(),
+            start: Instant::now(),
+            start_us: epoch().elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Record a zero-duration event under the current span, if any.
+    pub fn event(
+        &self,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, String)>,
+    ) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied());
+        self.push(SpanRecord {
+            id,
+            parent,
+            target,
+            name,
+            fields,
+            start_us: epoch().elapsed().as_micros() as u64,
+            dur_us: 0,
+        });
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() >= self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(record);
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted due to capacity pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Clear the buffer (tests, or after exporting).
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+
+    /// Serialize the buffer as JSON lines, one span object per line.
+    pub fn export_jsonl(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::with_capacity(records.len() * 96);
+        for r in &records {
+            let _ = write!(out, "{{\"id\":{},\"parent\":", r.id);
+            match r.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"target\":\"");
+            escape_into(r.target, &mut out);
+            out.push_str("\",\"name\":\"");
+            escape_into(r.name, &mut out);
+            let _ = write!(
+                out,
+                "\",\"start_us\":{},\"dur_us\":{}",
+                r.start_us, r.dur_us
+            );
+            if !r.fields.is_empty() {
+                out.push_str(",\"fields\":{");
+                for (i, (k, v)) in r.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, &mut out);
+                    out.push_str("\":\"");
+                    escape_into(v, &mut out);
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// RAII handle for a live span; records on drop.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: u64,
+    parent: Option<u64>,
+    target: &'static str,
+    name: &'static str,
+    fields: Vec<(&'static str, String)>,
+    start: Instant,
+    start_us: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a key/value annotation (value formatted via `Display`).
+    pub fn field(&mut self, key: &'static str, value: impl std::fmt::Display) -> &mut Self {
+        self.fields.push((key, value.to_string()));
+        self
+    }
+
+    /// This span's id, usable as a correlation key in logs.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Usually the top of the stack; defensive against out-of-order
+            // drops of sibling guards held simultaneously.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        self.tracer.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            target: self.target,
+            name: self.name,
+            fields: std::mem::take(&mut self.fields),
+            start_us: self.start_us,
+            dur_us: self.start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+/// The process-wide tracer all PSF instrumentation reports to.
+pub fn global() -> &'static Tracer {
+    static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+    GLOBAL.get_or_init(Tracer::default)
+}
+
+/// Open a span on the global tracer.
+pub fn span(target: &'static str, name: &'static str) -> SpanGuard<'static> {
+    global().span(target, name)
+}
+
+/// Record a zero-duration event on the global tracer.
+pub fn event(target: &'static str, name: &'static str, fields: Vec<(&'static str, String)>) {
+    global().event(target, name, fields)
+}
+
+/// Export the global tracer's buffer as JSON lines.
+pub fn export_jsonl() -> String {
+    global().export_jsonl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_on_drop() {
+        let tracer = Tracer::default();
+        {
+            let mut outer = tracer.span("psf.test", "outer");
+            outer.field("k", 42);
+            {
+                let _inner = tracer.span("psf.test", "inner");
+            }
+        }
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first, so it is recorded first.
+        let inner = &spans[0];
+        let outer = &spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.fields, vec![("k", "42".to_string())]);
+        assert!(outer.start_us <= inner.start_us);
+    }
+
+    #[test]
+    fn events_attach_to_current_span() {
+        let tracer = Tracer::default();
+        {
+            let guard = tracer.span("psf.test", "parent");
+            let parent_id = guard.id();
+            tracer.event("psf.test", "ping", vec![("n", "1".into())]);
+            let spans = tracer.snapshot();
+            assert_eq!(spans.len(), 1);
+            assert_eq!(spans[0].name, "ping");
+            assert_eq!(spans[0].parent, Some(parent_id));
+            assert_eq!(spans[0].dur_us, 0);
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let tracer = Tracer::with_capacity(4);
+        for _ in 0..10 {
+            let _g = tracer.span("psf.test", "s");
+        }
+        assert_eq!(tracer.len(), 4);
+        assert_eq!(tracer.dropped(), 6);
+        let ids: Vec<u64> = tracer.snapshot().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_shapes() {
+        let tracer = Tracer::default();
+        tracer.event(
+            "psf.test",
+            "evt",
+            vec![("msg", "say \"hi\"\n\\done".to_string())],
+        );
+        let text = tracer.export_jsonl();
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("{\"id\":"));
+        assert!(line.contains("\"parent\":null"));
+        assert!(line.contains("\"target\":\"psf.test\""));
+        assert!(line.contains("say \\\"hi\\\"\\n\\\\done"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn worker_threads_start_fresh_trees() {
+        let tracer = std::sync::Arc::new(Tracer::default());
+        let _outer = tracer.span("psf.test", "outer");
+        let t2 = std::sync::Arc::clone(&tracer);
+        std::thread::spawn(move || {
+            let _s = t2.span("psf.test", "worker");
+        })
+        .join()
+        .unwrap();
+        let worker = &tracer.snapshot()[0];
+        assert_eq!(worker.name, "worker");
+        assert_eq!(worker.parent, None);
+    }
+}

@@ -207,7 +207,14 @@ mod tests {
             .sign();
 
         let (view, proof) = acl
-            .select_view(&w.alice.as_subject(), &[alice_cred], &w.registry, &w.repo, &w.bus, 0)
+            .select_view(
+                &w.alice.as_subject(),
+                &[alice_cred],
+                &w.registry,
+                &w.repo,
+                &w.bus,
+                0,
+            )
             .unwrap();
         assert_eq!(view, "ViewMailClient_Member");
         assert!(proof.is_some());
@@ -227,7 +234,14 @@ mod tests {
 
         // Charlie has nothing: catch-all.
         let (view, proof) = acl
-            .select_view(&w.charlie.as_subject(), &[], &w.registry, &w.repo, &w.bus, 0)
+            .select_view(
+                &w.charlie.as_subject(),
+                &[],
+                &w.registry,
+                &w.repo,
+                &w.bus,
+                0,
+            )
             .unwrap();
         assert_eq!(view, "ViewMailClient_Anonymous");
         assert!(proof.is_none());
@@ -247,7 +261,14 @@ mod tests {
             .sign();
         let acl = table4(&w);
         let (view, _) = acl
-            .select_view(&w.alice.as_subject(), &[m, p], &w.registry, &w.repo, &w.bus, 0)
+            .select_view(
+                &w.alice.as_subject(),
+                &[m, p],
+                &w.registry,
+                &w.repo,
+                &w.bus,
+                0,
+            )
             .unwrap();
         assert_eq!(view, "ViewMailClient_Member");
     }
@@ -257,7 +278,14 @@ mod tests {
         let w = world();
         let acl = ViewAcl::new().rule(w.ny.role("Member"), "V");
         assert!(acl
-            .select_view(&w.charlie.as_subject(), &[], &w.registry, &w.repo, &w.bus, 0)
+            .select_view(
+                &w.charlie.as_subject(),
+                &[],
+                &w.registry,
+                &w.repo,
+                &w.bus,
+                0
+            )
             .is_none());
     }
 
@@ -271,7 +299,14 @@ mod tests {
             .sign();
         let acl = table4(&w);
         let token = acl
-            .authorize_once(&w.alice.as_subject(), std::slice::from_ref(&cred), &w.registry, &w.repo, &w.bus, 0)
+            .authorize_once(
+                &w.alice.as_subject(),
+                std::slice::from_ref(&cred),
+                &w.registry,
+                &w.repo,
+                &w.bus,
+                0,
+            )
             .unwrap();
         assert_eq!(token.view, "ViewMailClient_Member");
         // Many requests: only the O(1) monitor check.

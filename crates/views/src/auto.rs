@@ -43,7 +43,10 @@ pub struct CapabilityRule {
 impl CapabilityRule {
     /// Start a rule for a view name.
     pub fn new(view_name: impl Into<String>) -> CapabilityRule {
-        CapabilityRule { view_name: view_name.into(), ..Default::default() }
+        CapabilityRule {
+            view_name: view_name.into(),
+            ..Default::default()
+        }
     }
 
     /// Allow a method.
@@ -96,10 +99,16 @@ impl core::fmt::Display for AutoViewError {
                 write!(f, "hint names method '{m}' which the class does not define")
             }
             AutoViewError::UnknownInterface(i) => {
-                write!(f, "hint names interface '{i}' which the class does not implement")
+                write!(
+                    f,
+                    "hint names interface '{i}' which the class does not implement"
+                )
             }
             AutoViewError::EmptyView(v) => {
-                write!(f, "rule for '{v}' allows no methods; refusing to derive an empty view")
+                write!(
+                    f,
+                    "rule for '{v}' allows no methods; refusing to derive an empty view"
+                )
             }
         }
     }
@@ -153,8 +162,11 @@ pub fn derive_spec(
     // their methods (method-granularity access control, §4.2).
     let mut spec = ViewSpec::new(&rule.view_name, &class.name);
     for iface in all_ifaces {
-        let iface_allowed: Vec<&String> =
-            iface.methods.iter().filter(|m| allowed.contains(*m)).collect();
+        let iface_allowed: Vec<&String> = iface
+            .methods
+            .iter()
+            .filter(|m| allowed.contains(*m))
+            .collect();
         if iface_allowed.is_empty() {
             continue;
         }
@@ -204,23 +216,51 @@ mod tests {
             .interface("NotesI", ["addNote", "addMeeting"])
             .field("accounts", "Account[]")
             .field("state", "String")
-            .method("sendMessage", "void sendMessage(Message)", &["state"], true, |st, a| {
-                st.set("state", a.to_vec());
-                Ok(vec![])
-            })
-            .method("receiveMessages", "Set receiveMessages()", &["state"], false, |st, _| {
-                Ok(st.get("state"))
-            })
-            .method("getPhone", "String getPhone(String)", &["accounts"], false, |_, _| {
-                Ok(b"555".to_vec())
-            })
-            .method("getEmail", "String getEmail(String)", &["accounts"], false, |_, _| {
-                Ok(b"a@b".to_vec())
-            })
-            .method("addNote", "void addNote(String)", &["state"], true, |_, _| Ok(vec![]))
-            .method("addMeeting", "boolean addMeeting(String)", &["state"], true, |_, _| {
-                Ok(b"true".to_vec())
-            })
+            .method(
+                "sendMessage",
+                "void sendMessage(Message)",
+                &["state"],
+                true,
+                |st, a| {
+                    st.set("state", a.to_vec());
+                    Ok(vec![])
+                },
+            )
+            .method(
+                "receiveMessages",
+                "Set receiveMessages()",
+                &["state"],
+                false,
+                |st, _| Ok(st.get("state")),
+            )
+            .method(
+                "getPhone",
+                "String getPhone(String)",
+                &["accounts"],
+                false,
+                |_, _| Ok(b"555".to_vec()),
+            )
+            .method(
+                "getEmail",
+                "String getEmail(String)",
+                &["accounts"],
+                false,
+                |_, _| Ok(b"a@b".to_vec()),
+            )
+            .method(
+                "addNote",
+                "void addNote(String)",
+                &["state"],
+                true,
+                |_, _| Ok(vec![]),
+            )
+            .method(
+                "addMeeting",
+                "boolean addMeeting(String)",
+                &["state"],
+                true,
+                |_, _| Ok(b"true".to_vec()),
+            )
             .build()
             .unwrap()
     }
@@ -299,7 +339,10 @@ mod tests {
             )
             .unwrap();
         inst.invoke("addNote", b"ok").unwrap();
-        assert!(inst.invoke("addMeeting", b"no").unwrap_err().contains("denied"));
+        assert!(inst
+            .invoke("addMeeting", b"no")
+            .unwrap_err()
+            .contains("denied"));
     }
 
     #[test]
@@ -307,7 +350,11 @@ mod tests {
         let class = mail_client();
         let mut lib = MethodLibrary::new();
         assert!(matches!(
-            derive_spec(&class, &CapabilityRule::new("V").allow("teleport"), &mut lib),
+            derive_spec(
+                &class,
+                &CapabilityRule::new("V").allow("teleport"),
+                &mut lib
+            ),
             Err(AutoViewError::UnknownMethod(_))
         ));
         assert!(matches!(

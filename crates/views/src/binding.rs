@@ -42,12 +42,18 @@ pub struct InProcessRemote {
 impl InProcessRemote {
     /// Wrap an instance as an "rmi" endpoint.
     pub fn rmi(target: Arc<ComponentInstance>) -> Arc<dyn RemoteCall> {
-        Arc::new(InProcessRemote { target, label: "rmi" })
+        Arc::new(InProcessRemote {
+            target,
+            label: "rmi",
+        })
     }
 
     /// Wrap an instance as a "switchboard" endpoint.
     pub fn switchboard(target: Arc<ComponentInstance>) -> Arc<dyn RemoteCall> {
-        Arc::new(InProcessRemote { target, label: "switchboard" })
+        Arc::new(InProcessRemote {
+            target,
+            label: "switchboard",
+        })
     }
 }
 
@@ -147,7 +153,9 @@ mod tests {
     fn in_process_remote_forwards() {
         let class = ComponentClass::builder("Echo")
             .interface("EchoI", ["echo"])
-            .method("echo", "byte[] echo(byte[])", &[], false, |_, a| Ok(a.to_vec()))
+            .method("echo", "byte[] echo(byte[])", &[], false, |_, a| {
+                Ok(a.to_vec())
+            })
             .build()
             .unwrap();
         let inst = class.instantiate();

@@ -36,8 +36,7 @@ impl FieldState {
 
 /// The executable body of a method: mutable field state + argument bytes
 /// in, result bytes out.
-pub type MethodBody =
-    Arc<dyn Fn(&mut FieldState, &[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
+pub type MethodBody = Arc<dyn Fn(&mut FieldState, &[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
 
 /// A field declaration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,14 +132,11 @@ impl ComponentClass {
 
     /// Find an interface, following the inheritance chain.
     pub fn resolve_interface(&self, name: &str) -> Option<&InterfaceDef> {
-        self.interfaces
-            .iter()
-            .find(|i| i.name == name)
-            .or_else(|| {
-                self.parent
-                    .as_deref()
-                    .and_then(|p| p.resolve_interface(name))
-            })
+        self.interfaces.iter().find(|i| i.name == name).or_else(|| {
+            self.parent
+                .as_deref()
+                .and_then(|p| p.resolve_interface(name))
+        })
     }
 
     /// All interfaces including inherited ones.

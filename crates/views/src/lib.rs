@@ -43,8 +43,8 @@
 pub mod acl;
 pub mod auto;
 pub mod binding;
-pub mod component;
 pub mod coherence;
+pub mod component;
 pub mod library;
 pub mod spec;
 pub mod vig;
@@ -52,10 +52,10 @@ pub mod vig;
 pub use acl::{SsoToken, ViewAcl};
 pub use auto::{derive_spec, AutoViewError, CapabilityRule};
 pub use binding::{Binding, RemoteCall};
+pub use coherence::{CacheManager, CoherencePolicy, Image};
 pub use component::{
     ComponentClass, ComponentClassBuilder, ComponentInstance, FieldDef, InterfaceDef, MethodDef,
 };
-pub use coherence::{CacheManager, CoherencePolicy, Image};
 pub use library::MethodLibrary;
 pub use spec::{ExposureType, MethodSpec, ViewSpec};
-pub use vig::{GeneratedView, Vig, VigError, ViewInstance};
+pub use vig::{GeneratedView, ViewInstance, Vig, VigError};

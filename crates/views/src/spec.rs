@@ -130,7 +130,10 @@ impl ViewSpec {
 
     /// Builder: restrict an interface.
     pub fn restrict(mut self, name: impl Into<String>, exposure: ExposureType) -> Self {
-        self.restricts.push(InterfaceRestriction { name: name.into(), exposure });
+        self.restricts.push(InterfaceRestriction {
+            name: name.into(),
+            exposure,
+        });
         self
     }
 
@@ -144,11 +147,7 @@ impl ViewSpec {
     }
 
     /// Builder: add a method.
-    pub fn add_method(
-        mut self,
-        signature: impl Into<String>,
-        body_ref: impl Into<String>,
-    ) -> Self {
+    pub fn add_method(mut self, signature: impl Into<String>, body_ref: impl Into<String>) -> Self {
         self.adds_methods.push(MethodSpec {
             signature: signature.into(),
             body_ref: body_ref.into(),
@@ -293,7 +292,10 @@ fn parse_method_pairs(el: &Element) -> Result<Vec<MethodSpec>, String> {
                     .find("MBody")
                     .map(|e| e.text.clone())
                     .ok_or("<Method> requires <MBody>")?;
-                out.push(MethodSpec { signature, body_ref });
+                out.push(MethodSpec {
+                    signature,
+                    body_ref,
+                });
             }
             other => return Err(format!("unexpected <{other}> in method list")),
         }
@@ -381,7 +383,9 @@ mod tests {
     fn orphan_msign_rejected() {
         let xml = r#"<View name="V"><Represents name="C"/>
             <Adds_Methods><MSign>void x()</MSign></Adds_Methods></View>"#;
-        assert!(ViewSpec::parse_xml(xml).unwrap_err().contains("no matching"));
+        assert!(ViewSpec::parse_xml(xml)
+            .unwrap_err()
+            .contains("no matching"));
     }
 
     #[test]

@@ -92,7 +92,11 @@ pub enum VigError {
 impl core::fmt::Display for VigError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            VigError::UnknownInterface { interface, class, available } => write!(
+            VigError::UnknownInterface {
+                interface,
+                class,
+                available,
+            } => write!(
                 f,
                 "interface '{interface}' is not implemented by '{class}'; \
                  rectify the <Restricts> rule to one of: {}",
@@ -103,7 +107,11 @@ impl core::fmt::Display for VigError {
                 "method '{method}' does not exist on '{class}' (or its \
                  superclasses); remove or fix the <Customizes_Methods> rule"
             ),
-            VigError::UndefinedField { field, method, available } => write!(
+            VigError::UndefinedField {
+                field,
+                method,
+                available,
+            } => write!(
                 f,
                 "method '{method}' uses field '{field}' which the view does \
                  not define; add it under <Adds_Fields> or restrict an \
@@ -360,6 +368,34 @@ impl Vig {
         class: &Arc<ComponentClass>,
         spec: &ViewSpec,
     ) -> Result<Arc<GeneratedView>, VigError> {
+        let gen_start = std::time::Instant::now();
+        let mut gen_span = psf_telemetry::span("psf.views", "vig.generate");
+        gen_span
+            .field("view", &spec.name)
+            .field("represents", &spec.represents);
+        psf_telemetry::counter!("psf.views.vig.generated").inc();
+        let result = self.generate_inner(class, spec);
+        match &result {
+            Ok(view) => {
+                psf_telemetry::histogram!("psf.views.vig.us").record_duration(gen_start.elapsed());
+                gen_span
+                    .field("methods", view.entries.len())
+                    .field("fields", view.fields.len())
+                    .field("ok", true);
+            }
+            Err(_) => {
+                psf_telemetry::counter!("psf.views.vig.errors").inc();
+                gen_span.field("ok", false);
+            }
+        }
+        result
+    }
+
+    fn generate_inner(
+        &self,
+        class: &Arc<ComponentClass>,
+        spec: &ViewSpec,
+    ) -> Result<Arc<GeneratedView>, VigError> {
         if spec.represents != class.name {
             return Err(VigError::WrongClass {
                 expected: spec.represents.clone(),
@@ -405,30 +441,31 @@ impl Vig {
                             }
                         })?;
                         // Customized local methods take the library body.
-                        let (body, uses, mutates, origin, signature) =
-                            if let Some(custom) = customized.get(&mname) {
-                                let entry = self.library.get(&custom.body_ref).ok_or_else(
-                                    || VigError::MissingBody {
-                                        body_ref: custom.body_ref.clone(),
-                                        method: mname.clone(),
-                                    },
-                                )?;
-                                (
-                                    entry.body.clone(),
-                                    entry.uses_fields.clone(),
-                                    entry.mutates,
-                                    "customized",
-                                    custom.signature.clone(),
-                                )
-                            } else {
-                                (
-                                    def.body.clone(),
-                                    def.uses_fields.clone(),
-                                    def.mutates,
-                                    "copied",
-                                    def.signature.clone(),
-                                )
-                            };
+                        let (body, uses, mutates, origin, signature) = if let Some(custom) =
+                            customized.get(&mname)
+                        {
+                            let entry = self.library.get(&custom.body_ref).ok_or_else(|| {
+                                VigError::MissingBody {
+                                    body_ref: custom.body_ref.clone(),
+                                    method: mname.clone(),
+                                }
+                            })?;
+                            (
+                                entry.body.clone(),
+                                entry.uses_fields.clone(),
+                                entry.mutates,
+                                "customized",
+                                custom.signature.clone(),
+                            )
+                        } else {
+                            (
+                                def.body.clone(),
+                                def.uses_fields.clone(),
+                                def.mutates,
+                                "copied",
+                                def.signature.clone(),
+                            )
+                        };
                         // --- (3) fields: copy declarations of used fields.
                         for fname in &uses {
                             if let Some(fd) = class.resolve_field(fname) {
@@ -456,12 +493,12 @@ impl Vig {
                         // local body (Table 5: addMeeting is user-supplied
                         // code even though NotesI is exposed via rmi).
                         if let Some(custom) = customized.get(&mname) {
-                            let entry = self.library.get(&custom.body_ref).ok_or_else(
-                                || VigError::MissingBody {
+                            let entry = self.library.get(&custom.body_ref).ok_or_else(|| {
+                                VigError::MissingBody {
                                     body_ref: custom.body_ref.clone(),
                                     method: mname.clone(),
-                                },
-                            )?;
+                                }
+                            })?;
                             entries.insert(
                                 mname.clone(),
                                 DispatchEntry::Local {
@@ -495,7 +532,10 @@ impl Vig {
         for f in &spec.adds_fields {
             fields.insert(
                 f.name.clone(),
-                FieldDef { name: f.name.clone(), type_name: f.type_name.clone() },
+                FieldDef {
+                    name: f.name.clone(),
+                    type_name: f.type_name.clone(),
+                },
             );
         }
 
@@ -503,13 +543,13 @@ impl Vig {
         let mut constructor: Option<MethodBody> = None;
         for m in &spec.adds_methods {
             let mname = m.method_name();
-            let entry =
-                self.library
-                    .get(&m.body_ref)
-                    .ok_or_else(|| VigError::MissingBody {
-                        body_ref: m.body_ref.clone(),
-                        method: mname.clone(),
-                    })?;
+            let entry = self
+                .library
+                .get(&m.body_ref)
+                .ok_or_else(|| VigError::MissingBody {
+                    body_ref: m.body_ref.clone(),
+                    method: mname.clone(),
+                })?;
             if mname == spec.name {
                 constructor = Some(entry.body.clone());
                 continue;
@@ -597,7 +637,11 @@ fn emit_source(
                 if let Some(e) = entries.get(m) {
                     let sig = match e {
                         DispatchEntry::Local { signature, .. } => signature.clone(),
-                        DispatchEntry::Remote { signature, exposure, .. } => {
+                        DispatchEntry::Remote {
+                            signature,
+                            exposure,
+                            ..
+                        } => {
                             if *exposure == ExposureType::Rmi {
                                 format!("{signature} throws RemoteException")
                             } else {
@@ -627,11 +671,9 @@ fn emit_source(
             ExposureType::Rmi => {
                 out.push_str(&format!("  {} {}_rmi;\n", r.name, stub_field(&r.name)))
             }
-            ExposureType::Switchboard => out.push_str(&format!(
-                "  {} {}_switch;\n",
-                r.name,
-                stub_field(&r.name)
-            )),
+            ExposureType::Switchboard => {
+                out.push_str(&format!("  {} {}_switch;\n", r.name, stub_field(&r.name)))
+            }
             ExposureType::Local => {}
         }
     }
@@ -659,7 +701,9 @@ fn emit_source(
     names.sort();
     for name in names {
         match &entries[name] {
-            DispatchEntry::Local { origin, signature, .. } => {
+            DispatchEntry::Local {
+                origin, signature, ..
+            } => {
                 let comment = match *origin {
                     "copied" => "/** the original code **/",
                     "customized" => "/** user supplied code **/",
@@ -667,7 +711,11 @@ fn emit_source(
                 };
                 out.push_str(&format!("  public {signature} {{ {comment} }}\n"));
             }
-            DispatchEntry::Remote { interface, exposure, signature } => {
+            DispatchEntry::Remote {
+                interface,
+                exposure,
+                signature,
+            } => {
                 let stub = match exposure {
                     ExposureType::Rmi => format!("{}_rmi", stub_field(interface)),
                     _ => format!("{}_switch", stub_field(interface)),

@@ -4,7 +4,7 @@
 
 use psf_views::binding::InProcessRemote;
 use psf_views::{
-    CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, Vig, VigError, ViewSpec,
+    CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, ViewSpec, Vig, VigError,
 };
 use std::sync::Arc;
 
@@ -44,18 +44,14 @@ fn mail_client_class() -> Arc<ComponentClass> {
             "String getPhone(String name)",
             &["accounts"],
             false,
-            |st, args| {
-                lookup_account(&st.get_str("accounts"), &String::from_utf8_lossy(args), 1)
-            },
+            |st, args| lookup_account(&st.get_str("accounts"), &String::from_utf8_lossy(args), 1),
         )
         .method(
             "getEmail",
             "String getEmail(String name)",
             &["accounts"],
             false,
-            |st, args| {
-                lookup_account(&st.get_str("accounts"), &String::from_utf8_lossy(args), 2)
-            },
+            |st, args| lookup_account(&st.get_str("accounts"), &String::from_utf8_lossy(args), 2),
         )
         .method(
             "addNote",
@@ -126,19 +122,31 @@ fn t5_generate_partner_view_structure() {
     use psf_views::vig::DispatchEntry;
     assert!(matches!(
         view.entries["sendMessage"],
-        DispatchEntry::Local { origin: "copied", .. }
+        DispatchEntry::Local {
+            origin: "copied",
+            ..
+        }
     ));
     assert!(matches!(
         view.entries["getPhone"],
-        DispatchEntry::Remote { exposure: ExposureType::Switchboard, .. }
+        DispatchEntry::Remote {
+            exposure: ExposureType::Switchboard,
+            ..
+        }
     ));
     assert!(matches!(
         view.entries["addNote"],
-        DispatchEntry::Remote { exposure: ExposureType::Rmi, .. }
+        DispatchEntry::Remote {
+            exposure: ExposureType::Rmi,
+            ..
+        }
     ));
     assert!(matches!(
         view.entries["addMeeting"],
-        DispatchEntry::Local { origin: "customized", .. }
+        DispatchEntry::Local {
+            origin: "customized",
+            ..
+        }
     ));
     // Fields: outbox copied (used by local MessageI), accountCopy added;
     // accounts NOT copied (AddressI is remote).
@@ -152,15 +160,17 @@ fn t5_generate_partner_view_structure() {
 #[test]
 fn t5_emitted_source_matches_paper_shape() {
     let class = mail_client_class();
-    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    let view = Vig::new(library())
+        .generate(&class, &partner_spec())
+        .unwrap();
     let src = &view.source;
     // Table 5 landmarks.
     assert!(src.contains("public interface AddressI extends Serializable"));
     assert!(src.contains("public interface NotesI extends Remote"));
     assert!(src.contains("throws RemoteException"));
-    assert!(src.contains(
-        "public class ViewMailClient_Partner implements MessageI, NotesI, AddressI"
-    ));
+    assert!(
+        src.contains("public class ViewMailClient_Partner implements MessageI, NotesI, AddressI")
+    );
     assert!(src.contains("Switchboard.lookup"));
     assert!(src.contains("Naming.lookup"));
     assert!(src.contains("cacheManager = new CacheManager"));
@@ -174,8 +184,13 @@ fn t5_emitted_source_matches_paper_shape() {
 fn view_executes_local_remote_and_customized_methods() {
     let class = mail_client_class();
     let original = class.instantiate();
-    original.set_field("accounts", "alice,555-0100,alice@comp\nbob,555-0199,bob@comp");
-    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    original.set_field(
+        "accounts",
+        "alice,555-0100,alice@comp\nbob,555-0199,bob@comp",
+    );
+    let view = Vig::new(library())
+        .generate(&class, &partner_spec())
+        .unwrap();
     let remote = InProcessRemote::switchboard(original.clone());
     let inst = view
         .instantiate(Some(remote), CoherencePolicy::WriteThrough, 0, b"")
@@ -205,7 +220,9 @@ fn view_executes_local_remote_and_customized_methods() {
 fn coherence_pulls_fresh_state_from_original() {
     let class = mail_client_class();
     let original = class.instantiate();
-    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    let view = Vig::new(library())
+        .generate(&class, &partner_spec())
+        .unwrap();
     let inst = view
         .instantiate(
             Some(InProcessRemote::switchboard(original.clone())),
@@ -225,7 +242,9 @@ fn coherence_pulls_fresh_state_from_original() {
 fn write_back_policy_defers_pushes() {
     let class = mail_client_class();
     let original = class.instantiate();
-    let view = Vig::new(library()).generate(&class, &partner_spec()).unwrap();
+    let view = Vig::new(library())
+        .generate(&class, &partner_spec())
+        .unwrap();
     let inst = view
         .instantiate(
             Some(InProcessRemote::switchboard(original.clone())),
@@ -248,7 +267,11 @@ fn unknown_interface_error_guides_repair() {
     let spec = ViewSpec::new("V", "MailClient").restrict("CalendarI", ExposureType::Local);
     let err = Vig::new(library()).generate(&class, &spec).unwrap_err();
     match &err {
-        VigError::UnknownInterface { interface, available, .. } => {
+        VigError::UnknownInterface {
+            interface,
+            available,
+            ..
+        } => {
             assert_eq!(interface, "CalendarI");
             assert!(available.contains(&"MessageI".to_string()));
         }
@@ -323,7 +346,9 @@ fn view_without_remote_needs_no_binding() {
         .build()
         .unwrap();
     let spec = ViewSpec::new("CalcView", "Calc").restrict("CalcI", ExposureType::Local);
-    let view = Vig::new(MethodLibrary::new()).generate(&class, &spec).unwrap();
+    let view = Vig::new(MethodLibrary::new())
+        .generate(&class, &spec)
+        .unwrap();
     // Coherent fields exist (total) so a binding is required — bind to a
     // fresh original.
     let original = class.instantiate();
@@ -371,10 +396,7 @@ fn constructor_runs_at_instantiation() {
         st.set("accountCopy", args.to_vec());
         Ok(vec![])
     });
-    let spec = partner_spec().add_method(
-        "ViewMailClient_Partner(String[] args)",
-        "ctor.partner",
-    );
+    let spec = partner_spec().add_method("ViewMailClient_Partner(String[] args)", "ctor.partner");
     let view = Vig::new(lib).generate(&class, &spec).unwrap();
     let original = class.instantiate();
     let inst = view

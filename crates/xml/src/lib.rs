@@ -41,7 +41,10 @@ pub struct Element {
 impl Element {
     /// Create a new element with the given name.
     pub fn new(name: impl Into<String>) -> Element {
-        Element { name: name.into(), ..Default::default() }
+        Element {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Builder: add an attribute.

@@ -13,14 +13,21 @@ pub struct ParseError {
 
 impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 impl std::error::Error for ParseError {}
 
 /// Parse a document and return its root element.
 pub fn parse(input: &str) -> Result<Element, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc();
     let root = p.parse_element()?;
     p.skip_misc();
@@ -37,7 +44,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { offset: self.pos, message: msg.into() }
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {

@@ -61,10 +61,8 @@ fn main() {
             &Message::new("bob", "alice", "hello", "see you in NY").to_bytes(),
         )
         .unwrap();
-    let inbox = Message::decode_list(
-        &deployment.endpoint.call_remote("fetch", b"alice").unwrap(),
-    )
-    .unwrap();
+    let inbox =
+        Message::decode_list(&deployment.endpoint.call_remote("fetch", b"alice").unwrap()).unwrap();
     println!(
         "  mail delivered through the encrypted chain: {:?} -> {:?}",
         inbox[0].subject, inbox[0].body

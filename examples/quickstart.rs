@@ -14,7 +14,7 @@ use psf_drbac::guard::Guard;
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::RevocationBus;
 use psf_views::binding::InProcessRemote;
-use psf_views::{CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, Vig, ViewSpec};
+use psf_views::{CoherencePolicy, ComponentClass, ExposureType, MethodLibrary, ViewSpec, Vig};
 use std::sync::Arc;
 
 fn main() {
@@ -71,10 +71,16 @@ fn main() {
         .method("read", "String read()", &["content"], false, |st, _| {
             Ok(st.get("content"))
         })
-        .method("write", "void write(String)", &["content"], true, |st, args| {
-            st.set("content", args.to_vec());
-            Ok(vec![])
-        })
+        .method(
+            "write",
+            "void write(String)",
+            &["content"],
+            true,
+            |st, args| {
+                st.set("content", args.to_vec());
+                Ok(vec![])
+            },
+        )
         .build()
         .unwrap();
 

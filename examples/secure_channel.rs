@@ -78,7 +78,7 @@ fn main() {
             Ok(format!("{}@comp.example", String::from_utf8_lossy(args)).into_bytes())
         });
         ready_tx.send(()).unwrap(); // handlers registered: serve
-        // Serve until the client closes.
+                                    // Serve until the client closes.
         while !matches!(channel.status(), psf_switchboard::ChannelStatus::Closed) {
             std::thread::sleep(Duration::from_millis(20));
         }

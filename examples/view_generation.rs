@@ -9,7 +9,7 @@
 use psf_mail::views::PARTNER_XML;
 use psf_mail::{mail_client_class, mail_method_library};
 use psf_views::binding::InProcessRemote;
-use psf_views::{CoherencePolicy, Vig, ViewSpec};
+use psf_views::{CoherencePolicy, ViewSpec, Vig};
 
 fn main() {
     println!("== Table 3(a): the original object ==");
@@ -63,8 +63,8 @@ fn main() {
     println!("addMeeting        -> {}", String::from_utf8_lossy(&meeting));
 
     println!("\n== error-guided spec repair ==");
-    let broken = ViewSpec::new("Broken", "MailClient")
-        .restrict("CalendarI", psf_views::ExposureType::Local);
+    let broken =
+        ViewSpec::new("Broken", "MailClient").restrict("CalendarI", psf_views::ExposureType::Local);
     let err = vig.generate(&class, &broken).unwrap_err();
     println!("VIG error: {err}");
 }

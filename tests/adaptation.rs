@@ -44,13 +44,20 @@ fn degraded_wan_leads_to_cache_redeployment_and_service_continuity() {
         psf_core::monitor::AdaptationOutcome::Replanned(p) => p,
         other => panic!("expected replan, got {other:?}"),
     };
-    assert!(new_plan.deployments() >= 1, "cache needed: {}", new_plan.render());
+    assert!(
+        new_plan.deployments() >= 1,
+        "cache needed: {}",
+        new_plan.render()
+    );
 
     // Redeploy and confirm continuity: old mail is still reachable via
     // the new (cached) path because coherence pulls from the origin.
     let redeployment = w.deployer.execute(&new_plan, &goal).unwrap();
     let inbox = Message::decode_list(
-        &redeployment.endpoint.call_remote("fetch", b"alice").unwrap(),
+        &redeployment
+            .endpoint
+            .call_remote("fetch", b"alice")
+            .unwrap(),
     )
     .unwrap();
     assert_eq!(inbox.len(), 1);
@@ -144,7 +151,9 @@ fn repeated_deployments_exhaust_then_recover_capacity() {
     // five fit, the sixth plan fails at planning (no capacity).
     let mut deployments = Vec::new();
     for i in 0..5 {
-        let (_, d) = w.deliver(&goal).unwrap_or_else(|e| panic!("deploy {i}: {e}"));
+        let (_, d) = w
+            .deliver(&goal)
+            .unwrap_or_else(|e| panic!("deploy {i}: {e}"));
         deployments.push(d);
     }
     assert!(

@@ -166,8 +166,7 @@ fn unauthorized_client_rejected_over_tcp() {
     let listener = listen_tcp("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
     let cfg = quiet();
-    let server_thread =
-        std::thread::spawn(move || listener.accept(&server_suite, cfg));
+    let server_thread = std::thread::spawn(move || listener.accept(&server_suite, cfg));
     let result = connect_tcp(&addr, &mallory_suite, quiet());
     assert!(result.is_err(), "handshake must reject Mallory");
     assert!(server_thread.join().unwrap().is_err());

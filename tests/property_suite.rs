@@ -95,8 +95,7 @@ fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
 }
 
 fn arb_attr_set() -> impl Strategy<Value = AttrSet> {
-    prop::collection::btree_map("[A-Z][a-z]{0,5}", arb_attr_value(), 0..4)
-        .prop_map(AttrSet)
+    prop::collection::btree_map("[A-Z][a-z]{0,5}", arb_attr_value(), 0..4).prop_map(AttrSet)
 }
 
 proptest! {
@@ -159,7 +158,9 @@ fn arb_credential() -> impl Strategy<Value = SignedDelegation> {
             let subject = Entity::with_seed("Subject", b"prop");
             let mut b = DelegationBuilder::new(&issuer).serial(serial);
             b = match kind_seed % 3 {
-                0 => b.subject_entity(&subject).role(issuer.role(role.role.clone())),
+                0 => b
+                    .subject_entity(&subject)
+                    .role(issuer.role(role.role.clone())),
                 1 => b.subject_role(RoleName::new("Other.Dom", "R")).role(role),
                 _ => b.subject_entity(&subject).assignment().role(role),
             };

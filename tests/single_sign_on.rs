@@ -55,7 +55,15 @@ fn world(chain_len: usize) -> World {
             .sign(),
     );
     let acl = ViewAcl::new().rule(domain.role("R0"), "FullView");
-    World { registry, repo, bus, domain, user, acl, creds }
+    World {
+        registry,
+        repo,
+        bus,
+        domain,
+        user,
+        acl,
+        creds,
+    }
 }
 
 #[test]
@@ -63,7 +71,14 @@ fn sso_token_amortizes_authorization() {
     let w = world(5);
     let token = w
         .acl
-        .authorize_once(&w.user.as_subject(), &w.creds, &w.registry, &w.repo, &w.bus, 0)
+        .authorize_once(
+            &w.user.as_subject(),
+            &w.creds,
+            &w.registry,
+            &w.repo,
+            &w.bus,
+            0,
+        )
         .expect("authorized");
     assert_eq!(token.view, "FullView");
     assert_eq!(token.proof.as_ref().unwrap().edges.len(), 5);
@@ -93,7 +108,14 @@ fn sso_token_dies_on_revocation_anywhere_in_the_chain() {
     let w = world(4);
     let token = w
         .acl
-        .authorize_once(&w.user.as_subject(), &w.creds, &w.registry, &w.repo, &w.bus, 0)
+        .authorize_once(
+            &w.user.as_subject(),
+            &w.creds,
+            &w.registry,
+            &w.repo,
+            &w.bus,
+            0,
+        )
         .unwrap();
     assert!(token.is_valid());
     // Revoke the *middle* of the chain.

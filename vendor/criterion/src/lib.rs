@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal wall-clock harness exposing the criterion API subset the bench
+//! files use: `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Statistics are deliberately simple — warmup, then a fixed number of
+//! timed iterations, reporting mean/min ns per iteration — enough to
+//! compare hot-path deltas between commits without the full
+//! bootstrap/outlier machinery.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; recorded and echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: run until the warmup budget elapses at least once.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Measure: batch iterations so per-sample timing overhead stays
+        // negligible for nanosecond-scale routines.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed();
+        let batch = if once < Duration::from_micros(50) {
+            (Duration::from_micros(200).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32
+        } else {
+            1
+        };
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / batch);
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration)> {
+        if self.results.is_empty() {
+            return None;
+        }
+        let min = *self.results.iter().min().unwrap();
+        let total: Duration = self.results.iter().sum();
+        Some((total / self.results.len() as u32, min))
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(label, self.sample_size, self.throughput, |b| routine(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(label, self.sample_size, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+fn run_one(
+    label: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: samples.min(60),
+        warmup: Duration::from_millis(20),
+        results: Vec::new(),
+    };
+    routine(&mut bencher);
+    let mut line = format!("bench {label:<56}");
+    match bencher.report() {
+        Some((mean, min)) => {
+            let _ = write!(line, " mean {:>12} min {:>12}", fmt_ns(mean), fmt_ns(min));
+            if let Some(tp) = throughput {
+                let per_sec = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);
+                match tp {
+                    Throughput::Bytes(n) => {
+                        let _ = write!(line, "  ({:.1} MiB/s)", per_sec(n) / (1024.0 * 1024.0));
+                    }
+                    Throughput::Elements(n) => {
+                        let _ = write!(line, "  ({:.0} elem/s)", per_sec(n));
+                    }
+                }
+            }
+        }
+        None => line.push_str(" (no samples: routine never called iter)"),
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 10_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Benchmark driver; one per `criterion_group!` function list.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.to_string(), 30, None, |b| routine(b));
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_group_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5).throughput(Throughput::Bytes(64));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

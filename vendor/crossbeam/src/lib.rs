@@ -1,0 +1,188 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! small slice of crossbeam it actually uses:
+//!
+//! * [`channel`] — MPMC-flavoured channels; here backed by `std::sync::mpsc`
+//!   (the workspace only ever uses single-consumer patterns).
+//! * [`thread`] — scoped threads; here backed by `std::thread::scope`, which
+//!   has subsumed crossbeam's original raison d'être since Rust 1.63.
+
+pub mod channel {
+    //! Channel shim over `std::sync::mpsc` with crossbeam's spelling.
+
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a channel. Unifies std's `Sender`/`SyncSender` so
+    /// `bounded` and `unbounded` return the same type, as crossbeam does.
+    pub enum Sender<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value),
+                Sender::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value),
+                Sender::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => SendError(v),
+                    mpsc::TrySendError::Disconnected(v) => SendError(v),
+                }),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// Channel with a fixed capacity (`0` gives a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    //! Scoped-thread shim over `std::thread::scope` with crossbeam's
+    //! closure signature (`spawn` passes the scope back in).
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        #[allow(clippy::missing_errors_doc)]
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    /// Run `f` with a scope that joins all spawned threads before returning.
+    /// Returns `Err` if `f` or any un-joined child thread panicked, matching
+    /// crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    #[test]
+    fn channels_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err());
+
+        let (tx, rx) = super::channel::bounded(1);
+        tx.send("x").unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), "x");
+    }
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3];
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 2))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let res = super::thread::scope(|s| {
+            s.spawn(|_| panic!("child down"));
+        });
+        assert!(res.is_err());
+    }
+}

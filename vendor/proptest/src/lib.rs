@@ -1,0 +1,924 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors an
+//! API-compatible subset of proptest: the `proptest!`/`prop_assert*` macros,
+//! the `Strategy` trait with `prop_map`, `prop_oneof!`, `any::<T>()`,
+//! numeric-range and regex-literal string strategies, and the collection /
+//! array / option combinators the test suites use.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** A failing case reports its deterministic seed index
+//!   instead of a minimized input.
+//! * Case generation is deterministic per `(test name, case index)`, so
+//!   failures reproduce across runs without a persistence file.
+//! * String strategies accept the regex *subset* used in this workspace:
+//!   literals, escapes, `[...]` classes with ranges, `(...)` groups,
+//!   alternation, and the `?`/`*`/`+`/`{n}`/`{m,n}` quantifiers.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+// ------------------------------------------------------------ test rng --
+
+/// Deterministic per-case generator (xoshiro256++ with splitmix64 seeding).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Seed derived from the test name and case index: reproducible runs
+    /// without any state file.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn size_in(&mut self, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty proptest size range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+// --------------------------------------------------------- error & cfg --
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure — aborts the whole test.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is skipped, not counted.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => f.write_str("rejected by prop_assume"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one `proptest!` test function: runs `cfg.cases` accepted cases,
+/// skipping `prop_assume!` rejections (with a runaway-rejection cap) and
+/// panicking on the first failure with its reproducible seed index.
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while accepted < cfg.cases {
+        let mut rng = TestRng::deterministic(name, index);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cfg.cases.saturating_mul(64).max(4096),
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({rejected} rejects for {accepted} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (case {accepted}, seed index {index}): {msg}")
+            }
+        }
+        index += 1;
+    }
+}
+
+// ------------------------------------------------------------ strategy --
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy (what `prop_oneof!` branches become).
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub mod strategy {
+    pub use crate::{BoxedStrategy, Map, Strategy, Union};
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union(branches)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Always yields clones of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ------------------------------------------------------ range strategies --
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ------------------------------------------------------- any::<T>() --
+
+/// Marker strategy for "any value of `T`" (`any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced, wide-magnitude distribution.
+        let mag = rng.unit_f64() * 2f64.powi((rng.below(129) as i32) - 64);
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+// -------------------------------------------------------------- tuples --
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ------------------------------------------------------- string regexes --
+
+mod regex_lite {
+    //! Generator for the regex subset used as proptest string strategies.
+
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub(crate) struct Quant {
+        min: u32,
+        max: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<(Node, Quant)>>),
+    }
+
+    pub(crate) fn parse(pattern: &str) -> Vec<Vec<(Node, Quant)>> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        chars.push('\0'); // sentinel simplifies lookahead
+        let mut pos = 0usize;
+        let alts = parse_alternatives(&chars, &mut pos);
+        assert!(
+            chars[pos] == '\0',
+            "unsupported regex (trailing input) in proptest shim: {pattern}"
+        );
+        alts
+    }
+
+    fn parse_alternatives(chars: &[char], pos: &mut usize) -> Vec<Vec<(Node, Quant)>> {
+        let mut alts = vec![parse_seq(chars, pos)];
+        while chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_seq(chars, pos));
+        }
+        alts
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Vec<(Node, Quant)> {
+        let mut seq = Vec::new();
+        loop {
+            let node = match chars[*pos] {
+                '\0' | ')' | '|' => break,
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_alternatives(chars, pos);
+                    assert!(chars[*pos] == ')', "unclosed group in proptest regex shim");
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos))
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Lit(unescape(c))
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Class(vec![(' ', '~')]) // printable ASCII stand-in
+                }
+                c => {
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            seq.push((node, parse_quant(chars, pos)));
+        }
+        seq
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        while chars[*pos] != ']' {
+            assert!(chars[*pos] != '\0', "unclosed class in proptest regex shim");
+            let lo = if chars[*pos] == '\\' {
+                *pos += 1;
+                let c = unescape(chars[*pos]);
+                *pos += 1;
+                c
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            if chars[*pos] == '-' && chars[*pos + 1] != ']' && chars[*pos + 1] != '\0' {
+                *pos += 1;
+                let hi = if chars[*pos] == '\\' {
+                    *pos += 1;
+                    let c = unescape(chars[*pos]);
+                    *pos += 1;
+                    c
+                } else {
+                    let c = chars[*pos];
+                    *pos += 1;
+                    c
+                };
+                assert!(lo <= hi, "inverted class range in proptest regex shim");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        *pos += 1; // consume ']'
+        ranges
+    }
+
+    fn parse_quant(chars: &[char], pos: &mut usize) -> Quant {
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                Quant { min: 0, max: 1 }
+            }
+            '*' => {
+                *pos += 1;
+                Quant { min: 0, max: 8 }
+            }
+            '+' => {
+                *pos += 1;
+                Quant { min: 1, max: 8 }
+            }
+            '{' => {
+                *pos += 1;
+                let mut min = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut m = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        m = m * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    m
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "unclosed quantifier in proptest regex shim");
+                *pos += 1;
+                Quant { min, max }
+            }
+            _ => Quant { min: 1, max: 1 },
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other, // \. \\ \- \[ etc: the literal itself
+        }
+    }
+
+    pub(crate) fn generate(alts: &[Vec<(Node, Quant)>], rng: &mut TestRng, out: &mut String) {
+        let alt = &alts[rng.below(alts.len() as u64) as usize];
+        for (node, quant) in alt {
+            let reps = quant.min + rng.below((quant.max - quant.min + 1) as u64) as u32;
+            for _ in 0..reps {
+                match node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let width = (*hi as u64 - *lo as u64) + 1;
+                            if pick < width {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                                break;
+                            }
+                            pick -= width;
+                        }
+                    }
+                    Node::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = regex_lite::parse(self);
+        let mut out = String::new();
+        regex_lite::generate(&ast, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// --------------------------------------------------------- collections --
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.size_in(&self.size);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.size_in(&self.size);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: small element domains may not admit `target`
+            // distinct values, which real proptest handles the same way.
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = rng.size_in(&self.size);
+            let mut out = BTreeMap::new();
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+}
+
+pub mod array {
+    use super::*;
+
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    pub fn uniform12<S: Strategy>(element: S) -> UniformArray<S, 12> {
+        UniformArray(element)
+    }
+
+    pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+        UniformArray(element)
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Same shape as proptest's default: mostly Some, a fair share of None.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+// -------------------------------------------------------------- macros --
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&__cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let mut __case = move || -> $crate::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_eq failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_ne failed: `{}` == `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($branch)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    pub mod prop {
+        pub use crate::{array, collection, option, strategy};
+    }
+}
+
+// ---------------------------------------------------------- self tests --
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::TestRng::deterministic("regex", 0);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[A-Z][a-z]{1,6}(\\.[A-Z]{2})?", &mut rng);
+            assert!(s.chars().next().unwrap().is_ascii_uppercase(), "{s:?}");
+            let tail_ok = s.len() >= 2;
+            assert!(tail_ok, "{s:?}");
+            if let Some(idx) = s.find('.') {
+                assert_eq!(s.len() - idx, 3, "{s:?}");
+            }
+            let printable = crate::Strategy::generate(&"[ -~<>&\"']{0,200}", &mut rng);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+            assert!(printable.len() <= 200);
+        }
+    }
+
+    #[test]
+    fn determinism_per_name_and_index() {
+        let mut a = crate::TestRng::deterministic("t", 3);
+        let mut b = crate::TestRng::deterministic("t", 3);
+        let mut c = crate::TestRng::deterministic("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections_in_bounds(
+            n in 1usize..10,
+            v in prop::collection::vec(any::<u8>(), 0..16),
+            s in prop::collection::btree_set("[a-z]{1,3}", 1..5),
+            o in prop::option::of(-10i64..10),
+        ) {
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert!(v.len() < 16);
+            prop_assert!(!s.is_empty() && s.len() < 5);
+            if let Some(x) = o {
+                prop_assert!((-10..10).contains(&x), "x = {}", x);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0u32..10).prop_map(|v| v as u64),
+            (100u32..110).prop_map(|v| v as u64),
+        ]) {
+            prop_assert!(x < 10 || (100..110).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u8..4, b in 0u8..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `rand` crate (0.10-flavoured API subset).
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! slice of `rand` it actually uses: `rand::rng()`, the `Rng` byte/word
+//! source trait, the `RngExt` sampling extension (`random_range`,
+//! `random_bool`), and `rngs::StdRng` + `SeedableRng::seed_from_u64` for
+//! deterministic topologies.
+//!
+//! The generator is xoshiro256++ (public domain, Blackman & Vigna) with
+//! splitmix64 seed expansion — statistically strong and fast. `rng()` seeds
+//! from `/dev/urandom` (falling back to ASLR/time entropy), which is
+//! adequate for this testbed's key generation; a production deployment
+//! would swap in getrandom-backed OS entropy.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A source of random 64-bit words and bytes.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// Extension methods for sampling typed values; blanket-implemented for
+/// every [`Rng`], mirroring rand's `Rng`/`RngExt` split.
+pub trait RngExt: Rng {
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Ranges a value can be uniformly sampled from.
+pub trait SampleRange<T> {
+    fn sample_from(self, word: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, word: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        self.start + unit_f64(word()) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, word: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift (Lemire) keeps bias below 2^-64 per draw.
+                let hi = ((word() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_from(self, word: &mut dyn FnMut() -> u64) -> i64 {
+        assert!(self.start < self.end, "empty i64 sample range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        let hi = ((word() as u128 * span as u128) >> 64) as u64;
+        self.start.wrapping_add(hi as i64)
+    }
+}
+
+/// Seedable generators, rand-style (only the u64 entry point is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(word: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[derive(Clone, Debug)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Deterministic seedable generator (`rand::rngs::StdRng` stand-in).
+#[derive(Clone, Debug)]
+pub struct StdRng(Xoshiro256);
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng(Xoshiro256::from_u64(state))
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+/// Process-entropy generator returned by [`rng()`].
+#[derive(Clone, Debug)]
+pub struct ThreadRng(Xoshiro256);
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+fn entropy_base() -> u64 {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    *BASE.get_or_init(|| {
+        use std::io::Read;
+        if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+            let mut buf = [0u8; 8];
+            if f.read_exact(&mut buf).is_ok() {
+                return u64::from_le_bytes(buf);
+            }
+        }
+        // Fallback entropy: hasher randomness + time + address-space layout.
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u128(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0),
+        );
+        h.write_usize(&BASE as *const _ as usize);
+        h.finish()
+    })
+}
+
+/// Returns a fresh generator seeded from process entropy
+/// (`rand::rng()` / the old `thread_rng()`).
+pub fn rng() -> ThreadRng {
+    static CTR: AtomicU64 = AtomicU64::new(0);
+    let mut mix = entropy_base() ^ CTR.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let seed = splitmix64(&mut mix);
+    ThreadRng(Xoshiro256::from_u64(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..8).any(|_| c.next_u64() != xs[0]));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = r.random_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let u = r.random_range(0usize..10);
+            assert!(u < 10);
+            let i = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn process_rngs_differ() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
