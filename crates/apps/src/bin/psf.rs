@@ -20,7 +20,9 @@
 //!   recorded as telemetry events/spans, so `--quiet --trace-out t.jsonl`
 //!   gives a machine-readable run with a silent terminal.
 
-use psf_core::Goal;
+use psf_core::{
+    DeployFaultPlan, Goal, PlannerConfig, RetryPolicy, Supervisor, SupervisorState, TickOutcome,
+};
 use psf_drbac::entity::RoleName;
 use psf_drbac::proof::ProofEngine;
 use psf_mail::{mail_client_class, mail_method_library, MailWorld};
@@ -56,6 +58,9 @@ fn usage() -> ! {
          \x20 view <member|partner|anonymous>  generate and print the view\n\
          \x20 metrics [--bare]              run the full stack, print a\n\
          \x20                               Prometheus-text metrics snapshot\n\
+         \x20 chaos [--seed N]              run the mail scenario under a\n\
+         \x20                               seeded schedule of link/node/deploy\n\
+         \x20                               faults; print a recovery report\n\
          \n\
          global flags:\n\
          \x20 --trace-out PATH              write the JSONL span trace on exit\n\
@@ -105,6 +110,7 @@ fn main() {
             "storage" => storage(&cli, args),
             "view" => view(&cli, args),
             "metrics" => metrics(&cli, args),
+            "chaos" => chaos(&cli, args),
             _ => usage(),
         };
         cmd_span.field("exit_code", code);
@@ -367,6 +373,238 @@ fn metrics(cli: &Cli, args: &[String]) -> i32 {
     // not narration.
     print!("{}", psf_telemetry::registry().render_prometheus());
     0
+}
+
+/// Same mixer the deployer uses for its seeded faults: lets the CLI derive
+/// per-seed variation (fault placement, degraded latencies) without any
+/// wall-clock randomness.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run the mail scenario under a seeded schedule of faults — an injected
+/// deploy-step failure, a WAN collapse, a killed channel, a node crash —
+/// and verify the supervisor recovers from each. Exits 1 if any phase
+/// fails to recover.
+fn chaos(cli: &Cli, args: &[String]) -> i32 {
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1);
+    cli.say(format!("chaos: mail scenario, seed {seed}"));
+
+    let reg = psf_telemetry::registry();
+    let base_failovers = reg.counter_value("psf.supervisor.failovers");
+    let base_rollbacks = reg.counter_value("psf.deploy.rollbacks");
+    let base_retries = reg.counter_value("psf.deploy.retries");
+    let base_faults = reg.counter_value("psf.deploy.faults.injected");
+    let base_degraded = reg.counter_value("psf.supervisor.degraded");
+    let base_recoveries = reg.counter_value("psf.supervisor.recoveries");
+    let base_revocations = reg.counter_value("psf.drbac.revocations");
+
+    let w = world();
+    let cpu_baseline: Vec<u32> = w
+        .sites
+        .network
+        .node_ids()
+        .iter()
+        .map(|&n| w.sites.network.node(n).unwrap().cpu_available())
+        .collect();
+
+    // Every deployment execution runs under this schedule: one explicit
+    // fault on the first attempt's second step, plus seeded random faults
+    // (25% per step, ≤2 total per execution). With three attempts the
+    // final one is always clean, so recovery is guaranteed.
+    w.deployer
+        .set_fault_plan(Some(DeployFaultPlan::seeded(seed, 25, 2).and_fail_at(1, 1)));
+    w.deployer.set_retry_policy(RetryPolicy {
+        base_backoff: Duration::from_micros(200),
+        jitter_seed: seed,
+        ..RetryPolicy::default()
+    });
+
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[1],
+        max_latency_ms: Some(60.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let mut failures: Vec<String> = Vec::new();
+    let phase = |name: &str, ok: bool, detail: String, failures: &mut Vec<String>| {
+        cli.say(format!(
+            "  [{}] {name}: {detail}",
+            if ok { "ok" } else { "FAIL" }
+        ));
+        if !ok {
+            failures.push(format!("{name}: {detail}"));
+        }
+    };
+
+    // Phase 1 — initial deployment survives the injected deploy fault.
+    let mut sup = match Supervisor::start(
+        &w.registrar,
+        &w.sites.network,
+        &w.oracle,
+        PlannerConfig::default(),
+        goal,
+        &w.deployer,
+        w.ny_guard.clone(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("chaos: initial deployment unrecoverable: {e}");
+            return 1;
+        }
+    };
+    let rb = w.deployer.last_rollback();
+    phase(
+        "deploy-fault",
+        rb.is_some() && sup.state() == SupervisorState::Serving,
+        match &rb {
+            Some(r) => format!(
+                "attempt {} failed at step {}, rolled back {} CPU / {} channels / {} creds, retried",
+                r.attempt,
+                r.failed_step,
+                r.released_cpu,
+                r.closed_channels,
+                r.revoked_credential_ids.len()
+            ),
+            None => "no rollback recorded".into(),
+        },
+        &mut failures,
+    );
+
+    // Phase 2 — every WAN link collapses; the supervisor must fail over
+    // to a cache view inside San Diego.
+    let collapse = 250.0 + (mix64(seed) % 200) as f64;
+    for wan in [w.sites.wan_ny_sd, w.sites.wan_ny_se, w.sites.wan_sd_se] {
+        w.sites.network.set_latency(wan, collapse);
+    }
+    let out = sup.tick();
+    let cached = sup
+        .deployment()
+        .map(|d| d.placements.iter().any(|(t, _, _)| t == "ViewMailServer"))
+        .unwrap_or(false);
+    phase(
+        "wan-collapse",
+        matches!(out, TickOutcome::FailedOver { .. }) && cached,
+        format!("{out:?}, cache deployed: {cached} (latency {collapse} ms)"),
+        &mut failures,
+    );
+
+    // Phase 3 — the WANs heal; the cheaper direct plan displaces the cache.
+    for (wan, ms) in [
+        (w.sites.wan_ny_sd, 40.0),
+        (w.sites.wan_ny_se, 35.0),
+        (w.sites.wan_sd_se, 25.0),
+    ] {
+        w.sites.network.set_latency(wan, ms);
+    }
+    let out = sup.tick();
+    phase(
+        "wan-heal",
+        matches!(out, TickOutcome::FailedOver { .. }),
+        format!("{out:?}"),
+        &mut failures,
+    );
+
+    // Phase 4 — kill a live transport out from under the deployment; no
+    // network event fires, only the channel-death watcher.
+    let killed = match sup.deployment() {
+        Some(d) if d.channel_count() > 0 => {
+            let idx = (mix64(seed ^ 0xc4a2) as usize) % d.channel_count();
+            d.channels[idx].0.close();
+            true
+        }
+        _ => false,
+    };
+    let out = sup.tick();
+    phase(
+        "channel-kill",
+        killed && matches!(out, TickOutcome::FailedOver { .. }),
+        format!("killed: {killed}, {out:?}"),
+        &mut failures,
+    );
+
+    // Phase 5 — sd-0 carries every WAN into San Diego: crashing it
+    // isolates the client. The only safe reaction is teardown.
+    w.sites.network.fail_node(w.sites.sd[0]);
+    let out = sup.tick();
+    phase(
+        "node-crash",
+        matches!(out, TickOutcome::Degraded(_)) && sup.deployment().is_none(),
+        format!("{out:?}"),
+        &mut failures,
+    );
+
+    // Phase 6 — the node returns; the supervisor recovers end to end.
+    w.sites.network.restore_node(w.sites.sd[0]);
+    let out = sup.tick();
+    let serving = sup
+        .endpoint()
+        .map(|e| e.call_remote("fetch", b"alice").is_ok())
+        .unwrap_or(false);
+    phase(
+        "node-restore",
+        matches!(out, TickOutcome::Recovered) && serving,
+        format!("{out:?}, goal re-satisfied: {serving}"),
+        &mut failures,
+    );
+
+    // Final accounting: teardown must return the network to its baseline.
+    sup.shutdown();
+    let cpu_after: Vec<u32> = w
+        .sites
+        .network
+        .node_ids()
+        .iter()
+        .map(|&n| w.sites.network.node(n).unwrap().cpu_available())
+        .collect();
+    phase(
+        "leak-check",
+        cpu_after == cpu_baseline,
+        format!(
+            "cpu available {} -> {}",
+            cpu_baseline.iter().sum::<u32>(),
+            cpu_after.iter().sum::<u32>()
+        ),
+        &mut failures,
+    );
+
+    // The recovery report is the result: print it even under --quiet.
+    println!("chaos recovery report (seed {seed}):");
+    for (label, name, base) in [
+        ("failovers", "psf.supervisor.failovers", base_failovers),
+        ("rollbacks", "psf.deploy.rollbacks", base_rollbacks),
+        ("retries", "psf.deploy.retries", base_retries),
+        ("injected faults", "psf.deploy.faults.injected", base_faults),
+        (
+            "degraded episodes",
+            "psf.supervisor.degraded",
+            base_degraded,
+        ),
+        ("recoveries", "psf.supervisor.recoveries", base_recoveries),
+        (
+            "credential revocations",
+            "psf.drbac.revocations",
+            base_revocations,
+        ),
+    ] {
+        println!("  {label:<23} {}", reg.counter_value(name) - base);
+    }
+    if failures.is_empty() {
+        println!("  all {} phases recovered", 7);
+        0
+    } else {
+        println!("  UNRECOVERED: {}", failures.join("; "));
+        1
+    }
 }
 
 /// One representative end-to-end pass over the mail scenario, touching

@@ -22,6 +22,131 @@ use psf_views::{
 };
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer): the source of all
+/// "randomness" in fault injection and retry jitter, so a seed fully
+/// determines behavior — no wall-clock entropy.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total execution attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff, jitter included.
+    pub max_backoff: Duration,
+    /// Seed for the jitter mixer: same seed → same backoff sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after failed `attempt` (1-indexed):
+    /// `base * 2^(attempt-1)` plus up to +50% deterministic jitter,
+    /// capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+        let jitter_pct = mix64(self.jitter_seed ^ u64::from(attempt)) % 50;
+        let jitter = Duration::from_nanos((exp.as_nanos() as u64 / 100).saturating_mul(jitter_pct));
+        (exp + jitter).min(self.max_backoff)
+    }
+}
+
+/// A deterministic schedule of injected deployment failures, addressed by
+/// (attempt, step index). Two combinable modes: explicit [`fail_at`]
+/// (DeployFaultPlan::fail_at) entries, and a seeded pseudo-random mode
+/// ([`seeded`](DeployFaultPlan::seeded)) that fails each step with a fixed
+/// probability, capped at `max_faults` total so a bounded retry can always
+/// recover.
+#[derive(Clone, Debug, Default)]
+pub struct DeployFaultPlan {
+    scheduled: Vec<(u32, usize)>,
+    seed: Option<u64>,
+    probability_pct: u64,
+    max_faults: u32,
+}
+
+impl DeployFaultPlan {
+    /// Fail step `step` (0-indexed) of attempt `attempt` (1-indexed).
+    pub fn fail_at(attempt: u32, step: usize) -> DeployFaultPlan {
+        DeployFaultPlan::default().and_fail_at(attempt, step)
+    }
+
+    /// Add another scheduled failure.
+    pub fn and_fail_at(mut self, attempt: u32, step: usize) -> DeployFaultPlan {
+        self.scheduled.push((attempt, step));
+        self
+    }
+
+    /// Seeded random mode: each (attempt, step) fails with
+    /// `probability_pct`% probability, derived purely from `seed` — the
+    /// same seed always yields the same failures. At most `max_faults`
+    /// faults fire per `execute` call; keep it below the retry policy's
+    /// `max_attempts` to guarantee an eventually clean attempt.
+    pub fn seeded(seed: u64, probability_pct: u64, max_faults: u32) -> DeployFaultPlan {
+        DeployFaultPlan {
+            scheduled: Vec::new(),
+            seed: Some(seed),
+            probability_pct: probability_pct.min(100),
+            max_faults,
+        }
+    }
+
+    fn should_fail(&self, attempt: u32, step: usize, fired: u32) -> bool {
+        if self
+            .scheduled
+            .iter()
+            .any(|&(a, s)| a == attempt && s == step)
+        {
+            return true;
+        }
+        if let Some(seed) = self.seed {
+            if fired < self.max_faults {
+                let roll = mix64(seed ^ (u64::from(attempt) << 32) ^ step as u64) % 100;
+                return roll < self.probability_pct;
+            }
+        }
+        false
+    }
+}
+
+/// What a rollback undid — the observable proof that a failed attempt
+/// released everything it had acquired.
+#[derive(Clone, Debug)]
+pub struct RollbackReport {
+    /// Which attempt failed (1-indexed).
+    pub attempt: u32,
+    /// The step index at which the attempt failed.
+    pub failed_step: usize,
+    /// The error that triggered the rollback.
+    pub error: String,
+    /// Total CPU units released back to their nodes.
+    pub released_cpu: u32,
+    /// Channels closed (both halves each).
+    pub closed_channels: usize,
+    /// Credential ids revoked on the `RevocationBus`.
+    pub revoked_credential_ids: Vec<String>,
+}
 
 /// Factory turning an upstream endpoint into a transformed endpoint
 /// (encryptors/decryptors are endpoint middleware in the data plane).
@@ -143,9 +268,9 @@ impl Deployment {
                 net.release_cpu(*node, *units);
             }
         }
-        for cred in &self.issued_credentials {
-            guard.bus().revoke(&cred.id());
-        }
+        guard
+            .bus()
+            .revoke_all(self.issued_credentials.iter().map(|c| c.id()));
     }
 }
 
@@ -172,6 +297,21 @@ pub struct Deployer {
     /// `record_deployed` bookkeeping).
     running: Mutex<HashMap<(String, NodeId), Arc<ComponentInstance>>>,
     serial: std::sync::atomic::AtomicU64,
+    retry: Mutex<RetryPolicy>,
+    fault_plan: Mutex<Option<DeployFaultPlan>>,
+    last_rollback: Mutex<Option<RollbackReport>>,
+}
+
+/// Everything a single execution attempt has acquired so far; on failure
+/// the whole state is rolled back as one transaction.
+#[derive(Default)]
+struct TxState {
+    reservations: Vec<(NodeId, u32)>,
+    placements: Vec<(String, NodeId, Deployed)>,
+    issued_identities: Vec<Entity>,
+    issued_credentials: Vec<SignedDelegation>,
+    channels: Vec<(Arc<Channel>, Channel)>,
+    step: usize,
 }
 
 impl Deployer {
@@ -188,7 +328,28 @@ impl Deployer {
             },
             running: Mutex::new(HashMap::new()),
             serial: std::sync::atomic::AtomicU64::new(1),
+            retry: Mutex::new(RetryPolicy::default()),
+            fault_plan: Mutex::new(None),
+            last_rollback: Mutex::new(None),
         }
+    }
+
+    /// Replace the retry policy. Interior mutability so callers that
+    /// receive an already-built deployer (e.g. from a scenario builder)
+    /// can still tune it.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// Install (or clear) a fault plan applied to subsequent
+    /// [`execute`](Deployer::execute) calls.
+    pub fn set_fault_plan(&self, plan: Option<DeployFaultPlan>) {
+        *self.fault_plan.lock() = plan;
+    }
+
+    /// Report from the most recent rollback, if any attempt has failed.
+    pub fn last_rollback(&self) -> Option<RollbackReport> {
+        self.last_rollback.lock().clone()
     }
 
     /// Attach the network so deployments reserve (and teardown releases)
@@ -254,47 +415,131 @@ impl Deployer {
     /// use full Switchboard channels (mutual auth + AEAD); secure-path
     /// hops use plain channels, mirroring the paper's rmi/switchboard
     /// distinction.
+    /// Execution is **transactional**: a failed attempt rolls back every
+    /// acquisition it made (CPU reservations released, channels closed,
+    /// issued credentials revoked) before the deployer retries under its
+    /// [`RetryPolicy`] with deterministic exponential backoff + jitter.
+    /// An installed [`DeployFaultPlan`] can fail any (attempt, step) pair
+    /// to exercise this path.
     pub fn execute(&self, plan: &Plan, goal: &Goal) -> Result<Deployment, PsfError> {
-        let exec_start = std::time::Instant::now();
-        let mut exec_span = psf_telemetry::span("psf.deploy", "execute");
-        exec_span
-            .field("steps", plan.steps.len())
-            .field("goal_iface", &goal.iface);
-        psf_telemetry::counter!("psf.deploy.executions").inc();
-        let result = self.execute_steps(plan, goal);
-        match &result {
-            Ok(d) => {
-                psf_telemetry::histogram!("psf.deploy.execute.us")
-                    .record_duration(exec_start.elapsed());
-                exec_span
-                    .field("placements", d.placements.len())
-                    .field("channels", d.channel_count())
-                    .field("ok", true);
-            }
-            Err(e) => {
-                psf_telemetry::counter!("psf.deploy.failures").inc();
-                psf_telemetry::event(
-                    "psf.deploy",
-                    "execute.failed",
-                    vec![("error", e.to_string())],
-                );
-                exec_span.field("ok", false);
+        let policy = self.retry.lock().clone();
+        let fault_plan = self.fault_plan.lock().clone();
+        let mut fired = 0u32;
+        let mut attempt = 1u32;
+        loop {
+            let exec_start = std::time::Instant::now();
+            let mut exec_span = psf_telemetry::span("psf.deploy", "execute");
+            exec_span
+                .field("steps", plan.steps.len())
+                .field("goal_iface", &goal.iface)
+                .field("attempt", attempt);
+            psf_telemetry::counter!("psf.deploy.executions").inc();
+            let mut tx = TxState::default();
+            match self.execute_attempt(
+                plan,
+                goal,
+                attempt,
+                fault_plan.as_ref(),
+                &mut fired,
+                &mut tx,
+            ) {
+                Ok(endpoint) => {
+                    psf_telemetry::histogram!("psf.deploy.execute.us")
+                        .record_duration(exec_start.elapsed());
+                    psf_telemetry::histogram!("psf.deploy.attempts").record(u64::from(attempt));
+                    exec_span
+                        .field("placements", tx.placements.len())
+                        .field("channels", tx.channels.len())
+                        .field("ok", true);
+                    return Ok(Deployment {
+                        reservations: tx.reservations,
+                        placements: tx.placements,
+                        issued_identities: tx.issued_identities,
+                        issued_credentials: tx.issued_credentials,
+                        channels: tx.channels,
+                        endpoint,
+                    });
+                }
+                Err(e) => {
+                    psf_telemetry::counter!("psf.deploy.failures").inc();
+                    psf_telemetry::event(
+                        "psf.deploy",
+                        "execute.failed",
+                        vec![("error", e.to_string()), ("attempt", attempt.to_string())],
+                    );
+                    exec_span.field("ok", false);
+                    let report = self.rollback(tx, attempt, &e);
+                    *self.last_rollback.lock() = Some(report);
+                    if attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    let backoff = policy.backoff_for(attempt);
+                    psf_telemetry::counter!("psf.deploy.retries").inc();
+                    psf_telemetry::histogram!("psf.deploy.backoff.us").record_duration(backoff);
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
             }
         }
-        result
     }
 
-    fn execute_steps(&self, plan: &Plan, goal: &Goal) -> Result<Deployment, PsfError> {
-        let mut placements = Vec::new();
-        let mut issued_identities = Vec::new();
-        let mut issued_credentials = Vec::new();
-        let mut channels = Vec::new();
-        let mut reservations: Vec<(NodeId, u32)> = Vec::new();
+    /// Undo a partially executed attempt: close its channels, release its
+    /// CPU reservations, and revoke every credential it issued — nothing
+    /// acquired by a failed attempt outlives it.
+    fn rollback(&self, tx: TxState, attempt: u32, error: &PsfError) -> RollbackReport {
+        psf_telemetry::counter!("psf.deploy.rollbacks").inc();
+        let mut span = psf_telemetry::span("psf.deploy", "rollback");
+        for (client, server) in &tx.channels {
+            client.close();
+            server.close();
+        }
+        let mut released = 0u32;
+        if let Some(net) = &self.network {
+            for (node, units) in &tx.reservations {
+                net.release_cpu(*node, *units);
+                released += units;
+            }
+        }
+        let ids: Vec<String> = tx.issued_credentials.iter().map(|c| c.id()).collect();
+        self.guard.bus().revoke_all(&ids);
+        span.field("attempt", attempt)
+            .field("failed_step", tx.step)
+            .field("released_cpu", released)
+            .field("closed_channels", tx.channels.len())
+            .field("revoked", ids.len());
+        RollbackReport {
+            attempt,
+            failed_step: tx.step,
+            error: error.to_string(),
+            released_cpu: released,
+            closed_channels: tx.channels.len(),
+            revoked_credential_ids: ids,
+        }
+    }
 
+    fn execute_attempt(
+        &self,
+        plan: &Plan,
+        goal: &Goal,
+        attempt: u32,
+        fault_plan: Option<&DeployFaultPlan>,
+        fired: &mut u32,
+        tx: &mut TxState,
+    ) -> Result<Arc<dyn RemoteCall>, PsfError> {
         let mut endpoint: Option<Arc<dyn RemoteCall>> = None;
         let mut current_node: Option<NodeId> = None;
 
-        for step in &plan.steps {
+        for (idx, step) in plan.steps.iter().enumerate() {
+            tx.step = idx;
+            if let Some(fp) = fault_plan {
+                if fp.should_fail(attempt, idx, *fired) {
+                    *fired += 1;
+                    psf_telemetry::counter!("psf.deploy.faults.injected").inc();
+                    return Err(PsfError::DeployFailed(format!(
+                        "injected fault: attempt {attempt}, step {idx}"
+                    )));
+                }
+            }
             let step_start = std::time::Instant::now();
             let mut step_span = psf_telemetry::span("psf.deploy", "step");
             match step {
@@ -349,7 +594,7 @@ impl Deployer {
                         .take()
                         .ok_or_else(|| PsfError::DeployFailed("move before any endpoint".into()))?;
                     let (client_side, server_side) =
-                        self.make_channel_pair(*from, *to, *secure_path)?;
+                        self.make_channel_pair(*from, *to, *secure_path, tx)?;
                     // Serve the upstream endpoint on the provider side.
                     let served = upstream.clone();
                     server_side.register_default_handler(move |method, args| {
@@ -358,7 +603,7 @@ impl Deployer {
                     let client = Arc::new(client_side);
                     endpoint = Some(client.clone());
                     // Keep both halves alive for the deployment's lifetime.
-                    channels.push((client, server_side));
+                    tx.channels.push((client, server_side));
                     current_node = Some(*to);
                 }
                 PlanStep::Deploy { spec, node, .. } => {
@@ -378,12 +623,12 @@ impl Deployer {
                             )));
                         }
                         if cost > 0 {
-                            reservations.push((*node, cost));
+                            tx.reservations.push((*node, cost));
                         }
                     }
                     let (entity, cred) = self.issue_identity(spec, *node);
-                    issued_identities.push(entity);
-                    issued_credentials.push(cred);
+                    tx.issued_identities.push(entity);
+                    tx.issued_credentials.push(cred);
 
                     if let Some(vspec) = self.bundle.view_specs.get(spec) {
                         // VIG path: generate the view against the
@@ -406,18 +651,21 @@ impl Deployer {
                             .instantiate(Some(upstream), CoherencePolicy::WriteThrough, 8, b"")
                             .map_err(PsfError::DeployFailed)?;
                         endpoint = Some(Arc::new(ViewEndpoint(inst.clone())));
-                        placements.push((spec.clone(), *node, Deployed::View(inst)));
+                        tx.placements
+                            .push((spec.clone(), *node, Deployed::View(inst)));
                     } else if let Some(factory) = self.bundle.middleware.get(spec) {
                         let upstream = endpoint.clone().ok_or_else(|| {
                             PsfError::DeployFailed("middleware before source".into())
                         })?;
                         let wrapped = factory(upstream);
                         endpoint = Some(wrapped.clone());
-                        placements.push((spec.clone(), *node, Deployed::Middleware(wrapped)));
+                        tx.placements
+                            .push((spec.clone(), *node, Deployed::Middleware(wrapped)));
                     } else if let Some(class) = self.bundle.classes.get(spec) {
                         let inst = class.instantiate();
                         endpoint = Some(InProcessRemote::switchboard(inst.clone()));
-                        placements.push((spec.clone(), *node, Deployed::Component(inst)));
+                        tx.placements
+                            .push((spec.clone(), *node, Deployed::Component(inst)));
                     } else {
                         return Err(PsfError::Unknown(format!(
                             "no artifact registered for template '{spec}'"
@@ -435,14 +683,7 @@ impl Deployer {
                 "plan does not terminate at the client's node".into(),
             ));
         }
-        Ok(Deployment {
-            reservations,
-            placements,
-            issued_identities,
-            issued_credentials,
-            channels,
-            endpoint,
-        })
+        Ok(endpoint)
     }
 
     /// Create a (client, server) channel pair for a hop; full Switchboard
@@ -453,6 +694,7 @@ impl Deployer {
         from: NodeId,
         to: NodeId,
         secure_path: bool,
+        tx: &mut TxState,
     ) -> Result<(Channel, Channel), PsfError> {
         if secure_path {
             let (a, b) = pair_in_memory_plain(self.config.clone());
@@ -460,8 +702,14 @@ impl Deployer {
             return Ok((a, b));
         }
         // Issue per-endpoint identities and connect with mutual auth.
+        // Recorded on the transaction so teardown/rollback revokes them
+        // along with the component credentials.
         let (client_entity, client_cred) = self.issue_identity("conn-client", to);
         let (server_entity, server_cred) = self.issue_identity("conn-server", from);
+        tx.issued_identities
+            .extend([client_entity.clone(), server_entity.clone()]);
+        tx.issued_credentials
+            .extend([client_cred.clone(), server_cred.clone()]);
         let role = self.guard.role("Component");
         let make_authorizer = || {
             Authorizer::new(
@@ -579,6 +827,175 @@ mod tests {
         assert!(!deployment.issued_credentials.is_empty());
         // A cross-node hop exists.
         assert!(deployment.channel_count() >= 1);
+    }
+
+    /// CPU available on every node, for leak accounting across attempts.
+    fn cpu_snapshot(net: &Network) -> Vec<u32> {
+        net.node_ids()
+            .into_iter()
+            .map(|id| net.node(id).unwrap().cpu_available())
+            .collect()
+    }
+
+    #[test]
+    fn injected_fault_rolls_back_then_retry_succeeds() {
+        let s = three_site_scenario(2);
+        let registrar = Registrar::new();
+        registrar.register(ComponentSpec::source("KvStore", "KvI"));
+        registrar.register(
+            ComponentSpec::processor("KvView", "KvI", "KvI", Effect::Cache)
+                .view_of("KvStore")
+                .cpu(5),
+        );
+        registrar.record_deployed("KvStore", s.ny[0]);
+
+        let bundle = AppBundle::new()
+            .class("KvStore", counter_class())
+            .view(
+                "KvView",
+                ViewSpec::new("KvView", "KvStore").restrict("KvI", ExposureType::Local),
+            )
+            .cpu_cost("KvView", 5);
+        let guard = test_guard();
+        let deployer =
+            Deployer::new(guard.clone(), ClockRef::new(), bundle).with_network(s.network.clone());
+        deployer.start_source("KvStore", s.ny[0]).unwrap();
+
+        let planner = Planner::new(
+            &registrar,
+            &s.network,
+            &PermissiveOracle,
+            PlannerConfig::default(),
+        );
+        let goal = Goal {
+            iface: "KvI".into(),
+            client_node: s.sd[0],
+            max_latency_ms: Some(10.0),
+            require_privacy: false,
+            require_plaintext_delivery: true,
+        };
+        let (plan, _) = planner.plan(&goal).unwrap();
+        assert!(plan.steps.len() >= 2, "need a multi-step plan to fault");
+
+        let before = cpu_snapshot(&s.network);
+        // Fail the last step of the first attempt: everything acquired by
+        // the earlier steps must be rolled back before the retry.
+        deployer.set_fault_plan(Some(DeployFaultPlan::fail_at(1, plan.steps.len() - 1)));
+        let deployment = deployer.execute(&plan, &goal).unwrap();
+
+        let report = deployer.last_rollback().expect("a rollback happened");
+        assert_eq!(report.attempt, 1);
+        assert_eq!(report.failed_step, plan.steps.len() - 1);
+        for id in &report.revoked_credential_ids {
+            assert!(guard.bus().is_revoked(id), "rollback revokes {id}");
+        }
+        // The successful attempt's credentials are NOT revoked.
+        for cred in &deployment.issued_credentials {
+            assert!(!guard.bus().is_revoked(&cred.id()));
+        }
+        // The endpoint works after recovery.
+        deployment.endpoint.call_remote("put", b"k=v").unwrap();
+
+        // Teardown returns the network exactly to its pre-deploy state.
+        deployment.teardown(Some(&s.network), &guard);
+        assert_eq!(cpu_snapshot(&s.network), before, "no leaked reservations");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_no_leaks() {
+        let s = three_site_scenario(2);
+        let registrar = Registrar::new();
+        registrar.register(ComponentSpec::source("KvStore", "KvI"));
+        registrar.register(
+            ComponentSpec::processor("KvView", "KvI", "KvI", Effect::Cache)
+                .view_of("KvStore")
+                .cpu(5),
+        );
+        registrar.record_deployed("KvStore", s.ny[0]);
+        let bundle = AppBundle::new()
+            .class("KvStore", counter_class())
+            .view(
+                "KvView",
+                ViewSpec::new("KvView", "KvStore").restrict("KvI", ExposureType::Local),
+            )
+            .cpu_cost("KvView", 5);
+        let guard = test_guard();
+        let deployer =
+            Deployer::new(guard.clone(), ClockRef::new(), bundle).with_network(s.network.clone());
+        deployer.start_source("KvStore", s.ny[0]).unwrap();
+        let planner = Planner::new(
+            &registrar,
+            &s.network,
+            &PermissiveOracle,
+            PlannerConfig::default(),
+        );
+        let goal = Goal {
+            iface: "KvI".into(),
+            client_node: s.sd[0],
+            max_latency_ms: Some(10.0),
+            require_privacy: false,
+            require_plaintext_delivery: true,
+        };
+        let (plan, _) = planner.plan(&goal).unwrap();
+        let last = plan.steps.len() - 1;
+
+        let before = cpu_snapshot(&s.network);
+        // Fault every attempt: execution must give up after max_attempts,
+        // leaving zero residue.
+        deployer.set_fault_plan(Some(
+            DeployFaultPlan::fail_at(1, last)
+                .and_fail_at(2, last)
+                .and_fail_at(3, last),
+        ));
+        deployer.set_retry_policy(RetryPolicy {
+            base_backoff: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        });
+        let err = match deployer.execute(&plan, &goal) {
+            Err(e) => e,
+            Ok(_) => panic!("all attempts faulted — execute must fail"),
+        };
+        assert!(matches!(err, PsfError::DeployFailed(_)));
+        assert_eq!(deployer.last_rollback().unwrap().attempt, 3);
+        assert_eq!(cpu_snapshot(&s.network), before, "no leaked reservations");
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_deterministic_and_bounded() {
+        let a = DeployFaultPlan::seeded(42, 100, 2);
+        let b = DeployFaultPlan::seeded(42, 100, 2);
+        for attempt in 1..4u32 {
+            for step in 0..5usize {
+                assert_eq!(
+                    a.should_fail(attempt, step, 0),
+                    b.should_fail(attempt, step, 0),
+                    "same seed, same verdict"
+                );
+            }
+        }
+        // At 100% probability every step fails — until the cap is hit.
+        assert!(a.should_fail(1, 0, 0));
+        assert!(a.should_fail(1, 0, 1));
+        assert!(!a.should_fail(1, 0, 2), "max_faults caps random faults");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(1), p.backoff_for(1), "deterministic");
+        assert!(p.backoff_for(1) >= p.base_backoff);
+        // Jitter adds at most +50% to the exponential base.
+        assert!(p.backoff_for(2) <= Duration::from_millis(3));
+        for attempt in 1..20u32 {
+            assert!(p.backoff_for(attempt) <= p.max_backoff, "capped");
+        }
+        let other = RetryPolicy {
+            jitter_seed: 0xfeed,
+            ..RetryPolicy::default()
+        };
+        // Different seeds de-synchronize retry storms (usually differ).
+        let differs = (1..8u32).any(|a| p.backoff_for(a) != other.backoff_for(a));
+        assert!(differs);
     }
 
     #[test]

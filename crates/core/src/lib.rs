@@ -42,20 +42,27 @@ pub mod oracle;
 pub mod planner;
 pub mod registrar;
 pub mod repo_service;
+pub mod supervisor;
 
-pub use deploy::{AppBundle, Deployed, Deployer, Deployment};
+pub use deploy::{
+    AppBundle, DeployFaultPlan, Deployed, Deployer, Deployment, RetryPolicy, RollbackReport,
+};
 pub use model::{ComponentSpec, Effect, Goal, IfaceProps, Provided};
-pub use monitor::AdaptationLoop;
+pub use monitor::{AdaptationLoop, AdaptationOutcome};
 pub use oracle::{AuthOracle, DrbacOracle, PermissiveOracle};
 pub use planner::{Plan, PlanStep, Planner, PlannerConfig, PlannerStats};
 pub use registrar::Registrar;
 pub use repo_service::{serve_repository, RemoteRepository};
+pub use supervisor::{Supervisor, SupervisorState, TickOutcome};
 
 /// Errors surfaced by PSF operations.
 #[derive(Debug)]
 pub enum PsfError {
     /// The planner found no deployment satisfying the goal.
     NoPlan(String),
+    /// The planner aborted for an internal reason (expansion budget
+    /// exhausted, …): the goal may still be satisfiable.
+    PlannerInternal(String),
     /// Deployment failed mid-way.
     DeployFailed(String),
     /// A referenced spec/node/interface does not exist.
@@ -66,6 +73,7 @@ impl core::fmt::Display for PsfError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PsfError::NoPlan(m) => write!(f, "no valid plan: {m}"),
+            PsfError::PlannerInternal(m) => write!(f, "planner aborted: {m}"),
             PsfError::DeployFailed(m) => write!(f, "deployment failed: {m}"),
             PsfError::Unknown(m) => write!(f, "unknown reference: {m}"),
         }

@@ -7,6 +7,7 @@ use crate::model::Goal;
 use crate::oracle::AuthOracle;
 use crate::planner::{Plan, Planner, PlannerConfig};
 use crate::registrar::Registrar;
+use crate::PsfError;
 use psf_netsim::{Network, NetworkMonitor};
 
 /// Watches the network and replans a goal when the environment changes.
@@ -31,6 +32,10 @@ pub enum AdaptationOutcome {
     Replanned(Plan),
     /// The goal can no longer be satisfied at all.
     NoLongerSatisfiable,
+    /// The planner failed for an internal reason (budget exhaustion,
+    /// inconsistent registry, …) — NOT proof the goal is unsatisfiable.
+    /// The previous plan is kept; callers should not tear anything down.
+    PlanError(String),
 }
 
 impl<'a> AdaptationLoop<'a> {
@@ -52,18 +57,21 @@ impl<'a> AdaptationLoop<'a> {
             goal,
             current: None,
         };
-        this.current = this.plan_now();
+        this.current = this.plan_now().ok();
         this
     }
 
-    fn plan_now(&self) -> Option<Plan> {
+    /// Run the planner. `Err(NoPlan)` means the goal is genuinely
+    /// unsatisfiable; any other error is an internal planner failure and
+    /// must not be conflated with unsatisfiability.
+    fn plan_now(&self) -> Result<Plan, PsfError> {
         let planner = Planner::new(
             self.registrar,
             self.network,
             self.oracle,
             self.config.clone(),
         );
-        planner.plan(&self.goal).ok().map(|(p, _)| p)
+        planner.plan(&self.goal).map(|(p, _)| p)
     }
 
     /// The currently adopted plan.
@@ -84,18 +92,33 @@ impl<'a> AdaptationLoop<'a> {
             .field("events", events.len())
             .field("goal_iface", &self.goal.iface);
         match self.plan_now() {
-            None => {
+            Err(PsfError::NoPlan(reason)) => {
                 self.current = None;
                 psf_telemetry::counter!("psf.monitor.unsatisfiable").inc();
                 check_span.field("outcome", "unsatisfiable");
                 psf_telemetry::event(
                     "psf.monitor",
                     "goal.unsatisfiable",
-                    vec![("goal_iface", self.goal.iface.clone())],
+                    vec![("goal_iface", self.goal.iface.clone()), ("reason", reason)],
                 );
                 AdaptationOutcome::NoLongerSatisfiable
             }
-            Some(new_plan) => {
+            Err(e) => {
+                // Internal failure: keep the current plan; surface the
+                // error instead of silently reporting "unsatisfiable".
+                psf_telemetry::counter!("psf.monitor.plan_errors").inc();
+                check_span.field("outcome", "plan_error");
+                psf_telemetry::event(
+                    "psf.monitor",
+                    "plan_error",
+                    vec![
+                        ("goal_iface", self.goal.iface.clone()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                AdaptationOutcome::PlanError(e.to_string())
+            }
+            Ok(new_plan) => {
                 if Some(&new_plan) == self.current.as_ref() {
                     check_span.field("outcome", "unchanged");
                     AdaptationOutcome::PlanUnchanged
@@ -194,6 +217,35 @@ mod tests {
         // A change far away (SD↔SE link) does not affect the NY-local plan.
         s.network.set_latency(s.wan_sd_se, 500.0);
         assert_eq!(adapt.check(), AdaptationOutcome::PlanUnchanged);
+    }
+
+    #[test]
+    fn internal_planner_failure_is_not_reported_as_unsatisfiable() {
+        let s = three_site_scenario(2);
+        let r = registrar();
+        r.record_deployed("MailServer", s.ny[0]);
+        let goal = Goal {
+            iface: "MailI".into(),
+            client_node: s.sd[1],
+            max_latency_ms: Some(60.0),
+            require_privacy: false,
+            require_plaintext_delivery: true,
+        };
+        // An absurdly small expansion budget makes the planner abort
+        // internally; that must surface as PlanError, never as
+        // NoLongerSatisfiable (which would trigger a teardown).
+        let config = PlannerConfig {
+            max_expansions: 0,
+            ..PlannerConfig::default()
+        };
+        let mut adapt = AdaptationLoop::start(&r, &s.network, &PermissiveOracle, config, goal);
+        s.network.set_latency(s.wan_ny_sd, 200.0);
+        match adapt.check() {
+            AdaptationOutcome::PlanError(msg) => {
+                assert!(msg.contains("budget"), "unexpected error: {msg}")
+            }
+            other => panic!("expected PlanError, got {other:?}"),
+        }
     }
 
     #[test]

@@ -290,6 +290,12 @@ impl<'a> Planner<'a> {
     }
 
     fn plan_search(&self, goal: &Goal, stats: &mut PlannerStats) -> Result<Plan, PsfError> {
+        if !self.network.node_is_up(goal.client_node) {
+            return Err(PsfError::NoPlan(format!(
+                "client node {} is down",
+                goal.client_node.0
+            )));
+        }
         let relevant = self.relevant_types(goal);
         let specs: Vec<ComponentSpec> = {
             let all = self.registrar.specs();
@@ -305,6 +311,10 @@ impl<'a> Planner<'a> {
         // Initial frontier: already-running instances.
         let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
         for (name, node) in self.registrar.deployed() {
+            // A source on a failed node is dead: it cannot seed a plan.
+            if !self.network.node_is_up(node) {
+                continue;
+            }
             let Some(spec) = self.registrar.spec(&name) else {
                 continue;
             };
@@ -337,11 +347,20 @@ impl<'a> Planner<'a> {
 
         // best (cost, latency) per quantized state key.
         let mut best: HashMap<(String, NodeId, bool, bool), (f64, f64)> = HashMap::new();
-        let nodes = self.network.node_ids();
+        // Failed nodes are not deployment targets.
+        let nodes: Vec<NodeId> = self
+            .network
+            .node_ids()
+            .into_iter()
+            .filter(|&n| self.network.node_is_up(n))
+            .collect();
 
         while !heap.is_empty() {
             if stats.expanded as usize > self.config.max_expansions {
-                return Err(PsfError::NoPlan("expansion budget exhausted".into()));
+                // Running out of budget is not proof of unsatisfiability.
+                return Err(PsfError::PlannerInternal(
+                    "expansion budget exhausted".into(),
+                ));
             }
             // Pop up to K states.
             let k = self.config.parallel_expansion.max(1);

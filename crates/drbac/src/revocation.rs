@@ -60,6 +60,7 @@ impl RevocationBus {
 
     /// Revoke a credential by id, waking every monitor that depends on it.
     pub fn revoke(&self, credential_id: &str) {
+        psf_telemetry::counter!("psf.drbac.revocations").inc();
         self.inner.revoked.lock().insert(credential_id.to_string());
         let watchers = {
             let mut map = self.inner.watchers.lock();
@@ -105,6 +106,25 @@ impl RevocationBus {
             }
         }
         ValidityMonitor { valid, rx, ids }
+    }
+
+    /// Revoke a batch of credential ids (e.g. everything issued to a
+    /// deployment being torn down or rolled back). Returns the number of
+    /// ids that were newly revoked.
+    pub fn revoke_all<I, S>(&self, credential_ids: I) -> usize
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut fresh = 0;
+        for id in credential_ids {
+            let id = id.as_ref();
+            if !self.is_revoked(id) {
+                fresh += 1;
+            }
+            self.revoke(id);
+        }
+        fresh
     }
 
     /// Number of revoked credential ids.
@@ -199,6 +219,18 @@ mod tests {
         let notice = m.wait_notice(Duration::from_secs(5)).unwrap();
         assert_eq!(notice.credential_id, "conn-cred");
         t.join().unwrap();
+    }
+
+    #[test]
+    fn revoke_all_batches_and_counts_fresh() {
+        let bus = RevocationBus::new();
+        let m = bus.monitor(["a".to_string(), "b".to_string()]);
+        bus.revoke("b");
+        let fresh = bus.revoke_all(["a", "b", "c"]);
+        assert_eq!(fresh, 2, "b was already revoked");
+        assert!(!m.is_valid());
+        assert!(bus.is_revoked("a") && bus.is_revoked("b") && bus.is_revoked("c"));
+        assert_eq!(bus.revoked_count(), 3);
     }
 
     #[test]

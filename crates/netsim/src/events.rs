@@ -16,6 +16,11 @@ pub enum NetworkEvent {
     LinkAdded(LinkId),
     /// A link's properties changed (bandwidth, latency, security).
     LinkChanged(LinkId),
+    /// A node crashed or was taken out of service: routing excludes it
+    /// and deployments on it are dead.
+    NodeFailed(NodeId),
+    /// A failed node rejoined the network.
+    NodeRestored(NodeId),
 }
 
 /// Broadcast hub: every subscriber gets every event.

@@ -2,7 +2,7 @@
 
 use crate::events::{EventHub, NetworkEvent};
 use parking_lot::RwLock;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Identifier of a node in the network.
@@ -90,6 +90,11 @@ struct Inner {
     nodes: Vec<NodeSpec>,
     links: Vec<LinkSpec>,
     adjacency: HashMap<NodeId, Vec<LinkId>>,
+    /// Nodes currently down: excluded from routing, refuse reservations.
+    failed_nodes: HashSet<NodeId>,
+    /// Links currently down. Kept separate from latency so a restored
+    /// link comes back with the properties it failed with.
+    failed_links: HashSet<LinkId>,
 }
 
 /// A concurrent, dynamically updatable network graph.
@@ -113,6 +118,8 @@ impl Network {
                 nodes: Vec::new(),
                 links: Vec::new(),
                 adjacency: HashMap::new(),
+                failed_nodes: HashSet::new(),
+                failed_links: HashSet::new(),
             })),
             events: EventHub::new(),
         }
@@ -227,15 +234,110 @@ impl Network {
     }
 
     /// Take a link out of service: routing treats it as absent until
-    /// [`restore_link`](Self::restore_link). (Implemented as an infinite
-    /// latency, which Dijkstra never traverses.)
+    /// restored. Its static properties (latency, bandwidth, security) are
+    /// preserved for restoration.
     pub fn fail_link(&self, id: LinkId) {
-        self.set_latency(id, f64::INFINITY);
+        let fresh = self.inner.write().failed_links.insert(id);
+        if fresh {
+            self.events.publish(NetworkEvent::LinkChanged(id));
+        }
     }
 
     /// Bring a failed link back with the given latency.
     pub fn restore_link(&self, id: LinkId, latency_ms: f64) {
-        self.set_latency(id, latency_ms);
+        {
+            let mut g = self.inner.write();
+            g.failed_links.remove(&id);
+            g.links[id.0 as usize].latency_ms = latency_ms;
+        }
+        self.events.publish(NetworkEvent::LinkChanged(id));
+    }
+
+    /// Bring a failed link back with the properties it went down with.
+    pub fn heal_link(&self, id: LinkId) {
+        let was_down = self.inner.write().failed_links.remove(&id);
+        if was_down {
+            self.events.publish(NetworkEvent::LinkChanged(id));
+        }
+    }
+
+    /// Whether a link is in service.
+    pub fn link_is_up(&self, id: LinkId) -> bool {
+        !self.inner.read().failed_links.contains(&id)
+    }
+
+    /// Crash a node: routing excludes it (as endpoint and as transit),
+    /// and CPU reservations on it are refused until
+    /// [`restore_node`](Self::restore_node).
+    pub fn fail_node(&self, id: NodeId) {
+        let fresh = self.inner.write().failed_nodes.insert(id);
+        if fresh {
+            psf_telemetry::counter!("psf.netsim.node_failures").inc();
+            self.events.publish(NetworkEvent::NodeFailed(id));
+        }
+    }
+
+    /// Bring a failed node back into service.
+    pub fn restore_node(&self, id: NodeId) {
+        let was_down = self.inner.write().failed_nodes.remove(&id);
+        if was_down {
+            self.events.publish(NetworkEvent::NodeRestored(id));
+        }
+    }
+
+    /// Whether a node is in service.
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        !self.inner.read().failed_nodes.contains(&id)
+    }
+
+    /// Nodes currently failed.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.inner.read().failed_nodes.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Partition two node groups from each other: every link with one
+    /// endpoint in `a` and the other in `b` fails. Returns the failed
+    /// links so [`heal_partition`](Self::heal_partition) can undo it.
+    pub fn partition_between(&self, a: &[NodeId], b: &[NodeId]) -> Vec<LinkId> {
+        let crossing: Vec<LinkId> = {
+            let g = self.inner.read();
+            g.links
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (LinkId(i as u32), l))
+                .filter(|(id, l)| {
+                    !g.failed_links.contains(id)
+                        && ((a.contains(&l.a) && b.contains(&l.b))
+                            || (a.contains(&l.b) && b.contains(&l.a)))
+                })
+                .map(|(id, _)| id)
+                .collect()
+        };
+        for &id in &crossing {
+            self.fail_link(id);
+        }
+        crossing
+    }
+
+    /// Isolate an administrative domain: every link crossing its boundary
+    /// fails. Returns the failed links for later healing.
+    pub fn partition_domain(&self, domain: &str) -> Vec<LinkId> {
+        let inside = self.nodes_in_domain(domain);
+        let outside: Vec<NodeId> = self
+            .node_ids()
+            .into_iter()
+            .filter(|n| !inside.contains(n))
+            .collect();
+        self.partition_between(&inside, &outside)
+    }
+
+    /// Undo a partition by healing the links it failed.
+    pub fn heal_partition(&self, links: &[LinkId]) {
+        for &id in links {
+            self.heal_link(id);
+        }
     }
 
     /// Update a link's security flag (monitoring event fires).
@@ -252,6 +354,9 @@ impl Network {
     pub fn reserve_cpu(&self, id: NodeId, units: u32) -> bool {
         let ok = {
             let mut g = self.inner.write();
+            if g.failed_nodes.contains(&id) {
+                return false;
+            }
             let n = &mut g.nodes[id.0 as usize];
             if n.cpu_available() >= units {
                 n.cpu_used += units;
@@ -279,6 +384,10 @@ impl Network {
     /// Dijkstra shortest path by latency from `from` to `to`. Returns the
     /// path metrics, or `None` if disconnected.
     pub fn route(&self, from: NodeId, to: NodeId) -> Option<PathMetrics> {
+        let g = self.inner.read();
+        if g.failed_nodes.contains(&from) || g.failed_nodes.contains(&to) {
+            return None;
+        }
         if from == to {
             return Some(PathMetrics {
                 links: Vec::new(),
@@ -287,7 +396,6 @@ impl Network {
                 all_secure: true,
             });
         }
-        let g = self.inner.read();
         // (negated latency, node) min-heap via Reverse-ordering trick.
         #[derive(PartialEq)]
         struct Entry(f64, NodeId);
@@ -321,9 +429,18 @@ impl Network {
                 continue;
             }
             for &lid in g.adjacency.get(&u).into_iter().flatten() {
+                if g.failed_links.contains(&lid) {
+                    continue;
+                }
                 let l = &g.links[lid.0 as usize];
                 let v = if l.a == u { l.b } else { l.a };
+                if g.failed_nodes.contains(&v) {
+                    continue;
+                }
                 let nd = d + l.latency_ms;
+                if !nd.is_finite() {
+                    continue;
+                }
                 if nd < *dist.get(&v).unwrap_or(&f64::INFINITY) {
                     dist.insert(v, nd);
                     prev.insert(v, (u, lid));
@@ -484,6 +601,86 @@ mod tests {
         // Restore: direct path returns.
         net.restore_link(direct, 5.0);
         assert_eq!(net.route(a, b).unwrap().links, vec![direct]);
+    }
+
+    #[test]
+    fn failed_node_is_excluded_from_routing_until_restored() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let b = net.add_node(node("b", "D"));
+        let c = net.add_node(node("c", "D"));
+        net.add_link(link(a, b, 5.0, 10.0, true));
+        net.add_link(link(b, c, 5.0, 10.0, true));
+        let mon = net.monitor();
+        // b is the only transit node: failing it disconnects a from c.
+        assert!(net.route(a, c).is_some());
+        net.fail_node(b);
+        assert!(!net.node_is_up(b));
+        assert_eq!(net.failed_nodes(), vec![b]);
+        assert!(net.route(a, c).is_none(), "transit through a dead node");
+        assert!(net.route(a, b).is_none(), "dead endpoint");
+        assert!(net.route(b, b).is_none(), "dead self-route");
+        // A dead node refuses reservations.
+        assert!(!net.reserve_cpu(b, 1));
+        // Restore: routing and reservations recover.
+        net.restore_node(b);
+        assert!(net.route(a, c).is_some());
+        assert!(net.reserve_cpu(b, 1));
+        let evs = mon.drain();
+        assert!(evs.contains(&NetworkEvent::NodeFailed(b)));
+        assert!(evs.contains(&NetworkEvent::NodeRestored(b)));
+    }
+
+    #[test]
+    fn fail_node_is_idempotent() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D"));
+        let mon = net.monitor();
+        net.fail_node(a);
+        net.fail_node(a);
+        net.restore_node(a);
+        net.restore_node(a);
+        let evs = mon.drain();
+        assert_eq!(
+            evs,
+            vec![NetworkEvent::NodeFailed(a), NetworkEvent::NodeRestored(a)]
+        );
+    }
+
+    #[test]
+    fn partition_cuts_and_heals_with_original_properties() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D1"));
+        let b = net.add_node(node("b", "D1"));
+        let c = net.add_node(node("c", "D2"));
+        net.add_link(link(a, b, 1.0, 100.0, true));
+        let cross1 = net.add_link(link(a, c, 30.0, 10.0, false));
+        let cross2 = net.add_link(link(b, c, 35.0, 10.0, false));
+        let cut = net.partition_between(&[a, b], &[c]);
+        assert_eq!(cut.len(), 2);
+        assert!(cut.contains(&cross1) && cut.contains(&cross2));
+        assert!(net.route(a, c).is_none());
+        assert!(net.route(a, b).is_some(), "intra-group link survives");
+        // Healing restores the links with the latency they failed with.
+        net.heal_partition(&cut);
+        let p = net.route(a, c).unwrap();
+        assert!((p.latency_ms - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_domain_isolates_the_domain() {
+        let net = Network::new();
+        let a = net.add_node(node("a", "D1"));
+        let b = net.add_node(node("b", "D2"));
+        let c = net.add_node(node("c", "D3"));
+        net.add_link(link(a, b, 10.0, 10.0, true));
+        net.add_link(link(b, c, 10.0, 10.0, true));
+        let cut = net.partition_domain("D2");
+        assert_eq!(cut.len(), 2);
+        assert!(net.route(a, b).is_none());
+        assert!(net.route(b, c).is_none());
+        net.heal_partition(&cut);
+        assert!(net.route(a, c).is_some());
     }
 
     #[test]

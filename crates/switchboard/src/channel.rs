@@ -118,6 +118,7 @@ pub struct PeerInfo {
 type Handler = Arc<dyn Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
 type DefaultHandler = Arc<dyn Fn(&str, &[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
 type PendingMap = HashMap<u64, Sender<Result<Vec<u8>, SwitchboardError>>>;
+type CloseWatcher = Box<dyn FnOnce() + Send>;
 
 pub(crate) struct ChannelInner {
     sender: Mutex<Box<dyn FrameSender>>,
@@ -144,6 +145,7 @@ pub(crate) struct ChannelInner {
     frames_sent: AtomicU64,
     frames_received: AtomicU64,
     closed: AtomicBool,
+    close_watchers: Mutex<Vec<CloseWatcher>>,
     config: ChannelConfig,
 }
 
@@ -189,6 +191,7 @@ impl Channel {
             frames_sent: AtomicU64::new(0),
             frames_received: AtomicU64::new(0),
             closed: AtomicBool::new(false),
+            close_watchers: Mutex::new(Vec::new()),
             config,
         });
 
@@ -360,6 +363,22 @@ impl Channel {
             .map_err(|_| SwitchboardError::Timeout)
     }
 
+    /// Register a callback fired exactly once when this endpoint dies —
+    /// local close, peer close, transport loss, or protocol failure. If
+    /// the channel is already closed, the callback fires immediately.
+    /// Supervisors use this as the channel-death signal that triggers
+    /// failover without polling.
+    pub fn on_close<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            f();
+        } else {
+            self.inner.close_watchers.lock().push(Box::new(f));
+        }
+    }
+
     /// Close the channel, notifying the peer.
     pub fn close(&self) {
         if !self.inner.closed.swap(true, Ordering::SeqCst) {
@@ -470,6 +489,11 @@ fn mark_closed(inner: &Arc<ChannelInner>) {
     let pending: Vec<_> = inner.pending.lock().drain().collect();
     for (_, tx) in pending {
         let _ = tx.send(Err(SwitchboardError::Closed));
+    }
+    // Notify death watchers (drained, so double-close fires them once).
+    let watchers: Vec<CloseWatcher> = inner.close_watchers.lock().drain(..).collect();
+    for w in watchers {
+        w();
     }
 }
 

@@ -31,10 +31,33 @@ pub enum Fault {
     },
 }
 
+/// Shared, cloneable record of the faults that actually fired. Obtain it
+/// from [`FaultyTransport::log_handle`] *before* the transport is consumed
+/// by a handshake; it stays live for the lifetime of the sender.
+#[derive(Clone, Default)]
+pub struct FaultLog(Arc<Mutex<Vec<Fault>>>);
+
+impl FaultLog {
+    /// Snapshot of the faults injected so far, in firing order.
+    pub fn injected(&self) -> Vec<Fault> {
+        self.0.lock().clone()
+    }
+
+    /// Number of faults injected so far.
+    pub fn count(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    fn record(&self, fault: Fault) {
+        self.0.lock().push(fault);
+    }
+}
+
 /// A transport whose *send* side injects the configured faults.
 pub struct FaultyTransport<T: Transport> {
     inner: T,
     faults: Arc<Vec<Fault>>,
+    log: FaultLog,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -43,7 +66,20 @@ impl<T: Transport> FaultyTransport<T> {
         FaultyTransport {
             inner,
             faults: Arc::new(faults),
+            log: FaultLog::default(),
         }
+    }
+
+    /// Faults that have fired so far (empty before the transport is used).
+    pub fn injected(&self) -> Vec<Fault> {
+        self.log.injected()
+    }
+
+    /// A handle to the fault log that survives `split()` — capture it
+    /// before handing the transport to a handshake, then assert on which
+    /// faults actually fired.
+    pub fn log_handle(&self) -> FaultLog {
+        self.log.clone()
     }
 }
 
@@ -51,7 +87,7 @@ struct FaultySender {
     inner: Box<dyn FrameSender>,
     faults: Arc<Vec<Fault>>,
     counter: AtomicU64,
-    log: Arc<Mutex<Vec<Fault>>>,
+    log: FaultLog,
 }
 
 impl FrameSender for FaultySender {
@@ -65,15 +101,15 @@ impl FrameSender for FaultySender {
                         let idx = byte % tampered.len();
                         tampered[idx] ^= 0x01;
                     }
-                    self.log.lock().push(*fault);
+                    self.log.record(*fault);
                     return self.inner.send(&tampered);
                 }
                 Fault::Drop { frame: f } if f == n => {
-                    self.log.lock().push(*fault);
+                    self.log.record(*fault);
                     return Ok(()); // swallowed
                 }
                 Fault::Duplicate { frame: f } if f == n => {
-                    self.log.lock().push(*fault);
+                    self.log.record(*fault);
                     self.inner.send(frame)?;
                     return self.inner.send(frame);
                 }
@@ -92,7 +128,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 inner: tx,
                 faults: self.faults,
                 counter: AtomicU64::new(0),
-                log: Arc::new(Mutex::new(Vec::new())),
+                log: self.log,
             }),
             rx,
         )
@@ -164,13 +200,13 @@ mod tests {
         let (sa, sb, _bus) = suites();
         let (ta, tb) = MemTransport::pair();
         // Corrupt the client's first data record (the RPC request).
-        let faulty = FaultyTransport::new(
-            ta,
-            vec![Fault::CorruptBit {
-                frame: FIRST_DATA_FRAME,
-                byte: 20,
-            }],
-        );
+        let fault = Fault::CorruptBit {
+            frame: FIRST_DATA_FRAME,
+            byte: 20,
+        };
+        let faulty = FaultyTransport::new(ta, vec![fault]);
+        let log = faulty.log_handle();
+        assert!(faulty.injected().is_empty(), "nothing fired yet");
         let handle =
             std::thread::spawn(move || establish_secure(Box::new(tb), &sb, false, quiet()));
         let client = establish_secure(Box::new(faulty), &sa, true, quiet()).unwrap();
@@ -183,18 +219,19 @@ mod tests {
         assert!(result.is_err(), "tampered record must not succeed");
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(server.status(), ChannelStatus::Closed);
+        // The fault verifiably fired (and only once).
+        assert_eq!(log.injected(), vec![fault]);
     }
 
     #[test]
     fn duplicated_record_is_rejected_as_replay() {
         let (sa, sb, _bus) = suites();
         let (ta, tb) = MemTransport::pair();
-        let faulty = FaultyTransport::new(
-            ta,
-            vec![Fault::Duplicate {
-                frame: FIRST_DATA_FRAME,
-            }],
-        );
+        let fault = Fault::Duplicate {
+            frame: FIRST_DATA_FRAME,
+        };
+        let faulty = FaultyTransport::new(ta, vec![fault]);
+        let log = faulty.log_handle();
         let handle =
             std::thread::spawn(move || establish_secure(Box::new(tb), &sb, false, quiet()));
         let client = establish_secure(Box::new(faulty), &sa, true, quiet()).unwrap();
@@ -206,6 +243,7 @@ mod tests {
         let _ = client.call("x", b"p");
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(server.status(), ChannelStatus::Closed);
+        assert_eq!(log.injected(), vec![fault]);
     }
 
     #[test]
@@ -213,6 +251,7 @@ mod tests {
         // Plain mode so we exercise the sequence check rather than AEAD.
         let (ta, tb) = MemTransport::pair();
         let faulty = FaultyTransport::new(ta, vec![Fault::Drop { frame: 0 }]);
+        let log = faulty.log_handle();
         let client = establish_plain(Box::new(faulty), quiet());
         let server = establish_plain(Box::new(tb), quiet());
         server.register_handler("x", |_| Ok(vec![]));
@@ -221,6 +260,7 @@ mod tests {
             Err(SwitchboardError::Timeout) | Err(SwitchboardError::Closed) => {}
             other => panic!("expected timeout, got {other:?}"),
         }
+        assert_eq!(log.injected(), vec![Fault::Drop { frame: 0 }]);
     }
 
     #[test]
@@ -234,15 +274,18 @@ mod tests {
                 byte: 5,
             }],
         );
+        let log = faulty.log_handle();
         let handle =
             std::thread::spawn(move || establish_secure(Box::new(tb), &sb, false, quiet()));
         let client = establish_secure(Box::new(faulty), &sa, true, quiet()).unwrap();
         let server = handle.join().unwrap().unwrap();
         server.register_handler("x", |a| Ok(a.to_vec()));
-        // Two clean calls succeed…
+        // Two clean calls succeed — no fault has fired yet…
         assert_eq!(client.call("x", b"one").unwrap(), b"one");
         assert_eq!(client.call("x", b"two").unwrap(), b"two");
+        assert_eq!(log.count(), 0, "clean traffic must not log faults");
         // …the third is the corrupted frame.
         assert!(client.call("x", b"three").is_err());
+        assert_eq!(log.count(), 1);
     }
 }

@@ -46,7 +46,7 @@ pub mod suite;
 pub mod transport;
 
 pub use channel::{Channel, ChannelConfig, ChannelStatus, Mode, TrafficStats};
-pub use fault::{Fault, FaultyTransport};
+pub use fault::{Fault, FaultLog, FaultyTransport};
 pub use handshake::{
     connect_tcp, establish_plain, establish_secure, listen_tcp, pair_in_memory,
     pair_in_memory_plain, Listener,

@@ -261,6 +261,34 @@ fn close_propagates() {
 }
 
 #[test]
+fn on_close_watchers_fire_exactly_once() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let (a, b) = pair_in_memory_plain(quiet_config());
+    let fired = Arc::new(AtomicUsize::new(0));
+    let f = fired.clone();
+    a.on_close(move || {
+        f.fetch_add(1, Ordering::SeqCst);
+    });
+    assert_eq!(fired.load(Ordering::SeqCst), 0, "not fired while healthy");
+    b.close();
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(a.status(), ChannelStatus::Closed);
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "fires on peer close");
+    a.close(); // double close must not re-fire drained watchers
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+    // Registering on an already-closed channel fires immediately.
+    let late = Arc::new(AtomicUsize::new(0));
+    let l = late.clone();
+    a.on_close(move || {
+        l.fetch_add(1, Ordering::SeqCst);
+    });
+    assert_eq!(late.load(Ordering::SeqCst), 1);
+}
+
+#[test]
 fn secure_rpc_over_real_tcp() {
     let w = world();
     let (cs, ss) = w.suites();

@@ -2,8 +2,12 @@
 //! changes, the planner produces a new deployment, and the deployer
 //! realizes it — the full dynamic loop of §2.1 over the mail world.
 
-use psf_core::{AdaptationLoop, Goal, PlannerConfig};
+use psf_core::{
+    AdaptationLoop, DeployFaultPlan, Goal, PlannerConfig, RetryPolicy, Supervisor, SupervisorState,
+    TickOutcome,
+};
 use psf_mail::{MailWorld, Message};
+use std::time::Duration;
 
 #[test]
 fn degraded_wan_leads_to_cache_redeployment_and_service_continuity() {
@@ -135,6 +139,138 @@ fn teardown_releases_cpu_and_revokes_component_credentials() {
     for id in cred_ids {
         assert!(w.bus.is_revoked(&id), "credential {id} must be revoked");
     }
+}
+
+/// The acceptance scenario for the resilient runtime: a seeded chaos run
+/// — link collapse + node failure + one injected deploy-step failure —
+/// must end with the goal re-satisfied, the old deployment torn down,
+/// its credentials revoked, and zero leaked CPU. Metrics are asserted as
+/// deltas because counters are process-global across tests.
+#[test]
+fn seeded_chaos_run_recovers_end_to_end() {
+    let reg = psf_telemetry::registry();
+    let failovers_before = reg.counter_value("psf.supervisor.failovers");
+    let rollbacks_before = reg.counter_value("psf.deploy.rollbacks");
+
+    let w = MailWorld::build(2);
+    let cpu_before: Vec<u32> = w
+        .sites
+        .network
+        .node_ids()
+        .iter()
+        .map(|&n| w.sites.network.node(n).unwrap().cpu_available())
+        .collect();
+
+    // One injected deploy-step failure on the very first attempt; the
+    // deterministic retry must absorb it.
+    w.deployer
+        .set_fault_plan(Some(DeployFaultPlan::fail_at(1, 1)));
+    w.deployer.set_retry_policy(RetryPolicy {
+        base_backoff: Duration::from_micros(100),
+        jitter_seed: 7,
+        ..RetryPolicy::default()
+    });
+
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[1],
+        max_latency_ms: Some(60.0),
+        require_privacy: false,
+        require_plaintext_delivery: true,
+    };
+    let mut sup = Supervisor::start(
+        &w.registrar,
+        &w.sites.network,
+        &w.oracle,
+        PlannerConfig::default(),
+        goal,
+        &w.deployer,
+        w.ny_guard.clone(),
+    )
+    .expect("initial deployment recovers from the injected fault");
+    let rollback = w.deployer.last_rollback().expect("the fault fired");
+    assert_eq!(rollback.attempt, 1);
+    for id in &rollback.revoked_credential_ids {
+        assert!(w.bus.is_revoked(id), "rollback revokes {id}");
+    }
+    sup.endpoint()
+        .unwrap()
+        .call_remote(
+            "send",
+            &Message::new("bob", "alice", "chaos", "pre-collapse").to_bytes(),
+        )
+        .unwrap();
+    let old_ids: Vec<String> = sup
+        .deployment()
+        .unwrap()
+        .issued_credentials
+        .iter()
+        .map(|c| c.id())
+        .collect();
+
+    // Link collapse: every WAN degrades past the 60 ms bound.
+    for wan in [w.sites.wan_ny_sd, w.sites.wan_ny_se, w.sites.wan_sd_se] {
+        w.sites.network.set_latency(wan, 300.0);
+    }
+    match sup.tick() {
+        TickOutcome::FailedOver { steps } => assert!(steps >= 3, "cache plan expected"),
+        other => panic!("expected failover, got {other:?}"),
+    }
+    // The displaced deployment is gone: its credentials are revoked.
+    for id in &old_ids {
+        assert!(w.bus.is_revoked(id), "old deployment cred {id} revoked");
+    }
+    // Continuity through the cache: mail sent pre-collapse is readable.
+    let inbox = Message::decode_list(
+        &sup.endpoint()
+            .unwrap()
+            .call_remote("fetch", b"alice")
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(inbox.len(), 1);
+    assert_eq!(inbox[0].subject, "chaos");
+
+    // Node failure: sd-0 carries both WANs into San Diego, so the client
+    // at sd-1 is isolated — the supervisor tears everything down.
+    w.sites.network.fail_node(w.sites.sd[0]);
+    match sup.tick() {
+        TickOutcome::Degraded(_) => {}
+        other => panic!("expected degraded, got {other:?}"),
+    }
+    assert!(sup.deployment().is_none());
+
+    // Restore: the goal is re-satisfied end to end.
+    w.sites.network.restore_node(w.sites.sd[0]);
+    match sup.tick() {
+        TickOutcome::Recovered => {}
+        other => panic!("expected recovery, got {other:?}"),
+    }
+    assert_eq!(sup.state(), SupervisorState::Serving);
+    assert!(sup
+        .endpoint()
+        .unwrap()
+        .call_remote("fetch", b"alice")
+        .is_ok());
+
+    // Zero leaked CPU after shutdown, and the metrics moved.
+    sup.shutdown();
+    let cpu_after: Vec<u32> = w
+        .sites
+        .network
+        .node_ids()
+        .iter()
+        .map(|&n| w.sites.network.node(n).unwrap().cpu_available())
+        .collect();
+    assert_eq!(cpu_before, cpu_after, "zero leaked CPU reservations");
+    assert!(
+        reg.counter_value("psf.supervisor.failovers") - failovers_before >= 2,
+        "collapse + recovery each count a failover"
+    );
+    assert!(
+        reg.counter_value("psf.deploy.rollbacks") - rollbacks_before >= 1,
+        "the injected fault forced at least one rollback"
+    );
 }
 
 #[test]

@@ -237,6 +237,73 @@ proptest! {
     }
 }
 
+// ------------------------------------------- rollback leak-freedom --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A deployment that faults at any step must leave no trace: every
+    /// CPU reservation released, every channel closed, every issued
+    /// credential revoked on the bus (transactional deploy semantics).
+    #[test]
+    fn faulted_deployments_roll_back_without_leaks(
+        step_seed in 0usize..64,
+        jitter_seed in 0u64..1_000_000,
+    ) {
+        use psf_core::{DeployFaultPlan, Goal, Planner, PlannerConfig, RetryPolicy};
+
+        let w = psf_mail::MailWorld::build(1);
+        let goal = Goal {
+            iface: "MailI".into(),
+            client_node: w.sites.sd[0],
+            max_latency_ms: Some(10.0),
+            require_privacy: false,
+            require_plaintext_delivery: true,
+        };
+        let planner = Planner::new(
+            &w.registrar,
+            &w.sites.network,
+            &w.oracle,
+            PlannerConfig::default(),
+        );
+        let (plan, _) = planner.plan(&goal).unwrap();
+        prop_assert!(!plan.steps.is_empty());
+        let step = step_seed % plan.steps.len();
+
+        let cpu_before: Vec<u32> = w
+            .sites
+            .network
+            .node_ids()
+            .iter()
+            .map(|&n| w.sites.network.node(n).unwrap().cpu_available())
+            .collect();
+
+        w.deployer.set_retry_policy(RetryPolicy {
+            max_attempts: 1,
+            base_backoff: std::time::Duration::from_micros(1),
+            jitter_seed,
+            ..RetryPolicy::default()
+        });
+        w.deployer.set_fault_plan(Some(DeployFaultPlan::fail_at(1, step)));
+        prop_assert!(w.deployer.execute(&plan, &goal).is_err());
+
+        let report = w.deployer.last_rollback().expect("rollback recorded");
+        prop_assert_eq!(report.attempt, 1);
+        prop_assert_eq!(report.failed_step, step);
+        for id in &report.revoked_credential_ids {
+            prop_assert!(w.bus.is_revoked(id), "leaked credential {}", id);
+        }
+        let cpu_after: Vec<u32> = w
+            .sites
+            .network
+            .node_ids()
+            .iter()
+            .map(|&n| w.sites.network.node(n).unwrap().cpu_available())
+            .collect();
+        prop_assert_eq!(cpu_before, cpu_after, "leaked CPU reservations");
+    }
+}
+
 // ------------------------------------------------------ proof soundness --
 
 proptest! {
