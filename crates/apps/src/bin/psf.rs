@@ -61,6 +61,12 @@ fn usage() -> ! {
          \x20 chaos [--seed N]              run the mail scenario under a\n\
          \x20                               seeded schedule of link/node/deploy\n\
          \x20                               faults; print a recovery report\n\
+         \x20 bench --json [--out PATH] [--quick] [--check]\n\
+         \x20                               time the warm/cold authorization\n\
+         \x20                               and planner fast paths, write the\n\
+         \x20                               results as JSON (BENCH_pr3.json);\n\
+         \x20                               --check exits 1 unless warm is\n\
+         \x20                               >= 2x faster than cold\n\
          \n\
          global flags:\n\
          \x20 --trace-out PATH              write the JSONL span trace on exit\n\
@@ -111,6 +117,7 @@ fn main() {
             "view" => view(&cli, args),
             "metrics" => metrics(&cli, args),
             "chaos" => chaos(&cli, args),
+            "bench" => bench(&cli, args),
             _ => usage(),
         };
         cmd_span.field("exit_code", code);
@@ -605,6 +612,189 @@ fn chaos(cli: &Cli, args: &[String]) -> i32 {
         println!("  UNRECOVERED: {}", failures.join("; "));
         1
     }
+}
+
+/// Time `f` over `iters` runs, returning microseconds per operation.
+fn time_per_op_us(iters: u32, mut f: impl FnMut()) -> f64 {
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// The PR3 perf-trajectory runner: times the warm/cold authorization fast
+/// path (proof search, single sign-on, repository queries) and the
+/// memoized planner, then writes the results as JSON. With `--check`,
+/// exits non-zero unless the warm prove/SSO workloads are at least 2x
+/// faster than cold — the regression gate CI runs.
+fn bench(cli: &Cli, args: &[String]) -> i32 {
+    use psf_drbac::entity::{Entity, Subject};
+    use psf_drbac::{AuthCache, DelegationBuilder};
+    use psf_views::ViewAcl;
+
+    if !args.iter().any(|a| a == "--json") {
+        eprintln!("bench: only --json output is supported (pass --json)");
+        return 2;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let iters: u32 = if quick { 40 } else { 400 };
+
+    // --- dRBAC world: an 8-deep delegation chain + 100 decoys. ---
+    let registry = psf_drbac::entity::EntityRegistry::new();
+    let repo = psf_drbac::repository::Repository::new();
+    let bus = psf_drbac::revocation::RevocationBus::new();
+    let user = Entity::with_seed("User", b"bench");
+    registry.register(&user);
+    let depth = 8usize;
+    let mut domains = Vec::new();
+    for i in 0..depth {
+        let d = Entity::with_seed(format!("D{i}"), b"bench");
+        registry.register(&d);
+        domains.push(d);
+    }
+    repo.publish_at_issuer(
+        DelegationBuilder::new(&domains[depth - 1])
+            .subject_entity(&user)
+            .role(domains[depth - 1].role("R"))
+            .sign(),
+    );
+    for i in 0..depth - 1 {
+        repo.publish_at_issuer(
+            DelegationBuilder::new(&domains[i])
+                .subject_role(domains[i + 1].role("R"))
+                .role(domains[i].role("R"))
+                .sign(),
+        );
+    }
+    for i in 0..100 {
+        let d = Entity::with_seed(format!("X{i}"), b"bench");
+        registry.register(&d);
+        repo.publish_at_issuer(
+            DelegationBuilder::new(&d)
+                .subject_role(psf_drbac::entity::RoleName::new("No.Where", "Z"))
+                .role(d.role("Z"))
+                .sign(),
+        );
+    }
+    let target = domains[0].role("R");
+    let subject = Subject::Entity {
+        name: user.name.clone(),
+        key: user.public_key(),
+    };
+
+    // Proof search: cold re-verifies and re-walks everything; warm is a
+    // proof-cache hit.
+    let prove_cold_us = time_per_op_us(iters, || {
+        let cache = AuthCache::new();
+        let engine = ProofEngine::with_cache(&registry, &repo, &bus, 0, &cache);
+        engine.prove(&subject, &target, &[]).unwrap();
+    });
+    let cache = AuthCache::new();
+    let engine = ProofEngine::with_cache(&registry, &repo, &bus, 0, &cache);
+    engine.prove(&subject, &target, &[]).unwrap();
+    let prove_warm_us = time_per_op_us(iters, || {
+        engine.prove(&subject, &target, &[]).unwrap();
+    });
+    let prove_speedup = prove_cold_us / prove_warm_us.max(1e-9);
+
+    // Single sign-on: token mint for a returning client.
+    let acl = ViewAcl::new().rule(domains[0].role("R"), "FullView");
+    let sso_cold_us = time_per_op_us(iters, || {
+        acl.authorize_once(&subject, &[], &registry, &repo, &bus, 0)
+            .unwrap();
+    });
+    let sso_cache = AuthCache::new();
+    acl.authorize_once_cached(&subject, &[], &registry, &repo, &bus, 0, &sso_cache)
+        .unwrap();
+    let sso_warm_us = time_per_op_us(iters, || {
+        acl.authorize_once_cached(&subject, &[], &registry, &repo, &bus, 0, &sso_cache)
+            .unwrap();
+    });
+    let sso_speedup = sso_cold_us / sso_warm_us.max(1e-9);
+
+    // Repository query: Arc sharing vs the old deep clone.
+    let query_arc_us = time_per_op_us(iters, || {
+        let _ = repo.query_by_subject(&subject);
+    });
+    let query_clone_us = time_per_op_us(iters, || {
+        let _: Vec<psf_drbac::SignedDelegation> = repo
+            .query_by_subject(&subject)
+            .iter()
+            .map(|c| (**c).clone())
+            .collect();
+    });
+
+    // Planner: memoized + Arc-shared search over the mail scenario.
+    let w = world();
+    let goal = Goal::private("MailI", w.sites.sd[1]);
+    let plan_iters = if quick { 10 } else { 50 };
+    let plan_us = time_per_op_us(plan_iters, || {
+        w.plan_service(&goal).unwrap();
+    });
+    let (_, plan_stats) = w.plan_service(&goal).unwrap();
+
+    let stats = cache.stats();
+    let sso_stats = sso_cache.stats();
+    let json = format!(
+        "{{\n  \"bench\": \"pr3\",\n  \"mode\": \"{mode}\",\n  \"iters\": {iters},\n  \
+         \"proof_search\": {{ \"cold_us\": {prove_cold_us:.3}, \"warm_us\": {prove_warm_us:.3}, \"speedup\": {prove_speedup:.1} }},\n  \
+         \"single_sign_on\": {{ \"cold_us\": {sso_cold_us:.3}, \"warm_us\": {sso_warm_us:.3}, \"speedup\": {sso_speedup:.1} }},\n  \
+         \"repository_query\": {{ \"zero_copy_us\": {query_arc_us:.3}, \"deep_clone_us\": {query_clone_us:.3} }},\n  \
+         \"planner\": {{ \"plan_us\": {plan_us:.3}, \"expanded\": {expanded}, \"generated\": {generated}, \"memo_pruned\": {memo_pruned} }},\n  \
+         \"proof_cache\": {{ \"hits\": {ph}, \"misses\": {pm}, \"invalidations\": {pi}, \"cred_hits\": {ch}, \"cred_misses\": {cm} }},\n  \
+         \"sso_cache\": {{ \"hits\": {sph}, \"misses\": {spm} }}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        expanded = plan_stats.expanded,
+        generated = plan_stats.generated,
+        memo_pruned = plan_stats.memo_pruned,
+        ph = stats.proof_hits,
+        pm = stats.proof_misses,
+        pi = stats.proof_invalidations,
+        ch = stats.cred_hits,
+        cm = stats.cred_misses,
+        sph = sso_stats.proof_hits,
+        spm = sso_stats.proof_misses,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        return 1;
+    }
+    cli.say(format!(
+        "proof search: cold {prove_cold_us:.1} us, warm {prove_warm_us:.1} us ({prove_speedup:.0}x)"
+    ));
+    cli.say(format!(
+        "single sign-on: cold {sso_cold_us:.1} us, warm {sso_warm_us:.1} us ({sso_speedup:.0}x)"
+    ));
+    cli.say(format!(
+        "planner: {plan_us:.1} us/plan ({} expanded, {} memo-pruned)",
+        plan_stats.expanded, plan_stats.memo_pruned
+    ));
+    cli.say(format!("results written to {out_path}"));
+    psf_telemetry::event(
+        "psf.cli",
+        "bench.recorded",
+        vec![
+            ("out", out_path.clone()),
+            ("prove_speedup", format!("{prove_speedup:.1}")),
+            ("sso_speedup", format!("{sso_speedup:.1}")),
+        ],
+    );
+    if check && (prove_speedup < 2.0 || sso_speedup < 2.0) {
+        eprintln!(
+            "bench --check FAILED: warm must be >= 2x faster than cold \
+             (prove {prove_speedup:.1}x, sso {sso_speedup:.1}x)"
+        );
+        return 1;
+    }
+    0
 }
 
 /// One representative end-to-end pass over the mail scenario, touching

@@ -80,6 +80,37 @@ fn success_rate(with_views: bool, trials: u64, parallel: usize) -> (f64, f64) {
     )
 }
 
+fn print_memo_table() {
+    println!("\n# F6b: dominance-memo pruning on one constrained topology");
+    let cfg = TopologyConfig {
+        domains: 8,
+        nodes_per_domain: 3,
+        extra_wan_prob: 0.3,
+        wan_secure_prob: 0.2,
+        seed: 7,
+    };
+    let (network, doms) = random_topology(&cfg);
+    let r = registrar(true);
+    r.record_deployed("MailServer", doms[0][0]);
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: doms[7][0],
+        max_latency_ms: Some(15.0),
+        require_privacy: true,
+        require_plaintext_delivery: true,
+    };
+    let planner = Planner::new(&r, &network, &PermissiveOracle, PlannerConfig::default());
+    if let Ok((_, stats)) = planner.plan(&goal) {
+        println!(
+            "  expanded {} generated {} memo-pruned {} auth-pruned {}",
+            stats.expanded, stats.generated, stats.memo_pruned, stats.pruned_by_auth
+        );
+    } else {
+        println!("  (goal infeasible on this seed)");
+    }
+    println!();
+}
+
 fn print_shape_table() {
     let trials = 40;
     let (with, with_len) = success_rate(true, trials, 1);
@@ -99,6 +130,7 @@ fn print_shape_table() {
 
 fn bench(c: &mut Criterion) {
     print_shape_table();
+    print_memo_table();
     let mut group = c.benchmark_group("f6_planner");
     group.sample_size(10);
 
@@ -140,6 +172,28 @@ fn bench(c: &mut Criterion) {
                 },
             );
         }
+        // Warm re-plan: the adaptation-loop case where a provider already
+        // runs next to the client, so the search terminates almost
+        // immediately. Cold-vs-warm here bounds what the supervisor pays
+        // per tick when nothing changed.
+        let r_warm = registrar(true);
+        r_warm.record_deployed("MailServer", doms[0][0]);
+        r_warm.record_deployed("MailServer", doms[domains - 1][0]);
+        let planner = Planner::new(
+            &r_warm,
+            &network,
+            &PermissiveOracle,
+            PlannerConfig::default(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plan_warm_local_provider", domains),
+            &goal,
+            |b, goal| {
+                b.iter(|| {
+                    let _ = planner.plan(goal);
+                });
+            },
+        );
     }
     group.finish();
 }

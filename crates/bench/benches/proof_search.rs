@@ -7,7 +7,7 @@ use psf_drbac::entity::{Entity, EntityRegistry, RoleName, Subject};
 use psf_drbac::proof::ProofEngine;
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::RevocationBus;
-use psf_drbac::DelegationBuilder;
+use psf_drbac::{AuthCache, DelegationBuilder};
 
 struct ProofWorld {
     registry: EntityRegistry,
@@ -132,6 +132,28 @@ fn bench(c: &mut Criterion) {
     let proof = prove(&w);
     group.bench_function("verify_depth_8", |b| {
         b.iter(|| proof.verify(&w.registry, &w.bus, 0).unwrap());
+    });
+
+    // Warm vs cold through the authorization fast path: cold pays the
+    // full search + one Ed25519 verify per credential every call; warm
+    // answers repeat decisions from the proof cache.
+    let w = build_world(8, 100);
+    let subject = Subject::Entity {
+        name: w.user.name.clone(),
+        key: w.user.public_key(),
+    };
+    group.bench_function("prove_cold_depth_8", |b| {
+        b.iter(|| {
+            let cache = AuthCache::new();
+            let engine = ProofEngine::with_cache(&w.registry, &w.repo, &w.bus, 0, &cache);
+            engine.prove(&subject, &w.target, &[]).unwrap()
+        });
+    });
+    let cache = AuthCache::new();
+    let engine = ProofEngine::with_cache(&w.registry, &w.repo, &w.bus, 0, &cache);
+    engine.prove(&subject, &w.target, &[]).unwrap();
+    group.bench_function("prove_warm_depth_8", |b| {
+        b.iter(|| engine.prove(&subject, &w.target, &[]).unwrap());
     });
     group.finish();
 }

@@ -150,6 +150,36 @@ fn bench(c: &mut Criterion) {
                     .unwrap()
             });
         });
+        // Warm mint: repeat token issuance for the same (subject, role,
+        // presented set) is answered from the proof cache — the cost a
+        // Guard pays per reconnect once the first client signed on.
+        let cache = psf_drbac::AuthCache::new();
+        w.acl
+            .authorize_once_cached(
+                &w.user.as_subject(),
+                &w.creds,
+                &w.registry,
+                &w.repo,
+                &w.bus,
+                0,
+                &cache,
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("sso_mint_warm", depth), &depth, |b, _| {
+            b.iter(|| {
+                w.acl
+                    .authorize_once_cached(
+                        &w.user.as_subject(),
+                        &w.creds,
+                        &w.registry,
+                        &w.repo,
+                        &w.bus,
+                        0,
+                        &cache,
+                    )
+                    .unwrap()
+            });
+        });
     }
     group.finish();
 }

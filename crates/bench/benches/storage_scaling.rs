@@ -4,7 +4,10 @@
 //! cost of actually materializing dRBAC's credential set.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psf_drbac::entity::Entity;
+use psf_drbac::repository::{CredentialSource, Repository};
 use psf_drbac::storage_model::{simulate_drbac, storage_comparison};
+use psf_drbac::DelegationBuilder;
 
 fn print_shape_table() {
     println!("\n# F1: storage entries by architecture (C=8, c=2P)");
@@ -54,6 +57,35 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| simulate_drbac(scale, scale * 10, scale / 2));
             },
         );
+    }
+
+    // Repository query path: the `Arc`-sharing fast path vs the old
+    // deep-clone behavior (reconstructed here by cloning every returned
+    // credential out of its `Arc`).
+    for n in [10usize, 100, 1_000] {
+        let repo = Repository::new();
+        let issuer = Entity::with_seed("Issuer", b"f1");
+        let user = Entity::with_seed("User", b"f1");
+        for i in 0..n {
+            repo.publish_at_issuer(
+                DelegationBuilder::new(&issuer)
+                    .subject_entity(&user)
+                    .role(issuer.role(format!("R{i}")))
+                    .sign(),
+            );
+        }
+        let subject = user.as_subject();
+        group.bench_with_input(BenchmarkId::new("query_zero_copy", n), &n, |b, _| {
+            b.iter(|| repo.credentials_by_subject(&subject));
+        });
+        group.bench_with_input(BenchmarkId::new("query_deep_clone", n), &n, |b, _| {
+            b.iter(|| {
+                repo.credentials_by_subject(&subject)
+                    .iter()
+                    .map(|c| (**c).clone())
+                    .collect::<Vec<_>>()
+            });
+        });
     }
     group.finish();
 }

@@ -8,7 +8,7 @@ use psf_drbac::entity::{EntityRegistry, Subject};
 use psf_drbac::proof::ProofEngine;
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::RevocationBus;
-use psf_drbac::{AttrSet, RoleName, SignedDelegation, Timestamp};
+use psf_drbac::{AttrSet, AuthCache, RoleName, SignedDelegation, Timestamp};
 use psf_netsim::{Network, NodeId};
 use std::collections::HashMap;
 
@@ -53,6 +53,9 @@ pub struct DrbacOracle {
     /// Credentials presented on behalf of components (their exec-role
     /// chains).
     component_credentials: Vec<SignedDelegation>,
+    /// Fast path for the planner's repeated per-(component, node)
+    /// authorization queries.
+    cache: AuthCache,
 }
 
 impl DrbacOracle {
@@ -73,7 +76,13 @@ impl DrbacOracle {
             node_subjects: HashMap::new(),
             node_exec_roles: HashMap::new(),
             component_credentials: Vec::new(),
+            cache: AuthCache::new(),
         }
+    }
+
+    /// The oracle's authorization cache (hit/miss stats, manual clear).
+    pub fn auth_cache(&self) -> &AuthCache {
+        &self.cache
     }
 
     /// Register the dRBAC subject a node authenticates as (typically its
@@ -94,7 +103,13 @@ impl DrbacOracle {
     }
 
     fn engine(&self) -> ProofEngine<'_> {
-        ProofEngine::new(&self.registry, &self.repository, &self.bus, self.now)
+        ProofEngine::with_cache(
+            &self.registry,
+            &self.repository,
+            &self.bus,
+            self.now,
+            &self.cache,
+        )
     }
 }
 

@@ -12,9 +12,17 @@
 //!   and *component deployment* (transform properties at a node), subject
 //!   to node CPU capacity and the dRBAC [`AuthOracle`].
 //! * **Parallelism**: `parallel_expansion = K` pops up to K frontier
-//!   states per round and expands them on crossbeam scoped threads
+//!   states per round and expands them on `std::thread::scope` workers
 //!   (K-best-first search; with K > 1 the returned plan may be up to one
 //!   expansion round from optimal, which the benches account for).
+//!   Results are merged in batch order, so plans are reproducible for a
+//!   fixed input regardless of thread scheduling.
+//! * **Memoization**: search states share their step history through a
+//!   persistent `Arc` cons-list and their CPU reservations through an
+//!   `Arc`-shared map (copy-on-write only on deployment), so generating a
+//!   successor no longer deep-clones the whole plan prefix. A dominance
+//!   memo over quantized state keys prunes dominated successors at push
+//!   time *and* stale queue entries at pop time (`psf.planner.memo.*`).
 
 use crate::model::{ComponentSpec, Goal, IfaceProps};
 use crate::oracle::AuthOracle;
@@ -22,6 +30,7 @@ use crate::registrar::Registrar;
 use crate::PsfError;
 use psf_netsim::{Network, NodeId};
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// One step of a deployment plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +172,9 @@ pub struct PlannerStats {
     pub pruned_by_auth: u64,
     /// Components skipped by regression relevance analysis.
     pub pruned_irrelevant: u64,
+    /// Successors dropped by the dominance memo before entering the
+    /// queue (push-time) or when popped stale (pop-time).
+    pub memo_pruned: u64,
 }
 
 /// The planning module.
@@ -173,14 +185,92 @@ pub struct Planner<'a> {
     config: PlannerConfig,
 }
 
+/// Persistent (shared-tail) list of plan steps: every successor state
+/// extends its parent's history with one `Arc` cell instead of cloning the
+/// whole prefix. Materialized into a `Vec` only for the winning state.
+struct StepList {
+    step: PlanStep,
+    prev: Option<Arc<StepList>>,
+}
+
+impl StepList {
+    fn push(prev: &Option<Arc<StepList>>, step: PlanStep) -> Option<Arc<StepList>> {
+        Some(Arc::new(StepList {
+            step,
+            prev: prev.clone(),
+        }))
+    }
+
+    fn materialize(list: &Option<Arc<StepList>>) -> Vec<PlanStep> {
+        let mut out = Vec::new();
+        let mut cur = list;
+        while let Some(cell) = cur {
+            out.push(cell.step.clone());
+            cur = &cell.prev;
+        }
+        out.reverse();
+        out
+    }
+}
+
 #[derive(Clone)]
 struct State {
     iface: String,
     node: NodeId,
     props: IfaceProps,
     cost: f64,
-    steps: Vec<PlanStep>,
-    cpu_used: HashMap<NodeId, u32>,
+    steps: Option<Arc<StepList>>,
+    /// CPU reserved by this plan per node; `Arc`-shared across successors
+    /// and copied only when a deployment actually changes it.
+    cpu_used: Arc<HashMap<NodeId, u32>>,
+}
+
+/// Quantized state identity for the dominance memo.
+type MemoKey = (String, NodeId, bool, bool);
+
+/// One point on a memo key's Pareto frontier. An entry dominates a
+/// candidate state only when it is no worse on *all three* axes — cost,
+/// delivered latency, and per-node CPU reservations (pointwise). The CPU
+/// axis matters: a cheaper state that has exhausted a node the candidate
+/// still needs cannot stand in for it.
+struct ParetoEntry {
+    cost: f64,
+    latency: f64,
+    cpu: Arc<HashMap<NodeId, u32>>,
+}
+
+/// `a <= b` pointwise over per-node CPU reservations (missing = 0).
+fn cpu_leq(a: &HashMap<NodeId, u32>, b: &HashMap<NodeId, u32>) -> bool {
+    a.iter().all(|(n, c)| *c <= b.get(n).copied().unwrap_or(0))
+}
+
+impl ParetoEntry {
+    fn dominates(&self, s: &State) -> bool {
+        self.cost <= s.cost && self.latency <= s.props.latency_ms && cpu_leq(&self.cpu, &s.cpu_used)
+    }
+
+    fn dominated_by(&self, s: &State) -> bool {
+        s.cost <= self.cost && s.props.latency_ms <= self.latency && cpu_leq(&s.cpu_used, &self.cpu)
+    }
+
+    fn of(s: &State) -> ParetoEntry {
+        ParetoEntry {
+            cost: s.cost,
+            latency: s.props.latency_ms,
+            cpu: s.cpu_used.clone(),
+        }
+    }
+}
+
+impl State {
+    fn memo_key(&self) -> MemoKey {
+        (
+            self.iface.clone(),
+            self.node,
+            self.props.encrypted,
+            self.props.plaintext_exposed,
+        )
+    }
 }
 
 /// Priority-queue wrapper (min-heap by cost).
@@ -330,12 +420,15 @@ impl<'a> Planner<'a> {
                     node,
                     props,
                     cost: 0.0,
-                    steps: vec![PlanStep::UseDeployed {
-                        spec: name.clone(),
-                        node,
-                        iface: provided.iface.clone(),
-                    }],
-                    cpu_used: HashMap::new(),
+                    steps: StepList::push(
+                        &None,
+                        PlanStep::UseDeployed {
+                            spec: name.clone(),
+                            node,
+                            iface: provided.iface.clone(),
+                        },
+                    ),
+                    cpu_used: Arc::new(HashMap::new()),
                 }));
             }
         }
@@ -345,8 +438,8 @@ impl<'a> Planner<'a> {
             ));
         }
 
-        // best (cost, latency) per quantized state key.
-        let mut best: HashMap<(String, NodeId, bool, bool), (f64, f64)> = HashMap::new();
+        // Pareto frontier of (cost, latency, cpu) per quantized state key.
+        let mut best: HashMap<MemoKey, Vec<ParetoEntry>> = HashMap::new();
         // Failed nodes are not deployment targets.
         let nodes: Vec<NodeId> = self
             .network
@@ -377,65 +470,84 @@ impl<'a> Planner<'a> {
                     && s.iface == goal.iface
                     && goal.satisfied_by(&s.props)
                 {
+                    psf_telemetry::gauge!("psf.planner.memo.entries")
+                        .set(best.values().map(Vec::len).sum::<usize>() as i64);
                     return Ok(Plan {
-                        steps: s.steps.clone(),
+                        steps: StepList::materialize(&s.steps),
                         delivered: s.props.clone(),
                         cost: s.cost,
                     });
                 }
             }
-            // Dominance filter.
+            // Dominance filter (pop-time): drop queue entries that went
+            // stale while waiting — a cheaper path to the same quantized
+            // key was expanded since they were pushed.
+            let before = batch.len();
             let batch: Vec<State> = batch
                 .into_iter()
                 .filter(|s| {
-                    let key = (
-                        s.iface.clone(),
-                        s.node,
-                        s.props.encrypted,
-                        s.props.plaintext_exposed,
-                    );
-                    match best.get(&key) {
-                        Some(&(c, l)) if c <= s.cost && l <= s.props.latency_ms => false,
-                        _ => {
-                            best.insert(key, (s.cost, s.props.latency_ms));
-                            true
-                        }
+                    let frontier = best.entry(s.memo_key()).or_default();
+                    if frontier.iter().any(|e| e.dominates(s)) {
+                        false
+                    } else {
+                        frontier.retain(|e| !e.dominated_by(s));
+                        frontier.push(ParetoEntry::of(s));
+                        true
                     }
                 })
                 .collect();
+            let pop_pruned = (before - batch.len()) as u64;
+            stats.memo_pruned += pop_pruned;
+            psf_telemetry::counter!("psf.planner.memo.pruned_pop").add(pop_pruned);
             if batch.is_empty() {
                 continue;
             }
             stats.expanded += batch.len() as u64;
 
-            // Expand (in parallel when configured).
+            // Expand (in parallel when configured). Workers only *read*
+            // the dominance memo (`best` is updated between rounds), and
+            // results are joined in batch order — the merge is
+            // deterministic for any thread interleaving.
             let specs_ref: &[ComponentSpec] = &specs;
             let nodes_ref: &[NodeId] = &nodes;
             let relevant_ref = &relevant;
             let successors: Vec<(Vec<State>, u64)> = if batch.len() == 1 {
                 vec![self.expand(&batch[0], goal, specs_ref, nodes_ref, relevant_ref)]
             } else {
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = batch
                         .iter()
                         .map(|s| {
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 self.expand(s, goal, specs_ref, nodes_ref, relevant_ref)
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("planner expansion thread"))
+                        .collect()
                 })
-                .expect("planner expansion threads")
             };
             for (succs, auth_pruned) in successors {
                 stats.pruned_by_auth += auth_pruned;
                 for s in succs {
                     stats.generated += 1;
+                    // Push-time dominance memo: never enqueue a successor
+                    // already dominated by an expanded state.
+                    if let Some(frontier) = best.get(&s.memo_key()) {
+                        if frontier.iter().any(|e| e.dominates(&s)) {
+                            stats.memo_pruned += 1;
+                            psf_telemetry::counter!("psf.planner.memo.pruned_push").inc();
+                            continue;
+                        }
+                    }
                     heap.push(QueueEntry(s));
                 }
             }
         }
+        psf_telemetry::gauge!("psf.planner.memo.entries")
+            .set(best.values().map(Vec::len).sum::<usize>() as i64);
         Err(PsfError::NoPlan(format!(
             "search exhausted after {} expansions",
             stats.expanded
@@ -460,14 +572,16 @@ impl<'a> Planner<'a> {
             }
             if let Some(path) = self.network.route(s.node, m) {
                 let props = s.props.across(&path);
-                let mut steps = s.steps.clone();
-                steps.push(PlanStep::Move {
-                    iface: s.iface.clone(),
-                    from: s.node,
-                    to: m,
-                    latency_ms: path.latency_ms,
-                    secure_path: path.all_secure,
-                });
+                let steps = StepList::push(
+                    &s.steps,
+                    PlanStep::Move {
+                        iface: s.iface.clone(),
+                        from: s.node,
+                        to: m,
+                        latency_ms: path.latency_ms,
+                        secure_path: path.all_secure,
+                    },
+                );
                 out.push(State {
                     iface: s.iface.clone(),
                     node: m,
@@ -516,14 +630,17 @@ impl<'a> Planner<'a> {
                 let Some(props) = provided.effect.apply(Some(&s.props)) else {
                     continue;
                 };
-                let mut steps = s.steps.clone();
-                steps.push(PlanStep::Deploy {
-                    spec: spec.name.clone(),
-                    node: s.node,
-                    iface_in: Some(s.iface.clone()),
-                    iface_out: provided.iface.clone(),
-                });
-                let mut cpu_used = s.cpu_used.clone();
+                let steps = StepList::push(
+                    &s.steps,
+                    PlanStep::Deploy {
+                        spec: spec.name.clone(),
+                        node: s.node,
+                        iface_in: Some(s.iface.clone()),
+                        iface_out: provided.iface.clone(),
+                    },
+                );
+                // Copy-on-write: only deployments touch the reservation map.
+                let mut cpu_used = (*s.cpu_used).clone();
                 *cpu_used.entry(s.node).or_insert(0) += spec.cpu_cost;
                 out.push(State {
                     iface: provided.iface.clone(),
@@ -533,7 +650,7 @@ impl<'a> Planner<'a> {
                         + self.config.deploy_penalty
                         + self.config.cpu_penalty * spec.cpu_cost as f64,
                     steps,
-                    cpu_used,
+                    cpu_used: Arc::new(cpu_used),
                 });
             }
         }

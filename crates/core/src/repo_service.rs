@@ -104,7 +104,7 @@ pub fn serve_repository(channel: &Channel, repository: Repository) {
 /// enforced separately by the bus, so caching is sound).
 pub struct RemoteRepository {
     channel: Arc<Channel>,
-    cache: Mutex<HashMap<Vec<u8>, Vec<SignedDelegation>>>,
+    cache: Mutex<HashMap<Vec<u8>, Vec<Arc<SignedDelegation>>>>,
     caching: bool,
 }
 
@@ -124,7 +124,7 @@ impl RemoteRepository {
         self
     }
 
-    fn query(&self, method: &str, args: Vec<u8>) -> Vec<SignedDelegation> {
+    fn query(&self, method: &str, args: Vec<u8>) -> Vec<Arc<SignedDelegation>> {
         let cache_key = {
             let mut k = method.as_bytes().to_vec();
             k.push(0);
@@ -136,12 +136,15 @@ impl RemoteRepository {
                 return hit.clone();
             }
         }
-        let result = self
+        let result: Vec<Arc<SignedDelegation>> = self
             .channel
             .call(method, &args)
             .ok()
             .and_then(|bytes| decode_credentials(&bytes).ok())
-            .unwrap_or_default();
+            .unwrap_or_default()
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         if self.caching {
             self.cache.lock().insert(cache_key, result.clone());
         }
@@ -150,13 +153,16 @@ impl RemoteRepository {
 }
 
 impl CredentialSource for RemoteRepository {
-    fn credentials_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation> {
+    fn credentials_by_subject(&self, subject: &Subject) -> Vec<Arc<SignedDelegation>> {
         self.query(QUERY_BY_SUBJECT, subject_query_key(subject))
     }
 
-    fn credentials_by_object(&self, role: &RoleName) -> Vec<SignedDelegation> {
+    fn credentials_by_object(&self, role: &RoleName) -> Vec<Arc<SignedDelegation>> {
         self.query(QUERY_BY_OBJECT, role.to_string().into_bytes())
     }
+    // No `version()` override: a remote source has no coherent epoch, so
+    // proof caching is disabled over it (credential-verdict caching and
+    // the response cache above still apply).
 }
 
 #[cfg(test)]

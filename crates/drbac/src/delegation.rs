@@ -122,14 +122,9 @@ impl SignedDelegation {
         digest[..8].iter().map(|b| format!("{b:02x}")).collect()
     }
 
-    /// Verify the issuer signature given the issuer's public key, plus
-    /// structural checks (self-certifying ⇒ issuer owns the role) and
-    /// expiration at `now`.
-    pub fn verify(
-        &self,
-        issuer_key: &psf_crypto::ed25519::VerifyingKey,
-        now: Timestamp,
-    ) -> Result<(), DrbacError> {
+    /// Structural check (self-certifying ⇒ issuer owns the role): the
+    /// time-independent, key-independent part of [`verify`](Self::verify).
+    pub fn check_structure(&self) -> Result<(), DrbacError> {
         if self.body.kind == DelegationKind::SelfCertifying
             && self.body.issuer != self.body.object.owner
         {
@@ -138,6 +133,12 @@ impl SignedDelegation {
                 self.id()
             )));
         }
+        Ok(())
+    }
+
+    /// Expiration check at `now`: the time-dependent part of
+    /// [`verify`](Self::verify).
+    pub fn check_expiry(&self, now: Timestamp) -> Result<(), DrbacError> {
         if let Some(expires) = self.body.expires {
             if now >= expires {
                 return Err(DrbacError::Expired {
@@ -147,9 +148,32 @@ impl SignedDelegation {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Cryptographic signature check alone (no structure, no expiry) —
+    /// the expensive Ed25519 operation a verified-credential cache
+    /// memoizes per `(credential id, issuer key)`.
+    pub fn verify_signature(
+        &self,
+        issuer_key: &psf_crypto::ed25519::VerifyingKey,
+    ) -> Result<(), DrbacError> {
         issuer_key
             .verify(&self.body.encode(), &self.signature)
             .map_err(|_| DrbacError::BadSignature)
+    }
+
+    /// Verify the issuer signature given the issuer's public key, plus
+    /// structural checks (self-certifying ⇒ issuer owns the role) and
+    /// expiration at `now`.
+    pub fn verify(
+        &self,
+        issuer_key: &psf_crypto::ed25519::VerifyingKey,
+        now: Timestamp,
+    ) -> Result<(), DrbacError> {
+        self.check_structure()?;
+        self.check_expiry(now)?;
+        self.verify_signature(issuer_key)
     }
 
     /// Approximate on-the-wire size in bytes (used by the storage-model

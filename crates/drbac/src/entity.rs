@@ -199,7 +199,15 @@ impl fmt::Debug for Entity {
 /// distribution stand-in).
 #[derive(Clone, Default)]
 pub struct EntityRegistry {
-    inner: Arc<RwLock<HashMap<EntityName, VerifyingKey>>>,
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    map: RwLock<HashMap<EntityName, VerifyingKey>>,
+    // Bumped on every registration: proof caches use it to notice that a
+    // previously-unknown issuer may have become resolvable.
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 impl EntityRegistry {
@@ -211,28 +219,44 @@ impl EntityRegistry {
     /// Register an entity's public key.
     pub fn register(&self, entity: &Entity) {
         self.inner
+            .map
             .write()
             .insert(entity.name.clone(), entity.public_key());
+        self.bump();
     }
 
     /// Register a bare name/key pair.
     pub fn register_key(&self, name: EntityName, key: VerifyingKey) {
-        self.inner.write().insert(name, key);
+        self.inner.map.write().insert(name, key);
+        self.bump();
     }
 
     /// Look up a public key.
     pub fn lookup(&self, name: &EntityName) -> Option<VerifyingKey> {
-        self.inner.read().get(name).copied()
+        self.inner.map.read().get(name).copied()
     }
 
     /// Number of registered entities.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.map.read().len()
     }
 
     /// True if no entities are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.map.read().is_empty()
+    }
+
+    /// Monotonic counter bumped on every registration; used by the proof
+    /// cache to gate cached *failures* (a new registration can turn an
+    /// `UnknownIssuer` dead end into a provable chain).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump(&self) {
+        self.inner
+            .epoch
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 }
 

@@ -6,6 +6,7 @@
 //! control lists, authenticating, and authorizing."
 
 use crate::attr::AttrSet;
+use crate::cache::AuthCache;
 use crate::delegation::{DelegationBuilder, SignedDelegation};
 use crate::entity::{Entity, EntityRegistry, RoleName, Subject};
 use crate::proof::{Proof, ProofEngine, ProofError};
@@ -36,6 +37,9 @@ pub struct Guard {
     bus: RevocationBus,
     acl: RwLock<Vec<AclRule>>,
     issued: Mutex<Vec<SignedDelegation>>,
+    /// Authorization fast path, dedicated to this guard's
+    /// (registry, repository, bus) triple.
+    cache: AuthCache,
 }
 
 impl Guard {
@@ -55,7 +59,13 @@ impl Guard {
             bus,
             acl: RwLock::new(Vec::new()),
             issued: Mutex::new(Vec::new()),
+            cache: AuthCache::new(),
         }
+    }
+
+    /// The guard's authorization cache (hit/miss stats, manual clear).
+    pub fn auth_cache(&self) -> &AuthCache {
+        &self.cache
     }
 
     /// The domain identity this guard speaks for.
@@ -156,8 +166,18 @@ impl Guard {
         presented: &[SignedDelegation],
         now: Timestamp,
     ) -> Result<Proof, ProofError> {
-        let engine = ProofEngine::new(&self.registry, &self.repository, &self.bus, now);
+        let engine = self.engine(now);
         engine.prove(subject, role, presented).map(|(p, _)| p)
+    }
+
+    fn engine(&self, now: Timestamp) -> ProofEngine<'_> {
+        ProofEngine::with_cache(
+            &self.registry,
+            &self.repository,
+            &self.bus,
+            now,
+            &self.cache,
+        )
     }
 
     /// Authorize with required attributes (node/component authorization).
@@ -169,7 +189,7 @@ impl Guard {
         presented: &[SignedDelegation],
         now: Timestamp,
     ) -> Result<Proof, ProofError> {
-        let engine = ProofEngine::new(&self.registry, &self.repository, &self.bus, now);
+        let engine = self.engine(now);
         engine
             .prove_with(subject, role, required, presented)
             .map(|(p, _)| p)
@@ -188,7 +208,7 @@ impl Guard {
         presented: &[SignedDelegation],
         now: Timestamp,
     ) -> Option<(String, Option<Proof>)> {
-        let engine = ProofEngine::new(&self.registry, &self.repository, &self.bus, now);
+        let engine = self.engine(now);
         let rules = self.acl.read().clone();
         for rule in &rules {
             match &rule.role {
@@ -236,7 +256,7 @@ mod tests {
         let proof = g
             .authorize(&alice.as_subject(), &g.role("Member"), &[], 0)
             .unwrap();
-        assert_eq!(proof.edges[0].credential, cred);
+        assert_eq!(*proof.edges[0].credential, cred);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod cache;
 pub mod delegation;
 pub mod entity;
 pub mod guard;
@@ -54,6 +55,7 @@ pub mod translator;
 pub mod wire;
 
 pub use attr::{AttrSet, AttrValue};
+pub use cache::{AuthCache, CacheStats};
 pub use delegation::{Delegation, DelegationBuilder, DelegationKind, SignedDelegation};
 pub use entity::{Entity, EntityName, EntityRegistry, RoleName, Subject};
 pub use guard::Guard;

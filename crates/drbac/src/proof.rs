@@ -12,6 +12,7 @@
 //! [`verify`]: Proof::verify
 
 use crate::attr::AttrSet;
+use crate::cache::{AuthCache, Frontier, PresentedFingerprint, ProofKey};
 use crate::delegation::{DelegationKind, SignedDelegation};
 use crate::entity::{EntityRegistry, RoleName, Subject};
 #[cfg(test)]
@@ -20,13 +21,17 @@ use crate::repository::{subject_key, CredentialSource};
 use crate::revocation::RevocationBus;
 use crate::{DrbacError, Timestamp};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// One edge of a proof chain: the credential plus, for third-party
 /// delegations, the assignment-right proof authorizing its issuer.
+///
+/// The credential is `Arc`-shared with the repository/presented set — a
+/// proof references signed blobs, it does not copy them.
 #[derive(Debug, Clone)]
 pub struct ProofEdge {
     /// The signed delegation this edge rests on.
-    pub credential: SignedDelegation,
+    pub credential: Arc<SignedDelegation>,
     /// For third-party edges: proof that the issuer holds the right of
     /// assignment for the edge's object role.
     pub support: Option<Box<Proof>>,
@@ -85,8 +90,21 @@ impl Proof {
         bus: &RevocationBus,
         now: Timestamp,
     ) -> Result<(), DrbacError> {
+        self.verify_with(registry, bus, now, None)
+    }
+
+    /// As [`verify`](Self::verify), answering repeat signature checks from
+    /// `cache` when one is supplied. Structure, expiry, and revocation are
+    /// always re-checked fresh.
+    pub fn verify_with(
+        &self,
+        registry: &EntityRegistry,
+        bus: &RevocationBus,
+        now: Timestamp,
+        cache: Option<&AuthCache>,
+    ) -> Result<(), DrbacError> {
         if self.assignment {
-            return self.verify_assignment(registry, bus, now);
+            return self.verify_assignment(registry, bus, now, cache);
         }
         if self.edges.is_empty() {
             return Err(DrbacError::BrokenChain(
@@ -97,7 +115,7 @@ impl Proof {
         let mut expected_subject = self.subject.clone();
         for edge in &self.edges {
             let cred = &edge.credential;
-            check_edge_common(cred, registry, bus, now)?;
+            check_edge_common(cred, registry, bus, now, cache)?;
             if subject_key(&cred.body.subject) != subject_key(&expected_subject) {
                 return Err(DrbacError::BrokenChain(format!(
                     "edge {} subject '{}' does not follow '{}'",
@@ -106,7 +124,7 @@ impl Proof {
                     expected_subject.render()
                 )));
             }
-            let effective = effective_edge_attrs(edge, registry, bus, now)?;
+            let effective = effective_edge_attrs(edge, registry, bus, now, cache)?;
             attrs = attrs.attenuate(&effective).ok_or_else(|| {
                 DrbacError::BrokenChain(format!("attributes annihilate at edge {}", cred.id()))
             })?;
@@ -132,6 +150,7 @@ impl Proof {
         registry: &EntityRegistry,
         bus: &RevocationBus,
         now: Timestamp,
+        cache: Option<&AuthCache>,
     ) -> Result<(), DrbacError> {
         // Zero edges: the subject *is* the role owner.
         if self.edges.is_empty() {
@@ -158,7 +177,7 @@ impl Proof {
         let mut expected_subject = self.subject.clone();
         for edge in &self.edges {
             let cred = &edge.credential;
-            check_edge_common(cred, registry, bus, now)?;
+            check_edge_common(cred, registry, bus, now, cache)?;
             if cred.body.kind != DelegationKind::Assignment {
                 return Err(DrbacError::BrokenChain(format!(
                     "assignment proof contains non-assignment edge {}",
@@ -228,11 +247,15 @@ fn check_edge_common(
     registry: &EntityRegistry,
     bus: &RevocationBus,
     now: Timestamp,
+    cache: Option<&AuthCache>,
 ) -> Result<(), DrbacError> {
     let issuer_key = registry
         .lookup(&cred.body.issuer)
         .ok_or_else(|| DrbacError::UnknownIssuer(cred.body.issuer.0.clone()))?;
-    cred.verify(&issuer_key, now)?;
+    match cache {
+        Some(c) => c.verify_credential(cred, &issuer_key, now)?,
+        None => cred.verify(&issuer_key, now)?,
+    }
     if bus.is_revoked(&cred.id()) {
         return Err(DrbacError::Revoked(cred.id()));
     }
@@ -247,6 +270,7 @@ fn effective_edge_attrs(
     registry: &EntityRegistry,
     bus: &RevocationBus,
     now: Timestamp,
+    cache: Option<&AuthCache>,
 ) -> Result<AttrSet, DrbacError> {
     let cred = &edge.credential;
     match cred.body.kind {
@@ -276,7 +300,7 @@ fn effective_edge_attrs(
                     cred.id()
                 )));
             }
-            support.verify(registry, bus, now)?;
+            support.verify_with(registry, bus, now, cache)?;
             // Attenuate by the assignment chain's own attribute bounds.
             let mut bound = AttrSet::new();
             for e in &support.edges {
@@ -332,6 +356,7 @@ pub struct ProofEngine<'a> {
     repository: &'a dyn CredentialSource,
     bus: &'a RevocationBus,
     now: Timestamp,
+    cache: Option<&'a AuthCache>,
 }
 
 impl<'a> ProofEngine<'a> {
@@ -347,6 +372,26 @@ impl<'a> ProofEngine<'a> {
             repository,
             bus,
             now,
+            cache: None,
+        }
+    }
+
+    /// Create an engine that answers repeat queries from `cache` (see
+    /// [`AuthCache`] for the exactness/invalidation rules). The cache must
+    /// be dedicated to this engine's `(registry, repository, bus)` triple.
+    pub fn with_cache(
+        registry: &'a EntityRegistry,
+        repository: &'a dyn CredentialSource,
+        bus: &'a RevocationBus,
+        now: Timestamp,
+        cache: &'a AuthCache,
+    ) -> ProofEngine<'a> {
+        ProofEngine {
+            registry,
+            repository,
+            bus,
+            now,
+            cache: Some(cache),
         }
     }
 
@@ -362,12 +407,48 @@ impl<'a> ProofEngine<'a> {
         let mut span = psf_telemetry::span("psf.drbac", "prove");
         span.field("target", target);
         let start = std::time::Instant::now();
-        let result = self.prove_search(subject, target, presented);
+        psf_telemetry::counter!("psf.drbac.prove.calls").inc();
+
+        let key = self.cache.map(|_| ProofKey {
+            subject: subject_key(subject),
+            role: target.to_string(),
+            presented: PresentedFingerprint::of(presented),
+        });
+        if let (Some(cache), Some(key)) = (self.cache, key.as_ref()) {
+            let repo_epoch = self.repository.version();
+            let registry_epoch = self.registry.epoch();
+            if let Some(cached) = cache.lookup_proof(key, self.now, repo_epoch, registry_epoch) {
+                let result = cached.map_err(|(error, stats)| ProofError { error, stats });
+                if result.is_err() {
+                    psf_telemetry::counter!("psf.drbac.prove.failures").inc();
+                }
+                psf_telemetry::histogram!("psf.drbac.prove.us").record_duration(start.elapsed());
+                span.field("cached", true).field("ok", result.is_ok());
+                return result;
+            }
+        }
+
+        let mut frontier = Frontier::default();
+        let result = self.prove_search(subject, target, presented, &mut frontier);
+        if let (Some(cache), Some(key)) = (self.cache, key) {
+            let plain = match &result {
+                Ok(ok) => Ok(ok.clone()),
+                Err(e) => Err((e.error.clone(), e.stats)),
+            };
+            cache.insert_proof(
+                key,
+                &plain,
+                &frontier,
+                self.bus,
+                self.repository.version(),
+                self.registry.epoch(),
+                self.now,
+            );
+        }
         let stats = match &result {
             Ok((_, stats)) => *stats,
             Err(e) => e.stats,
         };
-        psf_telemetry::counter!("psf.drbac.prove.calls").inc();
         if result.is_err() {
             psf_telemetry::counter!("psf.drbac.prove.failures").inc();
         }
@@ -385,15 +466,20 @@ impl<'a> ProofEngine<'a> {
         subject: &Subject,
         target: &RoleName,
         presented: &[SignedDelegation],
+        frontier: &mut Frontier,
     ) -> Result<(Proof, SearchStats), ProofError> {
         let mut stats = SearchStats::default();
+        // Share the presented credentials for the whole search: one Arc
+        // per credential here, never a deep clone per expansion again.
+        let presented: Vec<Arc<SignedDelegation>> =
+            presented.iter().cloned().map(Arc::new).collect();
         // Index presented credentials by subject key.
-        let mut presented_idx: HashMap<String, Vec<&SignedDelegation>> = HashMap::new();
-        for c in presented {
+        let mut presented_idx: HashMap<String, Vec<Arc<SignedDelegation>>> = HashMap::new();
+        for c in &presented {
             presented_idx
                 .entry(subject_key(&c.body.subject))
                 .or_default()
-                .push(c);
+                .push(c.clone());
         }
 
         #[derive(Clone)]
@@ -415,32 +501,37 @@ impl<'a> ProofEngine<'a> {
         while let Some(state) = queue.pop_front() {
             stats.nodes_expanded += 1;
             let key = subject_key(&state.node);
-            // Candidate edges: presented + repository.
-            let mut candidates: Vec<SignedDelegation> = presented_idx
-                .get(&key)
-                .map(|v| v.iter().map(|&c| c.clone()).collect())
-                .unwrap_or_default();
+            // Candidate edges: presented + repository (both Arc-shared).
+            let mut candidates: Vec<Arc<SignedDelegation>> =
+                presented_idx.get(&key).cloned().unwrap_or_default();
             candidates.extend(self.repository.credentials_by_subject(&state.node));
 
             for cred in candidates {
                 stats.credentials_examined += 1;
+                frontier.note(&cred, self.now);
                 if cred.body.kind == DelegationKind::Assignment {
                     continue; // not a membership edge
                 }
-                if check_edge_common(&cred, self.registry, self.bus, self.now).is_err() {
+                if check_edge_common(&cred, self.registry, self.bus, self.now, self.cache).is_err()
+                {
                     stats.credentials_rejected += 1;
                     continue;
                 }
                 // Issuer authorization (+ support construction).
-                let edge = match self.authorize_edge(&cred, presented, &mut stats) {
+                let edge = match self.authorize_edge(&cred, &presented, &mut stats, frontier) {
                     Some(e) => e,
                     None => {
                         stats.credentials_rejected += 1;
                         continue;
                     }
                 };
-                let effective = match effective_edge_attrs(&edge, self.registry, self.bus, self.now)
-                {
+                let effective = match effective_edge_attrs(
+                    &edge,
+                    self.registry,
+                    self.bus,
+                    self.now,
+                    self.cache,
+                ) {
                     Ok(a) => a,
                     Err(_) => {
                         stats.credentials_rejected += 1;
@@ -524,9 +615,10 @@ impl<'a> ProofEngine<'a> {
 
     fn authorize_edge(
         &self,
-        cred: &SignedDelegation,
-        presented: &[SignedDelegation],
+        cred: &Arc<SignedDelegation>,
+        presented: &[Arc<SignedDelegation>],
         stats: &mut SearchStats,
+        frontier: &mut Frontier,
     ) -> Option<ProofEdge> {
         match cred.body.kind {
             DelegationKind::SelfCertifying => Some(ProofEdge {
@@ -545,6 +637,7 @@ impl<'a> ProofEngine<'a> {
                     presented,
                     &mut HashSet::new(),
                     stats,
+                    frontier,
                 )?;
                 Some(ProofEdge {
                     credential: cred.clone(),
@@ -562,9 +655,10 @@ impl<'a> ProofEngine<'a> {
         &self,
         holder: &Subject,
         role: &RoleName,
-        presented: &[SignedDelegation],
+        presented: &[Arc<SignedDelegation>],
         in_progress: &mut HashSet<String>,
         stats: &mut SearchStats,
+        frontier: &mut Frontier,
     ) -> Option<Proof> {
         let holder_name = match holder {
             Subject::Entity { name, .. } => name.clone(),
@@ -585,7 +679,7 @@ impl<'a> ProofEngine<'a> {
         }
 
         // Assignment credentials naming this holder for this role.
-        let mut candidates: Vec<SignedDelegation> = presented
+        let mut candidates: Vec<Arc<SignedDelegation>> = presented
             .iter()
             .filter(|c| {
                 c.body.kind == DelegationKind::Assignment
@@ -603,7 +697,8 @@ impl<'a> ProofEngine<'a> {
 
         for cred in candidates {
             stats.credentials_examined += 1;
-            if check_edge_common(&cred, self.registry, self.bus, self.now).is_err() {
+            frontier.note(&cred, self.now);
+            if check_edge_common(&cred, self.registry, self.bus, self.now, self.cache).is_err() {
                 stats.credentials_rejected += 1;
                 continue;
             }
@@ -615,9 +710,14 @@ impl<'a> ProofEngine<'a> {
                 name: cred.body.issuer.clone(),
                 key: issuer_key,
             };
-            if let Some(upstream) =
-                self.prove_assignment(&issuer_subject, role, presented, in_progress, stats)
-            {
+            if let Some(upstream) = self.prove_assignment(
+                &issuer_subject,
+                role,
+                presented,
+                in_progress,
+                stats,
+                frontier,
+            ) {
                 let mut edges = vec![ProofEdge {
                     credential: cred,
                     support: None,

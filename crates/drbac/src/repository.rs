@@ -21,19 +21,33 @@ use std::sync::Arc;
 /// Switchboard channel (see `psf-core`'s repository service). The paper's
 /// repository is distributed; this trait is the seam that makes proof
 /// search location-transparent.
+///
+/// Credentials are handed out as `Arc<SignedDelegation>` so query results
+/// and proof edges share one allocation per stored credential instead of
+/// deep-cloning signed blobs on every hop of every proof search.
 pub trait CredentialSource: Send + Sync {
     /// Credentials whose subject matches `subject`.
-    fn credentials_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation>;
+    fn credentials_by_subject(&self, subject: &Subject) -> Vec<Arc<SignedDelegation>>;
     /// Credentials conveying `role`.
-    fn credentials_by_object(&self, role: &RoleName) -> Vec<SignedDelegation>;
+    fn credentials_by_object(&self, role: &RoleName) -> Vec<Arc<SignedDelegation>>;
+    /// A monotone version of the source's contents, bumped on every
+    /// publish/purge, or `None` when the source cannot track one (e.g. a
+    /// remote repository). Negative proof-cache entries are only reusable
+    /// while the version is unchanged; `None` disables negative caching.
+    fn version(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl CredentialSource for Repository {
-    fn credentials_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation> {
+    fn credentials_by_subject(&self, subject: &Subject) -> Vec<Arc<SignedDelegation>> {
         self.query_by_subject(subject)
     }
-    fn credentials_by_object(&self, role: &RoleName) -> Vec<SignedDelegation> {
+    fn credentials_by_object(&self, role: &RoleName) -> Vec<Arc<SignedDelegation>> {
         self.query_by_object(role)
+    }
+    fn version(&self) -> Option<u64> {
+        Some(self.inner.epoch.load(Ordering::Acquire))
     }
 }
 
@@ -80,13 +94,13 @@ pub(crate) fn subject_key(s: &Subject) -> String {
 
 #[derive(Default)]
 struct Shard {
-    credentials: Vec<SignedDelegation>,
+    credentials: Vec<Arc<SignedDelegation>>,
     by_subject: HashMap<String, Vec<usize>>,
     by_object: HashMap<String, Vec<usize>>,
 }
 
 impl Shard {
-    fn insert(&mut self, cred: SignedDelegation) {
+    fn insert(&mut self, cred: Arc<SignedDelegation>) {
         let idx = self.credentials.len();
         self.by_subject
             .entry(subject_key(&cred.body.subject))
@@ -130,6 +144,9 @@ struct RepositoryInner {
     messages: AtomicU64,
     directed: AtomicU64,
     broadcast: AtomicU64,
+    // Bumped on every mutation (publish, purge): proof caches use it to
+    // decide whether a negative ("no proof") result is still current.
+    epoch: AtomicU64,
 }
 
 impl Repository {
@@ -141,6 +158,7 @@ impl Repository {
     /// Store a credential at `home` (normally the issuer's domain), with
     /// the given discovery tags.
     pub fn publish(&self, home: EntityName, cred: SignedDelegation, tag: DiscoveryTag) {
+        let cred = Arc::new(cred);
         if tag.advertises_subject() {
             self.inner
                 .tag_subject
@@ -163,6 +181,7 @@ impl Repository {
             .entry(home)
             .or_default()
             .insert(cred);
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Convenience: publish at the issuer's own domain with both tags (the
@@ -172,15 +191,16 @@ impl Repository {
     }
 
     /// All credentials whose subject matches `subject`, using the tag
-    /// index when possible.
-    pub fn query_by_subject(&self, subject: &Subject) -> Vec<SignedDelegation> {
+    /// index when possible. Results share the repository's allocations
+    /// (`Arc`) — no signed blob is cloned.
+    pub fn query_by_subject(&self, subject: &Subject) -> Vec<Arc<SignedDelegation>> {
         self.query(&subject_key(subject), &self.inner.tag_subject, |s, k| {
             s.by_subject.get(k)
         })
     }
 
     /// All credentials conveying `role`, using the tag index when possible.
-    pub fn query_by_object(&self, role: &RoleName) -> Vec<SignedDelegation> {
+    pub fn query_by_object(&self, role: &RoleName) -> Vec<Arc<SignedDelegation>> {
         self.query(&role.to_string(), &self.inner.tag_object, |s, k| {
             s.by_object.get(k)
         })
@@ -191,7 +211,7 @@ impl Repository {
         key: &str,
         tag_index: &RwLock<HashMap<String, HashSet<EntityName>>>,
         select: impl for<'s> Fn(&'s Shard, &str) -> Option<&'s Vec<usize>>,
-    ) -> Vec<SignedDelegation> {
+    ) -> Vec<Arc<SignedDelegation>> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
         psf_telemetry::counter!("psf.drbac.repo.queries").inc();
         let shards = self.inner.shards.read();
@@ -253,7 +273,7 @@ impl Repository {
         let mut purged = 0;
         let mut shards = self.inner.shards.write();
         for shard in shards.values_mut() {
-            let keep: Vec<SignedDelegation> = shard
+            let keep: Vec<Arc<SignedDelegation>> = shard
                 .credentials
                 .drain(..)
                 .filter(|c| match c.body.expires {
@@ -273,7 +293,13 @@ impl Repository {
                 shard.insert(cred);
             }
         }
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
         purged
+    }
+
+    /// The repository's mutation epoch (see [`CredentialSource::version`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
     }
 
     /// Snapshot the traffic counters.
@@ -399,7 +425,8 @@ mod tests {
         assert_eq!(repo.len(), 1);
         // The survivor is still indexed and findable.
         let found = repo.query_by_subject(&alice.as_subject());
-        assert_eq!(found, vec![eternal]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(*found[0], eternal);
     }
 
     #[test]

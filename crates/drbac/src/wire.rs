@@ -205,12 +205,13 @@ impl SignedDelegation {
     }
 }
 
-/// Encode a credential set (u32 count + each credential framed).
-pub fn encode_credentials(creds: &[SignedDelegation]) -> Vec<u8> {
+/// Encode a credential set (u32 count + each credential framed). Accepts
+/// owned or `Arc`-shared credentials.
+pub fn encode_credentials<T: std::borrow::Borrow<SignedDelegation>>(creds: &[T]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&(creds.len() as u32).to_le_bytes());
     for c in creds {
-        out.extend_from_slice(&c.to_wire());
+        out.extend_from_slice(&c.borrow().to_wire());
     }
     out
 }
@@ -336,7 +337,7 @@ mod tests {
 
     #[test]
     fn empty_set_roundtrips() {
-        let wire = encode_credentials(&[]);
+        let wire = encode_credentials::<SignedDelegation>(&[]);
         assert_eq!(decode_credentials(&wire).unwrap(), Vec::new());
     }
 

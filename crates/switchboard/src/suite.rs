@@ -6,7 +6,7 @@ use psf_drbac::entity::{Entity, EntityName, EntityRegistry, Subject};
 use psf_drbac::proof::{Proof, ProofEngine};
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::{RevocationBus, ValidityMonitor};
-use psf_drbac::{AttrSet, RoleName, SignedDelegation};
+use psf_drbac::{AttrSet, AuthCache, RoleName, SignedDelegation};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -41,6 +41,9 @@ pub struct Authorizer {
     repository: Repository,
     bus: RevocationBus,
     clock: ClockRef,
+    /// Fast path for repeat authorizations (handshakes, rekeys,
+    /// continuous re-validation); shared across clones.
+    cache: AuthCache,
     /// The role the partner must prove.
     pub required_role: RoleName,
     /// Attributes the partner's proof must satisfy.
@@ -61,9 +64,15 @@ impl Authorizer {
             repository,
             bus,
             clock,
+            cache: AuthCache::new(),
             required_role,
             required_attrs: AttrSet::new(),
         }
+    }
+
+    /// The authorizer's proof/credential cache.
+    pub fn auth_cache(&self) -> &AuthCache {
+        &self.cache
     }
 
     /// Require attributes on the partner's proof.
@@ -85,11 +94,12 @@ impl Authorizer {
             name: peer_name.clone(),
             key: *peer_key,
         };
-        let engine = ProofEngine::new(
+        let engine = ProofEngine::with_cache(
             &self.registry,
             &self.repository,
             &self.bus,
             self.clock.now(),
+            &self.cache,
         );
         let (proof, _stats) = engine
             .prove_with(

@@ -294,16 +294,19 @@ fn secure_rpc_over_real_tcp() {
     let (cs, ss) = w.suites();
     let listener = psf_switchboard::listen_tcp("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
+    // The first call races the server thread's handler registration, so
+    // the server signals readiness after registering.
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
     let server_thread = std::thread::spawn(move || {
         let server = listener.accept(&ss, quiet_config()).unwrap();
         server.register_handler("getPhone", |args| {
             Ok(format!("+1-212-{}", String::from_utf8_lossy(args)).into_bytes())
         });
-        // Keep the channel alive until the client is done.
-        std::thread::sleep(Duration::from_millis(500));
+        ready_tx.send(()).unwrap();
         server
     });
     let client = psf_switchboard::connect_tcp(&addr.to_string(), &cs, quiet_config()).unwrap();
+    ready_rx.recv().unwrap();
     let phone = client.call("getPhone", b"5551212").unwrap();
     assert_eq!(phone, b"+1-212-5551212");
     let _server = server_thread.join().unwrap();

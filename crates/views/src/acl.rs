@@ -11,7 +11,7 @@ use psf_drbac::entity::{EntityRegistry, RoleName, Subject};
 use psf_drbac::proof::{Proof, ProofEngine};
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::{RevocationBus, ValidityMonitor};
-use psf_drbac::{SignedDelegation, Timestamp};
+use psf_drbac::{AuthCache, SignedDelegation, Timestamp};
 
 /// Table 4 as data: ordered rules mapping a role (or the catch-all
 /// "others") to a view name.
@@ -71,6 +71,33 @@ impl ViewAcl {
         now: Timestamp,
     ) -> Option<(String, Option<Proof>)> {
         let engine = ProofEngine::new(registry, repository, bus, now);
+        self.select_with_engine(&engine, subject, presented)
+    }
+
+    /// As [`select_view`](Self::select_view), with repeat decisions
+    /// answered from `cache` (which must be dedicated to this
+    /// registry/repository/bus triple).
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_view_cached(
+        &self,
+        subject: &Subject,
+        presented: &[SignedDelegation],
+        registry: &EntityRegistry,
+        repository: &Repository,
+        bus: &RevocationBus,
+        now: Timestamp,
+        cache: &AuthCache,
+    ) -> Option<(String, Option<Proof>)> {
+        let engine = ProofEngine::with_cache(registry, repository, bus, now, cache);
+        self.select_with_engine(&engine, subject, presented)
+    }
+
+    fn select_with_engine(
+        &self,
+        engine: &ProofEngine<'_>,
+        subject: &Subject,
+        presented: &[SignedDelegation],
+    ) -> Option<(String, Option<Proof>)> {
         for (role, view) in &self.rules {
             match role {
                 Some(role) => {
@@ -98,19 +125,47 @@ impl ViewAcl {
         now: Timestamp,
     ) -> Option<SsoToken> {
         let (view, proof) = self.select_view(subject, presented, registry, repository, bus, now)?;
+        Some(Self::mint(subject, view, proof, bus, now))
+    }
+
+    /// As [`authorize_once`](Self::authorize_once), with the proof search
+    /// answered from `cache` — the warm single-sign-on path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn authorize_once_cached(
+        &self,
+        subject: &Subject,
+        presented: &[SignedDelegation],
+        registry: &EntityRegistry,
+        repository: &Repository,
+        bus: &RevocationBus,
+        now: Timestamp,
+        cache: &AuthCache,
+    ) -> Option<SsoToken> {
+        let (view, proof) =
+            self.select_view_cached(subject, presented, registry, repository, bus, now, cache)?;
+        Some(Self::mint(subject, view, proof, bus, now))
+    }
+
+    fn mint(
+        subject: &Subject,
+        view: String,
+        proof: Option<Proof>,
+        bus: &RevocationBus,
+        now: Timestamp,
+    ) -> SsoToken {
         let monitor = bus.monitor(
             proof
                 .as_ref()
                 .map(|p| p.credential_ids())
                 .unwrap_or_default(),
         );
-        Some(SsoToken {
+        SsoToken {
             subject: subject.clone(),
             view,
             proof,
             monitor,
             issued_at: now,
-        })
+        }
     }
 }
 

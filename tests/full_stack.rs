@@ -70,13 +70,18 @@ fn client_view_over_real_tcp_switchboard() {
     let listener = listen_tcp("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
     let cfg = quiet();
+    // The client's first call races the server thread's handler
+    // registration, so the server signals readiness after registering.
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
     let server_thread = std::thread::spawn(move || {
         let channel = listener.accept(&server_suite, cfg).unwrap();
         serve_on_channel(&channel, server_instance);
+        ready_tx.send(()).unwrap();
         channel // keep alive until the test ends
     });
 
     let channel = Arc::new(connect_tcp(&addr, &client_suite, quiet()).unwrap());
+    ready_rx.recv().unwrap();
     assert_eq!(channel.peer().unwrap().name.0, "MailServerEndpoint");
 
     // Bob's MailClient view uses this channel as its remote binding for

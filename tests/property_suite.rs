@@ -8,7 +8,7 @@ use psf_drbac::proof::ProofEngine;
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::RevocationBus;
 use psf_drbac::wire::{decode_credentials, encode_credentials, Reader};
-use psf_drbac::{AttrSet, AttrValue, DelegationBuilder, SignedDelegation};
+use psf_drbac::{AttrSet, AttrValue, AuthCache, DelegationBuilder, SignedDelegation};
 
 // ------------------------------------------------------------ crypto --
 
@@ -372,5 +372,124 @@ proptest! {
         bus.revoke(victim);
         prop_assert!(proof.verify(&registry, &bus, 0).is_err());
         prop_assert!(engine.prove(&user.as_subject(), &target, &[]).is_err());
+    }
+}
+
+// ------------------------------------------------ cache transparency --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The authorization cache must be semantically invisible. Over a
+    /// random delegation world and a random interleaving of proof
+    /// queries, revocations, clock advances, and repository publishes,
+    /// an engine sharing one `AuthCache` must return byte-identical
+    /// proofs — and identical errors — to a fresh uncached engine at
+    /// every step.
+    #[test]
+    fn cached_prove_is_indistinguishable_from_uncached(
+        seed in 0u64..500,
+        chain_len in 1usize..5,
+        decoys in 0usize..6,
+        membership_expiry in proptest::option::of(1u64..30),
+        schedule in prop::collection::vec((0u8..4, 0u64..16), 1..24),
+    ) {
+        let registry = EntityRegistry::new();
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let user = Entity::with_seed(format!("user{seed}"), b"cachew");
+        registry.register(&user);
+
+        let mut domains = Vec::new();
+        for i in 0..chain_len {
+            let d = Entity::with_seed(format!("d{seed}-{i}"), b"cachew");
+            registry.register(&d);
+            domains.push(d);
+        }
+        let mut chain: Vec<SignedDelegation> = Vec::new();
+        let mut membership = DelegationBuilder::new(&domains[chain_len - 1])
+            .subject_entity(&user)
+            .role(domains[chain_len - 1].role("R"));
+        if let Some(t) = membership_expiry {
+            membership = membership.expires(t);
+        }
+        let membership = membership.sign();
+        repo.publish_at_issuer(membership.clone());
+        chain.push(membership);
+        for i in (0..chain_len - 1).rev() {
+            let mapping = DelegationBuilder::new(&domains[i])
+                .subject_role(domains[i + 1].role("R"))
+                .role(domains[i].role("R"))
+                .sign();
+            repo.publish_at_issuer(mapping.clone());
+            chain.push(mapping);
+        }
+        for i in 0..decoys {
+            let d = Entity::with_seed(format!("decoy{seed}-{i}"), b"cachew");
+            registry.register(&d);
+            repo.publish_at_issuer(
+                DelegationBuilder::new(&d)
+                    .subject_role(RoleName::new("Nowhere.Else", "X"))
+                    .role(d.role("Y"))
+                    .sign(),
+            );
+        }
+
+        let cache = AuthCache::new();
+        let target = domains[0].role("R");
+        let subject = user.as_subject();
+        let mut now = 0u64;
+        let mut extra = 0usize;
+        for (op, arg) in schedule {
+            match op {
+                // Advance the logical clock (possibly past an expiry).
+                0 => now += arg % 16,
+                // Revoke a chain credential (sometimes an unknown id, a
+                // no-op the cache must also shrug off).
+                1 => {
+                    if arg % 4 == 0 {
+                        bus.revoke("no-such-credential");
+                    } else {
+                        bus.revoke(&chain[(arg as usize) % chain.len()].id());
+                    }
+                }
+                // Publish an unrelated credential (repository epoch bump).
+                2 => {
+                    let d = Entity::with_seed(format!("extra{seed}-{extra}"), b"cachew");
+                    extra += 1;
+                    registry.register(&d);
+                    repo.publish_at_issuer(
+                        DelegationBuilder::new(&d)
+                            .subject_role(RoleName::new("Nowhere.Else", "X"))
+                            .role(d.role("Y"))
+                            .sign(),
+                    );
+                }
+                // Plain query step (drives cache hits).
+                _ => {}
+            }
+            let cached = ProofEngine::with_cache(&registry, &repo, &bus, now, &cache);
+            let plain = ProofEngine::new(&registry, &repo, &bus, now);
+            match (
+                cached.prove(&subject, &target, &[]),
+                plain.prove(&subject, &target, &[]),
+            ) {
+                (Ok((pc, _)), Ok((pp, _))) => {
+                    // Full structural identity, supports included.
+                    prop_assert_eq!(format!("{pc:?}"), format!("{pp:?}"));
+                }
+                (Err(ec), Err(ep)) => prop_assert_eq!(ec.error, ep.error),
+                (c, p) => prop_assert!(
+                    false,
+                    "cached/uncached diverged: cached ok={} plain ok={}",
+                    c.is_ok(),
+                    p.is_ok()
+                ),
+            }
+        }
+        // The schedule must have produced at least one hit for the
+        // comparison to mean anything beyond the cold path.
+        let s = cache.stats();
+        prop_assert!(s.proof_hits + s.proof_misses > 0);
     }
 }
