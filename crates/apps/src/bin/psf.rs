@@ -63,10 +63,12 @@ fn usage() -> ! {
          \x20                               faults; print a recovery report\n\
          \x20 bench --json [--out PATH] [--quick] [--check]\n\
          \x20                               time the warm/cold authorization\n\
-         \x20                               and planner fast paths, write the\n\
-         \x20                               results as JSON (BENCH_pr3.json);\n\
-         \x20                               --check exits 1 unless warm is\n\
-         \x20                               >= 2x faster than cold\n\
+         \x20                               and planner fast paths plus the\n\
+         \x20                               Switchboard data plane; write the\n\
+         \x20                               results as JSON (BENCH_pr3.json,\n\
+         \x20                               BENCH_pr4.json); --check exits 1\n\
+         \x20                               unless warm >= 2x cold and\n\
+         \x20                               pipelined RPC >= 2x serial\n\
          \n\
          global flags:\n\
          \x20 --trace-out PATH              write the JSONL span trace on exit\n\
@@ -791,6 +793,228 @@ fn bench(cli: &Cli, args: &[String]) -> i32 {
         eprintln!(
             "bench --check FAILED: warm must be >= 2x faster than cold \
              (prove {prove_speedup:.1}x, sso {sso_speedup:.1}x)"
+        );
+        return 1;
+    }
+
+    bench_switchboard(cli, &out_path, iters, quick, check)
+}
+
+/// The PR4 data-plane runner: times serial vs pipelined RPC and the
+/// plain vs secure record layer over an in-memory channel pair, plus the
+/// wide vs scalar AEAD seal, and writes `BENCH_pr4.json`. With `--check`,
+/// exits non-zero unless pipelined issue is at least 2x the serial
+/// request rate — the regression gate CI runs.
+fn bench_switchboard(cli: &Cli, pr3_out: &str, iters: u32, quick: bool, check: bool) -> i32 {
+    use psf_drbac::entity::Entity;
+    use psf_drbac::DelegationBuilder;
+    use psf_switchboard::{
+        pair_in_memory, pair_in_memory_plain, AuthSuite, Authorizer, ChannelConfig, ClockRef,
+    };
+
+    let out_path = if pr3_out.contains("pr3") {
+        pr3_out.replace("pr3", "pr4")
+    } else {
+        "BENCH_pr4.json".to_string()
+    };
+    let config = ChannelConfig {
+        heartbeat_interval: None,
+        rpc_timeout: Duration::from_secs(10),
+    };
+
+    let (plain_client, plain_server) = pair_in_memory_plain(config.clone());
+    plain_server.register_handler("echo", |a| Ok(a.to_vec()));
+
+    // A fully authenticated pair: the secure numbers include the AEAD
+    // record layer and the per-call continuous-authorization check.
+    let registry = psf_drbac::entity::EntityRegistry::new();
+    let repo = psf_drbac::repository::Repository::new();
+    let bus = psf_drbac::revocation::RevocationBus::new();
+    let clock = ClockRef::new();
+    let domain = Entity::with_seed("Dom", b"bench-pr4");
+    let server = Entity::with_seed("Srv", b"bench-pr4");
+    let client = Entity::with_seed("Cli", b"bench-pr4");
+    for e in [&domain, &server, &client] {
+        registry.register(e);
+    }
+    let client_cred = DelegationBuilder::new(&domain)
+        .subject_entity(&client)
+        .role(domain.role("Member"))
+        .sign();
+    let server_cred = DelegationBuilder::new(&domain)
+        .subject_entity(&server)
+        .role(domain.role("Service"))
+        .sign();
+    let auth = |role: &str| {
+        Authorizer::new(
+            registry.clone(),
+            repo.clone(),
+            bus.clone(),
+            clock.clone(),
+            domain.role(role),
+        )
+    };
+    let client_suite = AuthSuite::new(client, vec![client_cred], auth("Service"));
+    let server_suite = AuthSuite::new(server, vec![server_cred], auth("Member"));
+    let (sec_client, sec_server) =
+        pair_in_memory(client_suite.clone(), server_suite.clone(), config.clone()).unwrap();
+    sec_server.register_handler("echo", |a| Ok(a.to_vec()));
+
+    // RTT benchmarks against a live thread pair are scheduler-sensitive;
+    // each timing below keeps the best of three passes, the most
+    // reproducible summary of an uncontended run.
+    fn best_of3(mut f: impl FnMut() -> f64) -> f64 {
+        f().min(f()).min(f())
+    }
+
+    // Record-layer overhead: serial 4 KiB echo, plaintext (`rmi`
+    // exposure) vs AEAD (`switchboard` exposure).
+    let payload_4k = vec![0xa5u8; 4 << 10];
+    plain_client.call("echo", &payload_4k).unwrap(); // warm-up
+    sec_client.call("echo", &payload_4k).unwrap();
+    let plain_4k_us = best_of3(|| {
+        time_per_op_us(iters, || {
+            plain_client.call("echo", &payload_4k).unwrap();
+        })
+    });
+    let secure_4k_us = best_of3(|| {
+        time_per_op_us(iters, || {
+            sec_client.call("echo", &payload_4k).unwrap();
+        })
+    });
+    let overhead_4k = secure_4k_us / plain_4k_us.max(1e-9);
+
+    // The same 4 KiB echo over TCP loopback — the deployment-shaped
+    // transport, where kernel socket hops dominate the round trip and
+    // the AEAD layer amortizes far better than in the in-memory
+    // harness.
+    let (tcp_plain_4k_us, tcp_secure_4k_us) = {
+        use psf_switchboard::{establish_plain, TcpTransport};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            TcpTransport::new(stream).unwrap()
+        });
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let t_client = TcpTransport::new(stream).unwrap();
+        let t_server = accepted.join().unwrap();
+        let tcp_plain_client = establish_plain(Box::new(t_client), config.clone());
+        let tcp_plain_server = establish_plain(Box::new(t_server), config.clone());
+        tcp_plain_server.register_handler("echo", |a| Ok(a.to_vec()));
+
+        let sec_listener = psf_switchboard::listen_tcp("127.0.0.1:0").unwrap();
+        let sec_addr = sec_listener.local_addr().unwrap().to_string();
+        let accept_suite = server_suite.clone();
+        let accept_config = config.clone();
+        let accepted =
+            std::thread::spawn(move || sec_listener.accept(&accept_suite, accept_config).unwrap());
+        let tcp_sec_client =
+            psf_switchboard::connect_tcp(&sec_addr, &client_suite, config.clone()).unwrap();
+        let tcp_sec_server = accepted.join().unwrap();
+        tcp_sec_server.register_handler("echo", |a| Ok(a.to_vec()));
+
+        tcp_plain_client.call("echo", &payload_4k).unwrap(); // warm-up
+        tcp_sec_client.call("echo", &payload_4k).unwrap();
+        let plain_us = best_of3(|| {
+            time_per_op_us(iters, || {
+                tcp_plain_client.call("echo", &payload_4k).unwrap();
+            })
+        });
+        let secure_us = best_of3(|| {
+            time_per_op_us(iters, || {
+                tcp_sec_client.call("echo", &payload_4k).unwrap();
+            })
+        });
+        (plain_us, secure_us)
+    };
+    let tcp_overhead_4k = tcp_secure_4k_us / tcp_plain_4k_us.max(1e-9);
+
+    // Pipelining win: 64 B echo, one call per round trip vs a 32-deep
+    // sliding window, on both pairs. The plain variant isolates the
+    // scheduling/coalescing win; the secure variant is additionally
+    // bounded by the server reader's serialized per-record open+seal.
+    let small = vec![0x11u8; 64];
+    let batch: Vec<&[u8]> = (0..256).map(|_| small.as_slice()).collect();
+    let batches = (iters / 64).max(2);
+    let measure_pair = |client: &psf_switchboard::Channel| {
+        let serial_us = best_of3(|| {
+            time_per_op_us(iters, || {
+                client.call("echo", &small).unwrap();
+            })
+        });
+        let pipelined_us = best_of3(|| {
+            time_per_op_us(batches, || {
+                let results = client.call_many("echo", &batch, 32);
+                assert!(results.iter().all(|r| r.is_ok()));
+            })
+        }) / batch.len() as f64;
+        (1e6 / serial_us.max(1e-9), 1e6 / pipelined_us.max(1e-9))
+    };
+    let (plain_serial_rps, plain_pipelined_rps) = measure_pair(&plain_client);
+    let (secure_serial_rps, secure_pipelined_rps) = measure_pair(&sec_client);
+    let plain_speedup = plain_pipelined_rps / plain_serial_rps.max(1e-9);
+    let secure_speedup = secure_pipelined_rps / secure_serial_rps.max(1e-9);
+
+    // Crypto share: wide (multi-block) vs scalar seal on a 16 KiB record.
+    let aead = psf_crypto::ChaCha20Poly1305::new([7u8; 32]);
+    let nonce = [1u8; 12];
+    let record = vec![0x3cu8; 16 << 10];
+    let aead_iters = iters.max(100);
+    let wide_us = best_of3(|| {
+        time_per_op_us(aead_iters, || {
+            let _ = aead.seal(&nonce, b"swbd-record", &record);
+        })
+    });
+    let scalar_us = best_of3(|| {
+        time_per_op_us(aead_iters, || {
+            let _ = aead.seal_scalar(&nonce, b"swbd-record", &record);
+        })
+    });
+    let aead_speedup = scalar_us / wide_us.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr4\",\n  \"mode\": \"{mode}\",\n  \"iters\": {iters},\n  \
+         \"rpc_4k\": {{ \"plain_us\": {plain_4k_us:.3}, \"secure_us\": {secure_4k_us:.3}, \"overhead\": {overhead_4k:.2} }},\n  \
+         \"rpc_4k_tcp\": {{ \"plain_us\": {tcp_plain_4k_us:.3}, \"secure_us\": {tcp_secure_4k_us:.3}, \"overhead\": {tcp_overhead_4k:.2} }},\n  \
+         \"pipeline_64b\": {{ \"plain_serial_rps\": {plain_serial_rps:.0}, \"plain_pipelined_rps\": {plain_pipelined_rps:.0}, \"plain_speedup\": {plain_speedup:.1}, \"secure_serial_rps\": {secure_serial_rps:.0}, \"secure_pipelined_rps\": {secure_pipelined_rps:.0}, \"secure_speedup\": {secure_speedup:.1} }},\n  \
+         \"aead_seal_16k\": {{ \"wide_us\": {wide_us:.3}, \"scalar_us\": {scalar_us:.3}, \"speedup\": {aead_speedup:.2} }}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        return 1;
+    }
+    cli.say(format!(
+        "rpc 4k in-mem: plain {plain_4k_us:.1} us, secure {secure_4k_us:.1} us ({overhead_4k:.2}x overhead)"
+    ));
+    cli.say(format!(
+        "rpc 4k tcp: plain {tcp_plain_4k_us:.1} us, secure {tcp_secure_4k_us:.1} us ({tcp_overhead_4k:.2}x overhead)"
+    ));
+    cli.say(format!(
+        "pipeline 64b plain: serial {plain_serial_rps:.0} rps, pipelined {plain_pipelined_rps:.0} rps ({plain_speedup:.1}x)"
+    ));
+    cli.say(format!(
+        "pipeline 64b secure: serial {secure_serial_rps:.0} rps, pipelined {secure_pipelined_rps:.0} rps ({secure_speedup:.1}x)"
+    ));
+    cli.say(format!(
+        "aead seal 16k: wide {wide_us:.1} us, scalar {scalar_us:.1} us ({aead_speedup:.2}x)"
+    ));
+    cli.say(format!("results written to {out_path}"));
+    psf_telemetry::event(
+        "psf.cli",
+        "bench.recorded",
+        vec![
+            ("out", out_path.clone()),
+            ("plain_pipeline_speedup", format!("{plain_speedup:.1}")),
+            ("secure_pipeline_speedup", format!("{secure_speedup:.1}")),
+            ("aead_speedup", format!("{aead_speedup:.2}")),
+        ],
+    );
+    if check && plain_speedup < 2.0 {
+        eprintln!(
+            "bench --check FAILED: pipelined RPC must be >= 2x serial \
+             (got {plain_speedup:.1}x plain)"
         );
         return 1;
     }

@@ -1,6 +1,16 @@
 //! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! The primary seal/open entry points work **in place** so callers that
+//! manage their own framing buffers (the Switchboard record layer) pay
+//! zero copies: [`ChaCha20Poly1305::seal_in_place`] encrypts a buffer
+//! suffix and appends the tag, [`ChaCha20Poly1305::open_in_place`]
+//! verifies and decrypts without allocating. The allocating `seal`/`open`
+//! wrappers remain for convenience. Keystream generation uses the wide
+//! four-block ChaCha20 and the two-block Poly1305 accumulator; the scalar
+//! reference construction is kept as [`ChaCha20Poly1305::seal_scalar`]
+//! for differential tests and benchmarks.
 
-use crate::chacha::{chacha20_block, chacha20_xor};
+use crate::chacha::{chacha20_block, chacha20_xor, chacha20_xor_scalar};
 use crate::ct::ct_eq;
 use crate::poly1305::Poly1305;
 use crate::CryptoError;
@@ -33,13 +43,48 @@ impl ChaCha20Poly1305 {
         mac.finalize()
     }
 
+    /// Encrypt `buf[payload_start..]` in place and append the 16-byte tag.
+    /// Bytes before `payload_start` (a caller-reserved frame header) are
+    /// neither encrypted nor authenticated — bind them via `aad` or, as
+    /// the Switchboard record layer does, via the nonce.
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        buf: &mut Vec<u8>,
+        payload_start: usize,
+    ) {
+        chacha20_xor(&self.key, 1, nonce, &mut buf[payload_start..]);
+        let tag = self.mac(nonce, aad, &buf[payload_start..]);
+        buf.extend_from_slice(&tag);
+    }
+
+    /// Verify and decrypt `buf` (`ciphertext || tag`) in place; on success
+    /// the plaintext occupies `buf[..returned_len]`. No allocation.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> Result<usize, CryptoError> {
+        if buf.len() < 16 {
+            return Err(CryptoError::BadLength);
+        }
+        let split = buf.len() - 16;
+        let (ciphertext, tag) = buf.split_at_mut(split);
+        let expected = self.mac(nonce, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        chacha20_xor(&self.key, 1, nonce, ciphertext);
+        Ok(split)
+    }
+
     /// Encrypt `plaintext` with additional authenticated data `aad`.
     /// Returns `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
         let mut out = plaintext.to_vec();
-        chacha20_xor(&self.key, 1, nonce, &mut out);
-        let tag = self.mac(nonce, aad, &out);
-        out.extend_from_slice(&tag);
+        self.seal_in_place(nonce, aad, &mut out, 0);
         out
     }
 
@@ -51,17 +96,32 @@ impl ChaCha20Poly1305 {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
-        if sealed.len() < 16 {
-            return Err(CryptoError::BadLength);
-        }
-        let (ciphertext, tag) = sealed.split_at(sealed.len() - 16);
-        let expected = self.mac(nonce, aad, ciphertext);
-        if !ct_eq(&expected, tag) {
-            return Err(CryptoError::BadTag);
-        }
-        let mut out = ciphertext.to_vec();
-        chacha20_xor(&self.key, 1, nonce, &mut out);
+        let mut out = sealed.to_vec();
+        let len = self.open_in_place(nonce, aad, &mut out)?;
+        out.truncate(len);
         Ok(out)
+    }
+
+    /// Reference seal built entirely from the scalar one-block ChaCha20
+    /// and one-block Poly1305 paths. Byte-identical to [`Self::seal`];
+    /// kept for differential tests and the wide-vs-scalar benchmark.
+    pub fn seal_scalar(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        chacha20_xor_scalar(&self.key, 1, nonce, &mut out);
+
+        let block0 = chacha20_block(&self.key, 0, nonce);
+        let mut otk = [0u8; 32];
+        otk.copy_from_slice(&block0[..32]);
+        let mut mac = Poly1305::new(&otk);
+        mac.update_scalar(aad);
+        mac.update_scalar(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        mac.update_scalar(&out);
+        mac.update_scalar(&[0u8; 16][..(16 - out.len() % 16) % 16]);
+        mac.update_scalar(&(aad.len() as u64).to_le_bytes());
+        mac.update_scalar(&(out.len() as u64).to_le_bytes());
+        let tag = mac.finalize();
+        out.extend_from_slice(&tag);
+        out
     }
 }
 
@@ -125,6 +185,36 @@ mod tests {
         let sealed = aead.seal(&nonce, b"only-aad", b"");
         assert_eq!(sealed.len(), 16);
         assert_eq!(aead.open(&nonce, b"only-aad", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn in_place_seal_preserves_header_and_roundtrips() {
+        let aead = ChaCha20Poly1305::new([3u8; 32]);
+        let nonce = [4u8; 12];
+        let mut buf = b"HEADER--secret payload body".to_vec();
+        aead.seal_in_place(&nonce, b"aad", &mut buf, 8);
+        assert_eq!(&buf[..8], b"HEADER--");
+        // Sealed region matches the allocating API.
+        assert_eq!(
+            &buf[8..],
+            &aead.seal(&nonce, b"aad", b"secret payload body")[..]
+        );
+        let len = aead.open_in_place(&nonce, b"aad", &mut buf[8..]).unwrap();
+        assert_eq!(&buf[8..8 + len], b"secret payload body");
+    }
+
+    #[test]
+    fn scalar_seal_matches_wide_seal() {
+        let aead = ChaCha20Poly1305::new([0xabu8; 32]);
+        let nonce = [0x11u8; 12];
+        for len in [0usize, 1, 64, 255, 256, 1000, 4096] {
+            let payload: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+            assert_eq!(
+                aead.seal(&nonce, b"hdr", &payload),
+                aead.seal_scalar(&nonce, b"hdr", &payload),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -26,8 +26,14 @@
 //! are actually signed, channels actually encrypted — not to be a hardened
 //! production library. Scalar multiplication uses a uniform double-and-add
 //! ladder but we make no formal constant-time claims; see `DESIGN.md`.
+//!
+//! `unsafe` is denied crate-wide with exactly one sanctioned exception: the
+//! SIMD ChaCha20 backend in [`chacha`] calls `#[target_feature]` functions
+//! built from value-based SSE2/SSSE3 intrinsics (no raw pointers). Each
+//! `unsafe` block there is a feature-availability assertion only, and the
+//! portable path remains the differential-testing reference.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aead;

@@ -1,13 +1,26 @@
 //! The Switchboard channel: sequence-numbered (replay-rejecting) AEAD
 //! records, heartbeats with RTT tracking, continuous authorization, and
 //! the two-way RPC interface.
+//!
+//! ## Data plane
+//!
+//! Frames are staged in buffers from a per-channel [`FramePool`]: the
+//! 8-byte sequence header is reserved up front and secure mode seals the
+//! payload **in place** (`seal_in_place` appends the tag into the same
+//! buffer), so a steady-state send performs zero allocations. Receive
+//! decrypts in place and dispatches on borrowed slices. RPC waiters live
+//! in a sharded pending table keyed by call id, each a small
+//! mutex+condvar slot, so [`Channel::call_pipelined`] can keep a sliding
+//! window of requests in flight without a per-call channel allocation or
+//! a single contended map lock.
 
+use crate::pool::{FramePool, PooledBuf, DEFAULT_POOL_SLOTS};
 use crate::rpc::{self, RpcStatus};
 use crate::suite::{AuthorizationMonitor, Authorizer};
 use crate::transport::{FrameReceiver, FrameSender};
 use crate::SwitchboardError;
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use psf_crypto::aead::ChaCha20Poly1305;
 use psf_crypto::ed25519::VerifyingKey;
 use psf_drbac::entity::EntityName;
@@ -117,8 +130,90 @@ pub struct PeerInfo {
 
 type Handler = Arc<dyn Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
 type DefaultHandler = Arc<dyn Fn(&str, &[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
-type PendingMap = HashMap<u64, Sender<Result<Vec<u8>, SwitchboardError>>>;
 type CloseWatcher = Box<dyn FnOnce() + Send>;
+
+// --------------------------------------------------------- RPC waiters --
+
+/// One in-flight RPC waiter: a mutex'd result cell plus a condvar. The
+/// caller parks on the condvar; the reader thread (or `mark_closed`)
+/// completes the slot and wakes it.
+struct CallSlot {
+    result: Mutex<Option<Result<Vec<u8>, SwitchboardError>>>,
+    ready: Condvar,
+}
+
+impl CallSlot {
+    fn new() -> Arc<CallSlot> {
+        Arc::new(CallSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, r: Result<Vec<u8>, SwitchboardError>) {
+        let mut slot = self.result.lock();
+        if slot.is_none() {
+            *slot = Some(r);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Block until completed or the deadline passes.
+    fn wait_deadline(&self, deadline: Instant) -> Option<Result<Vec<u8>, SwitchboardError>> {
+        let mut slot = self.result.lock();
+        while slot.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let timed_out = self.ready.wait_for(&mut slot, deadline - now).timed_out();
+            if timed_out && slot.is_none() {
+                return None;
+            }
+        }
+        slot.take()
+    }
+}
+
+/// Sharded id → waiter map. Pipelined callers and the reader thread touch
+/// disjoint shards most of the time, so completion of one call never
+/// serializes behind registration of another.
+const PENDING_SHARDS: usize = 16;
+
+struct PendingTable {
+    shards: Vec<Mutex<HashMap<u64, Arc<CallSlot>>>>,
+}
+
+impl PendingTable {
+    fn new() -> PendingTable {
+        PendingTable {
+            shards: (0..PENDING_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<CallSlot>>> {
+        &self.shards[(id as usize) % PENDING_SHARDS]
+    }
+
+    fn insert(&self, id: u64, slot: Arc<CallSlot>) {
+        self.shard(id).lock().insert(id, slot);
+    }
+
+    fn remove(&self, id: u64) -> Option<Arc<CallSlot>> {
+        self.shard(id).lock().remove(&id)
+    }
+
+    fn drain(&self) -> Vec<Arc<CallSlot>> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().drain().map(|(_, slot)| slot));
+        }
+        all
+    }
+}
 
 pub(crate) struct ChannelInner {
     sender: Mutex<Box<dyn FrameSender>>,
@@ -129,7 +224,8 @@ pub(crate) struct ChannelInner {
     peer: Option<PeerInfo>,
     monitor: Mutex<Option<AuthorizationMonitor>>,
     authorizer: Option<Authorizer>,
-    pending: Mutex<PendingMap>,
+    pending: PendingTable,
+    pool: Arc<FramePool>,
     reauth_waiters: Mutex<Vec<Sender<bool>>>,
     next_rpc_id: AtomicU64,
     handlers: RwLock<HashMap<String, Handler>>,
@@ -175,7 +271,8 @@ impl Channel {
             peer,
             monitor: Mutex::new(monitor),
             authorizer,
-            pending: Mutex::new(HashMap::new()),
+            pending: PendingTable::new(),
+            pool: FramePool::new(DEFAULT_POOL_SLOTS),
             reauth_waiters: Mutex::new(Vec::new()),
             next_rpc_id: AtomicU64::new(1),
             handlers: RwLock::new(HashMap::new()),
@@ -314,32 +411,166 @@ impl Channel {
         args: &[u8],
         timeout: Duration,
     ) -> Result<Vec<u8>, SwitchboardError> {
+        self.call_pipelined(method, args)?.wait_timeout(timeout)
+    }
+
+    /// Issue a request without waiting: the frame is on the wire when this
+    /// returns, and the response is claimed later via
+    /// [`PendingCall::wait`]. Overlapping several of these keeps the
+    /// channel's full round trip busy instead of idling between request
+    /// and response.
+    pub fn call_pipelined(
+        &self,
+        method: &str,
+        args: &[u8],
+    ) -> Result<PendingCall, SwitchboardError> {
         self.check_traffic_allowed()?;
-        let rpc_start = Instant::now();
+        let start = Instant::now();
         let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
-        let (tx, rx) = bounded(1);
-        self.inner.pending.lock().insert(id, tx);
-        let body = rpc::encode_request(id, method, args);
-        if let Err(e) = send_frame(&self.inner, FT_RPC_REQ, &body) {
-            self.inner.pending.lock().remove(&id);
+        let slot = CallSlot::new();
+        self.inner.pending.insert(id, slot.clone());
+
+        let mut buf = self
+            .inner
+            .pool
+            .take(8 + 11 + method.len() + args.len() + 17);
+        buf.extend_from_slice(&[0u8; 8]); // sequence header, filled at send
+        buf.push(FT_RPC_REQ);
+        rpc::encode_request_into(&mut buf, id, method, args);
+        if let Err(e) = send_pooled_frame(&self.inner, buf) {
+            self.inner.pending.remove(id);
             return Err(e);
         }
-        match rx.recv_timeout(timeout) {
-            Ok(result) => {
-                psf_telemetry::counter!("psf.swbd.rpc.calls").inc();
-                psf_telemetry::histogram!("psf.swbd.rpc.us").record_duration(rpc_start.elapsed());
-                result
+        // `mark_closed` may have drained the table before our insert (its
+        // drain and our insert race when the transport dies concurrently);
+        // re-checking after the insert guarantees the slot cannot be left
+        // to idle out the full RPC timeout.
+        if self.inner.closed.load(Ordering::SeqCst) {
+            self.inner.pending.remove(id);
+            slot.complete(Err(SwitchboardError::Closed));
+        }
+        psf_telemetry::gauge!("psf.switchboard.pipeline.inflight").add(1);
+        Ok(PendingCall {
+            inner: self.inner.clone(),
+            slot,
+            id,
+            start,
+            default_timeout: self.inner.config.rpc_timeout,
+            claimed: false,
+        })
+    }
+
+    /// Issue one request per element of `chunk` as a single coalesced
+    /// transport write. Sequence numbers are allocated contiguously under
+    /// one sender-lock acquisition and the frames leave in one
+    /// [`send_many`](crate::transport::FrameSender::send_many), so the
+    /// peer's reader wakes once per chunk instead of once per call.
+    fn call_pipelined_batch(
+        &self,
+        method: &str,
+        chunk: &[&[u8]],
+    ) -> Result<Vec<PendingCall>, SwitchboardError> {
+        self.check_traffic_allowed()?;
+        let start = Instant::now();
+        let mut ids = Vec::with_capacity(chunk.len());
+        let mut slots = Vec::with_capacity(chunk.len());
+        let mut bufs = Vec::with_capacity(chunk.len());
+        for args in chunk {
+            let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
+            let slot = CallSlot::new();
+            self.inner.pending.insert(id, slot.clone());
+            let mut buf = self
+                .inner
+                .pool
+                .take(8 + 11 + method.len() + args.len() + 17);
+            buf.extend_from_slice(&[0u8; 8]); // sequence header, filled at send
+            buf.push(FT_RPC_REQ);
+            rpc::encode_request_into(&mut buf, id, method, args);
+            ids.push(id);
+            slots.push(slot);
+            bufs.push(buf);
+        }
+        if let Err(e) = send_pooled_frames(&self.inner, &mut bufs) {
+            for id in &ids {
+                self.inner.pending.remove(*id);
             }
-            Err(_) => {
-                psf_telemetry::counter!("psf.swbd.rpc.timeouts").inc();
-                self.inner.pending.lock().remove(&id);
-                if self.inner.closed.load(Ordering::SeqCst) {
-                    Err(SwitchboardError::Closed)
-                } else {
-                    Err(SwitchboardError::Timeout)
-                }
+            return Err(e);
+        }
+        // Same close race as `call_pipelined`: re-check after the inserts.
+        if self.inner.closed.load(Ordering::SeqCst) {
+            for (id, slot) in ids.iter().zip(&slots) {
+                self.inner.pending.remove(*id);
+                slot.complete(Err(SwitchboardError::Closed));
             }
         }
+        psf_telemetry::gauge!("psf.switchboard.pipeline.inflight").add(chunk.len() as i64);
+        Ok(ids
+            .into_iter()
+            .zip(slots)
+            .map(|(id, slot)| PendingCall {
+                inner: self.inner.clone(),
+                slot,
+                id,
+                start,
+                default_timeout: self.inner.config.rpc_timeout,
+                claimed: false,
+            })
+            .collect())
+    }
+
+    /// Invoke `method` once per element of `batch`, keeping up to `window`
+    /// requests in flight. Results are returned in batch order; individual
+    /// failures surface per element.
+    pub fn call_many(
+        &self,
+        method: &str,
+        batch: &[&[u8]],
+        window: usize,
+    ) -> Vec<Result<Vec<u8>, SwitchboardError>> {
+        let window = window.max(1);
+        let mut results = Vec::with_capacity(batch.len());
+        let mut in_flight = std::collections::VecDeque::with_capacity(window);
+        let mut next = 0;
+        while next < batch.len() {
+            if in_flight.len() == window {
+                // Drain half the window with blocking waits: responses
+                // arrive in issue order as a coalesced burst, so the first
+                // wait absorbs the scheduler round trip and the rest
+                // mostly return instantly. The refill below then
+                // re-issues the freed half as one coalesced write,
+                // keeping burst sizes stable along the whole loop instead
+                // of degenerating to one-frame chunks.
+                for _ in 0..window.div_ceil(2) {
+                    let call: PendingCall = in_flight.pop_front().expect("non-empty window");
+                    results.push(call.wait());
+                }
+                while in_flight.front().is_some_and(PendingCall::is_complete) {
+                    let call: PendingCall = in_flight.pop_front().expect("checked front");
+                    results.push(call.wait());
+                }
+            }
+            let room = window - in_flight.len();
+            let chunk = &batch[next..(next + room).min(batch.len())];
+            match self.call_pipelined_batch(method, chunk) {
+                Ok(calls) => in_flight.extend(calls),
+                Err(e) => {
+                    // Keep batch order: earlier in-flight results precede
+                    // the failed chunk's errors (the chunk failed before
+                    // any of its frames hit the wire).
+                    for call in in_flight.drain(..) {
+                        results.push(call.wait());
+                    }
+                    for _ in chunk {
+                        results.push(Err(e.clone()));
+                    }
+                }
+            }
+            next += chunk.len();
+        }
+        for call in in_flight {
+            results.push(call.wait());
+        }
+        results
     }
 
     /// Send one heartbeat now (used when the automatic thread is
@@ -358,7 +589,7 @@ impl Channel {
         let (tx, rx) = bounded(1);
         self.inner.reauth_waiters.lock().push(tx);
         let body = wire::encode_credentials(credentials);
-        send_frame(&self.inner, FT_REAUTH_OFFER, &body)?;
+        send_frame(&self.inner, FT_REAUTH_OFFER, &[&body])?;
         rx.recv_timeout(timeout)
             .map_err(|_| SwitchboardError::Timeout)
     }
@@ -382,7 +613,7 @@ impl Channel {
     /// Close the channel, notifying the peer.
     pub fn close(&self) {
         if !self.inner.closed.swap(true, Ordering::SeqCst) {
-            let _ = send_frame_raw(&self.inner, FT_CLOSE, &[]);
+            let _ = send_frame(&self.inner, FT_CLOSE, &[]);
             mark_closed(&self.inner);
         }
     }
@@ -418,6 +649,64 @@ impl Drop for Channel {
     }
 }
 
+/// A request already on the wire whose response has not been claimed.
+/// Obtained from [`Channel::call_pipelined`]; consumed by
+/// [`PendingCall::wait`] / [`PendingCall::wait_timeout`]. Dropping it
+/// abandons the call (a late response is discarded).
+pub struct PendingCall {
+    inner: Arc<ChannelInner>,
+    slot: Arc<CallSlot>,
+    id: u64,
+    start: Instant,
+    default_timeout: Duration,
+    claimed: bool,
+}
+
+impl PendingCall {
+    /// Whether the response has already arrived, i.e. a subsequent
+    /// [`wait`](PendingCall::wait) will return without blocking.
+    pub fn is_complete(&self) -> bool {
+        self.slot.result.lock().is_some()
+    }
+
+    /// Await the response with the channel's configured RPC timeout.
+    pub fn wait(self) -> Result<Vec<u8>, SwitchboardError> {
+        let timeout = self.default_timeout;
+        self.wait_timeout(timeout)
+    }
+
+    /// Await the response; the timeout is measured from issue time.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Result<Vec<u8>, SwitchboardError> {
+        self.claimed = true;
+        psf_telemetry::gauge!("psf.switchboard.pipeline.inflight").add(-1);
+        match self.slot.wait_deadline(self.start + timeout) {
+            Some(result) => {
+                psf_telemetry::counter!("psf.swbd.rpc.calls").inc();
+                psf_telemetry::histogram!("psf.swbd.rpc.us").record_duration(self.start.elapsed());
+                result
+            }
+            None => {
+                psf_telemetry::counter!("psf.swbd.rpc.timeouts").inc();
+                self.inner.pending.remove(self.id);
+                if self.inner.closed.load(Ordering::SeqCst) {
+                    Err(SwitchboardError::Closed)
+                } else {
+                    Err(SwitchboardError::Timeout)
+                }
+            }
+        }
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        if !self.claimed {
+            self.inner.pending.remove(self.id);
+            psf_telemetry::gauge!("psf.switchboard.pipeline.inflight").add(-1);
+        }
+    }
+}
+
 // ------------------------------------------------------------ framing --
 
 fn seal_nonce(dir: u8, seq: u64) -> [u8; 12] {
@@ -427,32 +716,41 @@ fn seal_nonce(dir: u8, seq: u64) -> [u8; 12] {
     n
 }
 
-fn send_frame(inner: &Arc<ChannelInner>, ft: u8, body: &[u8]) -> Result<(), SwitchboardError> {
+/// Stage `ft || body parts` into a pooled, header-reserved buffer and
+/// transmit it.
+fn send_frame(inner: &Arc<ChannelInner>, ft: u8, parts: &[&[u8]]) -> Result<(), SwitchboardError> {
     if inner.closed.load(Ordering::SeqCst) && ft != FT_CLOSE {
         return Err(SwitchboardError::Closed);
     }
-    send_frame_raw(inner, ft, body)
+    let body_len: usize = parts.iter().map(|p| p.len()).sum();
+    let mut buf = inner.pool.take(8 + 1 + body_len + 16);
+    buf.extend_from_slice(&[0u8; 8]); // sequence header, filled at send
+    buf.push(ft);
+    for part in parts {
+        buf.extend_from_slice(part);
+    }
+    send_pooled_frame(inner, buf)
 }
 
-fn send_frame_raw(inner: &Arc<ChannelInner>, ft: u8, body: &[u8]) -> Result<(), SwitchboardError> {
-    let mut inner_frame = Vec::with_capacity(1 + body.len());
-    inner_frame.push(ft);
-    inner_frame.extend_from_slice(body);
-
+/// Transmit an assembled frame: `buf` holds `zeros(8) || ft || body`. The
+/// 8-byte header receives the sequence number and secure mode seals the
+/// payload **in place** (tag appended into the same buffer), so the only
+/// allocation on a steady-state send is none at all — the buffer came
+/// from the pool and returns to it on drop.
+fn send_pooled_frame(
+    inner: &Arc<ChannelInner>,
+    mut buf: PooledBuf,
+) -> Result<(), SwitchboardError> {
     // Sequence allocation and transmission must be atomic together: the
     // receiver enforces strictly increasing sequence numbers (replay
     // rejection), so a frame numbered later must never hit the wire
     // earlier.
     let mut sender = inner.sender.lock();
     let seq = inner.send_seq.fetch_add(1, Ordering::SeqCst);
-    let mut wire_frame = Vec::with_capacity(8 + inner_frame.len() + 16);
-    wire_frame.extend_from_slice(&seq.to_le_bytes());
-    match &inner.mode {
-        Mode::Plain => wire_frame.extend_from_slice(&inner_frame),
-        Mode::Secure { send, send_dir, .. } => {
-            let nonce = seal_nonce(*send_dir, seq);
-            wire_frame.extend_from_slice(&send.seal(&nonce, b"swbd-record", &inner_frame));
-        }
+    buf[..8].copy_from_slice(&seq.to_le_bytes());
+    if let Mode::Secure { send, send_dir, .. } = &inner.mode {
+        let nonce = seal_nonce(*send_dir, seq);
+        send.seal_in_place(&nonce, b"swbd-record", &mut buf, 8);
     }
     // Count before transmitting (still under the sender lock) so a peer
     // that observes the frame — and anything downstream of it — also
@@ -460,14 +758,52 @@ fn send_frame_raw(inner: &Arc<ChannelInner>, ft: u8, body: &[u8]) -> Result<(), 
     inner.frames_sent.fetch_add(1, Ordering::Relaxed);
     inner
         .bytes_sent
-        .fetch_add(wire_frame.len() as u64, Ordering::Relaxed);
+        .fetch_add(buf.len() as u64, Ordering::Relaxed);
     psf_telemetry::counter!("psf.swbd.frames.sent").inc();
-    psf_telemetry::counter!("psf.swbd.bytes.sent").add(wire_frame.len() as u64);
-    if let Err(e) = sender.send(&wire_frame) {
+    psf_telemetry::counter!("psf.swbd.bytes.sent").add(buf.len() as u64);
+    psf_telemetry::counter!("psf.switchboard.bytes.tx").add(buf.len() as u64);
+    if let Err(e) = sender.send(&buf) {
         inner.frames_sent.fetch_sub(1, Ordering::Relaxed);
         inner
             .bytes_sent
-            .fetch_sub(wire_frame.len() as u64, Ordering::Relaxed);
+            .fetch_sub(buf.len() as u64, Ordering::Relaxed);
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// Multi-frame variant of [`send_pooled_frame`]: sequence numbers for the
+/// whole group are allocated contiguously under a single sender-lock
+/// acquisition, each frame is sealed in place, and the group leaves in
+/// one coalesced transport write.
+fn send_pooled_frames(
+    inner: &Arc<ChannelInner>,
+    bufs: &mut [PooledBuf],
+) -> Result<(), SwitchboardError> {
+    let mut sender = inner.sender.lock();
+    let mut total = 0u64;
+    for buf in bufs.iter_mut() {
+        let seq = inner.send_seq.fetch_add(1, Ordering::SeqCst);
+        buf[..8].copy_from_slice(&seq.to_le_bytes());
+        if let Mode::Secure { send, send_dir, .. } = &inner.mode {
+            let nonce = seal_nonce(*send_dir, seq);
+            send.seal_in_place(&nonce, b"swbd-record", buf, 8);
+        }
+        total += buf.len() as u64;
+    }
+    inner
+        .frames_sent
+        .fetch_add(bufs.len() as u64, Ordering::Relaxed);
+    inner.bytes_sent.fetch_add(total, Ordering::Relaxed);
+    psf_telemetry::counter!("psf.swbd.frames.sent").add(bufs.len() as u64);
+    psf_telemetry::counter!("psf.swbd.bytes.sent").add(total);
+    psf_telemetry::counter!("psf.switchboard.bytes.tx").add(total);
+    let frames: Vec<&[u8]> = bufs.iter().map(|b| &b[..]).collect();
+    if let Err(e) = sender.send_many(&frames) {
+        inner
+            .frames_sent
+            .fetch_sub(bufs.len() as u64, Ordering::Relaxed);
+        inner.bytes_sent.fetch_sub(total, Ordering::Relaxed);
         return Err(e.into());
     }
     Ok(())
@@ -476,19 +812,20 @@ fn send_frame_raw(inner: &Arc<ChannelInner>, ft: u8, body: &[u8]) -> Result<(), 
 fn send_heartbeat_frame(inner: &Arc<ChannelInner>) -> Result<(), SwitchboardError> {
     let hb_seq = inner.hb_send_seq.fetch_add(1, Ordering::SeqCst) + 1;
     let t_us = inner.start.elapsed().as_micros() as u64;
-    let mut body = Vec::with_capacity(16);
-    body.extend_from_slice(&hb_seq.to_le_bytes());
-    body.extend_from_slice(&t_us.to_le_bytes());
-    send_frame(inner, FT_HEARTBEAT, &body)
+    send_frame(
+        inner,
+        FT_HEARTBEAT,
+        &[&hb_seq.to_le_bytes(), &t_us.to_le_bytes()],
+    )
 }
 
 fn mark_closed(inner: &Arc<ChannelInner>) {
     inner.closed.store(true, Ordering::SeqCst);
     *inner.status.write() = ChannelStatus::Closed;
-    // Fail all pending RPCs.
-    let pending: Vec<_> = inner.pending.lock().drain().collect();
-    for (_, tx) in pending {
-        let _ = tx.send(Err(SwitchboardError::Closed));
+    // Fail all pending RPCs promptly — in-flight callers must not idle out
+    // their full RPC timeout when the channel dies under them.
+    for slot in inner.pending.drain() {
+        slot.complete(Err(SwitchboardError::Closed));
     }
     // Notify death watchers (drained, so double-close fires them once).
     let watchers: Vec<CloseWatcher> = inner.close_watchers.lock().drain(..).collect();
@@ -500,60 +837,93 @@ fn mark_closed(inner: &Arc<ChannelInner>) {
 // ------------------------------------------------------------- reader --
 
 fn reader_loop(inner: Arc<ChannelInner>, mut receiver: Box<dyn FrameReceiver>) {
-    while let Ok(frame) = receiver.recv() {
-        if frame.len() < 8 {
-            break; // protocol violation
+    // Take a whole burst per wakeup and stage the burst's RPC responses
+    // for one coalesced write: with a pipelined peer this keeps every hop
+    // of the request/response loop batch-coherent (one scheduler round
+    // trip per window, not per call).
+    while let Ok(batch) = receiver.recv_many() {
+        let mut responses: Vec<PooledBuf> = Vec::with_capacity(batch.len());
+        let mut alive = true;
+        for frame in batch {
+            if !process_frame(&inner, frame, &mut responses) {
+                alive = false;
+                break;
+            }
         }
-        inner.frames_received.fetch_add(1, Ordering::Relaxed);
-        inner
-            .bytes_received
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        let seq = u64::from_le_bytes(frame[..8].try_into().unwrap());
-        let expected = inner.recv_seq.load(Ordering::SeqCst);
-        if seq != expected {
-            // Replay or reorder: hard protocol failure.
+        if !responses.is_empty() && send_pooled_frames(&inner, &mut responses).is_err() {
             break;
         }
-        inner.recv_seq.store(expected + 1, Ordering::SeqCst);
-
-        let inner_frame = match &inner.mode {
-            Mode::Plain => frame[8..].to_vec(),
-            Mode::Secure { recv, recv_dir, .. } => {
-                let nonce = seal_nonce(*recv_dir, seq);
-                match recv.open(&nonce, b"swbd-record", &frame[8..]) {
-                    Ok(p) => p,
-                    Err(_) => break, // forged/replayed record
-                }
-            }
-        };
-        if inner_frame.is_empty() {
+        if !alive {
             break;
-        }
-        inner
-            .last_heard_us
-            .store(inner.start.elapsed().as_micros() as u64, Ordering::SeqCst);
-
-        let (ft, body) = (inner_frame[0], &inner_frame[1..]);
-        match ft {
-            FT_RPC_REQ => handle_request(&inner, body),
-            FT_RPC_RESP => handle_response(&inner, body),
-            FT_HEARTBEAT => handle_heartbeat(&inner, body),
-            FT_HB_ACK => handle_hb_ack(&inner, body),
-            FT_REAUTH_OFFER => handle_reauth_offer(&inner, body),
-            FT_REAUTH_RESULT => {
-                let ok = body.first() == Some(&1);
-                for tx in inner.reauth_waiters.lock().drain(..) {
-                    let _ = tx.send(ok);
-                }
-            }
-            FT_CLOSE => break,
-            _ => break,
         }
     }
     mark_closed(&inner);
 }
 
-fn handle_request(inner: &Arc<ChannelInner>, body: &[u8]) {
+/// Handle one wire frame. Returns `false` when the channel must close
+/// (protocol violation, forged record, or an orderly `FT_CLOSE`). RPC
+/// responses are staged into `responses` rather than sent, so a burst of
+/// requests answers with one transport write.
+fn process_frame(
+    inner: &Arc<ChannelInner>,
+    mut frame: Vec<u8>,
+    responses: &mut Vec<PooledBuf>,
+) -> bool {
+    if frame.len() < 8 {
+        return false; // protocol violation
+    }
+    inner.frames_received.fetch_add(1, Ordering::Relaxed);
+    inner
+        .bytes_received
+        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    psf_telemetry::counter!("psf.switchboard.bytes.rx").add(frame.len() as u64);
+    let seq = u64::from_le_bytes(frame[..8].try_into().unwrap());
+    let expected = inner.recv_seq.load(Ordering::SeqCst);
+    if seq != expected {
+        // Replay or reorder: hard protocol failure.
+        return false;
+    }
+    inner.recv_seq.store(expected + 1, Ordering::SeqCst);
+
+    // Borrow (plain) or decrypt in place (secure): either way the
+    // inner frame is a slice of the transport buffer — no copy.
+    let inner_frame: &[u8] = match &inner.mode {
+        Mode::Plain => &frame[8..],
+        Mode::Secure { recv, recv_dir, .. } => {
+            let nonce = seal_nonce(*recv_dir, seq);
+            match recv.open_in_place(&nonce, b"swbd-record", &mut frame[8..]) {
+                Ok(n) => &frame[8..8 + n],
+                Err(_) => return false, // forged/replayed record
+            }
+        }
+    };
+    if inner_frame.is_empty() {
+        return false;
+    }
+    inner
+        .last_heard_us
+        .store(inner.start.elapsed().as_micros() as u64, Ordering::SeqCst);
+
+    let (ft, body) = (inner_frame[0], &inner_frame[1..]);
+    match ft {
+        FT_RPC_REQ => handle_request(inner, body, responses),
+        FT_RPC_RESP => handle_response(inner, body),
+        FT_HEARTBEAT => handle_heartbeat(inner, body),
+        FT_HB_ACK => handle_hb_ack(inner, body),
+        FT_REAUTH_OFFER => handle_reauth_offer(inner, body),
+        FT_REAUTH_RESULT => {
+            let ok = body.first() == Some(&1);
+            for tx in inner.reauth_waiters.lock().drain(..) {
+                let _ = tx.send(ok);
+            }
+        }
+        FT_CLOSE => return false,
+        _ => return false,
+    }
+    true
+}
+
+fn handle_request(inner: &Arc<ChannelInner>, body: &[u8], responses: &mut Vec<PooledBuf>) {
     let Some((id, method, args)) = rpc::decode_request(body) else {
         return;
     };
@@ -577,47 +947,55 @@ fn handle_request(inner: &Arc<ChannelInner>, body: &[u8]) {
         psf_telemetry::counter!("psf.swbd.authz.refused").inc();
         (RpcStatus::RevalidationRequired, Vec::new())
     } else {
-        let handler = inner.handlers.read().get(&method).cloned();
+        let handler = inner.handlers.read().get(method).cloned();
         match handler {
-            Some(h) => match h(&args) {
+            Some(h) => match h(args) {
                 Ok(out) => (RpcStatus::Ok, out),
                 Err(msg) => (RpcStatus::Error, msg.into_bytes()),
             },
             None => {
                 let fallback = inner.default_handler.read().clone();
                 match fallback {
-                    Some(h) => match h(&method, &args) {
+                    Some(h) => match h(method, args) {
                         Ok(out) => (RpcStatus::Ok, out),
                         Err(msg) => (RpcStatus::Error, msg.into_bytes()),
                     },
-                    None => (RpcStatus::NoSuchMethod, method.into_bytes()),
+                    None => (RpcStatus::NoSuchMethod, method.as_bytes().to_vec()),
                 }
             }
         }
     };
-    let resp = rpc::encode_response(id, status, &payload);
-    let _ = send_frame(inner, FT_RPC_RESP, &resp);
+    // Response assembled directly into a pooled wire frame — no
+    // intermediate encode allocation — and staged so the reader answers a
+    // whole request burst with one coalesced write.
+    let mut buf = inner.pool.take(8 + 1 + 9 + payload.len() + 16);
+    buf.extend_from_slice(&[0u8; 8]); // sequence header, filled at send
+    buf.push(FT_RPC_RESP);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.push(status.to_u8());
+    buf.extend_from_slice(&payload);
+    responses.push(buf);
 }
 
 fn handle_response(inner: &Arc<ChannelInner>, body: &[u8]) {
     let Some((id, status, payload)) = rpc::decode_response(body) else {
         return;
     };
-    if let Some(tx) = inner.pending.lock().remove(&id) {
+    if let Some(slot) = inner.pending.remove(id) {
         let result = match status {
-            RpcStatus::Ok => Ok(payload),
+            RpcStatus::Ok => Ok(payload.to_vec()),
             RpcStatus::Error => Err(SwitchboardError::Remote(
-                String::from_utf8_lossy(&payload).into_owned(),
+                String::from_utf8_lossy(payload).into_owned(),
             )),
             RpcStatus::RevalidationRequired => Err(SwitchboardError::RevalidationRequired(
                 "peer refused service pending revalidation".into(),
             )),
             RpcStatus::NoSuchMethod => Err(SwitchboardError::Remote(format!(
                 "no such method: {}",
-                String::from_utf8_lossy(&payload)
+                String::from_utf8_lossy(payload)
             ))),
         };
-        let _ = tx.send(result);
+        slot.complete(result);
     }
 }
 
@@ -637,7 +1015,7 @@ fn handle_heartbeat(inner: &Arc<ChannelInner>, body: &[u8]) {
     inner.heartbeats_received.fetch_add(1, Ordering::SeqCst);
     psf_telemetry::counter!("psf.swbd.hb.received").inc();
     // Echo for RTT measurement.
-    let _ = send_frame(inner, FT_HB_ACK, body);
+    let _ = send_frame(inner, FT_HB_ACK, &[body]);
 }
 
 fn handle_hb_ack(inner: &Arc<ChannelInner>, body: &[u8]) {
@@ -677,5 +1055,5 @@ fn handle_reauth_offer(inner: &Arc<ChannelInner>, body: &[u8]) {
             "psf.swbd.reauth.rejected"
         })
         .inc();
-    let _ = send_frame(inner, FT_REAUTH_RESULT, &[ok as u8]);
+    let _ = send_frame(inner, FT_REAUTH_RESULT, &[&[ok as u8]]);
 }

@@ -40,17 +40,19 @@
 pub mod channel;
 pub mod fault;
 pub mod handshake;
+pub mod pool;
 pub mod rpc;
 pub mod stream;
 pub mod suite;
 pub mod transport;
 
-pub use channel::{Channel, ChannelConfig, ChannelStatus, Mode, TrafficStats};
+pub use channel::{Channel, ChannelConfig, ChannelStatus, Mode, PendingCall, TrafficStats};
 pub use fault::{Fault, FaultLog, FaultyTransport};
 pub use handshake::{
     connect_tcp, establish_plain, establish_secure, listen_tcp, pair_in_memory,
     pair_in_memory_plain, Listener,
 };
+pub use pool::{FramePool, PooledBuf};
 pub use stream::{send_stream, serve_streams, StreamRegistry, StreamWriter};
 pub use suite::{AuthSuite, AuthorizationMonitor, Authorizer, ClockRef};
 pub use transport::{MemTransport, TcpTransport, Transport};
@@ -77,6 +79,27 @@ pub enum SwitchboardError {
     Protocol(String),
     /// The remote handler reported an application error.
     Remote(String),
+}
+
+impl Clone for SwitchboardError {
+    fn clone(&self) -> Self {
+        match self {
+            // io::Error is not Clone; preserve kind + message.
+            SwitchboardError::Io(e) => {
+                SwitchboardError::Io(std::io::Error::new(e.kind(), e.to_string()))
+            }
+            SwitchboardError::Crypto(e) => SwitchboardError::Crypto(*e),
+            SwitchboardError::Handshake(m) => SwitchboardError::Handshake(m.clone()),
+            SwitchboardError::Unauthorized(m) => SwitchboardError::Unauthorized(m.clone()),
+            SwitchboardError::RevalidationRequired(m) => {
+                SwitchboardError::RevalidationRequired(m.clone())
+            }
+            SwitchboardError::Closed => SwitchboardError::Closed,
+            SwitchboardError::Timeout => SwitchboardError::Timeout,
+            SwitchboardError::Protocol(m) => SwitchboardError::Protocol(m.clone()),
+            SwitchboardError::Remote(m) => SwitchboardError::Remote(m.clone()),
+        }
+    }
 }
 
 impl core::fmt::Display for SwitchboardError {

@@ -1,0 +1,166 @@
+//! Reusable frame buffers for the channel data plane.
+//!
+//! Every outgoing record used to allocate two fresh `Vec<u8>`s (inner
+//! frame, then wire frame) and every secure seal a third; under load that
+//! is pure allocator churn. A [`FramePool`] keeps a small stack of retired
+//! buffers and hands them back out with capacity intact, so steady-state
+//! traffic reuses the same allocations. Buffers return to the pool on
+//! [`PooledBuf`] drop; the pool is bounded, so bursts simply fall back to
+//! the allocator and the surplus is freed on return.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Default bound on pooled buffers per channel endpoint: enough for the
+/// send path plus a full pipeline window of responses.
+pub(crate) const DEFAULT_POOL_SLOTS: usize = 64;
+
+/// Buffers with more capacity than this are not retained (a single 16 MiB
+/// frame must not pin 16 MiB forever).
+const MAX_RETAINED_CAPACITY: usize = 256 * 1024;
+
+/// A bounded stack of reusable `Vec<u8>` frame buffers.
+pub struct FramePool {
+    slots: Mutex<Vec<Vec<u8>>>,
+    max_slots: usize,
+}
+
+impl FramePool {
+    /// Create a pool retaining at most `max_slots` buffers.
+    pub fn new(max_slots: usize) -> Arc<FramePool> {
+        Arc::new(FramePool {
+            slots: Mutex::new(Vec::with_capacity(max_slots)),
+            max_slots,
+        })
+    }
+
+    /// Take a cleared buffer with at least `capacity_hint` capacity,
+    /// reusing a retired one when available.
+    pub fn take(self: &Arc<FramePool>, capacity_hint: usize) -> PooledBuf {
+        let reused = self.slots.lock().pop();
+        let buf = match reused {
+            Some(mut buf) => {
+                psf_telemetry::counter!("psf.switchboard.pool.reuse").inc();
+                buf.clear();
+                if buf.capacity() < capacity_hint {
+                    buf.reserve(capacity_hint);
+                }
+                buf
+            }
+            None => {
+                psf_telemetry::counter!("psf.switchboard.pool.alloc").inc();
+                Vec::with_capacity(capacity_hint)
+            }
+        };
+        PooledBuf {
+            buf,
+            pool: Arc::downgrade(self),
+        }
+    }
+
+    /// Buffers currently resting in the pool (diagnostics/tests).
+    pub fn idle(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    fn put_back(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let mut slots = self.slots.lock();
+        if slots.len() < self.max_slots {
+            slots.push(buf);
+        }
+    }
+}
+
+/// A frame buffer on loan from a [`FramePool`]; dereferences to `Vec<u8>`
+/// and returns to the pool when dropped.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: std::sync::Weak<FramePool>,
+}
+
+impl PooledBuf {
+    /// Detach the buffer from the pool (it will not be returned).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.put_back(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_returned_buffers() {
+        let pool = FramePool::new(4);
+        let ptr = {
+            let mut b = pool.take(128);
+            b.extend_from_slice(b"hello");
+            b.as_ptr() as usize
+        }; // dropped -> returned
+        assert_eq!(pool.idle(), 1);
+        let b = pool.take(64);
+        assert_eq!(b.len(), 0, "reused buffer is cleared");
+        assert_eq!(b.as_ptr() as usize, ptr, "same allocation reused");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn bounded_retention() {
+        let pool = FramePool::new(2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.take(32)).collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 2, "pool keeps at most max_slots buffers");
+    }
+
+    #[test]
+    fn oversized_buffers_not_retained() {
+        let pool = FramePool::new(4);
+        {
+            let mut b = pool.take(16);
+            b.resize(MAX_RETAINED_CAPACITY + 1, 0);
+        }
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn into_vec_detaches() {
+        let pool = FramePool::new(4);
+        let mut b = pool.take(16);
+        b.extend_from_slice(b"data");
+        let v = b.into_vec();
+        assert_eq!(v, b"data");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn outlives_pool_gracefully() {
+        let pool = FramePool::new(4);
+        let b = pool.take(16);
+        drop(pool);
+        drop(b); // weak upgrade fails; no panic, buffer simply freed
+    }
+}

@@ -36,16 +36,16 @@ impl RpcStatus {
 }
 
 /// Encode an RPC request body: `id(8) || method_len(2) || method || args`.
+#[cfg(test)]
 pub(crate) fn encode_request(id: u64, method: &str, args: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(10 + method.len() + args.len());
-    out.extend_from_slice(&id.to_le_bytes());
-    out.extend_from_slice(&(method.len() as u16).to_le_bytes());
-    out.extend_from_slice(method.as_bytes());
-    out.extend_from_slice(args);
+    let mut out = Vec::new();
+    encode_request_into(&mut out, id, method, args);
     out
 }
 
-pub(crate) fn decode_request(body: &[u8]) -> Option<(u64, String, Vec<u8>)> {
+/// Borrowed request decode: method and args reference the frame buffer,
+/// so dispatch allocates nothing.
+pub(crate) fn decode_request(body: &[u8]) -> Option<(u64, &str, &[u8])> {
     if body.len() < 10 {
         return None;
     }
@@ -54,11 +54,12 @@ pub(crate) fn decode_request(body: &[u8]) -> Option<(u64, String, Vec<u8>)> {
     if body.len() < 10 + mlen {
         return None;
     }
-    let method = String::from_utf8(body[10..10 + mlen].to_vec()).ok()?;
-    Some((id, method, body[10 + mlen..].to_vec()))
+    let method = std::str::from_utf8(&body[10..10 + mlen]).ok()?;
+    Some((id, method, &body[10 + mlen..]))
 }
 
 /// Encode an RPC response body: `id(8) || status(1) || payload`.
+#[cfg(test)]
 pub(crate) fn encode_response(id: u64, status: RpcStatus, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(9 + payload.len());
     out.extend_from_slice(&id.to_le_bytes());
@@ -67,13 +68,25 @@ pub(crate) fn encode_response(id: u64, status: RpcStatus, payload: &[u8]) -> Vec
     out
 }
 
-pub(crate) fn decode_response(body: &[u8]) -> Option<(u64, RpcStatus, Vec<u8>)> {
+/// Borrowed response decode; the waiter copies the payload exactly once,
+/// into the buffer it hands to the caller.
+pub(crate) fn decode_response(body: &[u8]) -> Option<(u64, RpcStatus, &[u8])> {
     if body.len() < 9 {
         return None;
     }
     let id = u64::from_le_bytes(body[..8].try_into().unwrap());
     let status = RpcStatus::from_u8(body[8])?;
-    Some((id, status, body[9..].to_vec()))
+    Some((id, status, &body[9..]))
+}
+
+/// Append an RPC request body (`id(8) || method_len(2) || method || args`)
+/// to an existing (typically pooled, header-reserved) buffer.
+pub(crate) fn encode_request_into(out: &mut Vec<u8>, id: u64, method: &str, args: &[u8]) {
+    out.reserve(10 + method.len() + args.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(method.len() as u16).to_le_bytes());
+    out.extend_from_slice(method.as_bytes());
+    out.extend_from_slice(args);
 }
 
 #[cfg(test)]
@@ -84,10 +97,7 @@ mod tests {
     fn request_roundtrip() {
         let body = encode_request(42, "getPhone", b"Alice");
         let (id, m, args) = decode_request(&body).unwrap();
-        assert_eq!(
-            (id, m.as_str(), args.as_slice()),
-            (42, "getPhone", &b"Alice"[..])
-        );
+        assert_eq!((id, m, args), (42, "getPhone", &b"Alice"[..]));
     }
 
     #[test]
@@ -100,7 +110,7 @@ mod tests {
         ] {
             let body = encode_response(7, status, b"x");
             let (id, s, payload) = decode_response(&body).unwrap();
-            assert_eq!((id, s, payload.as_slice()), (7, status, &b"x"[..]));
+            assert_eq!((id, s, payload), (7, status, &b"x"[..]));
         }
     }
 

@@ -15,11 +15,11 @@
 //! * `__stream_chunk(id ‖ seq ‖ bytes)` — strictly ordered
 //! * `__stream_close(id ‖ sha256)` → the registered sink's response
 
-use crate::channel::Channel;
+use crate::channel::{Channel, PendingCall};
 use crate::SwitchboardError;
 use parking_lot::Mutex;
 use psf_crypto::sha256;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -148,6 +148,12 @@ pub fn serve_streams(channel: &Channel, registry: StreamRegistry) {
     }
 }
 
+/// Chunk acknowledgements kept in flight per stream: the writer pipelines
+/// uploads behind a sliding window instead of stalling a full RTT per
+/// chunk. Ordering is preserved by the channel's sequenced record layer
+/// and the receiver's strict `next_seq` check.
+const STREAM_WINDOW: usize = 8;
+
 /// A client-side stream writer.
 pub struct StreamWriter<'a> {
     channel: &'a Channel,
@@ -156,6 +162,7 @@ pub struct StreamWriter<'a> {
     hasher: psf_crypto::Sha256,
     chunk_size: usize,
     buffer: Vec<u8>,
+    in_flight: VecDeque<PendingCall>,
     finished: bool,
 }
 
@@ -178,6 +185,7 @@ impl<'a> StreamWriter<'a> {
             hasher: psf_crypto::Sha256::new(),
             chunk_size,
             buffer: Vec::new(),
+            in_flight: VecDeque::with_capacity(STREAM_WINDOW),
             finished: false,
         })
     }
@@ -196,11 +204,18 @@ impl<'a> StreamWriter<'a> {
     }
 
     fn send_chunk(&mut self, chunk: &[u8]) -> Result<(), SwitchboardError> {
+        // Window full: wait for the oldest outstanding chunk ack before
+        // issuing another. An error (out-of-order poison, revocation,
+        // channel death) aborts the stream immediately.
+        while self.in_flight.len() >= STREAM_WINDOW {
+            self.in_flight.pop_front().unwrap().wait()?;
+        }
         let mut frame = Vec::with_capacity(16 + chunk.len());
         frame.extend_from_slice(&self.id.to_le_bytes());
         frame.extend_from_slice(&self.seq.to_le_bytes());
         frame.extend_from_slice(chunk);
-        self.channel.call(STREAM_CHUNK, &frame)?;
+        let pending = self.channel.call_pipelined(STREAM_CHUNK, &frame)?;
+        self.in_flight.push_back(pending);
         self.seq += 1;
         Ok(())
     }
@@ -212,6 +227,11 @@ impl<'a> StreamWriter<'a> {
             self.send_chunk(&tail)?;
         }
         self.finished = true;
+        // Drain the pipeline: every chunk must be acknowledged before the
+        // close digest is meaningful.
+        while let Some(pending) = self.in_flight.pop_front() {
+            pending.wait()?;
+        }
         let digest = self.hasher.clone().finalize();
         let mut frame = Vec::with_capacity(40);
         frame.extend_from_slice(&self.id.to_le_bytes());
