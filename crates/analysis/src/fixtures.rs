@@ -1,0 +1,359 @@
+//! Declarative analysis fixtures: a small XML scenario format that
+//! builds a delegation world, optional view specs, classes, and an ACL
+//! so defect cases can live as data under `tests/fixtures/analysis/`
+//! instead of as hand-written setup code.
+//!
+//! ```xml
+//! <Scenario name="escalating-delegation">
+//!   <Entities>
+//!     <Entity name="Comp.NY"/>
+//!   </Entities>
+//!   <Delegations>
+//!     <Delegation subject-entity="Alice" role="Comp.NY.Member" issuer="Comp.NY"/>
+//!     <Delegation subject-role="Comp.SD.Member" role="Comp.NY.Member" issuer="Comp.NY"/>
+//!     <Delegation subject-entity="Comp.SD" role="Comp.NY.Partner" issuer="Comp.NY"
+//!                 kind="assignment" expires="500"/>
+//!   </Delegations>
+//!   <Intent>
+//!     <Grant subject="Alice" role="Comp.NY.Member"/>
+//!   </Intent>
+//!   <Classes>
+//!     <Class name="KvStore">
+//!       <Interface name="IKvRead" methods="get(k)"/>
+//!     </Class>
+//!   </Classes>
+//!   <View name="KvRead">
+//!     <Represents name="KvStore"/>
+//!     <Restricts>
+//!       <Interface name="IKvRead" type="local"/>
+//!     </Restricts>
+//!   </View>
+//!   <Acl>
+//!     <Rule role="Comp.NY.Member" view="KvRead"/>
+//!     <Rule view="KvRead"/>
+//!   </Acl>
+//! </Scenario>
+//! ```
+//!
+//! Entity keys are deterministic (`Entity::with_seed` with a fixed
+//! fixture seed), so fixture diagnostics are snapshot-stable. Every
+//! entity named anywhere (issuer, subject, role owner, intent subject)
+//! is registered automatically; `<Entities>` is only needed for
+//! entities that appear nowhere else. Delegation `kind` defaults to the
+//! builder's choice (self-certifying when the issuer owns the role,
+//! third-party otherwise); `kind="assignment"` grants the right of
+//! assignment. Class methods get trivial bodies — the analyzer only
+//! inspects structure.
+
+use crate::diag::Report;
+use crate::graph::{analyze_graph, GraphInput};
+use crate::viewlint::{analyze_views, ViewLintInput};
+use psf_drbac::{
+    DelegationBuilder, Entity, EntityRegistry, Repository, RevocationBus, RoleName, Subject,
+};
+use psf_views::acl::ViewAcl;
+use psf_views::component::ComponentClass;
+use psf_views::library::MethodLibrary;
+use psf_views::spec::ViewSpec;
+use psf_xml::Element;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Seed mixed into every fixture entity's key material.
+const FIXTURE_SEED: &[u8] = b"psf-analysis-fixture";
+
+/// A fully built fixture scenario, ready to analyze.
+pub struct FixtureWorld {
+    /// Scenario name (from the `<Scenario name=…>` attribute).
+    pub name: String,
+    /// PKI directory with every fixture entity registered.
+    pub registry: EntityRegistry,
+    /// Credential repository holding the scenario's delegations.
+    pub repository: Repository,
+    /// Revocation bus (nothing revoked by the loader).
+    pub bus: RevocationBus,
+    /// Intended grants, when the scenario declares an `<Intent>` block.
+    pub intent: Option<Vec<(Subject, RoleName)>>,
+    /// Component classes declared by `<Classes>`.
+    pub classes: HashMap<String, Arc<ComponentClass>>,
+    /// View specs declared by `<View>` elements.
+    pub views: Vec<ViewSpec>,
+    /// Method library (fixture bodies registered via `<Library>` names).
+    pub library: MethodLibrary,
+    /// The role→view ACL, when declared.
+    pub acl: Option<ViewAcl>,
+}
+
+impl FixtureWorld {
+    /// Parse a scenario document and build its world.
+    pub fn parse(xml: &str) -> Result<FixtureWorld, String> {
+        let root = psf_xml::parse(xml).map_err(|e| format!("fixture XML: {e}"))?;
+        FixtureWorld::from_element(&root)
+    }
+
+    /// Build from a parsed `<Scenario>` element.
+    pub fn from_element(root: &Element) -> Result<FixtureWorld, String> {
+        if root.name != "Scenario" {
+            return Err(format!("expected <Scenario>, found <{}>", root.name));
+        }
+        let name = root.get_attr("name").unwrap_or("unnamed").to_string();
+        let registry = EntityRegistry::new();
+        let repository = Repository::new();
+        let bus = RevocationBus::new();
+        let mut entities: HashMap<String, Entity> = HashMap::new();
+
+        fn intern<'a>(
+            entities: &'a mut HashMap<String, Entity>,
+            registry: &EntityRegistry,
+            name: &str,
+        ) -> &'a Entity {
+            entities.entry(name.to_string()).or_insert_with(|| {
+                let e = Entity::with_seed(name, FIXTURE_SEED);
+                registry.register(&e);
+                e
+            })
+        }
+
+        if let Some(decls) = root.find("Entities") {
+            for e in decls.find_all("Entity") {
+                let n = e
+                    .get_attr("name")
+                    .ok_or("<Entity> requires a name attribute")?;
+                intern(&mut entities, &registry, n);
+            }
+        }
+
+        if let Some(dels) = root.find("Delegations") {
+            for (i, d) in dels.find_all("Delegation").enumerate() {
+                let role_str = d
+                    .get_attr("role")
+                    .ok_or_else(|| format!("delegation {i}: missing role attribute"))?;
+                let role = RoleName::parse(role_str).map_err(|e| format!("delegation {i}: {e}"))?;
+                intern(&mut entities, &registry, &role.owner.0);
+                let issuer_name = d
+                    .get_attr("issuer")
+                    .ok_or_else(|| format!("delegation {i}: missing issuer attribute"))?
+                    .to_string();
+                intern(&mut entities, &registry, &issuer_name);
+                let issuer = entities.get(&issuer_name).expect("interned").clone();
+                let mut builder = DelegationBuilder::new(&issuer);
+                match (d.get_attr("subject-entity"), d.get_attr("subject-role")) {
+                    (Some(en), None) => {
+                        let subject = intern(&mut entities, &registry, en).clone();
+                        builder = builder.subject_entity(&subject);
+                    }
+                    (None, Some(rn)) => {
+                        let sub_role =
+                            RoleName::parse(rn).map_err(|e| format!("delegation {i}: {e}"))?;
+                        intern(&mut entities, &registry, &sub_role.owner.0);
+                        builder = builder.subject_role(sub_role);
+                    }
+                    _ => {
+                        return Err(format!(
+                            "delegation {i}: exactly one of subject-entity / subject-role required"
+                        ))
+                    }
+                }
+                if let Some(kind) = d.get_attr("kind") {
+                    match kind {
+                        "assignment" => builder = builder.assignment(),
+                        "auto" => {}
+                        other => return Err(format!("delegation {i}: unknown kind '{other}'")),
+                    }
+                }
+                builder = builder.role(role).serial(i as u64);
+                if let Some(exp) = d.get_attr("expires") {
+                    let exp: u64 = exp
+                        .parse()
+                        .map_err(|_| format!("delegation {i}: bad expires '{exp}'"))?;
+                    builder = builder.expires(exp);
+                }
+                repository.publish_at_issuer(builder.sign());
+            }
+        }
+
+        let intent = match root.find("Intent") {
+            Some(block) => {
+                let mut grants = Vec::new();
+                for (i, g) in block.find_all("Grant").enumerate() {
+                    let subject_name = g
+                        .get_attr("subject")
+                        .ok_or_else(|| format!("grant {i}: missing subject attribute"))?;
+                    let role_str = g
+                        .get_attr("role")
+                        .ok_or_else(|| format!("grant {i}: missing role attribute"))?;
+                    let role = RoleName::parse(role_str).map_err(|e| format!("grant {i}: {e}"))?;
+                    let subject = intern(&mut entities, &registry, subject_name).as_subject();
+                    grants.push((subject, role));
+                }
+                Some(grants)
+            }
+            None => None,
+        };
+
+        let mut classes: HashMap<String, Arc<ComponentClass>> = HashMap::new();
+        if let Some(block) = root.find("Classes") {
+            for c in block.find_all("Class") {
+                let class_name = c
+                    .get_attr("name")
+                    .ok_or("<Class> requires a name attribute")?;
+                let mut builder = ComponentClass::builder(class_name);
+                for iface in c.find_all("Interface") {
+                    let iface_name = iface
+                        .get_attr("name")
+                        .ok_or("<Interface> requires a name attribute")?;
+                    let methods: Vec<String> = iface
+                        .get_attr("methods")
+                        .unwrap_or("")
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|m| !m.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    for m in &methods {
+                        builder =
+                            builder.method(m.clone(), m.clone(), &[], false, |_, _| Ok(Vec::new()));
+                    }
+                    builder = builder.interface(iface_name, methods);
+                }
+                classes.insert(class_name.to_string(), builder.build()?);
+            }
+        }
+
+        let mut library = MethodLibrary::new();
+        if let Some(block) = root.find("Library") {
+            for b in block.find_all("Body") {
+                let body_name = b
+                    .get_attr("name")
+                    .ok_or("<Body> requires a name attribute")?;
+                library.register(body_name, |_, _| Ok(Vec::new()));
+            }
+        }
+
+        let mut views = Vec::new();
+        for v in root.find_all("View") {
+            views.push(ViewSpec::from_element(v)?);
+        }
+
+        let acl = match root.find("Acl") {
+            Some(block) => {
+                let mut acl = ViewAcl::new();
+                for (i, r) in block.find_all("Rule").enumerate() {
+                    let view = r
+                        .get_attr("view")
+                        .ok_or_else(|| format!("acl rule {i}: missing view attribute"))?;
+                    match r.get_attr("role") {
+                        Some(role_str) => {
+                            let role = RoleName::parse(role_str)
+                                .map_err(|e| format!("acl rule {i}: {e}"))?;
+                            intern(&mut entities, &registry, &role.owner.0);
+                            acl = acl.rule(role, view);
+                        }
+                        None => acl = acl.others(view),
+                    }
+                }
+                Some(acl)
+            }
+            None => None,
+        };
+
+        Ok(FixtureWorld {
+            name,
+            registry,
+            repository,
+            bus,
+            intent,
+            classes,
+            views,
+            library,
+            acl,
+        })
+    }
+
+    /// Run the graph and view/ACL passes over this fixture and return
+    /// the sorted report. (Plan pre-flight needs a live deployer and is
+    /// exercised separately.)
+    pub fn analyze(&self, now: u64, expiry_horizon: u64) -> Report {
+        let mut report = Report::new();
+        analyze_graph(
+            &GraphInput {
+                registry: &self.registry,
+                repository: &self.repository,
+                bus: &self.bus,
+                now,
+                intent: self.intent.as_deref(),
+                expiry_horizon,
+            },
+            &mut report,
+        );
+        if !self.views.is_empty() || self.acl.is_some() {
+            analyze_views(
+                &ViewLintInput {
+                    classes: &self.classes,
+                    views: &self.views,
+                    library: &self.library,
+                    acl: self.acl.as_ref(),
+                    extra_roots: &[],
+                },
+                &mut report,
+            );
+        }
+        report.sort();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_scenario_builds_and_is_clean() {
+        let world = FixtureWorld::parse(
+            r#"<Scenario name="mini">
+                 <Delegations>
+                   <Delegation subject-entity="Alice" role="Org.Member" issuer="Org"/>
+                 </Delegations>
+                 <Intent>
+                   <Grant subject="Alice" role="Org.Member"/>
+                 </Intent>
+               </Scenario>"#,
+        )
+        .expect("parse");
+        assert_eq!(world.name, "mini");
+        let report = world.analyze(0, 0);
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn missing_intent_skips_escalation() {
+        let world = FixtureWorld::parse(
+            r#"<Scenario name="no-intent">
+                 <Delegations>
+                   <Delegation subject-entity="Alice" role="Org.Member" issuer="Org"/>
+                 </Delegations>
+               </Scenario>"#,
+        )
+        .expect("parse");
+        assert!(world.analyze(0, 0).is_clean());
+    }
+
+    #[test]
+    fn malformed_scenarios_error() {
+        assert!(FixtureWorld::parse("<Other/>").is_err());
+        assert!(FixtureWorld::parse(
+            r#"<Scenario name="x">
+                 <Delegations><Delegation role="Org.Member" issuer="Org"/></Delegations>
+               </Scenario>"#
+        )
+        .is_err());
+        assert!(FixtureWorld::parse(
+            r#"<Scenario name="x">
+                 <Delegations>
+                   <Delegation subject-entity="A" role="NotARole" issuer="Org"/>
+                 </Delegations>
+               </Scenario>"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Pass 2: view-spec and role→view ACL lint (PSF006–PSF010).
+//!
+//! Checks that every view specification is *implementable* — it
+//! represents a known class, restricts interfaces that class actually
+//! implements, and every added/customized method resolves (a library
+//! body exists for its `body_ref`; a customized method overrides a
+//! method the class really has) — and that the role→view ACL is
+//! *coherent*: rules are ordered highest privilege first, each
+//! successive view's exposed method set must be a subset of the one
+//! before it (**subsumption monotonicity** — otherwise a *lower*
+//! privilege role would see methods a higher one cannot), every view is
+//! reachable from some ACL rule or deployment root, and no rule is
+//! shadowed by an earlier duplicate or catch-all.
+
+use crate::diag::{Diagnostic, LintCode, Report};
+use psf_views::acl::ViewAcl;
+use psf_views::component::ComponentClass;
+use psf_views::library::MethodLibrary;
+use psf_views::spec::ViewSpec;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Inputs to the view/ACL lint pass.
+pub struct ViewLintInput<'a> {
+    /// Component classes by name (what views may represent).
+    pub classes: &'a HashMap<String, Arc<ComponentClass>>,
+    /// All view specifications under analysis.
+    pub views: &'a [ViewSpec],
+    /// The method library the VIG would draw bodies from.
+    pub library: &'a MethodLibrary,
+    /// The role→view ACL, if one governs these views. Ordered highest
+    /// privilege first (first match wins at runtime).
+    pub acl: Option<&'a ViewAcl>,
+    /// View names reachable outside the ACL (e.g. deployed directly by
+    /// a plan); exempt from PSF009.
+    pub extra_roots: &'a [String],
+}
+
+/// Run the view/ACL lint pass, appending findings to `report`.
+pub fn analyze_views(input: &ViewLintInput<'_>, report: &mut Report) {
+    let spec_by_name: HashMap<&str, &ViewSpec> =
+        input.views.iter().map(|v| (v.name.as_str(), v)).collect();
+
+    // Per-view structural checks: PSF006 (unknown targets) and PSF007
+    // (unresolved methods).
+    for view in input.views {
+        let class = match input.classes.get(&view.represents) {
+            Some(c) => Some(c.as_ref()),
+            None => {
+                report.push(Diagnostic::new(
+                    LintCode::UnknownViewTarget,
+                    view.name.clone(),
+                    format!("represents unknown component class '{}'", view.represents),
+                ));
+                None
+            }
+        };
+        if let Some(class) = class {
+            for restriction in &view.restricts {
+                if class.resolve_interface(&restriction.name).is_none() {
+                    report.push(Diagnostic::new(
+                        LintCode::UnknownViewTarget,
+                        view.name.clone(),
+                        format!(
+                            "restricts interface '{}' which class '{}' does not implement",
+                            restriction.name, class.name
+                        ),
+                    ));
+                }
+            }
+            for method in &view.customizes_methods {
+                let name = method.method_name();
+                if class.resolve_method(&name).is_none() {
+                    report.push(Diagnostic::new(
+                        LintCode::UnresolvedViewMethod,
+                        view.name.clone(),
+                        format!(
+                            "customizes '{name}' but class '{}' has no such method",
+                            class.name
+                        ),
+                    ));
+                }
+            }
+        }
+        for method in view.adds_methods.iter().chain(&view.customizes_methods) {
+            if input.library.get(&method.body_ref).is_none() {
+                report.push(Diagnostic::new(
+                    LintCode::UnresolvedViewMethod,
+                    view.name.clone(),
+                    format!(
+                        "method '{}' names library body '{}' which is not registered",
+                        method.method_name(),
+                        method.body_ref
+                    ),
+                ));
+            }
+        }
+    }
+
+    let Some(acl) = input.acl else {
+        return;
+    };
+
+    // ACL rules must point at known views (PSF006).
+    for (i, (role, view_name)) in acl.rules().iter().enumerate() {
+        if !spec_by_name.contains_key(view_name.as_str()) {
+            report.push(Diagnostic::new(
+                LintCode::UnknownViewTarget,
+                format!("acl rule {i}"),
+                format!(
+                    "{} maps to view '{view_name}' but no such view spec exists",
+                    render_role(role)
+                ),
+            ));
+        }
+    }
+
+    // PSF008 — subsumption monotonicity. Rules are ordered highest
+    // privilege first; for i < j the lower rule's view must expose a
+    // subset of the higher rule's.
+    let exposed: Vec<Option<BTreeSet<String>>> = acl
+        .rules()
+        .iter()
+        .map(|(_, view_name)| {
+            let spec = spec_by_name.get(view_name.as_str())?;
+            let class = input.classes.get(&spec.represents)?;
+            spec.exposed_method_names(class).ok()
+        })
+        .collect();
+    for j in 1..acl.rules().len() {
+        let Some(lower) = &exposed[j] else { continue };
+        for (i, higher) in exposed.iter().enumerate().take(j) {
+            let Some(higher) = higher else { continue };
+            let extra: Vec<&String> = lower.difference(higher).collect();
+            if !extra.is_empty() {
+                let extras: Vec<String> = extra.iter().map(|s| s.to_string()).collect();
+                report.push(Diagnostic::new(
+                    LintCode::NonMonotoneAcl,
+                    format!("acl rule {j}"),
+                    format!(
+                        "view '{}' ({}) exposes methods the higher-privilege view '{}' ({}) \
+                         does not: {}",
+                        acl.rules()[j].1,
+                        render_role(&acl.rules()[j].0),
+                        acl.rules()[i].1,
+                        render_role(&acl.rules()[i].0),
+                        extras.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    // PSF009 — views no ACL rule or root reaches.
+    for view in input.views {
+        let in_acl = acl.rules().iter().any(|(_, v)| v == &view.name);
+        let is_root = input.extra_roots.iter().any(|r| r == &view.name);
+        if !in_acl && !is_root {
+            report.push(Diagnostic::new(
+                LintCode::UnreachableView,
+                view.name.clone(),
+                "no ACL rule or deployment root selects this view; it can never be served",
+            ));
+        }
+    }
+
+    // PSF010 — shadowed rules: a duplicate role match, or any rule after
+    // a catch-all (first match wins, so later rules are dead).
+    let mut catch_all_at: Option<usize> = None;
+    let mut seen_roles: HashMap<String, usize> = HashMap::new();
+    for (i, (role, view_name)) in acl.rules().iter().enumerate() {
+        if let Some(ca) = catch_all_at {
+            report.push(Diagnostic::new(
+                LintCode::ShadowedAclRule,
+                format!("acl rule {i}"),
+                format!(
+                    "rule ({} → '{view_name}') is unreachable: rule {ca} is a catch-all",
+                    render_role(role)
+                ),
+            ));
+            continue;
+        }
+        match role {
+            None => catch_all_at = Some(i),
+            Some(r) => {
+                if let Some(&first) = seen_roles.get(&r.to_string()) {
+                    report.push(Diagnostic::new(
+                        LintCode::ShadowedAclRule,
+                        format!("acl rule {i}"),
+                        format!("duplicate rule for role '{r}': rule {first} already matches it"),
+                    ));
+                } else {
+                    seen_roles.insert(r.to_string(), i);
+                }
+            }
+        }
+    }
+}
+
+fn render_role(role: &Option<psf_drbac::RoleName>) -> String {
+    match role {
+        Some(r) => format!("role '{r}'"),
+        None => "catch-all".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psf_drbac::Entity;
+    use psf_views::spec::ExposureType;
+
+    fn kv_class() -> Arc<ComponentClass> {
+        ComponentClass::builder("KvStore")
+            .interface("IKvAdmin", ["get(k)", "put(k,v)", "purge()"])
+            .interface("IKvRead", ["get(k)"])
+            .method("get(k)", "get(k)", &[], false, |_, _| Ok(vec![]))
+            .method("put(k,v)", "put(k,v)", &[], true, |_, _| Ok(vec![]))
+            .method("purge()", "purge()", &[], true, |_, _| Ok(vec![]))
+            .build()
+            .expect("class")
+    }
+
+    fn setup() -> (HashMap<String, Arc<ComponentClass>>, MethodLibrary) {
+        let mut classes = HashMap::new();
+        classes.insert("KvStore".to_string(), kv_class());
+        let mut library = MethodLibrary::new();
+        library.register("audit_body", |_, _| Ok(vec![]));
+        (classes, library)
+    }
+
+    #[test]
+    fn clean_views_and_acl_pass() {
+        let (classes, library) = setup();
+        let admin = ViewSpec::new("KvAdmin", "KvStore").restrict("IKvAdmin", ExposureType::Local);
+        let read = ViewSpec::new("KvRead", "KvStore").restrict("IKvRead", ExposureType::Local);
+        let org = Entity::with_seed("Org", b"vl");
+        let acl = ViewAcl::new()
+            .rule(org.role("Admin"), "KvAdmin")
+            .others("KvRead");
+        let views = vec![admin, read];
+        let mut report = Report::new();
+        analyze_views(
+            &ViewLintInput {
+                classes: &classes,
+                views: &views,
+                library: &library,
+                acl: Some(&acl),
+                extra_roots: &[],
+            },
+            &mut report,
+        );
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn unknown_targets_and_methods_flagged() {
+        let (classes, library) = setup();
+        let views = vec![
+            ViewSpec::new("Ghost", "NoSuchClass"),
+            ViewSpec::new("BadIface", "KvStore").restrict("INope", ExposureType::Local),
+            ViewSpec::new("BadCustomize", "KvStore")
+                .restrict("IKvRead", ExposureType::Local)
+                .customize_method("vanish()", "audit_body"),
+            ViewSpec::new("BadBody", "KvStore")
+                .restrict("IKvRead", ExposureType::Local)
+                .add_method("extra()", "no_such_body"),
+        ];
+        let mut report = Report::new();
+        analyze_views(
+            &ViewLintInput {
+                classes: &classes,
+                views: &views,
+                library: &library,
+                acl: None,
+                extra_roots: &[],
+            },
+            &mut report,
+        );
+        let codes = report.codes();
+        assert!(codes.contains(&"PSF006"));
+        assert!(codes.contains(&"PSF007"));
+        // Two PSF006 (unknown class, unknown interface), two PSF007.
+        assert_eq!(report.diagnostics.len(), 4, "{}", report.render_human());
+    }
+
+    #[test]
+    fn non_monotone_acl_flagged() {
+        let (classes, library) = setup();
+        let admin = ViewSpec::new("KvAdmin", "KvStore").restrict("IKvAdmin", ExposureType::Local);
+        let read = ViewSpec::new("KvRead", "KvStore").restrict("IKvRead", ExposureType::Local);
+        let org = Entity::with_seed("Org", b"vl");
+        // Low-privilege catch-all gets the *wider* view: monotonicity broken.
+        let acl = ViewAcl::new()
+            .rule(org.role("Reader"), "KvRead")
+            .others("KvAdmin");
+        let views = vec![admin, read];
+        let mut report = Report::new();
+        analyze_views(
+            &ViewLintInput {
+                classes: &classes,
+                views: &views,
+                library: &library,
+                acl: Some(&acl),
+                extra_roots: &[],
+            },
+            &mut report,
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::NonMonotoneAcl)
+            .expect("non-monotone finding");
+        assert!(d.message.contains("purge()"), "{}", d.message);
+    }
+
+    #[test]
+    fn unreachable_and_shadowed_flagged_with_roots_exempt() {
+        let (classes, library) = setup();
+        let admin = ViewSpec::new("KvAdmin", "KvStore").restrict("IKvAdmin", ExposureType::Local);
+        let read = ViewSpec::new("KvRead", "KvStore").restrict("IKvRead", ExposureType::Local);
+        let rooted = ViewSpec::new("KvRoot", "KvStore").restrict("IKvRead", ExposureType::Local);
+        let org = Entity::with_seed("Org", b"vl");
+        let acl = ViewAcl::new()
+            .rule(org.role("Admin"), "KvAdmin")
+            .rule(org.role("Admin"), "KvAdmin")
+            .others("KvAdmin")
+            .others("KvAdmin");
+        let views = vec![admin, read, rooted];
+        let mut report = Report::new();
+        analyze_views(
+            &ViewLintInput {
+                classes: &classes,
+                views: &views,
+                library: &library,
+                acl: Some(&acl),
+                extra_roots: &["KvRoot".to_string()],
+            },
+            &mut report,
+        );
+        let unreachable: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::UnreachableView)
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].subject.as_deref(), Some("KvRead"));
+        let shadowed = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::ShadowedAclRule)
+            .count();
+        // rule 1 duplicates rule 0; rule 3 follows the catch-all at 2.
+        assert_eq!(shadowed, 2, "{}", report.render_human());
+    }
+}

@@ -26,7 +26,8 @@ use psf_core::{
 use psf_drbac::entity::RoleName;
 use psf_drbac::proof::ProofEngine;
 use psf_mail::{mail_client_class, mail_method_library, MailWorld};
-use psf_views::Vig;
+use psf_views::ViewSpec;
+use psf_views::{ExposureType, Vig};
 use std::time::Duration;
 
 /// Global CLI options stripped from the argument list before dispatch.
@@ -58,6 +59,13 @@ fn usage() -> ! {
          \x20 view <member|partner|anonymous>  generate and print the view\n\
          \x20 metrics [--bare]              run the full stack, print a\n\
          \x20                               Prometheus-text metrics snapshot\n\
+         \x20 analyze [--json] [--deny warnings] [--fixtures DIR]\n\
+         \x20                               static policy analysis (PSF001…):\n\
+         \x20                               delegation graph, view/ACL lint,\n\
+         \x20                               and plan pre-flight over the mail\n\
+         \x20                               scenario; --fixtures checks each\n\
+         \x20                               scenario XML in DIR against its\n\
+         \x20                               .expected snapshot\n\
          \x20 chaos [--seed N]              run the mail scenario under a\n\
          \x20                               seeded schedule of link/node/deploy\n\
          \x20                               faults; print a recovery report\n\
@@ -118,6 +126,7 @@ fn main() {
             "storage" => storage(&cli, args),
             "view" => view(&cli, args),
             "metrics" => metrics(&cli, args),
+            "analyze" => analyze(&cli, args),
             "chaos" => chaos(&cli, args),
             "bench" => bench(&cli, args),
             _ => usage(),
@@ -382,6 +391,176 @@ fn metrics(cli: &Cli, args: &[String]) -> i32 {
     // not narration.
     print!("{}", psf_telemetry::registry().render_prometheus());
     0
+}
+
+/// Static policy analysis (`psf-analysis`): delegation-graph reachability
+/// against the Table 2 intent matrix, view/ACL lint over the Table 3/4
+/// artifacts, and plan pre-flight for a private WAN delivery — or, with
+/// `--fixtures DIR`, analyze every scenario XML in the directory and
+/// check each against its `.expected` snapshot.
+fn analyze(cli: &Cli, args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args
+        .windows(2)
+        .any(|w| w[0] == "--deny" && w[1] == "warnings");
+    let fixtures_dir = args
+        .iter()
+        .position(|a| a == "--fixtures")
+        .and_then(|i| args.get(i + 1));
+
+    if let Some(dir) = fixtures_dir {
+        return analyze_fixtures(cli, dir, json);
+    }
+
+    let w = world();
+    let mut report = psf_analysis::Report::new();
+
+    // Pass 1: delegation graph vs the Table 2 intent matrix.
+    let intent = w.expected_grants();
+    psf_analysis::analyze_graph(
+        &psf_analysis::GraphInput {
+            registry: &w.registry,
+            repository: &w.repository,
+            bus: &w.bus,
+            now: w.clock.now(),
+            intent: Some(&intent),
+            expiry_horizon: 3600,
+        },
+        &mut report,
+    );
+
+    // Pass 2: Table 3 view specs and the Table 4 role→view ACL. The
+    // ViewMailServer cache template is deployed by plans, not served
+    // through the ACL, so it counts as a deployment root.
+    let mut classes = std::collections::HashMap::new();
+    classes.insert("MailServer".to_string(), psf_mail::mail_server_class());
+    classes.insert("MailClient".to_string(), mail_client_class());
+    let views = vec![
+        psf_mail::view_member(),
+        psf_mail::view_partner(),
+        psf_mail::view_anonymous(),
+        ViewSpec::new("ViewMailServer", "MailServer").restrict("MailI", ExposureType::Local),
+    ];
+    psf_analysis::analyze_views(
+        &psf_analysis::ViewLintInput {
+            classes: &classes,
+            views: &views,
+            library: &mail_method_library(),
+            acl: Some(&w.acl),
+            extra_roots: &["ViewMailServer".to_string()],
+        },
+        &mut report,
+    );
+
+    // Pass 3: pre-flight the plan for a private WAN delivery (the same
+    // goal `psf plan sd-0 --privacy` serves).
+    let goal = Goal {
+        iface: "MailI".into(),
+        client_node: w.sites.sd[0],
+        max_latency_ms: None,
+        require_privacy: true,
+        require_plaintext_delivery: true,
+    };
+    match w.plan_service(&goal) {
+        Ok((plan, _)) => {
+            psf_analysis::analyze_plan(&w.deployer, &w.registrar, &plan, &goal, &mut report)
+        }
+        Err(e) => report.push(psf_analysis::Diagnostic::global(
+            psf_analysis::LintCode::InvalidStepChain,
+            format!("planner found no plan to pre-flight: {e}"),
+        )),
+    }
+
+    let report = psf_analysis::record_run(report);
+    psf_telemetry::event(
+        "psf.cli",
+        "analyze.finished",
+        vec![
+            ("errors", report.errors().to_string()),
+            ("warnings", report.warnings().to_string()),
+        ],
+    );
+    // The report goes to stdout even under --quiet: it is the result.
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.fails(deny_warnings) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Analyze every `*.xml` scenario under `dir` (fixed analysis time 100,
+/// horizon 3600 so snapshots are stable) and compare each rendered
+/// report against the sibling `.expected` file when present.
+fn analyze_fixtures(cli: &Cli, dir: &str, json: bool) -> i32 {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "xml"))
+            .collect(),
+        Err(e) => {
+            eprintln!("analyze: cannot read {dir}: {e}");
+            return 2;
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("analyze: no scenario XML files in {dir}");
+        return 2;
+    }
+    let mut failed = 0usize;
+    for path in &paths {
+        let display = path.display();
+        let xml = match std::fs::read_to_string(path) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("analyze: cannot read {display}: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let scenario = match psf_analysis::FixtureWorld::parse(&xml) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("analyze: {display}: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let report = psf_analysis::record_run(scenario.analyze(100, 3600));
+        cli.say(format!("== {} ==", scenario.name));
+        if json {
+            print!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_human());
+        }
+        let expected_path = path.with_extension("expected");
+        match std::fs::read_to_string(&expected_path) {
+            Ok(expected) => {
+                if report.render_human() == expected {
+                    cli.say("   snapshot: ok");
+                } else {
+                    eprintln!(
+                        "analyze: {display}: diagnostics differ from {}",
+                        expected_path.display()
+                    );
+                    failed += 1;
+                }
+            }
+            Err(_) => cli.say("   snapshot: none (informational run)"),
+        }
+    }
+    if failed > 0 {
+        eprintln!("analyze: {failed} fixture(s) failed");
+        1
+    } else {
+        0
+    }
 }
 
 /// Same mixer the deployer uses for its seeded faults: lets the CLI derive
@@ -1064,6 +1243,28 @@ fn exercise_full_stack(cli: &Cli) -> Result<(), String> {
     for who in [&w.alice, &w.bob, &w.charlie] {
         let _ = w.client_view(who);
     }
+
+    // One static-analysis pass over the delegation graph populates the
+    // psf.analysis.* counters.
+    let intent = w.expected_grants();
+    let mut report = psf_analysis::Report::new();
+    psf_analysis::analyze_graph(
+        &psf_analysis::GraphInput {
+            registry: &w.registry,
+            repository: &w.repository,
+            bus: &w.bus,
+            now: w.clock.now(),
+            intent: Some(&intent),
+            expiry_horizon: 3600,
+        },
+        &mut report,
+    );
+    let report = psf_analysis::record_run(report);
+    cli.say(format!(
+        "static analysis: {} error(s), {} warning(s)",
+        report.errors(),
+        report.warnings()
+    ));
 
     // A heartbeat over a plain channel pair populates the RTT histogram.
     let cfg = psf_switchboard::ChannelConfig {

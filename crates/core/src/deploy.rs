@@ -359,6 +359,27 @@ impl Deployer {
         self
     }
 
+    /// The guard this deployer issues credentials through (pre-flight
+    /// analysis evaluates would-be identities against it).
+    pub fn guard(&self) -> &Arc<Guard> {
+        &self.guard
+    }
+
+    /// The application bundle (pre-flight template resolution).
+    pub fn bundle(&self) -> &AppBundle {
+        &self.bundle
+    }
+
+    /// The attached network, if any.
+    pub fn network(&self) -> Option<&Network> {
+        self.network.as_ref()
+    }
+
+    /// The clock deployments are stamped with.
+    pub fn clock(&self) -> &ClockRef {
+        &self.clock
+    }
+
     /// Pre-start a source instance on a node (pairs with
     /// `Registrar::record_deployed`).
     pub fn start_source(

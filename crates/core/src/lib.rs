@@ -31,6 +31,9 @@
 //!   Switchboard channels.
 //! * [`monitor`] — adaptation: watches netsim events and replans when the
 //!   environment changes.
+//! * [`preflight`] — static plan pre-flight: proves a plan executable
+//!   (step chain, templates, CPU, channel authorization) before the
+//!   deployer acquires anything; feeds psf-analysis PSF011–PSF013.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +43,7 @@ pub mod model;
 pub mod monitor;
 pub mod oracle;
 pub mod planner;
+pub mod preflight;
 pub mod registrar;
 pub mod repo_service;
 pub mod supervisor;
@@ -51,6 +55,7 @@ pub use model::{ComponentSpec, Effect, Goal, IfaceProps, Provided};
 pub use monitor::{AdaptationLoop, AdaptationOutcome};
 pub use oracle::{AuthOracle, DrbacOracle, PermissiveOracle};
 pub use planner::{Plan, PlanStep, Planner, PlannerConfig, PlannerStats};
+pub use preflight::{preflight_plan, PreflightViolation, PreflightViolationKind};
 pub use registrar::Registrar;
 pub use repo_service::{serve_repository, RemoteRepository};
 pub use supervisor::{Supervisor, SupervisorState, TickOutcome};

@@ -60,7 +60,7 @@ pub use delegation::{Delegation, DelegationBuilder, DelegationKind, SignedDelega
 pub use entity::{Entity, EntityName, EntityRegistry, RoleName, Subject};
 pub use guard::Guard;
 pub use proof::{Proof, ProofEngine, ProofError, SearchStats};
-pub use repository::{CredentialSource, DiscoveryTag, Repository};
+pub use repository::{subject_key, CredentialSource, DiscoveryTag, Repository};
 pub use revocation::{RevocationBus, ValidityMonitor};
 
 /// Logical timestamp used for credential expiration (seconds; the netsim

@@ -81,8 +81,9 @@ impl DiscoveryTag {
 
 /// Canonical lookup key for a delegation subject. Entity keys include the
 /// public key so two principals with the same display name cannot alias
-/// each other in the index.
-pub(crate) fn subject_key(s: &Subject) -> String {
+/// each other in the index. Public so static analyses (psf-analysis) can
+/// key their reachability sets identically to the proof engine.
+pub fn subject_key(s: &Subject) -> String {
     match s {
         Subject::Entity { name, key } => {
             let fp: String = key.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
@@ -242,6 +243,23 @@ impl Repository {
                 }
             }
         }
+        out
+    }
+
+    /// A deterministic snapshot of every stored credential across all
+    /// homes, sorted by credential id (shard iteration order is a HashMap
+    /// artifact and must not leak into analysis output). Results share the
+    /// repository's allocations (`Arc`) — no signed blob is cloned. This
+    /// is the graph-extraction entry point for static analysis
+    /// (psf-analysis): cycle, expiry, and dangling-support passes walk
+    /// this snapshot rather than issuing directed queries.
+    pub fn all_credentials(&self) -> Vec<Arc<SignedDelegation>> {
+        let shards = self.inner.shards.read();
+        let mut out: Vec<Arc<SignedDelegation>> = shards
+            .values()
+            .flat_map(|s| s.credentials.iter().cloned())
+            .collect();
+        out.sort_by_key(|a| a.id());
         out
     }
 

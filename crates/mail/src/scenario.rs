@@ -11,7 +11,7 @@ use psf_core::{
     AppBundle, ComponentSpec, Deployer, Deployment, DrbacOracle, Effect, Goal, Plan, Planner,
     PlannerConfig, PsfError, Registrar,
 };
-use psf_drbac::entity::{Entity, EntityRegistry, RoleName};
+use psf_drbac::entity::{Entity, EntityRegistry, RoleName, Subject};
 use psf_drbac::guard::Guard;
 use psf_drbac::repository::Repository;
 use psf_drbac::revocation::RevocationBus;
@@ -469,6 +469,42 @@ impl MailWorld {
             deployer,
             acl,
         }
+    }
+
+    /// The authorization matrix the Table 2 credentials are *intended* to
+    /// establish: every (subject, role) pair an administrator meant to
+    /// grant, directly or through role mapping. Static analysis
+    /// (psf-analysis PSF001) compares the computed delegation-graph
+    /// closure against this list — any reachable pair missing here is a
+    /// privilege escalation.
+    pub fn expected_grants(&self) -> Vec<(Subject, RoleName)> {
+        let ny = self.ny_guard.entity();
+        let sd = self.sd_guard.entity();
+        let se = self.se_guard.entity();
+        let mut out = vec![
+            // Users: direct memberships plus the §3.3 cross-site mappings
+            // (11→2 gives Bob NY.Member; 15→12 gives Charlie NY.Partner).
+            (self.alice.as_subject(), ny.role("Member")),
+            (self.bob.as_subject(), sd.role("Member")),
+            (self.bob.as_subject(), ny.role("Member")),
+            (self.charlie.as_subject(), se.role("Member")),
+            (self.charlie.as_subject(), ny.role("Partner")),
+        ];
+        // Machines: site PC class, vendor machine class, mail node policy.
+        for (&node, pc) in &self.node_identities {
+            let subject = pc.as_subject();
+            let (site_pc, machine_class) = if self.sites.ny.contains(&node) {
+                (ny.role("PC"), self.dell.role("Linux"))
+            } else if self.sites.sd.contains(&node) {
+                (sd.role("PC"), self.dell.role("SuSe"))
+            } else {
+                (se.role("PC"), self.ibm.role("Windows"))
+            };
+            out.push((subject.clone(), site_pc));
+            out.push((subject.clone(), machine_class));
+            out.push((subject, self.mail.role("Node")));
+        }
+        out
     }
 
     /// The client-side view name (and dRBAC proof) Table 4 grants a user.

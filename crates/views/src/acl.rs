@@ -43,6 +43,18 @@ impl ViewAcl {
         &self.rules
     }
 
+    /// The distinct view names this ACL can ever grant, in rule order —
+    /// the reachability roots for the unreachable-view lint.
+    pub fn view_names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (_, view) in &self.rules {
+            if !out.contains(&view.as_str()) {
+                out.push(view.as_str());
+            }
+        }
+        out
+    }
+
     /// Render the Table 4 layout.
     pub fn render(&self) -> String {
         let mut out = String::from("Role                 | View name\n");

@@ -27,7 +27,9 @@
 //! pairs exactly as in the paper's table; a nested `<Method>` wrapper is
 //! accepted too.
 
+use crate::component::ComponentClass;
 use psf_xml::Element;
+use std::collections::BTreeSet;
 
 /// How an interface is exposed by a view (paper §4.1: "the view
 /// description can specify a type (local, rmi, or switch)").
@@ -220,6 +222,35 @@ impl ViewSpec {
             spec.customizes_methods = parse_method_pairs(el)?;
         }
         Ok(spec)
+    }
+
+    /// The set of method names a client of this view can invoke, resolved
+    /// against the represented class: every method of every restricted
+    /// interface, plus added methods, plus customized methods. View
+    /// constructors (an added method named like the view itself) and the
+    /// VIG coherence methods are framework plumbing, not client surface,
+    /// and are excluded. Errors if a restricted interface does not exist
+    /// on the class — the caller (psf-analysis PSF006) reports that
+    /// separately.
+    pub fn exposed_method_names(&self, class: &ComponentClass) -> Result<BTreeSet<String>, String> {
+        let mut out = BTreeSet::new();
+        for r in &self.restricts {
+            let iface = class.resolve_interface(&r.name).ok_or_else(|| {
+                format!(
+                    "view '{}' restricts unknown interface '{}' on class '{}'",
+                    self.name, r.name, class.name
+                )
+            })?;
+            out.extend(iface.methods.iter().cloned());
+        }
+        for m in self.adds_methods.iter().chain(&self.customizes_methods) {
+            let name = m.method_name();
+            if name == self.name || crate::vig::COHERENCE_METHODS.contains(&name.as_str()) {
+                continue;
+            }
+            out.insert(name);
+        }
+        Ok(out)
     }
 
     /// Serialize to the Table 3(b) XML form.

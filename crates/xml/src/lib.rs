@@ -20,7 +20,7 @@
 mod parser;
 mod writer;
 
-pub use parser::{parse, ParseError};
+pub use parser::{parse, ParseError, MAX_DEPTH};
 pub use writer::write;
 
 /// An XML element: name, attributes (in document order), children, and the

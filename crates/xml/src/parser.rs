@@ -22,11 +22,18 @@ impl core::fmt::Display for ParseError {
 }
 impl std::error::Error for ParseError {}
 
+/// Maximum element nesting depth. Deeper documents are rejected rather
+/// than risking stack exhaustion in the recursive-descent parser —
+/// every legitimate PSF document (view specs, scenarios, wire frames)
+/// is a handful of levels deep.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a document and return its root element.
 pub fn parse(input: &str) -> Result<Element, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_misc();
     let root = p.parse_element()?;
@@ -40,6 +47,7 @@ pub fn parse(input: &str) -> Result<Element, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -114,6 +122,16 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<Element, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("element nesting exceeds {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let result = self.parse_element_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_element_inner(&mut self) -> Result<Element, ParseError> {
         if self.peek() != Some(b'<') {
             return Err(self.err("expected '<'"));
         }
@@ -159,6 +177,11 @@ impl<'a> Parser<'a> {
                     }
                     let raw = &self.bytes[start..self.pos];
                     self.pos += 1;
+                    if el.attrs.iter().any(|(k, _)| k == &key) {
+                        return Err(
+                            self.err(format!("duplicate attribute '{key}' on <{}>", el.name))
+                        );
+                    }
                     el.attrs.push((key, decode_entities(raw, start)?));
                 }
                 None => return Err(self.err("unexpected end of input in tag")),
@@ -366,5 +389,30 @@ mod tests {
     fn doctype_skipped() {
         let e = parse("<!DOCTYPE view><a/>").unwrap();
         assert_eq!(e.name, "a");
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse(r#"<a k="1" k="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate attribute 'k'"), "{err}");
+        // Distinct keys still fine.
+        assert!(parse(r#"<a k="1" j="2"/>"#).is_ok());
+    }
+
+    #[test]
+    fn nesting_depth_capped() {
+        let deep_ok = format!(
+            "{}x{}",
+            "<a>".repeat(MAX_DEPTH - 1),
+            "</a>".repeat(MAX_DEPTH - 1)
+        );
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}x{}",
+            "<a>".repeat(MAX_DEPTH + 1),
+            "</a>".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting exceeds"), "{err}");
     }
 }

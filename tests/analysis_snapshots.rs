@@ -1,0 +1,93 @@
+//! Snapshot tests for the seeded defect corpus under
+//! `tests/fixtures/analysis/`: each scenario XML must produce exactly
+//! the diagnostics recorded in its `.expected` file (the same files
+//! `psf analyze --fixtures` gates on in CI), and each defect class must
+//! surface its designated lint code.
+
+use psf_analysis::{FixtureWorld, LintCode};
+use std::path::PathBuf;
+
+/// Fixed analysis time/horizon — must match `psf analyze --fixtures`.
+const FIXTURE_NOW: u64 = 100;
+const FIXTURE_HORIZON: u64 = 3600;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/analysis")
+}
+
+fn analyze_fixture(name: &str) -> (psf_analysis::Report, String) {
+    let dir = fixture_dir();
+    let xml = std::fs::read_to_string(dir.join(format!("{name}.xml")))
+        .unwrap_or_else(|e| panic!("read {name}.xml: {e}"));
+    let expected = std::fs::read_to_string(dir.join(format!("{name}.expected")))
+        .unwrap_or_else(|e| panic!("read {name}.expected: {e}"));
+    let world = FixtureWorld::parse(&xml).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+    let mut report = world.analyze(FIXTURE_NOW, FIXTURE_HORIZON);
+    report.sort();
+    (report, expected)
+}
+
+#[test]
+fn escalating_delegation_snapshot() {
+    let (report, expected) = analyze_fixture("escalating-delegation");
+    assert_eq!(report.render_human(), expected);
+    assert!(report.codes().contains(&"PSF001"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == LintCode::PrivilegeEscalation
+            && d.subject.as_deref() == Some("Alice")
+            && d.message.contains("Org.Admin")));
+}
+
+#[test]
+fn cyclic_chain_snapshot() {
+    let (report, expected) = analyze_fixture("cyclic-chain");
+    assert_eq!(report.render_human(), expected);
+    assert_eq!(report.codes(), vec!["PSF002"]);
+    // The cycle is a warning, not an error: the gate only trips under
+    // --deny warnings.
+    assert!(!report.fails(false));
+    assert!(report.fails(true));
+}
+
+#[test]
+fn unreachable_view_snapshot() {
+    let (report, expected) = analyze_fixture("unreachable-view");
+    assert_eq!(report.render_human(), expected);
+    assert_eq!(report.codes(), vec!["PSF009"]);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == LintCode::UnreachableView && d.subject.as_deref() == Some("KvOrphan")));
+}
+
+#[test]
+fn non_monotone_acl_snapshot() {
+    let (report, expected) = analyze_fixture("non-monotone-acl");
+    assert_eq!(report.render_human(), expected);
+    assert_eq!(report.codes(), vec!["PSF008"]);
+    // The widening is concrete: the catch-all view leaks purge().
+    assert!(report.diagnostics[0].message.contains("purge()"));
+}
+
+#[test]
+fn every_fixture_has_a_snapshot_and_parses() {
+    let dir = fixture_dir();
+    let mut xml_count = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixture dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "xml") {
+            xml_count += 1;
+            assert!(
+                path.with_extension("expected").exists(),
+                "{} lacks an .expected snapshot",
+                path.display()
+            );
+            let xml = std::fs::read_to_string(&path).expect("read");
+            FixtureWorld::parse(&xml)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        }
+    }
+    assert!(xml_count >= 4, "expected at least 4 defect fixtures");
+}

@@ -493,3 +493,235 @@ proptest! {
         prop_assert!(s.proof_hits + s.proof_misses > 0);
     }
 }
+
+// ------------------------------------- static/dynamic proof agreement --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The static analyzer's reachability closure and the live
+    /// `ProofEngine` must agree exactly over random delegation worlds:
+    ///
+    /// * every (subject, role) pair in the closure is provable live;
+    /// * every provable pair appears in the closure (completeness over
+    ///   the world's subject × role grid);
+    /// * with the full closure as intent the analyzer reports no
+    ///   escalation, and removing pairs from the intent flags exactly
+    ///   those pairs as PSF001 — each still backed by a live proof.
+    #[test]
+    fn static_closure_agrees_with_proof_engine(
+        seed in 0u64..500,
+        chain_len in 1usize..5,
+        extra_grants in 0usize..4,
+        decoys in 0usize..6,
+        drop_index in 0usize..16,
+    ) {
+        use psf_analysis::{analyze_graph, closure, GraphInput, LintCode, Report};
+        use psf_drbac::repository::subject_key;
+
+        let registry = EntityRegistry::new();
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let user = Entity::with_seed(format!("user{seed}"), b"diff");
+        registry.register(&user);
+
+        let mut domains = Vec::new();
+        for i in 0..chain_len {
+            let d = Entity::with_seed(format!("d{seed}-{i}"), b"diff");
+            registry.register(&d);
+            domains.push(d);
+        }
+        repo.publish_at_issuer(
+            DelegationBuilder::new(&domains[chain_len - 1])
+                .subject_entity(&user)
+                .role(domains[chain_len - 1].role("R"))
+                .sign(),
+        );
+        for i in (0..chain_len - 1).rev() {
+            repo.publish_at_issuer(
+                DelegationBuilder::new(&domains[i])
+                    .subject_role(domains[i + 1].role("R"))
+                    .role(domains[i].role("R"))
+                    .sign(),
+            );
+        }
+        // Extra direct grants to the user from random domains.
+        for g in 0..extra_grants {
+            let d = &domains[g % domains.len()];
+            repo.publish_at_issuer(
+                DelegationBuilder::new(d)
+                    .subject_entity(&user)
+                    .role(d.role(format!("Extra{g}")))
+                    .sign(),
+            );
+        }
+        // Decoy role mappings rooted at a role nothing reaches.
+        for i in 0..decoys {
+            let d = Entity::with_seed(format!("decoy{seed}-{i}"), b"diff");
+            registry.register(&d);
+            repo.publish_at_issuer(
+                DelegationBuilder::new(&d)
+                    .subject_role(RoleName::new("Nowhere.Else", "X"))
+                    .role(d.role("Y"))
+                    .sign(),
+            );
+        }
+
+        let input = GraphInput {
+            registry: &registry,
+            repository: &repo,
+            bus: &bus,
+            now: 0,
+            intent: None,
+            expiry_horizon: 0,
+        };
+        let pairs = closure(&input);
+        prop_assert!(!pairs.is_empty());
+        let engine = ProofEngine::new(&registry, &repo, &bus, 0);
+
+        // Soundness: every closure pair proves live.
+        for (subject, role) in &pairs {
+            prop_assert!(
+                engine.prove(subject, role, &[]).is_ok(),
+                "closure pair {} -> {role} is not live-provable",
+                subject.render()
+            );
+        }
+
+        // Completeness: every provable (entity, role) pair over the
+        // world's grid is in the closure.
+        let closure_keys: std::collections::HashSet<(String, String)> = pairs
+            .iter()
+            .map(|(s, r)| (subject_key(s), r.to_string()))
+            .collect();
+        let all_roles: Vec<RoleName> = repo
+            .all_credentials()
+            .iter()
+            .map(|c| c.body.object.clone())
+            .collect();
+        let mut entities: Vec<&Entity> = vec![&user];
+        entities.extend(domains.iter());
+        for e in entities {
+            for role in &all_roles {
+                if engine.prove(&e.as_subject(), role, &[]).is_ok() {
+                    prop_assert!(
+                        closure_keys.contains(&(subject_key(&e.as_subject()), role.to_string())),
+                        "live-provable pair {} -> {role} missing from closure",
+                        e.name.0
+                    );
+                }
+            }
+        }
+
+        // Intent = full closure: the analyzer is escalation-silent.
+        let mut clean = Report::new();
+        analyze_graph(
+            &GraphInput { intent: Some(&pairs), ..input },
+            &mut clean,
+        );
+        prop_assert!(
+            !clean.diagnostics.iter().any(|d| d.code == LintCode::PrivilegeEscalation),
+            "{}",
+            clean.render_human()
+        );
+
+        // Dropping one pair from the intent flags exactly that pair, and
+        // the flagged escalation reproduces as a live proof.
+        let victim = drop_index % pairs.len();
+        let reduced: Vec<_> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let mut flagged = Report::new();
+        analyze_graph(
+            &GraphInput { intent: Some(&reduced), ..input },
+            &mut flagged,
+        );
+        let escalations: Vec<_> = flagged
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::PrivilegeEscalation)
+            .collect();
+        prop_assert_eq!(escalations.len(), 1, "{}", flagged.render_human());
+        let (victim_subject, victim_role) = &pairs[victim];
+        let victim_render = victim_subject.render();
+        prop_assert_eq!(
+            escalations[0].subject.as_deref(),
+            Some(victim_render.as_str())
+        );
+        prop_assert!(escalations[0].message.contains(&victim_role.to_string()));
+        prop_assert!(engine.prove(victim_subject, victim_role, &[]).is_ok());
+    }
+}
+
+// ------------------------------------- malformed-input hardening --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any prefix of a real view document must parse-or-error, never
+    /// panic — truncated tags are the common corruption for specs that
+    /// travel over Switchboard channels.
+    #[test]
+    fn truncated_view_xml_never_panics(cut_ratio in 0.0f64..1.0) {
+        let full = psf_mail::views::PARTNER_XML;
+        let cut = ((full.len() as f64) * cut_ratio) as usize;
+        let mut cut = cut;
+        while cut > 0 && !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &full[..cut];
+        let _ = psf_views::ViewSpec::parse_xml(prefix);
+        let _ = psf_xml::parse(prefix);
+    }
+
+    /// Duplicate attributes are always rejected, whatever the key,
+    /// values, or separating whitespace.
+    #[test]
+    fn duplicate_attributes_always_rejected(
+        key in "[A-Za-z][A-Za-z0-9_-]{0,12}",
+        v1 in "[a-zA-Z0-9 .,]{0,16}",
+        v2 in "[a-zA-Z0-9 .,]{0,16}",
+        pad in " {1,4}",
+    ) {
+        let doc = format!(r#"<a {key}="{v1}"{pad}{key}="{v2}"/>"#);
+        let err = psf_xml::parse(&doc).unwrap_err();
+        prop_assert!(err.message.contains("duplicate attribute"), "{}", err);
+    }
+
+    /// Nesting beyond the depth cap errors cleanly instead of blowing
+    /// the stack; below the cap, deep-but-legal documents still parse.
+    #[test]
+    fn nesting_depth_is_capped_not_crashed(extra in 1usize..64, name in "[a-z]{1,8}") {
+        let depth = psf_xml::MAX_DEPTH + extra;
+        let open = format!("<{name}>").repeat(depth);
+        let close = format!("</{name}>").repeat(depth);
+        let err = psf_xml::parse(&format!("{open}{close}")).unwrap_err();
+        prop_assert!(err.message.contains("nesting exceeds"), "{}", err);
+
+        let legal = psf_xml::MAX_DEPTH - 1;
+        let doc = format!("{}{}", format!("<{name}>").repeat(legal), format!("</{name}>").repeat(legal));
+        prop_assert!(psf_xml::parse(&doc).is_ok());
+    }
+
+    /// The view-spec loader survives arbitrary printable garbage and
+    /// arbitrary structurally-valid-but-meaningless documents.
+    #[test]
+    fn view_spec_loader_never_panics(input in "[ -~<>/&\"']{0,160}") {
+        let _ = psf_views::ViewSpec::parse_xml(&input);
+    }
+
+    /// So does the analysis fixture loader.
+    #[test]
+    fn fixture_loader_never_panics(
+        input in "[ -~<>/&\"']{0,120}",
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let _ = psf_analysis::FixtureWorld::parse(&input);
+        let real = r#"<Scenario name="t"><Delegations><Delegation subject-entity="A" role="O.R" issuer="O"/></Delegations></Scenario>"#;
+        let cut = ((real.len() as f64) * cut_ratio) as usize;
+        let _ = psf_analysis::FixtureWorld::parse(&real[..cut]);
+    }
+}
