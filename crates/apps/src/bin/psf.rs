@@ -16,6 +16,9 @@
 //! * `--trace-out <path>` — on exit, write the structured trace buffer
 //!   (planning, proof search, VIG generation, deployment, handshakes) as
 //!   JSON lines to `<path>`.
+//! * `--audit-out <path>` — on exit, write the authorization audit trail
+//!   (every authorize/prove/select_view/revocation decision) as JSON
+//!   lines to `<path>`.
 //! * `--quiet` / `-q` — suppress narration on stdout; results are still
 //!   recorded as telemetry events/spans, so `--quiet --trace-out t.jsonl`
 //!   gives a machine-readable run with a silent terminal.
@@ -34,6 +37,7 @@ use std::time::Duration;
 struct Cli {
     quiet: bool,
     trace_out: Option<String>,
+    audit_out: Option<String>,
 }
 
 impl Cli {
@@ -47,7 +51,7 @@ impl Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psf [--quiet] [--trace-out PATH] <command>\n\
+        "usage: psf [--quiet] [--trace-out PATH] [--audit-out PATH] <command>\n\
          \n\
          commands:\n\
          \x20 creds                         print the Table 2 credentials\n\
@@ -75,11 +79,26 @@ fn usage() -> ! {
          \x20                               Switchboard data plane; write the\n\
          \x20                               results as JSON (BENCH_pr3.json,\n\
          \x20                               BENCH_pr4.json); --check exits 1\n\
-         \x20                               unless warm >= 2x cold and\n\
-         \x20                               pipelined RPC >= 2x serial\n\
+         \x20                               unless warm >= 2x cold, pipelined\n\
+         \x20                               RPC >= 2x serial, and the SLO\n\
+         \x20                               table holds\n\
+         \x20 audit [--json] [--subject S] [--deny-only] [--trace HEX]\n\
+         \x20                               run the full stack, then replay\n\
+         \x20                               the authorization audit trail\n\
+         \x20                               (who asked, verdict, delegation\n\
+         \x20                               chain digest, cache provenance)\n\
+         \x20 trace [--in FILE] [--tree HEX] [--exemplar METRIC] [--verify]\n\
+         \x20                               render causal span trees; --verify\n\
+         \x20                               exits 1 on orphan parents (CI);\n\
+         \x20                               --exemplar looks up the trace\n\
+         \x20                               behind a histogram's max bucket\n\
+         \x20 slo [--json] [--check]        run the full stack, evaluate the\n\
+         \x20                               latency SLO table (burn rates);\n\
+         \x20                               --check exits 1 on violation\n\
          \n\
          global flags:\n\
          \x20 --trace-out PATH              write the JSONL span trace on exit\n\
+         \x20 --audit-out PATH              write the JSONL audit trail on exit\n\
          \x20 --quiet | -q                  suppress stdout narration"
     );
     std::process::exit(2);
@@ -90,6 +109,7 @@ fn main() {
     let mut cli = Cli {
         quiet: false,
         trace_out: None,
+        audit_out: None,
     };
     let mut i = 0;
     while i < raw.len() {
@@ -105,6 +125,14 @@ fn main() {
                     std::process::exit(2);
                 }
                 cli.trace_out = Some(raw.remove(i));
+            }
+            "--audit-out" => {
+                raw.remove(i);
+                if i >= raw.len() {
+                    eprintln!("--audit-out needs a path");
+                    std::process::exit(2);
+                }
+                cli.audit_out = Some(raw.remove(i));
             }
             _ => i += 1,
         }
@@ -129,6 +157,9 @@ fn main() {
             "analyze" => analyze(&cli, args),
             "chaos" => chaos(&cli, args),
             "bench" => bench(&cli, args),
+            "audit" => audit_cmd(&cli, args),
+            "trace" => trace_cmd(&cli, args),
+            "slo" => slo_cmd(&cli, args),
             _ => usage(),
         };
         cmd_span.field("exit_code", code);
@@ -144,6 +175,19 @@ fn main() {
             )),
             Err(e) => {
                 eprintln!("trace: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &cli.audit_out {
+        let jsonl = psf_telemetry::audit::global().export_jsonl();
+        match std::fs::write(path, &jsonl) {
+            Ok(()) => cli.say(format!(
+                "audit: {} records written to {path}",
+                jsonl.lines().count()
+            )),
+            Err(e) => {
+                eprintln!("audit: cannot write {path}: {e}");
                 std::process::exit(1);
             }
         }
@@ -765,6 +809,24 @@ fn chaos(cli: &Cli, args: &[String]) -> i32 {
         &mut failures,
     );
 
+    // Even under injected faults, the latency objectives must hold — a
+    // recovery that only succeeds by blowing every p99 budget is not a
+    // recovery the paper's availability story can claim.
+    let slo = default_slo_table().evaluate(reg);
+    phase(
+        "slo-check",
+        slo.ok(),
+        format!(
+            "{} objective(s), {} violation(s)",
+            slo.evals.len(),
+            slo.violations()
+        ),
+        &mut failures,
+    );
+    if !slo.ok() {
+        print!("{}", slo.render_text());
+    }
+
     // The recovery report is the result: print it even under --quiet.
     println!("chaos recovery report (seed {seed}):");
     for (label, name, base) in [
@@ -787,7 +849,7 @@ fn chaos(cli: &Cli, args: &[String]) -> i32 {
         println!("  {label:<23} {}", reg.counter_value(name) - base);
     }
     if failures.is_empty() {
-        println!("  all {} phases recovered", 7);
+        println!("  all {} phases recovered", 8);
         0
     } else {
         println!("  UNRECOVERED: {}", failures.join("; "));
@@ -827,6 +889,12 @@ fn bench(cli: &Cli, args: &[String]) -> i32 {
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
     let iters: u32 = if quick { 40 } else { 400 };
+
+    // The CLI command span keeps a trace live for the whole process;
+    // detach it here so the timed loops measure the untraced fast path
+    // (per-call RPC spans are gated on a live trace) rather than the cost
+    // of tracing a million-span tree.
+    let _untraced = psf_telemetry::untraced();
 
     // --- dRBAC world: an 8-deep delegation chain + 100 decoys. ---
     let registry = psf_drbac::entity::EntityRegistry::new();
@@ -1194,6 +1262,335 @@ fn bench_switchboard(cli: &Cli, pr3_out: &str, iters: u32, quick: bool, check: b
         eprintln!(
             "bench --check FAILED: pipelined RPC must be >= 2x serial \
              (got {plain_speedup:.1}x plain)"
+        );
+        return 1;
+    }
+
+    // The latency-SLO table rides along with the perf gates: a run that
+    // hits its throughput ratios but blew a p99 budget still fails.
+    let slo = default_slo_table().evaluate(psf_telemetry::registry());
+    cli.say(format!(
+        "slo: {} objective(s), {} violation(s)",
+        slo.evals.len(),
+        slo.violations()
+    ));
+    if check && !slo.ok() {
+        eprint!("{}", slo.render_text());
+        eprintln!(
+            "bench --check FAILED: {} SLO objective(s) over budget",
+            slo.violations()
+        );
+        return 1;
+    }
+    0
+}
+
+/// Take the value following `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The default latency SLO table `psf slo`, `psf bench --check`, and the
+/// chaos harness evaluate. Budgets are deliberately generous — they gate
+/// pathological tails (a proof search that fell off the cache fast path,
+/// an RPC stuck behind a stalled reader), not ordinary debug-build noise.
+fn default_slo_table() -> psf_telemetry::SloTable {
+    use psf_telemetry::Percentile::P99;
+    psf_telemetry::SloTable::new()
+        .objective("psf.drbac.prove.us", P99, 100_000)
+        .objective("psf.swbd.rpc.us", P99, 100_000)
+        .objective("psf.swbd.handshake.us", P99, 1_000_000)
+        .objective("psf.planner.plan.us", P99, 500_000)
+        .objective("psf.deploy.step.us", P99, 500_000)
+        .objective("psf.views.vig.us", P99, 250_000)
+}
+
+/// Run the full stack to populate the audit trail, then replay it with
+/// optional subject / verdict / trace filters.
+fn audit_cmd(cli: &Cli, args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let deny_only = args.iter().any(|a| a == "--deny-only");
+    let subject = flag_value(args, "--subject");
+    let trace = match flag_value(args, "--trace") {
+        Some(hex) => match psf_telemetry::TraceId::from_hex(hex) {
+            Some(t) => Some(t),
+            None => {
+                eprintln!("audit: bad trace id '{hex}' (expect hex)");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    if let Err(e) = exercise_full_stack(cli) {
+        eprintln!("audit: full-stack run failed: {e}");
+        return 1;
+    }
+    let log = psf_telemetry::audit::global();
+    let records = log.query(subject, deny_only, trace);
+    if json {
+        for r in &records {
+            println!("{}", psf_telemetry::AuditLog::render_jsonl(r));
+        }
+        return 0;
+    }
+    println!(
+        "{:>5}  {:<11} {:<22} {:<26} {:<7} {:<8} {:<16}  detail",
+        "seq", "decision", "subject", "object", "verdict", "cache", "chain"
+    );
+    for r in &records {
+        println!(
+            "{:>5}  {:<11} {:<22} {:<26} {:<7} {:<8} {:<16}  {}",
+            r.seq,
+            r.decision.as_str(),
+            r.subject,
+            r.object,
+            r.verdict.as_str(),
+            r.cache.as_str(),
+            if r.chain_digest.is_empty() {
+                "-"
+            } else {
+                &r.chain_digest
+            },
+            r.detail
+        );
+    }
+    println!(
+        "{} record(s) ({} dropped under capacity pressure)",
+        records.len(),
+        log.dropped()
+    );
+    0
+}
+
+/// A span parsed back out of trace JSONL (or copied from the in-memory
+/// buffer) — just the fields tree rendering and verification need.
+struct TreeSpan {
+    id: u64,
+    trace: Option<String>,
+    parent: Option<u64>,
+    target: String,
+    name: String,
+    dur_us: u64,
+}
+
+/// Extract `"key":<number>` from one of our own JSONL lines. Returns
+/// `None` for absent keys and `null` values alike.
+fn jsonl_num(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract `"key":"value"` from one of our own JSONL lines, undoing the
+/// escaping `export_jsonl` applied. Returns `None` for absent/null.
+fn jsonl_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(
+                        u32::from_str_radix(&hex, 16)
+                            .ok()
+                            .and_then(char::from_u32)?,
+                    );
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn parse_trace_jsonl(text: &str) -> Vec<TreeSpan> {
+    text.lines()
+        .filter_map(|line| {
+            Some(TreeSpan {
+                id: jsonl_num(line, "id")?,
+                trace: jsonl_str(line, "trace"),
+                parent: jsonl_num(line, "parent"),
+                target: jsonl_str(line, "target")?,
+                name: jsonl_str(line, "name")?,
+                dur_us: jsonl_num(line, "dur_us")?,
+            })
+        })
+        .collect()
+}
+
+fn render_tree(spans: &[TreeSpan], trace: &str) {
+    let members: Vec<&TreeSpan> = spans
+        .iter()
+        .filter(|s| s.trace.as_deref() == Some(trace))
+        .collect();
+    println!("trace {trace} ({} spans)", members.len());
+    let ids: std::collections::HashSet<u64> = members.iter().map(|s| s.id).collect();
+    fn walk(
+        members: &[&TreeSpan],
+        parent: Option<u64>,
+        depth: usize,
+        ids: &std::collections::HashSet<u64>,
+    ) {
+        for s in members {
+            // Roots: no parent, or a parent outside the buffer (evicted or
+            // belonging to another process's half of the trace).
+            let is_root_here = match s.parent {
+                None => parent.is_none(),
+                Some(p) if !ids.contains(&p) => parent.is_none(),
+                Some(p) => parent == Some(p),
+            };
+            if is_root_here {
+                println!(
+                    "{:indent$}{}/{} ({} us)",
+                    "",
+                    s.target,
+                    s.name,
+                    s.dur_us,
+                    indent = 2 + depth * 2
+                );
+                walk(members, Some(s.id), depth + 1, ids);
+            }
+        }
+    }
+    walk(&members, None, 0, &ids);
+}
+
+/// Render causal span trees from the in-memory buffer (after a full-stack
+/// run) or from a `--trace-out` file; `--verify` is the CI
+/// trace-completeness gate (zero orphan parents).
+fn trace_cmd(cli: &Cli, args: &[String]) -> i32 {
+    let verify = args.iter().any(|a| a == "--verify");
+    let tree = flag_value(args, "--tree").map(str::to_string);
+    let exemplar_metric = flag_value(args, "--exemplar").map(str::to_string);
+    let spans = match flag_value(args, "--in") {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => parse_trace_jsonl(&text),
+            Err(e) => {
+                eprintln!("trace: cannot read {path}: {e}");
+                return 1;
+            }
+        },
+        None => {
+            if let Err(e) = exercise_full_stack(cli) {
+                eprintln!("trace: full-stack run failed: {e}");
+                return 1;
+            }
+            parse_trace_jsonl(&psf_telemetry::export_jsonl())
+        }
+    };
+
+    if verify {
+        let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+        let oldest = spans.iter().map(|s| s.id).min().unwrap_or(0);
+        // A parent older than the oldest buffered span was evicted by the
+        // ring, not lost by propagation; only dangling references to spans
+        // that should still be present count as orphans.
+        let orphans: Vec<&TreeSpan> = spans
+            .iter()
+            .filter(|s| s.parent.is_some_and(|p| p >= oldest && !ids.contains(&p)))
+            .collect();
+        let traces: std::collections::HashSet<&str> =
+            spans.iter().filter_map(|s| s.trace.as_deref()).collect();
+        let traceless = spans.iter().filter(|s| s.trace.is_none()).count();
+        println!(
+            "trace verify: {} spans, {} traces, {} traceless events, {} orphan parent(s)",
+            spans.len(),
+            traces.len(),
+            traceless,
+            orphans.len()
+        );
+        if !orphans.is_empty() {
+            for s in orphans.iter().take(10) {
+                eprintln!(
+                    "  orphan: span {} {}/{} references missing parent {}",
+                    s.id,
+                    s.target,
+                    s.name,
+                    s.parent.unwrap()
+                );
+            }
+            eprintln!("trace verify FAILED: {} orphan parent(s)", orphans.len());
+            return 1;
+        }
+        return 0;
+    }
+
+    if let Some(metric) = exemplar_metric {
+        let snap = psf_telemetry::registry().histogram_snapshot(&metric);
+        match snap.and_then(|s| s.exemplar) {
+            Some((trace, value)) => {
+                println!("exemplar for {metric}: trace {trace} sample {value} us");
+                render_tree(&spans, &trace.to_hex());
+                return 0;
+            }
+            None => {
+                eprintln!("trace: no exemplar recorded for {metric}");
+                return 1;
+            }
+        }
+    }
+
+    if let Some(hex) = tree {
+        render_tree(&spans, &hex);
+        return 0;
+    }
+
+    // No selector: list the traces in the buffer, largest first.
+    let mut by_trace: std::collections::HashMap<&str, (usize, u64)> =
+        std::collections::HashMap::new();
+    for s in &spans {
+        if let Some(t) = s.trace.as_deref() {
+            let e = by_trace.entry(t).or_default();
+            e.0 += 1;
+            e.1 = e.1.max(s.dur_us);
+        }
+    }
+    let mut traces: Vec<(&str, (usize, u64))> = by_trace.into_iter().collect();
+    traces.sort_by_key(|(_, (n, _))| std::cmp::Reverse(*n));
+    println!("{:<32} {:>6} {:>12}", "trace", "spans", "max_dur_us");
+    for (t, (n, max)) in &traces {
+        println!("{t:<32} {n:>6} {max:>12}");
+    }
+    cli.say(format!(
+        "{} trace(s); `psf trace --tree HEX` renders one",
+        traces.len()
+    ));
+    0
+}
+
+/// Run the full stack and evaluate the default SLO table.
+fn slo_cmd(cli: &Cli, args: &[String]) -> i32 {
+    let check = args.iter().any(|a| a == "--check");
+    let json = args.iter().any(|a| a == "--json");
+    if let Err(e) = exercise_full_stack(cli) {
+        eprintln!("slo: full-stack run failed: {e}");
+        return 1;
+    }
+    let report = default_slo_table().evaluate(psf_telemetry::registry());
+    if json {
+        print!("{}", report.render_jsonl());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if check && !report.ok() {
+        eprintln!(
+            "slo --check FAILED: {} objective(s) over budget",
+            report.violations()
         );
         return 1;
     }

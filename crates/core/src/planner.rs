@@ -514,11 +514,17 @@ impl<'a> Planner<'a> {
             let successors: Vec<(Vec<State>, u64)> = if batch.len() == 1 {
                 vec![self.expand(&batch[0], goal, specs_ref, nodes_ref, relevant_ref)]
             } else {
+                // Carry the ambient trace context onto the scoped workers:
+                // spans opened inside `expand` (proof searches via the
+                // authorization oracle) must join the planner's tree, not
+                // start orphan roots on each worker thread.
+                let trace_ctx = psf_telemetry::TraceContext::current();
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = batch
                         .iter()
                         .map(|s| {
                             scope.spawn(move || {
+                                let _trace = trace_ctx.map(psf_telemetry::TraceContext::attach);
                                 self.expand(s, goal, specs_ref, nodes_ref, relevant_ref)
                             })
                         })

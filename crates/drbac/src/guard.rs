@@ -208,6 +208,7 @@ impl Guard {
         presented: &[SignedDelegation],
         now: Timestamp,
     ) -> Option<(String, Option<Proof>)> {
+        use psf_telemetry::audit::{self, Decision, Verdict};
         let engine = self.engine(now);
         let rules = self.acl.read().clone();
         for rule in &rules {
@@ -216,12 +217,34 @@ impl Guard {
                     if let Ok((proof, _)) =
                         engine.prove_with(subject, role, &rule.required, presented)
                     {
+                        audit::record(
+                            Decision::Authorize,
+                            subject.render(),
+                            rule.level.clone(),
+                            Verdict::Allow,
+                        )
+                        .chain(&proof.credential_ids())
+                        .detail(format!("acl role {role}"))
+                        .commit();
                         return Some((rule.level.clone(), Some(proof)));
                     }
                 }
-                None => return Some((rule.level.clone(), None)),
+                None => {
+                    audit::record(
+                        Decision::Authorize,
+                        subject.render(),
+                        rule.level.clone(),
+                        Verdict::Allow,
+                    )
+                    .detail("acl catch-all")
+                    .commit();
+                    return Some((rule.level.clone(), None));
+                }
             }
         }
+        audit::record(Decision::Authorize, subject.render(), "", Verdict::Deny)
+            .detail("no acl rule matched")
+            .commit();
         None
     }
 }

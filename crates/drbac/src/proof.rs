@@ -424,6 +424,7 @@ impl<'a> ProofEngine<'a> {
                 }
                 psf_telemetry::histogram!("psf.drbac.prove.us").record_duration(start.elapsed());
                 span.field("cached", true).field("ok", result.is_ok());
+                self.audit_prove(subject, target, &result, true, repo_epoch);
                 return result;
             }
         }
@@ -458,7 +459,57 @@ impl<'a> ProofEngine<'a> {
         psf_telemetry::histogram!("psf.drbac.prove.us").record_duration(start.elapsed());
         span.field("nodes_expanded", stats.nodes_expanded)
             .field("ok", result.is_ok());
+        self.audit_prove(
+            subject,
+            target,
+            &result,
+            false,
+            self.cache.and_then(|_| self.repository.version()),
+        );
         result
+    }
+
+    /// Record the decision on the process audit trail: verdict, the
+    /// delegation chain it rested on, and where the answer came from.
+    fn audit_prove(
+        &self,
+        subject: &Subject,
+        target: &RoleName,
+        result: &Result<(Proof, SearchStats), ProofError>,
+        from_cache: bool,
+        epoch: Option<u64>,
+    ) {
+        use psf_telemetry::audit::{self, CacheOutcome, Decision, Verdict};
+        let outcome = match (self.cache.is_some(), from_cache, result.is_ok()) {
+            (false, ..) => CacheOutcome::Uncached,
+            (true, false, _) => CacheOutcome::Miss,
+            (true, true, true) => CacheOutcome::Hit,
+            (true, true, false) => CacheOutcome::NegativeHit,
+        };
+        match result {
+            Ok((proof, _)) => {
+                audit::record(
+                    Decision::Prove,
+                    subject.render(),
+                    target.to_string(),
+                    Verdict::Allow,
+                )
+                .chain(&proof.credential_ids())
+                .cache(outcome, epoch)
+                .commit();
+            }
+            Err(e) => {
+                audit::record(
+                    Decision::Prove,
+                    subject.render(),
+                    target.to_string(),
+                    Verdict::Deny,
+                )
+                .cache(outcome, epoch)
+                .detail(e.to_string())
+                .commit();
+            }
+        }
     }
 
     fn prove_search(

@@ -66,12 +66,21 @@ impl RevocationBus {
             let mut map = self.inner.watchers.lock();
             map.remove(credential_id).unwrap_or_default()
         };
+        let woken = watchers.len();
         for w in watchers {
             w.valid.store(false, Ordering::SeqCst);
             let _ = w.tx.send(RevocationNotice {
                 credential_id: credential_id.to_string(),
             });
         }
+        psf_telemetry::audit::record(
+            psf_telemetry::Decision::Revocation,
+            "",
+            credential_id,
+            psf_telemetry::Verdict::Revoked,
+        )
+        .detail(format!("{woken} monitor(s) invalidated"))
+        .commit();
     }
 
     /// Whether a credential id has been revoked.

@@ -411,6 +411,12 @@ impl Channel {
         args: &[u8],
         timeout: Duration,
     ) -> Result<Vec<u8>, SwitchboardError> {
+        // Only traced work pays for a per-call span: when the caller has a
+        // live trace, the call gets its own span (whose context then rides
+        // the request envelope); untraced traffic skips straight through.
+        let _span = psf_telemetry::current_trace_id()
+            .is_some()
+            .then(|| psf_telemetry::span("psf.swbd", "rpc.call"));
         self.call_pipelined(method, args)?.wait_timeout(timeout)
     }
 
@@ -426,6 +432,7 @@ impl Channel {
     ) -> Result<PendingCall, SwitchboardError> {
         self.check_traffic_allowed()?;
         let start = Instant::now();
+        let ctx = psf_telemetry::TraceContext::current();
         let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
         let slot = CallSlot::new();
         self.inner.pending.insert(id, slot.clone());
@@ -433,10 +440,10 @@ impl Channel {
         let mut buf = self
             .inner
             .pool
-            .take(8 + 11 + method.len() + args.len() + 17);
+            .take(8 + 1 + rpc::REQ_HEADER_LEN + method.len() + args.len() + 17);
         buf.extend_from_slice(&[0u8; 8]); // sequence header, filled at send
         buf.push(FT_RPC_REQ);
-        rpc::encode_request_into(&mut buf, id, method, args);
+        rpc::encode_request_into(&mut buf, id, method, args, ctx);
         if let Err(e) = send_pooled_frame(&self.inner, buf) {
             self.inner.pending.remove(id);
             return Err(e);
@@ -472,6 +479,7 @@ impl Channel {
     ) -> Result<Vec<PendingCall>, SwitchboardError> {
         self.check_traffic_allowed()?;
         let start = Instant::now();
+        let ctx = psf_telemetry::TraceContext::current();
         let mut ids = Vec::with_capacity(chunk.len());
         let mut slots = Vec::with_capacity(chunk.len());
         let mut bufs = Vec::with_capacity(chunk.len());
@@ -482,10 +490,10 @@ impl Channel {
             let mut buf = self
                 .inner
                 .pool
-                .take(8 + 11 + method.len() + args.len() + 17);
+                .take(8 + 1 + rpc::REQ_HEADER_LEN + method.len() + args.len() + 17);
             buf.extend_from_slice(&[0u8; 8]); // sequence header, filled at send
             buf.push(FT_RPC_REQ);
-            rpc::encode_request_into(&mut buf, id, method, args);
+            rpc::encode_request_into(&mut buf, id, method, args, ctx);
             ids.push(id);
             slots.push(slot);
             bufs.push(buf);
@@ -924,9 +932,17 @@ fn process_frame(
 }
 
 fn handle_request(inner: &Arc<ChannelInner>, body: &[u8], responses: &mut Vec<PooledBuf>) {
-    let Some((id, method, args)) = rpc::decode_request(body) else {
+    let Some((id, ctx, method, args)) = rpc::decode_request(body) else {
         return;
     };
+    // Join the caller's causal tree: the dispatch span (and anything the
+    // handler opens under it — proof searches, view selection) is parented
+    // under the client's call span carried in the request envelope.
+    // Untraced requests (all-zero header) skip span bookkeeping entirely.
+    let mut dispatch = ctx.map(|c| psf_telemetry::span_with_context("psf.swbd", "rpc.dispatch", c));
+    if let Some(s) = dispatch.as_mut() {
+        s.field("method", method);
+    }
     // Continuous authorization: refuse service while the peer's proof is
     // invalid.
     let monitor_ok = {

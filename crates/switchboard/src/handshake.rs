@@ -229,7 +229,14 @@ pub fn pair_in_memory(
 ) -> Result<(Channel, Channel), SwitchboardError> {
     let (ta, tb) = MemTransport::pair();
     let cfg_b = config.clone();
-    let handle = std::thread::spawn(move || establish_secure(Box::new(tb), &suite_b, false, cfg_b));
+    // The acceptor-side handshake (and the proof search inside its
+    // authorizer) must join the caller's trace, not start an orphan tree
+    // on the helper thread.
+    let ctx = psf_telemetry::TraceContext::current();
+    let handle = std::thread::spawn(move || {
+        let _trace = ctx.map(psf_telemetry::TraceContext::attach);
+        establish_secure(Box::new(tb), &suite_b, false, cfg_b)
+    });
     let a = establish_secure(Box::new(ta), &suite_a, true, config);
     let b = handle.join().expect("acceptor thread panicked");
     Ok((a?, b?))

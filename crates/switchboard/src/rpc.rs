@@ -1,4 +1,14 @@
 //! RPC frame encoding (requests/responses multiplexed over a channel).
+//!
+//! Requests carry a compact trace-context header — 16-byte trace id plus
+//! 8-byte parent span id, all-zero when the caller has no live trace — so
+//! the server can parent its dispatch span under the caller's span and one
+//! request yields one causal tree across both processes. The header sits
+//! inside the frame body and is therefore sealed (encrypted and
+//! authenticated) with the rest of the frame on secure channels, on both
+//! the plain and pipelined RPC paths.
+
+use psf_telemetry::{TraceContext, TraceId};
 
 /// Status byte on RPC responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,27 +45,44 @@ impl RpcStatus {
     }
 }
 
-/// Encode an RPC request body: `id(8) || method_len(2) || method || args`.
+/// Bytes of the fixed request header before the method:
+/// `id(8) || trace(16) || parent_span(8) || method_len(2)`.
+pub(crate) const REQ_HEADER_LEN: usize = 8 + 16 + 8 + 2;
+
+/// Encode an RPC request body (see [`encode_request_into`]).
 #[cfg(test)]
-pub(crate) fn encode_request(id: u64, method: &str, args: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_request(
+    id: u64,
+    method: &str,
+    args: &[u8],
+    ctx: Option<TraceContext>,
+) -> Vec<u8> {
     let mut out = Vec::new();
-    encode_request_into(&mut out, id, method, args);
+    encode_request_into(&mut out, id, method, args, ctx);
     out
 }
 
 /// Borrowed request decode: method and args reference the frame buffer,
-/// so dispatch allocates nothing.
-pub(crate) fn decode_request(body: &[u8]) -> Option<(u64, &str, &[u8])> {
-    if body.len() < 10 {
+/// so dispatch allocates nothing. The trace context is `None` when the
+/// header's trace id is all-zero (caller had no live trace).
+pub(crate) fn decode_request(body: &[u8]) -> Option<(u64, Option<TraceContext>, &str, &[u8])> {
+    if body.len() < REQ_HEADER_LEN {
         return None;
     }
     let id = u64::from_le_bytes(body[..8].try_into().unwrap());
-    let mlen = u16::from_le_bytes(body[8..10].try_into().unwrap()) as usize;
-    if body.len() < 10 + mlen {
+    let ctx = TraceId::from_bytes(body[8..24].try_into().unwrap()).map(|trace| {
+        let parent = u64::from_le_bytes(body[24..32].try_into().unwrap());
+        TraceContext {
+            trace,
+            parent: (parent != 0).then_some(parent),
+        }
+    });
+    let mlen = u16::from_le_bytes(body[32..34].try_into().unwrap()) as usize;
+    if body.len() < REQ_HEADER_LEN + mlen {
         return None;
     }
-    let method = std::str::from_utf8(&body[10..10 + mlen]).ok()?;
-    Some((id, method, &body[10 + mlen..]))
+    let method = std::str::from_utf8(&body[REQ_HEADER_LEN..REQ_HEADER_LEN + mlen]).ok()?;
+    Some((id, ctx, method, &body[REQ_HEADER_LEN + mlen..]))
 }
 
 /// Encode an RPC response body: `id(8) || status(1) || payload`.
@@ -79,11 +106,25 @@ pub(crate) fn decode_response(body: &[u8]) -> Option<(u64, RpcStatus, &[u8])> {
     Some((id, status, &body[9..]))
 }
 
-/// Append an RPC request body (`id(8) || method_len(2) || method || args`)
+/// Append an RPC request body
+/// (`id(8) || trace(16) || parent_span(8) || method_len(2) || method || args`)
 /// to an existing (typically pooled, header-reserved) buffer.
-pub(crate) fn encode_request_into(out: &mut Vec<u8>, id: u64, method: &str, args: &[u8]) {
-    out.reserve(10 + method.len() + args.len());
+pub(crate) fn encode_request_into(
+    out: &mut Vec<u8>,
+    id: u64,
+    method: &str,
+    args: &[u8],
+    ctx: Option<TraceContext>,
+) {
+    out.reserve(REQ_HEADER_LEN + method.len() + args.len());
     out.extend_from_slice(&id.to_le_bytes());
+    match ctx {
+        Some(c) => {
+            out.extend_from_slice(&c.trace.to_bytes());
+            out.extend_from_slice(&c.parent.unwrap_or(0).to_le_bytes());
+        }
+        None => out.extend_from_slice(&[0u8; 24]),
+    }
     out.extend_from_slice(&(method.len() as u16).to_le_bytes());
     out.extend_from_slice(method.as_bytes());
     out.extend_from_slice(args);
@@ -95,9 +136,31 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let body = encode_request(42, "getPhone", b"Alice");
-        let (id, m, args) = decode_request(&body).unwrap();
+        let body = encode_request(42, "getPhone", b"Alice", None);
+        let (id, ctx, m, args) = decode_request(&body).unwrap();
         assert_eq!((id, m, args), (42, "getPhone", &b"Alice"[..]));
+        assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn request_roundtrip_with_trace_context() {
+        let ctx = TraceContext {
+            trace: TraceId::fresh(),
+            parent: Some(77),
+        };
+        let body = encode_request(42, "getPhone", b"Alice", Some(ctx));
+        let (id, decoded, m, args) = decode_request(&body).unwrap();
+        assert_eq!((id, m, args), (42, "getPhone", &b"Alice"[..]));
+        assert_eq!(decoded, Some(ctx));
+
+        // A context without a parent span round-trips too.
+        let root_ctx = TraceContext {
+            trace: TraceId::fresh(),
+            parent: None,
+        };
+        let body = encode_request(1, "m", b"", Some(root_ctx));
+        let (_, decoded, _, _) = decode_request(&body).unwrap();
+        assert_eq!(decoded, Some(root_ctx));
     }
 
     #[test]
@@ -117,10 +180,11 @@ mod tests {
     #[test]
     fn malformed_rejected() {
         assert!(decode_request(&[0; 5]).is_none());
+        assert!(decode_request(&[0; REQ_HEADER_LEN - 1]).is_none());
         assert!(decode_response(&[0; 3]).is_none());
         // Method length overruns the buffer.
-        let mut bad = encode_request(1, "m", b"");
-        bad[8] = 0xff;
+        let mut bad = encode_request(1, "m", b"", None);
+        bad[32] = 0xff;
         assert!(decode_request(&bad).is_none());
         // Unknown status byte.
         let mut bad = encode_response(1, RpcStatus::Ok, b"");
@@ -130,9 +194,10 @@ mod tests {
 
     #[test]
     fn empty_method_and_args() {
-        let body = encode_request(0, "", b"");
-        let (id, m, args) = decode_request(&body).unwrap();
+        let body = encode_request(0, "", b"", None);
+        let (id, ctx, m, args) = decode_request(&body).unwrap();
         assert_eq!(id, 0);
+        assert_eq!(ctx, None);
         assert!(m.is_empty());
         assert!(args.is_empty());
     }

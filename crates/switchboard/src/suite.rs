@@ -101,14 +101,32 @@ impl Authorizer {
             self.clock.now(),
             &self.cache,
         );
-        let (proof, _stats) = engine
-            .prove_with(
-                &subject,
-                &self.required_role,
-                &self.required_attrs,
-                presented,
+        let result = engine.prove_with(
+            &subject,
+            &self.required_role,
+            &self.required_attrs,
+            presented,
+        );
+        // Channel admission is an authorize decision in its own right (the
+        // underlying proof search audits itself as `prove`).
+        {
+            use psf_telemetry::audit::{self, Decision, Verdict};
+            let rec = audit::record(
+                Decision::Authorize,
+                peer_name.to_string(),
+                self.required_role.to_string(),
+                match result {
+                    Ok(_) => Verdict::Allow,
+                    Err(_) => Verdict::Deny,
+                },
             )
-            .map_err(|e| e.to_string())?;
+            .detail("switchboard admission");
+            match &result {
+                Ok((proof, _)) => rec.chain(&proof.credential_ids()).commit(),
+                Err(e) => rec.detail(format!("switchboard admission: {e}")).commit(),
+            }
+        }
+        let (proof, _stats) = result.map_err(|e| e.to_string())?;
         let monitor = self.bus.monitor(proof.credential_ids());
         // "…continuously over some duration": the authorization holds
         // until the earliest expiry of any credential in the proof.

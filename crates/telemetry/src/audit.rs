@@ -1,0 +1,459 @@
+//! Authorization audit trail: an append-only, bounded log of every
+//! authorize / prove / select_view / revocation decision made anywhere in
+//! the process.
+//!
+//! Each [`AuditRecord`] captures who asked for what, the verdict, a digest
+//! of the delegation chain the decision rested on, where the answer came
+//! from (fresh proof search vs. positive/negative cache hit, and at which
+//! repository epoch), and the trace id of the causal tree the decision
+//! belongs to — so `psf audit` can replay the decision history behind any
+//! trace and `psf trace --tree` can show where its latency went.
+//!
+//! The log is a ring buffer like the span tracer: bounded, lock-guarded,
+//! oldest-evicted, with an eviction counter mirrored to the
+//! `psf.audit.dropped` gauge (global log only). Export is JSONL with the
+//! same escaping rules as span export.
+
+use crate::trace::{escape_into, TraceId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Ring-buffer capacity of the global audit log.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// What kind of decision an [`AuditRecord`] documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// A dRBAC proof search (`ProofEngine::prove`).
+    Prove,
+    /// A role→view ACL selection (`ViewAcl::select_view`).
+    SelectView,
+    /// A method/service-level authorization (`Guard`, Switchboard
+    /// `Authorizer`).
+    Authorize,
+    /// A credential revocation (`RevocationBus::revoke`).
+    Revocation,
+}
+
+impl Decision {
+    /// Stable lowercase name used in JSONL and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Decision::Prove => "prove",
+            Decision::SelectView => "select_view",
+            Decision::Authorize => "authorize",
+            Decision::Revocation => "revocation",
+        }
+    }
+}
+
+/// The outcome of a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The request was granted.
+    Allow,
+    /// The request was denied.
+    Deny,
+    /// A credential was revoked (revocation records only).
+    Revoked,
+}
+
+impl Verdict {
+    /// Stable lowercase name used in JSONL and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Allow => "allow",
+            Verdict::Deny => "deny",
+            Verdict::Revoked => "revoked",
+        }
+    }
+}
+
+/// Where the answer came from: cache provenance of the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheOutcome {
+    /// No cache was consulted (uncached engine, or not applicable).
+    #[default]
+    Uncached,
+    /// Answered from a cached positive proof.
+    Hit,
+    /// Answered from a cached negative result.
+    NegativeHit,
+    /// Cache consulted but missed; a fresh search ran.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase name used in JSONL and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Uncached => "uncached",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::NegativeHit => "negative",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// One audited decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotonic sequence number (1-based), assigned at record time.
+    pub seq: u64,
+    /// Microseconds since the Unix epoch at record time.
+    pub t_us: u64,
+    /// The causal trace the decision belongs to, if one was live.
+    pub trace: Option<TraceId>,
+    /// What kind of decision this is.
+    pub decision: Decision,
+    /// The requesting subject (entity or role), rendered.
+    pub subject: String,
+    /// What was decided about: a role for proofs, a view name for view
+    /// selections, a method/service for authorizations, a credential id
+    /// for revocations.
+    pub object: String,
+    /// The outcome.
+    pub verdict: Verdict,
+    /// FNV-1a digest (16 hex chars) over the ordered credential ids of the
+    /// delegation chain the verdict rested on; empty when no chain was
+    /// involved (catch-all grants, denials, revocations).
+    pub chain_digest: String,
+    /// Cache provenance of the answer.
+    pub cache: CacheOutcome,
+    /// Repository epoch the answer is pinned to, when a cache was
+    /// consulted.
+    pub epoch: Option<u64>,
+    /// Free-form detail (error text for denials, rule matched, …).
+    pub detail: String,
+}
+
+/// Digest an ordered delegation chain (credential ids) into the compact
+/// hex form stored in [`AuditRecord::chain_digest`]. FNV-1a over the ids
+/// separated by `\n` — stable across processes, cheap on the warm path.
+pub fn chain_digest<S: AsRef<str>>(credential_ids: &[S]) -> String {
+    if credential_ids.is_empty() {
+        return String::new();
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in credential_ids {
+        for b in id.as_ref().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Append-only bounded audit log (ring buffer, oldest evicted).
+pub struct AuditLog {
+    buf: Mutex<VecDeque<AuditRecord>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+    drop_gauge: OnceLock<Arc<crate::metrics::Gauge>>,
+    report_drops: bool,
+}
+
+impl AuditLog {
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        AuditLog {
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            next_seq: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            drop_gauge: OnceLock::new(),
+            report_drops: false,
+        }
+    }
+
+    /// Append a decision. `seq` and `t_us` on the passed record are
+    /// overwritten; callers fill in the decision fields only.
+    pub fn record(&self, mut record: AuditRecord) {
+        record.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        record.t_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut buf = self.buf.lock();
+        if buf.len() >= self.capacity {
+            buf.pop_front();
+            let dropped = self.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.report_drops {
+                self.drop_gauge
+                    .get_or_init(|| crate::metrics::global().gauge("psf.audit.dropped"))
+                    .set(dropped as i64);
+            }
+        }
+        buf.push_back(record);
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted due to capacity pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<AuditRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Clear the buffer (tests, or after exporting).
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+
+    /// Snapshot filtered: by subject substring, denials only, and/or
+    /// trace id. `None` filters match everything.
+    pub fn query(
+        &self,
+        subject: Option<&str>,
+        deny_only: bool,
+        trace: Option<TraceId>,
+    ) -> Vec<AuditRecord> {
+        self.snapshot()
+            .into_iter()
+            .filter(|r| subject.is_none_or(|s| r.subject.contains(s)))
+            .filter(|r| !deny_only || r.verdict != Verdict::Allow)
+            .filter(|r| trace.is_none_or(|t| r.trace == Some(t)))
+            .collect()
+    }
+
+    /// Serialize the buffer as JSON lines, one record per line.
+    pub fn export_jsonl(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::with_capacity(records.len() * 160);
+        for r in &records {
+            Self::write_jsonl(r, &mut out);
+        }
+        out
+    }
+
+    /// Serialize one record as a JSON line (no trailing newline).
+    pub fn render_jsonl(record: &AuditRecord) -> String {
+        let mut out = String::with_capacity(160);
+        Self::write_jsonl(record, &mut out);
+        out.pop(); // trailing '\n'
+        out
+    }
+
+    fn write_jsonl(r: &AuditRecord, out: &mut String) {
+        let _ = write!(out, "{{\"seq\":{},\"t_us\":{},\"trace\":", r.seq, r.t_us);
+        match r.trace {
+            Some(t) => {
+                let _ = write!(out, "\"{t}\"");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"decision\":\"{}\",\"subject\":\"",
+            r.decision.as_str()
+        );
+        escape_into(&r.subject, out);
+        out.push_str("\",\"object\":\"");
+        escape_into(&r.object, out);
+        let _ = write!(
+            out,
+            "\",\"verdict\":\"{}\",\"chain_digest\":\"{}\",\"cache\":\"{}\",\"epoch\":",
+            r.verdict.as_str(),
+            r.chain_digest,
+            r.cache.as_str()
+        );
+        match r.epoch {
+            Some(e) => {
+                let _ = write!(out, "{e}");
+            }
+            None => out.push_str("null"),
+        }
+        if !r.detail.is_empty() {
+            out.push_str(",\"detail\":\"");
+            escape_into(&r.detail, out);
+            out.push('"');
+        }
+        out.push_str("}\n");
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+/// The process-wide audit log all PSF decision points report to.
+pub fn global() -> &'static AuditLog {
+    static GLOBAL: OnceLock<AuditLog> = OnceLock::new();
+    GLOBAL.get_or_init(|| AuditLog {
+        report_drops: true,
+        ..AuditLog::default()
+    })
+}
+
+/// Convenience builder for the common "record on the global log" path.
+/// The trace id is captured from the calling thread's current context.
+pub fn record(
+    decision: Decision,
+    subject: impl Into<String>,
+    object: impl Into<String>,
+    verdict: Verdict,
+) -> AuditRecordBuilder {
+    AuditRecordBuilder {
+        record: AuditRecord {
+            seq: 0,
+            t_us: 0,
+            trace: crate::trace::current_trace_id(),
+            decision,
+            subject: subject.into(),
+            object: object.into(),
+            verdict,
+            chain_digest: String::new(),
+            cache: CacheOutcome::Uncached,
+            epoch: None,
+            detail: String::new(),
+        },
+    }
+}
+
+/// Builder returned by [`record`]; commits to the global log on
+/// [`AuditRecordBuilder::commit`] (or silently on drop).
+pub struct AuditRecordBuilder {
+    record: AuditRecord,
+}
+
+impl AuditRecordBuilder {
+    /// Set the delegation-chain digest from the ordered credential ids.
+    pub fn chain<S: AsRef<str>>(mut self, credential_ids: &[S]) -> Self {
+        self.record.chain_digest = chain_digest(credential_ids);
+        self
+    }
+
+    /// Set cache provenance.
+    pub fn cache(mut self, outcome: CacheOutcome, epoch: Option<u64>) -> Self {
+        self.record.cache = outcome;
+        self.record.epoch = epoch;
+        self
+    }
+
+    /// Attach free-form detail (error text, matched rule, …).
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.record.detail = detail.into();
+        self
+    }
+
+    /// Append to the global audit log.
+    pub fn commit(self) {
+        global().record(self.record);
+        crate::counter!("psf.audit.records").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(subject: &str, verdict: Verdict) -> AuditRecord {
+        AuditRecord {
+            seq: 0,
+            t_us: 0,
+            trace: None,
+            decision: Decision::Prove,
+            subject: subject.to_string(),
+            object: "Comp.NY.Member".to_string(),
+            verdict,
+            chain_digest: String::new(),
+            cache: CacheOutcome::Uncached,
+            epoch: None,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn records_are_sequenced_and_bounded() {
+        let log = AuditLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(rec(&format!("S{i}"), Verdict::Allow));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let seqs: Vec<u64> = log.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn query_filters_subject_verdict_trace() {
+        let log = AuditLog::default();
+        let t = TraceId::fresh();
+        log.record(rec("Alice", Verdict::Allow));
+        log.record(rec("Bob", Verdict::Deny));
+        let mut with_trace = rec("Alice", Verdict::Deny);
+        with_trace.trace = Some(t);
+        log.record(with_trace);
+
+        assert_eq!(log.query(Some("Alice"), false, None).len(), 2);
+        assert_eq!(log.query(None, true, None).len(), 2);
+        assert_eq!(log.query(None, false, Some(t)).len(), 1);
+        assert_eq!(log.query(Some("Alice"), true, Some(t)).len(), 1);
+        assert_eq!(log.query(Some("Carol"), false, None).len(), 0);
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let log = AuditLog::default();
+        let mut r = rec("Alice \"A\"", Verdict::Deny);
+        r.cache = CacheOutcome::NegativeHit;
+        r.epoch = Some(7);
+        r.detail = "no path\nfound".to_string();
+        r.chain_digest = chain_digest(&["cred-1", "cred-2"]);
+        log.record(r);
+        let text = log.export_jsonl();
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("{\"seq\":1,"));
+        assert!(line.contains("\"decision\":\"prove\""));
+        assert!(line.contains("\"subject\":\"Alice \\\"A\\\"\""));
+        assert!(line.contains("\"verdict\":\"deny\""));
+        assert!(line.contains("\"cache\":\"negative\""));
+        assert!(line.contains("\"epoch\":7"));
+        assert!(line.contains("\"detail\":\"no path\\nfound\""));
+        assert!(line.contains("\"trace\":null"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn chain_digest_is_order_sensitive_and_stable() {
+        let d1 = chain_digest(&["a", "b"]);
+        let d2 = chain_digest(&["b", "a"]);
+        assert_ne!(d1, d2);
+        assert_eq!(d1, chain_digest(&["a", "b"]));
+        assert_eq!(d1.len(), 16);
+        assert!(chain_digest::<&str>(&[]).is_empty());
+        // Concatenation ambiguity is broken by the separator.
+        assert_ne!(chain_digest(&["ab"]), chain_digest(&["a", "b"]));
+    }
+
+    #[test]
+    fn builder_records_to_global() {
+        let before = global().len() + global().dropped() as usize;
+        record(Decision::Authorize, "Alice", "deliver", Verdict::Allow)
+            .chain(&["c1"])
+            .cache(CacheOutcome::Hit, Some(3))
+            .detail("rule 0")
+            .commit();
+        let after = global().len() + global().dropped() as usize;
+        assert_eq!(after, before + 1);
+    }
+}

@@ -33,10 +33,27 @@
 //! `psf.deploy.step.us`. Histograms that measure time carry a `.us`
 //! (microseconds) suffix.
 
+//! ## Causal tracing, audit, SLOs
+//!
+//! Every span belongs to a 128-bit [`trace::TraceId`]; [`TraceContext`]
+//! carries the ambient trace across thread hops and RPC envelopes so one
+//! request yields one causal tree. The [`audit`] module keeps a bounded
+//! append-only log of every authorization decision (subject, object,
+//! verdict, delegation-chain digest, cache provenance, trace id), and the
+//! [`slo`] module evaluates declarative latency objectives — with
+//! histogram exemplars linking a burning p99 back to the trace behind it.
+
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
+pub use audit::{AuditLog, AuditRecord, CacheOutcome, Decision, Verdict};
 pub use metrics::{global as registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use trace::{event, export_jsonl, global as tracer, span, SpanGuard, SpanRecord, Tracer};
+pub use slo::{Percentile, SloReport, SloSpec, SloTable};
+pub use trace::{
+    current_trace_id, event, export_jsonl, global as tracer, span, span_with_context, untraced,
+    ContextGuard, SpanGuard, SpanRecord, TraceContext, TraceId, Tracer, UntracedGuard,
+};

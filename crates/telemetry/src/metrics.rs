@@ -70,6 +70,13 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    // Exemplar: the trace id and value of a recent sample from the highest
+    // bucket seen so far, so a p99 outlier can be traced back to its causal
+    // tree. Three relaxed atomics, racy by design — a torn exemplar merely
+    // points at a neighbouring trace, never corrupts the histogram.
+    ex_value: AtomicU64,
+    ex_trace_hi: AtomicU64,
+    ex_trace_lo: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -80,6 +87,9 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            ex_value: AtomicU64::new(0),
+            ex_trace_hi: AtomicU64::new(0),
+            ex_trace_lo: AtomicU64::new(0),
         }
     }
 }
@@ -109,6 +119,31 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        // Keep an exemplar from the max bucket: only samples at least as
+        // large (bucket-wise) as the current exemplar are candidates, and
+        // only when a trace is live on the recording thread.
+        if bucket_index(v) >= bucket_index(self.ex_value.load(Ordering::Relaxed)) {
+            if let Some(t) = crate::trace::current_trace_id() {
+                self.ex_value.store(v, Ordering::Relaxed);
+                self.ex_trace_hi
+                    .store((t.0 >> 64) as u64, Ordering::Relaxed);
+                self.ex_trace_lo.store(t.0 as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The exemplar `(trace id, sample value)` from the highest bucket a
+    /// traced sample has reached, if any traced sample was recorded.
+    pub fn exemplar(&self) -> Option<(crate::trace::TraceId, u64)> {
+        let hi = self.ex_trace_hi.load(Ordering::Relaxed);
+        let lo = self.ex_trace_lo.load(Ordering::Relaxed);
+        let t = ((hi as u128) << 64) | lo as u128;
+        (t != 0).then(|| {
+            (
+                crate::trace::TraceId(t),
+                self.ex_value.load(Ordering::Relaxed),
+            )
+        })
     }
 
     /// Record a [`std::time::Duration`] in microseconds.
@@ -173,6 +208,7 @@ impl Histogram {
             p50: self.percentile(0.50),
             p90: self.percentile(0.90),
             p99: self.percentile(0.99),
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -187,6 +223,8 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
+    /// `(trace id, value)` of a recent max-bucket traced sample.
+    pub exemplar: Option<(crate::trace::TraceId, u64)>,
 }
 
 /// Named-instrument registry. Handles are `Arc`s; the maps are only locked
@@ -299,6 +337,11 @@ impl Registry {
             let _ = writeln!(out, "{p}_count {}", snap.count);
             let _ = writeln!(out, "{p}_min {}", snap.min);
             let _ = writeln!(out, "{p}_max {}", snap.max);
+            if let Some((trace, value)) = snap.exemplar {
+                // Comment line (classic text format has no exemplar
+                // syntax; OpenMetrics-style payload, parser-invisible).
+                let _ = writeln!(out, "# EXEMPLAR {p} {{trace_id=\"{trace}\"}} {value}");
+            }
         }
 
         out
@@ -466,6 +509,102 @@ mod tests {
             THREADS * PER_THREAD
         );
         assert_eq!(hist.count(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn prometheus_escapes_metric_names() {
+        let reg = Registry::new();
+        reg.counter("psf.test.hy-phen/slash ok").inc();
+        reg.gauge("psf.test.über.gauge").set(1);
+        let text = reg.render_prometheus();
+        // Every non-alphanumeric character maps to '_': dots, dashes,
+        // slashes, spaces, and non-ASCII alike.
+        assert!(text.contains("# TYPE psf_test_hy_phen_slash_ok counter"));
+        assert!(text.contains("psf_test_hy_phen_slash_ok 1"));
+        assert!(text.contains("psf_test__ber_gauge 1"));
+        // No raw separator characters leak into the rendered names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unescaped metric name: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_renders_empty_histogram_as_zeros() {
+        let reg = Registry::new();
+        let _ = reg.histogram("psf.test.empty.us");
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE psf_test_empty_us summary"));
+        assert!(text.contains("psf_test_empty_us{quantile=\"0.5\"} 0"));
+        assert!(text.contains("psf_test_empty_us{quantile=\"0.9\"} 0"));
+        assert!(text.contains("psf_test_empty_us{quantile=\"0.99\"} 0"));
+        assert!(text.contains("psf_test_empty_us_sum 0"));
+        assert!(text.contains("psf_test_empty_us_count 0"));
+        assert!(text.contains("psf_test_empty_us_min 0"));
+        assert!(text.contains("psf_test_empty_us_max 0"));
+        // No exemplar line for a histogram that never saw a traced sample.
+        assert!(!text.contains("# EXEMPLAR psf_test_empty_us"));
+    }
+
+    #[test]
+    fn prometheus_single_sample_quantiles_pin_to_sample() {
+        let reg = Registry::new();
+        reg.histogram("psf.test.single.us").record(33);
+        let text = reg.render_prometheus();
+        // The observed-extreme clamp makes all three quantiles report the
+        // one real sample, not a mid-bucket interpolation.
+        assert!(text.contains("psf_test_single_us{quantile=\"0.5\"} 33"));
+        assert!(text.contains("psf_test_single_us{quantile=\"0.9\"} 33"));
+        assert!(text.contains("psf_test_single_us{quantile=\"0.99\"} 33"));
+        assert!(text.contains("psf_test_single_us_sum 33"));
+        assert!(text.contains("psf_test_single_us_count 1"));
+        assert!(text.contains("psf_test_single_us_min 33"));
+        assert!(text.contains("psf_test_single_us_max 33"));
+    }
+
+    #[test]
+    fn exemplar_tracks_max_bucket_traced_sample() {
+        let h = Histogram::default();
+        // Untraced samples never install an exemplar.
+        h.record(1_000_000);
+        assert_eq!(h.exemplar(), None);
+
+        let span = crate::trace::span("psf.test", "exemplar.big");
+        let big_trace = span.trace_id();
+        h.record(500_000);
+        drop(span);
+        let (t, v) = h.exemplar().expect("exemplar after traced sample");
+        assert_eq!(t, big_trace);
+        assert_eq!(v, 500_000);
+
+        // A traced sample from a smaller bucket does not displace it…
+        let small = crate::trace::span("psf.test", "exemplar.small");
+        h.record(10);
+        drop(small);
+        assert_eq!(h.exemplar(), Some((big_trace, 500_000)));
+
+        // …but an equal-or-larger bucket refreshes it.
+        let bigger = crate::trace::span("psf.test", "exemplar.bigger");
+        let bigger_trace = bigger.trace_id();
+        h.record(600_000);
+        drop(bigger);
+        assert_eq!(h.exemplar(), Some((bigger_trace, 600_000)));
+
+        // Snapshot carries it, and the renderer emits the comment line.
+        let reg = Registry::new();
+        let rh = reg.histogram("psf.test.ex.us");
+        let span = crate::trace::span("psf.test", "exemplar.render");
+        let trace = span.trace_id();
+        rh.record(12345);
+        drop(span);
+        assert_eq!(rh.snapshot().exemplar, Some((trace, 12345)));
+        let text = reg.render_prometheus();
+        assert!(text.contains(&format!(
+            "# EXEMPLAR psf_test_ex_us {{trace_id=\"{trace}\"}} 12345"
+        )));
     }
 
     #[test]

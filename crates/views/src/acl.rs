@@ -110,16 +110,43 @@ impl ViewAcl {
         subject: &Subject,
         presented: &[SignedDelegation],
     ) -> Option<(String, Option<Proof>)> {
+        use psf_telemetry::audit::{self, Decision, Verdict};
+        let mut span = psf_telemetry::span("psf.views", "select_view");
         for (role, view) in &self.rules {
             match role {
                 Some(role) => {
                     if let Ok((proof, _)) = engine.prove(subject, role, presented) {
+                        span.field("view", view);
+                        audit::record(
+                            Decision::SelectView,
+                            subject.render(),
+                            view.clone(),
+                            Verdict::Allow,
+                        )
+                        .chain(&proof.credential_ids())
+                        .detail(format!("role {role}"))
+                        .commit();
                         return Some((view.clone(), Some(proof)));
                     }
                 }
-                None => return Some((view.clone(), None)),
+                None => {
+                    span.field("view", view);
+                    audit::record(
+                        Decision::SelectView,
+                        subject.render(),
+                        view.clone(),
+                        Verdict::Allow,
+                    )
+                    .detail("catch-all rule")
+                    .commit();
+                    return Some((view.clone(), None));
+                }
             }
         }
+        span.field("view", "<denied>");
+        audit::record(Decision::SelectView, subject.render(), "", Verdict::Deny)
+            .detail("no acl rule matched")
+            .commit();
         None
     }
 
