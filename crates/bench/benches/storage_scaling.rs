@@ -7,7 +7,39 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psf_drbac::entity::Entity;
 use psf_drbac::repository::{CredentialSource, Repository};
 use psf_drbac::storage_model::{simulate_drbac, storage_comparison};
+use psf_drbac::wal::{DurableRepository, FsyncPolicy, WalConfig};
 use psf_drbac::DelegationBuilder;
+use std::path::PathBuf;
+
+/// Build a WAL directory holding `n` committed publish records, ready for
+/// a recovery-replay measurement.
+fn fill_wal_dir(n: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psf-bench-recovery-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (d, _) = DurableRepository::open(
+        &dir,
+        WalConfig {
+            fsync: FsyncPolicy::Never,
+            auto_compact_appends: None,
+        },
+    )
+    .unwrap();
+    let issuer = Entity::with_seed("Issuer", b"f1-recovery");
+    let user = Entity::with_seed("User", b"f1-recovery");
+    for i in 0..n {
+        d.repository().publish_at_issuer(
+            DelegationBuilder::new(&issuer)
+                .subject_entity(&user)
+                .role(issuer.role(format!("R{i}")))
+                .sign(),
+        );
+        if i.is_multiple_of(64) {
+            d.bus().revoke(&format!("deadbeef{i:08x}"));
+        }
+    }
+    d.sync().unwrap();
+    dir
+}
 
 fn print_shape_table() {
     println!("\n# F1: storage entries by architecture (C=8, c=2P)");
@@ -86,6 +118,24 @@ fn bench(c: &mut Criterion) {
                     .collect::<Vec<_>>()
             });
         });
+    }
+
+    // Crash recovery: cold `Repository::recover` replay of an `n`-record
+    // WAL — the restart-latency row `psf bench --check` gates at 10⁵
+    // records (here sized down so the criterion sweep stays fast).
+    for n in [1_000u64, 10_000] {
+        let dir = fill_wal_dir(n);
+        group.bench_with_input(BenchmarkId::new("recovery_replay", n), &n, |b, &n| {
+            b.iter(|| {
+                let (repo, _bus, report) = Repository::recover(&dir).unwrap();
+                assert_eq!(
+                    report.records_replayed,
+                    n as usize + n.div_ceil(64) as usize
+                );
+                repo.len()
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
     group.finish();
 }

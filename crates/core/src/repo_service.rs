@@ -7,9 +7,10 @@
 //! directed as appropriate to its home node").
 
 use parking_lot::Mutex;
-use psf_drbac::entity::{RoleName, Subject};
-use psf_drbac::repository::{CredentialSource, Repository};
-use psf_drbac::wire::{decode_credentials, encode_credentials};
+use psf_drbac::entity::{EntityName, RoleName, Subject};
+use psf_drbac::repository::{CredentialSource, DiscoveryTag, Repository};
+use psf_drbac::wal::DurableRepository;
+use psf_drbac::wire::{decode_credentials, encode_credentials, Reader};
 use psf_drbac::SignedDelegation;
 use psf_switchboard::Channel;
 use std::collections::HashMap;
@@ -19,6 +20,8 @@ use std::sync::Arc;
 pub const QUERY_BY_SUBJECT: &str = "repo.query_by_subject";
 /// RPC method for object-role queries.
 pub const QUERY_BY_OBJECT: &str = "repo.query_by_object";
+/// RPC method for publishing a credential to a (durable) home node.
+pub const PUBLISH: &str = "repo.publish";
 
 fn subject_query_key(subject: &Subject) -> Vec<u8> {
     // Reuse the delegation subject encoding for the query argument.
@@ -99,6 +102,45 @@ pub fn serve_repository(channel: &Channel, repository: Repository) {
     });
 }
 
+fn decode_publish_args(
+    args: &[u8],
+) -> Result<(EntityName, DiscoveryTag, SignedDelegation), String> {
+    let mut r = Reader::new(args);
+    let home = r.string().map_err(|e| e.to_string())?;
+    let tag = DiscoveryTag::from_byte(r.u8().map_err(|e| e.to_string())?)
+        .ok_or_else(|| "bad discovery tag".to_string())?;
+    let cred = SignedDelegation::from_wire(&mut r).map_err(|e| e.to_string())?;
+    if !r.finished() {
+        return Err("trailing bytes in publish args".into());
+    }
+    Ok((EntityName(home), tag, cred))
+}
+
+fn encode_publish_args(home: &EntityName, tag: DiscoveryTag, cred: &SignedDelegation) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(home.0.len() as u32).to_le_bytes());
+    out.extend_from_slice(home.0.as_bytes());
+    out.push(tag.to_byte());
+    out.extend_from_slice(&cred.to_wire());
+    out
+}
+
+/// Serve a crash-safe home node: the query handlers of
+/// [`serve_repository`] plus a `repo.publish` handler, all backed by the
+/// durable pair's shared handles — every accepted publish hits the
+/// write-ahead log before the RPC response leaves, so a committed publish
+/// survives `kill -9`.
+pub fn serve_durable_repository(channel: &Channel, durable: &DurableRepository) {
+    serve_repository(channel, durable.repository().clone());
+    let repo = durable.repository().clone();
+    channel.register_handler(PUBLISH, move |args| {
+        let (home, tag, cred) = decode_publish_args(args)?;
+        let id = cred.id();
+        repo.publish(home, cred, tag);
+        Ok(id.into_bytes())
+    });
+}
+
 /// A [`CredentialSource`] backed by a remote repository channel, with a
 /// small response cache (credentials are immutable; revocation is
 /// enforced separately by the bus, so caching is sound).
@@ -149,6 +191,24 @@ impl RemoteRepository {
             self.cache.lock().insert(cache_key, result.clone());
         }
         result
+    }
+
+    /// Publish a credential to the remote home node (requires the peer to
+    /// run [`serve_durable_repository`]). Returns the credential id
+    /// acknowledged by the server — by the time this returns, the record
+    /// is in the server's write-ahead log.
+    pub fn publish(
+        &self,
+        home: &EntityName,
+        tag: DiscoveryTag,
+        cred: &SignedDelegation,
+    ) -> Result<String, String> {
+        let args = encode_publish_args(home, tag, cred);
+        let resp = self
+            .channel
+            .call(PUBLISH, &args)
+            .map_err(|e| e.to_string())?;
+        String::from_utf8(resp).map_err(|_| "bad publish ack".to_string())
     }
 }
 
@@ -282,6 +342,47 @@ mod tests {
         // *returned* but the engine rejects it via the bus.
         w.bus.revoke(&w.cred_ids[0]);
         assert!(!engine.check(&w.bob.as_subject(), &w.ny.role("Member"), &[]));
+    }
+
+    #[test]
+    fn durable_home_node_publish_survives_restart() {
+        use psf_drbac::wal::{DurableRepository, WalConfig};
+        let dir = std::env::temp_dir().join(format!("psf-repo-svc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let ny = Entity::with_seed("Comp.NY", b"svc");
+        let bob = Entity::with_seed("Bob", b"svc");
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .sign();
+        {
+            let (durable, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            let (client, server) = pair_in_memory_plain(quiet());
+            serve_durable_repository(&server, &durable);
+            let remote = RemoteRepository::new(Arc::new(client)).without_cache();
+            // Publish over the wire; the ack means it's in the WAL.
+            let ack = remote.publish(&ny.name, DiscoveryTag::Both, &cred).unwrap();
+            assert_eq!(ack, cred.id());
+            // Immediately queryable through the same service.
+            assert_eq!(remote.credentials_by_subject(&bob.as_subject()).len(), 1);
+            // Revocations through the durable bus are logged too.
+            durable.bus().revoke(&cred.id());
+        } // "crash": the process state is dropped, only the files remain
+
+        let (durable2, report) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.publishes, 1);
+        assert_eq!(report.revocations_restored, 1);
+        let (client, server) = pair_in_memory_plain(quiet());
+        serve_durable_repository(&server, &durable2);
+        let remote = RemoteRepository::new(Arc::new(client)).without_cache();
+        let found = remote.credentials_by_subject(&bob.as_subject());
+        assert_eq!(found.len(), 1);
+        assert!(durable2.bus().is_revoked(&cred.id()));
+        // Garbage publish args are rejected, not panicking the server.
+        let bad: Result<_, _> = remote.publish(&ny.name, DiscoveryTag::Both, &cred);
+        assert!(bad.is_ok(), "duplicate publish is acceptable");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

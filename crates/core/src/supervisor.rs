@@ -285,6 +285,15 @@ mod tests {
     }
 
     fn world() -> World {
+        world_with_guard(Arc::new(Guard::new(
+            Entity::with_seed("Sup.Domain", b"sup"),
+            EntityRegistry::new(),
+            Repository::new(),
+            RevocationBus::new(),
+        )))
+    }
+
+    fn world_with_guard(guard: Arc<Guard>) -> World {
         let scenario = three_site_scenario(2);
         let registrar = Registrar::new();
         registrar.register(ComponentSpec::source("KvStore", "KvI"));
@@ -294,12 +303,6 @@ mod tests {
                 .cpu(20),
         );
         registrar.record_deployed("KvStore", scenario.ny[0]);
-        let guard = Arc::new(Guard::new(
-            Entity::with_seed("Sup.Domain", b"sup"),
-            EntityRegistry::new(),
-            Repository::new(),
-            RevocationBus::new(),
-        ));
         let bundle = AppBundle::new()
             .class("KvStore", counter_class())
             .view(
@@ -326,6 +329,59 @@ mod tests {
             require_privacy: false,
             require_plaintext_delivery: true,
         }
+    }
+
+    #[test]
+    fn teardown_revocations_persist_across_restart() {
+        use psf_drbac::wal::{DurableRepository, WalConfig};
+        let dir = std::env::temp_dir().join(format!("psf-sup-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let issued_ids: Vec<String>;
+        {
+            let (durable, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            let guard = Arc::new(Guard::durable(
+                Entity::with_seed("Sup.Domain", b"sup"),
+                EntityRegistry::new(),
+                &durable,
+            ));
+            let w = world_with_guard(guard);
+            let mut sup = Supervisor::start(
+                &w.registrar,
+                &w.scenario.network,
+                &PermissiveOracle,
+                PlannerConfig::default(),
+                goal(&w),
+                &w.deployer,
+                w.guard.clone(),
+            )
+            .unwrap();
+            issued_ids = sup
+                .deployment()
+                .unwrap()
+                .issued_credentials
+                .iter()
+                .map(|c| c.id())
+                .collect();
+            assert!(!issued_ids.is_empty(), "deployment issues credentials");
+            // Shutdown revokes everything the deployment was granted; the
+            // bus observer writes each revocation to the WAL.
+            sup.shutdown();
+            for id in &issued_ids {
+                assert!(w.guard.bus().is_revoked(id));
+            }
+        } // "crash": only the durable directory survives
+
+        let (_, bus, report) = Repository::recover(&dir).unwrap();
+        assert!(
+            report.revocations_restored >= issued_ids.len(),
+            "restored {} < issued {}",
+            report.revocations_restored,
+            issued_ids.len()
+        );
+        for id in &issued_ids {
+            assert!(bus.is_revoked(id), "revocation of {id} lost across restart");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

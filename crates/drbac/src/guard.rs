@@ -63,6 +63,23 @@ impl Guard {
         }
     }
 
+    /// Create a guard backed by a [`crate::wal::DurableRepository`]: the
+    /// guard's repository and bus are the durable pair's shared handles,
+    /// so every credential it issues and every revocation it performs is
+    /// written to the crash-safe log transparently.
+    pub fn durable(
+        entity: Entity,
+        registry: EntityRegistry,
+        durable: &crate::wal::DurableRepository,
+    ) -> Guard {
+        Guard::new(
+            entity,
+            registry,
+            durable.repository().clone(),
+            durable.bus().clone(),
+        )
+    }
+
     /// The guard's authorization cache (hit/miss stats, manual clear).
     pub fn auth_cache(&self) -> &AuthCache {
         &self.cache

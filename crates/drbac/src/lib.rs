@@ -52,6 +52,7 @@ pub mod repository;
 pub mod revocation;
 pub mod storage_model;
 pub mod translator;
+pub mod wal;
 pub mod wire;
 
 pub use attr::{AttrSet, AttrValue};
@@ -60,8 +61,14 @@ pub use delegation::{Delegation, DelegationBuilder, DelegationKind, SignedDelega
 pub use entity::{Entity, EntityName, EntityRegistry, RoleName, Subject};
 pub use guard::Guard;
 pub use proof::{Proof, ProofEngine, ProofError, SearchStats};
-pub use repository::{subject_key, CredentialSource, DiscoveryTag, Repository};
-pub use revocation::{RevocationBus, ValidityMonitor};
+pub use repository::{
+    subject_key, CredentialSource, DiscoveryTag, RepoEvent, RepoObserver, Repository,
+};
+pub use revocation::{RevocationBus, RevocationObserver, ValidityMonitor};
+pub use wal::{
+    verify_dir, CompactReport, DurableRepository, FsyncPolicy, RecoveryReport, VerifyReport,
+    WalConfig, WalStats,
+};
 
 /// Logical timestamp used for credential expiration (seconds; the netsim
 /// clock and the wall clock both map onto it).

@@ -77,7 +77,54 @@ impl DiscoveryTag {
             DiscoveryTag::SearchableFromObject | DiscoveryTag::Both
         )
     }
+
+    /// Stable one-byte encoding used by the durability log ([`crate::wal`]).
+    pub fn to_byte(self) -> u8 {
+        match self {
+            DiscoveryTag::None => 0,
+            DiscoveryTag::SearchableFromSubject => 1,
+            DiscoveryTag::SearchableFromObject => 2,
+            DiscoveryTag::Both => 3,
+        }
+    }
+
+    /// Inverse of [`to_byte`](Self::to_byte).
+    pub fn from_byte(b: u8) -> Option<DiscoveryTag> {
+        match b {
+            0 => Some(DiscoveryTag::None),
+            1 => Some(DiscoveryTag::SearchableFromSubject),
+            2 => Some(DiscoveryTag::SearchableFromObject),
+            3 => Some(DiscoveryTag::Both),
+            _ => None,
+        }
+    }
 }
+
+/// A mutation just applied to a [`Repository`], delivered to its observer
+/// *after* the mutation is visible (all internal locks released). The
+/// durability layer ([`crate::wal`]) uses this to append every mutation to
+/// its write-ahead log without the repository knowing about files.
+pub enum RepoEvent<'a> {
+    /// A credential was stored at `home` with discovery tags `tag`.
+    Published {
+        /// The home node the credential was stored at.
+        home: &'a EntityName,
+        /// The stored credential (shared allocation).
+        cred: &'a Arc<SignedDelegation>,
+        /// Its discovery tags.
+        tag: DiscoveryTag,
+    },
+    /// `purge_expired(now)` removed `purged` credentials.
+    PurgedExpired {
+        /// The purge evaluation time.
+        now: u64,
+        /// How many credentials were dropped.
+        purged: usize,
+    },
+}
+
+/// Callback observing repository mutations (see [`RepoEvent`]).
+pub type RepoObserver = Arc<dyn Fn(RepoEvent<'_>) + Send + Sync>;
 
 /// Canonical lookup key for a delegation subject. Entity keys include the
 /// public key so two principals with the same display name cannot alias
@@ -148,6 +195,8 @@ struct RepositoryInner {
     // Bumped on every mutation (publish, purge): proof caches use it to
     // decide whether a negative ("no proof") result is still current.
     epoch: AtomicU64,
+    // Mutation observer (durability layer); invoked outside all locks.
+    observer: RwLock<Option<RepoObserver>>,
 }
 
 impl Repository {
@@ -179,10 +228,18 @@ impl Repository {
         self.inner
             .shards
             .write()
-            .entry(home)
+            .entry(home.clone())
             .or_default()
-            .insert(cred);
+            .insert(cred.clone());
         self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+        let observer = self.inner.observer.read().clone();
+        if let Some(obs) = observer {
+            obs(RepoEvent::Published {
+                home: &home,
+                cred: &cred,
+                tag,
+            });
+        }
     }
 
     /// Convenience: publish at the issuer's own domain with both tags (the
@@ -289,35 +346,95 @@ impl Repository {
     /// no longer holds matches simply returns nothing.
     pub fn purge_expired(&self, now: u64) -> usize {
         let mut purged = 0;
-        let mut shards = self.inner.shards.write();
-        for shard in shards.values_mut() {
-            let keep: Vec<Arc<SignedDelegation>> = shard
-                .credentials
-                .drain(..)
-                .filter(|c| match c.body.expires {
-                    Some(t) => {
-                        let alive = now < t;
-                        if !alive {
-                            purged += 1;
+        {
+            let mut shards = self.inner.shards.write();
+            for shard in shards.values_mut() {
+                let keep: Vec<Arc<SignedDelegation>> = shard
+                    .credentials
+                    .drain(..)
+                    .filter(|c| match c.body.expires {
+                        Some(t) => {
+                            let alive = now < t;
+                            if !alive {
+                                purged += 1;
+                            }
+                            alive
                         }
-                        alive
-                    }
-                    None => true,
-                })
-                .collect();
-            shard.by_subject.clear();
-            shard.by_object.clear();
-            for cred in keep {
-                shard.insert(cred);
+                        None => true,
+                    })
+                    .collect();
+                shard.by_subject.clear();
+                shard.by_object.clear();
+                for cred in keep {
+                    shard.insert(cred);
+                }
             }
         }
         self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+        if purged > 0 {
+            let observer = self.inner.observer.read().clone();
+            if let Some(obs) = observer {
+                obs(RepoEvent::PurgedExpired { now, purged });
+            }
+        }
         purged
     }
 
     /// The repository's mutation epoch (see [`CredentialSource::version`]).
     pub fn epoch(&self) -> u64 {
         self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Bump the mutation epoch without changing contents. Recovery calls
+    /// this once after replay so negative proof-cache entries pinned to a
+    /// pre-crash epoch can never be mistaken for current.
+    pub fn bump_epoch(&self) -> u64 {
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Raise the mutation epoch to at least `floor` (no-op when already
+    /// past it). Recovery uses the highest epoch tag seen in the log so a
+    /// recovered repository's epoch is monotone across the crash.
+    pub fn raise_epoch(&self, floor: u64) {
+        self.inner.epoch.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// Install (or clear) the mutation observer. The callback fires after
+    /// each `publish` / effective `purge_expired`, outside all repository
+    /// locks — it may re-enter the repository. The durability layer
+    /// ([`crate::wal`]) is the intended consumer.
+    pub fn set_observer(&self, observer: Option<RepoObserver>) {
+        *self.inner.observer.write() = observer;
+    }
+
+    /// A deterministic snapshot of every stored credential with its home
+    /// node and reconstructed discovery tags, sorted by (home, credential
+    /// id). This is what WAL compaction persists: enough to rebuild the
+    /// shards *and* the tag index byte-for-byte.
+    pub fn snapshot_entries(&self) -> Vec<(EntityName, DiscoveryTag, Arc<SignedDelegation>)> {
+        let shards = self.inner.shards.read();
+        let tag_subject = self.inner.tag_subject.read();
+        let tag_object = self.inner.tag_object.read();
+        let mut out: Vec<(EntityName, DiscoveryTag, Arc<SignedDelegation>)> = Vec::new();
+        for (home, shard) in shards.iter() {
+            for cred in &shard.credentials {
+                let subj = tag_subject
+                    .get(&subject_key(&cred.body.subject))
+                    .is_some_and(|homes| homes.contains(home));
+                let obj = tag_object
+                    .get(&cred.body.object.to_string())
+                    .is_some_and(|homes| homes.contains(home));
+                let tag = match (subj, obj) {
+                    (true, true) => DiscoveryTag::Both,
+                    (true, false) => DiscoveryTag::SearchableFromSubject,
+                    (false, true) => DiscoveryTag::SearchableFromObject,
+                    (false, false) => DiscoveryTag::None,
+                };
+                out.push((home.clone(), tag, cred.clone()));
+            }
+        }
+        out.sort_by(|a, b| (&a.0 .0, a.2.id()).cmp(&(&b.0 .0, b.2.id())));
+        out
     }
 
     /// Snapshot the traffic counters.

@@ -22,10 +22,15 @@ pub struct RevocationNotice {
     pub credential_id: String,
 }
 
+/// Callback observing fresh revocations (see [`RevocationBus::set_observer`]).
+pub type RevocationObserver = Arc<dyn Fn(&str) + Send + Sync>;
+
 struct BusInner {
     revoked: Mutex<HashSet<String>>,
     // credential id → monitors watching it
     watchers: Mutex<HashMap<String, Vec<MonitorHandle>>>,
+    // Fresh-revocation observer (durability layer); invoked outside locks.
+    observer: Mutex<Option<RevocationObserver>>,
 }
 
 #[derive(Clone)]
@@ -54,6 +59,7 @@ impl RevocationBus {
             inner: Arc::new(BusInner {
                 revoked: Mutex::new(HashSet::new()),
                 watchers: Mutex::new(HashMap::new()),
+                observer: Mutex::new(None),
             }),
         }
     }
@@ -61,7 +67,7 @@ impl RevocationBus {
     /// Revoke a credential by id, waking every monitor that depends on it.
     pub fn revoke(&self, credential_id: &str) {
         psf_telemetry::counter!("psf.drbac.revocations").inc();
-        self.inner.revoked.lock().insert(credential_id.to_string());
+        let fresh = self.inner.revoked.lock().insert(credential_id.to_string());
         let watchers = {
             let mut map = self.inner.watchers.lock();
             map.remove(credential_id).unwrap_or_default()
@@ -73,6 +79,12 @@ impl RevocationBus {
                 credential_id: credential_id.to_string(),
             });
         }
+        if fresh {
+            let observer = self.inner.observer.lock().clone();
+            if let Some(obs) = observer {
+                obs(credential_id);
+            }
+        }
         psf_telemetry::audit::record(
             psf_telemetry::Decision::Revocation,
             "",
@@ -81,6 +93,69 @@ impl RevocationBus {
         )
         .detail(format!("{woken} monitor(s) invalidated"))
         .commit();
+    }
+
+    /// Install (or clear) the fresh-revocation observer. The callback
+    /// fires once per *newly* revoked id (duplicate revokes are silent),
+    /// outside all bus locks. The durability layer ([`crate::wal`]) uses
+    /// this to append `Revoke` records for revocations issued anywhere in
+    /// the stack — deployer rollbacks, supervisor teardowns, guards.
+    pub fn set_observer(&self, observer: Option<RevocationObserver>) {
+        *self.inner.observer.lock() = observer;
+    }
+
+    /// Snapshot of every revoked credential id, sorted (deterministic for
+    /// snapshots and tests). This is the drain side of the recovery API:
+    /// WAL compaction persists it so revocations outlive log truncation.
+    pub fn revoked_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.inner.revoked.lock().iter().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Re-seed the bus from a recovered revocation set: every id is
+    /// marked revoked and any monitor already watching it is invalidated
+    /// (re-broadcast), but the observer is *not* notified — restore is
+    /// how the durability layer replays its own log, and echoing the
+    /// records back would double-append them. The `psf.drbac.revocations`
+    /// counter advances by the number of newly restored ids, so the
+    /// metric survives restarts instead of resetting to zero. Returns
+    /// that count.
+    pub fn restore<I, S>(&self, credential_ids: I) -> usize
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut fresh = 0usize;
+        for id in credential_ids {
+            let id = id.as_ref();
+            if !self.inner.revoked.lock().insert(id.to_string()) {
+                continue;
+            }
+            fresh += 1;
+            let watchers = {
+                let mut map = self.inner.watchers.lock();
+                map.remove(id).unwrap_or_default()
+            };
+            for w in watchers {
+                w.valid.store(false, Ordering::SeqCst);
+                let _ = w.tx.send(RevocationNotice {
+                    credential_id: id.to_string(),
+                });
+            }
+        }
+        if fresh > 0 {
+            psf_telemetry::counter!("psf.drbac.revocations").add(fresh as u64);
+            psf_telemetry::audit::record(
+                psf_telemetry::Decision::Revocation,
+                "",
+                "wal-recovery",
+                psf_telemetry::Verdict::Revoked,
+            )
+            .detail(format!("{fresh} revocation(s) restored from durable log"))
+            .commit();
+        }
+        fresh
     }
 
     /// Whether a credential id has been revoked.

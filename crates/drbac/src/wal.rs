@@ -1,0 +1,1265 @@
+//! Durable write-ahead log for the credential repository.
+//!
+//! The in-memory sharded [`Repository`] loses every published delegation —
+//! and, worse, every revocation — on a crash: a restarted node would
+//! silently re-trust revoked credentials. This module makes the trust
+//! plane crash-safe, in the spirit of SAFE's durable linked-credential
+//! store (Thummala & Chase): every repository mutation is appended to an
+//! on-disk log *before* the caller regains control, and
+//! [`DurableRepository::open`] replays the log (plus the latest snapshot)
+//! to rebuild the exact pre-crash authorization state.
+//!
+//! ## Record format
+//!
+//! The log is a sequence of self-delimiting frames:
+//!
+//! ```text
+//! [u32 len][u32 crc32][payload]          len, crc little-endian
+//! payload = [u64 epoch][u8 kind][body]   crc covers the whole payload
+//! ```
+//!
+//! Kinds: `1` **Publish** (`u32`-prefixed home string, one tag byte,
+//! credential in [`SignedDelegation::to_wire`] framing), `2` **Revoke**
+//! (`u32`-prefixed credential id), `3` **PurgeExpired** (`u64` purge
+//! time). The epoch tag is the repository's mutation epoch at append
+//! time; recovery raises the rebuilt repository's epoch to the maximum
+//! seen and then bumps it once more, so any negative proof-cache entry
+//! pinned to a pre-crash epoch can never be mistaken for current.
+//!
+//! ## Torn writes, duplicates, ordering
+//!
+//! A crash mid-append leaves a torn tail. Recovery scans the log
+//! front-to-back and stops at the first frame whose header, length, CRC,
+//! or payload fails to decode; everything before is replayed, everything
+//! after is truncated (physically, by [`DurableRepository::open`];
+//! [`Repository::recover`] and [`verify_dir`] are read-only and never
+//! modify the files). Replay is duplicate-tolerant — a crash between
+//! snapshot rename and log truncation leaves both covering the same
+//! records, and `(home, credential-id)` dedup makes the overlap
+//! harmless — and out-of-order-revoke tolerant (a `Revoke` for an id the
+//! log never publishes still lands in the bus).
+//!
+//! ## Snapshots & compaction
+//!
+//! [`DurableRepository::compact`] writes the full repository + revocation
+//! state to `snapshot.tmp`, fsyncs, renames it over `snapshot.bin`,
+//! fsyncs the directory, and only then truncates the log. The snapshot
+//! carries a trailing CRC32 over its entire contents; a corrupt snapshot
+//! (torn rename on a filesystem without atomic rename durability) is
+//! ignored at recovery and reported in the [`RecoveryReport`].
+
+use crate::delegation::SignedDelegation;
+use crate::entity::EntityName;
+use crate::repository::{DiscoveryTag, RepoEvent, Repository};
+use crate::revocation::RevocationBus;
+use crate::wire::Reader;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Log file name inside a durable repository directory.
+pub const LOG_FILE: &str = "delegations.wal";
+/// Snapshot file name inside a durable repository directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Temporary snapshot name (renamed over [`SNAPSHOT_FILE`] when complete).
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+const SNAPSHOT_MAGIC: &[u8; 11] = b"PSF-SNAP-v1";
+/// Upper bound on a single record's payload; anything larger is treated
+/// as corruption (a credential is ~200 bytes, so this is generous).
+const MAX_RECORD_LEN: u32 = 1 << 24;
+
+const KIND_PUBLISH: u8 = 1;
+const KIND_REVOKE: u8 = 2;
+const KIND_PURGE: u8 = 3;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE, reflected 0xEDB88320) — table built at compile time so the
+// log needs no external checksum crate.
+// ---------------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC32 (IEEE 802.3 polynomial) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// A decoded log operation.
+// Publish dominates real logs, so boxing its credential would add an
+// allocation per replayed record to shrink the rare Revoke/Purge variants.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum WalOp {
+    /// A credential published at `home` with discovery tags `tag`.
+    Publish {
+        /// The home node the credential was stored at.
+        home: EntityName,
+        /// Its discovery tags.
+        tag: DiscoveryTag,
+        /// The credential itself.
+        cred: SignedDelegation,
+    },
+    /// A credential id revoked.
+    Revoke {
+        /// The revoked credential id.
+        id: String,
+    },
+    /// An expiry sweep at time `now`.
+    PurgeExpired {
+        /// The purge evaluation time.
+        now: u64,
+    },
+}
+
+/// One valid record found by [`scan_log`].
+#[derive(Debug, Clone)]
+pub struct ScannedRecord {
+    /// Byte offset of the record's frame header in the log.
+    pub offset: u64,
+    /// Repository epoch at append time.
+    pub epoch: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+/// Result of scanning a log image front-to-back.
+#[derive(Debug)]
+pub struct LogScan {
+    /// Every record up to the first corruption (or the end).
+    pub records: Vec<ScannedRecord>,
+    /// Bytes covered by valid records; the log's recoverable prefix.
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (torn tail / corruption).
+    pub truncated_bytes: u64,
+    /// Why the scan stopped early, if it did.
+    pub corruption: Option<String>,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_payload(epoch: u64, op: &WalOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    match op {
+        WalOp::Publish { home, tag, cred } => {
+            out.push(KIND_PUBLISH);
+            put_str(&mut out, &home.0);
+            out.push(tag.to_byte());
+            out.extend_from_slice(&cred.to_wire());
+        }
+        WalOp::Revoke { id } => {
+            out.push(KIND_REVOKE);
+            put_str(&mut out, id);
+        }
+        WalOp::PurgeExpired { now } => {
+            out.push(KIND_PURGE);
+            out.extend_from_slice(&now.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Frame a payload: `[u32 len][u32 crc][payload]`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Result<(u64, WalOp), String> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64().map_err(|e| e.to_string())?;
+    let kind = r.u8().map_err(|e| e.to_string())?;
+    let op = match kind {
+        KIND_PUBLISH => {
+            let home = r.string().map_err(|e| e.to_string())?;
+            let tag = DiscoveryTag::from_byte(r.u8().map_err(|e| e.to_string())?)
+                .ok_or_else(|| "bad discovery tag".to_string())?;
+            let cred = SignedDelegation::from_wire(&mut r).map_err(|e| e.to_string())?;
+            WalOp::Publish {
+                home: EntityName(home),
+                tag,
+                cred,
+            }
+        }
+        KIND_REVOKE => WalOp::Revoke {
+            id: r.string().map_err(|e| e.to_string())?,
+        },
+        KIND_PURGE => WalOp::PurgeExpired {
+            now: r.u64().map_err(|e| e.to_string())?,
+        },
+        k => return Err(format!("unknown record kind {k}")),
+    };
+    if !r.finished() {
+        return Err("trailing bytes in record payload".into());
+    }
+    Ok((epoch, op))
+}
+
+/// Scan a log image front-to-back, stopping at the first frame whose
+/// header, length, CRC, or payload fails to decode. Everything before the
+/// stop point is returned as valid records; everything after is the torn
+/// tail.
+pub fn scan_log(buf: &[u8]) -> LogScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut corruption = None;
+    while pos < buf.len() {
+        if pos + 8 > buf.len() {
+            corruption = Some("truncated frame header".into());
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD_LEN {
+            corruption = Some(format!("implausible record length {len}"));
+            break;
+        }
+        let end = pos + 8 + len as usize;
+        if end > buf.len() {
+            corruption = Some("truncated record body".into());
+            break;
+        }
+        let payload = &buf[pos + 8..end];
+        if crc32(payload) != crc {
+            corruption = Some(format!("checksum mismatch at offset {pos}"));
+            break;
+        }
+        match decode_payload(payload) {
+            Ok((epoch, op)) => records.push(ScannedRecord {
+                offset: pos as u64,
+                epoch,
+                op,
+            }),
+            Err(e) => {
+                corruption = Some(format!("undecodable record at offset {pos}: {e}"));
+                break;
+            }
+        }
+        pos = end;
+    }
+    LogScan {
+        valid_bytes: pos as u64,
+        truncated_bytes: (buf.len() - pos) as u64,
+        records,
+        corruption,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// A decoded snapshot: the full repository + revocation state at the
+/// moment of the last compaction.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Repository epoch when the snapshot was taken.
+    pub epoch: u64,
+    /// `(home, tag, credential)` entries, in compaction order.
+    pub entries: Vec<(EntityName, DiscoveryTag, SignedDelegation)>,
+    /// Revoked credential ids.
+    pub revoked: Vec<String>,
+}
+
+fn encode_snapshot(
+    epoch: u64,
+    entries: &[(EntityName, DiscoveryTag, Arc<SignedDelegation>)],
+    revoked: &[String],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (home, tag, cred) in entries {
+        put_str(&mut out, &home.0);
+        out.push(tag.to_byte());
+        out.extend_from_slice(&cred.to_wire());
+    }
+    out.extend_from_slice(&(revoked.len() as u32).to_le_bytes());
+    for id in revoked {
+        put_str(&mut out, id);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_snapshot(buf: &[u8]) -> Result<Snapshot, String> {
+    if buf.len() < SNAPSHOT_MAGIC.len() + 4 {
+        return Err("snapshot too short".into());
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err("snapshot checksum mismatch".into());
+    }
+    if &body[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err("bad snapshot magic".into());
+    }
+    let mut r = Reader::new(&body[SNAPSHOT_MAGIC.len()..]);
+    let epoch = r.u64().map_err(|e| e.to_string())?;
+    let n = r.u32().map_err(|e| e.to_string())? as usize;
+    if n > 1 << 24 {
+        return Err("implausible snapshot entry count".into());
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let home = r.string().map_err(|e| e.to_string())?;
+        let tag = DiscoveryTag::from_byte(r.u8().map_err(|e| e.to_string())?)
+            .ok_or_else(|| "bad discovery tag".to_string())?;
+        let cred = SignedDelegation::from_wire(&mut r).map_err(|e| e.to_string())?;
+        entries.push((EntityName(home), tag, cred));
+    }
+    let m = r.u32().map_err(|e| e.to_string())? as usize;
+    if m > 1 << 24 {
+        return Err("implausible snapshot revocation count".into());
+    }
+    let mut revoked = Vec::with_capacity(m);
+    for _ in 0..m {
+        revoked.push(r.string().map_err(|e| e.to_string())?);
+    }
+    if !r.finished() {
+        return Err("trailing bytes in snapshot".into());
+    }
+    Ok(Snapshot {
+        epoch,
+        entries,
+        revoked,
+    })
+}
+
+enum SnapshotLoad {
+    Missing,
+    Corrupt(String),
+    Loaded(Snapshot),
+}
+
+fn load_snapshot(path: &Path) -> std::io::Result<SnapshotLoad> {
+    match std::fs::read(path) {
+        Ok(buf) => Ok(match decode_snapshot(&buf) {
+            Ok(s) => SnapshotLoad::Loaded(s),
+            Err(e) => SnapshotLoad::Corrupt(e),
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(SnapshotLoad::Missing),
+        Err(e) => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// When the log file is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append: a record is durable before the mutating
+    /// call returns. The only policy under which "committed" in the
+    /// acceptance sense — survives `kill -9` — is guaranteed.
+    Always,
+    /// fsync every N appends: bounded loss window, much cheaper.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases. Survives
+    /// process crashes (the page cache persists) but not power loss.
+    Never,
+}
+
+/// Durability configuration for [`DurableRepository::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Fsync policy for log appends.
+    pub fsync: FsyncPolicy,
+    /// Compact (snapshot + truncate) automatically once this many records
+    /// have been appended since the last compaction. `None` = manual
+    /// compaction only.
+    pub auto_compact_appends: Option<u64>,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            fsync: FsyncPolicy::Always,
+            auto_compact_appends: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// What recovery found and did.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryReport {
+    /// Credentials restored from the snapshot.
+    pub snapshot_entries: usize,
+    /// Revocations restored from the snapshot.
+    pub snapshot_revocations: usize,
+    /// True when a snapshot file existed but failed its checksum and was
+    /// ignored (the log alone was replayed).
+    pub snapshot_corrupt: bool,
+    /// Log records replayed (after the snapshot).
+    pub records_replayed: usize,
+    /// Publish records applied (excluding duplicates).
+    pub publishes: usize,
+    /// Revocations restored to the bus, across snapshot and log.
+    pub revocations_restored: usize,
+    /// PurgeExpired records re-applied.
+    pub purges: usize,
+    /// Publish records skipped because the same `(home, credential-id)`
+    /// was already present (snapshot/log overlap after a crash between
+    /// snapshot rename and log truncation).
+    pub duplicates_skipped: usize,
+    /// Torn-tail bytes discarded from the end of the log.
+    pub truncated_bytes: u64,
+    /// Valid log bytes retained.
+    pub log_bytes: u64,
+    /// The repository's epoch after recovery (max seen, plus one).
+    pub epoch: u64,
+}
+
+/// What a compaction wrote and dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactReport {
+    /// Credentials written to the snapshot.
+    pub snapshot_entries: usize,
+    /// Revocation ids written to the snapshot.
+    pub snapshot_revocations: usize,
+    /// Log bytes truncated away.
+    pub log_bytes_dropped: u64,
+}
+
+/// Read-only integrity report from [`verify_dir`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Whether a snapshot file exists.
+    pub snapshot_present: bool,
+    /// Whether the snapshot failed its checksum.
+    pub snapshot_corrupt: bool,
+    /// Credentials in the snapshot (0 when absent/corrupt).
+    pub snapshot_entries: usize,
+    /// Revocation ids in the snapshot.
+    pub snapshot_revocations: usize,
+    /// Valid records in the log.
+    pub log_records: usize,
+    /// Bytes covered by valid records.
+    pub valid_bytes: u64,
+    /// Torn/corrupt bytes past the valid prefix.
+    pub truncated_bytes: u64,
+    /// Why the log scan stopped early, if it did.
+    pub corruption: Option<String>,
+}
+
+impl VerifyReport {
+    /// True when the directory recovers with zero data loss: no torn
+    /// tail, no corrupt snapshot.
+    pub fn is_clean(&self) -> bool {
+        self.truncated_bytes == 0 && !self.snapshot_corrupt
+    }
+}
+
+/// Live counters for a [`DurableRepository`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub appends: u64,
+    /// Explicit fsyncs issued since open.
+    pub fsyncs: u64,
+    /// Compactions performed since open.
+    pub compactions: u64,
+    /// Current log file size in bytes.
+    pub log_bytes: u64,
+    /// Current snapshot file size in bytes (0 when absent).
+    pub snapshot_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Replay (shared by open() and Repository::recover())
+// ---------------------------------------------------------------------------
+
+fn replay(
+    dir: &Path,
+    repo: &Repository,
+    bus: &RevocationBus,
+) -> std::io::Result<(RecoveryReport, LogScan)> {
+    let mut report = RecoveryReport::default();
+    let mut max_epoch = 0u64;
+    // (home, credential-id) pairs already applied — dedup for
+    // snapshot/log overlap and replayed double-publishes.
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+
+    match load_snapshot(&dir.join(SNAPSHOT_FILE))? {
+        SnapshotLoad::Missing => {}
+        SnapshotLoad::Corrupt(reason) => {
+            report.snapshot_corrupt = true;
+            psf_telemetry::audit::record(
+                psf_telemetry::Decision::Revocation,
+                "",
+                "wal-snapshot",
+                psf_telemetry::Verdict::Deny,
+            )
+            .detail(format!("snapshot ignored: {reason}"))
+            .commit();
+        }
+        SnapshotLoad::Loaded(snap) => {
+            max_epoch = max_epoch.max(snap.epoch);
+            for (home, tag, cred) in snap.entries {
+                seen.insert((home.0.clone(), cred.id()));
+                repo.publish(home, cred, tag);
+                report.snapshot_entries += 1;
+            }
+            report.snapshot_revocations = snap.revoked.len();
+            report.revocations_restored += bus.restore(&snap.revoked);
+        }
+    }
+
+    let log_image = match std::fs::read(dir.join(LOG_FILE)) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let scan = scan_log(&log_image);
+    for rec in &scan.records {
+        max_epoch = max_epoch.max(rec.epoch);
+        match &rec.op {
+            WalOp::Publish { home, tag, cred } => {
+                if seen.insert((home.0.clone(), cred.id())) {
+                    repo.publish(home.clone(), cred.clone(), *tag);
+                    report.publishes += 1;
+                } else {
+                    report.duplicates_skipped += 1;
+                }
+            }
+            WalOp::Revoke { id } => {
+                report.revocations_restored += bus.restore([id.as_str()]);
+            }
+            WalOp::PurgeExpired { now } => {
+                repo.purge_expired(*now);
+                report.purges += 1;
+            }
+        }
+    }
+    report.records_replayed = scan.records.len();
+    report.truncated_bytes = scan.truncated_bytes;
+    report.log_bytes = scan.valid_bytes;
+
+    // Epoch monotonicity across the crash: never below anything a cache
+    // may have pinned, and strictly above it so stale negative entries die.
+    repo.raise_epoch(max_epoch);
+    report.epoch = repo.bump_epoch();
+
+    psf_telemetry::counter!("psf.repo.wal.replays").add(report.records_replayed as u64);
+    psf_telemetry::counter!("psf.repo.wal.truncated_bytes").add(report.truncated_bytes);
+    Ok((report, scan))
+}
+
+impl Repository {
+    /// Rebuild a repository (and its revocation bus) from a durable
+    /// directory, **read-only**: the snapshot and log are scanned and
+    /// replayed but never modified — a torn tail is skipped, not
+    /// truncated. Use [`DurableRepository::open`] to recover *and* keep
+    /// logging.
+    pub fn recover(dir: &Path) -> std::io::Result<(Repository, RevocationBus, RecoveryReport)> {
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let (report, _) = replay(dir, &repo, &bus)?;
+        Ok((repo, bus, report))
+    }
+}
+
+/// Read-only integrity check of a durable repository directory — scans
+/// the snapshot and log without replaying or modifying anything. Backs
+/// `psf repo --verify`.
+pub fn verify_dir(dir: &Path) -> std::io::Result<VerifyReport> {
+    let (snapshot_present, snapshot_corrupt, snapshot_entries, snapshot_revocations) =
+        match load_snapshot(&dir.join(SNAPSHOT_FILE))? {
+            SnapshotLoad::Missing => (false, false, 0, 0),
+            SnapshotLoad::Corrupt(_) => (true, true, 0, 0),
+            SnapshotLoad::Loaded(s) => (true, false, s.entries.len(), s.revoked.len()),
+        };
+    let log_image = match std::fs::read(dir.join(LOG_FILE)) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let scan = scan_log(&log_image);
+    Ok(VerifyReport {
+        snapshot_present,
+        snapshot_corrupt,
+        snapshot_entries,
+        snapshot_revocations,
+        log_records: scan.records.len(),
+        valid_bytes: scan.valid_bytes,
+        truncated_bytes: scan.truncated_bytes,
+        corruption: scan.corruption,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DurableRepository
+// ---------------------------------------------------------------------------
+
+struct WalWriter {
+    file: File,
+    unsynced: u32,
+    appends_since_compact: u64,
+}
+
+struct WalInner {
+    dir: PathBuf,
+    config: WalConfig,
+    writer: Mutex<WalWriter>,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl WalInner {
+    /// Append one framed payload. Returns true when the auto-compaction
+    /// threshold was crossed (the caller compacts *after* releasing the
+    /// writer lock — compaction re-takes it).
+    fn append(&self, payload: &[u8]) -> std::io::Result<bool> {
+        let framed = frame(payload);
+        let mut w = self.writer.lock();
+        w.file.write_all(&framed)?;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.repo.wal.appends").inc();
+        w.unsynced += 1;
+        let sync = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => w.unsynced >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if sync {
+            w.file.sync_data()?;
+            w.unsynced = 0;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            psf_telemetry::counter!("psf.repo.wal.fsyncs").inc();
+        }
+        w.appends_since_compact += 1;
+        Ok(match self.config.auto_compact_appends {
+            Some(n) if n > 0 => w.appends_since_compact >= n,
+            _ => false,
+        })
+    }
+}
+
+/// A [`Repository`] + [`RevocationBus`] pair whose every mutation is
+/// appended to a crash-safe write-ahead log. The repository and bus are
+/// the ordinary in-memory types — guards, deployers, supervisors, and
+/// proof engines use them unchanged; durability rides on the observer
+/// hooks and is invisible to the rest of the stack.
+#[derive(Clone)]
+pub struct DurableRepository {
+    repo: Repository,
+    bus: RevocationBus,
+    inner: Arc<WalInner>,
+}
+
+impl DurableRepository {
+    /// Open (or create) a durable repository directory: replay
+    /// snapshot + log into a fresh repository/bus pair, physically
+    /// truncate any torn tail, then attach the logging observers so
+    /// subsequent mutations are appended. Returns the handle and the
+    /// recovery report.
+    pub fn open(
+        dir: &Path,
+        config: WalConfig,
+    ) -> std::io::Result<(DurableRepository, RecoveryReport)> {
+        std::fs::create_dir_all(dir)?;
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let (report, scan) = replay(dir, &repo, &bus)?;
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join(LOG_FILE))?;
+        if scan.truncated_bytes > 0 {
+            // Physically drop the torn tail so future appends start at a
+            // record boundary.
+            file.set_len(scan.valid_bytes)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let inner = Arc::new(WalInner {
+            dir: dir.to_path_buf(),
+            config,
+            writer: Mutex::new(WalWriter {
+                file,
+                unsynced: 0,
+                appends_since_compact: 0,
+            }),
+            appends: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        });
+
+        let durable = DurableRepository {
+            repo: repo.clone(),
+            bus: bus.clone(),
+            inner,
+        };
+
+        // Attach observers only now — replay must not re-log itself.
+        {
+            let d = durable.clone();
+            repo.set_observer(Some(Arc::new(move |ev: RepoEvent<'_>| {
+                let payload = match ev {
+                    RepoEvent::Published { home, cred, tag } => encode_payload(
+                        d.repo.epoch(),
+                        &WalOp::Publish {
+                            home: home.clone(),
+                            tag,
+                            cred: (**cred).clone(),
+                        },
+                    ),
+                    RepoEvent::PurgedExpired { now, .. } => {
+                        encode_payload(d.repo.epoch(), &WalOp::PurgeExpired { now })
+                    }
+                };
+                d.log_payload(&payload);
+            })));
+            let d = durable.clone();
+            bus.set_observer(Some(Arc::new(move |id: &str| {
+                let payload = encode_payload(d.repo.epoch(), &WalOp::Revoke { id: id.to_string() });
+                d.log_payload(&payload);
+            })));
+        }
+        Ok((durable, report))
+    }
+
+    fn log_payload(&self, payload: &[u8]) {
+        match self.inner.append(payload) {
+            Ok(true) => {
+                if let Err(e) = self.compact() {
+                    psf_telemetry::counter!("psf.repo.wal.errors").inc();
+                    psf_telemetry::audit::record(
+                        psf_telemetry::Decision::Revocation,
+                        "",
+                        "wal-compact",
+                        psf_telemetry::Verdict::Deny,
+                    )
+                    .detail(format!("auto-compaction failed: {e}"))
+                    .commit();
+                }
+            }
+            Ok(false) => {}
+            Err(e) => {
+                // The in-memory mutation already happened; all we can do
+                // is surface the durability gap loudly.
+                psf_telemetry::counter!("psf.repo.wal.errors").inc();
+                psf_telemetry::audit::record(
+                    psf_telemetry::Decision::Revocation,
+                    "",
+                    "wal-append",
+                    psf_telemetry::Verdict::Deny,
+                )
+                .detail(format!("append failed: {e}"))
+                .commit();
+            }
+        }
+    }
+
+    /// The in-memory repository (shared handle). Mutations through it are
+    /// logged transparently.
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// The revocation bus (shared handle). Revocations through it are
+    /// logged transparently.
+    pub fn bus(&self) -> &RevocationBus {
+        &self.bus
+    }
+
+    /// The durable directory this repository logs to.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Force an fsync of the log regardless of policy.
+    pub fn sync(&self) -> std::io::Result<()> {
+        let mut w = self.inner.writer.lock();
+        w.file.sync_data()?;
+        w.unsynced = 0;
+        self.inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.repo.wal.fsyncs").inc();
+        Ok(())
+    }
+
+    /// Snapshot the full repository + revocation state and truncate the
+    /// log: write `snapshot.tmp`, fsync, rename over `snapshot.bin`,
+    /// fsync the directory, then truncate the log to zero. A crash at any
+    /// point leaves a recoverable directory (the snapshot/log overlap
+    /// after an un-truncated rename is absorbed by replay dedup).
+    pub fn compact(&self) -> std::io::Result<CompactReport> {
+        // Writer lock held for the whole operation: no appends interleave
+        // with the truncate. Observers fire outside repository locks, so
+        // reading snapshot state here cannot deadlock with a publisher.
+        let mut w = self.inner.writer.lock();
+        let entries = self.repo.snapshot_entries();
+        let revoked = self.bus.revoked_ids();
+        let image = encode_snapshot(self.repo.epoch(), &entries, &revoked);
+
+        let tmp = self.inner.dir.join(SNAPSHOT_TMP);
+        let dst = self.inner.dir.join(SNAPSHOT_FILE);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &dst)?;
+        if let Ok(d) = File::open(&self.inner.dir) {
+            let _ = d.sync_all(); // directory entry durability (best effort)
+        }
+
+        let dropped = w.file.seek(SeekFrom::End(0))?;
+        w.file.set_len(0)?;
+        w.file.seek(SeekFrom::Start(0))?;
+        w.file.sync_data()?;
+        w.unsynced = 0;
+        w.appends_since_compact = 0;
+
+        self.inner.compactions.fetch_add(1, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.repo.wal.snapshot").inc();
+        Ok(CompactReport {
+            snapshot_entries: entries.len(),
+            snapshot_revocations: revoked.len(),
+            log_bytes_dropped: dropped,
+        })
+    }
+
+    /// Live durability counters + current file sizes.
+    pub fn stats(&self) -> WalStats {
+        let log_bytes = std::fs::metadata(self.inner.dir.join(LOG_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let snapshot_bytes = std::fs::metadata(self.inner.dir.join(SNAPSHOT_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        WalStats {
+            appends: self.inner.appends.load(Ordering::Relaxed),
+            fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+            log_bytes,
+            snapshot_bytes,
+        }
+    }
+
+    /// Detach the logging observers (used by tests simulating a crash:
+    /// the files stay as-is, the in-memory halves keep working unlogged).
+    pub fn detach(&self) {
+        self.repo.set_observer(None);
+        self.bus.set_observer(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegation::DelegationBuilder;
+    use crate::entity::Entity;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "psf-wal-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn cred(issuer: &Entity, subject: &Entity, role: &str) -> SignedDelegation {
+        DelegationBuilder::new(issuer)
+            .subject_entity(subject)
+            .role(issuer.role(role))
+            .sign()
+    }
+
+    fn repo_fingerprint(repo: &Repository) -> Vec<String> {
+        repo.all_credentials().iter().map(|c| c.id()).collect()
+    }
+
+    #[test]
+    fn record_roundtrip_all_kinds() {
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        let ops = [
+            WalOp::Publish {
+                home: ny.name.clone(),
+                tag: DiscoveryTag::Both,
+                cred: cred(&ny, &alice, "Member"),
+            },
+            WalOp::Revoke {
+                id: "abc123".into(),
+            },
+            WalOp::PurgeExpired { now: 42 },
+        ];
+        let mut log = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            log.extend_from_slice(&frame(&encode_payload(i as u64 + 7, op)));
+        }
+        let scan = scan_log(&log);
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.records[0].epoch, 7);
+        assert!(matches!(scan.records[1].op, WalOp::Revoke { ref id } if id == "abc123"));
+        assert!(matches!(
+            scan.records[2].op,
+            WalOp::PurgeExpired { now: 42 }
+        ));
+    }
+
+    #[test]
+    fn empty_log_recovers_empty() {
+        let dir = tmpdir("empty");
+        let (repo, bus, report) = Repository::recover(&dir).unwrap();
+        assert!(repo.is_empty());
+        assert_eq!(bus.revoked_count(), 0);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn publish_revoke_survive_reopen() {
+        let dir = tmpdir("reopen");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        let c = cred(&ny, &alice, "Member");
+        let id = c.id();
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository().publish_at_issuer(c.clone());
+            d.bus().revoke(&id);
+            d.detach(); // simulate crash: no clean shutdown path exists anyway
+        }
+        let (d2, report) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.records_replayed, 2);
+        assert_eq!(report.publishes, 1);
+        assert_eq!(report.revocations_restored, 1);
+        assert_eq!(d2.repository().len(), 1);
+        assert!(d2.bus().is_revoked(&id));
+        let found = d2.repository().query_by_subject(&alice.as_subject());
+        assert_eq!(found.len(), 1);
+        assert_eq!(**found.first().unwrap(), c);
+    }
+
+    #[test]
+    fn torn_tail_truncated_committed_prefix_survives() {
+        let dir = tmpdir("torn");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        let bob = Entity::with_seed("Bob", b"wal");
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository()
+                .publish_at_issuer(cred(&ny, &alice, "Member"));
+            d.repository().publish_at_issuer(cred(&ny, &bob, "Member"));
+        }
+        // Tear the log mid-record: append a partial frame.
+        let log = dir.join(LOG_FILE);
+        let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(&[0x44, 0x01, 0x00, 0x00, 0xde, 0xad]).unwrap();
+        drop(f);
+        let before = std::fs::metadata(&log).unwrap().len();
+
+        let (d2, report) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.records_replayed, 2);
+        assert_eq!(report.truncated_bytes, 6);
+        assert_eq!(d2.repository().len(), 2);
+        // The torn tail was physically removed.
+        let after = std::fs::metadata(&log).unwrap().len();
+        assert_eq!(after, before - 6);
+    }
+
+    #[test]
+    fn corrupt_record_stops_scan_at_checksum() {
+        let dir = tmpdir("corrupt");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        let bob = Entity::with_seed("Bob", b"wal");
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository()
+                .publish_at_issuer(cred(&ny, &alice, "Member"));
+            d.repository().publish_at_issuer(cred(&ny, &bob, "Member"));
+            d.repository().publish_at_issuer(cred(&ny, &bob, "Partner"));
+        }
+        let log = dir.join(LOG_FILE);
+        let mut image = std::fs::read(&log).unwrap();
+        let scan = scan_log(&image);
+        assert_eq!(scan.records.len(), 3);
+        // Flip one payload byte inside the second record.
+        let off = scan.records[1].offset as usize + 12;
+        image[off] ^= 0xff;
+        std::fs::write(&log, &image).unwrap();
+
+        let verify = verify_dir(&dir).unwrap();
+        assert_eq!(verify.log_records, 1);
+        assert!(verify.truncated_bytes > 0);
+        assert!(!verify.is_clean());
+        assert!(verify.corruption.unwrap().contains("checksum"));
+
+        let (repo, _, report) = Repository::recover(&dir).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(repo.len(), 1);
+        // recover() is read-only: the corrupt image is untouched.
+        assert_eq!(std::fs::read(&log).unwrap(), image);
+    }
+
+    #[test]
+    fn snapshot_plus_tail_replay() {
+        let dir = tmpdir("snap");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        let bob = Entity::with_seed("Bob", b"wal");
+        let carol = Entity::with_seed("Carol", b"wal");
+        let c_alice = cred(&ny, &alice, "Member");
+        let revoked_id;
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository().publish_at_issuer(c_alice.clone());
+            let c_bob = cred(&ny, &bob, "Member");
+            revoked_id = c_bob.id();
+            d.repository().publish_at_issuer(c_bob);
+            d.bus().revoke(&revoked_id);
+            let r = d.compact().unwrap();
+            assert_eq!(r.snapshot_entries, 2);
+            assert_eq!(r.snapshot_revocations, 1);
+            assert_eq!(std::fs::metadata(dir.join(LOG_FILE)).unwrap().len(), 0);
+            // Tail after the snapshot.
+            d.repository()
+                .publish_at_issuer(cred(&ny, &carol, "Partner"));
+        }
+        let (d2, report) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.snapshot_entries, 2);
+        assert_eq!(report.snapshot_revocations, 1);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(d2.repository().len(), 3);
+        assert!(d2.bus().is_revoked(&revoked_id));
+        // Tag reconstruction: alice still findable via directed query.
+        d2.repository().reset_stats();
+        let found = d2.repository().query_by_subject(&alice.as_subject());
+        assert_eq!(found.len(), 1);
+        assert_eq!(d2.repository().stats().directed, 1);
+    }
+
+    #[test]
+    fn snapshot_log_overlap_deduplicated() {
+        // Simulate a crash between snapshot rename and log truncation:
+        // both cover the same publish.
+        let dir = tmpdir("overlap");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository()
+                .publish_at_issuer(cred(&ny, &alice, "Member"));
+            let log_before = std::fs::read(dir.join(LOG_FILE)).unwrap();
+            d.compact().unwrap();
+            // Put the pre-compaction log back (the "un-truncated" state).
+            std::fs::write(dir.join(LOG_FILE), &log_before).unwrap();
+        }
+        let (d2, report) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.snapshot_entries, 1);
+        assert_eq!(report.duplicates_skipped, 1);
+        assert_eq!(d2.repository().len(), 1, "no double-publish");
+    }
+
+    #[test]
+    fn corrupt_snapshot_ignored_log_still_replayed() {
+        let dir = tmpdir("badsnap");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository()
+                .publish_at_issuer(cred(&ny, &alice, "Member"));
+            d.compact().unwrap();
+            d.repository()
+                .publish_at_issuer(cred(&ny, &alice, "Partner"));
+        }
+        // Corrupt the snapshot body.
+        let snap = dir.join(SNAPSHOT_FILE);
+        let mut image = std::fs::read(&snap).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0xff;
+        std::fs::write(&snap, &image).unwrap();
+
+        let (repo, _, report) = Repository::recover(&dir).unwrap();
+        assert!(report.snapshot_corrupt);
+        assert_eq!(report.snapshot_entries, 0);
+        // Only the post-compaction tail survives — the report says so.
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn purge_expired_replays() {
+        let dir = tmpdir("purge");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository()
+                .publish_at_issuer(cred(&ny, &alice, "Member"));
+            let doomed = DelegationBuilder::new(&ny)
+                .subject_entity(&alice)
+                .role(ny.role("Guest"))
+                .expires(100)
+                .sign();
+            d.repository().publish_at_issuer(doomed);
+            assert_eq!(d.repository().purge_expired(200), 1);
+        }
+        let (repo, _, report) = Repository::recover(&dir).unwrap();
+        assert_eq!(report.purges, 1);
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn recovered_epoch_strictly_above_logged_epochs() {
+        let dir = tmpdir("epoch");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        let logged_epoch;
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository()
+                .publish_at_issuer(cred(&ny, &alice, "Member"));
+            logged_epoch = d.repository().epoch();
+        }
+        let (repo, _, report) = Repository::recover(&dir).unwrap();
+        assert!(
+            report.epoch > logged_epoch,
+            "epoch {} must exceed pre-crash {}",
+            report.epoch,
+            logged_epoch
+        );
+        assert_eq!(repo.epoch(), report.epoch);
+    }
+
+    #[test]
+    fn fsync_policies_all_recover() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(3),
+            FsyncPolicy::Never,
+        ] {
+            let dir = tmpdir("policy");
+            let ny = Entity::with_seed("Comp.NY", b"wal");
+            let cfg = WalConfig {
+                fsync: policy,
+                auto_compact_appends: None,
+            };
+            {
+                let (d, _) = DurableRepository::open(&dir, cfg).unwrap();
+                for i in 0..5 {
+                    let who = Entity::with_seed(format!("U{i}"), b"wal");
+                    d.repository().publish_at_issuer(cred(&ny, &who, "Member"));
+                }
+                let stats = d.stats();
+                assert_eq!(stats.appends, 5);
+                match policy {
+                    FsyncPolicy::Always => assert_eq!(stats.fsyncs, 5),
+                    FsyncPolicy::EveryN(3) => assert_eq!(stats.fsyncs, 1),
+                    _ => assert_eq!(stats.fsyncs, 0),
+                }
+            }
+            let (repo, _, _) = Repository::recover(&dir).unwrap();
+            assert_eq!(repo.len(), 5, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn auto_compaction_triggers_and_recovers() {
+        let dir = tmpdir("auto");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let cfg = WalConfig {
+            fsync: FsyncPolicy::Never,
+            auto_compact_appends: Some(4),
+        };
+        let oracle_ids;
+        {
+            let (d, _) = DurableRepository::open(&dir, cfg).unwrap();
+            for i in 0..10 {
+                let who = Entity::with_seed(format!("U{i}"), b"wal");
+                d.repository().publish_at_issuer(cred(&ny, &who, "Member"));
+            }
+            assert!(d.stats().compactions >= 2, "10 appends / threshold 4");
+            oracle_ids = repo_fingerprint(d.repository());
+        }
+        let (repo, _, _) = Repository::recover(&dir).unwrap();
+        assert_eq!(repo_fingerprint(&repo), oracle_ids);
+    }
+
+    #[test]
+    fn recovered_state_matches_never_crashed_oracle() {
+        let dir = tmpdir("oracle");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let oracle_repo = Repository::new();
+        let oracle_bus = RevocationBus::new();
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            for i in 0..6 {
+                let who = Entity::with_seed(format!("U{i}"), b"wal");
+                let c = cred(&ny, &who, "Member");
+                oracle_repo.publish_at_issuer(c.clone());
+                d.repository().publish_at_issuer(c.clone());
+                if i % 2 == 0 {
+                    oracle_bus.revoke(&c.id());
+                    d.bus().revoke(&c.id());
+                }
+            }
+        }
+        let (repo, bus, _) = Repository::recover(&dir).unwrap();
+        assert_eq!(repo_fingerprint(&repo), repo_fingerprint(&oracle_repo));
+        assert_eq!(bus.revoked_ids(), oracle_bus.revoked_ids());
+    }
+}

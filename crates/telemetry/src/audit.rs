@@ -362,6 +362,83 @@ impl AuditRecordBuilder {
     }
 }
 
+/// A JSONL audit export target with optional crash-durability: when
+/// `fsync_on_drop` is set, the file is fsynced before the handle closes,
+/// so the audit trail survives the same `kill -9` the repository WAL
+/// does. Off by default — export paths that only feed dashboards should
+/// not pay the sync.
+pub struct AuditSink {
+    file: std::fs::File,
+    path: std::path::PathBuf,
+    fsync_on_drop: bool,
+    lines: usize,
+}
+
+impl AuditSink {
+    /// Create (truncate) the sink file.
+    pub fn create(path: impl Into<std::path::PathBuf>) -> std::io::Result<AuditSink> {
+        let path = path.into();
+        Ok(AuditSink {
+            file: std::fs::File::create(&path)?,
+            path,
+            fsync_on_drop: false,
+            lines: 0,
+        })
+    }
+
+    /// Opt in to fsync-on-drop durability.
+    pub fn fsync_on_drop(mut self, on: bool) -> AuditSink {
+        self.fsync_on_drop = on;
+        self
+    }
+
+    /// Where the sink writes.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// JSONL lines written so far.
+    pub fn lines_written(&self) -> usize {
+        self.lines
+    }
+
+    /// Write a log's current buffer as JSON lines. Returns the number of
+    /// records written.
+    pub fn write_log(&mut self, log: &AuditLog) -> std::io::Result<usize> {
+        use std::io::Write as _;
+        let jsonl = log.export_jsonl();
+        let n = jsonl.lines().count();
+        self.file.write_all(jsonl.as_bytes())?;
+        self.lines += n;
+        Ok(n)
+    }
+
+    /// Append a single record as one JSON line.
+    pub fn write_record(&mut self, record: &AuditRecord) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut line = AuditLog::render_jsonl(record);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Flush and fsync immediately (independent of the drop policy).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+}
+
+impl Drop for AuditSink {
+    fn drop(&mut self) {
+        if self.fsync_on_drop {
+            let _ = self.sync();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +457,25 @@ mod tests {
             epoch: None,
             detail: String::new(),
         }
+    }
+
+    #[test]
+    fn sink_writes_and_syncs_jsonl() {
+        let path = std::env::temp_dir().join(format!("psf-audit-sink-{}", std::process::id()));
+        let log = AuditLog::with_capacity(8);
+        log.record(rec("Alice", Verdict::Allow));
+        log.record(rec("Bob", Verdict::Deny));
+        {
+            let mut sink = AuditSink::create(&path).unwrap().fsync_on_drop(true);
+            assert_eq!(sink.write_log(&log).unwrap(), 2);
+            sink.write_record(&log.snapshot()[0]).unwrap();
+            assert_eq!(sink.lines_written(), 3);
+            assert_eq!(sink.path(), path.as_path());
+        } // drop fsyncs
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -725,3 +725,181 @@ proptest! {
         let _ = psf_analysis::FixtureWorld::parse(&real[..cut]);
     }
 }
+
+// -------------------------------------------------- durability / WAL --
+
+/// One step of a random durable-repository workload.
+#[derive(Debug, Clone)]
+enum WalStep {
+    /// Publish a fresh `PD{domain}.R -> PropUser` credential, optionally
+    /// expiring at logical second `expires`.
+    Publish { domain: usize, expires: Option<u64> },
+    /// Revoke one of the previously issued credentials (modulo-indexed).
+    Revoke { pick: usize },
+    /// Purge everything expired as of logical second `now`.
+    Purge { now: u64 },
+}
+
+fn arb_wal_step() -> impl Strategy<Value = WalStep> {
+    // Publish twice: bias the unweighted union toward growing the log.
+    prop_oneof![
+        (0usize..8, proptest::option::of(1u64..64))
+            .prop_map(|(domain, expires)| WalStep::Publish { domain, expires }),
+        (0usize..8, proptest::option::of(1u64..64))
+            .prop_map(|(domain, expires)| WalStep::Publish { domain, expires }),
+        (0usize..32).prop_map(|pick| WalStep::Revoke { pick }),
+        (1u64..64).prop_map(|now| WalStep::Purge { now }),
+    ]
+}
+
+fn wal_tmpdir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "psf-prop-wal-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crash injection: run a random publish/revoke/purge workload against
+    /// a durable repository, cut the WAL at a random byte offset (a torn
+    /// write), recover, and require authorization state identical to an
+    /// in-memory oracle built from the records that survived the cut —
+    /// same `prove` outcome, same view selection, same credential ids,
+    /// same revocation set. A writable reopen must then truncate the tail
+    /// and leave the directory verifiably clean.
+    #[test]
+    fn recovery_matches_never_crashed_oracle(
+        steps in proptest::collection::vec(arb_wal_step(), 1..24),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        use psf_drbac::wal::{self, DurableRepository, FsyncPolicy, WalConfig};
+        use psf_views::ViewAcl;
+
+        let dir = wal_tmpdir();
+        let user = Entity::with_seed("PropUser", b"prop-wal");
+        let domains: Vec<Entity> = (0..8)
+            .map(|i| Entity::with_seed(format!("PD{i}"), b"prop-wal"))
+            .collect();
+
+        // --- Run the workload against the durable repository. ---
+        let mut issued: Vec<String> = Vec::new();
+        {
+            let (d, _) = DurableRepository::open(
+                &dir,
+                WalConfig { fsync: FsyncPolicy::Never, auto_compact_appends: None },
+            ).unwrap();
+            for step in &steps {
+                match step {
+                    WalStep::Publish { domain, expires } => {
+                        let dom = &domains[*domain];
+                        let mut b = DelegationBuilder::new(dom)
+                            .subject_entity(&user)
+                            .role(dom.role("R"));
+                        if let Some(e) = expires {
+                            b = b.expires(*e);
+                        }
+                        let cred = b.sign();
+                        issued.push(cred.id());
+                        d.repository().publish_at_issuer(cred);
+                    }
+                    WalStep::Revoke { pick } => {
+                        if !issued.is_empty() {
+                            d.bus().revoke(&issued[pick % issued.len()]);
+                        }
+                    }
+                    WalStep::Purge { now } => {
+                        d.repository().purge_expired(*now);
+                    }
+                }
+            }
+            d.sync().unwrap();
+        }
+
+        // --- Tear the log at a random byte offset. ---
+        let log = dir.join(wal::LOG_FILE);
+        let full = std::fs::read(&log).unwrap();
+        // A workload of no-ops (revokes with nothing issued) commits no
+        // records; there is nothing to tear.
+        prop_assume!(!full.is_empty());
+        let cut = 1 + ((full.len() - 1) as f64 * cut_ratio) as u64;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        // --- Oracle: apply the surviving records through the public API,
+        // never having crashed. ---
+        let torn = std::fs::read(&log).unwrap();
+        let scan = wal::scan_log(&torn);
+        let oracle_repo = Repository::new();
+        let oracle_bus = RevocationBus::new();
+        for rec in &scan.records {
+            match &rec.op {
+                wal::WalOp::Publish { home, tag, cred } => {
+                    oracle_repo.publish(home.clone(), cred.clone(), *tag)
+                }
+                wal::WalOp::Revoke { id } => oracle_bus.revoke(id),
+                wal::WalOp::PurgeExpired { now } => {
+                    oracle_repo.purge_expired(*now);
+                }
+            }
+        }
+
+        // --- Recover and compare. ---
+        let (rec_repo, rec_bus, report) = Repository::recover(&dir).unwrap();
+        prop_assert_eq!(report.records_replayed, scan.records.len());
+
+        let registry = EntityRegistry::new();
+        registry.register(&user);
+        for dom in &domains {
+            registry.register(dom);
+        }
+        let subject = user.as_subject();
+        let oracle_engine = ProofEngine::new(&registry, &oracle_repo, &oracle_bus, 0);
+        let rec_engine = ProofEngine::new(&registry, &rec_repo, &rec_bus, 0);
+        for dom in &domains {
+            let role = dom.role("R");
+            prop_assert_eq!(
+                oracle_engine.check(&subject, &role, &[]),
+                rec_engine.check(&subject, &role, &[]),
+                "prove divergence on {}", role
+            );
+            let acl = ViewAcl::new().rule(role.clone(), "FullView");
+            prop_assert_eq!(
+                acl.authorize_once(&subject, &[], &registry, &oracle_repo, &oracle_bus, 0).is_some(),
+                acl.authorize_once(&subject, &[], &registry, &rec_repo, &rec_bus, 0).is_some(),
+                "view selection divergence on {}", dom.name
+            );
+        }
+        // Replay dedups repeated publishes of the same credential (the
+        // duplicate-tolerance rule that absorbs snapshot/log overlap), so
+        // compare the *distinct* committed id sets.
+        let ids = |repo: &Repository| {
+            let mut v: Vec<String> = repo.all_credentials().iter().map(|c| c.id()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(ids(&oracle_repo), ids(&rec_repo));
+        prop_assert_eq!(oracle_bus.revoked_ids(), rec_bus.revoked_ids());
+
+        // --- A writable reopen truncates the tail; the directory must
+        // then verify clean. ---
+        drop(DurableRepository::open(&dir, WalConfig::default()).unwrap());
+        let v = wal::verify_dir(&dir).unwrap();
+        prop_assert!(v.is_clean());
+        prop_assert_eq!(v.truncated_bytes, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
