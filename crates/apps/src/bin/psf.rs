@@ -75,26 +75,33 @@ fn usage() -> ! {
          \x20                               run the mail scenario under a\n\
          \x20                               seeded schedule of link/node/deploy\n\
          \x20                               faults plus WAL crash injection\n\
-         \x20                               (torn tail, corrupt record); print\n\
-         \x20                               a recovery report\n\
-         \x20 repo --dir DIR [--verify|--stats|--compact] [--fill N]\n\
+         \x20                               (torn tail, corrupt record, torn\n\
+         \x20                               shard segment); print a recovery\n\
+         \x20                               report\n\
+         \x20 repo --dir DIR [--verify|--stats|--compact] [--fill N] [--shards S]\n\
          \x20                               inspect or maintain a durable\n\
-         \x20                               credential repository: --verify\n\
-         \x20                               checks snapshot+log integrity\n\
-         \x20                               (exit 1 on torn/corrupt bytes),\n\
-         \x20                               --stats prints sizes and replay\n\
+         \x20                               credential repository (sharded\n\
+         \x20                               layouts are auto-detected):\n\
+         \x20                               --verify checks every segment's\n\
+         \x20                               snapshot+log integrity (exit 1 on\n\
+         \x20                               torn/corrupt bytes), --stats\n\
+         \x20                               prints per-shard sizes and replay\n\
          \x20                               counts, --compact snapshots and\n\
-         \x20                               truncates the log, --fill seeds N\n\
-         \x20                               synthetic records (demo/bench)\n\
+         \x20                               truncates the log(s), --fill seeds\n\
+         \x20                               N synthetic records (with --shards\n\
+         \x20                               S into a sharded layout)\n\
          \x20 bench --json [--out PATH] [--quick] [--check]\n\
          \x20                               time the warm/cold authorization\n\
-         \x20                               and planner fast paths plus the\n\
-         \x20                               Switchboard data plane; write the\n\
+         \x20                               and planner fast paths, the\n\
+         \x20                               Switchboard data plane, and the\n\
+         \x20                               sharded repository; write the\n\
          \x20                               results as JSON (BENCH_pr3.json,\n\
-         \x20                               BENCH_pr4.json); --check exits 1\n\
-         \x20                               unless warm >= 2x cold, pipelined\n\
-         \x20                               RPC >= 2x serial, and the SLO\n\
-         \x20                               table holds\n\
+         \x20                               BENCH_pr4.json, BENCH_pr8.json);\n\
+         \x20                               --check exits 1 unless warm >= 2x\n\
+         \x20                               cold, pipelined RPC >= 2x serial,\n\
+         \x20                               p99 tag lookup <= 50 us, parallel\n\
+         \x20                               publish >= 4x single-lock, and\n\
+         \x20                               the SLO table holds\n\
          \x20 audit [--json] [--subject S] [--deny-only] [--trace HEX]\n\
          \x20                               run the full stack, then replay\n\
          \x20                               the authorization audit trail\n\
@@ -944,6 +951,55 @@ fn chaos(cli: &Cli, args: &[String]) -> i32 {
         }
     }
 
+    // Phase 11 — torn shard segment: run the workload against a SHARDED
+    // durable directory, cut one shard's WAL mid-record, and require
+    // recovery to match an oracle built from the surviving records of
+    // every segment. The other shards must lose nothing.
+    {
+        let dir = wal_root.join("sharded-torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        match sharded_wal_workload(&dir, seed ^ 0x5aa5) {
+            Ok((domains, user)) => {
+                // Pick the first shard whose log is big enough to cut.
+                let mut victim = None;
+                for i in 0..8 {
+                    let log = dir
+                        .join(psf_drbac::wal::shard_dir_name(i))
+                        .join(psf_drbac::wal::LOG_FILE);
+                    let len = std::fs::metadata(&log).map(|m| m.len()).unwrap_or(0);
+                    if len >= 2 {
+                        victim = Some((i, log, len));
+                        break;
+                    }
+                }
+                let (ok, detail) = match victim {
+                    Some((i, log, len)) => {
+                        let cut = 1 + mix64(seed ^ 0x5eed) % (len - 1);
+                        match std::fs::OpenOptions::new()
+                            .write(true)
+                            .open(&log)
+                            .and_then(|f| f.set_len(cut))
+                        {
+                            Ok(()) => {
+                                let (ok, d) = sharded_wal_check(&dir, &domains, &user);
+                                (ok, format!("shard {i} cut at byte {cut}/{len}; {d}"))
+                            }
+                            Err(e) => (false, format!("cannot tear shard log: {e}")),
+                        }
+                    }
+                    None => (false, "no shard log to tear".to_string()),
+                };
+                phase("sharded-wal-torn-shard", ok, detail, &mut failures);
+            }
+            Err(e) => phase(
+                "sharded-wal-torn-shard",
+                false,
+                format!("workload: {e}"),
+                &mut failures,
+            ),
+        }
+    }
+
     // The recovery report is the result: print it even under --quiet.
     println!("chaos recovery report (seed {seed}):");
     for (label, name, base) in [
@@ -1039,6 +1095,11 @@ fn wal_check(
                 oracle_repo.publish(home.clone(), cred.clone(), *tag)
             }
             wal::WalOp::Revoke { id } => oracle_bus.revoke(id),
+            wal::WalOp::RevokeBatch { ids } => {
+                for id in ids {
+                    oracle_bus.revoke(id);
+                }
+            }
             wal::WalOp::PurgeExpired { now } => {
                 oracle_repo.purge_expired(*now);
             }
@@ -1110,6 +1171,162 @@ fn wal_check(
     }
 }
 
+/// The [`wal_workload`] twin for the sharded layout: the same seeded
+/// publish/revoke schedule against an 8-shard durable directory, so the
+/// records scatter across per-shard WAL segments.
+fn sharded_wal_workload(
+    dir: &std::path::Path,
+    seed: u64,
+) -> std::io::Result<(Vec<psf_drbac::Entity>, psf_drbac::Entity)> {
+    use psf_drbac::wal::{FsyncPolicy, ShardedDurableRepository, WalConfig};
+    use psf_drbac::DelegationBuilder;
+    let (d, _) = ShardedDurableRepository::open(
+        dir,
+        8,
+        WalConfig {
+            fsync: FsyncPolicy::Never,
+            auto_compact_appends: None,
+        },
+    )?;
+    let user = psf_drbac::Entity::with_seed("ChaosUser", b"chaos-wal");
+    let mut domains = Vec::new();
+    for i in 0..12u64 {
+        let dom = psf_drbac::Entity::with_seed(format!("CD{i}"), b"chaos-wal");
+        let cred = DelegationBuilder::new(&dom)
+            .subject_entity(&user)
+            .role(dom.role("R"))
+            .sign();
+        let id = cred.id();
+        d.repository().publish_at_issuer(cred);
+        if mix64(seed ^ i).is_multiple_of(3) {
+            d.bus().revoke(&id);
+        }
+        domains.push(dom);
+    }
+    d.sync()?;
+    d.detach();
+    Ok((domains, user))
+}
+
+/// The [`wal_check`] twin for the sharded layout: rebuild the oracle from
+/// the valid records of EVERY segment (the torn shard contributes only
+/// its surviving prefix), recover, and require identical authorization
+/// state and decisions. A writable reopen must then truncate the tail and
+/// leave every segment verifying clean.
+fn sharded_wal_check(
+    dir: &std::path::Path,
+    domains: &[psf_drbac::Entity],
+    user: &psf_drbac::Entity,
+) -> (bool, String) {
+    use psf_drbac::entity::EntityRegistry;
+    use psf_drbac::repository::Repository;
+    use psf_drbac::revocation::RevocationBus;
+    use psf_drbac::wal::{self, ShardedDurableRepository, WalConfig};
+
+    let oracle_repo = Repository::new();
+    let oracle_bus = RevocationBus::new();
+    let mut segment_dirs: Vec<std::path::PathBuf> =
+        (0..8).map(|i| dir.join(wal::shard_dir_name(i))).collect();
+    segment_dirs.push(dir.join(wal::BUS_DIR));
+    for seg in &segment_dirs {
+        let image = match std::fs::read(seg.join(wal::LOG_FILE)) {
+            Ok(b) => b,
+            Err(e) => return (false, format!("read {}: {e}", seg.display())),
+        };
+        for rec in &wal::scan_log(&image).records {
+            match &rec.op {
+                wal::WalOp::Publish { home, tag, cred } => {
+                    oracle_repo.publish(home.clone(), cred.clone(), *tag)
+                }
+                wal::WalOp::Revoke { id } => oracle_bus.revoke(id),
+                wal::WalOp::RevokeBatch { ids } => {
+                    for id in ids {
+                        oracle_bus.revoke(id);
+                    }
+                }
+                wal::WalOp::PurgeExpired { now } => {
+                    oracle_repo.purge_expired(*now);
+                }
+            }
+        }
+    }
+
+    let (rec_repo, rec_bus, report) = match Repository::recover_sharded(dir) {
+        Ok(x) => x,
+        Err(e) => return (false, format!("recover: {e}")),
+    };
+
+    let registry = EntityRegistry::new();
+    registry.register(user);
+    for d in domains {
+        registry.register(d);
+    }
+    let subject = user.as_subject();
+    let oracle_engine = ProofEngine::new(&registry, &oracle_repo, &oracle_bus, 0);
+    let rec_engine = ProofEngine::new(&registry, &rec_repo, &rec_bus, 0);
+    let mut agree = 0;
+    for d in domains {
+        let role = d.role("R");
+        if oracle_engine.check(&subject, &role, &[]) != rec_engine.check(&subject, &role, &[]) {
+            return (false, format!("decision divergence on {role}"));
+        }
+        agree += 1;
+    }
+    let oracle_ids = {
+        let mut v: Vec<String> = oracle_repo
+            .all_credentials()
+            .iter()
+            .map(|c| c.id())
+            .collect();
+        v.sort();
+        v
+    };
+    let rec_ids = {
+        let mut v: Vec<String> = rec_repo.all_credentials().iter().map(|c| c.id()).collect();
+        v.sort();
+        v
+    };
+    if oracle_ids != rec_ids || oracle_bus.revoked_ids() != rec_bus.revoked_ids() {
+        return (
+            false,
+            format!(
+                "state divergence (creds: {}, revocations: {})",
+                oracle_ids == rec_ids,
+                oracle_bus.revoked_ids() == rec_bus.revoked_ids()
+            ),
+        );
+    }
+
+    // Writable reopen truncates the torn tail; afterwards every segment
+    // must verify clean and replay the same records.
+    match ShardedDurableRepository::open(dir, 8, WalConfig::default()) {
+        Ok((d, rep2)) => {
+            if rep2.records_replayed != report.records_replayed {
+                return (
+                    false,
+                    "writable reopen replays a different count".to_string(),
+                );
+            }
+            d.detach();
+        }
+        Err(e) => return (false, format!("reopen: {e}")),
+    }
+    match wal::verify_sharded_dir(dir) {
+        Ok(v) if v.is_clean() => (
+            true,
+            format!(
+                "{} record(s) replayed, {} byte(s) truncated, {agree} decision(s) agree",
+                report.records_replayed, report.truncated_bytes
+            ),
+        ),
+        Ok(v) => (
+            false,
+            format!("segment(s) {:?} not clean after recovery", v.damaged()),
+        ),
+        Err(e) => (false, format!("verify: {e}")),
+    }
+}
+
 /// Seed `n` synthetic publish records (plus a revocation every 64) into
 /// the durable repository at `dir`. Signatures are dummies — recovery
 /// replay never verifies them — which keeps multi-100k fills fast enough
@@ -1154,10 +1371,190 @@ fn fill_durable_dir(dir: &std::path::Path, n: usize) -> std::io::Result<()> {
     d.sync()
 }
 
+/// Synthetic-fill variant of [`fill_durable_dir`] for the sharded layout:
+/// the same dummy-signature records, routed to per-shard WAL segments.
+fn fill_sharded_dir(dir: &std::path::Path, shards: usize, n: usize) -> std::io::Result<()> {
+    use psf_drbac::entity::{EntityName, Subject};
+    use psf_drbac::wal::{FsyncPolicy, ShardedDurableRepository, WalConfig};
+    use psf_drbac::{AttrSet, Delegation, DelegationKind, DiscoveryTag, SignedDelegation};
+    let (d, _) = ShardedDurableRepository::open(
+        dir,
+        shards,
+        WalConfig {
+            fsync: FsyncPolicy::Never,
+            auto_compact_appends: None,
+        },
+    )?;
+    let issuer = psf_drbac::Entity::with_seed("FillHome", b"fill-wal");
+    let key = issuer.public_key();
+    for i in 0..n {
+        let body = Delegation {
+            subject: Subject::Entity {
+                name: EntityName(format!("U{i}")),
+                key,
+            },
+            object: issuer.role(format!("R{}", i % 1024)),
+            kind: DelegationKind::SelfCertifying,
+            issuer: issuer.name.clone(),
+            attrs: AttrSet::new(),
+            expires: None,
+            monitored: false,
+            serial: i as u64,
+        };
+        let cred = SignedDelegation {
+            body,
+            signature: psf_crypto::ed25519::Signature([0u8; 64]),
+        };
+        d.repository()
+            .publish(issuer.name.clone(), cred, DiscoveryTag::Both);
+        if i.is_multiple_of(64) {
+            d.bus().revoke(&format!("deadbeef{i:08x}"));
+        }
+    }
+    d.sync()
+}
+
+/// The `psf repo` handler for sharded layouts: per-shard stats rows,
+/// whole-directory verification (exit 1 if ANY segment is damaged), and
+/// all-segment compaction.
+fn repo_cmd_sharded(
+    cli: &Cli,
+    dir: &std::path::Path,
+    verify: bool,
+    compact: bool,
+    stats: bool,
+) -> i32 {
+    use psf_drbac::wal::{self, ShardedDurableRepository, WalConfig};
+
+    if compact {
+        // The on-disk shards.meta overrides the requested count of 1.
+        let (d, report) = match ShardedDurableRepository::open(dir, 1, WalConfig::default()) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("repo: open failed: {e}");
+                return 1;
+            }
+        };
+        match d.compact() {
+            Ok(r) => cli.say(format!(
+                "repo: compacted — snapshot {} credential(s) + {} revocation(s), \
+                 {} log byte(s) dropped ({} record(s) were replayed)",
+                r.snapshot_entries,
+                r.snapshot_revocations,
+                r.log_bytes_dropped,
+                report.records_replayed
+            )),
+            Err(e) => {
+                eprintln!("repo: compaction failed: {e}");
+                return 1;
+            }
+        }
+    }
+
+    let v = match wal::verify_sharded_dir(dir) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repo: verify failed: {e}");
+            return 1;
+        }
+    };
+    if verify || stats || !compact {
+        cli.say(format!(
+            "repo: {} (sharded, {} shard(s))",
+            dir.display(),
+            v.shards.len()
+        ));
+    }
+    if stats {
+        // One writable open: the replay report, the recovered in-memory
+        // image (occupancy + tag-index columns), and the live segment
+        // stats (WAL bytes + last compaction) all come from it.
+        match ShardedDurableRepository::open(dir, 1, WalConfig::default()) {
+            Ok((d, report)) => {
+                cli.say(format!(
+                    "  replay: {} publish(es), {} revocation(s) restored, \
+                     {} duplicate(s) skipped, {} purge record(s), epoch {}",
+                    report.publishes,
+                    report.revocations_restored,
+                    report.duplicates_skipped,
+                    report.purges,
+                    report.epoch
+                ));
+                cli.say(format!(
+                    "  live: {} credential(s) across {} home(s), {} revoked id(s)",
+                    d.repository().len(),
+                    d.repository().home_count(),
+                    d.bus().revoked_count()
+                ));
+                let wal_stats = d.stats();
+                cli.say(
+                    "  shard  entries  subj-keys  tag-keys  wal-bytes  snap-bytes  last-compact",
+                );
+                for info in d.repository().shard_infos() {
+                    let (wal_b, snap_b, lc) = wal_stats
+                        .shards
+                        .get(info.index)
+                        .map(|s| (s.log_bytes, s.snapshot_bytes, s.last_compact_epoch))
+                        .unwrap_or_default();
+                    cli.say(format!(
+                        "  {:>5}  {:>7}  {:>9}  {:>8}  {:>9}  {:>10}  {}",
+                        info.index,
+                        info.entries,
+                        info.subject_keys,
+                        info.tag_keys,
+                        wal_b,
+                        snap_b,
+                        if lc == 0 {
+                            "never".to_string()
+                        } else {
+                            format!("epoch {lc}")
+                        }
+                    ));
+                }
+                d.detach();
+            }
+            Err(e) => {
+                eprintln!("repo: recover failed: {e}");
+                return 1;
+            }
+        }
+    }
+    if verify {
+        for (i, s) in v.shards.iter().enumerate() {
+            if !s.is_clean() {
+                cli.say(format!(
+                    "  shard {i}: {} record(s), {} truncated byte(s){}",
+                    s.log_records,
+                    s.truncated_bytes,
+                    s.corruption
+                        .as_deref()
+                        .map(|r| format!(", corruption: {r}"))
+                        .unwrap_or_default()
+                ));
+            }
+        }
+        if !v.bus.is_clean() {
+            cli.say("  bus segment damaged");
+        }
+        if v.is_clean() {
+            cli.say("verdict: clean");
+        } else {
+            // Damage verdicts print even under --quiet: this is the CI gate.
+            println!(
+                "verdict: DAMAGED ({} segment(s) torn or corrupt)",
+                v.damaged().len()
+            );
+            return 1;
+        }
+    }
+    0
+}
+
 /// Inspect or maintain a durable credential repository directory:
 /// `--verify` (read-only integrity check, exit 1 on damage), `--stats`
 /// (sizes + replay counts), `--compact` (snapshot + truncate), `--fill N`
-/// (seed synthetic records for demos and benches).
+/// (seed synthetic records for demos and benches). Sharded layouts are
+/// auto-detected; `--fill N --shards S` creates one.
 fn repo_cmd(cli: &Cli, args: &[String]) -> i32 {
     use psf_drbac::repository::Repository;
     use psf_drbac::wal::{self, DurableRepository, WalConfig};
@@ -1169,9 +1566,16 @@ fn repo_cmd(cli: &Cli, args: &[String]) -> i32 {
     let compact = args.iter().any(|a| a == "--compact");
     let stats = args.iter().any(|a| a == "--stats");
     let fill: Option<usize> = flag_value(args, "--fill").and_then(|v| v.parse().ok());
+    let shards: Option<usize> = flag_value(args, "--shards").and_then(|v| v.parse().ok());
 
     if let Some(n) = fill {
-        if let Err(e) = fill_durable_dir(&dir, n) {
+        let sharded = shards.is_some() || wal::is_sharded_dir(&dir);
+        let filled = if sharded {
+            fill_sharded_dir(&dir, shards.unwrap_or(psf_drbac::DEFAULT_SHARD_COUNT), n)
+        } else {
+            fill_durable_dir(&dir, n)
+        };
+        if let Err(e) = filled {
             eprintln!("repo: fill failed: {e}");
             return 1;
         }
@@ -1180,6 +1584,9 @@ fn repo_cmd(cli: &Cli, args: &[String]) -> i32 {
     if !dir.is_dir() {
         eprintln!("repo: {} is not a directory", dir.display());
         return 2;
+    }
+    if wal::is_sharded_dir(&dir) {
+        return repo_cmd_sharded(cli, &dir, verify, compact, stats);
     }
 
     if compact {
@@ -1726,6 +2133,279 @@ fn bench_switchboard(cli: &Cli, pr3_out: &str, iters: u32, quick: bool, check: b
         eprintln!(
             "bench --check FAILED: {} SLO objective(s) over budget",
             slo.violations()
+        );
+        return 1;
+    }
+    bench_sharded_repo(cli, &out_path, quick, check)
+}
+
+/// Sort a latency sample and take the `q`-quantile (0.0–1.0), in
+/// microseconds.
+fn quantile_us(samples: &mut [u64], q: f64) -> f64 {
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+    samples[idx] as f64 / 1e3
+}
+
+/// The PR8 sharded-repository runner: p99 indexed tag-discovery and
+/// subject-lookup latency over a 10^6-entry store (10^5 with `--quick`),
+/// plus 8-writer parallel-publish throughput of the sharded durable
+/// layout against the single-lock, unbuffered baseline. Writes
+/// `BENCH_pr8.json`. With `--check`, exits non-zero unless p99 tag
+/// lookup <= 50 us and the sharded publish rate is >= 4x the baseline.
+fn bench_sharded_repo(cli: &Cli, pr4_out: &str, quick: bool, check: bool) -> i32 {
+    use psf_drbac::entity::{EntityName, Subject};
+    use psf_drbac::repository::Repository;
+    use psf_drbac::wal::{DurableRepository, FsyncPolicy, ShardedDurableRepository, WalConfig};
+    use psf_drbac::{
+        subject_key, AttrSet, Delegation, DelegationKind, DiscoveryTag, SignedDelegation,
+    };
+
+    let out_path = if pr4_out.contains("pr4") {
+        pr4_out.replace("pr4", "pr8")
+    } else {
+        "BENCH_pr8.json".to_string()
+    };
+    let entries: usize = if quick { 100_000 } else { 1_000_000 };
+    let issuer = psf_drbac::Entity::with_seed("BenchHome", b"bench-pr8");
+    let key = issuer.public_key();
+    // Dummy signatures keep the fill CPU-bound on the store itself —
+    // nothing below verifies them.
+    let cred_for = |i: usize, serial: u64| SignedDelegation {
+        body: Delegation {
+            subject: Subject::Entity {
+                name: EntityName(format!("U{i}")),
+                key,
+            },
+            object: issuer.role(format!("R{}", i % 1024)),
+            kind: DelegationKind::SelfCertifying,
+            issuer: issuer.name.clone(),
+            attrs: AttrSet::new(),
+            expires: None,
+            monitored: false,
+            serial,
+        },
+        signature: psf_crypto::ed25519::Signature([0u8; 64]),
+    };
+
+    // --- In-memory lookups at scale: fill the sharded store, then sample
+    // per-op latency over seeded random keys. Homes H0..H63 spread the
+    // credentials so a broadcast would touch 64 homes; the discovery tag
+    // keeps every lookup directed.
+    let repo = Repository::new();
+    for i in 0..entries {
+        repo.publish(
+            EntityName(format!("H{}", i % 64)),
+            cred_for(i, i as u64),
+            DiscoveryTag::Both,
+        );
+    }
+    let samples = if quick { 10_000 } else { 20_000 };
+    let mut tag_ns: Vec<u64> = Vec::with_capacity(samples);
+    let mut subj_ns: Vec<u64> = Vec::with_capacity(samples);
+    for s in 0..samples {
+        let i = (mix64(s as u64) as usize) % entries;
+        let skey = subject_key(&Subject::Entity {
+            name: EntityName(format!("U{i}")),
+            key,
+        });
+        let t0 = std::time::Instant::now();
+        let found = repo.query_by_subject_key(&skey);
+        tag_ns.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(found.len(), 1, "indexed lookup must find exactly one");
+        let subject = Subject::Entity {
+            name: EntityName(format!("U{i}")),
+            key,
+        };
+        let t0 = std::time::Instant::now();
+        let found = repo.query_by_subject(&subject);
+        subj_ns.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(found.len(), 1);
+    }
+    let repo_stats = repo.stats();
+    let tag_p50 = quantile_us(&mut tag_ns, 0.50);
+    let tag_p99 = quantile_us(&mut tag_ns, 0.99);
+    let subj_p50 = quantile_us(&mut subj_ns, 0.50);
+    let subj_p99 = quantile_us(&mut subj_ns, 0.99);
+    drop(repo);
+
+    // --- Parallel publish: 8 writer threads against three store
+    // configurations, all ending with every record on disk:
+    //   1. sharded store in its group-commit operating mode (EveryN(64)
+    //      per shard segment, bounded loss on crash, trailing sync()
+    //      inside the timed window) — the headline number;
+    //   2. the single-lock PR 7 baseline at its shipped default
+    //      (Always: fsync per record inside the one writer mutex, which
+    //      serializes all eight writers behind the disk);
+    //   3. the sharded store at that same Always policy, where group
+    //      commit makes concurrent writers share fsyncs — recorded as
+    //      the durability-matched comparison.
+    // The fsync policy of every row is recorded in the JSON; the gated
+    // speedup is (1) vs (2), operating mode vs shipped baseline.
+    let writers = 8usize;
+    let sharded_n: usize = if quick { 20_000 } else { 100_000 };
+    let baseline_n: usize = if quick { 1_500 } else { 6_000 };
+    let durable_n: usize = if quick { 1_500 } else { 6_000 };
+    let group_config = WalConfig {
+        fsync: FsyncPolicy::EveryN(64),
+        auto_compact_appends: None,
+    };
+    let always_config = WalConfig::default();
+    let tmp = std::env::temp_dir().join(format!("psf-bench-pr8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // Shared 8-writer driver: round-robins the workload over `writers`
+    // threads, calling `publish` on whichever store the closure wraps.
+    let drive = |n: usize, publish: &(dyn Fn(usize) + Sync)| -> f64 {
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                s.spawn(move || {
+                    for i in (w..n).step_by(writers) {
+                        publish(i);
+                    }
+                });
+            }
+        });
+        t0.elapsed().as_secs_f64()
+    };
+
+    let sharded_dir = tmp.join("sharded");
+    let (sharded_ops_per_sec, sharded_fsyncs) =
+        match ShardedDurableRepository::open(&sharded_dir, 32, group_config) {
+            Ok((d, _)) => {
+                let t0 = std::time::Instant::now();
+                let _ = drive(sharded_n, &|i| {
+                    d.repository().publish(
+                        EntityName(format!("H{}", i % 64)),
+                        cred_for(i, i as u64),
+                        DiscoveryTag::Both,
+                    );
+                });
+                if let Err(e) = d.sync() {
+                    eprintln!("bench: sharded sync failed: {e}");
+                    return 1;
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                (sharded_n as f64 / secs.max(1e-9), d.stats().fsyncs)
+            }
+            Err(e) => {
+                eprintln!("bench: sharded open failed: {e}");
+                return 1;
+            }
+        };
+
+    let baseline_dir = tmp.join("baseline");
+    let (baseline_ops_per_sec, baseline_fsyncs) =
+        match DurableRepository::open(&baseline_dir, always_config) {
+            Ok((d, _)) => {
+                let secs = drive(baseline_n, &|i| {
+                    d.repository().publish(
+                        EntityName(format!("H{}", i % 64)),
+                        cred_for(i, i as u64),
+                        DiscoveryTag::Both,
+                    );
+                });
+                (baseline_n as f64 / secs.max(1e-9), d.stats().fsyncs)
+            }
+            Err(e) => {
+                eprintln!("bench: baseline open failed: {e}");
+                return 1;
+            }
+        };
+
+    let durable_dir = tmp.join("sharded-durable");
+    let (durable_ops_per_sec, durable_fsyncs) =
+        match ShardedDurableRepository::open(&durable_dir, 32, always_config) {
+            Ok((d, _)) => {
+                let secs = drive(durable_n, &|i| {
+                    d.repository().publish(
+                        EntityName(format!("H{}", i % 64)),
+                        cred_for(i, i as u64),
+                        DiscoveryTag::Both,
+                    );
+                });
+                (durable_n as f64 / secs.max(1e-9), d.stats().fsyncs)
+            }
+            Err(e) => {
+                eprintln!("bench: durable-matched open failed: {e}");
+                return 1;
+            }
+        };
+
+    let publish_speedup = sharded_ops_per_sec / baseline_ops_per_sec.max(1e-9);
+    let durable_speedup = durable_ops_per_sec / baseline_ops_per_sec.max(1e-9);
+
+    // --- Parallel recovery replay of the sharded directory just written.
+    let t0 = std::time::Instant::now();
+    let replayed = match Repository::recover_sharded(&sharded_dir) {
+        Ok((_, _, report)) => report.records_replayed,
+        Err(e) => {
+            eprintln!("bench: sharded recovery failed: {e}");
+            return 1;
+        }
+    };
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let replay_rate = replayed as f64 / (replay_ms / 1e3).max(1e-9);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr8\",\n  \"mode\": \"{mode}\",\n  \"entries\": {entries},\n  \
+         \"tag_lookup\": {{ \"samples\": {samples}, \"p50_us\": {tag_p50:.3}, \"p99_us\": {tag_p99:.3} }},\n  \
+         \"subject_lookup\": {{ \"samples\": {samples}, \"p50_us\": {subj_p50:.3}, \"p99_us\": {subj_p99:.3} }},\n  \
+         \"discovery\": {{ \"queries\": {queries}, \"directed\": {directed}, \"broadcast\": {broadcast}, \"messages\": {messages} }},\n  \
+         \"parallel_publish\": {{\n    \"writers\": {writers},\n    \
+         \"sharded\": {{ \"fsync_policy\": \"every_n_64_group_commit\", \"records\": {sharded_n}, \"ops_per_sec\": {sharded_ops_per_sec:.0}, \"fsyncs\": {sharded_fsyncs} }},\n    \
+         \"single_lock_baseline\": {{ \"fsync_policy\": \"always\", \"records\": {baseline_n}, \"ops_per_sec\": {baseline_ops_per_sec:.0}, \"fsyncs\": {baseline_fsyncs} }},\n    \
+         \"speedup\": {publish_speedup:.2},\n    \
+         \"durability_matched\": {{ \"fsync_policy\": \"always_group_commit\", \"records\": {durable_n}, \"ops_per_sec\": {durable_ops_per_sec:.0}, \"fsyncs\": {durable_fsyncs}, \"speedup\": {durable_speedup:.2} }}\n  }},\n  \
+         \"sharded_recovery\": {{ \"records\": {replayed}, \"replay_ms\": {replay_ms:.3}, \"records_per_sec\": {replay_rate:.0} }}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        queries = repo_stats.queries,
+        directed = repo_stats.directed,
+        broadcast = repo_stats.broadcast,
+        messages = repo_stats.messages,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        return 1;
+    }
+    cli.say(format!(
+        "tag lookup @ {entries}: p50 {tag_p50:.2} us, p99 {tag_p99:.2} us (all directed: {})",
+        repo_stats.broadcast == 0
+    ));
+    cli.say(format!(
+        "subject lookup @ {entries}: p50 {subj_p50:.2} us, p99 {subj_p99:.2} us"
+    ));
+    cli.say(format!(
+        "parallel publish x{writers}: sharded group-commit {sharded_ops_per_sec:.0}/s, \
+         single-lock fsync-per-record {baseline_ops_per_sec:.0}/s ({publish_speedup:.1}x); \
+         durability-matched {durable_ops_per_sec:.0}/s ({durable_speedup:.1}x)"
+    ));
+    cli.say(format!(
+        "sharded recovery: {replayed} records in {replay_ms:.1} ms ({replay_rate:.0}/s)"
+    ));
+    cli.say(format!("results written to {out_path}"));
+    psf_telemetry::event(
+        "psf.cli",
+        "bench.recorded",
+        vec![
+            ("out", out_path.clone()),
+            ("tag_p99_us", format!("{tag_p99:.2}")),
+            ("publish_speedup", format!("{publish_speedup:.2}")),
+        ],
+    );
+    if check && tag_p99 > 50.0 {
+        eprintln!(
+            "bench --check FAILED: p99 tag lookup must be <= 50 us at {entries} entries \
+             (got {tag_p99:.2} us)"
+        );
+        return 1;
+    }
+    if check && publish_speedup < 4.0 {
+        eprintln!(
+            "bench --check FAILED: sharded parallel publish must be >= 4x the \
+             single-lock baseline (got {publish_speedup:.2}x)"
         );
         return 1;
     }

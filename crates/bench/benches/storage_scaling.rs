@@ -4,11 +4,14 @@
 //! cost of actually materializing dRBAC's credential set.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psf_drbac::entity::Entity;
+use psf_drbac::entity::{Entity, EntityName, Subject};
 use psf_drbac::repository::{CredentialSource, Repository};
 use psf_drbac::storage_model::{simulate_drbac, storage_comparison};
 use psf_drbac::wal::{DurableRepository, FsyncPolicy, WalConfig};
-use psf_drbac::DelegationBuilder;
+use psf_drbac::{
+    subject_key, AttrSet, Delegation, DelegationBuilder, DelegationKind, DiscoveryTag,
+    SignedDelegation,
+};
 use std::path::PathBuf;
 
 /// Build a WAL directory holding `n` committed publish records, ready for
@@ -118,6 +121,75 @@ fn bench(c: &mut Criterion) {
                     .collect::<Vec<_>>()
             });
         });
+    }
+
+    // Sharded store at discovery scale: tag-directed and subject lookups
+    // against the hash-sharded repository vs the single-shard (fully
+    // serialized) layout, both holding the same credential set. Full runs
+    // fill 10⁶ entries; `PSF_BENCH_QUICK=1` (CI bench-smoke) drops to 10⁵
+    // so the sweep stays inside the smoke budget. Dummy signatures keep
+    // the fill CPU-bound on the store itself — nothing here verifies them.
+    let quick = std::env::var_os("PSF_BENCH_QUICK").is_some();
+    let entries: usize = if quick { 100_000 } else { 1_000_000 };
+    let issuer = Entity::with_seed("BenchHome", b"f1-sharded");
+    let key = issuer.public_key();
+    let cred_for = |i: usize| SignedDelegation {
+        body: Delegation {
+            subject: Subject::Entity {
+                name: EntityName(format!("U{i}")),
+                key,
+            },
+            object: issuer.role(format!("R{}", i % 1024)),
+            kind: DelegationKind::SelfCertifying,
+            issuer: issuer.name.clone(),
+            attrs: AttrSet::new(),
+            expires: None,
+            monitored: false,
+            serial: i as u64,
+        },
+        signature: psf_crypto::ed25519::Signature([0u8; 64]),
+    };
+    for (label, shards) in [
+        ("sharded", psf_drbac::repository::DEFAULT_SHARD_COUNT),
+        ("single_shard", 1),
+    ] {
+        let repo = Repository::with_shard_count(shards);
+        for i in 0..entries {
+            repo.publish(
+                EntityName(format!("H{}", i % 64)),
+                cred_for(i),
+                DiscoveryTag::Both,
+            );
+        }
+        let mut probe = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}_tag_lookup"), entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    probe = (probe.wrapping_mul(6364136223846793005).wrapping_add(1)) % entries;
+                    let skey = subject_key(&Subject::Entity {
+                        name: EntityName(format!("U{probe}")),
+                        key,
+                    });
+                    repo.query_by_subject_key(&skey).len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}_subject_lookup"), entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    probe = (probe.wrapping_mul(6364136223846793005).wrapping_add(1)) % entries;
+                    let subject = Subject::Entity {
+                        name: EntityName(format!("U{probe}")),
+                        key,
+                    };
+                    repo.query_by_subject(&subject).len()
+                });
+            },
+        );
     }
 
     // Crash recovery: cold `Repository::recover` replay of an `n`-record

@@ -141,6 +141,24 @@ pub fn serve_durable_repository(channel: &Channel, durable: &DurableRepository) 
     });
 }
 
+/// Serve a crash-safe **sharded** home node: identical protocol to
+/// [`serve_durable_repository`], but every accepted publish is routed to
+/// the WAL segment of the shard owning the credential's subject before
+/// the RPC response leaves.
+pub fn serve_sharded_durable_repository(
+    channel: &Channel,
+    durable: &psf_drbac::wal::ShardedDurableRepository,
+) {
+    serve_repository(channel, durable.repository().clone());
+    let repo = durable.repository().clone();
+    channel.register_handler(PUBLISH, move |args| {
+        let (home, tag, cred) = decode_publish_args(args)?;
+        let id = cred.id();
+        repo.publish(home, cred, tag);
+        Ok(id.into_bytes())
+    });
+}
+
 /// A [`CredentialSource`] backed by a remote repository channel, with a
 /// small response cache (credentials are immutable; revocation is
 /// enforced separately by the bus, so caching is sound).
@@ -382,6 +400,43 @@ mod tests {
         // Garbage publish args are rejected, not panicking the server.
         let bad: Result<_, _> = remote.publish(&ny.name, DiscoveryTag::Both, &cred);
         assert!(bad.is_ok(), "duplicate publish is acceptable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_home_node_publish_survives_restart() {
+        use psf_drbac::wal::{ShardedDurableRepository, WalConfig};
+        let dir = std::env::temp_dir().join(format!("psf-repo-svc-sh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let ny = Entity::with_seed("Comp.NY", b"svc");
+        let bob = Entity::with_seed("Bob", b"svc");
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .sign();
+        {
+            let (durable, _) =
+                ShardedDurableRepository::open(&dir, 8, WalConfig::default()).unwrap();
+            let (client, server) = pair_in_memory_plain(quiet());
+            serve_sharded_durable_repository(&server, &durable);
+            let remote = RemoteRepository::new(Arc::new(client)).without_cache();
+            let ack = remote.publish(&ny.name, DiscoveryTag::Both, &cred).unwrap();
+            assert_eq!(ack, cred.id());
+            assert_eq!(remote.credentials_by_subject(&bob.as_subject()).len(), 1);
+            durable.bus().revoke(&cred.id());
+            durable.sync().unwrap();
+        } // "crash"
+
+        let (durable2, report) =
+            ShardedDurableRepository::open(&dir, 8, WalConfig::default()).unwrap();
+        assert_eq!(report.publishes, 1);
+        assert_eq!(report.revocations_restored, 1);
+        let (client, server) = pair_in_memory_plain(quiet());
+        serve_sharded_durable_repository(&server, &durable2);
+        let remote = RemoteRepository::new(Arc::new(client)).without_cache();
+        assert_eq!(remote.credentials_by_subject(&bob.as_subject()).len(), 1);
+        assert!(durable2.bus().is_revoked(&cred.id()));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -99,13 +99,18 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// What the search touched: every credential id examined plus the earliest
-/// expiry (strictly after the evaluation time) among them. Recorded on a
-/// cache miss; decides how long the resulting entry stays exact.
+/// What the search touched: every credential id examined, every subject
+/// key queried against the repository, plus the earliest expiry (strictly
+/// after the evaluation time) among the examined credentials. Recorded on
+/// a cache miss; decides how long the resulting entry stays exact.
 #[derive(Debug, Default, Clone)]
 pub struct Frontier {
     /// Ids of every credential the search examined.
     pub ids: Vec<String>,
+    /// Canonical subject keys the search queried the repository for —
+    /// including keys that returned nothing (a later publish for such a
+    /// key can change the result, so its shard must be pinned too).
+    pub subjects: Vec<String>,
     /// Earliest expiry strictly after the evaluation time, if any.
     pub next_expiry: Option<Timestamp>,
 }
@@ -120,6 +125,11 @@ impl Frontier {
             }
         }
     }
+
+    /// Record one repository subject-key query.
+    pub fn note_subject(&mut self, subject_key: &str) {
+        self.subjects.push(subject_key.to_string());
+    }
 }
 
 struct PositiveEntry {
@@ -132,6 +142,12 @@ struct PositiveEntry {
     /// changes; the entry is exact only strictly before it.
     next_expiry: Option<Timestamp>,
     repo_epoch: Option<u64>,
+    /// Per-shard pins `(shard, high-water mark)` for every shard the
+    /// search queried, captured **before** the search read any data. When
+    /// present, the entry stays valid while those shards' current marks
+    /// are unchanged — publishes into other shards don't evict it. When
+    /// absent (unsharded source), the global `repo_epoch` pin applies.
+    shard_marks: Option<Vec<(u32, u64)>>,
     registry_epoch: u64,
     observed_now: Timestamp,
 }
@@ -253,12 +269,16 @@ impl AuthCache {
     }
 
     /// Look up a memoized `prove()` result. Returns `None` on a miss
-    /// (including entries that had to be invalidated).
+    /// (including entries that had to be invalidated). `shard_marks` is
+    /// the source's *current* high-water snapshot (captured by the engine
+    /// at the start of this authorization), used to validate per-shard
+    /// pins on positive entries.
     pub(crate) fn lookup_proof(
         &self,
         key: &ProofKey,
         now: Timestamp,
         repo_epoch: Option<u64>,
+        shard_marks: Option<&[u64]>,
         registry_epoch: u64,
     ) -> Option<Result<(Proof, SearchStats), (DrbacError, SearchStats)>> {
         let mut proofs = self.inner.proofs.lock();
@@ -269,7 +289,16 @@ impl AuthCache {
                 return None;
             }
             Some(ProofEntry::Proved(p)) => {
-                p.repo_epoch == repo_epoch
+                // Per-shard pins beat the global epoch when both sides
+                // are sharded: unchanged marks on every queried shard ⇒
+                // the search's entire read set is unchanged.
+                let universe_pinned = match (&p.shard_marks, shard_marks) {
+                    (Some(pins), Some(current)) => pins
+                        .iter()
+                        .all(|&(s, m)| current.get(s as usize) == Some(&m)),
+                    _ => p.repo_epoch.is_some() && p.repo_epoch == repo_epoch,
+                };
+                universe_pinned
                     && p.registry_epoch == registry_epoch
                     && now >= p.observed_now
                     && p.next_expiry.is_none_or(|e| now < e)
@@ -303,7 +332,11 @@ impl AuthCache {
     }
 
     /// Record a fresh `prove()` result together with the search frontier
-    /// that produced it.
+    /// that produced it. `shard_pins` are the `(shard, high-water mark)`
+    /// pairs for every shard the search queried, with marks captured
+    /// **before** the search read any data (soundness: if a mark is still
+    /// unchanged at a later lookup, no mutation became visible to the
+    /// recorded search).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn insert_proof(
         &self,
@@ -312,6 +345,7 @@ impl AuthCache {
         frontier: &Frontier,
         bus: &RevocationBus,
         repo_epoch: Option<u64>,
+        shard_pins: Option<Vec<(u32, u64)>>,
         registry_epoch: u64,
         now: Timestamp,
     ) {
@@ -328,6 +362,7 @@ impl AuthCache {
                 monitor: bus.monitor(frontier.ids.iter().cloned()),
                 next_expiry: frontier.next_expiry,
                 repo_epoch,
+                shard_marks: shard_pins,
                 registry_epoch,
                 observed_now: now,
             }),

@@ -80,6 +80,23 @@ impl Guard {
         )
     }
 
+    /// Create a guard backed by a [`crate::wal::ShardedDurableRepository`]:
+    /// identical wiring to [`Guard::durable`], but the repository handle is
+    /// the hash-sharded store and every mutation lands in the per-shard
+    /// write-ahead segments.
+    pub fn sharded_durable(
+        entity: Entity,
+        registry: EntityRegistry,
+        durable: &crate::wal::ShardedDurableRepository,
+    ) -> Guard {
+        Guard::new(
+            entity,
+            registry,
+            durable.repository().clone(),
+            durable.bus().clone(),
+        )
+    }
+
     /// The guard's authorization cache (hit/miss stats, manual clear).
     pub fn auth_cache(&self) -> &AuthCache {
         &self.cache
@@ -398,6 +415,81 @@ mod tests {
                 .sign(),
         );
         g.renew(&cred, None);
+    }
+
+    #[test]
+    fn cross_shard_publish_keeps_unrelated_proofs_cached() {
+        use crate::repository::{subject_key, CredentialSource};
+        let repo = Repository::with_shard_count(64);
+        let g = Guard::new(
+            Entity::with_seed("Comp.NY", b"g"),
+            EntityRegistry::new(),
+            repo.clone(),
+            RevocationBus::new(),
+        );
+        let alice = g.create_principal("Alice");
+        // Shards the proof search will touch (and therefore pin): the
+        // entity node and the target-role node.
+        let pinned: Vec<u32> = [
+            subject_key(&alice.as_subject()),
+            subject_key(&Subject::Role(g.role("Member"))),
+        ]
+        .iter()
+        .filter_map(|k| repo.shard_of_key(k))
+        .collect();
+        // Registered up front: registering later would bump the registry
+        // epoch and invalidate the cache for the right reason but the
+        // wrong test.
+        let stranger = (0..)
+            .map(|i| g.create_principal(format!("Stranger{i}")))
+            .find(|s| {
+                let shard = repo.shard_of_key(&subject_key(&s.as_subject())).unwrap();
+                !pinned.contains(&shard)
+            })
+            .unwrap();
+        g.publish(
+            g.issue()
+                .subject_entity(&alice)
+                .role(g.role("Member"))
+                .sign(),
+        );
+        // Warm the cache: miss, then hit.
+        g.authorize(&alice.as_subject(), &g.role("Member"), &[], 0)
+            .unwrap();
+        g.authorize(&alice.as_subject(), &g.role("Member"), &[], 0)
+            .unwrap();
+        assert_eq!(g.auth_cache().stats().proof_hits, 1);
+
+        // Publish for a principal living in a shard the proof never
+        // queried: the cached entry must survive.
+        g.publish(
+            g.issue()
+                .subject_entity(&stranger)
+                .role(g.role("Member"))
+                .sign(),
+        );
+        g.authorize(&alice.as_subject(), &g.role("Member"), &[], 0)
+            .unwrap();
+        assert_eq!(
+            g.auth_cache().stats().proof_hits,
+            2,
+            "publish to an unpinned shard must not evict the cached proof"
+        );
+
+        // Publish into Alice's own shard: the entry must be re-derived.
+        g.publish(
+            g.issue()
+                .subject_entity(&alice)
+                .role(g.role("Admin"))
+                .sign(),
+        );
+        g.authorize(&alice.as_subject(), &g.role("Member"), &[], 0)
+            .unwrap();
+        assert_eq!(
+            g.auth_cache().stats().proof_hits,
+            2,
+            "publish to a pinned shard must invalidate the cached proof"
+        );
     }
 
     #[test]

@@ -62,12 +62,14 @@ pub use entity::{Entity, EntityName, EntityRegistry, RoleName, Subject};
 pub use guard::Guard;
 pub use proof::{Proof, ProofEngine, ProofError, SearchStats};
 pub use repository::{
-    subject_key, CredentialSource, DiscoveryTag, RepoEvent, RepoObserver, Repository,
+    subject_key, CredentialSource, DiscoveryTag, RepoEvent, RepoObserver, Repository, ShardInfo,
+    DEFAULT_SHARD_COUNT,
 };
 pub use revocation::{RevocationBus, RevocationObserver, ValidityMonitor};
 pub use wal::{
-    verify_dir, CompactReport, DurableRepository, FsyncPolicy, RecoveryReport, VerifyReport,
-    WalConfig, WalStats,
+    is_sharded_dir, shard_dir_name, verify_dir, verify_sharded_dir, CompactReport,
+    DurableRepository, FsyncPolicy, RecoveryReport, ShardSegmentStats, ShardedDurableRepository,
+    ShardedVerifyReport, ShardedWalStats, VerifyReport, WalConfig, WalStats,
 };
 
 /// Logical timestamp used for credential expiration (seconds; the netsim

@@ -414,10 +414,17 @@ impl<'a> ProofEngine<'a> {
             role: target.to_string(),
             presented: PresentedFingerprint::of(presented),
         });
+        // Epoch and per-shard high-water marks captured BEFORE the search
+        // reads any repository data. If a mark is unchanged at some later
+        // lookup, no mutation to that shard was visible to this search —
+        // the seqlock-style argument per-shard pinning rests on.
+        let repo_epoch = self.repository.version();
+        let marks = self.repository.shard_marks();
         if let (Some(cache), Some(key)) = (self.cache, key.as_ref()) {
-            let repo_epoch = self.repository.version();
             let registry_epoch = self.registry.epoch();
-            if let Some(cached) = cache.lookup_proof(key, self.now, repo_epoch, registry_epoch) {
+            if let Some(cached) =
+                cache.lookup_proof(key, self.now, repo_epoch, marks.as_deref(), registry_epoch)
+            {
                 let result = cached.map_err(|(error, stats)| ProofError { error, stats });
                 if result.is_err() {
                     psf_telemetry::counter!("psf.drbac.prove.failures").inc();
@@ -436,12 +443,27 @@ impl<'a> ProofEngine<'a> {
                 Ok(ok) => Ok(ok.clone()),
                 Err(e) => Err((e.error.clone(), e.stats)),
             };
+            // Pin the pre-search mark of every shard the search queried
+            // (hit or miss — an empty shard gaining a credential changes
+            // the result too), deduplicated per shard.
+            let shard_pins = marks.as_ref().map(|marks| {
+                let mut pins: Vec<(u32, u64)> = frontier
+                    .subjects
+                    .iter()
+                    .filter_map(|k| self.repository.shard_of_key(k))
+                    .map(|s| (s, marks.get(s as usize).copied().unwrap_or(0)))
+                    .collect();
+                pins.sort_unstable();
+                pins.dedup();
+                pins
+            });
             cache.insert_proof(
                 key,
                 &plain,
                 &frontier,
                 self.bus,
-                self.repository.version(),
+                repo_epoch,
+                shard_pins,
                 self.registry.epoch(),
                 self.now,
             );
@@ -552,6 +574,7 @@ impl<'a> ProofEngine<'a> {
         while let Some(state) = queue.pop_front() {
             stats.nodes_expanded += 1;
             let key = subject_key(&state.node);
+            frontier.note_subject(&key);
             // Candidate edges: presented + repository (both Arc-shared).
             let mut candidates: Vec<Arc<SignedDelegation>> =
                 presented_idx.get(&key).cloned().unwrap_or_default();
@@ -724,18 +747,20 @@ impl<'a> ProofEngine<'a> {
                 edges: Vec::new(),
             });
         }
-        let key = format!("{}@{role}", subject_key(holder));
+        let hkey = subject_key(holder);
+        let key = format!("{hkey}@{role}");
         if !in_progress.insert(key) {
             return None; // cycle
         }
 
         // Assignment credentials naming this holder for this role.
+        frontier.note_subject(&hkey);
         let mut candidates: Vec<Arc<SignedDelegation>> = presented
             .iter()
             .filter(|c| {
                 c.body.kind == DelegationKind::Assignment
                     && c.body.object == *role
-                    && subject_key(&c.body.subject) == subject_key(holder)
+                    && subject_key(&c.body.subject) == hkey
             })
             .cloned()
             .collect();

@@ -1,13 +1,28 @@
 //! The distributed credential repository with **discovery tags**
-//! (paper §3.1).
+//! (paper §3.1), hash-sharded for scale.
 //!
-//! Credentials are sharded across *home nodes* (one per issuing domain).
-//! A credential may carry discovery tags identifying it as "searchable
-//! from subject" and/or "searchable from object"; tagged credentials are
-//! advertised in a global tag index so queries can be *directed* to the
-//! right home instead of broadcast to every shard. The repository counts
-//! the query messages it sends, which experiment **F8** uses to compare
-//! tag-directed against broadcast discovery.
+//! Credentials are stored in N in-process shards selected by the FNV-1a
+//! hash of the canonical *subject* key, each shard guarded by its own
+//! `RwLock` so writers to different subjects never contend. Every shard
+//! carries its own secondary indexes (by subject, by object) and its own
+//! slice of the discovery-tag index, so a subject query touches exactly
+//! one shard and an object query fans over the shards without any global
+//! lock.
+//!
+//! The paper's *home node* semantics ride on top: a credential may carry
+//! discovery tags identifying it as "searchable from subject" and/or
+//! "searchable from object"; tagged credentials are advertised in the tag
+//! index so queries can be *directed* to the right homes instead of
+//! broadcast to every home. The repository counts the query messages it
+//! sends, which experiment **F8** uses to compare tag-directed against
+//! broadcast discovery.
+//!
+//! Invalidation is epoch-batched: one global mutation epoch (backing
+//! [`CredentialSource::version`]) plus a per-shard *high-water mark* — the
+//! epoch of the shard's latest mutation, updated while the shard's write
+//! lock is still held. Proof caches pin the high-water marks of exactly
+//! the shards a search read ([`CredentialSource::shard_marks`]), so a
+//! publish into an unrelated shard no longer evicts every cached proof.
 
 use crate::delegation::SignedDelegation;
 use crate::entity::{EntityName, RoleName, Subject};
@@ -15,6 +30,9 @@ use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default number of hash shards for [`Repository::new`].
+pub const DEFAULT_SHARD_COUNT: usize = 32;
 
 /// Anything the proof engine can pull credentials from: the in-process
 /// sharded [`Repository`], or a remote repository reached over a
@@ -37,6 +55,18 @@ pub trait CredentialSource: Send + Sync {
     fn version(&self) -> Option<u64> {
         None
     }
+    /// Snapshot of every shard's high-water mark (the global epoch of its
+    /// latest mutation), or `None` when the source is unsharded. Positive
+    /// proof-cache entries pin the marks of the shards their search read;
+    /// they stay valid while only *other* shards mutate.
+    fn shard_marks(&self) -> Option<Vec<u64>> {
+        None
+    }
+    /// The shard index a canonical subject key maps to, or `None` when
+    /// the source is unsharded.
+    fn shard_of_key(&self, _subject_key: &str) -> Option<u32> {
+        None
+    }
 }
 
 impl CredentialSource for Repository {
@@ -48,6 +78,18 @@ impl CredentialSource for Repository {
     }
     fn version(&self) -> Option<u64> {
         Some(self.inner.epoch.load(Ordering::Acquire))
+    }
+    fn shard_marks(&self) -> Option<Vec<u64>> {
+        Some(
+            self.inner
+                .shards
+                .iter()
+                .map(|s| s.high_water.load(Ordering::Acquire))
+                .collect(),
+        )
+    }
+    fn shard_of_key(&self, subject_key: &str) -> Option<u32> {
+        Some(self.shard_index(subject_key) as u32)
     }
 }
 
@@ -126,6 +168,8 @@ pub enum RepoEvent<'a> {
 /// Callback observing repository mutations (see [`RepoEvent`]).
 pub type RepoObserver = Arc<dyn Fn(RepoEvent<'_>) + Send + Sync>;
 
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
 /// Canonical lookup key for a delegation subject. Entity keys include the
 /// public key so two principals with the same display name cannot alias
 /// each other in the index. Public so static analyses (psf-analysis) can
@@ -133,33 +177,81 @@ pub type RepoObserver = Arc<dyn Fn(RepoEvent<'_>) + Send + Sync>;
 pub fn subject_key(s: &Subject) -> String {
     match s {
         Subject::Entity { name, key } => {
-            let fp: String = key.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
-            format!("E:{}:{fp}", name.0)
+            let kb = key.as_bytes();
+            let mut out = String::with_capacity(name.0.len() + 3 + kb.len() * 2);
+            out.push_str("E:");
+            out.push_str(&name.0);
+            out.push(':');
+            for b in kb {
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0x0f) as usize] as char);
+            }
+            out
         }
         Subject::Role(r) => format!("R:{r}"),
     }
 }
 
-#[derive(Default)]
-struct Shard {
-    credentials: Vec<Arc<SignedDelegation>>,
-    by_subject: HashMap<String, Vec<usize>>,
-    by_object: HashMap<String, Vec<usize>>,
+/// FNV-1a over a byte string — the shard-selection hash. Cheap, stable
+/// across runs (the WAL's shard layout depends on it), and well mixed for
+/// the `E:{name}:{hex key}` keys it sees.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
-impl Shard {
-    fn insert(&mut self, cred: Arc<SignedDelegation>) {
-        let idx = self.credentials.len();
-        self.by_subject
-            .entry(subject_key(&cred.body.subject))
-            .or_default()
-            .push(idx);
+struct Entry {
+    home: EntityName,
+    cred: Arc<SignedDelegation>,
+    tag: DiscoveryTag,
+}
+
+#[derive(Default)]
+struct ShardData {
+    entries: Vec<Entry>,
+    by_subject: HashMap<String, Vec<u32>>,
+    by_object: HashMap<String, Vec<u32>>,
+    // Tag index slice: key → homes advertising credentials for it. A
+    // subject's tag entries live in the subject's shard (same shard as
+    // its credentials); object-tag entries are unioned across shards at
+    // query time.
+    tag_subject: HashMap<String, HashSet<EntityName>>,
+    tag_object: HashMap<String, HashSet<EntityName>>,
+}
+
+impl ShardData {
+    fn insert(
+        &mut self,
+        subject_key: &str,
+        home: EntityName,
+        cred: Arc<SignedDelegation>,
+        tag: DiscoveryTag,
+    ) {
+        let idx = self.entries.len() as u32;
+        match self.by_subject.get_mut(subject_key) {
+            Some(v) => v.push(idx),
+            None => {
+                self.by_subject.insert(subject_key.to_string(), vec![idx]);
+            }
+        }
         self.by_object
             .entry(cred.body.object.to_string())
             .or_default()
             .push(idx);
-        self.credentials.push(cred);
+        self.entries.push(Entry { home, cred, tag });
     }
+}
+
+struct ShardState {
+    data: RwLock<ShardData>,
+    /// Global epoch of this shard's latest mutation, stored while the
+    /// shard's write lock is still held — if a reader sees an unchanged
+    /// mark, no mutation has become visible since the mark was read.
+    high_water: AtomicU64,
 }
 
 /// Counters describing repository traffic (reset with
@@ -176,18 +268,36 @@ pub struct RepoStats {
     pub broadcast: u64,
 }
 
-/// A sharded credential repository with a discovery-tag index.
-#[derive(Clone, Default)]
+/// Per-shard occupancy snapshot (backs `psf repo --stats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardInfo {
+    /// Shard index.
+    pub index: usize,
+    /// Credentials stored in the shard.
+    pub entries: usize,
+    /// Distinct subject keys indexed.
+    pub subject_keys: usize,
+    /// Distinct object roles indexed.
+    pub object_keys: usize,
+    /// Discovery-tag index entries (subject side + object side).
+    pub tag_keys: usize,
+    /// Global epoch of the shard's latest mutation (0 = never mutated).
+    pub high_water: u64,
+}
+
+/// A hash-sharded credential repository with a discovery-tag index.
+#[derive(Clone)]
 pub struct Repository {
     inner: Arc<RepositoryInner>,
 }
 
-#[derive(Default)]
 struct RepositoryInner {
-    shards: RwLock<HashMap<EntityName, Shard>>,
-    // tag index: key → homes that advertised credentials for it
-    tag_subject: RwLock<HashMap<String, HashSet<EntityName>>>,
-    tag_object: RwLock<HashMap<String, HashSet<EntityName>>>,
+    shards: Vec<ShardState>,
+    mask: u64,
+    // Every home node ever published to; backs broadcast message counts
+    // and `home_count` (homes are never removed, matching the old
+    // per-home-shard behavior where a purged-empty home still counted).
+    homes: RwLock<HashSet<EntityName>>,
     queries: AtomicU64,
     messages: AtomicU64,
     directed: AtomicU64,
@@ -199,39 +309,94 @@ struct RepositoryInner {
     observer: RwLock<Option<RepoObserver>>,
 }
 
+impl Default for Repository {
+    fn default() -> Self {
+        Repository::new()
+    }
+}
+
 impl Repository {
-    /// New empty repository.
+    /// New empty repository with [`DEFAULT_SHARD_COUNT`] shards.
     pub fn new() -> Repository {
-        Repository::default()
+        Repository::with_shard_count(DEFAULT_SHARD_COUNT)
+    }
+
+    /// New empty repository with `shards` hash shards (rounded up to a
+    /// power of two, clamped to `1..=1024`). A single-shard repository
+    /// reproduces the old fully-serialized store — the baseline the
+    /// scaling benchmarks compare against.
+    pub fn with_shard_count(shards: usize) -> Repository {
+        let n = shards.clamp(1, 1024).next_power_of_two();
+        Repository {
+            inner: Arc::new(RepositoryInner {
+                shards: (0..n)
+                    .map(|_| ShardState {
+                        data: RwLock::new(ShardData::default()),
+                        high_water: AtomicU64::new(0),
+                    })
+                    .collect(),
+                mask: (n - 1) as u64,
+                homes: RwLock::new(HashSet::new()),
+                queries: AtomicU64::new(0),
+                messages: AtomicU64::new(0),
+                directed: AtomicU64::new(0),
+                broadcast: AtomicU64::new(0),
+                epoch: AtomicU64::new(0),
+                observer: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// Number of hash shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard index a canonical subject key (see [`subject_key`]) maps
+    /// to. The sharded WAL uses this to route publish records to per-shard
+    /// log segments.
+    pub fn shard_index(&self, subject_key: &str) -> usize {
+        (fnv1a(subject_key.as_bytes()) & self.inner.mask) as usize
+    }
+
+    /// A shard's high-water mark: the global epoch of its latest
+    /// mutation (0 when never mutated).
+    pub fn shard_high_water(&self, shard: usize) -> u64 {
+        self.inner.shards[shard].high_water.load(Ordering::Acquire)
     }
 
     /// Store a credential at `home` (normally the issuer's domain), with
     /// the given discovery tags.
     pub fn publish(&self, home: EntityName, cred: SignedDelegation, tag: DiscoveryTag) {
         let cred = Arc::new(cred);
-        if tag.advertises_subject() {
-            self.inner
-                .tag_subject
-                .write()
-                .entry(subject_key(&cred.body.subject))
-                .or_default()
-                .insert(home.clone());
+        let skey = subject_key(&cred.body.subject);
+        // Track the home set (read-check first: the set stabilizes fast
+        // and write locks on it would serialize unrelated publishers).
+        if !self.inner.homes.read().contains(&home) {
+            self.inner.homes.write().insert(home.clone());
         }
-        if tag.advertises_object() {
-            self.inner
-                .tag_object
-                .write()
-                .entry(cred.body.object.to_string())
-                .or_default()
-                .insert(home.clone());
+        let shard = &self.inner.shards[self.shard_index(&skey)];
+        {
+            let mut data = shard.data.write();
+            if tag.advertises_subject() {
+                data.tag_subject
+                    .entry(skey.clone())
+                    .or_default()
+                    .insert(home.clone());
+            }
+            if tag.advertises_object() {
+                data.tag_object
+                    .entry(cred.body.object.to_string())
+                    .or_default()
+                    .insert(home.clone());
+            }
+            data.insert(&skey, home.clone(), cred.clone(), tag);
+            // High-water mark while the write lock is still held: a
+            // reader that later sees an unchanged mark is guaranteed this
+            // mutation was not yet visible when the mark was read.
+            let e = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            shard.high_water.fetch_max(e, Ordering::AcqRel);
         }
-        self.inner
-            .shards
-            .write()
-            .entry(home.clone())
-            .or_default()
-            .insert(cred.clone());
-        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
         let observer = self.inner.observer.read().clone();
         if let Some(obs) = observer {
             obs(RepoEvent::Published {
@@ -248,85 +413,128 @@ impl Repository {
         self.publish(cred.body.issuer.clone(), cred, DiscoveryTag::Both);
     }
 
-    /// All credentials whose subject matches `subject`, using the tag
-    /// index when possible. Results share the repository's allocations
-    /// (`Arc`) — no signed blob is cloned.
+    /// All credentials whose subject matches `subject`, served from the
+    /// subject's single shard. Directed when the shard's tag index
+    /// advertises the key; broadcast (counted against every home)
+    /// otherwise. Results share the repository's allocations (`Arc`) — no
+    /// signed blob is cloned.
     pub fn query_by_subject(&self, subject: &Subject) -> Vec<Arc<SignedDelegation>> {
-        self.query(&subject_key(subject), &self.inner.tag_subject, |s, k| {
-            s.by_subject.get(k)
-        })
+        self.query_by_subject_key(&subject_key(subject))
     }
 
-    /// All credentials conveying `role`, using the tag index when possible.
-    pub fn query_by_object(&self, role: &RoleName) -> Vec<Arc<SignedDelegation>> {
-        self.query(&role.to_string(), &self.inner.tag_object, |s, k| {
-            s.by_object.get(k)
-        })
-    }
-
-    fn query(
-        &self,
-        key: &str,
-        tag_index: &RwLock<HashMap<String, HashSet<EntityName>>>,
-        select: impl for<'s> Fn(&'s Shard, &str) -> Option<&'s Vec<usize>>,
-    ) -> Vec<Arc<SignedDelegation>> {
+    /// [`query_by_subject`](Self::query_by_subject) by pre-computed
+    /// canonical key (hot-path variant: skips re-deriving the key).
+    pub fn query_by_subject_key(&self, key: &str) -> Vec<Arc<SignedDelegation>> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
         psf_telemetry::counter!("psf.drbac.repo.queries").inc();
-        let shards = self.inner.shards.read();
-        let homes: Vec<EntityName> = {
-            let tags = tag_index.read();
-            match tags.get(key) {
-                Some(homes) => {
-                    self.inner.directed.fetch_add(1, Ordering::Relaxed);
-                    psf_telemetry::counter!("psf.drbac.repo.directed").inc();
-                    homes.iter().cloned().collect()
-                }
-                None => {
-                    self.inner.broadcast.fetch_add(1, Ordering::Relaxed);
-                    psf_telemetry::counter!("psf.drbac.repo.broadcast").inc();
-                    shards.keys().cloned().collect()
+        let shard = &self.inner.shards[self.shard_index(key)];
+        let data = shard.data.read();
+        let mut out = Vec::new();
+        match data.tag_subject.get(key) {
+            Some(homes) => {
+                // Directed: one message per advertising home; only
+                // credentials stored at those homes are reachable.
+                self.inner.directed.fetch_add(1, Ordering::Relaxed);
+                psf_telemetry::counter!("psf.drbac.repo.directed").inc();
+                self.inner
+                    .messages
+                    .fetch_add(homes.len() as u64, Ordering::Relaxed);
+                psf_telemetry::counter!("psf.drbac.repo.messages").add(homes.len() as u64);
+                if let Some(indices) = data.by_subject.get(key) {
+                    for &i in indices {
+                        let e = &data.entries[i as usize];
+                        if homes.contains(&e.home) {
+                            out.push(e.cred.clone());
+                        }
+                    }
                 }
             }
-        };
-        self.inner
-            .messages
-            .fetch_add(homes.len() as u64, Ordering::Relaxed);
-        psf_telemetry::counter!("psf.drbac.repo.messages").add(homes.len() as u64);
-        let mut out = Vec::new();
-        for home in homes {
-            if let Some(shard) = shards.get(&home) {
-                if let Some(indices) = select(shard, key) {
-                    out.extend(indices.iter().map(|&i| shard.credentials[i].clone()));
+            None => {
+                // Broadcast: every home is asked.
+                self.inner.broadcast.fetch_add(1, Ordering::Relaxed);
+                psf_telemetry::counter!("psf.drbac.repo.broadcast").inc();
+                let total = self.inner.homes.read().len() as u64;
+                self.inner.messages.fetch_add(total, Ordering::Relaxed);
+                psf_telemetry::counter!("psf.drbac.repo.messages").add(total);
+                if let Some(indices) = data.by_subject.get(key) {
+                    out.extend(
+                        indices
+                            .iter()
+                            .map(|&i| data.entries[i as usize].cred.clone()),
+                    );
                 }
             }
         }
         out
     }
 
+    /// All credentials conveying `role`. Matching credentials are sharded
+    /// by their *subjects*, so the query fans over every shard (brief read
+    /// lock each, never a global lock); the advertised-home union across
+    /// shards decides directed vs broadcast.
+    pub fn query_by_object(&self, role: &RoleName) -> Vec<Arc<SignedDelegation>> {
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.drbac.repo.queries").inc();
+        let key = role.to_string();
+        let mut advertised: HashSet<EntityName> = HashSet::new();
+        let mut matches: Vec<(EntityName, Arc<SignedDelegation>)> = Vec::new();
+        for shard in &self.inner.shards {
+            let data = shard.data.read();
+            if let Some(homes) = data.tag_object.get(&key) {
+                advertised.extend(homes.iter().cloned());
+            }
+            if let Some(indices) = data.by_object.get(&key) {
+                for &i in indices {
+                    let e = &data.entries[i as usize];
+                    matches.push((e.home.clone(), e.cred.clone()));
+                }
+            }
+        }
+        if advertised.is_empty() {
+            self.inner.broadcast.fetch_add(1, Ordering::Relaxed);
+            psf_telemetry::counter!("psf.drbac.repo.broadcast").inc();
+            let total = self.inner.homes.read().len() as u64;
+            self.inner.messages.fetch_add(total, Ordering::Relaxed);
+            psf_telemetry::counter!("psf.drbac.repo.messages").add(total);
+            matches.into_iter().map(|(_, c)| c).collect()
+        } else {
+            self.inner.directed.fetch_add(1, Ordering::Relaxed);
+            psf_telemetry::counter!("psf.drbac.repo.directed").inc();
+            self.inner
+                .messages
+                .fetch_add(advertised.len() as u64, Ordering::Relaxed);
+            psf_telemetry::counter!("psf.drbac.repo.messages").add(advertised.len() as u64);
+            matches
+                .into_iter()
+                .filter(|(home, _)| advertised.contains(home))
+                .map(|(_, c)| c)
+                .collect()
+        }
+    }
+
     /// A deterministic snapshot of every stored credential across all
-    /// homes, sorted by credential id (shard iteration order is a HashMap
-    /// artifact and must not leak into analysis output). Results share the
-    /// repository's allocations (`Arc`) — no signed blob is cloned. This
-    /// is the graph-extraction entry point for static analysis
-    /// (psf-analysis): cycle, expiry, and dangling-support passes walk
-    /// this snapshot rather than issuing directed queries.
+    /// shards, sorted by credential id (shard order is a hash artifact and
+    /// must not leak into analysis output). Results share the repository's
+    /// allocations (`Arc`) — no signed blob is cloned. This is the
+    /// graph-extraction entry point for static analysis (psf-analysis):
+    /// cycle, expiry, and dangling-support passes walk this snapshot
+    /// rather than issuing directed queries.
     pub fn all_credentials(&self) -> Vec<Arc<SignedDelegation>> {
-        let shards = self.inner.shards.read();
-        let mut out: Vec<Arc<SignedDelegation>> = shards
-            .values()
-            .flat_map(|s| s.credentials.iter().cloned())
-            .collect();
+        let mut out: Vec<Arc<SignedDelegation>> = Vec::new();
+        for shard in &self.inner.shards {
+            let data = shard.data.read();
+            out.extend(data.entries.iter().map(|e| e.cred.clone()));
+        }
         out.sort_by_key(|a| a.id());
         out
     }
 
-    /// Total number of stored credentials across all homes.
+    /// Total number of stored credentials across all shards.
     pub fn len(&self) -> usize {
         self.inner
             .shards
-            .read()
-            .values()
-            .map(|s| s.credentials.len())
+            .iter()
+            .map(|s| s.data.read().entries.len())
             .sum()
     }
 
@@ -335,41 +543,28 @@ impl Repository {
         self.len() == 0
     }
 
-    /// Number of home-node shards.
+    /// Number of home nodes ever published to.
     pub fn home_count(&self) -> usize {
-        self.inner.shards.read().len()
+        self.inner.homes.read().len()
     }
 
-    /// Drop expired credentials from every shard (a home node's
-    /// housekeeping). Returns how many were purged. Tag-index entries for
-    /// emptied keys are left in place — a directed query to a home that
-    /// no longer holds matches simply returns nothing.
+    /// Drop expired credentials, one shard at a time: each shard is
+    /// locked, swept, and released before the next — a purge never blocks
+    /// concurrent lookups on other shards. Returns how many credentials
+    /// were purged. Tag-index advertisements are rebuilt from the
+    /// survivors, so an expired credential's advertisement dies with it:
+    /// a dead advertisement would otherwise keep a key on the directed
+    /// path and hide live un-tagged credentials stored at other homes
+    /// (and [`snapshot_entries`](Self::snapshot_entries) — hence WAL
+    /// compaction — only captures survivors' tags, so keeping stale
+    /// entries would make query results differ across a compaction).
     pub fn purge_expired(&self, now: u64) -> usize {
         let mut purged = 0;
-        {
-            let mut shards = self.inner.shards.write();
-            for shard in shards.values_mut() {
-                let keep: Vec<Arc<SignedDelegation>> = shard
-                    .credentials
-                    .drain(..)
-                    .filter(|c| match c.body.expires {
-                        Some(t) => {
-                            let alive = now < t;
-                            if !alive {
-                                purged += 1;
-                            }
-                            alive
-                        }
-                        None => true,
-                    })
-                    .collect();
-                shard.by_subject.clear();
-                shard.by_object.clear();
-                for cred in keep {
-                    shard.insert(cred);
-                }
-            }
+        for i in 0..self.inner.shards.len() {
+            purged += self.purge_expired_shard(i, now);
         }
+        // One final epoch bump even when nothing was purged, matching the
+        // historical "purge always advances the version" contract.
         self.inner.epoch.fetch_add(1, Ordering::AcqRel);
         if purged > 0 {
             let observer = self.inner.observer.read().clone();
@@ -378,6 +573,48 @@ impl Repository {
             }
         }
         purged
+    }
+
+    /// Sweep a single shard for expired credentials. Internal: the
+    /// durability layer replays per-shard `PurgeExpired` records with it
+    /// (callers outside the crate go through [`purge_expired`], which
+    /// notifies the observer).
+    pub(crate) fn purge_expired_shard(&self, shard: usize, now: u64) -> usize {
+        let state = &self.inner.shards[shard];
+        let mut data = state.data.write();
+        let expired = data
+            .entries
+            .iter()
+            .filter(|e| e.cred.body.expires.is_some_and(|t| now >= t))
+            .count();
+        if expired > 0 {
+            let old = std::mem::take(&mut *data);
+            let mut rebuilt = ShardData::default();
+            for e in old.entries {
+                if e.cred.body.expires.is_none_or(|t| now < t) {
+                    let skey = subject_key(&e.cred.body.subject);
+                    if e.tag.advertises_subject() {
+                        rebuilt
+                            .tag_subject
+                            .entry(skey.clone())
+                            .or_default()
+                            .insert(e.home.clone());
+                    }
+                    if e.tag.advertises_object() {
+                        rebuilt
+                            .tag_object
+                            .entry(e.cred.body.object.to_string())
+                            .or_default()
+                            .insert(e.home.clone());
+                    }
+                    rebuilt.insert(&skey, e.home, e.cred, e.tag);
+                }
+            }
+            *data = rebuilt;
+            let e = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            state.high_water.fetch_max(e, Ordering::AcqRel);
+        }
+        expired
     }
 
     /// The repository's mutation epoch (see [`CredentialSource::version`]).
@@ -408,33 +645,54 @@ impl Repository {
     }
 
     /// A deterministic snapshot of every stored credential with its home
-    /// node and reconstructed discovery tags, sorted by (home, credential
-    /// id). This is what WAL compaction persists: enough to rebuild the
-    /// shards *and* the tag index byte-for-byte.
+    /// node and discovery tags, sorted by (home, credential id). This is
+    /// what WAL compaction persists: enough to rebuild the shards *and*
+    /// the tag index byte-for-byte.
     pub fn snapshot_entries(&self) -> Vec<(EntityName, DiscoveryTag, Arc<SignedDelegation>)> {
-        let shards = self.inner.shards.read();
-        let tag_subject = self.inner.tag_subject.read();
-        let tag_object = self.inner.tag_object.read();
         let mut out: Vec<(EntityName, DiscoveryTag, Arc<SignedDelegation>)> = Vec::new();
-        for (home, shard) in shards.iter() {
-            for cred in &shard.credentials {
-                let subj = tag_subject
-                    .get(&subject_key(&cred.body.subject))
-                    .is_some_and(|homes| homes.contains(home));
-                let obj = tag_object
-                    .get(&cred.body.object.to_string())
-                    .is_some_and(|homes| homes.contains(home));
-                let tag = match (subj, obj) {
-                    (true, true) => DiscoveryTag::Both,
-                    (true, false) => DiscoveryTag::SearchableFromSubject,
-                    (false, true) => DiscoveryTag::SearchableFromObject,
-                    (false, false) => DiscoveryTag::None,
-                };
-                out.push((home.clone(), tag, cred.clone()));
-            }
+        for i in 0..self.inner.shards.len() {
+            out.extend(self.snapshot_shard(i));
         }
         out.sort_by(|a, b| (&a.0 .0, a.2.id()).cmp(&(&b.0 .0, b.2.id())));
         out
+    }
+
+    /// Per-shard snapshot in the same shape as
+    /// [`snapshot_entries`](Self::snapshot_entries), sorted by (home,
+    /// credential id). The sharded WAL compacts one shard at a time with
+    /// it.
+    pub fn snapshot_shard(
+        &self,
+        shard: usize,
+    ) -> Vec<(EntityName, DiscoveryTag, Arc<SignedDelegation>)> {
+        let data = self.inner.shards[shard].data.read();
+        let mut out: Vec<(EntityName, DiscoveryTag, Arc<SignedDelegation>)> = Vec::new();
+        for e in &data.entries {
+            out.push((e.home.clone(), e.tag, e.cred.clone()));
+        }
+        out.sort_by(|a, b| (&a.0 .0, a.2.id()).cmp(&(&b.0 .0, b.2.id())));
+        out
+    }
+
+    /// Per-shard occupancy snapshot (entries, index sizes, high-water
+    /// marks) for `psf repo --stats`.
+    pub fn shard_infos(&self) -> Vec<ShardInfo> {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let data = s.data.read();
+                ShardInfo {
+                    index: i,
+                    entries: data.entries.len(),
+                    subject_keys: data.by_subject.len(),
+                    object_keys: data.by_object.len(),
+                    tag_keys: data.tag_subject.len() + data.tag_object.len(),
+                    high_water: s.high_water.load(Ordering::Acquire),
+                }
+            })
+            .collect()
     }
 
     /// Snapshot the traffic counters.
@@ -580,5 +838,151 @@ mod tests {
         repo.reset_stats();
         let _ = repo.query_by_object(&ny.role("Member"));
         assert_eq!(repo.stats().directed, 1);
+    }
+
+    /// Sharding is an internal layout choice: a single-shard store and a
+    /// many-shard store must agree on every query, count, and snapshot.
+    #[test]
+    fn shard_count_is_observationally_invisible() {
+        let wide = Repository::with_shard_count(64);
+        let narrow = Repository::with_shard_count(1);
+        assert_eq!(wide.shard_count(), 64);
+        assert_eq!(narrow.shard_count(), 1);
+        let subjects: Vec<Entity> = (0..24)
+            .map(|i| Entity::with_seed(format!("U{i}"), b"shard"))
+            .collect();
+        let doms: Vec<Entity> = (0..4)
+            .map(|i| Entity::with_seed(format!("D{i}"), b"shard"))
+            .collect();
+        for (i, u) in subjects.iter().enumerate() {
+            let d = &doms[i % doms.len()];
+            let tag = match i % 3 {
+                0 => DiscoveryTag::Both,
+                1 => DiscoveryTag::SearchableFromSubject,
+                _ => DiscoveryTag::None,
+            };
+            let c = cred(d, u, "Member");
+            wide.publish(d.name.clone(), c.clone(), tag);
+            narrow.publish(d.name.clone(), c, tag);
+        }
+        assert_eq!(wide.len(), narrow.len());
+        assert_eq!(wide.home_count(), narrow.home_count());
+        for u in &subjects {
+            let a: Vec<String> = wide
+                .query_by_subject(&u.as_subject())
+                .iter()
+                .map(|c| c.id())
+                .collect();
+            let b: Vec<String> = narrow
+                .query_by_subject(&u.as_subject())
+                .iter()
+                .map(|c| c.id())
+                .collect();
+            assert_eq!(a, b, "subject query diverged for {}", u.name);
+        }
+        for d in &doms {
+            let mut a: Vec<String> = wide
+                .query_by_object(&d.role("Member"))
+                .iter()
+                .map(|c| c.id())
+                .collect();
+            let mut b: Vec<String> = narrow
+                .query_by_object(&d.role("Member"))
+                .iter()
+                .map(|c| c.id())
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "object query diverged for {}", d.name);
+        }
+        let ids = |r: &Repository| -> Vec<String> {
+            r.all_credentials().iter().map(|c| c.id()).collect()
+        };
+        assert_eq!(ids(&wide), ids(&narrow));
+        let snap = |r: &Repository| -> Vec<(String, u8, String)> {
+            r.snapshot_entries()
+                .iter()
+                .map(|(h, t, c)| (h.0.clone(), t.to_byte(), c.id()))
+                .collect()
+        };
+        assert_eq!(snap(&wide), snap(&narrow));
+    }
+
+    /// Publishing into one shard must not move any other shard's
+    /// high-water mark — the property the proof cache's per-shard
+    /// invalidation rests on.
+    #[test]
+    fn high_water_marks_move_only_for_the_mutated_shard() {
+        let repo = Repository::with_shard_count(16);
+        let ny = Entity::with_seed("Comp.NY", b"hw");
+        let alice = Entity::with_seed("Alice", b"hw");
+        repo.publish_at_issuer(cred(&ny, &alice, "Member"));
+        let alice_shard = repo.shard_index(&subject_key(&alice.as_subject()));
+        let marks: Vec<u64> = repo.shard_marks().unwrap();
+        assert!(marks[alice_shard] > 0);
+        // Find a subject landing in a different shard and publish it.
+        let other = (0..64)
+            .map(|i| Entity::with_seed(format!("Probe{i}"), b"hw"))
+            .find(|e| repo.shard_index(&subject_key(&e.as_subject())) != alice_shard)
+            .expect("64 probes must hit a second shard of 16");
+        repo.publish_at_issuer(cred(&ny, &other, "Member"));
+        let after: Vec<u64> = repo.shard_marks().unwrap();
+        assert_eq!(
+            marks[alice_shard], after[alice_shard],
+            "untouched shard's mark moved"
+        );
+        let other_shard = repo.shard_index(&subject_key(&other.as_subject()));
+        assert!(after[other_shard] > marks[other_shard]);
+        // The global version still advances on every publish.
+        assert!(repo.version().unwrap() >= 2);
+    }
+
+    #[test]
+    fn shard_infos_account_for_every_entry() {
+        let repo = Repository::with_shard_count(8);
+        let ny = Entity::with_seed("Comp.NY", b"si");
+        for i in 0..40 {
+            let u = Entity::with_seed(format!("U{i}"), b"si");
+            repo.publish_at_issuer(cred(&ny, &u, "Member"));
+        }
+        let infos = repo.shard_infos();
+        assert_eq!(infos.len(), 8);
+        assert_eq!(infos.iter().map(|s| s.entries).sum::<usize>(), 40);
+        assert!(
+            infos.iter().filter(|s| s.entries > 0).count() > 1,
+            "40 subjects should spread across shards"
+        );
+        for s in &infos {
+            if s.entries > 0 {
+                assert!(s.high_water > 0);
+                assert!(s.subject_keys > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_purge_keeps_shards_consistent() {
+        let repo = Repository::with_shard_count(8);
+        let ny = Entity::with_seed("Comp.NY", b"ip");
+        let mut doomed = 0;
+        for i in 0..30 {
+            let u = Entity::with_seed(format!("U{i}"), b"ip");
+            let mut b = DelegationBuilder::new(&ny)
+                .subject_entity(&u)
+                .role(ny.role("Member"));
+            if i % 3 == 0 {
+                b = b.expires(100);
+                doomed += 1;
+            }
+            repo.publish_at_issuer(b.sign());
+        }
+        assert_eq!(repo.purge_expired(100), doomed);
+        assert_eq!(repo.len(), 30 - doomed);
+        // Survivors remain indexed and findable after the per-shard rebuild.
+        for i in 0..30 {
+            let u = Entity::with_seed(format!("U{i}"), b"ip");
+            let found = repo.query_by_subject(&u.as_subject());
+            assert_eq!(found.len(), usize::from(i % 3 != 0), "U{i}");
+        }
     }
 }

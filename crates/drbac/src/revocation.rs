@@ -23,7 +23,11 @@ pub struct RevocationNotice {
 }
 
 /// Callback observing fresh revocations (see [`RevocationBus::set_observer`]).
-pub type RevocationObserver = Arc<dyn Fn(&str) + Send + Sync>;
+/// Invoked with the batch of *newly* revoked ids: a single-id slice per
+/// [`RevocationBus::revoke`], the whole fresh set at once per
+/// [`RevocationBus::revoke_all`] — so a bulk revoke fires one bounded
+/// callback instead of one per credential.
+pub type RevocationObserver = Arc<dyn Fn(&[String]) + Send + Sync>;
 
 struct BusInner {
     revoked: Mutex<HashSet<String>>,
@@ -82,7 +86,8 @@ impl RevocationBus {
         if fresh {
             let observer = self.inner.observer.lock().clone();
             if let Some(obs) = observer {
-                obs(credential_id);
+                let batch = [credential_id.to_string()];
+                obs(&batch);
             }
         }
         psf_telemetry::audit::record(
@@ -193,22 +198,69 @@ impl RevocationBus {
     }
 
     /// Revoke a batch of credential ids (e.g. everything issued to a
-    /// deployment being torn down or rolled back). Returns the number of
-    /// ids that were newly revoked.
+    /// deployment being torn down or rolled back) as **one epoch**: one
+    /// pass over the revoked set, one watcher-removal pass, one observer
+    /// callback with the whole fresh batch, one audit record — a
+    /// 10⁵-credential bulk revoke fires a bounded number of callbacks
+    /// instead of one per credential. Returns the number of ids that were
+    /// newly revoked.
     pub fn revoke_all<I, S>(&self, credential_ids: I) -> usize
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut fresh = 0;
-        for id in credential_ids {
-            let id = id.as_ref();
-            if !self.is_revoked(id) {
-                fresh += 1;
-            }
-            self.revoke(id);
+        let batch: Vec<String> = credential_ids
+            .into_iter()
+            .map(|s| s.as_ref().to_string())
+            .collect();
+        if batch.is_empty() {
+            return 0;
         }
-        fresh
+        psf_telemetry::counter!("psf.drbac.revocations").add(batch.len() as u64);
+        let mut fresh_ids: Vec<String> = Vec::new();
+        {
+            let mut revoked = self.inner.revoked.lock();
+            for id in &batch {
+                if revoked.insert(id.clone()) {
+                    fresh_ids.push(id.clone());
+                }
+            }
+        }
+        // One watcher pass for the whole batch; notices are sent after
+        // the lock is released, like `revoke`.
+        let mut woken: Vec<(String, MonitorHandle)> = Vec::new();
+        {
+            let mut map = self.inner.watchers.lock();
+            for id in &batch {
+                for w in map.remove(id).unwrap_or_default() {
+                    woken.push((id.clone(), w));
+                }
+            }
+        }
+        let woken_count = woken.len();
+        for (id, w) in woken {
+            w.valid.store(false, Ordering::SeqCst);
+            let _ = w.tx.send(RevocationNotice { credential_id: id });
+        }
+        if !fresh_ids.is_empty() {
+            let observer = self.inner.observer.lock().clone();
+            if let Some(obs) = observer {
+                obs(&fresh_ids);
+            }
+        }
+        psf_telemetry::audit::record(
+            psf_telemetry::Decision::Revocation,
+            "",
+            "revoke-all",
+            psf_telemetry::Verdict::Revoked,
+        )
+        .detail(format!(
+            "{} id(s), {} fresh, {woken_count} monitor(s) invalidated",
+            batch.len(),
+            fresh_ids.len()
+        ))
+        .commit();
+        fresh_ids.len()
     }
 
     /// Number of revoked credential ids.

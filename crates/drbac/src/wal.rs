@@ -21,7 +21,10 @@
 //! Kinds: `1` **Publish** (`u32`-prefixed home string, one tag byte,
 //! credential in [`SignedDelegation::to_wire`] framing), `2` **Revoke**
 //! (`u32`-prefixed credential id), `3` **PurgeExpired** (`u64` purge
-//! time). The epoch tag is the repository's mutation epoch at append
+//! time), `4` **RevokeBatch** (`u32` count, then that many
+//! `u32`-prefixed credential ids — one frame for an entire
+//! [`RevocationBus::revoke_all`] epoch). The epoch tag is the
+//! repository's mutation epoch at append
 //! time; recovery raises the rebuilt repository's epoch to the maximum
 //! seen and then bumps it once more, so any negative proof-cache entry
 //! pinned to a pre-crash epoch can never be mistaken for current.
@@ -47,6 +50,19 @@
 //! carries a trailing CRC32 over its entire contents; a corrupt snapshot
 //! (torn rename on a filesystem without atomic rename durability) is
 //! ignored at recovery and reported in the [`RecoveryReport`].
+//!
+//! ## Sharded layout
+//!
+//! [`ShardedDurableRepository`] scales the same machinery to the sharded
+//! [`Repository`]: one log segment *per repository shard* under
+//! `dir/shard-NN/` (same frame format, same snapshot format, same
+//! per-segment compaction) plus a `dir/bus/` segment for revocations, all
+//! declared by a checksummed `dir/shards.meta`. A publish is appended only
+//! to its subject's shard segment, so writers to different shards never
+//! share a log mutex; recovery replays every segment in parallel. Group
+//! commit batches frames per segment under [`FsyncPolicy::EveryN`] /
+//! [`FsyncPolicy::Never`] (note the loss window for buffered frames then
+//! includes a process crash, not just power loss — `sync()` flushes).
 
 use crate::delegation::SignedDelegation;
 use crate::entity::EntityName;
@@ -54,7 +70,7 @@ use crate::repository::{DiscoveryTag, RepoEvent, Repository};
 use crate::revocation::RevocationBus;
 use crate::wire::Reader;
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
@@ -67,8 +83,13 @@ pub const LOG_FILE: &str = "delegations.wal";
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// Temporary snapshot name (renamed over [`SNAPSHOT_FILE`] when complete).
 pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+/// Shard-layout manifest inside a sharded durable directory.
+pub const SHARD_META_FILE: &str = "shards.meta";
+/// Revocation-bus segment directory inside a sharded durable directory.
+pub const BUS_DIR: &str = "bus";
 
 const SNAPSHOT_MAGIC: &[u8; 11] = b"PSF-SNAP-v1";
+const SHARD_META_MAGIC: &[u8; 11] = b"PSF-SHRD-v1";
 /// Upper bound on a single record's payload; anything larger is treated
 /// as corruption (a credential is ~200 bytes, so this is generous).
 const MAX_RECORD_LEN: u32 = 1 << 24;
@@ -76,6 +97,7 @@ const MAX_RECORD_LEN: u32 = 1 << 24;
 const KIND_PUBLISH: u8 = 1;
 const KIND_REVOKE: u8 = 2;
 const KIND_PURGE: u8 = 3;
+const KIND_REVOKE_BATCH: u8 = 4;
 
 // ---------------------------------------------------------------------------
 // CRC32 (IEEE, reflected 0xEDB88320) — table built at compile time so the
@@ -142,6 +164,12 @@ pub enum WalOp {
         /// The purge evaluation time.
         now: u64,
     },
+    /// A bulk revocation epoch: every id revoked in one
+    /// [`RevocationBus::revoke_all`] call, logged as a single frame.
+    RevokeBatch {
+        /// The revoked credential ids.
+        ids: Vec<String>,
+    },
 }
 
 /// One valid record found by [`scan_log`].
@@ -173,16 +201,32 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Encode a publish payload directly from borrowed parts — the hot path
+/// for the sharded log, which must not deep-clone a signed credential per
+/// append just to build a [`WalOp`].
+fn encode_publish_payload(
+    epoch: u64,
+    home: &EntityName,
+    tag: DiscoveryTag,
+    cred: &SignedDelegation,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.push(KIND_PUBLISH);
+    put_str(&mut out, &home.0);
+    out.push(tag.to_byte());
+    out.extend_from_slice(&cred.to_wire());
+    out
+}
+
 fn encode_payload(epoch: u64, op: &WalOp) -> Vec<u8> {
+    if let WalOp::Publish { home, tag, cred } = op {
+        return encode_publish_payload(epoch, home, *tag, cred);
+    }
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&epoch.to_le_bytes());
     match op {
-        WalOp::Publish { home, tag, cred } => {
-            out.push(KIND_PUBLISH);
-            put_str(&mut out, &home.0);
-            out.push(tag.to_byte());
-            out.extend_from_slice(&cred.to_wire());
-        }
+        WalOp::Publish { .. } => unreachable!("handled above"),
         WalOp::Revoke { id } => {
             out.push(KIND_REVOKE);
             put_str(&mut out, id);
@@ -190,6 +234,13 @@ fn encode_payload(epoch: u64, op: &WalOp) -> Vec<u8> {
         WalOp::PurgeExpired { now } => {
             out.push(KIND_PURGE);
             out.extend_from_slice(&now.to_le_bytes());
+        }
+        WalOp::RevokeBatch { ids } => {
+            out.push(KIND_REVOKE_BATCH);
+            out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for id in ids {
+                put_str(&mut out, id);
+            }
         }
     }
     out
@@ -226,6 +277,17 @@ fn decode_payload(payload: &[u8]) -> Result<(u64, WalOp), String> {
         KIND_PURGE => WalOp::PurgeExpired {
             now: r.u64().map_err(|e| e.to_string())?,
         },
+        KIND_REVOKE_BATCH => {
+            let n = r.u32().map_err(|e| e.to_string())? as usize;
+            if n > 1 << 20 {
+                return Err("implausible revoke-batch count".into());
+            }
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(r.string().map_err(|e| e.to_string())?);
+            }
+            WalOp::RevokeBatch { ids }
+        }
         k => return Err(format!("unknown record kind {k}")),
     };
     if !r.finished() {
@@ -522,9 +584,11 @@ fn replay(
 ) -> std::io::Result<(RecoveryReport, LogScan)> {
     let mut report = RecoveryReport::default();
     let mut max_epoch = 0u64;
-    // (home, credential-id) pairs already applied — dedup for
-    // snapshot/log overlap and replayed double-publishes.
-    let mut seen: HashSet<(String, String)> = HashSet::new();
+    // (home, credential-id) → expiry, for every pair currently applied —
+    // dedup for snapshot/log overlap and replayed double-publishes. A
+    // replayed purge *removes* expired pairs, so a later re-publish of a
+    // purged credential is applied rather than mistaken for a duplicate.
+    let mut seen: HashMap<(String, String), Option<u64>> = HashMap::new();
 
     match load_snapshot(&dir.join(SNAPSHOT_FILE))? {
         SnapshotLoad::Missing => {}
@@ -542,7 +606,7 @@ fn replay(
         SnapshotLoad::Loaded(snap) => {
             max_epoch = max_epoch.max(snap.epoch);
             for (home, tag, cred) in snap.entries {
-                seen.insert((home.0.clone(), cred.id()));
+                seen.insert((home.0.clone(), cred.id()), cred.body.expires);
                 repo.publish(home, cred, tag);
                 report.snapshot_entries += 1;
             }
@@ -561,19 +625,26 @@ fn replay(
         max_epoch = max_epoch.max(rec.epoch);
         match &rec.op {
             WalOp::Publish { home, tag, cred } => {
-                if seen.insert((home.0.clone(), cred.id())) {
-                    repo.publish(home.clone(), cred.clone(), *tag);
-                    report.publishes += 1;
-                } else {
-                    report.duplicates_skipped += 1;
+                use std::collections::hash_map::Entry;
+                match seen.entry((home.0.clone(), cred.id())) {
+                    Entry::Occupied(_) => report.duplicates_skipped += 1,
+                    Entry::Vacant(v) => {
+                        v.insert(cred.body.expires);
+                        repo.publish(home.clone(), cred.clone(), *tag);
+                        report.publishes += 1;
+                    }
                 }
             }
             WalOp::Revoke { id } => {
                 report.revocations_restored += bus.restore([id.as_str()]);
             }
+            WalOp::RevokeBatch { ids } => {
+                report.revocations_restored += bus.restore(ids.iter().map(|s| s.as_str()));
+            }
             WalOp::PurgeExpired { now } => {
                 repo.purge_expired(*now);
                 report.purges += 1;
+                seen.retain(|_, exp| exp.is_none_or(|e| *now < e));
             }
         }
     }
@@ -762,9 +833,13 @@ impl DurableRepository {
                 d.log_payload(&payload);
             })));
             let d = durable.clone();
-            bus.set_observer(Some(Arc::new(move |id: &str| {
-                let payload = encode_payload(d.repo.epoch(), &WalOp::Revoke { id: id.to_string() });
-                d.log_payload(&payload);
+            bus.set_observer(Some(Arc::new(move |ids: &[String]| {
+                // One Revoke record per id: the single-log format predates
+                // RevokeBatch and old logs must keep scanning identically.
+                for id in ids {
+                    let payload = encode_payload(d.repo.epoch(), &WalOp::Revoke { id: id.clone() });
+                    d.log_payload(&payload);
+                }
             })));
         }
         Ok((durable, report))
@@ -890,6 +965,860 @@ impl DurableRepository {
 
     /// Detach the logging observers (used by tests simulating a crash:
     /// the files stay as-is, the in-memory halves keep working unlogged).
+    pub fn detach(&self) {
+        self.repo.set_observer(None);
+        self.bus.set_observer(None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded layout
+// ---------------------------------------------------------------------------
+
+/// Directory name of log-segment `i` inside a sharded durable directory.
+pub fn shard_dir_name(i: usize) -> String {
+    format!("shard-{i:02}")
+}
+
+/// Whether `dir` holds a sharded durable layout (a `shards.meta`
+/// manifest). `psf repo` and `psf chaos` use this to pick the recovery
+/// path without being told.
+pub fn is_sharded_dir(dir: &Path) -> bool {
+    dir.join(SHARD_META_FILE).is_file()
+}
+
+fn write_shard_meta(dir: &Path, shards: usize) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(SHARD_META_MAGIC.len() + 8);
+    out.extend_from_slice(SHARD_META_MAGIC);
+    out.extend_from_slice(&(shards as u32).to_le_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    let tmp = dir.join("shards.meta.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(SHARD_META_FILE))
+}
+
+fn read_shard_meta(dir: &Path) -> std::io::Result<Option<usize>> {
+    let buf = match std::fs::read(dir.join(SHARD_META_FILE)) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    if buf.len() != SHARD_META_MAGIC.len() + 8 {
+        return Err(bad("shards.meta: wrong size"));
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    if crc32(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return Err(bad("shards.meta: checksum mismatch"));
+    }
+    if &body[..SHARD_META_MAGIC.len()] != SHARD_META_MAGIC {
+        return Err(bad("shards.meta: bad magic"));
+    }
+    let n = u32::from_le_bytes(body[SHARD_META_MAGIC.len()..].try_into().unwrap()) as usize;
+    if n == 0 || n > 1024 || !n.is_power_of_two() {
+        return Err(bad("shards.meta: implausible shard count"));
+    }
+    Ok(Some(n))
+}
+
+/// Group-commit buffer threshold: under [`FsyncPolicy::Never`] a segment
+/// buffers frames in memory and issues one `write(2)` per this many
+/// bytes.
+const GROUP_BUF_BYTES: usize = 64 * 1024;
+
+struct SegmentWriter {
+    file: File,
+    /// Framed records not yet handed to the OS (group commit).
+    buf: Vec<u8>,
+    /// Records currently in `buf`.
+    buffered: u32,
+    /// Monotone count of records ever appended to this segment.
+    gen: u64,
+    appends_since_compact: u64,
+}
+
+impl SegmentWriter {
+    fn flush(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+            self.buffered = 0;
+        }
+        Ok(())
+    }
+}
+
+struct Segment {
+    dir: PathBuf,
+    writer: Mutex<SegmentWriter>,
+    /// Second handle to the same log, used for group commit: fsyncs run
+    /// on it OUTSIDE the writer lock, so appenders keep buffering while a
+    /// sync is in flight and one fsync covers all of them.
+    sync_file: Mutex<File>,
+    /// Highest `gen` handed to the OS (write(2) completed).
+    flushed_gen: AtomicU64,
+    /// Highest `gen` known durable (covered by a completed fsync).
+    synced_gen: AtomicU64,
+    appends: AtomicU64,
+    compactions: AtomicU64,
+    last_compact_epoch: AtomicU64,
+}
+
+impl Segment {
+    fn open(dir: PathBuf) -> std::io::Result<Segment> {
+        std::fs::create_dir_all(&dir)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join(LOG_FILE))?;
+        file.seek(SeekFrom::End(0))?;
+        let sync_file = file.try_clone()?;
+        Ok(Segment {
+            dir,
+            writer: Mutex::new(SegmentWriter {
+                file,
+                buf: Vec::new(),
+                buffered: 0,
+                gen: 0,
+                appends_since_compact: 0,
+            }),
+            sync_file: Mutex::new(sync_file),
+            flushed_gen: AtomicU64::new(0),
+            synced_gen: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            last_compact_epoch: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Per-segment durability stats inside a [`ShardedWalStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSegmentStats {
+    /// Records appended to this segment since open.
+    pub appends: u64,
+    /// Compactions of this segment since open.
+    pub compactions: u64,
+    /// Repository epoch at this segment's last compaction (0 = never).
+    pub last_compact_epoch: u64,
+    /// Current segment log size in bytes (excluding unflushed buffer).
+    pub log_bytes: u64,
+    /// Current segment snapshot size in bytes (0 when absent).
+    pub snapshot_bytes: u64,
+}
+
+/// Live counters for a [`ShardedDurableRepository`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedWalStats {
+    /// One row per repository shard segment, in shard order.
+    pub shards: Vec<ShardSegmentStats>,
+    /// The revocation-bus segment.
+    pub bus: ShardSegmentStats,
+    /// Total records appended since open (all segments).
+    pub appends: u64,
+    /// Explicit fsyncs issued since open (all segments).
+    pub fsyncs: u64,
+    /// Total compactions since open (all segments).
+    pub compactions: u64,
+}
+
+/// Read-only integrity report over a sharded durable directory.
+#[derive(Debug, Clone)]
+pub struct ShardedVerifyReport {
+    /// Per-shard segment reports, in shard order.
+    pub shards: Vec<VerifyReport>,
+    /// The revocation-bus segment report.
+    pub bus: VerifyReport,
+}
+
+impl ShardedVerifyReport {
+    /// True when **every** segment recovers with zero data loss.
+    pub fn is_clean(&self) -> bool {
+        self.shards.iter().all(|s| s.is_clean()) && self.bus.is_clean()
+    }
+
+    /// Indices of shard segments that are damaged (torn tail or corrupt
+    /// snapshot); `usize::MAX` marks the bus segment.
+    pub fn damaged(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_clean())
+            .map(|(i, _)| i)
+            .collect();
+        if !self.bus.is_clean() {
+            out.push(usize::MAX);
+        }
+        out
+    }
+}
+
+/// Read-only integrity check of every segment of a sharded durable
+/// directory. Backs `psf repo --verify` for sharded layouts.
+pub fn verify_sharded_dir(dir: &Path) -> std::io::Result<ShardedVerifyReport> {
+    let n = read_shard_meta(dir)?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "no shards.meta: not a sharded dir",
+        )
+    })?;
+    let mut shards = Vec::with_capacity(n);
+    for i in 0..n {
+        shards.push(verify_dir(&dir.join(shard_dir_name(i)))?);
+    }
+    let bus = verify_dir(&dir.join(BUS_DIR))?;
+    Ok(ShardedVerifyReport { shards, bus })
+}
+
+/// Outcome of replaying one segment (partial [`RecoveryReport`] fields
+/// plus what open() needs to truncate torn tails).
+#[derive(Default)]
+struct SegmentReplay {
+    snapshot_entries: usize,
+    snapshot_revocations: usize,
+    snapshot_corrupt: bool,
+    records_replayed: usize,
+    publishes: usize,
+    revocations_restored: usize,
+    purges: usize,
+    duplicates_skipped: usize,
+    max_epoch: u64,
+    valid_bytes: u64,
+    truncated_bytes: u64,
+}
+
+/// Replay one shard segment into `repo`. Publishes route back to their
+/// home shard by subject hash (same FNV, same count — guaranteed by
+/// construction); purge records are applied to **this shard only**, so a
+/// purge replicated to N segments re-applies exactly once per shard
+/// regardless of replay interleaving.
+fn replay_shard_segment(
+    seg_dir: &Path,
+    shard: usize,
+    repo: &Repository,
+) -> std::io::Result<SegmentReplay> {
+    let mut out = SegmentReplay::default();
+    let mut seen: HashMap<(String, String), Option<u64>> = HashMap::new();
+
+    match load_snapshot(&seg_dir.join(SNAPSHOT_FILE))? {
+        SnapshotLoad::Missing => {}
+        SnapshotLoad::Corrupt(reason) => {
+            out.snapshot_corrupt = true;
+            psf_telemetry::audit::record(
+                psf_telemetry::Decision::Revocation,
+                "",
+                "wal-snapshot",
+                psf_telemetry::Verdict::Deny,
+            )
+            .detail(format!("shard {shard} snapshot ignored: {reason}"))
+            .commit();
+        }
+        SnapshotLoad::Loaded(snap) => {
+            out.max_epoch = out.max_epoch.max(snap.epoch);
+            for (home, tag, cred) in snap.entries {
+                seen.insert((home.0.clone(), cred.id()), cred.body.expires);
+                repo.publish(home, cred, tag);
+                out.snapshot_entries += 1;
+            }
+            // Shard snapshots carry no revocations (those live in the bus
+            // segment), but tolerate them for forward compatibility.
+            out.snapshot_revocations = snap.revoked.len();
+        }
+    }
+
+    let log_image = match std::fs::read(seg_dir.join(LOG_FILE)) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let scan = scan_log(&log_image);
+    for rec in &scan.records {
+        out.max_epoch = out.max_epoch.max(rec.epoch);
+        match &rec.op {
+            WalOp::Publish { home, tag, cred } => {
+                use std::collections::hash_map::Entry;
+                match seen.entry((home.0.clone(), cred.id())) {
+                    Entry::Occupied(_) => out.duplicates_skipped += 1,
+                    Entry::Vacant(v) => {
+                        v.insert(cred.body.expires);
+                        repo.publish(home.clone(), cred.clone(), *tag);
+                        out.publishes += 1;
+                    }
+                }
+            }
+            WalOp::PurgeExpired { now } => {
+                repo.purge_expired_shard(shard, *now);
+                out.purges += 1;
+                seen.retain(|_, exp| exp.is_none_or(|e| *now < e));
+            }
+            // Revocations never land in shard segments; skip defensively.
+            WalOp::Revoke { .. } | WalOp::RevokeBatch { .. } => {}
+        }
+    }
+    out.records_replayed = scan.records.len();
+    out.valid_bytes = scan.valid_bytes;
+    out.truncated_bytes = scan.truncated_bytes;
+    Ok(out)
+}
+
+/// Replay the revocation-bus segment into `bus`.
+fn replay_bus_segment(seg_dir: &Path, bus: &RevocationBus) -> std::io::Result<SegmentReplay> {
+    let mut out = SegmentReplay::default();
+    match load_snapshot(&seg_dir.join(SNAPSHOT_FILE))? {
+        SnapshotLoad::Missing => {}
+        SnapshotLoad::Corrupt(reason) => {
+            out.snapshot_corrupt = true;
+            psf_telemetry::audit::record(
+                psf_telemetry::Decision::Revocation,
+                "",
+                "wal-snapshot",
+                psf_telemetry::Verdict::Deny,
+            )
+            .detail(format!("bus snapshot ignored: {reason}"))
+            .commit();
+        }
+        SnapshotLoad::Loaded(snap) => {
+            out.max_epoch = out.max_epoch.max(snap.epoch);
+            out.snapshot_revocations = snap.revoked.len();
+            out.revocations_restored += bus.restore(&snap.revoked);
+        }
+    }
+    let log_image = match std::fs::read(seg_dir.join(LOG_FILE)) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let scan = scan_log(&log_image);
+    for rec in &scan.records {
+        out.max_epoch = out.max_epoch.max(rec.epoch);
+        match &rec.op {
+            WalOp::Revoke { id } => {
+                out.revocations_restored += bus.restore([id.as_str()]);
+            }
+            WalOp::RevokeBatch { ids } => {
+                out.revocations_restored += bus.restore(ids.iter().map(|s| s.as_str()));
+            }
+            WalOp::Publish { .. } | WalOp::PurgeExpired { .. } => {}
+        }
+    }
+    out.records_replayed = scan.records.len();
+    out.valid_bytes = scan.valid_bytes;
+    out.truncated_bytes = scan.truncated_bytes;
+    Ok(out)
+}
+
+/// Replay every segment of a sharded directory into `repo`/`bus`. Shard
+/// segments run on a worker pool (one credential set is wholly contained
+/// in one segment, so shard replays are independent); the bus segment
+/// replays on the calling thread. Returns the aggregate report and the
+/// per-segment outcomes (shard order, bus last).
+fn replay_sharded(
+    dir: &Path,
+    shards: usize,
+    repo: &Repository,
+    bus: &RevocationBus,
+) -> std::io::Result<(RecoveryReport, Vec<SegmentReplay>)> {
+    use std::sync::atomic::AtomicUsize;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(shards)
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, std::io::Result<SegmentReplay>)>> =
+        Mutex::new(Vec::with_capacity(shards));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shards {
+                    break;
+                }
+                let r = replay_shard_segment(&dir.join(shard_dir_name(i)), i, repo);
+                results.lock().push((i, r));
+            });
+        }
+    });
+    let mut by_shard: Vec<Option<SegmentReplay>> = (0..shards).map(|_| None).collect();
+    for (i, r) in results.into_inner() {
+        by_shard[i] = Some(r?);
+    }
+    let mut outcomes: Vec<SegmentReplay> = by_shard
+        .into_iter()
+        .map(|o| o.expect("every shard index visited exactly once"))
+        .collect();
+    outcomes.push(replay_bus_segment(&dir.join(BUS_DIR), bus)?);
+
+    let mut report = RecoveryReport::default();
+    let mut max_epoch = 0u64;
+    for o in &outcomes {
+        report.snapshot_entries += o.snapshot_entries;
+        report.snapshot_revocations += o.snapshot_revocations;
+        report.snapshot_corrupt |= o.snapshot_corrupt;
+        report.records_replayed += o.records_replayed;
+        report.publishes += o.publishes;
+        report.revocations_restored += o.revocations_restored;
+        report.purges += o.purges;
+        report.duplicates_skipped += o.duplicates_skipped;
+        report.truncated_bytes += o.truncated_bytes;
+        report.log_bytes += o.valid_bytes;
+        max_epoch = max_epoch.max(o.max_epoch);
+    }
+    repo.raise_epoch(max_epoch);
+    report.epoch = repo.bump_epoch();
+    psf_telemetry::counter!("psf.repo.wal.replays").add(report.records_replayed as u64);
+    psf_telemetry::counter!("psf.repo.wal.truncated_bytes").add(report.truncated_bytes);
+    Ok((report, outcomes))
+}
+
+impl Repository {
+    /// Rebuild a repository (and its revocation bus) from a **sharded**
+    /// durable directory, read-only: every segment is scanned and
+    /// replayed (shards in parallel) but never modified. Use
+    /// [`ShardedDurableRepository::open`] to recover *and* keep logging.
+    pub fn recover_sharded(
+        dir: &Path,
+    ) -> std::io::Result<(Repository, RevocationBus, RecoveryReport)> {
+        let shards = read_shard_meta(dir)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no shards.meta: not a sharded dir",
+            )
+        })?;
+        let repo = Repository::with_shard_count(shards);
+        let bus = RevocationBus::new();
+        let (report, _) = replay_sharded(dir, shards, &repo, &bus)?;
+        Ok((repo, bus, report))
+    }
+}
+
+struct ShardedWalInner {
+    dir: PathBuf,
+    config: WalConfig,
+    segments: Vec<Segment>,
+    bus_segment: Segment,
+    fsyncs: AtomicU64,
+}
+
+impl ShardedWalInner {
+    /// Append one payload to a segment under group commit. Returns true
+    /// when the segment crossed its auto-compaction threshold.
+    fn append(&self, seg: &Segment, payload: &[u8]) -> std::io::Result<bool> {
+        let mut w = seg.writer.lock();
+        w.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        w.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        w.buf.extend_from_slice(payload);
+        w.buffered += 1;
+        w.gen += 1;
+        let my_gen = w.gen;
+        seg.appends.fetch_add(1, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.repo.wal.appends").inc();
+        let mut needs_sync = false;
+        match self.config.fsync {
+            FsyncPolicy::Always => {
+                // Hand the frame to the OS under the writer lock, then
+                // fsync OUTSIDE it (group commit): the sync runs on a
+                // second handle so appenders that arrive while it is in
+                // flight keep buffering and share the next fsync instead
+                // of each paying their own. Per-record durability is
+                // unchanged — we do not return until an fsync issued
+                // after our write(2) has completed.
+                w.flush()?;
+                seg.flushed_gen.fetch_max(my_gen, Ordering::Release);
+                needs_sync = true;
+            }
+            FsyncPolicy::EveryN(n) => {
+                if w.buffered >= n.max(1) {
+                    w.flush()?;
+                    w.file.sync_data()?;
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    psf_telemetry::counter!("psf.repo.wal.fsyncs").inc();
+                }
+            }
+            FsyncPolicy::Never => {
+                if w.buf.len() >= GROUP_BUF_BYTES {
+                    w.flush()?;
+                }
+            }
+        }
+        w.appends_since_compact += 1;
+        let compact = match self.config.auto_compact_appends {
+            Some(n) if n > 0 => w.appends_since_compact >= n,
+            _ => false,
+        };
+        drop(w);
+        if needs_sync {
+            self.group_sync(seg, my_gen)?;
+        }
+        Ok(compact)
+    }
+
+    /// Wait until an fsync covering `my_gen` has completed, running one
+    /// ourselves if nobody else's covers us. Only one thread syncs a
+    /// segment at a time; the threads queued behind it recheck on wake
+    /// and usually find a single follow-up fsync covers the whole batch.
+    fn group_sync(&self, seg: &Segment, my_gen: u64) -> std::io::Result<()> {
+        loop {
+            if seg.synced_gen.load(Ordering::Acquire) >= my_gen {
+                return Ok(());
+            }
+            let f = seg.sync_file.lock();
+            if seg.synced_gen.load(Ordering::Acquire) >= my_gen {
+                return Ok(());
+            }
+            // Everything flushed up to here is made durable by this one
+            // fsync; `my_gen` was flushed before we were called, so
+            // `cover >= my_gen` and the next loop iteration exits.
+            let cover = seg.flushed_gen.load(Ordering::Acquire);
+            f.sync_data()?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            psf_telemetry::counter!("psf.repo.wal.fsyncs").inc();
+            seg.synced_gen.fetch_max(cover, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Drop for ShardedWalInner {
+    fn drop(&mut self) {
+        // Best-effort flush of group-commit buffers on clean shutdown;
+        // a real crash loses them by design (see FsyncPolicy docs).
+        for seg in self
+            .segments
+            .iter()
+            .chain(std::iter::once(&self.bus_segment))
+        {
+            let _ = seg.writer.lock().flush();
+        }
+    }
+}
+
+/// A sharded [`Repository`] + [`RevocationBus`] pair whose every mutation
+/// is appended to a per-shard crash-safe write-ahead log (see the module
+/// docs' *Sharded layout* section). Publishes log to their subject's
+/// shard segment only; revocations log to the bus segment (bulk revokes
+/// as one [`WalOp::RevokeBatch`] frame); purges are replicated to every
+/// shard segment and re-applied shard-locally at recovery.
+#[derive(Clone)]
+pub struct ShardedDurableRepository {
+    repo: Repository,
+    bus: RevocationBus,
+    inner: Arc<ShardedWalInner>,
+}
+
+impl ShardedDurableRepository {
+    /// Open (or create) a sharded durable directory with `shards`
+    /// segments (rounded up to a power of two, clamped to `1..=1024`; an
+    /// existing directory's `shards.meta` takes precedence — the layout
+    /// on disk is authoritative). Replays every segment (shards in
+    /// parallel), truncates torn tails, then attaches logging observers.
+    pub fn open(
+        dir: &Path,
+        shards: usize,
+        config: WalConfig,
+    ) -> std::io::Result<(ShardedDurableRepository, RecoveryReport)> {
+        std::fs::create_dir_all(dir)?;
+        let n = match read_shard_meta(dir)? {
+            Some(n) => n,
+            None => {
+                let n = shards.clamp(1, 1024).next_power_of_two();
+                write_shard_meta(dir, n)?;
+                n
+            }
+        };
+        let repo = Repository::with_shard_count(n);
+        debug_assert_eq!(repo.shard_count(), n);
+        let bus = RevocationBus::new();
+        for i in 0..n {
+            std::fs::create_dir_all(dir.join(shard_dir_name(i)))?;
+        }
+        std::fs::create_dir_all(dir.join(BUS_DIR))?;
+        let (report, outcomes) = replay_sharded(dir, n, &repo, &bus)?;
+
+        let mut segments = Vec::with_capacity(n);
+        for (i, outcome) in outcomes.iter().take(n).enumerate() {
+            let seg = Segment::open(dir.join(shard_dir_name(i)))?;
+            if outcome.truncated_bytes > 0 {
+                let mut w = seg.writer.lock();
+                w.file.set_len(outcome.valid_bytes)?;
+                w.file.sync_data()?;
+                w.file.seek(SeekFrom::End(0))?;
+            }
+            segments.push(seg);
+        }
+        let bus_segment = Segment::open(dir.join(BUS_DIR))?;
+        if let Some(outcome) = outcomes.last() {
+            if outcome.truncated_bytes > 0 {
+                let mut w = bus_segment.writer.lock();
+                w.file.set_len(outcome.valid_bytes)?;
+                w.file.sync_data()?;
+                w.file.seek(SeekFrom::End(0))?;
+            }
+        }
+
+        let inner = Arc::new(ShardedWalInner {
+            dir: dir.to_path_buf(),
+            config,
+            segments,
+            bus_segment,
+            fsyncs: AtomicU64::new(0),
+        });
+        let durable = ShardedDurableRepository {
+            repo: repo.clone(),
+            bus: bus.clone(),
+            inner,
+        };
+
+        // Attach observers only now — replay must not re-log itself.
+        {
+            let d = durable.clone();
+            repo.set_observer(Some(Arc::new(move |ev: RepoEvent<'_>| match ev {
+                RepoEvent::Published { home, cred, tag } => {
+                    let skey = crate::repository::subject_key(&cred.body.subject);
+                    let shard = d.repo.shard_index(&skey);
+                    let payload = encode_publish_payload(d.repo.epoch(), home, tag, cred);
+                    d.log_to_shard(shard, &payload);
+                }
+                RepoEvent::PurgedExpired { now, .. } => {
+                    // Replicated to every shard: each segment must know to
+                    // re-apply the purge to its own credentials at replay.
+                    let payload = encode_payload(d.repo.epoch(), &WalOp::PurgeExpired { now });
+                    for shard in 0..d.inner.segments.len() {
+                        d.log_to_shard(shard, &payload);
+                    }
+                }
+            })));
+            let d = durable.clone();
+            bus.set_observer(Some(Arc::new(move |ids: &[String]| {
+                let payload = match ids {
+                    [id] => encode_payload(d.repo.epoch(), &WalOp::Revoke { id: id.clone() }),
+                    many => {
+                        encode_payload(d.repo.epoch(), &WalOp::RevokeBatch { ids: many.to_vec() })
+                    }
+                };
+                d.log_bus(&payload);
+            })));
+        }
+        Ok((durable, report))
+    }
+
+    fn log_to_shard(&self, shard: usize, payload: &[u8]) {
+        match self.inner.append(&self.inner.segments[shard], payload) {
+            Ok(true) => {
+                if let Err(e) = self.compact_shard(shard) {
+                    psf_telemetry::counter!("psf.repo.wal.errors").inc();
+                    psf_telemetry::audit::record(
+                        psf_telemetry::Decision::Revocation,
+                        "",
+                        "wal-compact",
+                        psf_telemetry::Verdict::Deny,
+                    )
+                    .detail(format!("shard {shard} auto-compaction failed: {e}"))
+                    .commit();
+                }
+            }
+            Ok(false) => {}
+            Err(e) => {
+                psf_telemetry::counter!("psf.repo.wal.errors").inc();
+                psf_telemetry::audit::record(
+                    psf_telemetry::Decision::Revocation,
+                    "",
+                    "wal-append",
+                    psf_telemetry::Verdict::Deny,
+                )
+                .detail(format!("shard {shard} append failed: {e}"))
+                .commit();
+            }
+        }
+    }
+
+    fn log_bus(&self, payload: &[u8]) {
+        match self.inner.append(&self.inner.bus_segment, payload) {
+            Ok(true) => {
+                if let Err(e) = self.compact_bus() {
+                    psf_telemetry::counter!("psf.repo.wal.errors").inc();
+                    psf_telemetry::audit::record(
+                        psf_telemetry::Decision::Revocation,
+                        "",
+                        "wal-compact",
+                        psf_telemetry::Verdict::Deny,
+                    )
+                    .detail(format!("bus auto-compaction failed: {e}"))
+                    .commit();
+                }
+            }
+            Ok(false) => {}
+            Err(e) => {
+                psf_telemetry::counter!("psf.repo.wal.errors").inc();
+                psf_telemetry::audit::record(
+                    psf_telemetry::Decision::Revocation,
+                    "",
+                    "wal-append",
+                    psf_telemetry::Verdict::Deny,
+                )
+                .detail(format!("bus append failed: {e}"))
+                .commit();
+            }
+        }
+    }
+
+    /// The in-memory sharded repository (shared handle). Mutations
+    /// through it are logged transparently.
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// The revocation bus (shared handle). Revocations through it are
+    /// logged transparently.
+    pub fn bus(&self) -> &RevocationBus {
+        &self.bus
+    }
+
+    /// The sharded durable directory this repository logs to.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Flush every segment's group-commit buffer and fsync, regardless of
+    /// policy.
+    pub fn sync(&self) -> std::io::Result<()> {
+        for seg in self
+            .inner
+            .segments
+            .iter()
+            .chain(std::iter::once(&self.inner.bus_segment))
+        {
+            let mut w = seg.writer.lock();
+            w.flush()?;
+            let gen = w.gen;
+            seg.flushed_gen.fetch_max(gen, Ordering::Release);
+            w.file.sync_data()?;
+            seg.synced_gen.fetch_max(gen, Ordering::AcqRel);
+            self.inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+            psf_telemetry::counter!("psf.repo.wal.fsyncs").inc();
+        }
+        Ok(())
+    }
+
+    /// Compact one shard segment: snapshot that shard's credentials,
+    /// rename over its `snapshot.bin`, truncate its log. Other shards'
+    /// writers are untouched.
+    pub fn compact_shard(&self, shard: usize) -> std::io::Result<CompactReport> {
+        let seg = &self.inner.segments[shard];
+        let mut w = seg.writer.lock();
+        let entries = self.repo.snapshot_shard(shard);
+        let epoch = self.repo.epoch();
+        let image = encode_snapshot(epoch, &entries, &[]);
+        let dropped = Self::swap_snapshot(seg, &mut w, &image)?;
+        seg.last_compact_epoch.store(epoch, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.repo.wal.snapshot").inc();
+        Ok(CompactReport {
+            snapshot_entries: entries.len(),
+            snapshot_revocations: 0,
+            log_bytes_dropped: dropped,
+        })
+    }
+
+    /// Compact the revocation-bus segment: snapshot the revoked-id set,
+    /// truncate the bus log.
+    pub fn compact_bus(&self) -> std::io::Result<CompactReport> {
+        let seg = &self.inner.bus_segment;
+        let mut w = seg.writer.lock();
+        let revoked = self.bus.revoked_ids();
+        let epoch = self.repo.epoch();
+        let image = encode_snapshot(epoch, &[], &revoked);
+        let dropped = Self::swap_snapshot(seg, &mut w, &image)?;
+        seg.last_compact_epoch.store(epoch, Ordering::Relaxed);
+        psf_telemetry::counter!("psf.repo.wal.snapshot").inc();
+        Ok(CompactReport {
+            snapshot_entries: 0,
+            snapshot_revocations: revoked.len(),
+            log_bytes_dropped: dropped,
+        })
+    }
+
+    /// Write `image` as the segment's snapshot (tmp + fsync + rename +
+    /// dir fsync), then truncate the segment log. The caller holds the
+    /// segment writer lock so no append interleaves with the truncate.
+    fn swap_snapshot(seg: &Segment, w: &mut SegmentWriter, image: &[u8]) -> std::io::Result<u64> {
+        w.flush()?;
+        let tmp = seg.dir.join(SNAPSHOT_TMP);
+        let dst = seg.dir.join(SNAPSHOT_FILE);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(image)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &dst)?;
+        if let Ok(d) = File::open(&seg.dir) {
+            let _ = d.sync_all(); // directory entry durability (best effort)
+        }
+        let dropped = w.file.seek(SeekFrom::End(0))?;
+        w.file.set_len(0)?;
+        w.file.seek(SeekFrom::Start(0))?;
+        w.file.sync_data()?;
+        w.appends_since_compact = 0;
+        seg.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(dropped)
+    }
+
+    /// Compact every shard segment and the bus segment. Returns the
+    /// aggregate report.
+    pub fn compact(&self) -> std::io::Result<CompactReport> {
+        let mut total = CompactReport {
+            snapshot_entries: 0,
+            snapshot_revocations: 0,
+            log_bytes_dropped: 0,
+        };
+        for shard in 0..self.inner.segments.len() {
+            let r = self.compact_shard(shard)?;
+            total.snapshot_entries += r.snapshot_entries;
+            total.log_bytes_dropped += r.log_bytes_dropped;
+        }
+        let r = self.compact_bus()?;
+        total.snapshot_revocations = r.snapshot_revocations;
+        total.log_bytes_dropped += r.log_bytes_dropped;
+        Ok(total)
+    }
+
+    /// Live durability counters: per-segment rows plus totals.
+    pub fn stats(&self) -> ShardedWalStats {
+        let row = |seg: &Segment| -> ShardSegmentStats {
+            ShardSegmentStats {
+                appends: seg.appends.load(Ordering::Relaxed),
+                compactions: seg.compactions.load(Ordering::Relaxed),
+                last_compact_epoch: seg.last_compact_epoch.load(Ordering::Relaxed),
+                log_bytes: std::fs::metadata(seg.dir.join(LOG_FILE))
+                    .map(|m| m.len())
+                    .unwrap_or(0),
+                snapshot_bytes: std::fs::metadata(seg.dir.join(SNAPSHOT_FILE))
+                    .map(|m| m.len())
+                    .unwrap_or(0),
+            }
+        };
+        let shards: Vec<ShardSegmentStats> = self.inner.segments.iter().map(row).collect();
+        let bus = row(&self.inner.bus_segment);
+        ShardedWalStats {
+            appends: shards.iter().map(|s| s.appends).sum::<u64>() + bus.appends,
+            fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
+            compactions: shards.iter().map(|s| s.compactions).sum::<u64>() + bus.compactions,
+            shards,
+            bus,
+        }
+    }
+
+    /// Detach the logging observers (used by tests simulating a crash:
+    /// the files stay as-is, the in-memory halves keep working unlogged).
+    /// Group-commit buffers are **not** flushed — that is the point of a
+    /// simulated crash.
     pub fn detach(&self) {
         self.repo.set_observer(None);
         self.bus.set_observer(None);
@@ -1261,5 +2190,239 @@ mod tests {
         let (repo, bus, _) = Repository::recover(&dir).unwrap();
         assert_eq!(repo_fingerprint(&repo), repo_fingerprint(&oracle_repo));
         assert_eq!(bus.revoked_ids(), oracle_bus.revoked_ids());
+    }
+
+    #[test]
+    fn republished_after_purge_survives_replay() {
+        // publish C → purge removes it → publish C again: the recovered
+        // repository must hold C (the dedup map forgets purged pairs
+        // instead of mistaking the re-publish for a duplicate).
+        let dir = tmpdir("repurge");
+        let ny = Entity::with_seed("Comp.NY", b"wal");
+        let alice = Entity::with_seed("Alice", b"wal");
+        let doomed = DelegationBuilder::new(&ny)
+            .subject_entity(&alice)
+            .role(ny.role("Guest"))
+            .expires(100)
+            .sign();
+        {
+            let (d, _) = DurableRepository::open(&dir, WalConfig::default()).unwrap();
+            d.repository().publish_at_issuer(doomed.clone());
+            assert_eq!(d.repository().purge_expired(200), 1);
+            // Same (home, id) published again after the purge.
+            d.repository().publish_at_issuer(doomed.clone());
+            assert_eq!(d.repository().len(), 1);
+        }
+        let (repo, _, report) = Repository::recover(&dir).unwrap();
+        assert_eq!(
+            report.duplicates_skipped, 0,
+            "re-publish is not a duplicate"
+        );
+        assert_eq!(repo.len(), 1, "re-published credential lost by replay");
+    }
+
+    #[test]
+    fn revoke_batch_record_roundtrip() {
+        let ids: Vec<String> = (0..100).map(|i| format!("id-{i:03}")).collect();
+        let log = frame(&encode_payload(5, &WalOp::RevokeBatch { ids: ids.clone() }));
+        let scan = scan_log(&log);
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.records.len(), 1);
+        match &scan.records[0].op {
+            WalOp::RevokeBatch { ids: got } => assert_eq!(*got, ids),
+            other => panic!("wrong op {other:?}"),
+        }
+    }
+
+    // -- sharded layout ----------------------------------------------------
+
+    fn sharded_workload(d: &ShardedDurableRepository, ny: &Entity, users: usize) -> Vec<String> {
+        let mut revoked = Vec::new();
+        for i in 0..users {
+            let who = Entity::with_seed(format!("U{i}"), b"swal");
+            let c = cred(ny, &who, "Member");
+            if i % 3 == 0 {
+                revoked.push(c.id());
+            }
+            d.repository().publish_at_issuer(c);
+        }
+        d.bus().revoke_all(revoked.iter().map(|s| s.as_str()));
+        revoked
+    }
+
+    #[test]
+    fn sharded_publish_and_batch_revoke_survive_reopen() {
+        let dir = tmpdir("sh-reopen");
+        let ny = Entity::with_seed("Comp.NY", b"swal");
+        let revoked;
+        {
+            let (d, report) =
+                ShardedDurableRepository::open(&dir, 8, WalConfig::default()).unwrap();
+            assert_eq!(report.records_replayed, 0);
+            revoked = sharded_workload(&d, &ny, 24);
+            assert_eq!(d.repository().len(), 24);
+            d.detach();
+        }
+        assert!(is_sharded_dir(&dir));
+        let (d2, report) = ShardedDurableRepository::open(&dir, 8, WalConfig::default()).unwrap();
+        // 24 publishes spread across shard segments + 1 RevokeBatch frame.
+        assert_eq!(report.publishes, 24);
+        assert_eq!(report.revocations_restored, revoked.len());
+        assert_eq!(d2.repository().len(), 24);
+        assert_eq!(d2.repository().shard_count(), 8);
+        for id in &revoked {
+            assert!(d2.bus().is_revoked(id));
+        }
+        // Appends spread across more than one shard segment.
+        let stats = d2.stats();
+        assert_eq!(stats.shards.len(), 8);
+        let populated = stats.shards.iter().filter(|s| s.log_bytes > 0).count();
+        assert!(populated > 1, "24 subjects must span multiple segments");
+        assert!(
+            stats.bus.log_bytes > 0,
+            "RevokeBatch landed in the bus segment"
+        );
+    }
+
+    #[test]
+    fn sharded_meta_overrides_requested_count() {
+        let dir = tmpdir("sh-meta");
+        {
+            let (d, _) = ShardedDurableRepository::open(&dir, 4, WalConfig::default()).unwrap();
+            assert_eq!(d.repository().shard_count(), 4);
+        }
+        // Reopen asking for a different count: disk wins.
+        let (d2, _) = ShardedDurableRepository::open(&dir, 64, WalConfig::default()).unwrap();
+        assert_eq!(d2.repository().shard_count(), 4);
+    }
+
+    #[test]
+    fn sharded_torn_shard_tail_truncated_others_survive() {
+        let dir = tmpdir("sh-torn");
+        let ny = Entity::with_seed("Comp.NY", b"swal");
+        {
+            let (d, _) = ShardedDurableRepository::open(&dir, 4, WalConfig::default()).unwrap();
+            sharded_workload(&d, &ny, 16);
+        }
+        // Tear one populated shard's log mid-record.
+        let victim = (0..4)
+            .map(|i| dir.join(shard_dir_name(i)).join(LOG_FILE))
+            .find(|p| std::fs::metadata(p).map(|m| m.len() > 0).unwrap_or(false))
+            .expect("some shard holds records");
+        let image = std::fs::read(&victim).unwrap();
+        let scan = scan_log(&image);
+        let whole = scan.records.len();
+        assert!(whole >= 1);
+        // Cut into the last record's body.
+        std::fs::write(&victim, &image[..image.len() - 3]).unwrap();
+
+        let verify = verify_sharded_dir(&dir).unwrap();
+        assert!(!verify.is_clean());
+        assert_eq!(verify.damaged().len(), 1);
+
+        let (d2, report) = ShardedDurableRepository::open(&dir, 4, WalConfig::default()).unwrap();
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(report.publishes, 15, "only the torn record is lost");
+        assert_eq!(d2.repository().len(), 15);
+        // The torn tail was physically removed: directory is clean now.
+        drop(d2);
+        assert!(verify_sharded_dir(&dir).unwrap().is_clean());
+    }
+
+    #[test]
+    fn sharded_compact_and_reopen_matches_oracle() {
+        let dir = tmpdir("sh-compact");
+        let ny = Entity::with_seed("Comp.NY", b"swal");
+        let oracle_ids;
+        let revoked;
+        {
+            let (d, _) = ShardedDurableRepository::open(&dir, 8, WalConfig::default()).unwrap();
+            revoked = sharded_workload(&d, &ny, 20);
+            let r = d.compact().unwrap();
+            assert_eq!(r.snapshot_entries, 20);
+            assert_eq!(r.snapshot_revocations, revoked.len());
+            // Every shard log is now empty; publish a post-snapshot tail.
+            let carol = Entity::with_seed("Carol", b"swal");
+            d.repository()
+                .publish_at_issuer(cred(&ny, &carol, "Partner"));
+            oracle_ids = repo_fingerprint(d.repository());
+        }
+        let (repo, bus, report) = Repository::recover_sharded(&dir).unwrap();
+        assert_eq!(report.snapshot_entries, 20);
+        assert_eq!(report.records_replayed, 1, "only the tail replays");
+        assert_eq!(repo_fingerprint(&repo), oracle_ids);
+        for id in &revoked {
+            assert!(bus.is_revoked(id));
+        }
+    }
+
+    #[test]
+    fn sharded_purge_replicates_to_all_segments() {
+        let dir = tmpdir("sh-purge");
+        let ny = Entity::with_seed("Comp.NY", b"swal");
+        {
+            let (d, _) = ShardedDurableRepository::open(&dir, 4, WalConfig::default()).unwrap();
+            for i in 0..12 {
+                let who = Entity::with_seed(format!("U{i}"), b"swal");
+                let mut b = DelegationBuilder::new(&ny)
+                    .subject_entity(&who)
+                    .role(ny.role("Member"));
+                if i % 2 == 0 {
+                    b = b.expires(100);
+                }
+                d.repository().publish_at_issuer(b.sign());
+            }
+            assert_eq!(d.repository().purge_expired(150), 6);
+            assert_eq!(d.repository().len(), 6);
+        }
+        let (repo, _, report) = Repository::recover_sharded(&dir).unwrap();
+        // One purge record per shard segment.
+        assert_eq!(report.purges, 4);
+        assert_eq!(repo.len(), 6);
+    }
+
+    #[test]
+    fn sharded_group_commit_flushes_on_sync() {
+        let dir = tmpdir("sh-group");
+        let ny = Entity::with_seed("Comp.NY", b"swal");
+        let cfg = WalConfig {
+            fsync: FsyncPolicy::Never,
+            auto_compact_appends: None,
+        };
+        {
+            let (d, _) = ShardedDurableRepository::open(&dir, 4, cfg).unwrap();
+            sharded_workload(&d, &ny, 10);
+            // Buffered frames are not in the files yet (well under the
+            // 64 KiB group threshold)...
+            let on_disk: u64 = d.stats().shards.iter().map(|s| s.log_bytes).sum();
+            assert_eq!(on_disk, 0, "group commit buffers in memory");
+            // ...until an explicit sync.
+            d.sync().unwrap();
+            let on_disk: u64 = d.stats().shards.iter().map(|s| s.log_bytes).sum();
+            assert!(on_disk > 0);
+        }
+        let (repo, _, _) = Repository::recover_sharded(&dir).unwrap();
+        assert_eq!(repo.len(), 10);
+    }
+
+    #[test]
+    fn sharded_republished_after_purge_survives_replay() {
+        let dir = tmpdir("sh-repurge");
+        let ny = Entity::with_seed("Comp.NY", b"swal");
+        let alice = Entity::with_seed("Alice", b"swal");
+        let doomed = DelegationBuilder::new(&ny)
+            .subject_entity(&alice)
+            .role(ny.role("Guest"))
+            .expires(100)
+            .sign();
+        {
+            let (d, _) = ShardedDurableRepository::open(&dir, 4, WalConfig::default()).unwrap();
+            d.repository().publish_at_issuer(doomed.clone());
+            assert_eq!(d.repository().purge_expired(200), 1);
+            d.repository().publish_at_issuer(doomed.clone());
+        }
+        let (repo, _, report) = Repository::recover_sharded(&dir).unwrap();
+        assert_eq!(report.duplicates_skipped, 0);
+        assert_eq!(repo.len(), 1);
     }
 }

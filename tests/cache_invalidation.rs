@@ -250,17 +250,45 @@ fn negative_entries_lift_after_publish() {
         .expect("publish must lift the cached failure");
 }
 
-/// `purge_expired` rewrites the repository (epoch bump): cached proofs
-/// must re-derive against the purged contents.
+/// `purge_expired` sweeps shard by shard. A purge that removes a
+/// credential the proof depends on moves that shard's high-water mark,
+/// so the cached proof must re-derive (and fail — the credential is
+/// gone). A purge that removes nothing leaves every shard mark
+/// untouched, and the cached proof — derived from identical contents —
+/// stays servable.
 #[test]
 fn purge_expired_invalidates() {
-    let w = World::chain(2);
-    w.engine(0).prove(&w.subject(), &w.target, &[]).unwrap();
-    w.repo.purge_expired(0);
-    w.engine(0).prove(&w.subject(), &w.target, &[]).unwrap();
+    let registry = EntityRegistry::new();
+    let repo = Repository::new();
+    let bus = RevocationBus::new();
+    let cache = AuthCache::new();
+    let d = Entity::with_seed("D", b"inval");
+    let user = Entity::with_seed("User", b"inval");
+    registry.register(&d);
+    registry.register(&user);
+    repo.publish_at_issuer(
+        DelegationBuilder::new(&d)
+            .subject_entity(&user)
+            .role(d.role("R"))
+            .expires(100)
+            .sign(),
+    );
+    let engine = ProofEngine::with_cache(&registry, &repo, &bus, 0, &cache);
+    engine.prove(&user.as_subject(), &d.role("R"), &[]).unwrap();
+    assert_eq!(repo.purge_expired(0), 0);
+    engine.prove(&user.as_subject(), &d.role("R"), &[]).unwrap();
     assert_eq!(
-        w.cache.stats().proof_hits,
-        0,
-        "purge must bump the repository epoch and force a re-search"
+        cache.stats().proof_hits,
+        1,
+        "a purge that removed nothing keeps the entry (contents unchanged)"
+    );
+    assert_eq!(repo.purge_expired(150), 1);
+    engine
+        .prove(&user.as_subject(), &d.role("R"), &[])
+        .expect_err("purging the proof's credential must force a failing re-search");
+    assert_eq!(
+        cache.stats().proof_hits,
+        1,
+        "no stale hit after the effective purge"
     );
 }
