@@ -94,14 +94,17 @@ fn usage() -> ! {
          \x20                               time the warm/cold authorization\n\
          \x20                               and planner fast paths, the\n\
          \x20                               Switchboard data plane, and the\n\
-         \x20                               sharded repository; write the\n\
+         \x20                               sharded repository, and the\n\
+         \x20                               reactor channel fleet; write the\n\
          \x20                               results as JSON (BENCH_pr3.json,\n\
-         \x20                               BENCH_pr4.json, BENCH_pr8.json);\n\
-         \x20                               --check exits 1 unless warm >= 2x\n\
-         \x20                               cold, pipelined RPC >= 2x serial,\n\
-         \x20                               p99 tag lookup <= 50 us, parallel\n\
-         \x20                               publish >= 4x single-lock, and\n\
-         \x20                               the SLO table holds\n\
+         \x20                               BENCH_pr4.json, BENCH_pr8.json,\n\
+         \x20                               BENCH_pr9.json); --check exits 1\n\
+         \x20                               unless warm >= 2x cold, pipelined\n\
+         \x20                               RPC >= 2x serial, p99 tag lookup\n\
+         \x20                               <= 50 us, parallel publish >= 4x\n\
+         \x20                               single-lock, hb p99 <= 10 ms,\n\
+         \x20                               reactor capacity >= 5x threaded,\n\
+         \x20                               and the SLO table holds\n\
          \x20 audit [--json] [--subject S] [--deny-only] [--trace HEX]\n\
          \x20                               run the full stack, then replay\n\
          \x20                               the authorization audit trail\n\
@@ -1921,6 +1924,7 @@ fn bench_switchboard(cli: &Cli, pr3_out: &str, iters: u32, quick: bool, check: b
     let config = ChannelConfig {
         heartbeat_interval: None,
         rpc_timeout: Duration::from_secs(10),
+        ..Default::default()
     };
 
     let (plain_client, plain_server) = pair_in_memory_plain(config.clone());
@@ -2409,6 +2413,297 @@ fn bench_sharded_repo(cli: &Cli, pr4_out: &str, quick: bool, check: bool) -> i32
         );
         return 1;
     }
+    bench_channels(cli, &out_path, quick, check)
+}
+
+/// Resident set size of this process in bytes (/proc/self/statm).
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1).map(String::from))
+        .and_then(|pages| pages.parse::<u64>().ok())
+        .map(|pages| pages * 4096)
+        .unwrap_or(0)
+}
+
+/// The PR9 channel-scaling runner: establishes a fleet of concurrent
+/// secure TCP channels through the epoll reactor (100k target, 10k with
+/// `--quick`, clamped to what `RLIMIT_NOFILE` permits — each in-process
+/// channel pair costs 4 fds), lets the timer wheel drive staggered
+/// heartbeats across the whole fleet, and records p99 heartbeat RTT plus
+/// per-channel RSS against a smaller thread-per-connection baseline.
+/// Writes `BENCH_pr9.json`. With `--check`, exits non-zero unless p99
+/// heartbeat RTT <= 10 ms and the reactor holds >= 5x the channels of
+/// the threaded baseline at equal RSS (i.e. per-channel RSS is >= 5x
+/// smaller).
+fn bench_channels(cli: &Cli, pr8_out: &str, quick: bool, check: bool) -> i32 {
+    use psf_switchboard::{ChannelBackend, ChannelConfig};
+
+    let out_path = if pr8_out.contains("pr8") {
+        pr8_out.replace("pr8", "pr9")
+    } else {
+        "BENCH_pr9.json".to_string()
+    };
+    let (soft, hard) = psf_switchboard::reactor::raise_nofile_limit();
+    let target: usize = if quick { 10_000 } else { 100_000 };
+    // Both endpoints live in this process and each endpoint holds two
+    // fds (sender + receiver clone of the same socket): 4 fds/channel.
+    let fd_budget = (soft as usize).saturating_sub(1024) / 4;
+    let channels = target.min(fd_budget.max(64));
+    let clamped = channels < target;
+    if clamped {
+        cli.say(format!(
+            "channels_scaling: RLIMIT_NOFILE {soft} (hard {hard}) clamps the fleet \
+             to {channels} channels (requested {target})"
+        ));
+    }
+    let hb_interval = Duration::from_secs(1);
+    let config = |backend: ChannelBackend| ChannelConfig {
+        heartbeat_interval: Some(hb_interval),
+        rpc_timeout: Duration::from_secs(10),
+        backend,
+    };
+
+    // One shared dRBAC world; the authorizers' proof caches make the Nth
+    // handshake authorization a cache hit, as a long-lived service's would
+    // be.
+    let registry = psf_drbac::entity::EntityRegistry::new();
+    let repo = psf_drbac::repository::Repository::new();
+    let bus = psf_drbac::revocation::RevocationBus::new();
+    let clock = psf_switchboard::ClockRef::new();
+    let domain = psf_drbac::Entity::with_seed("Comp.NY", b"bench-pr9");
+    let server = psf_drbac::Entity::with_seed("Service", b"bench-pr9");
+    let client = psf_drbac::Entity::with_seed("Client", b"bench-pr9");
+    for e in [&domain, &server, &client] {
+        registry.register(e);
+    }
+    let client_cred = psf_drbac::DelegationBuilder::new(&domain)
+        .subject_entity(&client)
+        .role(domain.role("Member"))
+        .sign();
+    let server_cred = psf_drbac::DelegationBuilder::new(&domain)
+        .subject_entity(&server)
+        .role(domain.role("Service"))
+        .sign();
+    let client_suite = psf_switchboard::AuthSuite::new(
+        client.clone(),
+        vec![client_cred],
+        psf_switchboard::Authorizer::new(
+            registry.clone(),
+            repo.clone(),
+            bus.clone(),
+            clock.clone(),
+            domain.role("Service"),
+        ),
+    );
+    let server_suite = psf_switchboard::AuthSuite::new(
+        server.clone(),
+        vec![server_cred],
+        psf_switchboard::Authorizer::new(
+            registry.clone(),
+            repo.clone(),
+            bus.clone(),
+            clock.clone(),
+            domain.role("Member"),
+        ),
+    );
+
+    // Establish `n` secure channel pairs across 8 loopback listener
+    // addresses (spreads the ephemeral-port tuple space at 100k) with 8
+    // connector/acceptor thread pairs. Returns (clients, servers).
+    let establish =
+        |n: usize,
+         backend: ChannelBackend|
+         -> Result<(Vec<psf_switchboard::Channel>, Vec<psf_switchboard::Channel>), String> {
+            let lanes = 8usize.min(n.max(1));
+            let mut listeners = Vec::new();
+            for lane in 0..lanes {
+                let addr = format!("127.0.0.{}:0", lane + 1);
+                listeners
+                    .push(psf_switchboard::listen_tcp(&addr).map_err(|e| format!("listen: {e}"))?);
+            }
+            std::thread::scope(|s| {
+                let config = &config;
+                let mut acceptors = Vec::new();
+                let mut connectors = Vec::new();
+                for (lane, listener) in listeners.iter().enumerate() {
+                    let count = n / lanes + usize::from(lane < n % lanes);
+                    let addr = listener.local_addr().map_err(|e| format!("addr: {e}"))?;
+                    let ss = &server_suite;
+                    let cs = &client_suite;
+                    acceptors.push(s.spawn(move || -> Result<Vec<_>, String> {
+                        (0..count)
+                            .map(|_| {
+                                listener
+                                    .accept(ss, config(backend))
+                                    .map_err(|e| format!("accept: {e}"))
+                            })
+                            .collect()
+                    }));
+                    connectors.push(s.spawn(move || -> Result<Vec<_>, String> {
+                        (0..count)
+                            .map(|_| {
+                                psf_switchboard::connect_tcp(&addr.to_string(), cs, config(backend))
+                                    .map_err(|e| format!("connect: {e}"))
+                            })
+                            .collect()
+                    }));
+                }
+                let mut servers = Vec::with_capacity(n);
+                let mut clients = Vec::with_capacity(n);
+                for a in acceptors {
+                    servers.extend(a.join().expect("acceptor panicked")?);
+                }
+                for c in connectors {
+                    clients.extend(c.join().expect("connector panicked")?);
+                }
+                Ok((clients, servers))
+            })
+        };
+
+    // --- Thread-per-connection baseline first (smaller fleet): its RSS
+    // delta prices what 4 threads + 4 stacks per channel pair cost.
+    let baseline_n: usize = (if quick { 500 } else { 1_000 }).min(channels);
+    let rss0 = rss_bytes();
+    let (base_clients, base_servers) = match establish(baseline_n, ChannelBackend::Threaded) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("bench: threaded baseline establishment failed: {e}");
+            return 1;
+        }
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    let baseline_rss = rss_bytes().saturating_sub(rss0);
+    let baseline_per_channel = baseline_rss as f64 / baseline_n as f64;
+    drop(base_clients);
+    drop(base_servers);
+    // Heartbeat threads poll `closed` once per interval; wait them out so
+    // their stacks are gone before the reactor phase is measured.
+    std::thread::sleep(hb_interval + Duration::from_millis(200));
+
+    // --- Reactor fleet: every channel serviced by the fixed shard pool,
+    // heartbeats batched on the timer wheel.
+    let shards = psf_switchboard::reactor::shard_count();
+    let rss1 = rss_bytes();
+    let t0 = std::time::Instant::now();
+    let (clients, servers) = match establish(channels, ChannelBackend::Reactor) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("bench: reactor establishment failed: {e}");
+            return 1;
+        }
+    };
+    let establish_s = t0.elapsed().as_secs_f64();
+
+    // Let every staggered heartbeat group fire at least twice, then
+    // sample per-channel RTT. Retry briefly: the last-phase groups fire a
+    // full interval after establishment.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let mut rtt_us: Vec<u64> = Vec::new();
+    loop {
+        std::thread::sleep(hb_interval);
+        rtt_us.clear();
+        rtt_us.extend(
+            clients
+                .iter()
+                .chain(servers.iter())
+                .filter_map(|c| c.last_rtt())
+                .map(|d| d.as_micros() as u64),
+        );
+        if rtt_us.len() == 2 * channels || std::time::Instant::now() >= deadline {
+            break;
+        }
+    }
+    let reactor_rss = rss_bytes().saturating_sub(rss1);
+    let reactor_per_channel = reactor_rss as f64 / channels as f64;
+    let measured = rtt_us.len();
+    let alive = clients
+        .iter()
+        .filter(|c| c.is_alive(3 * hb_interval))
+        .count();
+    if rtt_us.is_empty() {
+        eprintln!("bench: no heartbeat RTT samples collected");
+        return 1;
+    }
+    let hb_p50 = quantile_us(&mut rtt_us, 0.50);
+    let hb_p99 = quantile_us(&mut rtt_us, 0.99);
+    // Equal-RSS capacity: channels the reactor fits in the RSS the
+    // threaded baseline spends per channel.
+    let capacity_ratio = baseline_per_channel / reactor_per_channel.max(1.0);
+
+    let wakeups = psf_telemetry::registry()
+        .counter("psf.switchboard.reactor.wakeups")
+        .get();
+    let timer_fires = psf_telemetry::registry()
+        .counter("psf.switchboard.reactor.timer_fires")
+        .get();
+    let coalesced = psf_telemetry::registry()
+        .counter("psf.switchboard.reactor.coalesced_heartbeats")
+        .get();
+
+    drop(clients);
+    drop(servers);
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr9\",\n  \"mode\": \"{mode}\",\n  \
+         \"nofile\": {{ \"soft\": {soft}, \"hard\": {hard} }},\n  \
+         \"requested_channels\": {target},\n  \"channels\": {channels},\n  \
+         \"clamped_by_fd_limit\": {clamped},\n  \
+         \"reactor\": {{ \"shards\": {shards}, \"establish_s\": {establish_s:.3}, \
+         \"rss_bytes\": {reactor_rss}, \"rss_per_channel_bytes\": {reactor_per_channel:.0}, \
+         \"alive\": {alive}, \"wakeups\": {wakeups}, \"timer_fires\": {timer_fires}, \
+         \"coalesced_heartbeats\": {coalesced} }},\n  \
+         \"heartbeat\": {{ \"interval_ms\": {interval_ms}, \"samples\": {measured}, \
+         \"p50_us\": {hb_p50:.1}, \"p99_us\": {hb_p99:.1} }},\n  \
+         \"threaded_baseline\": {{ \"channels\": {baseline_n}, \"rss_bytes\": {baseline_rss}, \
+         \"rss_per_channel_bytes\": {baseline_per_channel:.0} }},\n  \
+         \"capacity_ratio\": {capacity_ratio:.2}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        interval_ms = hb_interval.as_millis(),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        return 1;
+    }
+    cli.say(format!(
+        "channels_scaling: {channels} secure channels ({shards} shard(s)), established in \
+         {establish_s:.1} s, hb RTT p50 {hb_p50:.0} us / p99 {hb_p99:.0} us, \
+         {reactor_per_channel:.0} B/channel vs {baseline_per_channel:.0} B/channel threaded \
+         ({capacity_ratio:.1}x capacity at equal RSS)"
+    ));
+    cli.say(format!("results written to {out_path}"));
+    psf_telemetry::event(
+        "psf.cli",
+        "bench.recorded",
+        vec![
+            ("out", out_path.clone()),
+            ("channels", channels.to_string()),
+            ("hb_p99_us", format!("{hb_p99:.1}")),
+            ("capacity_ratio", format!("{capacity_ratio:.2}")),
+        ],
+    );
+    if check && hb_p99 > 10_000.0 {
+        eprintln!(
+            "bench --check FAILED: p99 heartbeat RTT must be <= 10 ms across {channels} \
+             channels (got {:.2} ms)",
+            hb_p99 / 1e3
+        );
+        return 1;
+    }
+    if check && capacity_ratio < 5.0 {
+        eprintln!(
+            "bench --check FAILED: reactor must hold >= 5x the channels of the \
+             thread-per-connection baseline at equal RSS (got {capacity_ratio:.2}x)"
+        );
+        return 1;
+    }
+    if check && alive < channels {
+        eprintln!(
+            "bench --check FAILED: {} of {channels} channels went stale",
+            channels - alive
+        );
+        return 1;
+    }
     0
 }
 
@@ -2794,6 +3089,7 @@ fn exercise_full_stack(cli: &Cli) -> Result<(), String> {
     let cfg = psf_switchboard::ChannelConfig {
         heartbeat_interval: None,
         rpc_timeout: Duration::from_secs(2),
+        ..Default::default()
     };
     let (a, b) = psf_switchboard::pair_in_memory_plain(cfg);
     a.send_heartbeat().map_err(|e| format!("heartbeat: {e}"))?;

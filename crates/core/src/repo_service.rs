@@ -257,6 +257,7 @@ mod tests {
         ChannelConfig {
             heartbeat_interval: None,
             rpc_timeout: Duration::from_secs(5),
+            ..Default::default()
         }
     }
 

@@ -57,14 +57,30 @@ pub enum Mode {
     },
 }
 
+/// How a channel's receive path and heartbeats are driven.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelBackend {
+    /// Readiness-driven: TCP channels register with the shared epoll
+    /// [reactor](crate::reactor) (no per-channel threads); in-memory
+    /// channels keep their reader thread but heartbeat from the
+    /// reactor's timer wheel. The default.
+    Reactor,
+    /// Legacy thread-per-connection: one reader thread plus (if
+    /// heartbeats are enabled) one heartbeat thread per channel. Kept as
+    /// the baseline the `channels_scaling` bench measures against.
+    Threaded,
+}
+
 /// User-facing channel configuration.
 #[derive(Clone, Debug)]
 pub struct ChannelConfig {
-    /// Period of automatic heartbeats; `None` disables the heartbeat
-    /// thread (tests then call [`Channel::send_heartbeat`] manually).
+    /// Period of automatic heartbeats; `None` disables automatic
+    /// heartbeats (tests then call [`Channel::send_heartbeat`] manually).
     pub heartbeat_interval: Option<Duration>,
     /// Default timeout for [`Channel::call`].
     pub rpc_timeout: Duration,
+    /// Receive-path engine (reactor vs legacy threads).
+    pub backend: ChannelBackend,
 }
 
 impl Default for ChannelConfig {
@@ -72,6 +88,7 @@ impl Default for ChannelConfig {
         ChannelConfig {
             heartbeat_interval: Some(Duration::from_millis(200)),
             rpc_timeout: Duration::from_secs(10),
+            backend: ChannelBackend::Reactor,
         }
     }
 }
@@ -240,9 +257,27 @@ pub(crate) struct ChannelInner {
     bytes_received: AtomicU64,
     frames_sent: AtomicU64,
     frames_received: AtomicU64,
+    /// Deliberately SeqCst everywhere: `call_pipelined` relies on a
+    /// Dekker-style protocol (insert slot, then check `closed`) against
+    /// `mark_closed` (store `closed`, then drain slots) — both sides need
+    /// a total order or a call inserted concurrently with close could
+    /// miss both the drain and the re-check and idle out its timeout.
     closed: AtomicBool,
     close_watchers: Mutex<Vec<CloseWatcher>>,
+    /// Link back to the reactor shard servicing this channel (TCP
+    /// connection and/or wheel heartbeat); taken exactly once at close.
+    reactor_reg: Mutex<Option<crate::reactor::Registration>>,
     config: ChannelConfig,
+}
+
+impl ChannelInner {
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_reactor_registration(&self, reg: crate::reactor::Registration) {
+        *self.reactor_reg.lock() = Some(reg);
+    }
 }
 
 /// A live Switchboard channel endpoint.
@@ -251,11 +286,16 @@ pub struct Channel {
 }
 
 impl Channel {
-    /// Assemble a channel over split transport halves; spawns the reader
-    /// (and heartbeat) threads. Called by the handshake module.
+    /// Assemble a channel over split transport halves. With the
+    /// [`Reactor`](ChannelBackend::Reactor) backend a TCP channel hands
+    /// its stream to the epoll reactor and owns **zero** threads; other
+    /// transports keep a reader thread but heartbeat from the reactor's
+    /// timer wheel. The [`Threaded`](ChannelBackend::Threaded) backend
+    /// reproduces the legacy reader + heartbeat thread pair. Called by
+    /// the handshake module.
     pub(crate) fn start(
         sender: Box<dyn FrameSender>,
-        receiver: Box<dyn FrameReceiver>,
+        mut receiver: Box<dyn FrameReceiver>,
         mode: Mode,
         peer: Option<PeerInfo>,
         monitor: Option<AuthorizationMonitor>,
@@ -289,10 +329,36 @@ impl Channel {
             frames_received: AtomicU64::new(0),
             closed: AtomicBool::new(false),
             close_watchers: Mutex::new(Vec::new()),
+            reactor_reg: Mutex::new(None),
             config,
         });
 
-        // Reader thread.
+        let heartbeat = inner.config.heartbeat_interval;
+        if inner.config.backend == ChannelBackend::Reactor {
+            if let Some(stream) = receiver.take_stream() {
+                // TCP under the reactor: the channel owns no threads at
+                // all. Flipping the (shared) file description nonblocking
+                // also covers the sender half, whose vectored writes
+                // absorb `EWOULDBLOCK` by polling writable.
+                stream.set_nonblocking(true).expect("set_nonblocking");
+                crate::reactor::register_connection(stream, &inner, heartbeat);
+                return Channel { inner };
+            }
+            // Non-TCP (in-memory) transport: blocking reads stay on a
+            // reader thread, but heartbeats come from the timer wheel
+            // instead of a dedicated thread.
+            if let Some(interval) = heartbeat {
+                crate::reactor::register_heartbeat(&inner, interval);
+            }
+            let reader = inner.clone();
+            std::thread::Builder::new()
+                .name("swbd-reader".into())
+                .spawn(move || reader_loop(reader, receiver))
+                .expect("spawn reader");
+            return Channel { inner };
+        }
+
+        // Legacy thread-per-connection backend.
         {
             let inner = inner.clone();
             std::thread::Builder::new()
@@ -300,8 +366,7 @@ impl Channel {
                 .spawn(move || reader_loop(inner, receiver))
                 .expect("spawn reader");
         }
-        // Heartbeat thread.
-        if let Some(interval) = inner.config.heartbeat_interval {
+        if let Some(interval) = heartbeat {
             let inner = inner.clone();
             std::thread::Builder::new()
                 .name("swbd-heartbeat".into())
@@ -332,7 +397,9 @@ impl Channel {
     /// Most recent measured round-trip time, if any heartbeat has been
     /// acknowledged.
     pub fn last_rtt(&self) -> Option<Duration> {
-        match self.inner.last_rtt_us.load(Ordering::SeqCst) {
+        // Relaxed: stats-only — a momentarily stale RTT is as meaningful
+        // as a fresh one; nothing is ordered against this load.
+        match self.inner.last_rtt_us.load(Ordering::Relaxed) {
             0 => None,
             us => Some(Duration::from_micros(us)),
         }
@@ -343,24 +410,29 @@ impl Channel {
         if self.inner.closed.load(Ordering::SeqCst) {
             return false;
         }
-        let last = self.inner.last_heard_us.load(Ordering::SeqCst);
+        // Relaxed: liveness is inherently a racy read of a monotonically
+        // advancing timestamp; staleness only errs toward "not alive".
+        let last = self.inner.last_heard_us.load(Ordering::Relaxed);
         let now = self.inner.start.elapsed().as_micros() as u64;
         now.saturating_sub(last) <= window.as_micros() as u64
     }
 
     /// Heartbeats received from the peer so far.
     pub fn heartbeats_received(&self) -> u64 {
-        self.inner.heartbeats_received.load(Ordering::SeqCst)
+        // Relaxed: a pure statistic; no other state is published under it.
+        self.inner.heartbeats_received.load(Ordering::Relaxed)
     }
 
     /// Wire traffic counters (frames and bytes in each direction,
     /// including record-layer overhead).
     pub fn traffic(&self) -> TrafficStats {
+        // Relaxed: the four counters are independent statistics — a
+        // snapshot need not be mutually consistent across them.
         TrafficStats {
-            frames_sent: self.inner.frames_sent.load(Ordering::SeqCst),
-            frames_received: self.inner.frames_received.load(Ordering::SeqCst),
-            bytes_sent: self.inner.bytes_sent.load(Ordering::SeqCst),
-            bytes_received: self.inner.bytes_received.load(Ordering::SeqCst),
+            frames_sent: self.inner.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.inner.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.inner.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.inner.bytes_received.load(Ordering::Relaxed),
         }
     }
 
@@ -370,7 +442,7 @@ impl Channel {
         ChannelStats {
             last_rtt: self.last_rtt(),
             heartbeats_received: self.heartbeats_received(),
-            heartbeats_sent: self.inner.hb_send_seq.load(Ordering::SeqCst),
+            heartbeats_sent: self.inner.hb_send_seq.load(Ordering::Relaxed),
             traffic: self.traffic(),
             uptime: self.inner.start.elapsed(),
             status: self.status(),
@@ -433,7 +505,9 @@ impl Channel {
         self.check_traffic_allowed()?;
         let start = Instant::now();
         let ctx = psf_telemetry::TraceContext::current();
-        let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: pure unique-id allocation; the id is published to the
+        // reader through the pending table's shard mutex, not this atomic.
+        let id = self.inner.next_rpc_id.fetch_add(1, Ordering::Relaxed);
         let slot = CallSlot::new();
         self.inner.pending.insert(id, slot.clone());
 
@@ -484,7 +558,7 @@ impl Channel {
         let mut slots = Vec::with_capacity(chunk.len());
         let mut bufs = Vec::with_capacity(chunk.len());
         for args in chunk {
-            let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
+            let id = self.inner.next_rpc_id.fetch_add(1, Ordering::Relaxed);
             let slot = CallSlot::new();
             self.inner.pending.insert(id, slot.clone());
             let mut buf = self
@@ -752,9 +826,10 @@ fn send_pooled_frame(
     // Sequence allocation and transmission must be atomic together: the
     // receiver enforces strictly increasing sequence numbers (replay
     // rejection), so a frame numbered later must never hit the wire
-    // earlier.
+    // earlier. The sender mutex provides that ordering — the fetch_add
+    // itself can be Relaxed because it only ever runs under the lock.
     let mut sender = inner.sender.lock();
-    let seq = inner.send_seq.fetch_add(1, Ordering::SeqCst);
+    let seq = inner.send_seq.fetch_add(1, Ordering::Relaxed);
     buf[..8].copy_from_slice(&seq.to_le_bytes());
     if let Mode::Secure { send, send_dir, .. } = &inner.mode {
         let nonce = seal_nonce(*send_dir, seq);
@@ -784,14 +859,15 @@ fn send_pooled_frame(
 /// whole group are allocated contiguously under a single sender-lock
 /// acquisition, each frame is sealed in place, and the group leaves in
 /// one coalesced transport write.
-fn send_pooled_frames(
+pub(crate) fn send_pooled_frames(
     inner: &Arc<ChannelInner>,
     bufs: &mut [PooledBuf],
 ) -> Result<(), SwitchboardError> {
     let mut sender = inner.sender.lock();
     let mut total = 0u64;
     for buf in bufs.iter_mut() {
-        let seq = inner.send_seq.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: see `send_pooled_frame` — ordered by the sender mutex.
+        let seq = inner.send_seq.fetch_add(1, Ordering::Relaxed);
         buf[..8].copy_from_slice(&seq.to_le_bytes());
         if let Mode::Secure { send, send_dir, .. } = &inner.mode {
             let nonce = seal_nonce(*send_dir, seq);
@@ -817,8 +893,11 @@ fn send_pooled_frames(
     Ok(())
 }
 
-fn send_heartbeat_frame(inner: &Arc<ChannelInner>) -> Result<(), SwitchboardError> {
-    let hb_seq = inner.hb_send_seq.fetch_add(1, Ordering::SeqCst) + 1;
+pub(crate) fn send_heartbeat_frame(inner: &Arc<ChannelInner>) -> Result<(), SwitchboardError> {
+    // Relaxed: the counter only needs unique, roughly-monotonic values;
+    // wire ordering is enforced by the record layer's sequence numbers,
+    // not by this fetch_add.
+    let hb_seq = inner.hb_send_seq.fetch_add(1, Ordering::Relaxed) + 1;
     let t_us = inner.start.elapsed().as_micros() as u64;
     send_frame(
         inner,
@@ -827,9 +906,15 @@ fn send_heartbeat_frame(inner: &Arc<ChannelInner>) -> Result<(), SwitchboardErro
     )
 }
 
-fn mark_closed(inner: &Arc<ChannelInner>) {
+pub(crate) fn mark_closed(inner: &Arc<ChannelInner>) {
     inner.closed.store(true, Ordering::SeqCst);
     *inner.status.write() = ChannelStatus::Closed;
+    // Retire the reactor registration (fd, timers, heartbeat group
+    // membership). Taken exactly once, so the shard's own close path
+    // calling back into `mark_closed` terminates.
+    if let Some(reg) = inner.reactor_reg.lock().take() {
+        crate::reactor::deregister(reg);
+    }
     // Fail all pending RPCs promptly — in-flight callers must not idle out
     // their full RPC timeout when the channel dies under them.
     for slot in inner.pending.drain() {
@@ -872,7 +957,7 @@ fn reader_loop(inner: Arc<ChannelInner>, mut receiver: Box<dyn FrameReceiver>) {
 /// (protocol violation, forged record, or an orderly `FT_CLOSE`). RPC
 /// responses are staged into `responses` rather than sent, so a burst of
 /// requests answers with one transport write.
-fn process_frame(
+pub(crate) fn process_frame(
     inner: &Arc<ChannelInner>,
     mut frame: Vec<u8>,
     responses: &mut Vec<PooledBuf>,
@@ -886,12 +971,16 @@ fn process_frame(
         .fetch_add(frame.len() as u64, Ordering::Relaxed);
     psf_telemetry::counter!("psf.switchboard.bytes.rx").add(frame.len() as u64);
     let seq = u64::from_le_bytes(frame[..8].try_into().unwrap());
-    let expected = inner.recv_seq.load(Ordering::SeqCst);
+    // Relaxed: `recv_seq` is only ever touched by the single receive
+    // context (the reader thread, or the one reactor shard this
+    // connection is pinned to), so there is no concurrent access to
+    // order against.
+    let expected = inner.recv_seq.load(Ordering::Relaxed);
     if seq != expected {
         // Replay or reorder: hard protocol failure.
         return false;
     }
-    inner.recv_seq.store(expected + 1, Ordering::SeqCst);
+    inner.recv_seq.store(expected + 1, Ordering::Relaxed);
 
     // Borrow (plain) or decrypt in place (secure): either way the
     // inner frame is a slice of the transport buffer — no copy.
@@ -910,7 +999,7 @@ fn process_frame(
     }
     inner
         .last_heard_us
-        .store(inner.start.elapsed().as_micros() as u64, Ordering::SeqCst);
+        .store(inner.start.elapsed().as_micros() as u64, Ordering::Relaxed);
 
     let (ft, body) = (inner_frame[0], &inner_frame[1..]);
     match ft {
@@ -1022,13 +1111,17 @@ fn handle_heartbeat(inner: &Arc<ChannelInner>, body: &[u8]) {
     let hb_seq = u64::from_le_bytes(body[..8].try_into().unwrap());
     // Replay resistance: heartbeat sequence numbers must strictly
     // increase (the record layer already rejects replays; this guards the
-    // semantic layer too).
-    let last = inner.hb_recv_seq.load(Ordering::SeqCst);
+    // semantic layer too). Relaxed: like `recv_seq`, only the single
+    // receive context touches `hb_recv_seq`.
+    let last = inner.hb_recv_seq.load(Ordering::Relaxed);
     if hb_seq <= last {
+        // Surface the rejection so chaos runs can assert on it instead
+        // of the drop being silent.
+        psf_telemetry::counter!("psf.switchboard.heartbeat.replays_rejected").inc();
         return;
     }
-    inner.hb_recv_seq.store(hb_seq, Ordering::SeqCst);
-    inner.heartbeats_received.fetch_add(1, Ordering::SeqCst);
+    inner.hb_recv_seq.store(hb_seq, Ordering::Relaxed);
+    inner.heartbeats_received.fetch_add(1, Ordering::Relaxed);
     psf_telemetry::counter!("psf.swbd.hb.received").inc();
     // Echo for RTT measurement.
     let _ = send_frame(inner, FT_HB_ACK, &[body]);
@@ -1041,7 +1134,7 @@ fn handle_hb_ack(inner: &Arc<ChannelInner>, body: &[u8]) {
     let t_us = u64::from_le_bytes(body[8..16].try_into().unwrap());
     let now_us = inner.start.elapsed().as_micros() as u64;
     let rtt = now_us.saturating_sub(t_us).max(1);
-    inner.last_rtt_us.store(rtt, Ordering::SeqCst);
+    inner.last_rtt_us.store(rtt, Ordering::Relaxed);
     psf_telemetry::histogram!("psf.swbd.hb.rtt.us").record(rtt);
 }
 

@@ -153,6 +153,7 @@ mod tests {
         ChannelConfig {
             heartbeat_interval: None,
             rpc_timeout: Duration::from_millis(500),
+            ..Default::default()
         }
     }
 

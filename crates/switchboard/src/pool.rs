@@ -26,10 +26,13 @@ pub struct FramePool {
 }
 
 impl FramePool {
-    /// Create a pool retaining at most `max_slots` buffers.
+    /// Create a pool retaining at most `max_slots` buffers. The slot
+    /// stack itself grows lazily: at 100k reactor channels an eagerly
+    /// sized stack would burn `max_slots × 24 B` per channel on pools
+    /// that mostly idle.
     pub fn new(max_slots: usize) -> Arc<FramePool> {
         Arc::new(FramePool {
-            slots: Mutex::new(Vec::with_capacity(max_slots)),
+            slots: Mutex::new(Vec::new()),
             max_slots,
         })
     }

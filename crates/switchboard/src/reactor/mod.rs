@@ -1,0 +1,560 @@
+//! Readiness-driven connection engine: epoll shards + timer-wheel
+//! heartbeats.
+//!
+//! The thread-per-connection model costs two threads and two stacks per
+//! channel; at 100k channels that is 200k stacks before a byte moves.
+//! The reactor replaces it with a fixed set of shard threads (one per
+//! core, capped), each owning an epoll instance, the connections
+//! hash-pinned to it, and a hashed [timer wheel](wheel) driving
+//! heartbeats. Per-channel steady-state cost drops to one table entry
+//! plus a timer-slot share.
+//!
+//! * **Sharding** — a connection's token picks its shard once at
+//!   registration; all its readiness handling, timer state, and
+//!   heartbeat grouping live on that shard. The hot path never takes a
+//!   cross-shard lock (the only shared mutable state is each shard's
+//!   command queue, touched at registration/close).
+//! * **Edge-triggered reads** — shards read until `EWOULDBLOCK`,
+//!   re-framing the byte stream and feeding complete records to the
+//!   existing `process_frame` path (pooled buffers, in-place AEAD open).
+//!   Responses staged by a burst leave in one vectored write.
+//! * **Heartbeat coalescing** — channels sharing a peer host and
+//!   interval join one *group* with a single wheel entry (capped at
+//!   [`HB_GROUP_CAP`] members), so 100k channels to the same host cost
+//!   hundreds of timer fires per interval, not 100k. Group phases are
+//!   hash-staggered to avoid synchronized bursts.
+//! * **Unsafe boundary** — every raw syscall lives in [`sys`], the one
+//!   module outside `crates/crypto` that CI's unsafe_code audit
+//!   permits; everything here is safe Rust over its owning types.
+//!
+//! The in-memory `MemTransport` path keeps its blocking reader thread
+//! (deterministic for tests and netsim), but its heartbeats also route
+//! through the wheel, so even mem channels stop paying a heartbeat
+//! thread.
+
+#[allow(unsafe_code)]
+pub(crate) mod sys;
+pub mod wheel;
+
+use crate::channel::{
+    mark_closed, process_frame, send_heartbeat_frame, send_pooled_frames, ChannelInner,
+};
+use crate::pool::PooledBuf;
+use crate::transport::MAX_FRAME;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{IpAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant};
+use wheel::{TimerId, TimerWheel, DEFAULT_SLOTS, DEFAULT_TICK};
+
+pub use sys::raise_nofile_limit;
+
+/// Event-buffer token reserved for each shard's eventfd wakeup.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Heartbeat groups stop absorbing members past this size, bounding the
+/// work (and the wire burst) a single timer fire can generate.
+pub const HB_GROUP_CAP: usize = 256;
+
+/// Per-shard read buffer: one edge-triggered drain reads in chunks of
+/// this size into the connection's reassembly buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// A channel's link back to its reactor shard, stored on `ChannelInner`
+/// and redeemed (once) at close to retire the connection and its timers.
+pub(crate) struct Registration {
+    shard: usize,
+    token: u64,
+}
+
+enum Command {
+    Register {
+        token: u64,
+        stream: TcpStream,
+        inner: Arc<ChannelInner>,
+    },
+    Heartbeat {
+        token: u64,
+        inner: Weak<ChannelInner>,
+        interval: Duration,
+        peer: Option<IpAddr>,
+    },
+    Close {
+        token: u64,
+    },
+}
+
+struct ShardHandle {
+    queue: Mutex<Vec<Command>>,
+    wake: sys::WakeFd,
+}
+
+impl ShardHandle {
+    fn push(&self, cmd: Command) {
+        self.queue.lock().push(cmd);
+        self.wake.wake();
+    }
+}
+
+struct Reactor {
+    shards: Vec<Arc<ShardHandle>>,
+}
+
+static REACTOR: OnceLock<Reactor> = OnceLock::new();
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+fn shard_count_config() -> usize {
+    if let Ok(v) = std::env::var("PSF_REACTOR_SHARDS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.clamp(1, 64);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn global() -> &'static Reactor {
+    REACTOR.get_or_init(|| {
+        let count = shard_count_config();
+        psf_telemetry::gauge!("psf.switchboard.reactor.shards").set(count as i64);
+        let mut shards = Vec::with_capacity(count);
+        for id in 0..count {
+            let epoll = sys::Epoll::new().expect("epoll_create1");
+            let wake = sys::WakeFd::new().expect("eventfd");
+            epoll
+                .add(wake.raw(), WAKE_TOKEN, sys::EPOLLIN)
+                .expect("register wakeup fd");
+            let handle = Arc::new(ShardHandle {
+                queue: Mutex::new(Vec::new()),
+                wake,
+            });
+            let thread_handle = handle.clone();
+            std::thread::Builder::new()
+                .name(format!("swbd-reactor-{id}"))
+                .spawn(move || shard_loop(thread_handle, epoll))
+                .expect("spawn reactor shard");
+            shards.push(handle);
+        }
+        Reactor { shards }
+    })
+}
+
+/// Number of reactor shards (spins the reactor up on first call).
+pub fn shard_count() -> usize {
+    global().shards.len()
+}
+
+fn alloc_token(reactor: &Reactor) -> (usize, u64) {
+    // Unique-id allocation only: Relaxed suffices, nothing is published
+    // under this counter.
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    ((token % reactor.shards.len() as u64) as usize, token)
+}
+
+/// Hand a connected (handshake-complete) TCP stream to the reactor: the
+/// channel stops owning threads and is serviced by its shard from now
+/// on. The stream must already be nonblocking.
+pub(crate) fn register_connection(
+    stream: TcpStream,
+    inner: &Arc<ChannelInner>,
+    heartbeat: Option<Duration>,
+) {
+    let reactor = global();
+    let (shard_idx, token) = alloc_token(reactor);
+    inner.set_reactor_registration(Registration {
+        shard: shard_idx,
+        token,
+    });
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
+    let shard = &reactor.shards[shard_idx];
+    {
+        let mut q = shard.queue.lock();
+        q.push(Command::Register {
+            token,
+            stream,
+            inner: inner.clone(),
+        });
+        if let Some(interval) = heartbeat {
+            q.push(Command::Heartbeat {
+                token,
+                inner: Arc::downgrade(inner),
+                interval,
+                peer,
+            });
+        }
+    }
+    shard.wake.wake();
+}
+
+/// Drive a channel's heartbeats from the timer wheel without routing its
+/// reads through epoll (the in-memory transport path: reads stay on the
+/// blocking reader thread, the heartbeat thread is replaced).
+pub(crate) fn register_heartbeat(inner: &Arc<ChannelInner>, interval: Duration) {
+    let reactor = global();
+    let (shard_idx, token) = alloc_token(reactor);
+    inner.set_reactor_registration(Registration {
+        shard: shard_idx,
+        token,
+    });
+    reactor.shards[shard_idx].push(Command::Heartbeat {
+        token,
+        inner: Arc::downgrade(inner),
+        interval,
+        peer: None,
+    });
+}
+
+/// Retire a registration: drop the connection from its shard's tables,
+/// deregister the fd, and cancel heartbeat membership. Idempotent by
+/// construction — the caller obtained `reg` by `take`ing it.
+pub(crate) fn deregister(reg: Registration) {
+    if let Some(reactor) = REACTOR.get() {
+        reactor.shards[reg.shard].push(Command::Close { token: reg.token });
+    }
+}
+
+// ------------------------------------------------------- shard state --
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    /// TCP channels sharing a peer host and interval coalesce.
+    Host {
+        ip: IpAddr,
+        interval_us: u64,
+        bucket: u64,
+    },
+    /// Channels with no peer address (in-memory) keep private timers.
+    Solo { token: u64 },
+}
+
+struct Group {
+    timer: TimerId,
+    interval: Duration,
+    members: Vec<(u64, Weak<ChannelInner>)>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    inner: Arc<ChannelInner>,
+    /// Reassembly buffer: bytes read past the last complete frame.
+    partial: Vec<u8>,
+}
+
+struct ShardState {
+    epoll: sys::Epoll,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel<GroupKey>,
+    groups: HashMap<GroupKey, Group>,
+    /// Currently-filling bucket index per (peer, interval), so groups
+    /// fill to [`HB_GROUP_CAP`] before a new one opens.
+    group_cursor: HashMap<(IpAddr, u64), u64>,
+    /// token → its heartbeat group, for cancel-on-close.
+    hb_index: HashMap<u64, GroupKey>,
+    scratch: Vec<u8>,
+}
+
+fn shard_loop(handle: Arc<ShardHandle>, epoll: sys::Epoll) {
+    let mut st = ShardState {
+        epoll,
+        conns: HashMap::new(),
+        wheel: TimerWheel::new(DEFAULT_SLOTS, DEFAULT_TICK, Instant::now()),
+        groups: HashMap::new(),
+        group_cursor: HashMap::new(),
+        hb_index: HashMap::new(),
+        scratch: vec![0u8; READ_CHUNK],
+    };
+    let mut events: Vec<(u64, u32)> = Vec::with_capacity(1024);
+    let mut fired: Vec<GroupKey> = Vec::new();
+    loop {
+        let timeout_ms = match st.wheel.next_deadline() {
+            None => -1,
+            Some(deadline) => {
+                let now = Instant::now();
+                if deadline <= now {
+                    0
+                } else {
+                    // +1 rounds up so we never wake a hair early and spin.
+                    (deadline.duration_since(now).as_millis().min(60_000) as i32) + 1
+                }
+            }
+        };
+        events.clear();
+        if st.epoll.wait(&mut events, timeout_ms).is_err() {
+            // Pathological (EBADF/ENOMEM): back off instead of spinning.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        psf_telemetry::counter!("psf.switchboard.reactor.wakeups").inc();
+        // Commands before readiness: a `Register` must be in the table
+        // before its socket's first readable edge is serviced.
+        let cmds: Vec<Command> = std::mem::take(&mut *handle.queue.lock());
+        for cmd in cmds {
+            apply_command(&mut st, cmd);
+        }
+        for &(token, ev) in &events {
+            if token == WAKE_TOKEN {
+                handle.wake.drain();
+                continue;
+            }
+            service_conn(&mut st, token);
+            // A pure error/hangup edge may carry no readable data at all;
+            // retire the connection rather than wait for a read to fail.
+            if ev & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                close_token(&mut st, token);
+            }
+        }
+        fired.clear();
+        st.wheel.advance(Instant::now(), &mut fired);
+        for key in fired.drain(..) {
+            fire_group(&mut st, key);
+        }
+    }
+}
+
+fn apply_command(st: &mut ShardState, cmd: Command) {
+    match cmd {
+        Command::Register {
+            token,
+            stream,
+            inner,
+        } => {
+            // The channel may have been closed while this command sat in
+            // the queue; registering it would leak the fd forever.
+            if inner.is_closed() {
+                mark_closed(&inner);
+                return;
+            }
+            if st
+                .epoll
+                .add(
+                    stream.as_raw_fd(),
+                    token,
+                    sys::EPOLLIN | sys::EPOLLET | sys::EPOLLRDHUP,
+                )
+                .is_err()
+            {
+                mark_closed(&inner);
+                return;
+            }
+            st.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    inner,
+                    partial: Vec::new(),
+                },
+            );
+            // Bytes that raced registration produce an edge on ADD, but
+            // drain once explicitly to stay independent of that timing.
+            service_conn(st, token);
+        }
+        Command::Heartbeat {
+            token,
+            inner,
+            interval,
+            peer,
+        } => add_heartbeat(st, token, inner, interval, peer),
+        Command::Close { token } => close_token(st, token),
+    }
+}
+
+// --------------------------------------------------------- heartbeats --
+
+/// Deterministic per-token phase inside the interval (splitmix64), so
+/// group timers spread over the interval instead of firing in lockstep.
+fn stagger(token: u64, interval: Duration) -> Duration {
+    let mut z = token.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    Duration::from_micros(z % interval.as_micros().max(1) as u64)
+}
+
+fn add_heartbeat(
+    st: &mut ShardState,
+    token: u64,
+    inner: Weak<ChannelInner>,
+    interval: Duration,
+    peer: Option<IpAddr>,
+) {
+    let key = match peer {
+        Some(ip) => {
+            let interval_us = interval.as_micros() as u64;
+            let cursor = st.group_cursor.entry((ip, interval_us)).or_insert(0);
+            let mut key = GroupKey::Host {
+                ip,
+                interval_us,
+                bucket: *cursor,
+            };
+            if st
+                .groups
+                .get(&key)
+                .is_some_and(|g| g.members.len() >= HB_GROUP_CAP)
+            {
+                *cursor += 1;
+                key = GroupKey::Host {
+                    ip,
+                    interval_us,
+                    bucket: *cursor,
+                };
+            }
+            key
+        }
+        None => GroupKey::Solo { token },
+    };
+    st.hb_index.insert(token, key.clone());
+    if let Some(group) = st.groups.get_mut(&key) {
+        group.members.push((token, inner));
+        return;
+    }
+    let timer = st
+        .wheel
+        .schedule_at(Instant::now() + stagger(token, interval), key.clone());
+    st.groups.insert(
+        key,
+        Group {
+            timer,
+            interval,
+            members: vec![(token, inner)],
+        },
+    );
+}
+
+fn fire_group(st: &mut ShardState, key: GroupKey) {
+    let Some(mut group) = st.groups.remove(&key) else {
+        return;
+    };
+    psf_telemetry::counter!("psf.switchboard.reactor.timer_fires").inc();
+    let mut dead: Vec<u64> = Vec::new();
+    group.members.retain(|(token, weak)| match weak.upgrade() {
+        Some(inner) if !inner.is_closed() => {
+            let _ = send_heartbeat_frame(&inner);
+            true
+        }
+        _ => {
+            dead.push(*token);
+            false
+        }
+    });
+    for token in dead {
+        st.hb_index.remove(&token);
+    }
+    if group.members.is_empty() {
+        return; // group dissolves; timer already consumed by firing
+    }
+    if group.members.len() > 1 {
+        psf_telemetry::counter!("psf.switchboard.reactor.coalesced_heartbeats")
+            .add(group.members.len() as u64 - 1);
+    }
+    group.timer = st
+        .wheel
+        .schedule_at(Instant::now() + group.interval, key.clone());
+    st.groups.insert(key, group);
+}
+
+// ---------------------------------------------------------- data path --
+
+fn close_token(st: &mut ShardState, token: u64) {
+    if let Some(conn) = st.conns.remove(&token) {
+        let _ = st.epoll.del(conn.stream.as_raw_fd());
+        mark_closed(&conn.inner);
+    }
+    if let Some(key) = st.hb_index.remove(&token) {
+        let emptied = match st.groups.get_mut(&key) {
+            Some(group) => {
+                group.members.retain(|(t, _)| *t != token);
+                group.members.is_empty()
+            }
+            None => false,
+        };
+        if emptied {
+            // Cancel-on-close: the last member leaving tears the group's
+            // wheel entry down instead of letting it fire into nothing.
+            if let Some(group) = st.groups.remove(&key) {
+                st.wheel.cancel(group.timer);
+            }
+        }
+    }
+}
+
+fn service_conn(st: &mut ShardState, token: u64) {
+    let alive = {
+        let ShardState { conns, scratch, .. } = st;
+        let Some(conn) = conns.get_mut(&token) else {
+            return;
+        };
+        drain_readable(conn, scratch)
+    };
+    if !alive {
+        close_token(st, token);
+    }
+}
+
+/// Edge-triggered service: read until `EWOULDBLOCK`, reassemble
+/// length-prefixed frames, dispatch them, and flush every response the
+/// burst staged in one vectored write. Returns whether the connection
+/// survives.
+fn drain_readable(conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    let mut responses: Vec<PooledBuf> = Vec::new();
+    let mut alive = true;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                alive = false;
+                break;
+            }
+            Ok(n) => {
+                conn.partial.extend_from_slice(&scratch[..n]);
+                if !drain_frames(conn, &mut responses) {
+                    alive = false;
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                alive = false;
+                break;
+            }
+        }
+    }
+    if !responses.is_empty() && send_pooled_frames(&conn.inner, &mut responses).is_err() {
+        alive = false;
+    }
+    alive
+}
+
+fn drain_frames(conn: &mut Conn, responses: &mut Vec<PooledBuf>) -> bool {
+    let mut off = 0usize;
+    let mut ok = true;
+    while conn.partial.len() - off >= 4 {
+        let len = u32::from_le_bytes(conn.partial[off..off + 4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            ok = false;
+            break;
+        }
+        if conn.partial.len() - off - 4 < len {
+            break; // frame still arriving
+        }
+        let frame = conn.partial[off + 4..off + 4 + len].to_vec();
+        off += 4 + len;
+        if !process_frame(&conn.inner, frame, responses) {
+            ok = false;
+            break;
+        }
+    }
+    if off > 0 {
+        conn.partial.drain(..off);
+    }
+    // An idle connection must not pin a burst-sized reassembly buffer.
+    if conn.partial.is_empty() && conn.partial.capacity() > READ_CHUNK {
+        conn.partial = Vec::new();
+    }
+    ok
+}

@@ -1,7 +1,8 @@
 //! Framed byte transports: real TCP and an in-memory pair.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 
 /// Maximum accepted frame size (16 MiB) — guards against hostile length
 /// prefixes.
@@ -38,6 +39,16 @@ pub trait FrameReceiver: Send {
     fn recv_many(&mut self) -> std::io::Result<Vec<Vec<u8>>> {
         self.recv().map(|frame| vec![frame])
     }
+
+    /// Surrender the underlying TCP stream, if this receiver directly
+    /// owns one, so the reactor can service it with epoll instead of a
+    /// blocking reader thread. After a `Some` return, `recv` must not be
+    /// called again. Non-TCP transports — and wrappers that need to
+    /// intercept `recv` (fault injection) — return `None` (the default),
+    /// which keeps the channel on its reader thread.
+    fn take_stream(&mut self) -> Option<TcpStream> {
+        None
+    }
 }
 
 /// A bidirectional framed transport that can be split into halves.
@@ -64,13 +75,16 @@ impl TcpTransport {
 
 struct TcpSender {
     stream: TcpStream,
-    /// Reused gather buffer: length prefix + frame (or a whole batch) are
-    /// staged here so each `send`/`send_many` is one `write_all` — one
-    /// syscall and, with `TCP_NODELAY`, one segment instead of two.
-    scratch: Vec<u8>,
+    /// Reused length-prefix storage for `send_many`: prefixes must
+    /// outlive the gather list that borrows them.
+    prefixes: Vec<[u8; 4]>,
 }
 
-struct TcpReceiver(TcpStream);
+struct TcpReceiver {
+    /// `None` once [`FrameReceiver::take_stream`] has surrendered the
+    /// stream to the reactor.
+    stream: Option<TcpStream>,
+}
 
 impl Transport for TcpTransport {
     fn split(self: Box<Self>) -> (Box<dyn FrameSender>, Box<dyn FrameReceiver>) {
@@ -78,33 +92,83 @@ impl Transport for TcpTransport {
         (
             Box::new(TcpSender {
                 stream: self.stream,
-                scratch: Vec::new(),
+                prefixes: Vec::new(),
             }),
-            Box::new(TcpReceiver(reader)),
+            Box::new(TcpReceiver {
+                stream: Some(reader),
+            }),
         )
     }
 }
 
+/// Bound on gather-list length per `writev` — the portable `IOV_MAX`
+/// floor.
+const MAX_IOV: usize = 1024;
+
+/// Write every byte of `parts` (a logical concatenation) with vectored
+/// writes. Handles short writes, `EINTR`, and — because reactor
+/// registration flips the shared file description to `O_NONBLOCK` —
+/// absorbs `EWOULDBLOCK` by polling the socket writable, preserving the
+/// blocking-send semantics channel senders rely on.
+fn write_parts(stream: &mut TcpStream, parts: &[&[u8]]) -> std::io::Result<()> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut written = 0usize;
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(parts.len().min(MAX_IOV));
+    while written < total {
+        slices.clear();
+        let mut skip = written;
+        for part in parts {
+            if slices.len() == MAX_IOV {
+                break;
+            }
+            // Also skips empty parts (skip 0 >= len 0), which some
+            // kernels reject in iovecs.
+            if skip >= part.len() {
+                skip -= part.len();
+                continue;
+            }
+            slices.push(IoSlice::new(&part[skip..]));
+            skip = 0;
+        }
+        match stream.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "tcp write returned zero",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                crate::reactor::sys::poll_writable(stream.as_raw_fd())?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 impl FrameSender for TcpSender {
     fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
-        self.scratch.clear();
-        self.scratch
-            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
-        self.scratch.extend_from_slice(frame);
-        self.stream.write_all(&self.scratch)
+        let prefix = (frame.len() as u32).to_le_bytes();
+        // One gathered write: prefix + frame leave as a single syscall
+        // and, with `TCP_NODELAY`, one segment.
+        write_parts(&mut self.stream, &[&prefix, frame])
     }
 
     fn send_many(&mut self, frames: &[&[u8]]) -> std::io::Result<()> {
-        self.scratch.clear();
-        for frame in frames {
-            self.scratch
-                .extend_from_slice(&(frame.len() as u32).to_le_bytes());
-            self.scratch.extend_from_slice(frame);
+        self.prefixes.clear();
+        self.prefixes
+            .extend(frames.iter().map(|f| (f.len() as u32).to_le_bytes()));
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(frames.len() * 2);
+        for (prefix, frame) in self.prefixes.iter().zip(frames) {
+            parts.push(&prefix[..]);
+            parts.push(frame);
         }
-        let result = self.stream.write_all(&self.scratch);
-        // A huge batch must not pin its gather buffer forever.
-        if self.scratch.capacity() > 1 << 20 {
-            self.scratch = Vec::new();
+        let result = write_parts(&mut self.stream, &parts);
+        // A huge batch must not pin its prefix buffer forever.
+        if self.prefixes.capacity() > 1 << 16 {
+            self.prefixes = Vec::new();
         }
         result
     }
@@ -112,8 +176,14 @@ impl FrameSender for TcpSender {
 
 impl FrameReceiver for TcpReceiver {
     fn recv(&mut self) -> std::io::Result<Vec<u8>> {
+        let stream = self.stream.as_mut().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "stream surrendered to reactor",
+            )
+        })?;
         let mut len_buf = [0u8; 4];
-        self.0.read_exact(&mut len_buf)?;
+        stream.read_exact(&mut len_buf)?;
         let len = u32::from_le_bytes(len_buf) as usize;
         if len > MAX_FRAME {
             return Err(std::io::Error::new(
@@ -122,8 +192,12 @@ impl FrameReceiver for TcpReceiver {
             ));
         }
         let mut buf = vec![0u8; len];
-        self.0.read_exact(&mut buf)?;
+        stream.read_exact(&mut buf)?;
         Ok(buf)
+    }
+
+    fn take_stream(&mut self) -> Option<TcpStream> {
+        self.stream.take()
     }
 }
 

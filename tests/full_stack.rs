@@ -13,6 +13,7 @@ fn quiet() -> ChannelConfig {
     ChannelConfig {
         heartbeat_interval: None,
         rpc_timeout: Duration::from_secs(10),
+        ..Default::default()
     }
 }
 

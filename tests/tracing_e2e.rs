@@ -72,6 +72,7 @@ fn config() -> ChannelConfig {
     ChannelConfig {
         heartbeat_interval: None,
         rpc_timeout: Duration::from_secs(5),
+        ..Default::default()
     }
 }
 
