@@ -63,7 +63,8 @@ pub enum ChannelBackend {
     /// Readiness-driven: TCP channels register with the shared epoll
     /// [reactor](crate::reactor) (no per-channel threads); in-memory
     /// channels keep their reader thread but heartbeat from the
-    /// reactor's timer wheel. The default.
+    /// reactor's timer wheel. The default on Linux; on other targets
+    /// (no epoll) this degrades to [`Threaded`](ChannelBackend::Threaded).
     Reactor,
     /// Legacy thread-per-connection: one reader thread plus (if
     /// heartbeats are enabled) one heartbeat thread per channel. Kept as
@@ -88,7 +89,11 @@ impl Default for ChannelConfig {
         ChannelConfig {
             heartbeat_interval: Some(Duration::from_millis(200)),
             rpc_timeout: Duration::from_secs(10),
-            backend: ChannelBackend::Reactor,
+            backend: if cfg!(target_os = "linux") {
+                ChannelBackend::Reactor
+            } else {
+                ChannelBackend::Threaded
+            },
         }
     }
 }
@@ -334,12 +339,16 @@ impl Channel {
         });
 
         let heartbeat = inner.config.heartbeat_interval;
-        if inner.config.backend == ChannelBackend::Reactor {
+        // Off Linux there is no epoll shim: an explicit Reactor request
+        // degrades to the threaded backend rather than failing.
+        if cfg!(target_os = "linux") && inner.config.backend == ChannelBackend::Reactor {
             if let Some(stream) = receiver.take_stream() {
                 // TCP under the reactor: the channel owns no threads at
                 // all. Flipping the (shared) file description nonblocking
                 // also covers the sender half, whose vectored writes
-                // absorb `EWOULDBLOCK` by polling writable.
+                // absorb `EWOULDBLOCK` by queueing the unsent tail in a
+                // bounded backlog the reactor flushes on writable edges —
+                // no send path ever blocks a reactor shard.
                 stream.set_nonblocking(true).expect("set_nonblocking");
                 crate::reactor::register_connection(stream, &inner, heartbeat);
                 return Channel { inner };
@@ -904,6 +913,12 @@ pub(crate) fn send_heartbeat_frame(inner: &Arc<ChannelInner>) -> Result<(), Swit
         FT_HEARTBEAT,
         &[&hb_seq.to_le_bytes(), &t_us.to_le_bytes()],
     )
+}
+
+/// Flush a connection's buffered outbound bytes without blocking — the
+/// reactor calls this on writable edges. Returns whether backlog remains.
+pub(crate) fn flush_outbound(inner: &Arc<ChannelInner>) -> std::io::Result<bool> {
+    inner.sender.lock().flush_backlog()
 }
 
 pub(crate) fn mark_closed(inner: &Arc<ChannelInner>) {

@@ -44,6 +44,13 @@ pub mod channel;
 pub mod fault;
 pub mod handshake;
 pub mod pool;
+// The reactor's syscall shim is Linux ABI (epoll, eventfd, packed
+// x86_64 epoll_event, RLIMIT_NOFILE=7); elsewhere a stub module keeps
+// the API surface and channels degrade to the threaded backend.
+#[cfg(target_os = "linux")]
+pub mod reactor;
+#[cfg(not(target_os = "linux"))]
+#[path = "reactor_fallback.rs"]
 pub mod reactor;
 pub mod rpc;
 pub mod stream;

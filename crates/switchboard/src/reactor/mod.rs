@@ -14,10 +14,21 @@
 //!   heartbeat grouping live on that shard. The hot path never takes a
 //!   cross-shard lock (the only shared mutable state is each shard's
 //!   command queue, touched at registration/close).
-//! * **Edge-triggered reads** — shards read until `EWOULDBLOCK`,
-//!   re-framing the byte stream and feeding complete records to the
-//!   existing `process_frame` path (pooled buffers, in-place AEAD open).
-//!   Responses staged by a burst leave in one vectored write.
+//! * **Edge-triggered reads, budgeted** — shards read until
+//!   `EWOULDBLOCK` or a per-pass byte budget, re-framing the byte stream
+//!   and feeding complete records to the existing `process_frame` path
+//!   (pooled buffers, in-place AEAD open). A connection that exhausts
+//!   its budget is requeued for the next loop pass instead of
+//!   monopolizing the shard, so one fast sender cannot starve its
+//!   neighbours or delay timer fires. Responses staged by a burst leave
+//!   in one vectored write.
+//! * **Nonblocking writes** — the shard thread never parks inside a
+//!   send: bytes a full socket refuses are queued in the sender's
+//!   bounded backlog and flushed on the connection's `EPOLLOUT` edge.
+//!   (A blocking send here would let one stalled peer freeze every
+//!   connection on the shard — and deadlock outright when both ends of
+//!   a connection share a shard.) A peer that stops draining past the
+//!   backlog cap fails sends, which closes the channel.
 //! * **Heartbeat coalescing** — channels sharing a peer host and
 //!   interval join one *group* with a single wheel entry (capped at
 //!   [`HB_GROUP_CAP`] members), so 100k channels to the same host cost
@@ -37,7 +48,8 @@ pub(crate) mod sys;
 pub mod wheel;
 
 use crate::channel::{
-    mark_closed, process_frame, send_heartbeat_frame, send_pooled_frames, ChannelInner,
+    flush_outbound, mark_closed, process_frame, send_heartbeat_frame, send_pooled_frames,
+    ChannelInner,
 };
 use crate::pool::PooledBuf;
 use crate::transport::MAX_FRAME;
@@ -63,6 +75,12 @@ pub const HB_GROUP_CAP: usize = 256;
 /// Per-shard read buffer: one edge-triggered drain reads in chunks of
 /// this size into the connection's reassembly buffer.
 const READ_CHUNK: usize = 64 * 1024;
+
+/// Fairness bound: bytes one connection may consume per service pass. A
+/// peer streaming fast enough to keep its socket buffer non-empty gets
+/// requeued for the next loop pass once it burns this much, so other
+/// connections and the timer wheel keep their latency.
+const READ_PASS_BUDGET: usize = 4 * READ_CHUNK;
 
 /// A channel's link back to its reactor shard, stored on `ChannelInner`
 /// and redeemed (once) at close to retire the connection and its timers.
@@ -271,16 +289,24 @@ fn shard_loop(handle: Arc<ShardHandle>, epoll: sys::Epoll) {
     };
     let mut events: Vec<(u64, u32)> = Vec::with_capacity(1024);
     let mut fired: Vec<GroupKey> = Vec::new();
+    // Connections that exhausted their read budget last pass: their
+    // sockets hold more data but (being edge-triggered) will produce no
+    // new edge for it, so the loop must revisit them itself.
+    let mut again: Vec<u64> = Vec::new();
     loop {
-        let timeout_ms = match st.wheel.next_deadline() {
-            None => -1,
-            Some(deadline) => {
-                let now = Instant::now();
-                if deadline <= now {
-                    0
-                } else {
-                    // +1 rounds up so we never wake a hair early and spin.
-                    (deadline.duration_since(now).as_millis().min(60_000) as i32) + 1
+        let timeout_ms = if !again.is_empty() {
+            0 // budget-paused connections have data waiting right now
+        } else {
+            match st.wheel.next_deadline() {
+                None => -1,
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline <= now {
+                        0
+                    } else {
+                        // +1 rounds up so we never wake a hair early and spin.
+                        (deadline.duration_since(now).as_millis().min(60_000) as i32) + 1
+                    }
                 }
             }
         };
@@ -295,14 +321,35 @@ fn shard_loop(handle: Arc<ShardHandle>, epoll: sys::Epoll) {
         // before its socket's first readable edge is serviced.
         let cmds: Vec<Command> = std::mem::take(&mut *handle.queue.lock());
         for cmd in cmds {
-            apply_command(&mut st, cmd);
+            apply_command(&mut st, cmd, &mut again);
+        }
+        // Give budget-paused connections their next slice before fresh
+        // events, so arrival order cannot starve a paused connection.
+        let paused: Vec<u64> = std::mem::take(&mut again);
+        for token in paused {
+            service_conn(&mut st, token, &mut again);
         }
         for &(token, ev) in &events {
             if token == WAKE_TOKEN {
                 handle.wake.drain();
                 continue;
             }
-            service_conn(&mut st, token);
+            if ev & sys::EPOLLOUT != 0 {
+                // The socket drained: push out backlogged sends. Failure
+                // here is a dead transport.
+                match st.conns.get(&token).map(|c| flush_outbound(&c.inner)) {
+                    Some(Err(_)) => {
+                        close_token(&mut st, token);
+                        continue;
+                    }
+                    Some(Ok(_)) | None => {}
+                }
+            }
+            // RDHUP without IN still needs a service pass: the drain is
+            // what observes EOF and retires the connection.
+            if ev & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+                service_conn(&mut st, token, &mut again);
+            }
             // A pure error/hangup edge may carry no readable data at all;
             // retire the connection rather than wait for a read to fail.
             if ev & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
@@ -317,7 +364,7 @@ fn shard_loop(handle: Arc<ShardHandle>, epoll: sys::Epoll) {
     }
 }
 
-fn apply_command(st: &mut ShardState, cmd: Command) {
+fn apply_command(st: &mut ShardState, cmd: Command, again: &mut Vec<u64>) {
     match cmd {
         Command::Register {
             token,
@@ -335,7 +382,7 @@ fn apply_command(st: &mut ShardState, cmd: Command) {
                 .add(
                     stream.as_raw_fd(),
                     token,
-                    sys::EPOLLIN | sys::EPOLLET | sys::EPOLLRDHUP,
+                    sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLET | sys::EPOLLRDHUP,
                 )
                 .is_err()
             {
@@ -352,7 +399,7 @@ fn apply_command(st: &mut ShardState, cmd: Command) {
             );
             // Bytes that raced registration produce an edge on ADD, but
             // drain once explicitly to stay independent of that timing.
-            service_conn(st, token);
+            service_conn(st, token, again);
         }
         Command::Heartbeat {
             token,
@@ -434,8 +481,17 @@ fn fire_group(st: &mut ShardState, key: GroupKey) {
     let mut dead: Vec<u64> = Vec::new();
     group.members.retain(|(token, weak)| match weak.upgrade() {
         Some(inner) if !inner.is_closed() => {
-            let _ = send_heartbeat_frame(&inner);
-            true
+            if send_heartbeat_frame(&inner).is_ok() {
+                true
+            } else {
+                // Sends are nonblocking and buffered, so a failure means
+                // the transport is dead or its backlog is over cap (peer
+                // stopped draining). Close the channel so the member
+                // leaves the wheel instead of firing forever.
+                mark_closed(&inner);
+                dead.push(*token);
+                false
+            }
         }
         _ => {
             dead.push(*token);
@@ -483,51 +539,71 @@ fn close_token(st: &mut ShardState, token: u64) {
     }
 }
 
-fn service_conn(st: &mut ShardState, token: u64) {
-    let alive = {
+/// Outcome of one budgeted service pass over a connection.
+enum ServiceOutcome {
+    /// Socket drained to `EWOULDBLOCK`; the next edge re-arms it.
+    Idle,
+    /// Read budget exhausted with data (possibly) still queued: the
+    /// caller must revisit this token without waiting for an edge.
+    Again,
+    /// EOF, transport error, or protocol violation: close.
+    Dead,
+}
+
+fn service_conn(st: &mut ShardState, token: u64, again: &mut Vec<u64>) {
+    let outcome = {
         let ShardState { conns, scratch, .. } = st;
         let Some(conn) = conns.get_mut(&token) else {
             return;
         };
         drain_readable(conn, scratch)
     };
-    if !alive {
-        close_token(st, token);
+    match outcome {
+        ServiceOutcome::Idle => {}
+        ServiceOutcome::Again => again.push(token),
+        ServiceOutcome::Dead => close_token(st, token),
     }
 }
 
-/// Edge-triggered service: read until `EWOULDBLOCK`, reassemble
-/// length-prefixed frames, dispatch them, and flush every response the
-/// burst staged in one vectored write. Returns whether the connection
-/// survives.
-fn drain_readable(conn: &mut Conn, scratch: &mut [u8]) -> bool {
+/// Edge-triggered service: read until `EWOULDBLOCK` or the per-pass
+/// budget, reassemble length-prefixed frames, dispatch them, and flush
+/// every response the burst staged in one vectored write.
+fn drain_readable(conn: &mut Conn, scratch: &mut [u8]) -> ServiceOutcome {
     let mut responses: Vec<PooledBuf> = Vec::new();
-    let mut alive = true;
+    let mut consumed = 0usize;
+    let mut outcome = ServiceOutcome::Idle;
     loop {
+        if consumed >= READ_PASS_BUDGET {
+            // Fairness cap: yield the shard to its other connections and
+            // timers; the loop revisits this token next pass.
+            outcome = ServiceOutcome::Again;
+            break;
+        }
         match conn.stream.read(scratch) {
             Ok(0) => {
-                alive = false;
+                outcome = ServiceOutcome::Dead;
                 break;
             }
             Ok(n) => {
+                consumed += n;
                 conn.partial.extend_from_slice(&scratch[..n]);
                 if !drain_frames(conn, &mut responses) {
-                    alive = false;
+                    outcome = ServiceOutcome::Dead;
                     break;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
-                alive = false;
+                outcome = ServiceOutcome::Dead;
                 break;
             }
         }
     }
     if !responses.is_empty() && send_pooled_frames(&conn.inner, &mut responses).is_err() {
-        alive = false;
+        outcome = ServiceOutcome::Dead;
     }
-    alive
+    outcome
 }
 
 fn drain_frames(conn: &mut Conn, responses: &mut Vec<PooledBuf>) -> bool {

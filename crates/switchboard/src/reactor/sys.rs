@@ -1,6 +1,9 @@
 //! The audited unsafe boundary of the reactor: raw syscall bindings for
-//! `epoll_create1`/`epoll_ctl`/`epoll_wait`, `eventfd`, `poll`, and
-//! `getrlimit`/`setrlimit`, wrapped in safe owning types.
+//! `epoll_create1`/`epoll_ctl`/`epoll_wait`, `eventfd`, and
+//! `getrlimit`/`setrlimit`, wrapped in safe owning types. Linux-only by
+//! construction (epoll, eventfd, and the `RLIMIT_NOFILE` constant are
+//! Linux ABI); the module is compiled solely on `target_os = "linux"`
+//! and other platforms fall back to the threaded backend.
 //!
 //! This is the **only** module in the workspace outside `crates/crypto`
 //! permitted to contain `unsafe` (CI greps for violations). The rules
@@ -25,6 +28,9 @@ use std::os::fd::RawFd;
 
 /// Readable event (level or edge).
 pub const EPOLLIN: u32 = 0x001;
+/// Writable event — with `EPOLLET`, an edge fires when a previously full
+/// socket buffer drains, which is when send backlogs flush.
+pub const EPOLLOUT: u32 = 0x004;
 /// Error condition on the fd.
 pub const EPOLLERR: u32 = 0x008;
 /// Hang-up (peer closed both directions).
@@ -41,8 +47,6 @@ const EPOLL_CTL_DEL: i32 = 2;
 const EFD_CLOEXEC: i32 = 0o2000000;
 const EFD_NONBLOCK: i32 = 0o4000;
 
-const POLLOUT: i16 = 0x004;
-
 const RLIMIT_NOFILE: i32 = 7;
 
 // ------------------------------------------------------- declarations --
@@ -55,13 +59,6 @@ const RLIMIT_NOFILE: i32 = 7;
 struct EpollEvent {
     events: u32,
     data: u64,
-}
-
-#[repr(C)]
-struct PollFd {
-    fd: i32,
-    events: i16,
-    revents: i16,
 }
 
 #[repr(C)]
@@ -78,7 +75,6 @@ extern "C" {
     fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     fn close(fd: i32) -> i32;
-    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
     fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
 }
@@ -207,35 +203,6 @@ impl Drop for WakeFd {
     fn drop(&mut self) {
         // SAFETY: `self.fd` is owned and closed exactly once.
         unsafe { close(self.fd) };
-    }
-}
-
-// -------------------------------------------------------------- poll --
-
-/// Block until `fd` is writable. Used by senders on nonblocking sockets
-/// (registration with the reactor flips the shared file description to
-/// `O_NONBLOCK`, so writers must absorb `EWOULDBLOCK` themselves).
-pub fn poll_writable(fd: RawFd) -> io::Result<()> {
-    loop {
-        let mut pfd = PollFd {
-            fd,
-            events: POLLOUT,
-            revents: 0,
-        };
-        // SAFETY: `pfd` is a live stack value; nfds is 1.
-        let rc = unsafe { poll(&mut pfd, 1, -1) };
-        if rc < 0 {
-            let err = io::Error::last_os_error();
-            if err.kind() == io::ErrorKind::Interrupted {
-                continue;
-            }
-            return Err(err);
-        }
-        // Any revents (POLLOUT, or POLLERR/POLLHUP) means the next write
-        // will make progress or surface the real error.
-        if rc > 0 {
-            return Ok(());
-        }
     }
 }
 

@@ -122,7 +122,12 @@ impl<T> TimerWheel<T> {
             .iter()
             .flat_map(|s| s.iter().map(|e| e.deadline_tick))
             .min()?;
-        Some(self.epoch + self.tick * tick as u32)
+        // Multiply in u64 nanoseconds: `self.tick * tick as u32` would
+        // truncate the tick index and wrap after 2^32 ticks (~497 days at
+        // the 10 ms default), yielding a past deadline and a busy-spinning
+        // shard loop. Saturation caps the offset at ~584 years.
+        let offset = (self.tick.as_nanos() as u64).saturating_mul(tick);
+        Some(self.epoch + Duration::from_nanos(offset))
     }
 
     /// Fire every entry whose deadline tick has been reached by `now`,
@@ -244,6 +249,21 @@ mod tests {
         assert!(w.next_deadline().is_some());
         w.advance(epoch + Duration::from_millis(510), &mut fired);
         assert_eq!(fired, vec!["stale"]);
+    }
+
+    #[test]
+    fn next_deadline_survives_past_u32_ticks() {
+        // A deadline more than 2^32 ticks out (≈497 days at 10 ms) must
+        // not wrap into the past — the regression was a u32 truncation of
+        // the tick index in the deadline computation.
+        let (mut w, epoch) = wheel(8, 10);
+        let far = epoch + Duration::from_secs(60 * 60 * 24 * 500); // 500 days
+        w.schedule_at(far, "eventual");
+        let deadline = w.next_deadline().expect("entry pending");
+        assert!(
+            deadline >= far,
+            "deadline wrapped into the past: {deadline:?} < {far:?}"
+        );
     }
 
     #[test]

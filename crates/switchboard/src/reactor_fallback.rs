@@ -1,0 +1,45 @@
+//! Non-Linux stand-in for the [reactor](crate::reactor): the epoll/
+//! eventfd syscall shim is Linux ABI, so other unix targets compile this
+//! stub instead and every channel runs on the threaded backend
+//! (`Channel::start` never takes the reactor path off Linux). The timer
+//! wheel is pure std and stays available for its unit tests.
+//!
+//! The API mirrors the real module exactly; the registration functions
+//! are unreachable because channel construction routes around the
+//! reactor on these targets.
+
+#[path = "reactor/wheel.rs"]
+pub mod wheel;
+
+use crate::channel::ChannelInner;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Placeholder for the reactor-shard link; never constructed off Linux.
+pub(crate) struct Registration {}
+
+/// Number of reactor shards — always zero without a reactor.
+pub fn shard_count() -> usize {
+    0
+}
+
+/// No portable rlimit shim here: report the conventional default soft
+/// limit so benches size themselves conservatively.
+pub fn raise_nofile_limit() -> (u64, u64) {
+    (1024, 1024)
+}
+
+pub(crate) fn register_connection(
+    _stream: TcpStream,
+    _inner: &Arc<ChannelInner>,
+    _heartbeat: Option<Duration>,
+) {
+    unreachable!("reactor backend is Linux-only; channels degrade to threaded")
+}
+
+pub(crate) fn register_heartbeat(_inner: &Arc<ChannelInner>, _interval: Duration) {
+    unreachable!("reactor backend is Linux-only; channels degrade to threaded")
+}
+
+pub(crate) fn deregister(_reg: Registration) {}

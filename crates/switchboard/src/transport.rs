@@ -2,7 +2,6 @@
 
 use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
-use std::os::fd::AsRawFd;
 
 /// Maximum accepted frame size (16 MiB) — guards against hostile length
 /// prefixes.
@@ -23,6 +22,14 @@ pub trait FrameSender: Send {
             self.send(frame)?;
         }
         Ok(())
+    }
+
+    /// Flush bytes a nonblocking transport buffered because the socket
+    /// refused them, without blocking. Returns whether unsent bytes
+    /// remain queued. The reactor calls this on writable edges; senders
+    /// that never buffer (the default) report none.
+    fn flush_backlog(&mut self) -> std::io::Result<bool> {
+        Ok(false)
     }
 }
 
@@ -78,6 +85,10 @@ struct TcpSender {
     /// Reused length-prefix storage for `send_many`: prefixes must
     /// outlive the gather list that borrows them.
     prefixes: Vec<[u8; 4]>,
+    /// Bytes the nonblocking socket refused, queued in wire order. The
+    /// reactor flushes this on writable edges; meanwhile new sends append
+    /// behind it so the byte stream never reorders.
+    backlog: Vec<u8>,
 }
 
 struct TcpReceiver {
@@ -93,6 +104,7 @@ impl Transport for TcpTransport {
             Box::new(TcpSender {
                 stream: self.stream,
                 prefixes: Vec::new(),
+                backlog: Vec::new(),
             }),
             Box::new(TcpReceiver {
                 stream: Some(reader),
@@ -105,12 +117,44 @@ impl Transport for TcpTransport {
 /// floor.
 const MAX_IOV: usize = 1024;
 
-/// Write every byte of `parts` (a logical concatenation) with vectored
-/// writes. Handles short writes, `EINTR`, and — because reactor
-/// registration flips the shared file description to `O_NONBLOCK` —
-/// absorbs `EWOULDBLOCK` by polling the socket writable, preserving the
-/// blocking-send semantics channel senders rely on.
-fn write_parts(stream: &mut TcpStream, parts: &[&[u8]]) -> std::io::Result<()> {
+/// Backpressure bound on buffered-but-unsent bytes per connection. A
+/// peer that stops reading long enough for this much backlog to pile up
+/// gets its sends failed (and, through the heartbeat path, its channel
+/// closed) instead of growing the queue without bound. One frame may
+/// exceed the cap transiently — the check runs before appending — so
+/// worst-case memory is `SEND_BACKLOG_CAP + MAX_FRAME` per connection.
+const SEND_BACKLOG_CAP: usize = 8 << 20;
+
+/// Send the logical concatenation of `parts` without ever blocking on
+/// a full socket: bytes the kernel refuses are queued in `backlog`
+/// and flushed later (next send, or the reactor's writable edge). On
+/// a blocking stream (threaded backend, handshake) `write_vectored`
+/// itself blocks and the backlog stays empty, preserving the legacy
+/// blocking-send semantics. A reactor shard therefore never parks
+/// inside a send — the failure mode that could deadlock a shard when
+/// both endpoints of a connection land on it.
+fn send_parts(
+    stream: &mut TcpStream,
+    backlog: &mut Vec<u8>,
+    parts: &[&[u8]],
+) -> std::io::Result<()> {
+    if !backlog.is_empty() {
+        try_flush(stream, backlog)?;
+        if !backlog.is_empty() {
+            // Socket still full: queue behind the existing backlog
+            // (order preserved) unless the peer has stopped draining.
+            if backlog.len() > SEND_BACKLOG_CAP {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "send backlog over cap: peer not draining",
+                ));
+            }
+            for part in parts {
+                backlog.extend_from_slice(part);
+            }
+            return Ok(());
+        }
+    }
     let total: usize = parts.iter().map(|p| p.len()).sum();
     let mut written = 0usize;
     let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(parts.len().min(MAX_IOV));
@@ -139,7 +183,17 @@ fn write_parts(stream: &mut TcpStream, parts: &[&[u8]]) -> std::io::Result<()> {
             }
             Ok(n) => written += n,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                crate::reactor::sys::poll_writable(stream.as_raw_fd())?;
+                // Stash the unsent tail; a writable edge flushes it.
+                let mut skip = written;
+                for part in parts {
+                    if skip >= part.len() {
+                        skip -= part.len();
+                        continue;
+                    }
+                    backlog.extend_from_slice(&part[skip..]);
+                    skip = 0;
+                }
+                return Ok(());
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -148,12 +202,40 @@ fn write_parts(stream: &mut TcpStream, parts: &[&[u8]]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Write as much backlog as the socket accepts right now.
+fn try_flush(stream: &mut TcpStream, backlog: &mut Vec<u8>) -> std::io::Result<()> {
+    let mut off = 0usize;
+    let result = loop {
+        if off >= backlog.len() {
+            break Ok(());
+        }
+        match stream.write(&backlog[off..]) {
+            Ok(0) => {
+                break Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "tcp write returned zero",
+                ))
+            }
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => break Err(e),
+        }
+    };
+    backlog.drain(..off);
+    // An idle connection must not pin a burst-sized backlog buffer.
+    if backlog.is_empty() && backlog.capacity() > 1 << 16 {
+        *backlog = Vec::new();
+    }
+    result
+}
+
 impl FrameSender for TcpSender {
     fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
         let prefix = (frame.len() as u32).to_le_bytes();
         // One gathered write: prefix + frame leave as a single syscall
         // and, with `TCP_NODELAY`, one segment.
-        write_parts(&mut self.stream, &[&prefix, frame])
+        send_parts(&mut self.stream, &mut self.backlog, &[&prefix, frame])
     }
 
     fn send_many(&mut self, frames: &[&[u8]]) -> std::io::Result<()> {
@@ -165,12 +247,17 @@ impl FrameSender for TcpSender {
             parts.push(&prefix[..]);
             parts.push(frame);
         }
-        let result = write_parts(&mut self.stream, &parts);
+        let result = send_parts(&mut self.stream, &mut self.backlog, &parts);
         // A huge batch must not pin its prefix buffer forever.
         if self.prefixes.capacity() > 1 << 16 {
             self.prefixes = Vec::new();
         }
         result
+    }
+
+    fn flush_backlog(&mut self) -> std::io::Result<bool> {
+        try_flush(&mut self.stream, &mut self.backlog)?;
+        Ok(!self.backlog.is_empty())
     }
 }
 
@@ -370,6 +457,70 @@ mod tests {
         mtx.send_many(&[b"x", b"y"]).unwrap();
         assert_eq!(mrx.recv().unwrap(), b"x");
         assert_eq!(mrx.recv().unwrap(), b"y");
+    }
+
+    #[test]
+    fn nonblocking_sender_backlogs_instead_of_blocking() {
+        // Regression for the reactor-shard deadlock: a nonblocking sender
+        // whose peer stops reading must (a) return instead of parking in
+        // an unbounded writable-poll, (b) fail sends once the backlog cap
+        // is hit, and (c) deliver every accepted byte intact once the
+        // peer drains and the backlog is flushed.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || listener.accept().unwrap().0);
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let peer = peer.join().unwrap(); // accepted but never read from (yet)
+        let t = Box::new(TcpTransport::new(stream).unwrap());
+        let (mut tx, _rx) = t.split();
+
+        // Flood 1 MiB frames. The socket buffers absorb a few, the
+        // backlog absorbs SEND_BACKLOG_CAP more, then sends must fail.
+        // (With the old blocking poll this loop would hang forever.)
+        let frame_len = 1 << 20;
+        let mut accepted = 0usize;
+        let mut overflowed = false;
+        for i in 0..64usize {
+            let frame = vec![i as u8; frame_len];
+            match tx.send(&frame) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock, "{e}");
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed, "backlog must be bounded: 64 MiB all accepted");
+        assert!(accepted >= 8, "cap kicked in below SEND_BACKLOG_CAP");
+
+        // Peer drains; flushing writable edges empties the backlog and
+        // every accepted frame arrives in order, bytes intact.
+        let reader = std::thread::spawn(move || {
+            let t = Box::new(TcpTransport::new(peer).unwrap());
+            let (_tx, mut rx) = t.split();
+            for i in 0..accepted {
+                let frame = rx.recv().unwrap();
+                assert_eq!(frame.len(), frame_len, "frame {i} truncated");
+                assert!(
+                    frame.iter().all(|b| *b == i as u8),
+                    "frame {i} corrupted in backlog handoff"
+                );
+            }
+        });
+        let flush_start = std::time::Instant::now();
+        while tx.flush_backlog().unwrap() {
+            assert!(
+                flush_start.elapsed() < std::time::Duration::from_secs(30),
+                "backlog never drained"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        reader.join().unwrap();
+
+        // With the backlog drained the sender accepts traffic again.
+        tx.send(b"recovered").unwrap();
     }
 
     #[test]
