@@ -1,0 +1,113 @@
+//! Certificate replay lint (PSF014): every *published* authorization
+//! certificate must still replay through the independent checker.
+//!
+//! A certificate is a frozen piece of evidence — the exact delegation
+//! chain and attenuated attributes a proof search once found, signed by
+//! the credentials' issuers. The world moves on underneath it: credentials
+//! get revoked, expire, or an issuer key changes. A deployment that keeps
+//! handing out a certificate the checker would refuse is a policy defect:
+//! peers presenting it will be denied at admission, and any cache still
+//! honoring it is honoring evidence the trusted checker rejects.
+//!
+//! This pass runs the same [`psf_cert::check`] the runtime uses (via the
+//! [`psf_drbac::check_certificate`] adapter) against the analyzed world's
+//! registry, revocation bus, clock, and repository epoch, and reports one
+//! PSF014 error per certificate that no longer replays. It never consults
+//! the repository's credentials or the proof engine — findings are
+//! exactly the runtime checker's verdicts.
+
+use crate::diag::{Diagnostic, LintCode, Report};
+use psf_cert::AuthCertificate;
+use psf_drbac::{check_certificate, EntityRegistry, RevocationBus};
+use std::sync::Arc;
+
+/// Everything the certificate pass needs.
+pub struct CertLintInput<'a> {
+    /// PKI directory the checker resolves issuer keys against.
+    pub registry: &'a EntityRegistry,
+    /// Live revocation state.
+    pub bus: &'a RevocationBus,
+    /// Analysis time (credential expiry is evaluated at this clock).
+    pub now: u64,
+    /// Repository epoch the analyzed world currently observes, if any
+    /// (certificates pinning a later epoch are rejected).
+    pub repo_epoch: Option<u64>,
+    /// The published certificates to replay.
+    pub certificates: &'a [Arc<AuthCertificate>],
+}
+
+/// Replay each published certificate through the independent checker;
+/// push one PSF014 diagnostic per certificate that no longer checks.
+pub fn analyze_certificates(input: &CertLintInput<'_>, report: &mut Report) {
+    for cert in input.certificates {
+        if let Err(e) =
+            check_certificate(cert, input.registry, input.bus, input.now, input.repo_epoch)
+        {
+            report.push(Diagnostic::new(
+                LintCode::CertificateReplay,
+                format!("{} → {}", cert.subject.render(), cert.role),
+                format!(
+                    "published certificate {} no longer replays through the checker: {e}",
+                    cert.digest_hex()
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psf_drbac::{CredentialSource, DelegationBuilder, Entity, ProofEngine, Repository};
+
+    #[test]
+    fn live_certificate_is_clean_and_revoked_is_psf014() {
+        let registry = EntityRegistry::new();
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let org = Entity::with_seed("Org", b"certlint");
+        let bob = Entity::with_seed("Bob", b"certlint");
+        registry.register(&org);
+        registry.register(&bob);
+        let cred = DelegationBuilder::new(&org)
+            .subject_entity(&bob)
+            .role(org.role("Member"))
+            .sign();
+        let id = cred.id();
+        repo.publish_at_issuer(cred);
+        let engine = ProofEngine::new(&registry, &repo, &bus, 0);
+        let (_, cert, _) = engine
+            .prove_certified(&bob.as_subject(), &org.role("Member"), &[])
+            .unwrap();
+        let certs = vec![cert];
+
+        let mut clean = Report::new();
+        analyze_certificates(
+            &CertLintInput {
+                registry: &registry,
+                bus: &bus,
+                now: 0,
+                repo_epoch: repo.version(),
+                certificates: &certs,
+            },
+            &mut clean,
+        );
+        assert!(clean.is_clean(), "{}", clean.render_human());
+
+        bus.revoke(&id);
+        let mut stale = Report::new();
+        analyze_certificates(
+            &CertLintInput {
+                registry: &registry,
+                bus: &bus,
+                now: 0,
+                repo_epoch: repo.version(),
+                certificates: &certs,
+            },
+            &mut stale,
+        );
+        assert_eq!(stale.diagnostics.len(), 1);
+        assert_eq!(stale.diagnostics[0].code, LintCode::CertificateReplay);
+        assert!(stale.diagnostics[0].message.contains("revoked"));
+    }
+}

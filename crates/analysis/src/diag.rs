@@ -60,6 +60,10 @@ pub enum LintCode {
     /// PSF013 — a channel endpoint pair would fail Switchboard mutual
     /// authorization.
     ChannelAuthorization,
+    /// PSF014 — a published authorization certificate no longer replays
+    /// through the independent checker (revocation, expiry, or key
+    /// change since emission).
+    CertificateReplay,
 }
 
 impl LintCode {
@@ -79,6 +83,7 @@ impl LintCode {
             LintCode::InvalidStepChain => "PSF011",
             LintCode::DeployAuthorization => "PSF012",
             LintCode::ChannelAuthorization => "PSF013",
+            LintCode::CertificateReplay => "PSF014",
         }
     }
 
@@ -91,7 +96,8 @@ impl LintCode {
             | LintCode::NonMonotoneAcl
             | LintCode::InvalidStepChain
             | LintCode::DeployAuthorization
-            | LintCode::ChannelAuthorization => Severity::Error,
+            | LintCode::ChannelAuthorization
+            | LintCode::CertificateReplay => Severity::Error,
             LintCode::DelegationCycle
             | LintCode::DanglingThirdParty
             | LintCode::ExpiredCredential
@@ -117,6 +123,7 @@ impl LintCode {
             LintCode::InvalidStepChain => "invalid plan step chain",
             LintCode::DeployAuthorization => "deploy authorization failure",
             LintCode::ChannelAuthorization => "channel authorization failure",
+            LintCode::CertificateReplay => "certificate does not replay",
         }
     }
 }
@@ -312,6 +319,7 @@ mod tests {
             LintCode::InvalidStepChain,
             LintCode::DeployAuthorization,
             LintCode::ChannelAuthorization,
+            LintCode::CertificateReplay,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort();
@@ -320,6 +328,7 @@ mod tests {
         assert_eq!(codes, deduped);
         assert_eq!(codes[0], "PSF001");
         assert_eq!(codes[12], "PSF013");
+        assert_eq!(codes[13], "PSF014");
     }
 
     #[test]

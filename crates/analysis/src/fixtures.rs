@@ -32,8 +32,20 @@
 //!     <Rule role="Comp.NY.Member" view="KvRead"/>
 //!     <Rule view="KvRead"/>
 //!   </Acl>
+//!   <Certificates>
+//!     <Certificate subject="Alice" role="Comp.NY.Member"/>
+//!   </Certificates>
+//!   <Revocations>
+//!     <Revoke delegation="0"/>
+//!   </Revocations>
 //! </Scenario>
 //! ```
+//!
+//! `<Certificates>` emits an authorization certificate per entry (via
+//! `prove_certified` at time 0, before any `<Revocations>` apply);
+//! `<Revoke delegation="N">` then revokes the N-th `<Delegation>` by
+//! index. The PSF014 pass replays the published certificates through the
+//! independent checker against the post-revocation world.
 //!
 //! Entity keys are deterministic (`Entity::with_seed` with a fixed
 //! fixture seed), so fixture diagnostics are snapshot-stable. Every
@@ -45,11 +57,14 @@
 //! assignment. Class methods get trivial bodies — the analyzer only
 //! inspects structure.
 
+use crate::certlint::{analyze_certificates, CertLintInput};
 use crate::diag::Report;
 use crate::graph::{analyze_graph, GraphInput};
 use crate::viewlint::{analyze_views, ViewLintInput};
+use psf_cert::AuthCertificate;
 use psf_drbac::{
-    DelegationBuilder, Entity, EntityRegistry, Repository, RevocationBus, RoleName, Subject,
+    CredentialSource, DelegationBuilder, Entity, EntityRegistry, ProofEngine, Repository,
+    RevocationBus, RoleName, Subject,
 };
 use psf_views::acl::ViewAcl;
 use psf_views::component::ComponentClass;
@@ -82,6 +97,9 @@ pub struct FixtureWorld {
     pub library: MethodLibrary,
     /// The role→view ACL, when declared.
     pub acl: Option<ViewAcl>,
+    /// Certificates the scenario published (`<Certificates>`), emitted at
+    /// time 0 from the pre-revocation world.
+    pub certificates: Vec<Arc<AuthCertificate>>,
 }
 
 impl FixtureWorld {
@@ -123,6 +141,7 @@ impl FixtureWorld {
             }
         }
 
+        let mut delegation_ids: Vec<String> = Vec::new();
         if let Some(dels) = root.find("Delegations") {
             for (i, d) in dels.find_all("Delegation").enumerate() {
                 let role_str = d
@@ -168,7 +187,9 @@ impl FixtureWorld {
                         .map_err(|_| format!("delegation {i}: bad expires '{exp}'"))?;
                     builder = builder.expires(exp);
                 }
-                repository.publish_at_issuer(builder.sign());
+                let signed = builder.sign();
+                delegation_ids.push(signed.id());
+                repository.publish_at_issuer(signed);
             }
         }
 
@@ -257,6 +278,43 @@ impl FixtureWorld {
             None => None,
         };
 
+        // Certificates are emitted *before* revocations apply: the
+        // scenario models a world that published evidence and then moved
+        // on, which is exactly what PSF014 exists to catch.
+        let mut certificates = Vec::new();
+        if let Some(block) = root.find("Certificates") {
+            let engine = ProofEngine::new(&registry, &repository, &bus, 0);
+            for (i, c) in block.find_all("Certificate").enumerate() {
+                let subject_name = c
+                    .get_attr("subject")
+                    .ok_or_else(|| format!("certificate {i}: missing subject attribute"))?;
+                let role_str = c
+                    .get_attr("role")
+                    .ok_or_else(|| format!("certificate {i}: missing role attribute"))?;
+                let role =
+                    RoleName::parse(role_str).map_err(|e| format!("certificate {i}: {e}"))?;
+                let subject = intern(&mut entities, &registry, subject_name).as_subject();
+                let (_, cert, _) = engine
+                    .prove_certified(&subject, &role, &[])
+                    .map_err(|e| format!("certificate {i}: cannot emit: {e}"))?;
+                certificates.push(cert);
+            }
+        }
+
+        if let Some(block) = root.find("Revocations") {
+            for (i, r) in block.find_all("Revoke").enumerate() {
+                let idx: usize = r
+                    .get_attr("delegation")
+                    .ok_or_else(|| format!("revocation {i}: missing delegation attribute"))?
+                    .parse()
+                    .map_err(|_| format!("revocation {i}: bad delegation index"))?;
+                let id = delegation_ids
+                    .get(idx)
+                    .ok_or_else(|| format!("revocation {i}: no delegation {idx}"))?;
+                bus.revoke(id);
+            }
+        }
+
         Ok(FixtureWorld {
             name,
             registry,
@@ -267,6 +325,7 @@ impl FixtureWorld {
             views,
             library,
             acl,
+            certificates,
         })
     }
 
@@ -294,6 +353,18 @@ impl FixtureWorld {
                     library: &self.library,
                     acl: self.acl.as_ref(),
                     extra_roots: &[],
+                },
+                &mut report,
+            );
+        }
+        if !self.certificates.is_empty() {
+            analyze_certificates(
+                &CertLintInput {
+                    registry: &self.registry,
+                    bus: &self.bus,
+                    now,
+                    repo_epoch: self.repository.version(),
+                    certificates: &self.certificates,
                 },
                 &mut report,
             );

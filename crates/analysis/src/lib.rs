@@ -16,6 +16,10 @@
 //! 3. **Plan pre-flight** ([`preflight`], PSF011–PSF013): adapts
 //!    `psf_core::preflight` violations (step chain, CPU, deploy/channel
 //!    authorization) onto stable lint codes.
+//! 4. **Certificate replay** ([`certlint`], PSF014): every published
+//!    authorization certificate must still replay through the independent
+//!    `psf-cert` checker against the world's current registry, revocation
+//!    and epoch state.
 //!
 //! Diagnostics carry stable codes (`PSF001`…) and severities and render
 //! as human text or JSON ([`diag`]); `psf analyze` exposes them on the
@@ -37,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certlint;
 pub mod diag;
 pub mod fixtures;
 pub mod graph;
 pub mod preflight;
 pub mod viewlint;
 
+pub use certlint::{analyze_certificates, CertLintInput};
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use fixtures::FixtureWorld;
 pub use graph::{analyze_graph, closure, GraphInput};

@@ -90,20 +90,32 @@ fn usage() -> ! {
          \x20                               truncates the log(s), --fill seeds\n\
          \x20                               N synthetic records (with --shards\n\
          \x20                               S into a sharded layout)\n\
+         \x20 cert --emit <user> <Entity.Role> [--out PATH] [--json]\n\
+         \x20                               prove and emit a proof-carrying\n\
+         \x20                               authorization certificate (digest,\n\
+         \x20                               chain, watch set; --out writes the\n\
+         \x20                               wire bytes)\n\
+         \x20 cert --verify PATH [--json]   re-validate certificate wire bytes\n\
+         \x20                               with the independent checker (no\n\
+         \x20                               repository access, no search);\n\
+         \x20                               exit 1 on reject\n\
          \x20 bench --json [--out PATH] [--quick] [--check]\n\
          \x20                               time the warm/cold authorization\n\
          \x20                               and planner fast paths, the\n\
          \x20                               Switchboard data plane, and the\n\
          \x20                               sharded repository, and the\n\
-         \x20                               reactor channel fleet; write the\n\
+         \x20                               reactor channel fleet, and the\n\
+         \x20                               certificate checker; write the\n\
          \x20                               results as JSON (BENCH_pr3.json,\n\
          \x20                               BENCH_pr4.json, BENCH_pr8.json,\n\
-         \x20                               BENCH_pr9.json); --check exits 1\n\
+         \x20                               BENCH_pr9.json, BENCH_pr10.json);\n\
+         \x20                               --check exits 1\n\
          \x20                               unless warm >= 2x cold, pipelined\n\
          \x20                               RPC >= 2x serial, p99 tag lookup\n\
          \x20                               <= 50 us, parallel publish >= 4x\n\
          \x20                               single-lock, hb p99 <= 10 ms,\n\
          \x20                               reactor capacity >= 5x threaded,\n\
+         \x20                               p99 warm cert verify <= 10 us,\n\
          \x20                               and the SLO table holds\n\
          \x20 audit [--json] [--subject S] [--deny-only] [--trace HEX]\n\
          \x20                               run the full stack, then replay\n\
@@ -187,6 +199,7 @@ fn main() {
             "analyze" => analyze(&cli, args),
             "chaos" => chaos(&cli, args),
             "repo" => repo_cmd(&cli, args),
+            "cert" => cert_cmd(&cli, args),
             "bench" => bench(&cli, args),
             "audit" => audit_cmd(&cli, args),
             "trace" => trace_cmd(&cli, args),
@@ -308,6 +321,157 @@ fn prove(cli: &Cli, args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// `psf cert --emit <user> <Entity.Role> [--out PATH] [--json]` /
+/// `psf cert --verify PATH [--json]`: emit a proof-carrying
+/// authorization certificate from the mail world's engine, or
+/// re-validate certificate wire bytes with the independent checker
+/// (signature, chain, attenuation, expiry, revocation, epoch window —
+/// no repository access, no proof search).
+fn cert_cmd(cli: &Cli, args: &[String]) -> i32 {
+    use psf_cert::AuthCertificate;
+    use psf_drbac::repository::CredentialSource;
+
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(path) = flag_value(args, "--verify") {
+        let wire = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cert: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        let w = world();
+        let decoded = AuthCertificate::decode(&wire);
+        let verdict = decoded.as_ref().map_err(|e| e.clone()).and_then(|c| {
+            psf_drbac::check_certificate(c, &w.registry, &w.bus, 0, w.repository.version())
+                .map(|()| c)
+        });
+        psf_telemetry::event(
+            "psf.cli",
+            "cert.verified",
+            vec![
+                ("path", path.to_string()),
+                ("accepted", verdict.is_ok().to_string()),
+            ],
+        );
+        return match verdict {
+            Ok(c) => {
+                if json {
+                    println!(
+                        "{{\"accepted\": true, \"digest\": \"{}\", \"subject\": \"{}\", \
+                         \"role\": \"{}\", \"edges\": {}, \"watch\": {}}}",
+                        c.digest_hex(),
+                        c.subject.render(),
+                        c.role,
+                        c.total_edges(),
+                        c.watch.len()
+                    );
+                } else {
+                    cli.say(format!(
+                        "ACCEPT {} — {} → {} ({} edge(s), {} watched id(s))",
+                        c.digest_hex(),
+                        c.subject.render(),
+                        c.role,
+                        c.total_edges(),
+                        c.watch.len()
+                    ));
+                }
+                0
+            }
+            Err(e) => {
+                if json {
+                    println!("{{\"accepted\": false, \"reason\": \"{e}\"}}");
+                } else {
+                    cli.say(format!("REJECT — {e}"));
+                }
+                1
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--emit") {
+        let pos: Vec<&String> = args
+            .iter()
+            .skip_while(|a| *a != "--emit")
+            .skip(1)
+            .take_while(|a| !a.starts_with("--"))
+            .collect();
+        let (Some(who), Some(role)) = (pos.first(), pos.get(1)) else {
+            usage()
+        };
+        let w = world();
+        let Some(subject) = user(&w, who).map(|u| u.as_subject()) else {
+            return 2;
+        };
+        let role = match RoleName::parse(role) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+        let (_, cert, stats) = match engine.prove_certified(&subject, &role, &[]) {
+            Ok(ok) => ok,
+            Err(e) => {
+                cli.say(format!("no proof: {e}"));
+                return 1;
+            }
+        };
+        let wire = cert.encode();
+        if let Some(out) = flag_value(args, "--out") {
+            if let Err(e) = std::fs::write(out, &wire) {
+                eprintln!("cert: cannot write {out}: {e}");
+                return 1;
+            }
+            cli.say(format!("wire bytes written to {out}"));
+        }
+        psf_telemetry::event(
+            "psf.cli",
+            "cert.emitted",
+            vec![
+                ("digest", cert.digest_hex()),
+                ("edges", cert.total_edges().to_string()),
+                ("wire_bytes", wire.len().to_string()),
+            ],
+        );
+        if json {
+            println!(
+                "{{\"digest\": \"{}\", \"subject\": \"{}\", \"role\": \"{}\", \
+                 \"edges\": {}, \"watch\": {}, \"wire_bytes\": {}, \
+                 \"repo_epoch\": {}, \"nodes_expanded\": {}}}",
+                cert.digest_hex(),
+                cert.subject.render(),
+                cert.role,
+                cert.total_edges(),
+                cert.watch.len(),
+                wire.len(),
+                cert.repo_epoch
+                    .map_or("null".to_string(), |e| e.to_string()),
+                stats.nodes_expanded,
+            );
+        } else {
+            cli.say(format!(
+                "certificate {} — {} → {}",
+                cert.digest_hex(),
+                cert.subject.render(),
+                cert.role
+            ));
+            cli.say(format!(
+                "  {} edge(s), {} watched id(s), {} wire bytes, repo epoch {}",
+                cert.total_edges(),
+                cert.watch.len(),
+                wire.len(),
+                cert.repo_epoch.map_or("-".to_string(), |e| e.to_string()),
+            ));
+            for id in cert.chain_ids() {
+                cli.say(format!("  edge {id}"));
+            }
+        }
+        return 0;
+    }
+    usage()
 }
 
 fn acl(cli: &Cli, args: &[String]) -> i32 {
@@ -2701,6 +2865,168 @@ fn bench_channels(cli: &Cli, pr8_out: &str, quick: bool, check: bool) -> i32 {
         eprintln!(
             "bench --check FAILED: {} of {channels} channels went stale",
             channels - alive
+        );
+        return 1;
+    }
+    bench_cert(cli, &out_path, quick, check)
+}
+
+/// The PR10 certificate runner: emission overhead of a certified proof
+/// over a plain one, plus independent-checker verification latency on
+/// the mail-scenario chain (Bob → Comp.NY.Member through the §3.3
+/// cross-site role mapping) — cold (full structural re-derivation,
+/// every Ed25519 signature) and warm (the continuous-authorization
+/// re-check path, where the [`psf_cert::CheckMemo`] replays only the
+/// environment half: epoch window, key bindings, expiry, revocation).
+/// Writes `BENCH_pr10.json`. With `--check`, exits non-zero unless p99
+/// warm checker verification <= 10 us.
+fn bench_cert(cli: &Cli, pr9_out: &str, quick: bool, check: bool) -> i32 {
+    use psf_cert::{AuthCertificate, CheckMemo};
+    use psf_drbac::certify::check_certificate_memo;
+    use psf_drbac::repository::CredentialSource;
+
+    let out_path = if pr9_out.contains("pr9") {
+        pr9_out.replace("pr9", "pr10")
+    } else {
+        "BENCH_pr10.json".to_string()
+    };
+    let w = world();
+    let role = match RoleName::parse("Comp.NY.Member") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return 1;
+        }
+    };
+    let subject = w.bob.as_subject();
+    let engine = ProofEngine::new(&w.registry, &w.repository, &w.bus, 0);
+    let repo_epoch = w.repository.version();
+
+    // --- Emission overhead: a certified prove runs the same search and
+    // additionally lowers the proof into wire-model edges. The two paths
+    // are interleaved so machine drift hits both equally.
+    let emit_iters: u32 = if quick { 200 } else { 2_000 };
+    let mut prove_tot_ns = 0u128;
+    let mut certified_tot_ns = 0u128;
+    let mut cert = None;
+    for _ in 0..emit_iters {
+        let t = std::time::Instant::now();
+        if engine.prove(&subject, &role, &[]).is_err() {
+            eprintln!("bench: mail-scenario proof failed");
+            return 1;
+        }
+        prove_tot_ns += t.elapsed().as_nanos();
+        let t = std::time::Instant::now();
+        match engine.prove_certified(&subject, &role, &[]) {
+            Ok((_, c, _)) => cert = Some(c),
+            Err(e) => {
+                eprintln!("bench: certified proof failed: {e}");
+                return 1;
+            }
+        }
+        certified_tot_ns += t.elapsed().as_nanos();
+    }
+    let prove_us = prove_tot_ns as f64 / 1e3 / emit_iters as f64;
+    let certified_us = certified_tot_ns as f64 / 1e3 / emit_iters as f64;
+    let emit_overhead_us = certified_us - prove_us;
+    let cert = cert.expect("certified proof emitted");
+    let wire = cert.encode();
+    let edges = cert.total_edges();
+
+    // --- Checker, cold: every call re-derives the full structural
+    // verdict, Ed25519 signatures included.
+    let cold_iters: u32 = if quick { 100 } else { 1_000 };
+    let mut cold_ns: Vec<u64> = Vec::with_capacity(cold_iters as usize);
+    for _ in 0..cold_iters {
+        let t = std::time::Instant::now();
+        if let Err(e) = psf_drbac::check_certificate(&cert, &w.registry, &w.bus, 0, repo_epoch) {
+            eprintln!("bench: emitted certificate rejected cold: {e}");
+            return 1;
+        }
+        cold_ns.push(t.elapsed().as_nanos() as u64);
+    }
+
+    // --- Checker, warm: the continuous-authorization re-check path.
+    let memo = CheckMemo::new(1024);
+    if let Err(e) = check_certificate_memo(&cert, &w.registry, &w.bus, 0, repo_epoch, Some(&memo)) {
+        eprintln!("bench: emitted certificate rejected while priming: {e}");
+        return 1;
+    }
+    let warm_iters: u32 = if quick { 2_000 } else { 20_000 };
+    let mut warm_ns: Vec<u64> = Vec::with_capacity(warm_iters as usize);
+    for _ in 0..warm_iters {
+        let t = std::time::Instant::now();
+        if check_certificate_memo(&cert, &w.registry, &w.bus, 0, repo_epoch, Some(&memo)).is_err() {
+            eprintln!("bench: emitted certificate rejected warm");
+            return 1;
+        }
+        warm_ns.push(t.elapsed().as_nanos() as u64);
+    }
+
+    // --- Decode + warm check: what admitting a presented certificate
+    // costs once its payload is memoized.
+    let mut decode_ns: Vec<u64> = Vec::with_capacity(warm_iters as usize);
+    for _ in 0..warm_iters {
+        let t = std::time::Instant::now();
+        let decoded = match AuthCertificate::decode(&wire) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bench: wire decode failed: {e}");
+                return 1;
+            }
+        };
+        if check_certificate_memo(&decoded, &w.registry, &w.bus, 0, repo_epoch, Some(&memo))
+            .is_err()
+        {
+            eprintln!("bench: decoded certificate rejected warm");
+            return 1;
+        }
+        decode_ns.push(t.elapsed().as_nanos() as u64);
+    }
+
+    let cold_p50 = quantile_us(&mut cold_ns, 0.50);
+    let cold_p99 = quantile_us(&mut cold_ns, 0.99);
+    let warm_p50 = quantile_us(&mut warm_ns, 0.50);
+    let warm_p99 = quantile_us(&mut warm_ns, 0.99);
+    let decode_p99 = quantile_us(&mut decode_ns, 0.99);
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr10\",\n  \"mode\": \"{mode}\",\n  \
+         \"chain\": {{ \"edges\": {edges}, \"watch\": {watch}, \"wire_bytes\": {wire_bytes} }},\n  \
+         \"emit\": {{ \"iters\": {emit_iters}, \"prove_us\": {prove_us:.1}, \
+         \"prove_certified_us\": {certified_us:.1}, \"overhead_us\": {emit_overhead_us:.1} }},\n  \
+         \"checker\": {{ \"cold_samples\": {cold_iters}, \"cold_p50_us\": {cold_p50:.1}, \
+         \"cold_p99_us\": {cold_p99:.1}, \"warm_samples\": {warm_iters}, \
+         \"warm_p50_us\": {warm_p50:.2}, \"warm_p99_us\": {warm_p99:.2}, \
+         \"decode_warm_p99_us\": {decode_p99:.2} }}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        watch = cert.watch.len(),
+        wire_bytes = wire.len(),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        return 1;
+    }
+    cli.say(format!(
+        "certificates: {edges}-edge mail chain, {} wire bytes; emit overhead \
+         {emit_overhead_us:.1} us over {prove_us:.1} us prove; checker cold p99 {cold_p99:.0} us, \
+         warm p50 {warm_p50:.2} us / p99 {warm_p99:.2} us, decode+warm p99 {decode_p99:.2} us",
+        wire.len()
+    ));
+    cli.say(format!("results written to {out_path}"));
+    psf_telemetry::event(
+        "psf.cli",
+        "bench.recorded",
+        vec![
+            ("out", out_path.clone()),
+            ("cert_warm_p99_us", format!("{warm_p99:.2}")),
+            ("cert_cold_p99_us", format!("{cold_p99:.1}")),
+        ],
+    );
+    if check && warm_p99 > 10.0 {
+        eprintln!(
+            "bench --check FAILED: p99 warm certificate verification must be <= 10 us \
+             (got {warm_p99:.2} us)"
         );
         return 1;
     }

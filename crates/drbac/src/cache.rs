@@ -135,6 +135,13 @@ impl Frontier {
 struct PositiveEntry {
     proof: Proof,
     stats: SearchStats,
+    /// The proof-carrying certificate emitted for this entry, attached
+    /// lazily by `ProofEngine::prove_certified`. It shares the entry's
+    /// validity window exactly: the certificate pins the same epochs the
+    /// entry does, so whenever the entry is a legal hit the certificate
+    /// is still the one a fresh emission would produce (modulo nothing —
+    /// emission is deterministic in the proof and the pinned epochs).
+    cert: Option<Arc<psf_cert::AuthCertificate>>,
     /// Watches every credential the search examined — any revocation in
     /// the frontier (not just the proof chain) invalidates.
     monitor: ValidityMonitor,
@@ -359,6 +366,7 @@ impl AuthCache {
             Ok((proof, stats)) => ProofEntry::Proved(PositiveEntry {
                 proof: proof.clone(),
                 stats: *stats,
+                cert: None,
                 monitor: bus.monitor(frontier.ids.iter().cloned()),
                 next_expiry: frontier.next_expiry,
                 repo_epoch,
@@ -379,6 +387,38 @@ impl AuthCache {
             proofs.clear();
         }
         proofs.insert(key, entry);
+    }
+
+    /// Certificate stored alongside a positive proof entry, if one has
+    /// been attached. Callers must only use this immediately after a
+    /// validated `lookup_proof` hit for the same key (the certificate
+    /// shares the entry's validity window).
+    pub(crate) fn lookup_certificate(
+        &self,
+        key: &ProofKey,
+    ) -> Option<Arc<psf_cert::AuthCertificate>> {
+        match self.inner.proofs.lock().get(key) {
+            Some(ProofEntry::Proved(p)) => p.cert.clone(),
+            _ => None,
+        }
+    }
+
+    /// Attach an emitted certificate to the positive entry for `key` (a
+    /// no-op if the entry has been evicted or replaced meanwhile).
+    pub(crate) fn attach_certificate(&self, key: &ProofKey, cert: Arc<psf_cert::AuthCertificate>) {
+        if let Some(ProofEntry::Proved(p)) = self.inner.proofs.lock().get_mut(key) {
+            p.cert = Some(cert);
+        }
+    }
+
+    /// Number of positive proof entries carrying a certificate.
+    pub fn cert_entries(&self) -> usize {
+        self.inner
+            .proofs
+            .lock()
+            .values()
+            .filter(|e| matches!(e, ProofEntry::Proved(p) if p.cert.is_some()))
+            .count()
     }
 
     /// Drop every cached proof and credential verdict.

@@ -44,6 +44,7 @@
 
 pub mod attr;
 pub mod cache;
+pub mod certify;
 pub mod delegation;
 pub mod entity;
 pub mod guard;
@@ -57,6 +58,9 @@ pub mod wire;
 
 pub use attr::{AttrSet, AttrValue};
 pub use cache::{AuthCache, CacheStats};
+pub use certify::{
+    attrs_to_cert, certify, check_certificate, check_certificate_memo, subject_to_cert,
+};
 pub use delegation::{Delegation, DelegationBuilder, DelegationKind, SignedDelegation};
 pub use entity::{Entity, EntityName, EntityRegistry, RoleName, Subject};
 pub use guard::Guard;

@@ -360,6 +360,22 @@ pub struct ProofEngine<'a> {
 }
 
 impl<'a> ProofEngine<'a> {
+    /// The credential source this engine searches (used by certificate
+    /// emission to pin the repository epoch).
+    pub(crate) fn source(&self) -> &dyn CredentialSource {
+        self.repository
+    }
+
+    /// The cache this engine answers repeat queries from, if any.
+    pub(crate) fn auth_cache(&self) -> Option<&AuthCache> {
+        self.cache
+    }
+
+    /// Current registry epoch (certificate emission pins it).
+    pub(crate) fn registry_epoch(&self) -> u64 {
+        self.registry.epoch()
+    }
+
     /// Create an engine evaluating at logical time `now`.
     pub fn new(
         registry: &'a EntityRegistry,

@@ -714,12 +714,27 @@ impl Channel {
             return Err(SwitchboardError::Closed);
         }
         // Continuous authorization: our monitor watches the peer.
-        let monitor = self.inner.monitor.lock();
-        if let Some(m) = monitor.as_ref() {
+        let mut monitor = self.inner.monitor.lock();
+        if let Some(m) = monitor.as_mut() {
             if !m.is_valid() {
                 let id = m
                     .revocation_notice()
                     .unwrap_or_else(|| "unknown credential".into());
+                // Re-validate via the admission certificate, checker-only:
+                // the independent checker replays the certificate against
+                // live registry/revocation state — no repository access,
+                // no proof search. One shot per invalidation; the audited
+                // verdict carries the certificate digest. If the
+                // certificate still replays (the notice did not concern
+                // the admitted chain), trust holds and traffic continues.
+                if m.take_recheck() {
+                    if let (Some(auth), Some(cert)) = (&self.inner.authorizer, m.certificate()) {
+                        psf_telemetry::counter!("psf.swbd.authz.cert_rechecks").inc();
+                        if auth.recheck_certificate(&cert).is_ok() {
+                            return Ok(());
+                        }
+                    }
+                }
                 *self.inner.status.write() = ChannelStatus::RevalidationRequired(id.clone());
                 psf_telemetry::counter!("psf.swbd.authz.refused").inc();
                 psf_telemetry::event(

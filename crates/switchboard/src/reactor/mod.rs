@@ -337,12 +337,9 @@ fn shard_loop(handle: Arc<ShardHandle>, epoll: sys::Epoll) {
             if ev & sys::EPOLLOUT != 0 {
                 // The socket drained: push out backlogged sends. Failure
                 // here is a dead transport.
-                match st.conns.get(&token).map(|c| flush_outbound(&c.inner)) {
-                    Some(Err(_)) => {
-                        close_token(&mut st, token);
-                        continue;
-                    }
-                    Some(Ok(_)) | None => {}
+                if let Some(Err(_)) = st.conns.get(&token).map(|c| flush_outbound(&c.inner)) {
+                    close_token(&mut st, token);
+                    continue;
                 }
             }
             // RDHUP without IN still needs a service pass: the drain is

@@ -1,10 +1,12 @@
 //! Authorization suites, Authorizers, and AuthorizationMonitors
 //! (paper §4.3).
 
+use psf_cert::{AuthCertificate, CertError, CertKind, CertSubject};
 use psf_crypto::ed25519::VerifyingKey;
+use psf_drbac::certify::{attrs_to_cert, check_certificate_memo};
 use psf_drbac::entity::{Entity, EntityName, EntityRegistry, Subject};
 use psf_drbac::proof::{Proof, ProofEngine};
-use psf_drbac::repository::Repository;
+use psf_drbac::repository::{CredentialSource, Repository};
 use psf_drbac::revocation::{RevocationBus, ValidityMonitor};
 use psf_drbac::{AttrSet, AuthCache, RoleName, SignedDelegation};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +46,10 @@ pub struct Authorizer {
     /// Fast path for repeat authorizations (handshakes, rekeys,
     /// continuous re-validation); shared across clones.
     cache: AuthCache,
+    /// Checker memo: re-checking the same certificate after a revocation
+    /// event replays only the environment half (revocation, expiry, the
+    /// epoch window, key bindings) instead of re-deriving signatures.
+    memo: Arc<psf_cert::CheckMemo>,
     /// The role the partner must prove.
     pub required_role: RoleName,
     /// Attributes the partner's proof must satisfy.
@@ -65,6 +71,7 @@ impl Authorizer {
             bus,
             clock,
             cache: AuthCache::new(),
+            memo: Arc::new(psf_cert::CheckMemo::new(4096)),
             required_role,
             required_attrs: AttrSet::new(),
         }
@@ -101,7 +108,7 @@ impl Authorizer {
             self.clock.now(),
             &self.cache,
         );
-        let result = engine.prove_with(
+        let result = engine.prove_with_certified(
             &subject,
             &self.required_role,
             &self.required_attrs,
@@ -122,11 +129,14 @@ impl Authorizer {
             )
             .detail("switchboard admission");
             match &result {
-                Ok((proof, _)) => rec.chain(&proof.credential_ids()).commit(),
+                Ok((proof, cert, _)) => rec
+                    .chain(&proof.credential_ids())
+                    .cert(cert.digest_hex())
+                    .commit(),
                 Err(e) => rec.detail(format!("switchboard admission: {e}")).commit(),
             }
         }
-        let (proof, _stats) = result.map_err(|e| e.to_string())?;
+        let (proof, cert, _stats) = result.map_err(|e| e.to_string())?;
         let monitor = self.bus.monitor(proof.credential_ids());
         // "…continuously over some duration": the authorization holds
         // until the earliest expiry of any credential in the proof.
@@ -136,10 +146,96 @@ impl Authorizer {
             .filter_map(|e| e.credential.body.expires)
             .min();
         Ok(AuthorizationMonitor {
-            proof,
+            proof: Some(proof),
+            certificate: Some(cert),
             monitor,
             valid_until,
             clock: self.clock.clone(),
+            rechecked: false,
+        })
+    }
+
+    /// Re-validate a previously emitted certificate with the **independent
+    /// checker**: signatures, chain rules, attenuation, expiry, and the
+    /// epoch window are re-derived from the certificate bytes against live
+    /// registry and revocation state. No repository access and no proof
+    /// search happen here — this is the continuous-authorization fast path
+    /// the channel runs when a RevocationBus event invalidates a monitor.
+    /// The decision is audited under cache provenance `cert-verified`
+    /// with the certificate digest.
+    pub fn recheck_certificate(&self, cert: &AuthCertificate) -> Result<(), CertError> {
+        let result = check_certificate_memo(
+            cert,
+            &self.registry,
+            &self.bus,
+            self.clock.now(),
+            self.repository.version(),
+            Some(&self.memo),
+        );
+        use psf_telemetry::audit::{self, CacheOutcome, Decision, Verdict};
+        let rec = audit::record(
+            Decision::Authorize,
+            cert.subject.render(),
+            cert.role.clone(),
+            match &result {
+                Ok(()) => Verdict::Allow,
+                Err(CertError::Revoked(_)) => Verdict::Revoked,
+                Err(_) => Verdict::Deny,
+            },
+        )
+        .chain(&cert.chain_ids())
+        .cache(CacheOutcome::CertVerified, cert.repo_epoch)
+        .cert(cert.digest_hex());
+        match &result {
+            Ok(()) => rec.detail("certificate re-check").commit(),
+            Err(e) => rec.detail(format!("certificate re-check: {e}")).commit(),
+        }
+        result
+    }
+
+    /// Admit a peer from a presented certificate alone. The independent
+    /// checker validates the certificate and this authorizer's policy is
+    /// matched against what it *claims* (subject identity = the
+    /// authenticated peer, role = the required role, attributes satisfy
+    /// the requirement). No repository access and no proof search happen
+    /// on this path; the resulting monitor watches the certificate's
+    /// watch set, so continuous authorization covers the same chain the
+    /// checker accepted.
+    pub fn admit_certificate(
+        &self,
+        peer_name: &EntityName,
+        peer_key: &VerifyingKey,
+        cert: Arc<AuthCertificate>,
+    ) -> Result<AuthorizationMonitor, String> {
+        let identity_ok = matches!(
+            &cert.subject,
+            CertSubject::Entity { name, key } if *name == peer_name.0 && *key == peer_key.0
+        );
+        if !identity_ok {
+            return Err("certificate subject is not the authenticated peer".into());
+        }
+        if cert.kind != CertKind::Membership {
+            return Err("certificate does not prove role membership".into());
+        }
+        if cert.role != self.required_role.to_string() {
+            return Err(format!(
+                "certificate proves '{}', required '{}'",
+                cert.role, self.required_role
+            ));
+        }
+        if !cert.attrs.satisfies(&attrs_to_cert(&self.required_attrs)) {
+            return Err("certificate attributes do not satisfy the requirement".into());
+        }
+        self.recheck_certificate(&cert).map_err(|e| e.to_string())?;
+        let monitor = self.bus.monitor(cert.watch.clone());
+        let valid_until = cert.min_expiry();
+        Ok(AuthorizationMonitor {
+            proof: None,
+            certificate: Some(cert),
+            monitor,
+            valid_until,
+            clock: self.clock.clone(),
+            rechecked: false,
         })
     }
 
@@ -154,14 +250,32 @@ impl Authorizer {
 /// the partner's authorization and the validity monitor over its
 /// credentials.
 pub struct AuthorizationMonitor {
-    /// The proof under which the partner was admitted.
-    pub proof: Proof,
+    /// The proof under which the partner was admitted (`None` when
+    /// admission was checker-only from a presented certificate).
+    pub proof: Option<Proof>,
+    /// The certificate carrying the admission's evidence (emitted by the
+    /// engine, or presented by the peer and validated by the checker).
+    certificate: Option<Arc<AuthCertificate>>,
     monitor: ValidityMonitor,
     valid_until: Option<u64>,
     clock: ClockRef,
+    /// One-shot latch: the channel re-checks the certificate once per
+    /// invalidation, not once per refused packet.
+    rechecked: bool,
 }
 
 impl AuthorizationMonitor {
+    /// The admission certificate, if one was emitted or presented.
+    pub fn certificate(&self) -> Option<Arc<AuthCertificate>> {
+        self.certificate.clone()
+    }
+
+    /// Claim the one-shot certificate re-check for the current
+    /// invalidation. Returns true exactly once per monitor.
+    pub(crate) fn take_recheck(&mut self) -> bool {
+        !std::mem::replace(&mut self.rechecked, true)
+    }
+
     /// Whether the trust relationship still holds: no revocation and no
     /// credential in the proof has expired.
     pub fn is_valid(&self) -> bool {
@@ -304,6 +418,67 @@ mod tests {
         assert!(monitor.is_valid());
         clock.set(100);
         assert!(!monitor.is_valid());
+    }
+
+    #[test]
+    fn admit_certificate_checker_only() {
+        let (registry, repo, bus, clock, ny, bob) = setup();
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .sign();
+        let auth = Authorizer::new(registry, repo, bus.clone(), clock, ny.role("Member"));
+        // Emit a certificate via the engine, then admit from it alone.
+        let first = auth
+            .authorize(&bob.name, &bob.public_key(), &[cred])
+            .unwrap();
+        let cert = first.certificate().expect("admission emits a certificate");
+        let monitor = auth
+            .admit_certificate(&bob.name, &bob.public_key(), cert.clone())
+            .unwrap();
+        assert!(monitor.proof.is_none(), "no proof search ran");
+        assert!(monitor.is_valid());
+        assert_eq!(monitor.watched_ids(), &cert.watch[..]);
+        // Revocation of a chain edge invalidates both the monitor and the
+        // certificate itself.
+        bus.revoke(&cert.watch[0]);
+        assert!(!monitor.is_valid());
+        assert!(matches!(
+            auth.recheck_certificate(&cert),
+            Err(CertError::Revoked(_))
+        ));
+    }
+
+    #[test]
+    fn admit_certificate_enforces_policy() {
+        let (registry, repo, bus, clock, ny, bob) = setup();
+        let mallory = Entity::with_seed("Mallory", b"suite");
+        registry.register(&mallory);
+        let cred = DelegationBuilder::new(&ny)
+            .subject_entity(&bob)
+            .role(ny.role("Member"))
+            .sign();
+        let auth = Authorizer::new(registry, repo, bus, clock, ny.role("Member"));
+        let cert = auth
+            .authorize(&bob.name, &bob.public_key(), &[cred])
+            .unwrap()
+            .certificate()
+            .unwrap();
+        // Bob's certificate does not admit Mallory.
+        assert!(auth
+            .admit_certificate(&mallory.name, &mallory.public_key(), cert.clone())
+            .is_err());
+        // A different required role refuses it too.
+        let other = Authorizer::new(
+            auth.registry.clone(),
+            auth.repository.clone(),
+            auth.bus.clone(),
+            auth.clock.clone(),
+            ny.role("Admin"),
+        );
+        assert!(other
+            .admit_certificate(&bob.name, &bob.public_key(), cert)
+            .is_err());
     }
 
     #[test]

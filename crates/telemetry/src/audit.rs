@@ -84,6 +84,10 @@ pub enum CacheOutcome {
     NegativeHit,
     /// Cache consulted but missed; a fresh search ran.
     Miss,
+    /// Decided by the independent certificate checker — no proof search
+    /// and no repository access; the verdict rests on a presented or
+    /// cached `AuthCertificate`.
+    CertVerified,
 }
 
 impl CacheOutcome {
@@ -94,6 +98,7 @@ impl CacheOutcome {
             CacheOutcome::Hit => "hit",
             CacheOutcome::NegativeHit => "negative",
             CacheOutcome::Miss => "miss",
+            CacheOutcome::CertVerified => "cert-verified",
         }
     }
 }
@@ -126,6 +131,10 @@ pub struct AuditRecord {
     /// Repository epoch the answer is pinned to, when a cache was
     /// consulted.
     pub epoch: Option<u64>,
+    /// Truncated hex digest of the authorization certificate the decision
+    /// rested on (emission or checker verdicts); empty when no
+    /// certificate was involved.
+    pub cert_digest: String,
     /// Free-form detail (error text for denials, rule matched, …).
     pub detail: String,
 }
@@ -280,6 +289,11 @@ impl AuditLog {
             }
             None => out.push_str("null"),
         }
+        if !r.cert_digest.is_empty() {
+            out.push_str(",\"cert\":\"");
+            escape_into(&r.cert_digest, out);
+            out.push('"');
+        }
         if !r.detail.is_empty() {
             out.push_str(",\"detail\":\"");
             escape_into(&r.detail, out);
@@ -324,6 +338,7 @@ pub fn record(
             chain_digest: String::new(),
             cache: CacheOutcome::Uncached,
             epoch: None,
+            cert_digest: String::new(),
             detail: String::new(),
         },
     }
@@ -346,6 +361,13 @@ impl AuditRecordBuilder {
     pub fn cache(mut self, outcome: CacheOutcome, epoch: Option<u64>) -> Self {
         self.record.cache = outcome;
         self.record.epoch = epoch;
+        self
+    }
+
+    /// Attach the digest of the authorization certificate the decision
+    /// rested on.
+    pub fn cert(mut self, digest: impl Into<String>) -> Self {
+        self.record.cert_digest = digest.into();
         self
     }
 
@@ -455,6 +477,7 @@ mod tests {
             chain_digest: String::new(),
             cache: CacheOutcome::Uncached,
             epoch: None,
+            cert_digest: String::new(),
             detail: String::new(),
         }
     }

@@ -72,6 +72,20 @@ fn non_monotone_acl_snapshot() {
 }
 
 #[test]
+fn stale_certificate_snapshot() {
+    let (report, expected) = analyze_fixture("stale-certificate");
+    assert_eq!(report.render_human(), expected);
+    assert_eq!(report.codes(), vec!["PSF014"]);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.code, LintCode::CertificateReplay);
+    assert_eq!(d.subject.as_deref(), Some("Bob → Comp.NY.Partner"));
+    // The finding carries the certificate digest and the checker's own
+    // typed reason — the lint is exactly the runtime checker's verdict.
+    assert!(d.message.contains("no longer replays"));
+    assert!(d.message.contains("revoked"));
+}
+
+#[test]
 fn every_fixture_has_a_snapshot_and_parses() {
     let dir = fixture_dir();
     let mut xml_count = 0;

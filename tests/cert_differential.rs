@@ -1,0 +1,341 @@
+//! Differential and adversarial properties of the proof-carrying
+//! certificate layer (`psf-cert` vs the `psf-drbac` engine).
+//!
+//! The headline property is the trust split's contract:
+//!
+//! * **engine-proves ⇒ checker-accepts** — every certificate the engine
+//!   emits for a verdict replays clean through the independent checker,
+//!   in the same environment the proof search ran in;
+//! * **checker-accepts ⇒ engine-proves** — whenever the checker vouches
+//!   for a certificate (after arbitrary revocations and clock advances),
+//!   the engine can still derive the verdict from the live repository.
+//!
+//! The adversarial half pins deny-by-default: any tampering with an
+//! emitted certificate — swapped subject, widened attenuation, dropped
+//! link, dropped support, forged signature, stale epoch, uncovered watch
+//! set, re-targeted role, raw wire corruption — is a *typed*
+//! [`CertError`], never an accept and never a panic, both on the decoded
+//! structure and on re-encoded wire bytes.
+
+use proptest::prelude::*;
+use psf_cert::{AuthCertificate, CertAttr, CertError, CertSubject};
+use psf_drbac::check_certificate;
+use psf_drbac::entity::{Entity, EntityRegistry, RoleName};
+use psf_drbac::proof::ProofEngine;
+use psf_drbac::repository::{CredentialSource, Repository};
+use psf_drbac::revocation::RevocationBus;
+use psf_drbac::{AttrValue, DelegationBuilder};
+use std::sync::Arc;
+
+// ------------------------------------------------------- differential --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random delegation worlds: role→role chains of random depth plus an
+    /// optional third-party grant (assignment support, attribute
+    /// attenuation, optional expiry). Every engine verdict must emit a
+    /// certificate the checker accepts; after a random revocation and a
+    /// clock advance, every certificate the checker still accepts must
+    /// still be engine-provable.
+    #[test]
+    fn checker_accepts_iff_engine_proves(
+        seed in 0u64..1000,
+        chain_len in 1usize..4,
+        third_party in any::<bool>(),
+        cap_owner in 1i64..100,
+        cap_manager in 1i64..100,
+        expiry in prop::option::of(50u64..200),
+        revoke_pick in 0usize..16,
+        now_later in 0u64..300,
+    ) {
+        let registry = EntityRegistry::new();
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        let user = Entity::with_seed(format!("user{seed}"), b"certdiff");
+        registry.register(&user);
+
+        let mut published: Vec<String> = Vec::new();
+        let mut publish = |cred: psf_drbac::SignedDelegation| {
+            published.push(cred.id());
+            repo.publish_at_issuer(cred);
+        };
+
+        // Membership chain: user ∈ d_{n-1}.R, and d_{i+1}.R → d_i.R.
+        let mut domains = Vec::new();
+        for i in 0..chain_len {
+            let d = Entity::with_seed(format!("d{seed}-{i}"), b"certdiff");
+            registry.register(&d);
+            domains.push(d);
+        }
+        let mut leaf = DelegationBuilder::new(&domains[chain_len - 1])
+            .subject_entity(&user)
+            .role(domains[chain_len - 1].role("R"));
+        if let Some(t) = expiry {
+            leaf = leaf.expires(t);
+        }
+        publish(leaf.sign());
+        for i in (0..chain_len - 1).rev() {
+            publish(
+                DelegationBuilder::new(&domains[i])
+                    .subject_role(domains[i + 1].role("R"))
+                    .role(domains[i].role("R"))
+                    .sign(),
+            );
+        }
+        // Third-party grant: the owner hands the assignment right for TP
+        // to a manager, who then enrols the user with its own bound.
+        if third_party {
+            let manager = Entity::with_seed(format!("mgr{seed}"), b"certdiff");
+            registry.register(&manager);
+            publish(
+                DelegationBuilder::new(&domains[0])
+                    .subject_entity(&manager)
+                    .assignment()
+                    .role(domains[0].role("TP"))
+                    .attr("CPU", AttrValue::Capacity(cap_owner))
+                    .sign(),
+            );
+            publish(
+                DelegationBuilder::new(&manager)
+                    .subject_entity(&user)
+                    .role(domains[0].role("TP"))
+                    .attr("CPU", AttrValue::Capacity(cap_manager))
+                    .sign(),
+            );
+        }
+
+        let subject = user.as_subject();
+        let mut targets: Vec<RoleName> =
+            (0..chain_len).map(|i| domains[i].role("R")).collect();
+        if third_party {
+            targets.push(domains[0].role("TP"));
+        }
+
+        // Forward: engine-proves ⇒ the emitted certificate replays.
+        let engine = ProofEngine::new(&registry, &repo, &bus, 0);
+        let mut emitted: Vec<(RoleName, Arc<AuthCertificate>)> = Vec::new();
+        for target in &targets {
+            if let Ok((proof, cert, _)) = engine.prove_certified(&subject, target, &[]) {
+                prop_assert_eq!(
+                    check_certificate(&cert, &registry, &bus, 0, repo.version()),
+                    Ok(()),
+                    "emitted certificate for {} must replay",
+                    target
+                );
+                prop_assert_eq!(&cert.watch, &proof.credential_ids());
+                // The wire round-trip is the same verdict.
+                let decoded = AuthCertificate::decode(&cert.encode()).unwrap();
+                prop_assert_eq!(
+                    check_certificate(&decoded, &registry, &bus, 0, repo.version()),
+                    Ok(())
+                );
+                emitted.push((target.clone(), cert));
+            }
+        }
+        prop_assert!(!emitted.is_empty(), "at least the direct chain proves");
+
+        // Mutate the environment: revoke one random published credential
+        // and advance the clock; then the reverse direction must hold.
+        bus.revoke(&published[revoke_pick % published.len()]);
+        let engine_later = ProofEngine::new(&registry, &repo, &bus, now_later);
+        for (target, cert) in &emitted {
+            let verdict = check_certificate(cert, &registry, &bus, now_later, repo.version());
+            if verdict.is_ok() {
+                prop_assert!(
+                    engine_later.prove(&subject, target, &[]).is_ok(),
+                    "checker accepts {} → {} after revocation but engine cannot prove it",
+                    cert.subject.render(),
+                    target
+                );
+            }
+            // And a fresh engine verdict still emits a replaying cert.
+            if let Ok((_, fresh, _)) = engine_later.prove_certified(&subject, target, &[]) {
+                prop_assert_eq!(
+                    check_certificate(&fresh, &registry, &bus, now_later, repo.version()),
+                    Ok(())
+                );
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- adversarial --
+
+/// A fixed two-edge world (owner → manager assignment with a CPU bound,
+/// manager → Bob membership) shared by the mutation cases.
+struct AdvWorld {
+    registry: EntityRegistry,
+    repo: Repository,
+    bus: RevocationBus,
+    alice_key: [u8; 32],
+    cert: AuthCertificate,
+    wire: Vec<u8>,
+}
+
+fn adv_world() -> &'static AdvWorld {
+    static WORLD: std::sync::OnceLock<AdvWorld> = std::sync::OnceLock::new();
+    WORLD.get_or_init(|| {
+        let registry = EntityRegistry::new();
+        let ny = Entity::with_seed("Comp.NY", b"adv");
+        let sd = Entity::with_seed("Comp.SD", b"adv");
+        let bob = Entity::with_seed("Bob", b"adv");
+        let alice = Entity::with_seed("Alice", b"adv");
+        for e in [&ny, &sd, &bob, &alice] {
+            registry.register(e);
+        }
+        let repo = Repository::new();
+        let bus = RevocationBus::new();
+        repo.publish_at_issuer(
+            DelegationBuilder::new(&ny)
+                .subject_entity(&sd)
+                .assignment()
+                .role(ny.role("Partner"))
+                .attr("CPU", AttrValue::Capacity(50))
+                .sign(),
+        );
+        repo.publish_at_issuer(
+            DelegationBuilder::new(&sd)
+                .subject_entity(&bob)
+                .role(ny.role("Partner"))
+                .attr("CPU", AttrValue::Capacity(100))
+                .sign(),
+        );
+        let engine = ProofEngine::new(&registry, &repo, &bus, 0);
+        let (_, cert, _) = engine
+            .prove_certified(&bob.as_subject(), &ny.role("Partner"), &[])
+            .expect("mail-style chain proves");
+        let cert = (*cert).clone();
+        let wire = cert.encode();
+        let alice_key = alice.public_key().0;
+        AdvWorld {
+            registry,
+            repo,
+            bus,
+            alice_key,
+            cert,
+            wire,
+        }
+    })
+}
+
+fn recheck(w: &AdvWorld, cert: &AuthCertificate, now: u64) -> Result<(), CertError> {
+    check_certificate(cert, &w.registry, &w.bus, now, w.repo.version())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural tampering with an emitted certificate: every mutation
+    /// class is rejected with a typed error, both on the decoded
+    /// structure and after re-encoding (the attacker can recompute the
+    /// integrity digest — rejection must be semantic, not just
+    /// integrity).
+    #[test]
+    fn structural_mutations_never_replay(
+        mutation in 0usize..8,
+        tweak in 1u64..1000,
+        byte in 0usize..64,
+    ) {
+        let w = adv_world();
+        let mut cert = w.cert.clone();
+        let expect_class: fn(&CertError) -> bool = match mutation {
+            0 => {
+                // Swapped subject: Alice's real identity, Bob's chain.
+                cert.subject = CertSubject::Entity {
+                    name: "Alice".into(),
+                    key: w.alice_key,
+                };
+                |e| matches!(e, CertError::BrokenLink { .. })
+            }
+            1 => {
+                // Widened attenuation: claim more CPU than the chain
+                // conveys (the assignment bound is 50).
+                cert.attrs
+                    .0
+                    .insert("CPU".into(), CertAttr::Capacity(100));
+                |e| matches!(e, CertError::AttrMismatch)
+            }
+            2 => {
+                // Dropped link: no chain at all.
+                cert.edges.clear();
+                |e| matches!(e, CertError::EmptyChain)
+            }
+            3 => {
+                // Forged signature. The edge id is derived from the signed
+                // bytes, so the attacker also patches the watch set to the
+                // new ids — rejection must come from the signature check
+                // itself, not from watch coverage.
+                cert.edges[0].signature[byte % 64] ^= (tweak % 255 + 1) as u8;
+                cert.watch = cert.chain_ids();
+                |e| matches!(e, CertError::BadSignature { .. })
+            }
+            4 => {
+                // Stale (future) epoch: evidence the repository never saw.
+                let current = w.repo.version().unwrap_or(0);
+                cert.repo_epoch = Some(current + tweak);
+                |e| matches!(e, CertError::EpochAhead { .. })
+            }
+            5 => {
+                // Watch set no longer covers the chain: a revocation
+                // monitor built from it would silently miss an edge.
+                cert.watch.remove(byte % cert.watch.len());
+                |e| matches!(e, CertError::UnwatchedEdge(_))
+            }
+            6 => {
+                // Re-targeted role.
+                cert.role = "Comp.NY.Admin".into();
+                |e| matches!(e, CertError::WrongTarget | CertError::UnwatchedEdge(_))
+            }
+            _ => {
+                // Dropped support: the membership edge's issuer loses its
+                // authorization chain.
+                cert.edges[0].support = Some(Vec::new());
+                |e| {
+                    matches!(
+                        e,
+                        CertError::SupportMismatch { .. } | CertError::UnwatchedEdge(_)
+                    )
+                }
+            }
+        };
+        let err = recheck(w, &cert, 0).expect_err("tampered certificate must be rejected");
+        prop_assert!(expect_class(&err), "unexpected rejection {err:?} for mutation {mutation}");
+        // Re-encoded wire bytes (digest recomputed) are rejected too; a
+        // mutation that broke the encoding itself is already a rejection.
+        if let Ok(decoded) = AuthCertificate::decode(&cert.encode()) {
+            prop_assert!(recheck(w, &decoded, 0).is_err());
+        }
+    }
+
+    /// Raw wire corruption: any single byte flip and any truncation is a
+    /// typed [`CertError`] — never an accept, never a panic.
+    #[test]
+    fn wire_corruption_is_a_typed_rejection(
+        idx in any::<usize>(),
+        mask in 1u16..256,
+        cut in any::<usize>(),
+    ) {
+        let w = adv_world();
+        let mut flipped = w.wire.clone();
+        let i = idx % flipped.len();
+        flipped[i] ^= mask as u8;
+        let verdict = AuthCertificate::decode(&flipped)
+            .and_then(|c| recheck(w, &c, 0).map(|()| c));
+        prop_assert!(verdict.is_err(), "flipped wire byte {i} must not verify");
+
+        let truncated = &w.wire[..cut % w.wire.len()];
+        prop_assert!(AuthCertificate::decode(truncated).is_err());
+    }
+}
+
+/// The untampered baseline the mutation cases deviate from: the emitted
+/// certificate replays clean, so every rejection above is attributable
+/// to the mutation.
+#[test]
+fn baseline_certificate_replays() {
+    let w = adv_world();
+    assert_eq!(recheck(w, &w.cert, 0), Ok(()));
+    let decoded = AuthCertificate::decode(&w.wire).unwrap();
+    assert_eq!(recheck(w, &decoded, 0), Ok(()));
+}

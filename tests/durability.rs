@@ -58,7 +58,7 @@ fn committed_state_survives_reopen_cycles() {
                 d.repository().publish_at_issuer(cred);
             }
         }
-        assert_eq!(report.revocations_restored as usize, cycle as usize);
+        assert_eq!(report.revocations_restored as u64, cycle);
     }
     let (repo, bus, report) = Repository::recover(&dir).unwrap();
     assert_eq!(repo.len(), 50);

@@ -211,6 +211,109 @@ fn one_trace_links_client_rpc_server_dispatch_prove_and_view_decision() {
     }
 }
 
+/// Continuous authorization over the certificate path: when a revocation
+/// notice invalidates a channel's monitor, the next call re-checks the
+/// admission certificate with the independent checker, and that verdict
+/// joins the audit trail under the ORIGINAL request trace — carrying the
+/// certificate digest and `cert-verified` cache provenance, so the replay
+/// shows exactly which piece of evidence was re-validated and why traffic
+/// stopped.
+#[test]
+fn revocation_recheck_joins_the_trace_with_certificate_digest() {
+    use psf_telemetry::audit::CacheOutcome;
+
+    let registry = EntityRegistry::new();
+    let repo = Repository::new();
+    let bus = RevocationBus::new();
+    let clock = ClockRef::new();
+    let domain = Entity::with_seed("Comp.NY", b"e2e-recheck");
+    let server = Entity::with_seed("Srv", b"e2e-recheck");
+    let bob = Entity::with_seed("Bob", b"e2e-recheck");
+    for e in [&domain, &server, &bob] {
+        registry.register(e);
+    }
+    let client_cred = DelegationBuilder::new(&domain)
+        .subject_entity(&bob)
+        .role(domain.role("Member"))
+        .monitored()
+        .sign();
+    let server_cred = DelegationBuilder::new(&domain)
+        .subject_entity(&server)
+        .role(domain.role("Service"))
+        .monitored()
+        .sign();
+    let server_cred_id = server_cred.id();
+    let auth = |role: &str| {
+        Authorizer::new(
+            registry.clone(),
+            repo.clone(),
+            bus.clone(),
+            clock.clone(),
+            domain.role(role),
+        )
+    };
+    let client_suite = AuthSuite::new(bob.clone(), vec![client_cred], auth("Service"));
+    let server_suite = AuthSuite::new(server, vec![server_cred], auth("Member"));
+
+    let trace;
+    {
+        let root = psf_telemetry::span("psf.e2e", "sso.recheck");
+        trace = root.trace_id();
+        let (client, server_ch) = pair_in_memory(client_suite, server_suite, config()).unwrap();
+        server_ch.register_handler("ping", |args| Ok(args.to_vec()));
+        assert_eq!(client.call("ping", b"hi").unwrap(), b"hi");
+
+        // The server's credential — watched by the client's monitor and
+        // part of the admission certificate's chain — is revoked mid-
+        // conversation. The client's next call runs the checker-only
+        // re-check and refuses traffic.
+        bus.revoke(&server_cred_id);
+        let err = client.call("ping", b"again").unwrap_err();
+        assert!(
+            err.to_string().contains("revalidation required"),
+            "expected revalidation refusal, got: {err}"
+        );
+        client.close();
+        server_ch.close();
+    }
+
+    let records = psf_telemetry::audit::global().query(None, false, Some(trace));
+    let rechecks: Vec<_> = records
+        .iter()
+        .filter(|r| r.cache == CacheOutcome::CertVerified)
+        .collect();
+    assert_eq!(
+        rechecks.len(),
+        1,
+        "exactly one checker re-check must join the request trace"
+    );
+    let r = rechecks[0];
+    assert_eq!(r.decision, Decision::Authorize);
+    assert_eq!(
+        r.verdict,
+        Verdict::Revoked,
+        "the revoked chain must be refused"
+    );
+    assert_eq!(
+        r.cert_digest.len(),
+        16,
+        "the audited verdict must carry the certificate digest, got {:?}",
+        r.cert_digest
+    );
+    assert_eq!(
+        r.chain_digest,
+        psf_telemetry::audit::chain_digest(&[&server_cred_id]),
+        "the audited chain digest must cover the revoked credential's chain"
+    );
+    assert!(r.detail.contains("certificate re-check"));
+
+    // The admissions from the handshake audited under the same trace used
+    // the engine path, not the checker: provenance separates them.
+    assert!(records
+        .iter()
+        .any(|rec| rec.decision == Decision::Authorize && rec.cache != CacheOutcome::CertVerified));
+}
+
 #[test]
 fn untraced_traffic_records_no_per_call_spans() {
     let w = world(b"e2e-untraced");
